@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for the two initial-computation paths: the
+//! paper's top-k computation module (grid traversal) and the TA baseline
+//! (sorted lists), over identical window contents.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tkm_common::{QueryId, ScoreFn, Timestamp};
+use tkm_core::compute_topk;
+use tkm_core::influence::cleanup_from_frontier;
+use tkm_datagen::{DataDist, PointGen};
+use tkm_grid::{CellMode, Grid, VisitStamps};
+use tkm_tsl::{ta_search, SortedLists};
+use tkm_window::{Window, WindowSpec};
+
+const N: usize = 50_000;
+const DIMS: usize = 4;
+
+struct Fixture {
+    grid: Grid,
+    lists: SortedLists,
+    window: Window,
+    f: ScoreFn,
+}
+
+fn fixture(dist: DataDist) -> Fixture {
+    let mut gen = PointGen::new(DIMS, dist, 99).expect("dims");
+    let mut grid = Grid::with_cell_budget(DIMS, 20_736, CellMode::Fifo).expect("budget");
+    let mut lists = SortedLists::new(DIMS).expect("dims");
+    let mut window = Window::new(DIMS, WindowSpec::Count(N)).expect("config");
+    let mut buf = [0.0f64; tkm_common::MAX_DIMS];
+    for _ in 0..N {
+        gen.fill(&mut buf);
+        let coords = &buf[..DIMS];
+        let id = window.insert(coords, Timestamp(0)).expect("insert");
+        grid.insert_point(coords, id);
+        lists.insert(id, coords);
+    }
+    let f = ScoreFn::linear(vec![0.8, 0.3, 0.6, 0.9]).expect("dims");
+    Fixture {
+        grid,
+        lists,
+        window,
+        f,
+    }
+}
+
+fn bench_compute_module(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_computation");
+    group.sample_size(30);
+    for dist in [DataDist::Ind, DataDist::Ant] {
+        let mut fx = fixture(dist);
+        let mut stamps = VisitStamps::new(fx.grid.num_cells());
+        for k in [1usize, 20, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("grid_{}", dist.label()), k),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        let out = compute_topk(
+                            &mut fx.grid,
+                            &mut stamps,
+                            &fx.window,
+                            Some(QueryId(0)),
+                            &fx.f,
+                            k,
+                            None,
+                            false,
+                        );
+                        // Unregister again so every iteration starts clean.
+                        cleanup_from_frontier(
+                            &mut fx.grid,
+                            &mut stamps,
+                            QueryId(0),
+                            &fx.f,
+                            None,
+                            &out.frontier,
+                        );
+                        black_box(out.top.len())
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("ta_{}", dist.label()), k),
+                &k,
+                |b, &k| {
+                    b.iter(|| {
+                        let (res, _) = ta_search(&fx.lists, &fx.window, &fx.f, k);
+                        black_box(res.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compute_module);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks for the core data structures: the
+//! order-statistic tree, the skyband, the grid, the window ring and the
+//! top-list.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tkm_common::{ScoreFn, Scored, Timestamp, TupleId};
+use tkm_grid::{CellMode, Grid};
+use tkm_ostree::OsTree;
+use tkm_skyband::Skyband;
+use tkm_window::{Window, WindowSpec};
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    ((*state >> 11) as f64 / (1u64 << 53) as f64).clamp(0.0, 1.0)
+}
+
+fn bench_ostree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ostree");
+    group.sample_size(20);
+    group.bench_function("insert_rank_remove_1k", |b| {
+        b.iter(|| {
+            let mut t = OsTree::new();
+            for i in 0..1000u64 {
+                t.insert(black_box((i * 2_654_435_761) % 1_000_003));
+            }
+            let mut acc = 0usize;
+            for i in 0..1000u64 {
+                acc += t.count_greater(&black_box(i * 997));
+            }
+            for i in 0..1000u64 {
+                t.remove(&((i * 2_654_435_761) % 1_000_003));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_skyband(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skyband");
+    group.sample_size(20);
+    for k in [10usize, 100] {
+        group.bench_function(format!("insert_expire_k{k}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sky = Skyband::new(k).expect("k > 0");
+                    let mut state = 7u64;
+                    for i in 0..k as u64 {
+                        sky.insert(Scored::new(lcg(&mut state), TupleId(i)));
+                    }
+                    (sky, state, k as u64)
+                },
+                |(mut sky, mut state, mut next)| {
+                    for _ in 0..1000 {
+                        sky.insert(Scored::new(lcg(&mut state), TupleId(next)));
+                        next += 1;
+                        // Expire the oldest band member occasionally.
+                        if let Some(e) = sky.entries().iter().map(|e| e.scored.id).min() {
+                            sky.expire(e);
+                        }
+                    }
+                    sky.len()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid");
+    group.sample_size(20);
+    let f = ScoreFn::linear(vec![0.3, 0.9, 0.5, 0.7]).expect("4-d");
+    let grid = Grid::with_cell_budget(4, 20_736, CellMode::Fifo).expect("budget");
+    group.bench_function("locate_4d", |b| {
+        let mut state = 3u64;
+        b.iter(|| {
+            let p = [
+                lcg(&mut state),
+                lcg(&mut state),
+                lcg(&mut state),
+                lcg(&mut state),
+            ];
+            black_box(grid.locate(&p))
+        })
+    });
+    group.bench_function("maxscore_4d", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % grid.num_cells() as u32;
+            black_box(grid.maxscore(tkm_grid::CellId(i), &f))
+        })
+    });
+    group.bench_function("insert_1k_points", |b| {
+        b.iter_batched(
+            || Grid::with_cell_budget(4, 20_736, CellMode::Fifo).expect("budget"),
+            |mut g| {
+                let mut state = 11u64;
+                for i in 0..1000u64 {
+                    let p = [
+                        lcg(&mut state),
+                        lcg(&mut state),
+                        lcg(&mut state),
+                        lcg(&mut state),
+                    ];
+                    g.insert_point(&p, TupleId(i));
+                }
+                g.num_cells()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window");
+    group.sample_size(20);
+    group.bench_function("count_push_evict_steady", |b| {
+        let mut w = Window::new(4, WindowSpec::Count(10_000)).expect("config");
+        let mut state = 5u64;
+        let mut ts = 0u64;
+        for _ in 0..10_000 {
+            let p = [
+                lcg(&mut state),
+                lcg(&mut state),
+                lcg(&mut state),
+                lcg(&mut state),
+            ];
+            w.insert(&p, Timestamp(0)).expect("insert");
+        }
+        b.iter(|| {
+            ts += 1;
+            let p = [
+                lcg(&mut state),
+                lcg(&mut state),
+                lcg(&mut state),
+                lcg(&mut state),
+            ];
+            w.insert(&p, Timestamp(ts)).expect("insert");
+            let mut evicted = 0;
+            w.drain_expired(Timestamp(ts), |_, _| evicted += 1);
+            black_box(evicted)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ostree,
+    bench_skyband,
+    bench_grid,
+    bench_window
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 18: CPU time vs query cardinality Q, IND and ANT.
+//!
+//! The paper varies Q from 100 to 5000. Expected shape: every method
+//! scales roughly linearly in Q; relative order TSL ≫ TMA > SMA unchanged.
+
+use tkm_bench::table::fmt_secs;
+use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
+use tkm_datagen::DataDist;
+
+fn main() {
+    let scale = Scale::from_args();
+    let base = ExpParams::defaults(scale);
+    cli::header(
+        "Figure 18 — CPU time vs number of queries",
+        "Mouratidis et al., SIGMOD 2006, Figure 18 (a) IND, (b) ANT",
+        scale,
+        &base.summary(),
+    );
+
+    for dist in [DataDist::Ind, DataDist::Ant] {
+        let mut table = Table::new(&["Q", "TSL [s]", "TMA [s]", "SMA [s]"]);
+        for queries in [100usize, 500, 1000, 2000, 5000] {
+            let p = ExpParams {
+                q: ExpParams::scale_q(scale, queries),
+                dist,
+                ..base
+            };
+            let mut row = vec![p.q.to_string()];
+            for sel in EngineSel::ALL {
+                let m = tkm_bench::run_engine(sel, &p).expect("engine run");
+                row.push(fmt_secs(m.cpu_seconds));
+            }
+            table.row(row);
+        }
+        println!("--- {} ---", dist.label());
+        cli::emit(&table);
+    }
+    println!("shape check: near-linear growth in Q for every method; TSL ≫ TMA > SMA.");
+}

@@ -1,0 +1,39 @@
+//! Figure 20: space requirements vs k, IND and ANT.
+//!
+//! Expected shape: all methods grow with k; TSL consumes the most (the d
+//! extra sorted lists dominate); SMA slightly above TMA (dominance
+//! counters + skyband slack).
+
+use tkm_bench::table::fmt_mb;
+use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
+use tkm_datagen::DataDist;
+
+fn main() {
+    let scale = Scale::from_args();
+    let base = ExpParams::defaults(scale);
+    cli::header(
+        "Figure 20 — space requirements vs number of results k",
+        "Mouratidis et al., SIGMOD 2006, Figure 20 (a) IND, (b) ANT",
+        scale,
+        &base.summary(),
+    );
+
+    for dist in [DataDist::Ind, DataDist::Ant] {
+        let mut table = Table::new(&["k", "TSL [MB]", "TMA [MB]", "SMA [MB]"]);
+        for k in [1usize, 5, 10, 20, 50, 100] {
+            let p = ExpParams { k, dist, ..base };
+            let mut row = vec![k.to_string()];
+            for sel in EngineSel::ALL {
+                let m = tkm_bench::run_engine(sel, &p).expect("engine run");
+                row.push(fmt_mb(m.space_bytes));
+            }
+            table.row(row);
+        }
+        println!("--- {} ---", dist.label());
+        cli::emit(&table);
+    }
+    println!(
+        "shape check: space grows mildly with k; TSL uses the most memory \
+         (d sorted lists); SMA slightly above TMA."
+    );
+}

@@ -1,0 +1,73 @@
+//! §6 analysis vs measurement.
+//!
+//! Puts the paper's analytical model next to counters collected from the
+//! running engines: the recomputation probability bound
+//! `Pr_rec ≤ 1 − (1 − r/N)^k` against TMA's measured recomputations per
+//! query-cycle, the predicted T_TMA/T_SMA cost ratio against measured CPU
+//! ratios, and the skyband-size prediction (≈ k) against Table 2 numbers.
+
+use tkm_analysis::ModelParams;
+use tkm_bench::table::fmt_secs;
+use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let base = ExpParams::defaults(scale);
+    cli::header(
+        "Model vs measured — §6 analysis against engine counters",
+        "Mouratidis et al., SIGMOD 2006, Section 6",
+        scale,
+        &base.summary(),
+    );
+
+    let mut table = Table::new(&[
+        "k",
+        "Pr_rec bound",
+        "TMA recompute rate",
+        "T_TMA/T_SMA model",
+        "TMA/SMA measured",
+        "skyband len",
+    ]);
+    for k in [1usize, 5, 10, 20, 50] {
+        let p = ExpParams { k, ..base };
+        let model = ModelParams {
+            n: p.n as f64,
+            d: p.dims as f64,
+            r: p.r as f64,
+            q: p.q as f64,
+            k: k as f64,
+            delta: 1.0 / (p.grid_cells as f64).powf(1.0 / p.dims as f64).round(),
+        };
+        let tma = tkm_bench::run_engine(EngineSel::Tma, &p).expect("TMA run");
+        let sma = tkm_bench::run_engine(EngineSel::Sma, &p).expect("SMA run");
+        // Measured recomputations per query per cycle.
+        let rate = tma.recomputations as f64 / (p.q as f64 * p.ticks as f64);
+        table.row(vec![
+            k.to_string(),
+            format!("{:.3}", model.pr_rec()),
+            format!("{rate:.3}"),
+            format!("{:.2}", model.t_tma() / model.t_sma()),
+            format!("{:.2}", tma.cpu_seconds / sma.cpu_seconds),
+            format!("{:.1}", sma.avg_view_len),
+        ]);
+    }
+    cli::emit(&table);
+    println!(
+        "shape check: the measured TMA recompute rate stays below the \
+         Pr_rec bound and both climb with k; the measured TMA/SMA ratio \
+         moves with the model's (≥ 1, growing in k); skyband length ≈ k."
+    );
+
+    let m = ModelParams::default();
+    let mut summary = Table::new(&["quantity", "paper default"]);
+    summary.row(vec!["cells per query C".into(), format!("{:.1}", m.cells_per_query())]);
+    summary.row(vec!["tuples per cell".into(), format!("{:.1}", m.tuples_per_cell())]);
+    summary.row(vec!["Pr_rec".into(), format!("{:.3}", m.pr_rec())]);
+    summary.row(vec!["T_comp (ops)".into(), fmt_secs(m.t_comp())]);
+    summary.row(vec!["T_TMA (ops)".into(), format!("{:.0}", m.t_tma())]);
+    summary.row(vec!["T_SMA (ops)".into(), format!("{:.0}", m.t_sma())]);
+    summary.row(vec!["S_TMA (slots)".into(), format!("{:.0}", m.s_tma())]);
+    summary.row(vec!["S_SMA (slots)".into(), format!("{:.0}", m.s_sma())]);
+    println!("--- closed-form values at the paper's default setting ---");
+    cli::emit(&summary);
+}

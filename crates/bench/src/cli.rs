@@ -1,0 +1,31 @@
+//! Shared CLI plumbing for the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale quick|default|paper` — parameter preset (see [`crate::params`]);
+//! * `--csv` — additionally print the table as CSV.
+
+use crate::params::Scale;
+use crate::table::Table;
+
+/// Whether `--csv` was passed.
+pub fn csv_requested() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Prints the standard experiment header.
+pub fn header(experiment: &str, paper_ref: &str, scale: Scale, setting: &str) {
+    println!("== {experiment} ==");
+    println!("   reproduces: {paper_ref}");
+    println!("   scale: {scale:?}   setting: {setting}");
+    println!();
+}
+
+/// Prints a table (and its CSV form if requested).
+pub fn emit(table: &Table) {
+    println!("{}", table.render());
+    if csv_requested() {
+        println!("--- csv ---");
+        println!("{}", table.to_csv());
+    }
+}

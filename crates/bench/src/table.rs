@@ -1,0 +1,108 @@
+//! Plain-text table printer for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A simple right-aligned text table with an optional CSV dump.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let mut line = String::new();
+        for (w, h) in widths.iter().zip(&self.header) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.header.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats seconds with adaptive precision.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{s:.4}")
+    }
+}
+
+/// Formats bytes as MB.
+pub fn fmt_mb(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["k", "TSL", "SMA"]);
+        t.row(vec!["1".into(), "3.3".into(), "1.1".into()]);
+        t.row(vec!["100".into(), "113.2".into(), "104.6".into()]);
+        let s = t.render();
+        assert!(s.contains("k"));
+        assert!(s.lines().count() == 4);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("k,TSL,SMA\n"));
+        assert!(csv.contains("100,113.2,104.6"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(123.4), "123");
+        assert_eq!(fmt_secs(1.234), "1.23");
+        assert_eq!(fmt_secs(0.01234), "0.0123");
+        assert_eq!(fmt_mb(1024 * 1024), "1.00");
+    }
+}

@@ -1,0 +1,128 @@
+//! A small FxHash-style hasher for integer-keyed hash maps.
+//!
+//! The influence lists of the grid and the query tables of the engines are
+//! hash tables keyed by dense integer ids, and they sit on the hot path of
+//! every processing cycle. SipHash (the std default) is needlessly slow for
+//! this use; the classic Fx multiply-rotate hash is the standard choice in
+//! this situation. Re-implemented here (~40 lines of std-only code) instead
+//! of adding an external dependency — see DESIGN.md, dependency policy.
+//!
+//! Not DoS-resistant; keys are internally generated ids, never attacker
+//! controlled.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Seed from the FxHash scheme (64-bit golden-ratio constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher, byte-order independent for integer writes.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-integer keys: fold 8 bytes at a time.
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with the fast integer hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` with the fast integer hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_one(42u64), hash_one(42u64));
+        assert_eq!(hash_one("abc"), hash_one("abc"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Dense ids must not collide in a trivially bad way.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u64..10_000 {
+            seen.insert(hash_one(i));
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn byte_slices_with_different_lengths_differ() {
+        assert_ne!(hash_one([0u8; 3]), hash_one([0u8; 4]));
+    }
+}

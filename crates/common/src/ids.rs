@@ -1,0 +1,101 @@
+//! Identifier newtypes.
+//!
+//! `TupleId` is the *arrival sequence number* of a tuple. In both window
+//! kinds supported by the paper (count-based and time-based) tuples expire
+//! in first-in-first-out order, so the id order is also the expiry order;
+//! the skyband dominance test (`tkm-skyband`) relies on this.
+
+use std::fmt;
+
+/// Arrival sequence number of a tuple. Dense and monotonically increasing.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TupleId(pub u64);
+
+impl TupleId {
+    /// Next id in arrival order.
+    #[inline]
+    pub fn next(self) -> TupleId {
+        TupleId(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifier of a registered continuous query.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QueryId(pub u64);
+
+impl fmt::Debug for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Logical timestamp (processing-cycle granularity). Only time-based
+/// windows interpret the value; count-based windows ignore it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The timestamp `delta` ticks later.
+    #[inline]
+    pub fn advance(self, delta: u64) -> Timestamp {
+        Timestamp(self.0 + delta)
+    }
+
+    /// Saturating difference `self - other`.
+    #[inline]
+    pub fn since(self, other: Timestamp) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_id_order_is_arrival_order() {
+        let a = TupleId(3);
+        let b = a.next();
+        assert!(b > a);
+        assert_eq!(b, TupleId(4));
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp(10);
+        assert_eq!(t.advance(5), Timestamp(15));
+        assert_eq!(Timestamp(15).since(t), 5);
+        assert_eq!(t.since(Timestamp(15)), 0, "saturates instead of wrapping");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TupleId(7).to_string(), "t7");
+        assert_eq!(QueryId(2).to_string(), "q2");
+        assert_eq!(Timestamp(9).to_string(), "@9");
+    }
+}

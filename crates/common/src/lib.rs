@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Core vocabulary types shared by every crate in the top-k monitoring
+//! workspace.
+//!
+//! This crate deliberately has no dependencies: it defines the tuple/query
+//! identifiers, a totally ordered `f64` wrapper, a fast hasher for integer
+//! keys, the monotone scoring functions of the paper (linear, product,
+//! quadratic, plus an open `Custom` variant), axis-parallel rectangles and
+//! the workspace error type.
+
+pub mod error;
+pub mod fxhash;
+pub mod geom;
+pub mod ids;
+pub mod ordered;
+pub mod score;
+
+pub use error::{Result, TkmError};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use geom::Rect;
+pub use ids::{QueryId, Timestamp, TupleId};
+pub use ordered::OrderedF64;
+pub use score::{
+    LinearFn, Monotonicity, ProductFn, QuadraticFn, ScoreFn, Scored, ScoringFunction, MAX_DIMS,
+};

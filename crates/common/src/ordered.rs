@@ -1,0 +1,133 @@
+//! A totally ordered `f64` wrapper.
+//!
+//! Scores are `f64` values; the engines keep them in `BTreeSet`s, binary
+//! heaps and sorted vectors, all of which require `Ord`. `OrderedF64` uses
+//! [`f64::total_cmp`] and forbids NaN at construction time in debug builds
+//! (a NaN score would make every comparison-based invariant meaningless).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An `f64` with a total order (via `f64::total_cmp`).
+#[derive(Clone, Copy, Default)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Negative infinity: the identity for "take the maximum score".
+    pub const NEG_INFINITY: OrderedF64 = OrderedF64(f64::NEG_INFINITY);
+    /// Positive infinity.
+    pub const INFINITY: OrderedF64 = OrderedF64(f64::INFINITY);
+
+    /// Wraps a float. Panics on NaN in debug builds.
+    #[inline]
+    pub fn new(v: f64) -> OrderedF64 {
+        debug_assert!(!v.is_nan(), "scores must not be NaN");
+        OrderedF64(v)
+    }
+
+    /// The wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    #[inline]
+    fn from(v: f64) -> Self {
+        OrderedF64::new(v)
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    #[inline]
+    fn from(v: OrderedF64) -> Self {
+        v.0
+    }
+}
+
+impl PartialEq for OrderedF64 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for OrderedF64 {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Debug for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order() {
+        let a = OrderedF64::new(1.0);
+        let b = OrderedF64::new(2.0);
+        assert!(a < b);
+        assert!(OrderedF64::NEG_INFINITY < a);
+        assert!(b < OrderedF64::INFINITY);
+    }
+
+    #[test]
+    fn zero_signs_are_distinguished_consistently() {
+        // total_cmp puts -0.0 < +0.0; what matters is that the order is
+        // deterministic and Eq/Ord agree.
+        let neg = OrderedF64::new(-0.0);
+        let pos = OrderedF64::new(0.0);
+        assert!(neg < pos);
+        assert_ne!(neg, pos);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    #[cfg(debug_assertions)]
+    fn nan_rejected_in_debug() {
+        let _ = OrderedF64::new(f64::NAN);
+    }
+
+    #[test]
+    fn sorting_uses_total_order() {
+        let mut v = vec![
+            OrderedF64::new(3.0),
+            OrderedF64::new(-1.0),
+            OrderedF64::new(2.0),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.into_iter().map(OrderedF64::get).collect();
+        assert_eq!(raw, vec![-1.0, 2.0, 3.0]);
+    }
+}

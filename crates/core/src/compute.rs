@@ -1,0 +1,309 @@
+//! The top-k computation module (paper Figure 6).
+//!
+//! Visits grid cells in descending `maxscore` order without scoring every
+//! cell up front: starting from the best-corner cell, each processed cell
+//! en-heaps its `d` "one step worse" neighbours, whose maxscores bound all
+//! remaining cells (Figure 5b). The search stops when the best unprocessed
+//! cell cannot contain a tuple that beats the current k-th score, which
+//! makes the set of processed cells exactly the cells intersecting the
+//! query's influence region — the minimal set that must be book-kept.
+//!
+//! Differences from the paper's pseudo-code, both deliberate:
+//!
+//! * the loop continues while the heap key is `≥` the current k-th score
+//!   (the paper uses `>`); with the workspace tie-break (older tuple wins
+//!   equal scores) a boundary cell whose maxscore ties the threshold can
+//!   still contain result tuples, and the non-strict test keeps the engines
+//!   exact under ties at negligible extra cost;
+//! * with tie tracking enabled (SMA), candidates displaced at the k-th
+//!   boundary with equal score are collected so the skyband can be seeded
+//!   with the *full* k-skyband of tuples scoring at least the threshold.
+//!
+//! Constrained queries (§7) pass a constraint rectangle: the traversal is
+//! clipped to the cells overlapping it and points outside are filtered.
+
+use std::collections::BinaryHeap;
+
+use crate::result::TopList;
+use tkm_common::{OrderedF64, QueryId, Rect, ScoreFn, Scored, MAX_DIMS};
+use tkm_grid::{CellId, Grid, VisitStamps};
+use tkm_window::TupleLookup;
+
+/// Counters of one computation-module invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ComputeStats {
+    /// Cells de-heaped and processed.
+    pub cells_processed: u64,
+    /// Points examined in processed cells.
+    pub points_scanned: u64,
+    /// Cells pushed onto the heap.
+    pub heap_pushes: u64,
+}
+
+/// Result of one computation-module invocation.
+#[derive(Debug)]
+pub struct ComputeOutcome {
+    /// The top-k list (≤ k entries, best first).
+    pub top: TopList,
+    /// Candidates outside the top-k whose score ties the k-th score
+    /// (present only when tie tracking was requested).
+    pub boundary_ties: Vec<Scored>,
+    /// Cells left in the heap at termination: en-heaped but not processed.
+    /// They seed the influence-list clean-up walk (Figure 9, line 14).
+    pub frontier: Vec<CellId>,
+    /// Access counters.
+    pub stats: ComputeStats,
+}
+
+/// Runs the top-k computation. With `qid = Some(q)` — the monitoring path —
+/// `q` is registered in the influence list of every processed cell (which
+/// is why the grid is borrowed mutably); with `qid = None` the traversal is
+/// a side-effect-free *snapshot* query. `stamps` must belong to the same
+/// grid; its epoch is advanced and, after return, still marks every
+/// en-heaped cell — the clean-up walk relies on this.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_topk<L: TupleLookup>(
+    grid: &mut Grid,
+    stamps: &mut VisitStamps,
+    lookup: &L,
+    qid: Option<QueryId>,
+    f: &ScoreFn,
+    k: usize,
+    constraint: Option<&Rect>,
+    track_ties: bool,
+) -> ComputeOutcome {
+    debug_assert_eq!(grid.dims(), f.dims());
+    debug_assert_eq!(stamps.len(), grid.num_cells());
+    let dims = grid.dims();
+    let mut stats = ComputeStats::default();
+    let mut top = if track_ties {
+        TopList::with_tie_tracking(k)
+    } else {
+        TopList::new(k)
+    };
+
+    let range = constraint.map(|r| grid.cell_range(r));
+    let start = match &range {
+        Some(r) => grid.best_corner_in(r, f),
+        None => grid.best_corner(f),
+    };
+
+    // With a constraint the heap keys are clipped maxscores (cell ∩ R):
+    // tighter for boundary cells, and mandatory when `f` is only monotone
+    // inside R (piecewise-monotone pieces).
+    let cell_bound = |grid: &Grid, cell: CellId| match constraint {
+        Some(r) => grid.maxscore_in(cell, f, r),
+        None => grid.maxscore(cell, f),
+    };
+
+    let mut heap: BinaryHeap<(OrderedF64, CellId)> = BinaryHeap::new();
+    stamps.begin();
+    stamps.mark(start);
+    heap.push((OrderedF64::new(cell_bound(grid, start)), start));
+    stats.heap_pushes += 1;
+
+    while let Some(&(maxscore, cell)) = heap.peek() {
+        // Stop when even the best unprocessed cell cannot reach the k-th
+        // score (non-strict continue: ties may still matter).
+        if top.is_full() && maxscore.get() < top.threshold() {
+            break;
+        }
+        heap.pop();
+        stats.cells_processed += 1;
+
+        for id in grid.cell(cell).points().iter() {
+            stats.points_scanned += 1;
+            let coords = lookup
+                .coords(id)
+                .expect("grid must only index valid tuples");
+            if let Some(r) = constraint {
+                if !r.contains(coords) {
+                    continue;
+                }
+            }
+            top.offer(Scored::new(f.score(coords), id));
+        }
+        if let Some(q) = qid {
+            grid.cell_mut(cell).influence_insert(q);
+        }
+
+        for dim in 0..dims {
+            let next = match &range {
+                Some(r) => grid.step_worse_in(cell, dim, f, r),
+                None => grid.step_worse(cell, dim, f),
+            };
+            if let Some(n) = next {
+                if stamps.mark(n) {
+                    heap.push((OrderedF64::new(cell_bound(grid, n)), n));
+                    stats.heap_pushes += 1;
+                }
+            }
+        }
+    }
+
+    let boundary_ties = top.boundary_ties();
+    let frontier: Vec<CellId> = heap.into_iter().map(|(_, c)| c).collect();
+    ComputeOutcome {
+        top,
+        boundary_ties,
+        frontier,
+        stats,
+    }
+}
+
+/// Scratch buffers shared by the engines (avoids per-call allocation).
+#[derive(Debug)]
+pub struct ComputeScratch {
+    /// Reusable visited markers.
+    pub stamps: VisitStamps,
+    /// Reusable coordinate buffer.
+    pub coords: [f64; MAX_DIMS],
+}
+
+impl ComputeScratch {
+    /// Creates scratch state for a grid with `num_cells` cells.
+    pub fn new(num_cells: usize) -> ComputeScratch {
+        ComputeScratch {
+            stamps: VisitStamps::new(num_cells),
+            coords: [0.0; MAX_DIMS],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkm_common::{Timestamp, TupleId};
+    use tkm_grid::CellMode;
+    use tkm_window::{Window, WindowSpec};
+
+    fn setup(points: &[[f64; 2]], per_dim: usize) -> (Grid, Window, VisitStamps) {
+        let mut grid = Grid::new(2, per_dim, CellMode::Fifo).unwrap();
+        let mut w = Window::new(2, WindowSpec::Count(points.len().max(1))).unwrap();
+        for p in points {
+            let id = w.insert(p, Timestamp(0)).unwrap();
+            grid.insert_point(p, id);
+        }
+        let stamps = VisitStamps::new(grid.num_cells());
+        (grid, w, stamps)
+    }
+
+    fn naive_topk(points: &[[f64; 2]], f: &ScoreFn, k: usize, r: Option<&Rect>) -> Vec<Scored> {
+        let mut all: Vec<Scored> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| r.is_none_or(|r| r.contains(&p[..])))
+            .map(|(i, p)| Scored::new(f.score(&p[..]), TupleId(i as u64)))
+            .collect();
+        all.sort_by(|a, b| b.cmp(a));
+        all.truncate(k);
+        all
+    }
+
+    /// Figure 5(a): top-1 with f = x1 + 2·x2 in a 7×7 grid; the search must
+    /// process only the cells intersecting the influence region.
+    #[test]
+    fn figure5_processes_minimal_cells() {
+        let points = [[0.55, 0.90], [0.90, 0.55]]; // p1 (winner), p2
+        let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
+        let (mut grid, w, mut stamps) = setup(&points, 7);
+        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(0)), &f, 1, None, false);
+        assert_eq!(out.top.as_slice(), &naive_topk(&points, &f, 1, None)[..]);
+        assert_eq!(out.top.as_slice()[0].id, TupleId(0));
+        // score(p1) = 0.55 + 1.8 = 2.35. Cells with maxscore ≥ 2.35 in the
+        // 7×7 grid: count them directly.
+        let expected: u64 = (0..49)
+            .filter(|i| grid.maxscore(CellId(*i), &f) >= 2.35)
+            .count() as u64;
+        assert_eq!(out.stats.cells_processed, expected);
+        // Every processed cell carries the influence entry.
+        let listed = grid
+            .cells()
+            .filter(|(_, c)| c.influence_contains(QueryId(0)))
+            .count() as u64;
+        assert_eq!(listed, expected);
+        // Frontier cells were en-heaped but not processed.
+        for c in &out.frontier {
+            assert!(!grid.cell(*c).influence_contains(QueryId(0)));
+            assert!(stamps.is_marked(*c));
+        }
+    }
+
+    #[test]
+    fn empty_window_processes_everything_and_finds_nothing() {
+        let (mut grid, w, mut stamps) = setup(&[], 4);
+        let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
+        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(3)), &f, 2, None, false);
+        assert!(out.top.is_empty());
+        assert_eq!(out.stats.cells_processed, 16, "deficient search floods");
+        assert!(out.frontier.is_empty());
+    }
+
+    #[test]
+    fn mixed_monotonicity_figure7a() {
+        // f = x1 - x2, top-2 (Figure 7a): best points have large x1,
+        // small x2.
+        let points = [[0.95, 0.1], [0.8, 0.05], [0.3, 0.9], [0.5, 0.4]];
+        let f = ScoreFn::linear(vec![1.0, -1.0]).unwrap();
+        let (mut grid, w, mut stamps) = setup(&points, 7);
+        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(1)), &f, 2, None, false);
+        assert_eq!(out.top.as_slice(), &naive_topk(&points, &f, 2, None)[..]);
+    }
+
+    #[test]
+    fn product_function_figure7b() {
+        let points = [[0.9, 0.8], [0.99, 0.2], [0.5, 0.5]];
+        let f = ScoreFn::product(vec![0.0, 0.0]).unwrap();
+        let (mut grid, w, mut stamps) = setup(&points, 7);
+        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(1)), &f, 1, None, false);
+        assert_eq!(out.top.as_slice()[0].id, TupleId(0), "0.72 beats 0.198");
+    }
+
+    /// Figure 12: the constrained search starts at the best cell inside R
+    /// and ignores outside points (p1 in the figure).
+    #[test]
+    fn constrained_query_figure12() {
+        let points = [[0.55, 0.95], [0.62, 0.68], [0.9, 0.9]];
+        let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
+        let r = Rect::new(vec![0.5, 0.45], vec![0.8, 0.75]).unwrap();
+        let (mut grid, w, mut stamps) = setup(&points, 7);
+        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(2)), &f, 1, Some(&r), false);
+        assert_eq!(out.top.as_slice(), &naive_topk(&points, &f, 1, Some(&r))[..]);
+        assert_eq!(out.top.as_slice()[0].id, TupleId(1), "p2 wins inside R");
+        // Cells outside the constraint range are never touched.
+        let range = grid.cell_range(&r);
+        for (cid, cell) in grid.cells() {
+            if cell.influence_contains(QueryId(2)) {
+                let cc = grid.cell_coords(cid);
+                for ((c, lo), hi) in cc.iter().zip(&range.0).zip(&range.1).take(2) {
+                    assert!(c >= lo && c <= hi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tie_tracking_collects_boundary_ties() {
+        // Four points, three tie at the k-th score.
+        let points = [[0.5, 0.5], [0.6, 0.4], [0.4, 0.6], [0.9, 0.9]];
+        let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
+        let (mut grid, w, mut stamps) = setup(&points, 4);
+        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(0)), &f, 2, None, true);
+        // Top-2: id3 (1.8), id0 (1.0, oldest of the ties).
+        let ids: Vec<u64> = out.top.as_slice().iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![3, 0]);
+        let tie_ids: Vec<u64> = out.boundary_ties.iter().map(|e| e.id.0).collect();
+        assert_eq!(tie_ids, vec![1, 2], "both 1.0-ties outside the result");
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let points = [[0.2, 0.3], [0.8, 0.1]];
+        let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
+        let (mut grid, w, mut stamps) = setup(&points, 4);
+        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(0)), &f, 5, None, false);
+        assert_eq!(out.top.len(), 2);
+        assert!(!out.top.is_full());
+        assert!(out.frontier.is_empty(), "deficient search floods the grid");
+    }
+}

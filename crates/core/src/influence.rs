@@ -1,0 +1,195 @@
+//! Influence-list clean-up walks (paper §4.3, Figure 9 lines 14–21).
+//!
+//! Influence lists are maintained lazily: result improvements shrink a
+//! query's influence region without touching the lists, so stale entries
+//! accumulate in cells between the old and the new region boundary. After
+//! every from-scratch computation the stale band is swept with a list-based
+//! walk: seeded with the cells left in the computation heap (the *frontier*
+//! — en-heaped but not processed, i.e. just below the new region), the walk
+//! removes the query from a cell and expands to the cell's worse
+//! neighbours only where the query was actually registered. Because
+//! influence regions are staircase-shaped (closed toward the preferred
+//! corner), this reaches every stale cell and stops immediately at the old
+//! boundary.
+//!
+//! The same walk with the best-corner cell as seed clears *all* entries of
+//! a terminating query.
+
+use tkm_common::{QueryId, Rect, ScoreFn};
+use tkm_grid::{CellId, Grid, VisitStamps};
+
+/// Sweeps stale influence-list entries of `qid` downward from `seeds`.
+///
+/// `stamps` must still be in the epoch of the preceding computation (its
+/// marks prevent the walk from re-entering the freshly processed region).
+/// Returns the number of cells visited.
+pub fn cleanup_from_frontier(
+    grid: &mut Grid,
+    stamps: &mut VisitStamps,
+    qid: QueryId,
+    f: &ScoreFn,
+    constraint: Option<&Rect>,
+    seeds: &[CellId],
+) -> u64 {
+    let range = constraint.map(|r| grid.cell_range(r));
+    let mut list: Vec<CellId> = seeds.to_vec();
+    let mut visited = 0;
+    while let Some(cell) = list.pop() {
+        visited += 1;
+        if !grid.cell_mut(cell).influence_remove(qid) {
+            // The query never influenced this cell: nothing below it can be
+            // stale either (influence regions are upward-closed).
+            continue;
+        }
+        push_worse_neighbours(grid, stamps, f, range.as_ref(), cell, &mut list);
+    }
+    visited
+}
+
+/// Removes `qid` from every influence list (query termination). Walks from
+/// the query's best-corner cell; returns the number of cells visited.
+pub fn remove_query_walk(
+    grid: &mut Grid,
+    stamps: &mut VisitStamps,
+    qid: QueryId,
+    f: &ScoreFn,
+    constraint: Option<&Rect>,
+) -> u64 {
+    let range = constraint.map(|r| grid.cell_range(r));
+    let start = match &range {
+        Some(r) => grid.best_corner_in(r, f),
+        None => grid.best_corner(f),
+    };
+    stamps.begin();
+    stamps.mark(start);
+    let mut list = vec![start];
+    let mut visited = 0;
+    while let Some(cell) = list.pop() {
+        visited += 1;
+        if !grid.cell_mut(cell).influence_remove(qid) {
+            continue;
+        }
+        push_worse_neighbours(grid, stamps, f, range.as_ref(), cell, &mut list);
+    }
+    visited
+}
+
+type CellRange = ([usize; tkm_common::MAX_DIMS], [usize; tkm_common::MAX_DIMS]);
+
+fn push_worse_neighbours(
+    grid: &Grid,
+    stamps: &mut VisitStamps,
+    f: &ScoreFn,
+    range: Option<&CellRange>,
+    cell: CellId,
+    list: &mut Vec<CellId>,
+) {
+    for dim in 0..grid.dims() {
+        let next = match range {
+            Some(r) => grid.step_worse_in(cell, dim, f, r),
+            None => grid.step_worse(cell, dim, f),
+        };
+        if let Some(n) = next {
+            if stamps.mark(n) {
+                list.push(n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute::compute_topk;
+    use tkm_common::{QueryId, Timestamp};
+    use tkm_grid::CellMode;
+    use tkm_window::{Window, WindowSpec};
+
+    fn listed_cells(grid: &Grid, qid: QueryId) -> Vec<u32> {
+        grid.cells()
+            .filter(|(_, c)| c.influence_contains(qid))
+            .map(|(id, _)| id.0)
+            .collect()
+    }
+
+    /// After a recomputation with a *higher* threshold, the frontier walk
+    /// must remove exactly the stale band: cells of the old region that are
+    /// not in the new one.
+    #[test]
+    fn frontier_walk_removes_stale_band() {
+        let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
+        let mut grid = Grid::new(2, 7, CellMode::Fifo).unwrap();
+        let mut stamps = VisitStamps::new(grid.num_cells());
+        let mut w = Window::new(2, WindowSpec::Count(16)).unwrap();
+        let q = QueryId(9);
+
+        // Weak initial point → large influence region.
+        let id0 = w.insert(&[0.3, 0.3], Timestamp(0)).unwrap();
+        grid.insert_point(&[0.3, 0.3], id0);
+        let out = compute_topk(&mut grid, &mut stamps, &w, Some(q), &f, 1, None, false);
+        let old_region = listed_cells(&grid, q);
+        assert!(old_region.len() > 20, "weak top-1 floods most of the grid");
+        let _ = out;
+
+        // A strong point arrives → much smaller region after recompute.
+        let id1 = w.insert(&[0.9, 0.9], Timestamp(1)).unwrap();
+        grid.insert_point(&[0.9, 0.9], id1);
+        let out = compute_topk(&mut grid, &mut stamps, &w, Some(q), &f, 1, None, false);
+        cleanup_from_frontier(&mut grid, &mut stamps, q, &f, None, &out.frontier);
+
+        // Remaining entries = exactly the cells with maxscore ≥ new
+        // threshold (the new influence region).
+        let threshold = out.top.threshold();
+        let want: Vec<u32> = (0..grid.num_cells() as u32)
+            .filter(|i| grid.maxscore(CellId(*i), &f) >= threshold)
+            .collect();
+        let mut got = listed_cells(&grid, q);
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn removal_walk_clears_everything() {
+        let f = ScoreFn::linear(vec![1.0, -0.5]).unwrap();
+        let mut grid = Grid::new(2, 6, CellMode::Fifo).unwrap();
+        let mut stamps = VisitStamps::new(grid.num_cells());
+        let mut w = Window::new(2, WindowSpec::Count(8)).unwrap();
+        let q = QueryId(4);
+        for (i, p) in [[0.2, 0.9], [0.7, 0.4], [0.5, 0.5]].iter().enumerate() {
+            let id = w.insert(p, Timestamp(i as u64)).unwrap();
+            grid.insert_point(p, id);
+        }
+        compute_topk(&mut grid, &mut stamps, &w, Some(q), &f, 2, None, false);
+        assert!(!listed_cells(&grid, q).is_empty());
+        remove_query_walk(&mut grid, &mut stamps, q, &f, None);
+        assert!(listed_cells(&grid, q).is_empty());
+    }
+
+    #[test]
+    fn removal_walk_respects_other_queries() {
+        let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
+        let mut grid = Grid::new(2, 5, CellMode::Fifo).unwrap();
+        let mut stamps = VisitStamps::new(grid.num_cells());
+        let mut w = Window::new(2, WindowSpec::Count(4)).unwrap();
+        let id = w.insert(&[0.4, 0.4], Timestamp(0)).unwrap();
+        grid.insert_point(&[0.4, 0.4], id);
+        compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(1)), &f, 1, None, false);
+        compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(2)), &f, 1, None, false);
+        remove_query_walk(&mut grid, &mut stamps, QueryId(1), &f, None);
+        assert!(listed_cells(&grid, QueryId(1)).is_empty());
+        assert!(!listed_cells(&grid, QueryId(2)).is_empty());
+    }
+
+    #[test]
+    fn constrained_removal_walk() {
+        let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
+        let r = Rect::new(vec![0.2, 0.2], vec![0.6, 0.6]).unwrap();
+        let mut grid = Grid::new(2, 5, CellMode::Fifo).unwrap();
+        let mut stamps = VisitStamps::new(grid.num_cells());
+        let w = Window::new(2, WindowSpec::Count(4)).unwrap();
+        compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(1)), &f, 1, Some(&r), false);
+        assert!(!listed_cells(&grid, QueryId(1)).is_empty());
+        remove_query_walk(&mut grid, &mut stamps, QueryId(1), &f, Some(&r));
+        assert!(listed_cells(&grid, QueryId(1)).is_empty());
+    }
+}

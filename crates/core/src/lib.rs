@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! Continuous top-k monitoring over sliding windows — the core engines.
+//!
+//! This crate implements the primary contribution of *Mouratidis, Bakiras,
+//! Papadias: "Continuous Monitoring of Top-k Queries over Sliding Windows"
+//! (SIGMOD 2006)*:
+//!
+//! * the **top-k computation module** ([`compute`]) that processes the
+//!   minimal set of grid cells in descending `maxscore` order;
+//! * **TMA** ([`tma::TmaMonitor`]) — exact top-k lists, recomputed from
+//!   scratch when results expire;
+//! * **SMA** ([`sma::SmaMonitor`]) — k-skyband maintenance in (score, time)
+//!   space that pre-computes future results and (nearly) never recomputes;
+//! * lazy **influence-list** book-keeping with frontier clean-up walks
+//!   ([`influence`]);
+//! * the §7 extensions: **constrained** top-k queries ([`query::Query`]),
+//!   **threshold** monitoring ([`threshold::ThresholdMonitor`]) and the
+//!   explicit-deletion **update-stream** model
+//!   ([`update_stream::UpdateStreamTma`]);
+//! * a **brute-force oracle** ([`oracle::OracleMonitor`]) and a common
+//!   engine trait ([`engine::ContinuousTopK`]) under which TMA, SMA, the
+//!   TSL baseline and the oracle are interchangeable — and verified to
+//!   report identical results;
+//! * a high-level [`server::MonitorServer`] facade.
+
+pub mod compute;
+pub mod engine;
+pub mod influence;
+pub mod oracle;
+pub mod parallel;
+pub mod piecewise;
+pub mod query;
+pub mod result;
+pub mod server;
+pub mod sma;
+pub mod stats;
+pub mod threshold;
+pub mod tma;
+pub mod update_stream;
+
+pub use compute::{compute_topk, ComputeOutcome, ComputeScratch, ComputeStats};
+pub use engine::{build_engine, ContinuousTopK, EngineKind};
+pub use oracle::OracleMonitor;
+pub use parallel::ParallelMonitor;
+pub use piecewise::{PiecewiseMonitor, PiecewiseQuery};
+pub use query::Query;
+pub use result::{ResultDelta, TopList};
+pub use server::{MonitorServer, ServerConfig};
+pub use sma::SmaMonitor;
+pub use stats::EngineStats;
+pub use threshold::ThresholdMonitor;
+pub use tma::{GridSpec, TmaMonitor};
+pub use update_stream::{UpdateOp, UpdateStreamTma};

@@ -1,0 +1,162 @@
+//! Brute-force reference engine.
+//!
+//! Recomputes every query's result by scanning the whole window each tick —
+//! `O(N·Q)` per cycle and therefore useless in production, but it is the
+//! ground truth against which TMA, SMA and TSL are validated in the
+//! integration tests (all four must report identical results on every tick
+//! of every stream).
+
+use std::collections::BTreeMap;
+
+use crate::query::Query;
+use crate::tma::validate_arrivals;
+use tkm_common::{QueryId, Result, Scored, Timestamp, TkmError};
+use tkm_window::{Window, WindowSpec};
+
+#[derive(Debug)]
+struct OracleQuery {
+    query: Query,
+    result: Vec<Scored>,
+}
+
+/// Ground-truth continuous top-k monitor (full rescan per tick).
+#[derive(Debug)]
+pub struct OracleMonitor {
+    window: Window,
+    queries: BTreeMap<QueryId, OracleQuery>,
+}
+
+impl OracleMonitor {
+    /// Creates a monitor over `dims`-dimensional tuples.
+    pub fn new(dims: usize, window: WindowSpec) -> Result<OracleMonitor> {
+        Ok(OracleMonitor {
+            window: Window::new(dims, window)?,
+            queries: BTreeMap::new(),
+        })
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.window.dims()
+    }
+
+    /// The underlying window (read access).
+    #[inline]
+    pub fn window(&self) -> &Window {
+        &self.window
+    }
+
+    fn scan(window: &Window, query: &Query) -> Vec<Scored> {
+        let mut all: Vec<Scored> = window
+            .iter()
+            .filter(|(_, c)| query.constraint.as_ref().is_none_or(|r| r.contains(c)))
+            .map(|(id, c)| Scored::new(query.f.score(c), id))
+            .collect();
+        all.sort_by(|a, b| b.cmp(a));
+        all.truncate(query.k);
+        all
+    }
+
+    /// Registers a query and computes its initial result.
+    pub fn register_query(&mut self, id: QueryId, query: Query) -> Result<()> {
+        if query.dims() != self.dims() {
+            return Err(TkmError::DimensionMismatch {
+                expected: self.dims(),
+                got: query.dims(),
+            });
+        }
+        if self.queries.contains_key(&id) {
+            return Err(TkmError::DuplicateQuery(id));
+        }
+        let result = Self::scan(&self.window, &query);
+        self.queries.insert(id, OracleQuery { query, result });
+        Ok(())
+    }
+
+    /// Removes a query.
+    pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
+        self.queries
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(TkmError::UnknownQuery(id))
+    }
+
+    /// The current top-k result, best first.
+    pub fn result(&self, id: QueryId) -> Result<&[Scored]> {
+        self.queries
+            .get(&id)
+            .map(|q| q.result.as_slice())
+            .ok_or(TkmError::UnknownQuery(id))
+    }
+
+    /// One-shot (snapshot) top-k over the current window contents.
+    pub fn snapshot(&self, query: &Query) -> Result<Vec<Scored>> {
+        if query.dims() != self.dims() {
+            return Err(TkmError::DimensionMismatch {
+                expected: self.dims(),
+                got: query.dims(),
+            });
+        }
+        Ok(Self::scan(&self.window, query))
+    }
+
+    /// Executes one processing cycle.
+    pub fn tick(&mut self, now: Timestamp, arrivals: &[f64]) -> Result<()> {
+        let dims = self.dims();
+        validate_arrivals(dims, arrivals)?;
+        for coords in arrivals.chunks_exact(dims) {
+            self.window.insert(coords, now)?;
+        }
+        self.window.drain_expired(now, |_, _| {});
+        for q in self.queries.values_mut() {
+            q.result = Self::scan(&self.window, &q.query);
+        }
+        Ok(())
+    }
+
+    /// Deep size estimate in bytes.
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.window.space_bytes()
+            + self
+                .queries
+                .values()
+                .map(|q| {
+                    std::mem::size_of::<OracleQuery>()
+                        + q.result.capacity() * std::mem::size_of::<Scored>()
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkm_common::ScoreFn;
+
+    #[test]
+    fn basic_monitoring() {
+        let mut m = OracleMonitor::new(2, WindowSpec::Count(3)).unwrap();
+        let q = Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 2).unwrap();
+        m.register_query(QueryId(0), q).unwrap();
+        m.tick(Timestamp(0), &[0.1, 0.1, 0.9, 0.9, 0.5, 0.5]).unwrap();
+        let r = m.result(QueryId(0)).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].score.get(), 1.8);
+        // Window capacity 3: pushing two more evicts the first two.
+        m.tick(Timestamp(1), &[0.2, 0.2, 0.3, 0.3]).unwrap();
+        let r = m.result(QueryId(0)).unwrap();
+        assert_eq!(r[0].score.get(), 1.0, "0.5+0.5 survived, 0.9+0.9 expired");
+    }
+
+    #[test]
+    fn query_lifecycle() {
+        let mut m = OracleMonitor::new(1, WindowSpec::Count(2)).unwrap();
+        let q = Query::top_k(ScoreFn::linear(vec![1.0]).unwrap(), 1).unwrap();
+        m.register_query(QueryId(1), q).unwrap();
+        assert!(m.result(QueryId(1)).unwrap().is_empty());
+        m.remove_query(QueryId(1)).unwrap();
+        assert!(m.result(QueryId(1)).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Query-sharded parallel monitoring.
+//!
+//! The paper's server is single-threaded and CPU-bound, and its per-cycle
+//! cost is essentially linear in the number of queries `Q` (Figure 18).
+//! That makes *query sharding* the natural scale-out: run `S` independent
+//! engine replicas, assign each query to one replica, and drive all
+//! replicas with the same arrival batches from one thread pool. Each shard
+//! maintains its own window and grid, so memory grows `S`-fold while the
+//! per-core query load drops `S`-fold — the right trade for the paper's
+//! setting, where tuple storage is megabytes but CPU is the bottleneck.
+//!
+//! Shards are plain engines ([`crate::TmaMonitor`], [`crate::SmaMonitor`],
+//! …), so every correctness property of the single-threaded engines
+//! carries over verbatim; the integration tests assert that a sharded
+//! monitor reports exactly the results of an unsharded one.
+
+use std::collections::BTreeMap;
+
+use crate::engine::ContinuousTopK;
+use crate::query::Query;
+use tkm_common::{QueryId, Result, Scored, Timestamp, TkmError};
+
+/// A pool of engine replicas with queries sharded across them.
+pub struct ParallelMonitor<E> {
+    shards: Vec<E>,
+    /// Which shard serves each query.
+    assignment: BTreeMap<QueryId, usize>,
+    /// Queries per shard (for balanced placement).
+    load: Vec<usize>,
+}
+
+impl<E: ContinuousTopK + Send> ParallelMonitor<E> {
+    /// Builds a pool from pre-constructed engine replicas (all must share
+    /// the same dimensionality and window configuration).
+    pub fn new(shards: Vec<E>) -> Result<ParallelMonitor<E>> {
+        if shards.is_empty() {
+            return Err(TkmError::InvalidParameter(
+                "ParallelMonitor: at least one shard required".into(),
+            ));
+        }
+        let dims = shards[0].dims();
+        if shards.iter().any(|s| s.dims() != dims) {
+            return Err(TkmError::InvalidParameter(
+                "ParallelMonitor: shards disagree on dimensionality".into(),
+            ));
+        }
+        let load = vec![0; shards.len()];
+        Ok(ParallelMonitor {
+            shards,
+            assignment: BTreeMap::new(),
+            load,
+        })
+    }
+
+    /// Builds a pool of `n` replicas from a constructor closure.
+    pub fn with_replicas(n: usize, mut build: impl FnMut() -> Result<E>) -> Result<ParallelMonitor<E>> {
+        let shards: Result<Vec<E>> = (0..n).map(|_| build()).collect();
+        ParallelMonitor::new(shards?)
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Dimensionality of the monitored stream.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.shards[0].dims()
+    }
+
+    /// Registers a query on the least-loaded shard.
+    pub fn register_query(&mut self, id: QueryId, query: Query) -> Result<()> {
+        if self.assignment.contains_key(&id) {
+            return Err(TkmError::DuplicateQuery(id));
+        }
+        let shard = self
+            .load
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| **l)
+            .map(|(i, _)| i)
+            .expect("at least one shard");
+        self.shards[shard].register_query(id, query)?;
+        self.assignment.insert(id, shard);
+        self.load[shard] += 1;
+        Ok(())
+    }
+
+    /// Terminates a query.
+    pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
+        let shard = self
+            .assignment
+            .remove(&id)
+            .ok_or(TkmError::UnknownQuery(id))?;
+        self.load[shard] -= 1;
+        self.shards[shard].remove_query(id)
+    }
+
+    /// The current top-k result of a query, best first.
+    pub fn result(&self, id: QueryId) -> Result<Vec<Scored>> {
+        let shard = *self.assignment.get(&id).ok_or(TkmError::UnknownQuery(id))?;
+        self.shards[shard].result(id)
+    }
+
+    /// Executes one processing cycle on every shard in parallel. All
+    /// shards consume the same arrival batch, so their windows stay
+    /// identical; only their query sets differ.
+    pub fn tick(&mut self, now: Timestamp, arrivals: &[f64]) -> Result<()> {
+        let mut outcomes: Vec<Result<()>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|shard| scope.spawn(move || shard.tick(now, arrivals)))
+                .collect();
+            outcomes = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread must not panic"))
+                .collect();
+        });
+        outcomes.into_iter().collect()
+    }
+
+    /// Deep size estimate across all shards (memory is replicated; this is
+    /// the price of sharding).
+    pub fn space_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.space_bytes()).sum()
+    }
+
+    /// Queries per shard, for observability.
+    pub fn shard_loads(&self) -> &[usize] {
+        &self.load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sma::SmaMonitor;
+    use crate::tma::GridSpec;
+    use tkm_common::ScoreFn;
+    use tkm_window::WindowSpec;
+
+    fn build_sma() -> Result<SmaMonitor> {
+        SmaMonitor::new(2, WindowSpec::Count(50), GridSpec::PerDim(5))
+    }
+
+    fn lcg_stream(seed: u64, n: usize, dims: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
+        let mut out = Vec::with_capacity(n * dims);
+        for _ in 0..n * dims {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            out.push(((state >> 11) as f64 / (1u64 << 53) as f64).clamp(0.0, 1.0));
+        }
+        out
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(ParallelMonitor::<SmaMonitor>::new(vec![]).is_err());
+        let mixed = vec![
+            SmaMonitor::new(2, WindowSpec::Count(10), GridSpec::PerDim(4)).unwrap(),
+            SmaMonitor::new(3, WindowSpec::Count(10), GridSpec::PerDim(4)).unwrap(),
+        ];
+        assert!(ParallelMonitor::new(mixed).is_err());
+    }
+
+    #[test]
+    fn matches_unsharded_engine() {
+        let mut sharded = ParallelMonitor::with_replicas(3, build_sma).unwrap();
+        let mut single = build_sma().unwrap();
+        let queries: Vec<Query> = (0..7)
+            .map(|i| {
+                Query::top_k(
+                    ScoreFn::linear(vec![1.0 + i as f64 * 0.3, 2.0 - i as f64 * 0.2]).unwrap(),
+                    3,
+                )
+                .unwrap()
+            })
+            .collect();
+        for (i, q) in queries.iter().enumerate() {
+            sharded.register_query(QueryId(i as u64), q.clone()).unwrap();
+            single.register_query(QueryId(i as u64), q.clone()).unwrap();
+        }
+        // Balanced placement: 7 queries over 3 shards → loads 3/2/2.
+        let mut loads = sharded.shard_loads().to_vec();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![2, 2, 3]);
+
+        for tick in 0..30u64 {
+            let batch = lcg_stream(tick + 1, 8, 2);
+            sharded.tick(Timestamp(tick), &batch).unwrap();
+            single.tick(Timestamp(tick), &batch).unwrap();
+            for i in 0..queries.len() {
+                let id = QueryId(i as u64);
+                assert_eq!(
+                    sharded.result(id).unwrap(),
+                    single.result(id).unwrap(),
+                    "query {id} diverged at tick {tick}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_churn_rebalances() {
+        let mut m = ParallelMonitor::with_replicas(2, build_sma).unwrap();
+        let q = |w: f64| Query::top_k(ScoreFn::linear(vec![w, 1.0]).unwrap(), 2).unwrap();
+        m.register_query(QueryId(0), q(0.5)).unwrap();
+        m.register_query(QueryId(1), q(1.5)).unwrap();
+        assert!(matches!(
+            m.register_query(QueryId(0), q(1.0)),
+            Err(TkmError::DuplicateQuery(_))
+        ));
+        m.remove_query(QueryId(0)).unwrap();
+        assert!(m.remove_query(QueryId(0)).is_err());
+        assert!(m.result(QueryId(0)).is_err());
+        // The freed slot is reused by the next registration.
+        m.register_query(QueryId(2), q(0.7)).unwrap();
+        let mut loads = m.shard_loads().to_vec();
+        loads.sort_unstable();
+        assert_eq!(loads, vec![1, 1]);
+        m.tick(Timestamp(0), &[0.4, 0.6]).unwrap();
+        assert_eq!(m.result(QueryId(2)).unwrap().len(), 1);
+    }
+}

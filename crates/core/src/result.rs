@@ -1,0 +1,332 @@
+//! Bounded top-k result lists.
+//!
+//! TMA stores, per query, the exact current top-k set ordered best-first
+//! (`q.top_list` in the paper, with `q.top_score` = score of its k-th
+//! element). The list is tiny (k ≤ a few hundred), so a sorted vector with
+//! binary-search insertion is the right structure.
+
+use tkm_common::{OrderedF64, QueryId, Scored, TupleId};
+
+/// The change of one query's result across a processing cycle — the
+/// "changes reported to the client" of Figures 9 and 11.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultDelta {
+    /// The query whose result changed.
+    pub query: QueryId,
+    /// Tuples that entered the top-k, best first.
+    pub added: Vec<Scored>,
+    /// Tuples that left the top-k, best first.
+    pub removed: Vec<Scored>,
+}
+
+impl ResultDelta {
+    /// Whether nothing actually changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Diffs two best-first result lists. Scores are immutable per tuple,
+    /// so a single merge pass over the sorted lists suffices.
+    pub fn diff(query: QueryId, old: &[Scored], new: &[Scored]) -> ResultDelta {
+        debug_assert!(old.windows(2).all(|w| w[0] > w[1]));
+        debug_assert!(new.windows(2).all(|w| w[0] > w[1]));
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < old.len() && j < new.len() {
+            match new[j].cmp(&old[i]) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    added.push(new[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    removed.push(old[i]);
+                    i += 1;
+                }
+            }
+        }
+        added.extend_from_slice(&new[j..]);
+        removed.extend_from_slice(&old[i..]);
+        ResultDelta {
+            query,
+            added,
+            removed,
+        }
+    }
+}
+
+/// A best-first list of at most `k` scored tuples.
+#[derive(Clone, Debug)]
+pub struct TopList {
+    k: usize,
+    entries: Vec<Scored>,
+    /// Evicted/rejected boundary candidates collected by the computation
+    /// module when tie tracking is enabled (see `compute`).
+    pub(crate) pool: Vec<Scored>,
+    track_ties: bool,
+}
+
+impl TopList {
+    /// Creates an empty list with capacity `k ≥ 1`.
+    pub fn new(k: usize) -> TopList {
+        debug_assert!(k > 0);
+        TopList {
+            k,
+            entries: Vec::with_capacity(k),
+            pool: Vec::new(),
+            track_ties: false,
+        }
+    }
+
+    /// Creates a list that additionally collects candidates displaced at
+    /// the k-th boundary (needed by SMA's skyband seeding under ties).
+    pub fn with_tie_tracking(k: usize) -> TopList {
+        let mut t = TopList::new(k);
+        t.track_ties = true;
+        t
+    }
+
+    /// Result size bound.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current number of entries (≤ k).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the list holds `k` entries.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.k
+    }
+
+    /// The entries, best first.
+    #[inline]
+    pub fn as_slice(&self) -> &[Scored] {
+        &self.entries
+    }
+
+    /// The k-th (worst retained) entry when full.
+    #[inline]
+    pub fn kth(&self) -> Option<Scored> {
+        self.is_full().then(|| self.entries[self.k - 1])
+    }
+
+    /// The score below which a tuple cannot affect the result
+    /// (`q.top_score`): the k-th score when full, −∞ otherwise.
+    #[inline]
+    pub fn threshold(&self) -> f64 {
+        self.kth().map_or(f64::NEG_INFINITY, |s| s.score.get())
+    }
+
+    /// Whether a tuple id is present (O(k) scan).
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Offers a candidate; inserts it if it belongs in the top-k, evicting
+    /// the current k-th if full. Returns `true` when the list changed.
+    pub fn offer(&mut self, s: Scored) -> bool {
+        if self.is_full() {
+            let worst = self.entries[self.k - 1];
+            if s <= worst {
+                // Rejected at the boundary: remember exact score ties for
+                // skyband seeding.
+                if self.track_ties && s.score == worst.score {
+                    self.pool.push(s);
+                }
+                return false;
+            }
+            let pos = self.entries.partition_point(|e| *e > s);
+            self.entries.insert(pos, s);
+            let evicted = self.entries.pop().expect("len = k + 1");
+            if self.track_ties {
+                self.pool.push(evicted);
+                self.prune_pool();
+            }
+            true
+        } else {
+            let pos = self.entries.partition_point(|e| *e > s);
+            self.entries.insert(pos, s);
+            true
+        }
+    }
+
+    /// Removes an entry by id; returns `true` if present.
+    pub fn remove(&mut self, id: TupleId) -> bool {
+        match self.entries.iter().position(|e| e.id == id) {
+            Some(pos) => {
+                self.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clears entries (and the tie pool).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.pool.clear();
+    }
+
+    /// Boundary ties: candidates outside the top-k whose score equals the
+    /// k-th score, descending (only meaningful with tie tracking).
+    pub fn boundary_ties(&self) -> Vec<Scored> {
+        let Some(kth) = self.kth() else {
+            return Vec::new();
+        };
+        let mut ties: Vec<Scored> = self
+            .pool
+            .iter()
+            .copied()
+            .filter(|s| s.score == kth.score)
+            .collect();
+        ties.sort_by(|a, b| b.cmp(a));
+        ties.dedup();
+        ties
+    }
+
+    /// Keeps the tie pool from growing past O(k) by discarding candidates
+    /// that can no longer tie the k-th score.
+    fn prune_pool(&mut self) {
+        if self.pool.len() > 4 * self.k + 16 {
+            let kth_score: OrderedF64 = self.entries[self.k - 1].score;
+            self.pool.retain(|s| s.score >= kth_score);
+        }
+    }
+
+    /// Deep size estimate in bytes.
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.entries.capacity() + self.pool.capacity()) * std::mem::size_of::<Scored>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(score: f64, id: u64) -> Scored {
+        Scored::new(score, TupleId(id))
+    }
+
+    #[test]
+    fn delta_diff_cases() {
+        let q = QueryId(1);
+        // Identical lists → empty delta.
+        let a = [s(0.9, 0), s(0.5, 1)];
+        let d = ResultDelta::diff(q, &a, &a);
+        assert!(d.is_empty());
+
+        // Replacement in the middle.
+        let b = [s(0.9, 0), s(0.7, 2)];
+        let d = ResultDelta::diff(q, &a, &b);
+        assert_eq!(d.added, vec![s(0.7, 2)]);
+        assert_eq!(d.removed, vec![s(0.5, 1)]);
+
+        // Growth from empty and shrink to empty.
+        let d = ResultDelta::diff(q, &[], &a);
+        assert_eq!(d.added, a.to_vec());
+        assert!(d.removed.is_empty());
+        let d = ResultDelta::diff(q, &a, &[]);
+        assert_eq!(d.removed, a.to_vec());
+
+        // Same score, different tuple (tie replacement by age).
+        let c = [s(0.9, 0), s(0.5, 3)];
+        let d = ResultDelta::diff(q, &a, &c);
+        assert_eq!(d.added, vec![s(0.5, 3)]);
+        assert_eq!(d.removed, vec![s(0.5, 1)]);
+    }
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopList::new(2);
+        assert!(t.offer(s(0.3, 0)));
+        assert!(t.offer(s(0.5, 1)));
+        assert!(t.is_full());
+        assert!(t.offer(s(0.4, 2)), "displaces the 0.3");
+        assert!(!t.offer(s(0.2, 3)));
+        let scores: Vec<f64> = t.as_slice().iter().map(|e| e.score.get()).collect();
+        assert_eq!(scores, vec![0.5, 0.4]);
+        assert_eq!(t.threshold(), 0.4);
+    }
+
+    #[test]
+    fn threshold_is_neg_infinity_until_full() {
+        let mut t = TopList::new(3);
+        assert_eq!(t.threshold(), f64::NEG_INFINITY);
+        t.offer(s(0.9, 0));
+        assert_eq!(t.threshold(), f64::NEG_INFINITY);
+        assert_eq!(t.kth(), None);
+    }
+
+    #[test]
+    fn tie_goes_to_older() {
+        let mut t = TopList::new(1);
+        t.offer(s(0.5, 0));
+        assert!(!t.offer(s(0.5, 1)), "newer tuple loses the tie");
+        assert_eq!(t.as_slice()[0].id, TupleId(0));
+    }
+
+    #[test]
+    fn remove_by_id() {
+        let mut t = TopList::new(3);
+        t.offer(s(0.1, 0));
+        t.offer(s(0.2, 1));
+        assert!(t.remove(TupleId(0)));
+        assert!(!t.remove(TupleId(0)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn boundary_tie_collection() {
+        let mut t = TopList::with_tie_tracking(2);
+        t.offer(s(0.9, 0));
+        t.offer(s(0.5, 1));
+        t.offer(s(0.5, 2)); // rejected, ties the k-th
+        t.offer(s(0.5, 3)); // rejected, ties the k-th
+        t.offer(s(0.2, 4)); // rejected, no tie
+        let ties = t.boundary_ties();
+        let ids: Vec<u64> = ties.iter().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![2, 3], "ties sorted best-first (older first)");
+    }
+
+    #[test]
+    fn eviction_lands_in_pool_when_tracking() {
+        let mut t = TopList::with_tie_tracking(1);
+        t.offer(s(0.5, 0));
+        t.offer(s(0.5, 1)); // rejected tie
+        t.offer(s(0.7, 2)); // evicts the 0.5/id0
+        // Boundary ties are relative to the *new* k-th (0.7): none.
+        assert!(t.boundary_ties().is_empty());
+        // But if another 0.7 arrives it is captured.
+        t.offer(s(0.7, 3));
+        assert_eq!(t.boundary_ties().len(), 1);
+    }
+
+    #[test]
+    fn pool_is_pruned() {
+        let mut t = TopList::with_tie_tracking(1);
+        // Monotonically improving offers: every one evicts its predecessor
+        // into the pool, which must not grow without bound.
+        for i in 0..200u64 {
+            t.offer(s(i as f64 / 1000.0, i));
+        }
+        assert!(t.pool.len() <= 4 + 16, "pool pruned, was {}", t.pool.len());
+        assert!(t.boundary_ties().is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! High-level facade: a monitoring server that owns one engine and hands
+//! out query ids.
+//!
+//! This is the API a downstream application is expected to use; the raw
+//! engines remain available for benchmarking and fine-grained control.
+
+use std::collections::BTreeMap;
+
+use crate::engine::{build_engine, ContinuousTopK, EngineKind};
+use crate::query::Query;
+use crate::result::ResultDelta;
+use crate::tma::GridSpec;
+use tkm_common::{QueryId, Result, Scored, Timestamp};
+use tkm_tsl::KmaxPolicy;
+use tkm_window::WindowSpec;
+
+/// Configuration of a [`MonitorServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Dimensionality of the tuple stream.
+    pub dims: usize,
+    /// Sliding-window semantics.
+    pub window: WindowSpec,
+    /// Grid sizing (ignored by TSL/oracle).
+    pub grid: GridSpec,
+    /// Engine selection; SMA is the paper's recommendation.
+    pub engine: EngineKind,
+    /// `kmax` policy (TSL only).
+    pub kmax: KmaxPolicy,
+}
+
+impl ServerConfig {
+    /// A sensible default: SMA over a count-based window of `n` tuples with
+    /// the paper's 12⁴-cell grid budget.
+    pub fn sma(dims: usize, n: usize) -> ServerConfig {
+        ServerConfig {
+            dims,
+            window: WindowSpec::Count(n),
+            grid: GridSpec::default(),
+            engine: EngineKind::Sma,
+            kmax: KmaxPolicy::Tuned,
+        }
+    }
+
+    /// Selects a different engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> ServerConfig {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects a different window.
+    pub fn with_window(mut self, window: WindowSpec) -> ServerConfig {
+        self.window = window;
+        self
+    }
+
+    /// Selects a different grid sizing.
+    pub fn with_grid(mut self, grid: GridSpec) -> ServerConfig {
+        self.grid = grid;
+        self
+    }
+}
+
+/// A continuous top-k monitoring server.
+pub struct MonitorServer {
+    engine: Box<dyn ContinuousTopK>,
+    next_query: u64,
+    now: Timestamp,
+    /// Previous results per query while delta tracking is on.
+    delta_prev: Option<BTreeMap<QueryId, Vec<Scored>>>,
+    deltas: Vec<ResultDelta>,
+}
+
+impl MonitorServer {
+    /// Builds a server from its configuration.
+    pub fn new(cfg: ServerConfig) -> Result<MonitorServer> {
+        Ok(MonitorServer {
+            engine: build_engine(cfg.engine, cfg.dims, cfg.window, cfg.grid, cfg.kmax)?,
+            next_query: 0,
+            now: Timestamp(0),
+            delta_prev: None,
+            deltas: Vec::new(),
+        })
+    }
+
+    /// The engine in use ("TMA", "SMA", "TSL", "ORACLE").
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Dimensionality of the monitored stream.
+    pub fn dims(&self) -> usize {
+        self.engine.dims()
+    }
+
+    /// Registers a query, returning its server-assigned id.
+    pub fn register(&mut self, query: Query) -> Result<QueryId> {
+        let id = QueryId(self.next_query);
+        self.engine.register_query(id, query)?;
+        self.next_query += 1;
+        if let Some(prev) = &mut self.delta_prev {
+            prev.insert(id, self.engine.result(id)?);
+        }
+        Ok(id)
+    }
+
+    /// Terminates a query.
+    pub fn unregister(&mut self, id: QueryId) -> Result<()> {
+        self.engine.remove_query(id)?;
+        if let Some(prev) = &mut self.delta_prev {
+            prev.remove(&id);
+        }
+        Ok(())
+    }
+
+    /// Turns on per-tick result-change reporting ("report changes to the
+    /// client", Figures 9/11): after every tick, [`MonitorServer::take_deltas`]
+    /// returns which tuples entered/left each query's top-k. The current
+    /// results become the baseline.
+    pub fn enable_delta_tracking(&mut self) -> Result<()> {
+        let mut prev = BTreeMap::new();
+        for id in (0..self.next_query).map(QueryId) {
+            if let Ok(res) = self.engine.result(id) {
+                prev.insert(id, res);
+            }
+        }
+        self.delta_prev = Some(prev);
+        Ok(())
+    }
+
+    /// Drains the result changes accumulated since the last call (empty
+    /// unless [`MonitorServer::enable_delta_tracking`] was called).
+    pub fn take_deltas(&mut self) -> Vec<ResultDelta> {
+        std::mem::take(&mut self.deltas)
+    }
+
+    /// One-shot top-k against the current window contents — no continuous
+    /// state is created.
+    pub fn snapshot(&mut self, query: &Query) -> Result<Vec<Scored>> {
+        self.engine.snapshot(query)
+    }
+
+    fn record_deltas(&mut self) -> Result<()> {
+        let Some(prev) = &mut self.delta_prev else {
+            return Ok(());
+        };
+        for (id, old) in prev.iter_mut() {
+            let new = self.engine.result(*id)?;
+            let delta = ResultDelta::diff(*id, old, &new);
+            if !delta.is_empty() {
+                self.deltas.push(delta);
+            }
+            *old = new;
+        }
+        Ok(())
+    }
+
+    /// Feeds one processing cycle of arrivals (flat coordinate buffer, one
+    /// tuple per `dims` chunk) and advances time by one tick.
+    pub fn tick(&mut self, arrivals: &[f64]) -> Result<()> {
+        self.engine.tick(self.now, arrivals)?;
+        self.now = self.now.advance(1);
+        self.record_deltas()
+    }
+
+    /// Like [`MonitorServer::tick`] with an explicit timestamp (must be
+    /// non-decreasing).
+    pub fn tick_at(&mut self, now: Timestamp, arrivals: &[f64]) -> Result<()> {
+        self.engine.tick(now, arrivals)?;
+        self.now = now.advance(1);
+        self.record_deltas()
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// The current top-k result of a query, best first.
+    pub fn result(&self, id: QueryId) -> Result<Vec<Scored>> {
+        self.engine.result(id)
+    }
+
+    /// Deep size estimate of the engine state in bytes.
+    pub fn space_bytes(&self) -> usize {
+        self.engine.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkm_common::ScoreFn;
+
+    #[test]
+    fn end_to_end_lifecycle() {
+        let mut server = MonitorServer::new(ServerConfig::sma(2, 5)).unwrap();
+        assert_eq!(server.engine_name(), "SMA");
+        let q = server
+            .register(Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 2).unwrap())
+            .unwrap();
+        server.tick(&[0.9, 0.9, 0.1, 0.1, 0.5, 0.5]).unwrap();
+        let res = server.result(q).unwrap();
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].score.get(), 1.8);
+        server.unregister(q).unwrap();
+        assert!(server.result(q).is_err());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut server = MonitorServer::new(
+            ServerConfig::sma(1, 5).with_engine(EngineKind::Tma),
+        )
+        .unwrap();
+        let f = || ScoreFn::linear(vec![1.0]).unwrap();
+        let a = server.register(Query::top_k(f(), 1).unwrap()).unwrap();
+        let b = server.register(Query::top_k(f(), 1).unwrap()).unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,59 @@
+//! Cumulative counters exposed by the monitoring engines.
+//!
+//! The counters mirror the cost factors of the paper's §6 analysis, so the
+//! `model_vs_measured` experiment can put the analytical model side by side
+//! with observed behaviour.
+
+/// Cumulative counters of a grid-based engine (TMA / SMA / variants).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Processing cycles executed.
+    pub ticks: u64,
+    /// Tuples inserted.
+    pub arrivals: u64,
+    /// Tuples expired/deleted.
+    pub expirations: u64,
+    /// From-scratch invocations of the top-k computation module
+    /// (initial computations plus re-computations).
+    pub recomputations: u64,
+    /// Cells de-heaped (processed) by the computation module.
+    pub cells_processed: u64,
+    /// Points examined inside processed cells.
+    pub points_scanned: u64,
+    /// Cells pushed onto the computation heap.
+    pub heap_pushes: u64,
+    /// Cells visited by influence-list clean-up walks.
+    pub cleanup_cells: u64,
+    /// Arrivals that updated some query's result book-keeping
+    /// (top-list insertions for TMA, skyband insertions for SMA).
+    pub result_updates: u64,
+    /// Influence-list probes (arrival/expiry × queries listed in the cell).
+    pub influence_probes: u64,
+}
+
+impl EngineStats {
+    /// Recomputations per tick (the measured counterpart of the paper's
+    /// `Pr_rec` per query — divide by the query count for the per-query
+    /// probability).
+    pub fn recomputations_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.recomputations as f64 / self.ticks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tick_rate() {
+        let mut s = EngineStats::default();
+        assert_eq!(s.recomputations_per_tick(), 0.0);
+        s.ticks = 4;
+        s.recomputations = 6;
+        assert_eq!(s.recomputations_per_tick(), 1.5);
+    }
+}

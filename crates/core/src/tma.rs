@@ -1,0 +1,471 @@
+//! The Top-k Monitoring Algorithm (TMA), paper §4 / Figure 9.
+//!
+//! Per processing cycle TMA handles the arrival set before the expiry set:
+//!
+//! 1. **Pins** — each arrival is placed into its grid cell; for every query
+//!    registered in the cell's influence list whose threshold the new score
+//!    reaches, the tuple is inserted into the query's top-list (displacing
+//!    the k-th). Thresholds rise lazily: influence lists are *not* shrunk.
+//! 2. **Pdel** — each expiring tuple leaves its cell; queries listing the
+//!    cell whose top-list contained the tuple are marked *affected*.
+//! 3. Every affected query is recomputed from scratch with the top-k
+//!    computation module, followed by the frontier clean-up walk that
+//!    removes the query from cells it no longer influences.
+//!
+//! Recomputances are the cost TMA pays for storing only the exact top-k;
+//! SMA trades a slightly larger state (the skyband) for avoiding most of
+//! them.
+
+use std::collections::BTreeMap;
+
+use crate::compute::{compute_topk, ComputeScratch};
+use crate::influence::{cleanup_from_frontier, remove_query_walk};
+use crate::query::Query;
+use crate::result::TopList;
+use crate::stats::EngineStats;
+use tkm_common::{QueryId, Result, Scored, Timestamp, TkmError};
+use tkm_grid::{CellMode, Grid};
+use tkm_window::{Window, WindowSpec};
+
+/// How the grid is dimensioned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GridSpec {
+    /// Approximately this many cells in total (`m = round(budget^(1/d))`
+    /// per axis) — the paper's sizing rule, default 12⁴.
+    CellBudget(usize),
+    /// Exactly this many cells per axis.
+    PerDim(usize),
+}
+
+impl GridSpec {
+    /// The paper's default budget of 12⁴ ≈ 20.7k cells.
+    pub const DEFAULT_BUDGET: usize = 20_736;
+
+    /// Builds the grid.
+    pub fn build(self, dims: usize, mode: CellMode) -> Result<Grid> {
+        match self {
+            GridSpec::CellBudget(b) => Grid::with_cell_budget(dims, b, mode),
+            GridSpec::PerDim(m) => Grid::new(dims, m, mode),
+        }
+    }
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec::CellBudget(Self::DEFAULT_BUDGET)
+    }
+}
+
+/// Validates a flat arrival buffer against the workspace.
+pub(crate) fn validate_arrivals(dims: usize, arrivals: &[f64]) -> Result<()> {
+    if !arrivals.len().is_multiple_of(dims) {
+        return Err(TkmError::InvalidParameter(format!(
+            "tick: arrival buffer length {} is not a multiple of dims {dims}",
+            arrivals.len()
+        )));
+    }
+    if let Some(bad) = arrivals.iter().find(|x| !(0.0..=1.0).contains(*x)) {
+        return Err(TkmError::InvalidParameter(format!(
+            "tick: coordinate {bad} outside the unit workspace"
+        )));
+    }
+    Ok(())
+}
+
+#[derive(Debug)]
+struct TmaQuery {
+    query: Query,
+    top: TopList,
+    affected: bool,
+}
+
+/// Continuous top-k monitor that recomputes affected queries from scratch
+/// (the paper's TMA).
+#[derive(Debug)]
+pub struct TmaMonitor {
+    window: Window,
+    grid: Grid,
+    scratch: ComputeScratch,
+    queries: BTreeMap<QueryId, TmaQuery>,
+    stats: EngineStats,
+    changed: Vec<QueryId>,
+}
+
+impl TmaMonitor {
+    /// Creates a monitor over `dims`-dimensional tuples.
+    pub fn new(dims: usize, window: WindowSpec, grid: GridSpec) -> Result<TmaMonitor> {
+        let grid = grid.build(dims, CellMode::Fifo)?;
+        let scratch = ComputeScratch::new(grid.num_cells());
+        Ok(TmaMonitor {
+            window: Window::new(dims, window)?,
+            grid,
+            scratch,
+            queries: BTreeMap::new(),
+            stats: EngineStats::default(),
+            changed: Vec::new(),
+        })
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.window.dims()
+    }
+
+    /// The underlying window (read access).
+    #[inline]
+    pub fn window(&self) -> &Window {
+        &self.window
+    }
+
+    /// The underlying grid (read access, for diagnostics).
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Registers a query and computes its initial result.
+    pub fn register_query(&mut self, id: QueryId, query: Query) -> Result<()> {
+        if query.dims() != self.dims() {
+            return Err(TkmError::DimensionMismatch {
+                expected: self.dims(),
+                got: query.dims(),
+            });
+        }
+        if self.queries.contains_key(&id) {
+            return Err(TkmError::DuplicateQuery(id));
+        }
+        let out = compute_topk(
+            &mut self.grid,
+            &mut self.scratch.stamps,
+            &self.window,
+            Some(id),
+            &query.f,
+            query.k,
+            query.constraint.as_ref(),
+            false,
+        );
+        self.stats.recomputations += 1;
+        self.stats.cells_processed += out.stats.cells_processed;
+        self.stats.points_scanned += out.stats.points_scanned;
+        self.stats.heap_pushes += out.stats.heap_pushes;
+        self.queries.insert(
+            id,
+            TmaQuery {
+                query,
+                top: out.top,
+                affected: false,
+            },
+        );
+        Ok(())
+    }
+
+    /// Terminates a query, clearing its influence-list entries.
+    pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
+        let st = self.queries.remove(&id).ok_or(TkmError::UnknownQuery(id))?;
+        self.stats.cleanup_cells += remove_query_walk(
+            &mut self.grid,
+            &mut self.scratch.stamps,
+            id,
+            &st.query.f,
+            st.query.constraint.as_ref(),
+        );
+        Ok(())
+    }
+
+    /// Registered query ids.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.queries.keys().copied()
+    }
+
+    /// The current top-k result of a query, best first.
+    pub fn result(&self, id: QueryId) -> Result<&[Scored]> {
+        self.queries
+            .get(&id)
+            .map(|q| q.top.as_slice())
+            .ok_or(TkmError::UnknownQuery(id))
+    }
+
+    /// Queries whose result changed during the last tick (sorted, deduped).
+    pub fn changed_queries(&self) -> &[QueryId] {
+        &self.changed
+    }
+
+    /// One-shot (snapshot) top-k over the current window contents, without
+    /// registering anything: the computation module runs but leaves no
+    /// influence-list entries behind.
+    pub fn snapshot(&mut self, query: &Query) -> Result<Vec<Scored>> {
+        if query.dims() != self.dims() {
+            return Err(TkmError::DimensionMismatch {
+                expected: self.dims(),
+                got: query.dims(),
+            });
+        }
+        let out = compute_topk(
+            &mut self.grid,
+            &mut self.scratch.stamps,
+            &self.window,
+            None,
+            &query.f,
+            query.k,
+            query.constraint.as_ref(),
+            false,
+        );
+        Ok(out.top.as_slice().to_vec())
+    }
+
+    /// Executes one processing cycle (Figure 9). `arrivals` is a flat
+    /// coordinate buffer, one tuple per `dims` chunk.
+    pub fn tick(&mut self, now: Timestamp, arrivals: &[f64]) -> Result<()> {
+        let dims = self.dims();
+        validate_arrivals(dims, arrivals)?;
+        self.stats.ticks += 1;
+        self.changed.clear();
+
+        // ---- Pins (lines 3-7) ----
+        {
+            let Self {
+                window,
+                grid,
+                queries,
+                stats,
+                changed,
+                ..
+            } = self;
+            for coords in arrivals.chunks_exact(dims) {
+                let id = window.insert(coords, now)?;
+                stats.arrivals += 1;
+                let cell = grid.insert_point(coords, id);
+                for qid in grid.cell(cell).influence_iter() {
+                    stats.influence_probes += 1;
+                    let st = queries.get_mut(&qid).expect("influence lists are swept");
+                    if let Some(r) = &st.query.constraint {
+                        if !r.contains(coords) {
+                            continue;
+                        }
+                    }
+                    let score = st.query.f.score(coords);
+                    // threshold() is −∞ while the list is short, so this
+                    // single test covers the warm-up phase too.
+                    if score >= st.top.threshold() && st.top.offer(Scored::new(score, id)) {
+                        stats.result_updates += 1;
+                        changed.push(qid);
+                    }
+                }
+            }
+        }
+
+        // ---- Pdel (lines 8-11) ----
+        {
+            let Self {
+                window,
+                grid,
+                queries,
+                stats,
+                ..
+            } = self;
+            window.drain_expired(now, |id, coords| {
+                stats.expirations += 1;
+                let cell = grid
+                    .remove_point(coords, id)
+                    .expect("window and grid are updated in lockstep");
+                for qid in grid.cell(cell).influence_iter() {
+                    stats.influence_probes += 1;
+                    let st = queries.get_mut(&qid).expect("influence lists are swept");
+                    if st.top.remove(id) {
+                        st.affected = true;
+                    }
+                }
+            });
+        }
+
+        // ---- Recompute affected queries (lines 12-21) ----
+        let affected: Vec<QueryId> = self
+            .queries
+            .iter()
+            .filter(|(_, st)| st.affected)
+            .map(|(id, _)| *id)
+            .collect();
+        for qid in affected {
+            let st = self.queries.get_mut(&qid).expect("collected above");
+            st.affected = false;
+            let out = compute_topk(
+                &mut self.grid,
+                &mut self.scratch.stamps,
+                &self.window,
+                Some(qid),
+                &st.query.f,
+                st.query.k,
+                st.query.constraint.as_ref(),
+                false,
+            );
+            self.stats.recomputations += 1;
+            self.stats.cells_processed += out.stats.cells_processed;
+            self.stats.points_scanned += out.stats.points_scanned;
+            self.stats.heap_pushes += out.stats.heap_pushes;
+            st.top = out.top;
+            self.stats.cleanup_cells += cleanup_from_frontier(
+                &mut self.grid,
+                &mut self.scratch.stamps,
+                qid,
+                &st.query.f,
+                st.query.constraint.as_ref(),
+                &out.frontier,
+            );
+            self.changed.push(qid);
+        }
+
+        self.changed.sort_unstable();
+        self.changed.dedup();
+        Ok(())
+    }
+
+    /// Cumulative counters.
+    #[inline]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Deep size estimate in bytes: window + grid (point and influence
+    /// lists) + per-query state (`O(d + 2k)` per query as analysed in §6).
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.window.space_bytes()
+            + self.grid.space_bytes()
+            + self.scratch.stamps.space_bytes()
+            + self
+                .queries
+                .values()
+                .map(|q| std::mem::size_of::<TmaQuery>() + q.top.space_bytes())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tkm_common::{Rect, ScoreFn};
+
+    fn lcg_stream(seed: u64, n: usize, dims: usize) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
+        let mut out = Vec::with_capacity(n * dims);
+        for _ in 0..n * dims {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            out.push(((state >> 11) as f64 / (1u64 << 53) as f64).clamp(0.0, 1.0));
+        }
+        out
+    }
+
+    fn brute(window: &Window, q: &Query) -> Vec<Scored> {
+        let mut all: Vec<Scored> = window
+            .iter()
+            .filter(|(_, c)| q.constraint.as_ref().is_none_or(|r| r.contains(c)))
+            .map(|(id, c)| Scored::new(q.f.score(c), id))
+            .collect();
+        all.sort_by(|a, b| b.cmp(a));
+        all.truncate(q.k);
+        all
+    }
+
+    #[test]
+    fn registration_validation() {
+        let mut m = TmaMonitor::new(2, WindowSpec::Count(10), GridSpec::PerDim(4)).unwrap();
+        let f1 = ScoreFn::linear(vec![1.0]).unwrap();
+        let q = Query::top_k(f1, 1).unwrap();
+        assert!(m.register_query(QueryId(0), q).is_err(), "dims mismatch");
+        let f2 = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
+        let q = Query::top_k(f2, 2).unwrap();
+        m.register_query(QueryId(0), q.clone()).unwrap();
+        assert!(matches!(
+            m.register_query(QueryId(0), q),
+            Err(TkmError::DuplicateQuery(_))
+        ));
+        assert!(m.remove_query(QueryId(9)).is_err());
+        m.remove_query(QueryId(0)).unwrap();
+    }
+
+    #[test]
+    fn tracks_brute_force_over_stream() {
+        let mut m = TmaMonitor::new(2, WindowSpec::Count(50), GridSpec::PerDim(8)).unwrap();
+        let q1 = Query::top_k(ScoreFn::linear(vec![1.0, 2.0]).unwrap(), 3).unwrap();
+        let q2 = Query::top_k(ScoreFn::linear(vec![1.0, -1.0]).unwrap(), 5).unwrap();
+        m.register_query(QueryId(1), q1.clone()).unwrap();
+        m.register_query(QueryId(2), q2.clone()).unwrap();
+        for tick in 0..50u64 {
+            let arrivals = lcg_stream(tick + 1, 8, 2);
+            m.tick(Timestamp(tick), &arrivals).unwrap();
+            assert_eq!(m.result(QueryId(1)).unwrap(), &brute(m.window(), &q1)[..]);
+            assert_eq!(m.result(QueryId(2)).unwrap(), &brute(m.window(), &q2)[..]);
+        }
+        let s = m.stats();
+        assert!(s.recomputations > 2, "expiries of results force recomputes");
+        assert!(s.cells_processed > 0 && s.cleanup_cells > 0);
+    }
+
+    #[test]
+    fn constrained_query_tracks_brute_force() {
+        let mut m = TmaMonitor::new(2, WindowSpec::Count(40), GridSpec::PerDim(6)).unwrap();
+        let r = Rect::new(vec![0.2, 0.2], vec![0.7, 0.7]).unwrap();
+        let q =
+            Query::constrained(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 3, r).unwrap();
+        m.register_query(QueryId(5), q.clone()).unwrap();
+        for tick in 0..40u64 {
+            let arrivals = lcg_stream(tick + 77, 6, 2);
+            m.tick(Timestamp(tick), &arrivals).unwrap();
+            assert_eq!(m.result(QueryId(5)).unwrap(), &brute(m.window(), &q)[..]);
+        }
+    }
+
+    #[test]
+    fn time_window_tracks_brute_force() {
+        let mut m = TmaMonitor::new(3, WindowSpec::Time(5), GridSpec::PerDim(5)).unwrap();
+        let q = Query::top_k(ScoreFn::product(vec![0.1, 0.1, 0.1]).unwrap(), 4).unwrap();
+        m.register_query(QueryId(0), q.clone()).unwrap();
+        for tick in 0..30u64 {
+            let n = 3 + (tick % 4) as usize; // variable rate
+            let arrivals = lcg_stream(tick + 13, n, 3);
+            m.tick(Timestamp(tick), &arrivals).unwrap();
+            assert_eq!(m.result(QueryId(0)).unwrap(), &brute(m.window(), &q)[..]);
+        }
+    }
+
+    #[test]
+    fn changed_queries_reported() {
+        let mut m = TmaMonitor::new(2, WindowSpec::Count(4), GridSpec::PerDim(4)).unwrap();
+        let q = Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 1).unwrap();
+        m.register_query(QueryId(3), q).unwrap();
+        // First arrival becomes the top-1 → changed.
+        m.tick(Timestamp(0), &[0.9, 0.9]).unwrap();
+        assert_eq!(m.changed_queries(), &[QueryId(3)]);
+        // A hopeless arrival changes nothing.
+        m.tick(Timestamp(1), &[0.01, 0.01]).unwrap();
+        assert!(m.changed_queries().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut m = TmaMonitor::new(2, WindowSpec::Count(4), GridSpec::PerDim(4)).unwrap();
+        assert!(m.tick(Timestamp(0), &[0.5]).is_err());
+        assert!(m.tick(Timestamp(0), &[0.5, 1.2]).is_err());
+        assert!(m.result(QueryId(0)).is_err());
+    }
+
+    #[test]
+    fn query_removal_clears_influence() {
+        let mut m = TmaMonitor::new(2, WindowSpec::Count(10), GridSpec::PerDim(5)).unwrap();
+        let q = Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 2).unwrap();
+        m.tick(Timestamp(0), &lcg_stream(3, 5, 2)).unwrap();
+        m.register_query(QueryId(1), q).unwrap();
+        m.remove_query(QueryId(1)).unwrap();
+        let listed = m
+            .grid()
+            .cells()
+            .filter(|(_, c)| c.influence_contains(QueryId(1)))
+            .count();
+        assert_eq!(listed, 0);
+        // Subsequent ticks must not touch the removed query.
+        m.tick(Timestamp(1), &lcg_stream(4, 5, 2)).unwrap();
+    }
+}

@@ -1,0 +1,266 @@
+//! IND and ANT point distributions.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tkm_common::{Result, TkmError, MAX_DIMS};
+
+/// Data distribution of the synthetic streams (paper §8, Figure 13).
+///
+/// IND and ANT are the paper's two workloads; COR completes the standard
+/// skyline-benchmark triple (Börzsönyi et al.) for downstream use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DataDist {
+    /// Independent: every attribute uniform in `[0, 1]`.
+    Ind,
+    /// Anti-correlated: points cluster around the hyperplane `Σxᵢ = d/2`;
+    /// a large value in one dimension implies small values elsewhere.
+    Ant,
+    /// Correlated: attributes move together — points cluster around the
+    /// main diagonal, so a tuple good in one dimension tends to be good in
+    /// all (the easiest case for top-k processing: tiny skybands).
+    Cor,
+}
+
+impl DataDist {
+    /// Short label used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            DataDist::Ind => "IND",
+            DataDist::Ant => "ANT",
+            DataDist::Cor => "COR",
+        }
+    }
+}
+
+/// Deterministic generator of points in the unit workspace.
+#[derive(Debug)]
+pub struct PointGen {
+    dims: usize,
+    dist: DataDist,
+    rng: StdRng,
+}
+
+impl PointGen {
+    /// Creates a generator with a fixed seed (streams are reproducible).
+    pub fn new(dims: usize, dist: DataDist, seed: u64) -> Result<PointGen> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(TkmError::InvalidParameter(format!(
+                "PointGen: dimensionality {dims} outside [1, {MAX_DIMS}]"
+            )));
+        }
+        Ok(PointGen {
+            dims,
+            dist,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Writes one point into `out` (length ≥ dims).
+    pub fn fill(&mut self, out: &mut [f64]) {
+        match self.dist {
+            DataDist::Ind => {
+                for slot in out.iter_mut().take(self.dims) {
+                    *slot = self.rng.random::<f64>();
+                }
+            }
+            DataDist::Ant => self.fill_anticorrelated(out),
+            DataDist::Cor => self.fill_correlated(out),
+        }
+    }
+
+    /// Generates one point as a fresh vector.
+    pub fn point(&mut self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dims];
+        self.fill(&mut out);
+        out
+    }
+
+    /// Appends `n` points to a flat buffer (the engines' tick format).
+    pub fn fill_batch(&mut self, n: usize, out: &mut Vec<f64>) {
+        let mut buf = [0.0f64; MAX_DIMS];
+        out.reserve(n * self.dims);
+        for _ in 0..n {
+            self.fill(&mut buf);
+            out.extend_from_slice(&buf[..self.dims]);
+        }
+    }
+
+    /// Generates a flat batch of `n` points.
+    pub fn batch(&mut self, n: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.fill_batch(n, &mut out);
+        out
+    }
+
+    /// Anti-correlated generation following the skyline-benchmark recipe
+    /// (Börzsönyi et al.): draw the plane offset `s = Σxᵢ` from a normal
+    /// distribution centred at `d/2`, spread it over the dimensions, then
+    /// repeatedly shift mass between random dimension pairs to mix within
+    /// the hyperplane, clamping to the unit cube.
+    fn fill_anticorrelated(&mut self, out: &mut [f64]) {
+        let d = self.dims;
+        if d == 1 {
+            // Anti-correlation is undefined in 1-d; fall back to uniform.
+            out[0] = self.rng.random::<f64>();
+            return;
+        }
+        // Plane offset: N(d/2, (0.05·d)²) clamped into (0, d) — tight
+        // concentration around the anti-correlation hyperplane, as in the
+        // original skyline benchmark generator.
+        let sigma = 0.05 * d as f64;
+        let mut s;
+        loop {
+            s = d as f64 / 2.0 + sigma * self.box_muller();
+            if s > 0.0 && s < d as f64 {
+                break;
+            }
+        }
+        let start = s / d as f64;
+        for slot in out.iter_mut().take(d) {
+            *slot = start;
+        }
+        // Pairwise transfers preserve the sum while spreading points across
+        // the hyperplane ∩ unit cube.
+        for _ in 0..2 * d {
+            let i = self.rng.random_range(0..d);
+            let mut j = self.rng.random_range(0..d - 1);
+            if j >= i {
+                j += 1;
+            }
+            // Max transferable mass keeping both coordinates in [0, 1].
+            let room = (out[i].min(1.0 - out[j])).max(0.0);
+            let delta = self.rng.random::<f64>() * room;
+            out[i] -= delta;
+            out[j] += delta;
+        }
+        for slot in out.iter_mut().take(d) {
+            *slot = slot.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Correlated generation: a uniform diagonal position plus small
+    /// per-dimension Gaussian jitter, clamped to the unit cube.
+    fn fill_correlated(&mut self, out: &mut [f64]) {
+        let base: f64 = self.rng.random();
+        for slot in out.iter_mut().take(self.dims) {
+            *slot = (base + 0.05 * self.box_muller()).clamp(0.0, 1.0);
+        }
+    }
+
+    /// Standard normal via Box–Muller (avoids a `rand_distr` dependency).
+    fn box_muller(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.rng.random::<f64>();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(PointGen::new(0, DataDist::Ind, 1).is_err());
+        assert!(PointGen::new(MAX_DIMS + 1, DataDist::Ant, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = PointGen::new(3, DataDist::Ant, 42).unwrap();
+        let mut b = PointGen::new(3, DataDist::Ant, 42).unwrap();
+        assert_eq!(a.batch(10), b.batch(10));
+        let mut c = PointGen::new(3, DataDist::Ant, 43).unwrap();
+        assert_ne!(a.batch(10), c.batch(10));
+    }
+
+    #[test]
+    fn points_stay_in_unit_cube() {
+        for dist in [DataDist::Ind, DataDist::Ant, DataDist::Cor] {
+            for dims in [1, 2, 4, 6] {
+                let mut g = PointGen::new(dims, dist, 7).unwrap();
+                for _ in 0..500 {
+                    let p = g.point();
+                    assert!(p.iter().all(|x| (0.0..=1.0).contains(x)), "{dist:?} {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ind_is_roughly_uniform() {
+        let mut g = PointGen::new(2, DataDist::Ind, 11).unwrap();
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| g.point()[0]).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    /// The defining property of ANT data: attribute sums concentrate near
+    /// d/2, i.e. the sum variance is far below that of independent data.
+    #[test]
+    fn ant_sums_concentrate() {
+        let dims = 4;
+        let n = 2000;
+        let sum_stats = |dist: DataDist| {
+            let mut g = PointGen::new(dims, dist, 3).unwrap();
+            let sums: Vec<f64> = (0..n).map(|_| g.point().iter().sum()).collect();
+            let mean = sums.iter().sum::<f64>() / n as f64;
+            let var = sums.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+            (mean, var)
+        };
+        let (ind_mean, ind_var) = sum_stats(DataDist::Ind);
+        let (ant_mean, ant_var) = sum_stats(DataDist::Ant);
+        assert!((ind_mean - 2.0).abs() < 0.1);
+        assert!((ant_mean - 2.0).abs() < 0.1);
+        assert!(
+            ant_var < ind_var / 2.0,
+            "ANT variance {ant_var} not below IND variance {ind_var}"
+        );
+    }
+
+    /// And anti-correlation proper: pairwise attribute correlation < 0.
+    #[test]
+    fn ant_attributes_anticorrelated() {
+        let mut g = PointGen::new(2, DataDist::Ant, 5).unwrap();
+        let n = 3000;
+        let pts: Vec<Vec<f64>> = (0..n).map(|_| g.point()).collect();
+        let mx = pts.iter().map(|p| p[0]).sum::<f64>() / n as f64;
+        let my = pts.iter().map(|p| p[1]).sum::<f64>() / n as f64;
+        let cov = pts
+            .iter()
+            .map(|p| (p[0] - mx) * (p[1] - my))
+            .sum::<f64>()
+            / n as f64;
+        assert!(cov < -0.01, "covariance {cov} is not negative");
+    }
+
+    /// COR attributes move together: strongly positive covariance, in
+    /// contrast to ANT's negative one.
+    #[test]
+    fn cor_attributes_correlated() {
+        let mut g = PointGen::new(2, DataDist::Cor, 5).unwrap();
+        let n = 3000;
+        let pts: Vec<Vec<f64>> = (0..n).map(|_| g.point()).collect();
+        let mx = pts.iter().map(|p| p[0]).sum::<f64>() / n as f64;
+        let my = pts.iter().map(|p| p[1]).sum::<f64>() / n as f64;
+        let cov = pts
+            .iter()
+            .map(|p| (p[0] - mx) * (p[1] - my))
+            .sum::<f64>()
+            / n as f64;
+        assert!(cov > 0.03, "covariance {cov} is not strongly positive");
+    }
+
+    #[test]
+    fn batch_is_flat_and_sized() {
+        let mut g = PointGen::new(3, DataDist::Ind, 1).unwrap();
+        let b = g.batch(5);
+        assert_eq!(b.len(), 15);
+    }
+}

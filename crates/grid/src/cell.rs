@@ -1,0 +1,250 @@
+//! Grid cells: point lists and influence lists.
+
+use std::collections::VecDeque;
+
+use tkm_common::{FxHashSet, QueryId, Result, TkmError, TupleId};
+
+/// How a cell stores its point list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellMode {
+    /// FIFO deque — sliding windows, where per-cell insertions and
+    /// deletions both happen in arrival order (O(1) each, §4.1).
+    Fifo,
+    /// Hash set — explicit-deletion update streams (§7), where deletions
+    /// strike anywhere in the cell.
+    Hash,
+}
+
+/// Point list of one cell.
+#[derive(Debug)]
+pub enum PointList {
+    /// Arrival-ordered ids (front = oldest).
+    Fifo(VecDeque<TupleId>),
+    /// Unordered ids.
+    Hash(FxHashSet<TupleId>),
+}
+
+impl PointList {
+    fn new(mode: CellMode) -> PointList {
+        match mode {
+            CellMode::Fifo => PointList::Fifo(VecDeque::new()),
+            CellMode::Hash => PointList::Hash(FxHashSet::default()),
+        }
+    }
+
+    /// Number of points in the cell.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            PointList::Fifo(d) => d.len(),
+            PointList::Hash(s) => s.len(),
+        }
+    }
+
+    /// Whether the cell is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the ids in the cell (arrival order for FIFO cells).
+    pub fn iter(&self) -> PointIter<'_> {
+        match self {
+            PointList::Fifo(d) => PointIter::Fifo(d.iter()),
+            PointList::Hash(s) => PointIter::Hash(s.iter()),
+        }
+    }
+}
+
+/// Iterator over the tuple ids of one cell.
+pub enum PointIter<'a> {
+    /// FIFO backing.
+    Fifo(std::collections::vec_deque::Iter<'a, TupleId>),
+    /// Hash backing.
+    Hash(std::collections::hash_set::Iter<'a, TupleId>),
+}
+
+impl Iterator for PointIter<'_> {
+    type Item = TupleId;
+
+    #[inline]
+    fn next(&mut self) -> Option<TupleId> {
+        match self {
+            PointIter::Fifo(it) => it.next().copied(),
+            PointIter::Hash(it) => it.next().copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            PointIter::Fifo(it) => it.size_hint(),
+            PointIter::Hash(it) => it.size_hint(),
+        }
+    }
+}
+
+/// One grid cell: point list plus influence list.
+///
+/// The influence list is lazily boxed: the vast majority of cells influence
+/// no query at any given time, and an `Option<Box<…>>` keeps them one
+/// pointer wide.
+#[derive(Debug)]
+pub struct Cell {
+    points: PointList,
+    influence: Option<Box<FxHashSet<QueryId>>>,
+}
+
+impl Cell {
+    pub(crate) fn new(mode: CellMode) -> Cell {
+        Cell {
+            points: PointList::new(mode),
+            influence: None,
+        }
+    }
+
+    /// The cell's point list.
+    #[inline]
+    pub fn points(&self) -> &PointList {
+        &self.points
+    }
+
+    /// Adds a tuple to the point list (tail position for FIFO cells —
+    /// callers must insert in arrival order).
+    pub fn push_point(&mut self, id: TupleId) {
+        match &mut self.points {
+            PointList::Fifo(d) => d.push_back(id),
+            PointList::Hash(s) => {
+                s.insert(id);
+            }
+        }
+    }
+
+    /// Removes a tuple.
+    ///
+    /// For FIFO cells the id must be the cell's front (sliding windows
+    /// expire tuples in arrival order, so per-cell expiry is FIFO too);
+    /// anything else indicates engine corruption and is reported as an
+    /// error rather than silently breaking the index.
+    pub fn remove_point(&mut self, id: TupleId) -> Result<()> {
+        match &mut self.points {
+            PointList::Fifo(d) => match d.front() {
+                Some(front) if *front == id => {
+                    d.pop_front();
+                    Ok(())
+                }
+                _ => Err(TkmError::UnknownTuple(id)),
+            },
+            PointList::Hash(s) => {
+                if s.remove(&id) {
+                    Ok(())
+                } else {
+                    Err(TkmError::UnknownTuple(id))
+                }
+            }
+        }
+    }
+
+    /// Registers a query in the influence list; returns `false` if already
+    /// present.
+    pub fn influence_insert(&mut self, q: QueryId) -> bool {
+        self.influence
+            .get_or_insert_with(Default::default)
+            .insert(q)
+    }
+
+    /// Deregisters a query; returns `true` if it was present. Frees the
+    /// backing set when it becomes empty.
+    pub fn influence_remove(&mut self, q: QueryId) -> bool {
+        let Some(set) = self.influence.as_mut() else {
+            return false;
+        };
+        let removed = set.remove(&q);
+        if set.is_empty() {
+            self.influence = None;
+        }
+        removed
+    }
+
+    /// Whether the query is registered in this cell.
+    #[inline]
+    pub fn influence_contains(&self, q: QueryId) -> bool {
+        self.influence.as_ref().is_some_and(|s| s.contains(&q))
+    }
+
+    /// Number of queries influenced by this cell.
+    #[inline]
+    pub fn influence_len(&self) -> usize {
+        self.influence.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Iterates the registered query ids.
+    pub fn influence_iter(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.influence.iter().flat_map(|s| s.iter().copied())
+    }
+
+    /// Deep size estimate in bytes.
+    pub fn space_bytes(&self) -> usize {
+        let points = match &self.points {
+            PointList::Fifo(d) => d.capacity() * std::mem::size_of::<TupleId>(),
+            PointList::Hash(s) => s.capacity() * (std::mem::size_of::<TupleId>() + 8),
+        };
+        let influence = self.influence.as_ref().map_or(0, |s| {
+            std::mem::size_of::<FxHashSet<QueryId>>()
+                + s.capacity() * (std::mem::size_of::<QueryId>() + 8)
+        });
+        std::mem::size_of::<Self>() + points + influence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_point_list_enforces_order() {
+        let mut c = Cell::new(CellMode::Fifo);
+        c.push_point(TupleId(1));
+        c.push_point(TupleId(5));
+        assert_eq!(c.points().len(), 2);
+        // Removing a non-front id is an engine bug and must be caught.
+        assert!(c.remove_point(TupleId(5)).is_err());
+        assert!(c.remove_point(TupleId(1)).is_ok());
+        assert!(c.remove_point(TupleId(5)).is_ok());
+        assert!(c.points().is_empty());
+    }
+
+    #[test]
+    fn hash_point_list_random_removal() {
+        let mut c = Cell::new(CellMode::Hash);
+        for i in 0..5 {
+            c.push_point(TupleId(i));
+        }
+        assert!(c.remove_point(TupleId(3)).is_ok());
+        assert!(c.remove_point(TupleId(3)).is_err());
+        assert_eq!(c.points().len(), 4);
+        let mut ids: Vec<u64> = c.points().iter().map(|t| t.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn influence_list_lifecycle() {
+        let mut c = Cell::new(CellMode::Fifo);
+        assert_eq!(c.influence_len(), 0);
+        assert!(c.influence_insert(QueryId(1)));
+        assert!(!c.influence_insert(QueryId(1)), "duplicate registration");
+        assert!(c.influence_insert(QueryId(2)));
+        assert!(c.influence_contains(QueryId(1)));
+        assert!(c.influence_remove(QueryId(1)));
+        assert!(!c.influence_remove(QueryId(1)));
+        assert!(c.influence_remove(QueryId(2)));
+        assert!(c.influence.is_none(), "empty influence set is freed");
+    }
+
+    #[test]
+    fn empty_cell_is_small() {
+        // Hot memory matters: millions of cells may exist. One pointer for
+        // the influence list, one deque for the points.
+        assert!(std::mem::size_of::<Cell>() <= 56);
+    }
+}

@@ -1,0 +1,609 @@
+//! The regular grid: geometry and cell container.
+
+use crate::cell::{Cell, CellMode};
+use tkm_common::{Rect, Result, ScoreFn, TkmError, TupleId, MAX_DIMS};
+
+/// Hard cap on the number of cells (memory guard: a `d`-dimensional grid
+/// has `m^d` cells and `m` is easy to over-specify).
+pub const MAX_CELLS: usize = 1 << 24;
+
+/// Linear index of a grid cell. `u32` keeps heap entries small.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CellId(pub u32);
+
+/// A regular grid over the unit workspace `[0,1]^d` with `m` cells per axis
+/// of extent `δ = 1/m` each.
+#[derive(Debug)]
+pub struct Grid {
+    dims: usize,
+    per_dim: usize,
+    delta: f64,
+    mode: CellMode,
+    cells: Vec<Cell>,
+}
+
+impl Grid {
+    /// Creates a grid with `per_dim` cells along each of `dims` axes.
+    pub fn new(dims: usize, per_dim: usize, mode: CellMode) -> Result<Grid> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(TkmError::InvalidParameter(format!(
+                "Grid: dimensionality {dims} outside [1, {MAX_DIMS}]"
+            )));
+        }
+        if per_dim == 0 {
+            return Err(TkmError::InvalidParameter(
+                "Grid: at least one cell per axis required".into(),
+            ));
+        }
+        let mut total: usize = 1;
+        for _ in 0..dims {
+            total = total.saturating_mul(per_dim);
+            if total > MAX_CELLS {
+                return Err(TkmError::InvalidParameter(format!(
+                    "Grid: {per_dim}^{dims} cells exceed MAX_CELLS = {MAX_CELLS}"
+                )));
+            }
+        }
+        let mut cells = Vec::with_capacity(total);
+        cells.resize_with(total, || Cell::new(mode));
+        Ok(Grid {
+            dims,
+            per_dim,
+            delta: 1.0 / per_dim as f64,
+            mode,
+            cells,
+        })
+    }
+
+    /// Creates a grid with approximately `budget` cells in total — the
+    /// paper's sizing rule ("the cell extent is selected so that the grid
+    /// contains approximately 12⁴ cells" regardless of dimensionality).
+    pub fn with_cell_budget(dims: usize, budget: usize, mode: CellMode) -> Result<Grid> {
+        if budget == 0 {
+            return Err(TkmError::InvalidParameter(
+                "Grid: cell budget must be positive".into(),
+            ));
+        }
+        let per_dim = (budget as f64).powf(1.0 / dims as f64).round().max(1.0) as usize;
+        Grid::new(dims, per_dim, mode)
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Cells per axis (`m`).
+    #[inline]
+    pub fn per_dim(&self) -> usize {
+        self.per_dim
+    }
+
+    /// Cell extent per axis (`δ = 1/m`).
+    #[inline]
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Point-list mode of the cells.
+    #[inline]
+    pub fn mode(&self) -> CellMode {
+        self.mode
+    }
+
+    /// Total number of cells (`m^d`).
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Shared access to a cell.
+    #[inline]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0 as usize]
+    }
+
+    /// Mutable access to a cell.
+    #[inline]
+    pub fn cell_mut(&mut self, id: CellId) -> &mut Cell {
+        &mut self.cells[id.0 as usize]
+    }
+
+    /// Iterates all `(CellId, &Cell)` pairs.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// Per-axis cell index of the cell covering a coordinate.
+    #[inline]
+    fn axis_index(&self, x: f64) -> usize {
+        debug_assert!(
+            (0.0..=1.0).contains(&x),
+            "coordinates must lie in the unit workspace, got {x}"
+        );
+        let clamped = x.clamp(0.0, 1.0);
+        let mut idx = ((clamped / self.delta) as usize).min(self.per_dim - 1);
+        // Floating-point guard: make the assignment consistent with the
+        // closed cell bounds used by `maxscore` (idx·δ ≤ x ≤ (idx+1)·δ).
+        if clamped < idx as f64 * self.delta {
+            idx -= 1;
+        } else if clamped > (idx + 1) as f64 * self.delta {
+            idx += 1;
+        }
+        idx
+    }
+
+    /// The cell covering `coords`. Coordinates must lie in `[0,1]^d`.
+    #[inline]
+    pub fn locate(&self, coords: &[f64]) -> CellId {
+        debug_assert_eq!(coords.len(), self.dims);
+        let mut linear = 0usize;
+        // Row-major with dimension 0 fastest: linear = Σ idx_i · m^i.
+        let mut stride = 1usize;
+        for &x in coords.iter().take(self.dims) {
+            linear += self.axis_index(x) * stride;
+            stride *= self.per_dim;
+        }
+        CellId(linear as u32)
+    }
+
+    /// Decomposes a cell id into per-axis indices (first `dims` entries of
+    /// the returned array are meaningful).
+    #[inline]
+    pub fn cell_coords(&self, id: CellId) -> [usize; MAX_DIMS] {
+        let mut rest = id.0 as usize;
+        let mut out = [0usize; MAX_DIMS];
+        for slot in out.iter_mut().take(self.dims) {
+            *slot = rest % self.per_dim;
+            rest /= self.per_dim;
+        }
+        out
+    }
+
+    /// Recomposes per-axis indices into a cell id.
+    #[inline]
+    pub fn cell_from_coords(&self, coords: &[usize]) -> CellId {
+        debug_assert_eq!(coords.len(), self.dims);
+        let mut linear = 0usize;
+        let mut stride = 1usize;
+        for &i in coords {
+            debug_assert!(i < self.per_dim);
+            linear += i * stride;
+            stride *= self.per_dim;
+        }
+        CellId(linear as u32)
+    }
+
+    /// Fills `lo`/`hi` with the closed bounds of the cell.
+    #[inline]
+    pub fn cell_bounds(&self, id: CellId, lo: &mut [f64], hi: &mut [f64]) {
+        let coords = self.cell_coords(id);
+        for dim in 0..self.dims {
+            lo[dim] = coords[dim] as f64 * self.delta;
+            hi[dim] = (coords[dim] + 1) as f64 * self.delta;
+        }
+    }
+
+    /// Upper bound for the score of any point inside the cell: the score of
+    /// the cell's preferred corner (paper §3.1).
+    #[inline]
+    pub fn maxscore(&self, id: CellId, f: &ScoreFn) -> f64 {
+        debug_assert_eq!(f.dims(), self.dims);
+        let mut lo = [0.0f64; MAX_DIMS];
+        let mut hi = [0.0f64; MAX_DIMS];
+        self.cell_bounds(id, &mut lo, &mut hi);
+        f.max_score_rect(&lo[..self.dims], &hi[..self.dims])
+    }
+
+    /// Upper bound for the score of any point inside the *intersection* of
+    /// the cell with `rect`. Tighter than [`Grid::maxscore`] for boundary
+    /// cells of a constrained query, and required for correctness when `f`
+    /// is only monotone *inside* `rect` (piecewise-monotone queries): the
+    /// preferred corner of the clipped bounds stays within the region where
+    /// the declared monotonicity holds.
+    #[inline]
+    pub fn maxscore_in(&self, id: CellId, f: &ScoreFn, rect: &Rect) -> f64 {
+        debug_assert_eq!(f.dims(), self.dims);
+        let mut lo = [0.0f64; MAX_DIMS];
+        let mut hi = [0.0f64; MAX_DIMS];
+        self.cell_bounds(id, &mut lo, &mut hi);
+        for dim in 0..self.dims {
+            lo[dim] = lo[dim].max(rect.lo()[dim]);
+            hi[dim] = hi[dim].min(rect.hi()[dim]);
+            if lo[dim] > hi[dim] {
+                // Disjoint (possible for range-boundary cells): nothing
+                // inside can qualify.
+                return f64::NEG_INFINITY;
+            }
+        }
+        f.max_score_rect(&lo[..self.dims], &hi[..self.dims])
+    }
+
+    /// The cell with the highest `maxscore` for `f` — the traversal start
+    /// (top-right corner for functions increasing on every axis).
+    pub fn best_corner(&self, f: &ScoreFn) -> CellId {
+        let mut coords = [0usize; MAX_DIMS];
+        for (dim, slot) in coords.iter_mut().enumerate().take(self.dims) {
+            *slot = match f.monotonicity(dim) {
+                tkm_common::Monotonicity::Increasing => self.per_dim - 1,
+                tkm_common::Monotonicity::Decreasing => 0,
+            };
+        }
+        self.cell_from_coords(&coords[..self.dims])
+    }
+
+    /// The neighbour of `id` one step toward lower scores along `dim`
+    /// (`c_{i-1,j}` / `c_{i,j-1}` of Figure 6 generalised to monotonicity
+    /// direction), or `None` at the workspace boundary.
+    pub fn step_worse(&self, id: CellId, dim: usize, f: &ScoreFn) -> Option<CellId> {
+        let mut coords = self.cell_coords(id);
+        match f.monotonicity(dim) {
+            tkm_common::Monotonicity::Increasing => {
+                if coords[dim] == 0 {
+                    return None;
+                }
+                coords[dim] -= 1;
+            }
+            tkm_common::Monotonicity::Decreasing => {
+                if coords[dim] + 1 >= self.per_dim {
+                    return None;
+                }
+                coords[dim] += 1;
+            }
+        }
+        Some(self.cell_from_coords(&coords[..self.dims]))
+    }
+
+    /// Per-axis cell index range `[lo, hi]` (inclusive) of the cells that
+    /// may intersect a constraint rectangle.
+    pub fn cell_range(&self, rect: &Rect) -> ([usize; MAX_DIMS], [usize; MAX_DIMS]) {
+        debug_assert_eq!(rect.dims(), self.dims);
+        let mut lo = [0usize; MAX_DIMS];
+        let mut hi = [0usize; MAX_DIMS];
+        for dim in 0..self.dims {
+            lo[dim] = self.axis_index(rect.lo()[dim].clamp(0.0, 1.0));
+            hi[dim] = self.axis_index(rect.hi()[dim].clamp(0.0, 1.0));
+        }
+        (lo, hi)
+    }
+
+    /// The highest-`maxscore` cell within an inclusive per-axis cell range
+    /// (start cell of a constrained top-k search, §7).
+    pub fn best_corner_in(
+        &self,
+        range: &([usize; MAX_DIMS], [usize; MAX_DIMS]),
+        f: &ScoreFn,
+    ) -> CellId {
+        let mut coords = [0usize; MAX_DIMS];
+        for (dim, slot) in coords.iter_mut().enumerate().take(self.dims) {
+            *slot = match f.monotonicity(dim) {
+                tkm_common::Monotonicity::Increasing => range.1[dim],
+                tkm_common::Monotonicity::Decreasing => range.0[dim],
+            };
+        }
+        self.cell_from_coords(&coords[..self.dims])
+    }
+
+    /// [`Grid::step_worse`] restricted to an inclusive per-axis cell range.
+    pub fn step_worse_in(
+        &self,
+        id: CellId,
+        dim: usize,
+        f: &ScoreFn,
+        range: &([usize; MAX_DIMS], [usize; MAX_DIMS]),
+    ) -> Option<CellId> {
+        let mut coords = self.cell_coords(id);
+        match f.monotonicity(dim) {
+            tkm_common::Monotonicity::Increasing => {
+                if coords[dim] <= range.0[dim] {
+                    return None;
+                }
+                coords[dim] -= 1;
+            }
+            tkm_common::Monotonicity::Decreasing => {
+                if coords[dim] >= range.1[dim] {
+                    return None;
+                }
+                coords[dim] += 1;
+            }
+        }
+        Some(self.cell_from_coords(&coords[..self.dims]))
+    }
+
+    /// Inserts a tuple into its covering cell; returns the cell id.
+    pub fn insert_point(&mut self, coords: &[f64], id: TupleId) -> CellId {
+        let cell = self.locate(coords);
+        self.cell_mut(cell).push_point(id);
+        cell
+    }
+
+    /// Removes a tuple from its covering cell; returns the cell id.
+    pub fn remove_point(&mut self, coords: &[f64], id: TupleId) -> Result<CellId> {
+        let cell = self.locate(coords);
+        self.cell_mut(cell).remove_point(id)?;
+        Ok(cell)
+    }
+
+    /// Deep size estimate in bytes.
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.cells.iter().map(Cell::space_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn linear2(w1: f64, w2: f64) -> ScoreFn {
+        ScoreFn::linear(vec![w1, w2]).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Grid::new(0, 4, CellMode::Fifo).is_err());
+        assert!(Grid::new(2, 0, CellMode::Fifo).is_err());
+        assert!(Grid::new(8, 100, CellMode::Fifo).is_err(), "cell cap");
+        let g = Grid::new(2, 7, CellMode::Fifo).unwrap();
+        assert_eq!(g.num_cells(), 49);
+        assert!((g.delta() - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_budget_matches_paper_rule() {
+        // d=4 with a 12^4 budget → 12 cells per axis; d=2 → 144 per axis;
+        // d=6 → ~5 per axis.
+        let budget = 12usize.pow(4);
+        assert_eq!(
+            Grid::with_cell_budget(4, budget, CellMode::Fifo)
+                .unwrap()
+                .per_dim(),
+            12
+        );
+        assert_eq!(
+            Grid::with_cell_budget(2, budget, CellMode::Fifo)
+                .unwrap()
+                .per_dim(),
+            144
+        );
+        assert_eq!(
+            Grid::with_cell_budget(6, budget, CellMode::Fifo)
+                .unwrap()
+                .per_dim(),
+            5
+        );
+    }
+
+    #[test]
+    fn locate_and_bounds_roundtrip() {
+        let g = Grid::new(2, 7, CellMode::Fifo).unwrap();
+        // Figure 5: in a 7×7 grid the top-right cell is c_{6,6}.
+        let top_right = g.locate(&[0.99, 0.99]);
+        assert_eq!(g.cell_coords(top_right)[..2], [6, 6]);
+        // Coordinate exactly 1.0 still maps inside the grid.
+        assert_eq!(g.locate(&[1.0, 1.0]), top_right);
+        let origin = g.locate(&[0.0, 0.0]);
+        assert_eq!(g.cell_coords(origin)[..2], [0, 0]);
+    }
+
+    #[test]
+    fn best_corner_follows_monotonicity() {
+        let g = Grid::new(2, 7, CellMode::Fifo).unwrap();
+        // Increasing on both axes: start top-right (Figure 5).
+        let f = linear2(1.0, 2.0);
+        assert_eq!(g.cell_coords(g.best_corner(&f))[..2], [6, 6]);
+        // f = x1 - x2 (Figure 7a): start bottom-right.
+        let f = linear2(1.0, -1.0);
+        assert_eq!(g.cell_coords(g.best_corner(&f))[..2], [6, 0]);
+    }
+
+    #[test]
+    fn step_worse_direction_and_boundary() {
+        let g = Grid::new(2, 7, CellMode::Fifo).unwrap();
+        let f = linear2(1.0, -1.0);
+        let start = g.best_corner(&f); // (6, 0)
+        // Worse along x1 (increasing): index decreases.
+        let a = g.step_worse(start, 0, &f).unwrap();
+        assert_eq!(g.cell_coords(a)[..2], [5, 0]);
+        // Worse along x2 (decreasing): index increases (Figure 7a en-heaps
+        // c_{i,j+1} instead of c_{i,j-1}).
+        let b = g.step_worse(start, 1, &f).unwrap();
+        assert_eq!(g.cell_coords(b)[..2], [6, 1]);
+        // Boundary cells have no worse neighbour.
+        let worst = g.cell_from_coords(&[0, 6]);
+        assert_eq!(g.step_worse(worst, 0, &f), None);
+        assert_eq!(g.step_worse(worst, 1, &f), None);
+    }
+
+    #[test]
+    fn maxscore_is_preferred_corner() {
+        let g = Grid::new(2, 4, CellMode::Fifo).unwrap();
+        let f = linear2(1.0, 2.0);
+        let c = g.locate(&[0.3, 0.6]); // cell [0.25,0.5] × [0.5,0.75]
+        assert!((g.maxscore(c, &f) - (0.5 + 2.0 * 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constrained_range_and_corner() {
+        let g = Grid::new(2, 7, CellMode::Fifo).unwrap();
+        // Figure 12: constrained top-1 with R in the middle-right area.
+        let rect = Rect::new(vec![0.55, 0.35], vec![0.85, 0.75]).unwrap();
+        let range = g.cell_range(&rect);
+        assert_eq!(range.0[..2], [3, 2]);
+        assert_eq!(range.1[..2], [5, 5]);
+        let f = linear2(1.0, 2.0);
+        let start = g.best_corner_in(&range, &f);
+        assert_eq!(g.cell_coords(start)[..2], [5, 5]);
+        // Stepping stays inside the range.
+        assert!(g.step_worse_in(start, 0, &f, &range).is_some());
+        let lo_corner = g.cell_from_coords(&[3, 2]);
+        assert_eq!(g.step_worse_in(lo_corner, 0, &f, &range), None);
+        assert_eq!(g.step_worse_in(lo_corner, 1, &f, &range), None);
+    }
+
+    #[test]
+    fn point_lifecycle() {
+        let mut g = Grid::new(2, 4, CellMode::Fifo).unwrap();
+        let c1 = g.insert_point(&[0.1, 0.1], TupleId(0));
+        let c2 = g.insert_point(&[0.9, 0.9], TupleId(1));
+        assert_ne!(c1, c2);
+        assert_eq!(g.cell(c1).points().len(), 1);
+        assert_eq!(g.remove_point(&[0.1, 0.1], TupleId(0)).unwrap(), c1);
+        assert!(g.cell(c1).points().is_empty());
+        assert!(g.remove_point(&[0.9, 0.9], TupleId(5)).is_err());
+    }
+
+    #[test]
+    fn three_dimensional_linearisation() {
+        let g = Grid::new(3, 5, CellMode::Fifo).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                for w in 0..5 {
+                    let id = g.cell_from_coords(&[i, j, w]);
+                    assert_eq!(g.cell_coords(id)[..3], [i, j, w]);
+                }
+            }
+        }
+        // In 3-d, a cell has three worse neighbours (paper: after
+        // processing c_{i,j,w}, en-heap c_{i-1,j,w}, c_{i,j-1,w},
+        // c_{i,j,w-1}).
+        let f = ScoreFn::linear(vec![1.0, 1.0, 1.0]).unwrap();
+        let c = g.cell_from_coords(&[2, 2, 2]);
+        let neighbours: Vec<[usize; 3]> = (0..3)
+            .map(|dim| {
+                let n = g.step_worse(c, dim, &f).unwrap();
+                let cc = g.cell_coords(n);
+                [cc[0], cc[1], cc[2]]
+            })
+            .collect();
+        assert_eq!(neighbours, vec![[1, 2, 2], [2, 1, 2], [2, 2, 1]]);
+    }
+
+    #[test]
+    fn maxscore_in_clips_to_rect() {
+        let g = Grid::new(2, 4, CellMode::Fifo).unwrap();
+        let f = linear2(1.0, 1.0);
+        // Cell [0.25,0.5]×[0.25,0.5]; constraint only covers its lower-left
+        // quarter.
+        let c = g.locate(&[0.3, 0.3]);
+        let r = Rect::new(vec![0.0, 0.0], vec![0.375, 0.375]).unwrap();
+        assert!((g.maxscore(c, &f) - 1.0).abs() < 1e-12);
+        assert!((g.maxscore_in(c, &f, &r) - 0.75).abs() < 1e-12);
+        // Disjoint rect → nothing can qualify.
+        let far = Rect::new(vec![0.9, 0.9], vec![1.0, 1.0]).unwrap();
+        assert_eq!(g.maxscore_in(c, &f, &far), f64::NEG_INFINITY);
+    }
+
+    proptest! {
+        /// `maxscore_in` bounds every contained point inside cell ∩ rect
+        /// and never exceeds the unclipped bound.
+        #[test]
+        fn maxscore_in_is_tight_and_sound(
+            x in 0.0f64..=1.0,
+            y in 0.0f64..=1.0,
+            lo1 in 0.0f64..0.8,
+            lo2 in 0.0f64..0.8,
+            ext in 0.05f64..0.9,
+            w1 in -2.0f64..2.0,
+            w2 in -2.0f64..2.0,
+            m in 1usize..12,
+        ) {
+            let g = Grid::new(2, m, CellMode::Fifo).unwrap();
+            let f = linear2(w1, w2);
+            let rect = Rect::new(
+                vec![lo1, lo2],
+                vec![(lo1 + ext).min(1.0), (lo2 + ext).min(1.0)],
+            ).unwrap();
+            let cell = g.locate(&[x, y]);
+            let clipped = g.maxscore_in(cell, &f, &rect);
+            prop_assert!(clipped <= g.maxscore(cell, &f) + 1e-12);
+            if rect.contains(&[x, y]) {
+                prop_assert!(f.score(&[x, y]) <= clipped + 1e-9);
+            }
+        }
+
+        /// `cell_range` covers exactly the cells overlapping the rectangle:
+        /// every in-rect point's cell lies inside the range.
+        #[test]
+        fn cell_range_covers_contained_points(
+            lo1 in 0.0f64..0.9,
+            lo2 in 0.0f64..0.9,
+            ext1 in 0.01f64..0.5,
+            ext2 in 0.01f64..0.5,
+            px in 0.0f64..=1.0,
+            py in 0.0f64..=1.0,
+            m in 1usize..15,
+        ) {
+            let g = Grid::new(2, m, CellMode::Fifo).unwrap();
+            let rect = Rect::new(
+                vec![lo1, lo2],
+                vec![(lo1 + ext1).min(1.0), (lo2 + ext2).min(1.0)],
+            ).unwrap();
+            let range = g.cell_range(&rect);
+            if rect.contains(&[px, py]) {
+                let cc = g.cell_coords(g.locate(&[px, py]));
+                for dim in 0..2 {
+                    prop_assert!(
+                        cc[dim] >= range.0[dim] && cc[dim] <= range.1[dim],
+                        "cell {:?} outside range {:?}..{:?}",
+                        &cc[..2], &range.0[..2], &range.1[..2]
+                    );
+                }
+            }
+        }
+
+        /// Every point scores at most the maxscore of its covering cell —
+        /// the invariant the whole traversal rests on.
+        #[test]
+        fn maxscore_bounds_points(
+            x in 0.0f64..=1.0,
+            y in 0.0f64..=1.0,
+            w1 in -2.0f64..2.0,
+            w2 in -2.0f64..2.0,
+            m in 1usize..20,
+        ) {
+            let g = Grid::new(2, m, CellMode::Fifo).unwrap();
+            let f = linear2(w1, w2);
+            let cell = g.locate(&[x, y]);
+            prop_assert!(f.score(&[x, y]) <= g.maxscore(cell, &f) + 1e-9);
+        }
+
+        /// `locate` is consistent with `cell_bounds` (closed bounds).
+        #[test]
+        fn locate_consistent_with_bounds(
+            x in 0.0f64..=1.0,
+            y in 0.0f64..=1.0,
+            m in 1usize..20,
+        ) {
+            let g = Grid::new(2, m, CellMode::Fifo).unwrap();
+            let cell = g.locate(&[x, y]);
+            let mut lo = [0.0; MAX_DIMS];
+            let mut hi = [0.0; MAX_DIMS];
+            g.cell_bounds(cell, &mut lo, &mut hi);
+            prop_assert!(lo[0] <= x && x <= hi[0]);
+            prop_assert!(lo[1] <= y && y <= hi[1]);
+        }
+
+        /// Worse-step neighbours never have a higher maxscore.
+        #[test]
+        fn step_worse_never_improves(
+            i in 0usize..7,
+            j in 0usize..7,
+            w1 in -2.0f64..2.0,
+            w2 in -2.0f64..2.0,
+        ) {
+            let g = Grid::new(2, 7, CellMode::Fifo).unwrap();
+            let f = linear2(w1, w2);
+            let c = g.cell_from_coords(&[i, j]);
+            for dim in 0..2 {
+                if let Some(n) = g.step_worse(c, dim, &f) {
+                    prop_assert!(g.maxscore(n, &f) <= g.maxscore(c, &f) + 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! In-memory regular grid index (paper §4.1).
+//!
+//! The valid tuples are indexed by a regular grid: cell `c_{i,j,…}` covers
+//! `[i·δ, (i+1)·δ) × [j·δ, (j+1)·δ) × …` of the unit workspace. Each cell
+//! keeps
+//!
+//! * a *point list* of the valid tuples inside it — FIFO for sliding
+//!   windows (per-cell arrival order equals per-cell expiry order), or a
+//!   hash set for the §7 explicit-deletion stream model; and
+//! * an *influence list*: the ids of the queries whose influence region
+//!   intersects the cell, stored as a hash set for O(1)
+//!   search/insert/delete exactly as the paper prescribes.
+//!
+//! The grid also provides the geometric primitives the top-k computation
+//! module needs: locating a tuple's cell in O(1), the `maxscore` of a cell
+//! under a monotone scoring function, the best-corner start cell and the
+//! per-dimension "one step worse" neighbours that drive the minimal-cell
+//! traversal of Figure 6.
+
+pub mod cell;
+pub mod grid;
+pub mod visit;
+
+pub use cell::{Cell, CellMode, PointList};
+pub use grid::{CellId, Grid};
+pub use visit::VisitStamps;

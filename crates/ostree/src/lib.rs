@@ -1,0 +1,464 @@
+#![warn(missing_docs)]
+
+//! Order-statistic balanced tree.
+//!
+//! The SMA algorithm (paper §5) initialises the dominance counters of a
+//! fresh skyband by inserting arrival times into "a balanced tree BT sorted
+//! in descending order" whose internal nodes store subtree cardinalities, so
+//! that the number of already-inserted elements preceding a key — i.e. the
+//! dominance counter — is answered in `O(log k)`. This crate provides that
+//! structure: an AVL tree augmented with subtree sizes, supporting insert,
+//! delete, rank queries (`count_greater` / `count_less`) and selection of
+//! the i-th order statistic.
+//!
+//! Keys must be unique (tuple ids are); inserting a duplicate is a no-op
+//! reported through the return value.
+
+use std::cmp::Ordering;
+
+struct Node<K> {
+    key: K,
+    left: Option<Box<Node<K>>>,
+    right: Option<Box<Node<K>>>,
+    /// Height of the subtree rooted here (leaf = 1).
+    height: u32,
+    /// Number of keys in the subtree rooted here (including self).
+    size: usize,
+}
+
+impl<K> Node<K> {
+    fn new(key: K) -> Box<Node<K>> {
+        Box::new(Node {
+            key,
+            left: None,
+            right: None,
+            height: 1,
+            size: 1,
+        })
+    }
+}
+
+#[inline]
+fn height<K>(n: &Option<Box<Node<K>>>) -> u32 {
+    n.as_ref().map_or(0, |n| n.height)
+}
+
+#[inline]
+fn size<K>(n: &Option<Box<Node<K>>>) -> usize {
+    n.as_ref().map_or(0, |n| n.size)
+}
+
+#[inline]
+fn update<K>(n: &mut Box<Node<K>>) {
+    n.height = 1 + height(&n.left).max(height(&n.right));
+    n.size = 1 + size(&n.left) + size(&n.right);
+}
+
+#[inline]
+fn balance_factor<K>(n: &Node<K>) -> i32 {
+    height(&n.left) as i32 - height(&n.right) as i32
+}
+
+fn rotate_right<K>(mut n: Box<Node<K>>) -> Box<Node<K>> {
+    let mut left = n.left.take().expect("rotate_right requires a left child");
+    n.left = left.right.take();
+    update(&mut n);
+    left.right = Some(n);
+    update(&mut left);
+    left
+}
+
+fn rotate_left<K>(mut n: Box<Node<K>>) -> Box<Node<K>> {
+    let mut right = n.right.take().expect("rotate_left requires a right child");
+    n.right = right.left.take();
+    update(&mut n);
+    right.left = Some(n);
+    update(&mut right);
+    right
+}
+
+fn rebalance<K>(mut n: Box<Node<K>>) -> Box<Node<K>> {
+    update(&mut n);
+    let bf = balance_factor(&n);
+    if bf > 1 {
+        if balance_factor(n.left.as_ref().expect("bf > 1 implies left child")) < 0 {
+            n.left = Some(rotate_left(n.left.take().expect("checked above")));
+        }
+        rotate_right(n)
+    } else if bf < -1 {
+        if balance_factor(n.right.as_ref().expect("bf < -1 implies right child")) > 0 {
+            n.right = Some(rotate_right(n.right.take().expect("checked above")));
+        }
+        rotate_left(n)
+    } else {
+        n
+    }
+}
+
+fn insert_node<K: Ord>(node: Option<Box<Node<K>>>, key: K, inserted: &mut bool) -> Box<Node<K>> {
+    let Some(mut n) = node else {
+        *inserted = true;
+        return Node::new(key);
+    };
+    match key.cmp(&n.key) {
+        Ordering::Less => n.left = Some(insert_node(n.left.take(), key, inserted)),
+        Ordering::Greater => n.right = Some(insert_node(n.right.take(), key, inserted)),
+        Ordering::Equal => {
+            *inserted = false;
+            return n;
+        }
+    }
+    rebalance(n)
+}
+
+/// Detaches the minimum node of the subtree, returning (rest, min).
+fn take_min<K>(mut n: Box<Node<K>>) -> (Option<Box<Node<K>>>, Box<Node<K>>) {
+    if let Some(left) = n.left.take() {
+        let (rest, min) = take_min(left);
+        n.left = rest;
+        (Some(rebalance(n)), min)
+    } else {
+        let right = n.right.take();
+        (right, n)
+    }
+}
+
+fn remove_node<K: Ord>(
+    node: Option<Box<Node<K>>>,
+    key: &K,
+    removed: &mut bool,
+) -> Option<Box<Node<K>>> {
+    let mut n = node?;
+    match key.cmp(&n.key) {
+        Ordering::Less => n.left = remove_node(n.left.take(), key, removed),
+        Ordering::Greater => n.right = remove_node(n.right.take(), key, removed),
+        Ordering::Equal => {
+            *removed = true;
+            return match (n.left.take(), n.right.take()) {
+                (None, r) => r,
+                (l, None) => l,
+                (l, Some(r)) => {
+                    let (rest, mut successor) = take_min(r);
+                    successor.left = l;
+                    successor.right = rest;
+                    Some(rebalance(successor))
+                }
+            };
+        }
+    }
+    Some(rebalance(n))
+}
+
+/// An AVL tree augmented with subtree sizes (an *order-statistic tree*).
+///
+/// ```
+/// use tkm_ostree::OsTree;
+///
+/// let mut tree = OsTree::new();
+/// for id in [9u64, 2, 7, 1, 8] {
+///     tree.insert(id);
+/// }
+/// // Rank queries in O(log n): how many stored ids exceed 7?
+/// assert_eq!(tree.count_greater(&7), 2);
+/// // Order statistics: the 2nd-smallest id.
+/// assert_eq!(tree.select(1), Some(&2));
+/// ```
+pub struct OsTree<K> {
+    root: Option<Box<Node<K>>>,
+}
+
+impl<K> Default for OsTree<K> {
+    fn default() -> Self {
+        OsTree { root: None }
+    }
+}
+
+impl<K: Ord> OsTree<K> {
+    /// Creates an empty tree.
+    pub fn new() -> OsTree<K> {
+        OsTree::default()
+    }
+
+    /// Number of keys stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// Whether the tree is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Inserts `key`; returns `false` (leaving the tree unchanged) if it was
+    /// already present.
+    pub fn insert(&mut self, key: K) -> bool {
+        let mut inserted = false;
+        self.root = Some(insert_node(self.root.take(), key, &mut inserted));
+        inserted
+    }
+
+    /// Removes `key`; returns `false` if it was not present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let mut removed = false;
+        self.root = remove_node(self.root.take(), key, &mut removed);
+        removed
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                Ordering::Less => cur = n.left.as_deref(),
+                Ordering::Greater => cur = n.right.as_deref(),
+                Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Number of stored keys strictly less than `key`.
+    pub fn count_less(&self, key: &K) -> usize {
+        let mut acc = 0;
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                Ordering::Less | Ordering::Equal => cur = n.left.as_deref(),
+                Ordering::Greater => {
+                    acc += 1 + size(&n.left);
+                    cur = n.right.as_deref();
+                }
+            }
+        }
+        acc
+    }
+
+    /// Number of stored keys strictly greater than `key` — the dominance
+    /// counter query of SMA when keys are arrival ids.
+    pub fn count_greater(&self, key: &K) -> usize {
+        let mut acc = 0;
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                Ordering::Greater | Ordering::Equal => cur = n.right.as_deref(),
+                Ordering::Less => {
+                    acc += 1 + size(&n.right);
+                    cur = n.left.as_deref();
+                }
+            }
+        }
+        acc
+    }
+
+    /// The i-th smallest key (0-based), or `None` if `i ≥ len`.
+    pub fn select(&self, mut i: usize) -> Option<&K> {
+        let mut cur = self.root.as_deref()?;
+        loop {
+            let left = size(&cur.left);
+            match i.cmp(&left) {
+                Ordering::Less => cur = cur.left.as_deref()?,
+                Ordering::Equal => return Some(&cur.key),
+                Ordering::Greater => {
+                    i -= left + 1;
+                    cur = cur.right.as_deref()?;
+                }
+            }
+        }
+    }
+
+    /// Smallest key, if any.
+    pub fn min(&self) -> Option<&K> {
+        self.select(0)
+    }
+
+    /// Largest key, if any.
+    pub fn max(&self) -> Option<&K> {
+        self.len().checked_sub(1).and_then(|i| self.select(i))
+    }
+
+    /// Removes every key.
+    pub fn clear(&mut self) {
+        self.root = None;
+    }
+
+    /// In-order (ascending) iteration, for tests and diagnostics.
+    pub fn iter(&self) -> Iter<'_, K> {
+        let mut stack = Vec::new();
+        push_left(&mut stack, self.root.as_deref());
+        Iter { stack }
+    }
+
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        fn rec<K: Ord>(n: &Node<K>) -> (u32, usize) {
+            let (lh, ls) = n.left.as_deref().map_or((0, 0), rec);
+            let (rh, rs) = n.right.as_deref().map_or((0, 0), rec);
+            assert!((lh as i32 - rh as i32).abs() <= 1, "AVL balance violated");
+            assert_eq!(n.height, 1 + lh.max(rh), "height annotation wrong");
+            assert_eq!(n.size, 1 + ls + rs, "size annotation wrong");
+            if let Some(l) = n.left.as_deref() {
+                assert!(l.key < n.key, "BST order violated (left)");
+            }
+            if let Some(r) = n.right.as_deref() {
+                assert!(r.key > n.key, "BST order violated (right)");
+            }
+            (n.height, n.size)
+        }
+        if let Some(root) = self.root.as_deref() {
+            rec(root);
+        }
+    }
+}
+
+fn push_left<'a, K>(stack: &mut Vec<&'a Node<K>>, mut n: Option<&'a Node<K>>) {
+    while let Some(node) = n {
+        stack.push(node);
+        n = node.left.as_deref();
+    }
+}
+
+/// Ascending iterator over an [`OsTree`].
+pub struct Iter<'a, K> {
+    stack: Vec<&'a Node<K>>,
+}
+
+impl<'a, K> Iterator for Iter<'a, K> {
+    type Item = &'a K;
+
+    fn next(&mut self) -> Option<&'a K> {
+        let node = self.stack.pop()?;
+        push_left(&mut self.stack, node.right.as_deref());
+        Some(&node.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_tree() {
+        let t: OsTree<u64> = OsTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.count_greater(&5), 0);
+        assert_eq!(t.select(0), None);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.max(), None);
+    }
+
+    #[test]
+    fn insert_and_rank() {
+        let mut t = OsTree::new();
+        for k in [5u64, 3, 8, 1, 4, 7, 9] {
+            assert!(t.insert(k));
+        }
+        assert!(!t.insert(5), "duplicate insert is a no-op");
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.count_greater(&5), 3); // 7, 8, 9
+        assert_eq!(t.count_greater(&0), 7);
+        assert_eq!(t.count_greater(&9), 0);
+        assert_eq!(t.count_less(&5), 3); // 1, 3, 4
+        assert_eq!(t.count_less(&10), 7);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn remove_and_select() {
+        let mut t = OsTree::new();
+        for k in 0u64..100 {
+            t.insert(k);
+        }
+        for k in (0u64..100).step_by(2) {
+            assert!(t.remove(&k));
+        }
+        assert!(!t.remove(&2), "already removed");
+        assert_eq!(t.len(), 50);
+        for i in 0..50 {
+            assert_eq!(t.select(i), Some(&(2 * i as u64 + 1)));
+        }
+        assert_eq!(t.min(), Some(&1));
+        assert_eq!(t.max(), Some(&99));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn ascending_then_descending_inserts_stay_balanced() {
+        let mut t = OsTree::new();
+        for k in 0u64..1000 {
+            t.insert(k);
+        }
+        for k in (1000u64..2000).rev() {
+            t.insert(k);
+        }
+        t.check_invariants();
+        // AVL height bound: 1.44 * log2(n + 2).
+        assert!(height(&t.root) <= 16, "height {} too large", height(&t.root));
+        let collected: Vec<u64> = t.iter().copied().collect();
+        assert_eq!(collected, (0u64..2000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = OsTree::new();
+        t.insert(1u64);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.insert(1));
+    }
+
+    /// The SMA usage pattern: process candidates best-score-first, DC =
+    /// number of previously processed entries with a larger arrival id.
+    #[test]
+    fn dominance_counter_pattern() {
+        // (score descending order already applied) arrival ids:
+        let arrivals = [9u64, 2, 7, 1, 8];
+        let mut t = OsTree::new();
+        let mut dcs = Vec::new();
+        for a in arrivals {
+            dcs.push(t.count_greater(&a));
+            t.insert(a);
+        }
+        // id 9: nothing processed            -> 0
+        // id 2: {9} greater                  -> 1
+        // id 7: {9} greater                  -> 1
+        // id 1: {9,2,7} all greater          -> 3
+        // id 8: {9} greater                  -> 1
+        assert_eq!(dcs, vec![0, 1, 1, 3, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_naive_set(ops in prop::collection::vec((any::<bool>(), 0u64..256), 1..200)) {
+            let mut tree = OsTree::new();
+            let mut naive = std::collections::BTreeSet::new();
+            for (is_insert, key) in ops {
+                if is_insert {
+                    prop_assert_eq!(tree.insert(key), naive.insert(key));
+                } else {
+                    prop_assert_eq!(tree.remove(&key), naive.remove(&key));
+                }
+                prop_assert_eq!(tree.len(), naive.len());
+                tree.check_invariants();
+            }
+            // Rank queries agree with the naive set for every probe.
+            for probe in 0u64..256 {
+                let greater = naive.iter().filter(|k| **k > probe).count();
+                let less = naive.iter().filter(|k| **k < probe).count();
+                prop_assert_eq!(tree.count_greater(&probe), greater);
+                prop_assert_eq!(tree.count_less(&probe), less);
+            }
+            // Selection agrees with sorted order.
+            for (i, k) in naive.iter().enumerate() {
+                prop_assert_eq!(tree.select(i), Some(k));
+            }
+            prop_assert_eq!(tree.select(naive.len()), None);
+            let collected: Vec<u64> = tree.iter().copied().collect();
+            let expected: Vec<u64> = naive.iter().copied().collect();
+            prop_assert_eq!(collected, expected);
+        }
+    }
+}

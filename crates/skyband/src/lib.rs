@@ -1,0 +1,454 @@
+#![warn(missing_docs)]
+
+//! k-skyband maintenance in the 2-dimensional *(score, expiry-time)* space
+//! (paper §3.1 and §5).
+//!
+//! A tuple belongs to some current-or-future top-k result **iff** fewer than
+//! `k` tuples *dominate* it (paper §3.1). With the workspace-wide candidate
+//! order (`Scored`: score descending, ties won by the older tuple), tuple
+//! `b` dominates `a` exactly when `b` arrives after `a` — hence expires
+//! later, windows being FIFO — *and* `b` ranks strictly higher. Equal-score
+//! tuples never dominate each other: the older one outranks the newer while
+//! both are valid, and the newer outlives the older, so both may appear in
+//! results. (The paper assumes distinct scores, where this reduces to
+//! `score(b) ≥ score(a)`.)
+//!
+//! [`Skyband`] maintains exactly the book-keeping SMA needs:
+//!
+//! * entries ordered by descending `Scored` — the first `k` *are* the
+//!   current top-k result, so no separate result list is stored;
+//! * a *dominance counter* (DC) per entry: an insert increments the DC of
+//!   every entry it dominates and evicts entries whose DC reaches `k`
+//!   (they can never appear in any result again);
+//! * expiry of the oldest entry, which — provably (paper footnote 5) — is
+//!   in the current top-k and dominates nobody, so no counters change;
+//! * a from-scratch rebuild that derives the DCs of a fresh top-k list in
+//!   `O(k·log k)` using the order-statistic tree of `tkm-ostree`.
+//!
+//! Counters never need decrementing: a dominator always expires after the
+//! entries it dominates.
+
+use tkm_common::{Result, Scored, TkmError, TupleId};
+use tkm_ostree::OsTree;
+
+/// One skyband entry: a scored tuple plus its dominance counter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SkyEntry {
+    /// Score and arrival id of the tuple.
+    pub scored: Scored,
+    /// Number of tuples that dominate it (always `< k`).
+    pub dc: u32,
+}
+
+/// A k-skyband over the (score, expiry-time) space.
+///
+/// ```
+/// use tkm_common::{Scored, TupleId};
+/// use tkm_skyband::Skyband;
+///
+/// let mut band = Skyband::new(2).unwrap();
+/// band.insert(Scored::new(0.9, TupleId(0)));
+/// band.insert(Scored::new(0.5, TupleId(1)));
+/// band.insert(Scored::new(0.7, TupleId(2)));
+/// // The first k entries are the current top-k…
+/// assert_eq!(band.top()[0].scored.id, TupleId(0));
+/// assert_eq!(band.top()[1].scored.id, TupleId(2));
+/// // …and future results are already queued: when the leader expires,
+/// // the band answers without recomputation.
+/// band.expire(TupleId(0));
+/// assert_eq!(band.top()[0].scored.id, TupleId(2));
+/// assert_eq!(band.top()[1].scored.id, TupleId(1));
+/// ```
+#[derive(Debug)]
+pub struct Skyband {
+    k: usize,
+    /// Entries in descending `Scored` order (best first).
+    entries: Vec<SkyEntry>,
+}
+
+impl Skyband {
+    /// Creates an empty k-skyband.
+    pub fn new(k: usize) -> Result<Skyband> {
+        if k == 0 {
+            return Err(TkmError::InvalidParameter(
+                "Skyband: k must be positive".into(),
+            ));
+        }
+        Ok(Skyband {
+            k,
+            entries: Vec::with_capacity(k + k / 2 + 1),
+        })
+    }
+
+    /// The `k` of this skyband.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of entries currently kept (usually slightly more than `k` —
+    /// Table 2 of the paper).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the skyband holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether fewer than `k` entries remain — the condition that forces
+    /// SMA to recompute from scratch (paper Figure 11, lines 20–22).
+    #[inline]
+    pub fn is_deficient(&self) -> bool {
+        self.entries.len() < self.k
+    }
+
+    /// All entries, best first.
+    #[inline]
+    pub fn entries(&self) -> &[SkyEntry] {
+        &self.entries
+    }
+
+    /// The current top-k result: the first `min(k, len)` entries.
+    #[inline]
+    pub fn top(&self) -> &[SkyEntry] {
+        &self.entries[..self.k.min(self.entries.len())]
+    }
+
+    /// Score/id of the k-th best entry if the skyband has `k` of them.
+    #[inline]
+    pub fn kth(&self) -> Option<Scored> {
+        (self.entries.len() >= self.k).then(|| self.entries[self.k - 1].scored)
+    }
+
+    /// Whether a tuple id is currently in the skyband (O(len) scan over the
+    /// ~k entries).
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.entries.iter().any(|e| e.scored.id == id)
+    }
+
+    /// Rebuilds from a fresh best-first candidate list, deriving dominance
+    /// counters with an order-statistic tree: processing best-first, the DC
+    /// of an entry is the number of already-processed entries that arrived
+    /// later.
+    ///
+    /// The input is typically the top-k list of the computation module,
+    /// optionally extended with candidates tying the k-th score (SMA needs
+    /// those: a tie-loser can enter a future result). Every dominator of a
+    /// listed candidate ranks above it and therefore appears earlier in the
+    /// list, so the DCs are exact; candidates with ≥ k dominators are not
+    /// stored (they can never appear in a result) but still count as
+    /// dominators of later candidates.
+    pub fn rebuild(&mut self, top: &[Scored]) {
+        debug_assert!(
+            top.windows(2).all(|w| w[0] > w[1]),
+            "rebuild input must be strictly descending"
+        );
+        self.entries.clear();
+        let mut arrivals = OsTree::new();
+        for s in top {
+            let dc = arrivals.count_greater(&s.id.0);
+            arrivals.insert(s.id.0);
+            if dc < self.k {
+                self.entries.push(SkyEntry {
+                    scored: *s,
+                    dc: dc as u32,
+                });
+            }
+        }
+    }
+
+    /// Inserts a newly arrived tuple (its id must exceed every id already
+    /// present — arrivals come in sequence order). Increments the dominance
+    /// counter of every dominated entry and evicts entries whose counter
+    /// reaches `k`. Returns the insertion rank (0 = new best). O(len).
+    pub fn insert(&mut self, s: Scored) -> usize {
+        debug_assert!(
+            self.entries.iter().all(|e| e.scored.id < s.id),
+            "inserts must arrive in id order"
+        );
+        // Position in descending order: first index whose entry ranks below
+        // `s`. Entries after it rank strictly lower and arrived earlier —
+        // precisely the entries `s` dominates.
+        let pos = self.entries.partition_point(|e| e.scored > s);
+        self.entries.insert(pos, SkyEntry { scored: s, dc: 0 });
+        let k = self.k as u32;
+        let mut write = pos + 1;
+        for read in pos + 1..self.entries.len() {
+            let mut e = self.entries[read];
+            e.dc += 1;
+            if e.dc < k {
+                self.entries[write] = e;
+                write += 1;
+            }
+        }
+        self.entries.truncate(write);
+        pos
+    }
+
+    /// Removes an expiring tuple. Only the oldest valid tuple can expire,
+    /// and if present it is in the current top-k and dominates nobody, so
+    /// no counters change. Returns `true` if the tuple was present.
+    pub fn expire(&mut self, id: TupleId) -> bool {
+        match self.entries.iter().position(|e| e.scored.id == id) {
+            Some(pos) => {
+                debug_assert!(
+                    pos < self.k,
+                    "an expiring skyband member must be in the top-k (footnote 5)"
+                );
+                self.entries.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Deep size estimate in bytes. Matches the paper's `O(d + 3k)` per
+    /// query: id, score and dominance counter per entry.
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.entries.capacity() * std::mem::size_of::<SkyEntry>()
+    }
+
+    /// Validates internal invariants (tests/debugging).
+    pub fn check_invariants(&self) {
+        for w in self.entries.windows(2) {
+            assert!(
+                w[0].scored > w[1].scored,
+                "entries must be strictly descending"
+            );
+        }
+        for e in &self.entries {
+            assert!((e.dc as usize) < self.k, "DC must stay below k");
+        }
+        // An entry's counter is at least its number of in-band dominators
+        // (out-of-band dominators — entries since evicted — may add more).
+        for (i, e) in self.entries.iter().enumerate() {
+            let in_band = self.entries[..i]
+                .iter()
+                .filter(|d| d.scored.id > e.scored.id)
+                .count();
+            assert!(e.dc as usize >= in_band, "DC below in-band dominator count");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(score: f64, id: u64) -> Scored {
+        Scored::new(score, TupleId(id))
+    }
+
+    #[test]
+    fn k_must_be_positive() {
+        assert!(Skyband::new(0).is_err());
+    }
+
+    /// The running example of Figure 10, with arrival ids assigned in
+    /// expiry order (p3 expires first, then p2, p7, p5; p9 arrives last and
+    /// outlives everyone) and scores p2 > p9 > p3 > p5 > p7.
+    #[test]
+    fn figure_10_example() {
+        let p3 = s(0.6, 0);
+        let p2 = s(0.9, 1);
+        let p7 = s(0.3, 2);
+        let p5 = s(0.5, 3);
+        let p9 = s(0.8, 4);
+
+        let mut sky = Skyband::new(2).unwrap();
+        for p in [p3, p2, p7, p5] {
+            sky.insert(p);
+        }
+        sky.check_invariants();
+        // Figure 10(a): band {p2(0), p3(1), p5(0), p7(1)}, top-2 {p2, p3}.
+        let band: Vec<(u64, u32)> = sky.entries().iter().map(|e| (e.scored.id.0, e.dc)).collect();
+        assert_eq!(band, vec![(1, 0), (0, 1), (3, 0), (2, 1)]);
+        let top: Vec<u64> = sky.top().iter().map(|e| e.scored.id.0).collect();
+        assert_eq!(top, vec![1, 0], "top-2 = {{p2, p3}}");
+
+        // p9 arrives: p3 and p7 hit DC = 2 and leave; p5 survives at DC 1.
+        sky.insert(p9);
+        sky.check_invariants();
+        let band: Vec<(u64, u32)> = sky.entries().iter().map(|e| (e.scored.id.0, e.dc)).collect();
+        assert_eq!(band, vec![(1, 0), (4, 0), (3, 1)], "band = {{p2, p9, p5}}");
+        let top: Vec<u64> = sky.top().iter().map(|e| e.scored.id.0).collect();
+        assert_eq!(top, vec![1, 4], "new top-2 = {{p2, p9}}");
+
+        // p3 expires first — it already left the band; then p2 expires and
+        // the result becomes {p9, p5} as in the paper.
+        assert!(!sky.expire(TupleId(0)));
+        assert!(sky.expire(TupleId(1)));
+        let top: Vec<u64> = sky.top().iter().map(|e| e.scored.id.0).collect();
+        assert_eq!(top, vec![4, 3]);
+    }
+
+    #[test]
+    fn rebuild_derives_dominance_counters() {
+        let mut sky = Skyband::new(4).unwrap();
+        // Best-first list; arrival ids deliberately shuffled.
+        sky.rebuild(&[s(0.9, 7), s(0.8, 2), s(0.7, 9), s(0.6, 1)]);
+        let dcs: Vec<u32> = sky.entries().iter().map(|e| e.dc).collect();
+        // id7: nothing processed before it           → 0
+        // id2: {7} arrived later                     → 1
+        // id9: neither 7 nor 2 arrived later than 9  → 0
+        // id1: {7, 2, 9} all arrived later           → 3
+        assert_eq!(dcs, vec![0, 1, 0, 3]);
+        sky.check_invariants();
+    }
+
+    #[test]
+    fn rebuild_accepts_fewer_than_k() {
+        let mut sky = Skyband::new(5).unwrap();
+        sky.rebuild(&[s(0.9, 1), s(0.5, 0)]);
+        assert_eq!(sky.len(), 2);
+        assert!(sky.is_deficient());
+        assert_eq!(sky.kth(), None);
+        assert_eq!(sky.top().len(), 2);
+    }
+
+    #[test]
+    fn insert_evicts_at_k_dominators() {
+        let mut sky = Skyband::new(1).unwrap();
+        sky.rebuild(&[s(0.5, 0)]);
+        // A better, newer tuple replaces the old top immediately (k = 1).
+        sky.insert(s(0.6, 1));
+        assert_eq!(sky.len(), 1);
+        assert_eq!(sky.top()[0].scored.id, TupleId(1));
+        // Worse, newer tuples are dominated by nothing *newer* — kept as
+        // future results.
+        sky.insert(s(0.4, 2));
+        sky.insert(s(0.3, 3));
+        assert_eq!(sky.len(), 3);
+        // A newer better tuple sweeps them all out.
+        sky.insert(s(0.9, 4));
+        assert_eq!(sky.len(), 1);
+        assert_eq!(sky.top()[0].scored.id, TupleId(4));
+        sky.check_invariants();
+    }
+
+    #[test]
+    fn equal_scores_never_dominate() {
+        let mut sky = Skyband::new(1).unwrap();
+        sky.rebuild(&[s(0.5, 0)]);
+        sky.insert(s(0.5, 1));
+        // The older tuple outranks the newer while valid; the newer
+        // outlives it. Both appear in some top-1 result, so both stay.
+        assert_eq!(sky.len(), 2);
+        let top: Vec<u64> = sky.top().iter().map(|e| e.scored.id.0).collect();
+        assert_eq!(top, vec![0], "older equal-score tuple is the result now");
+        assert!(sky.expire(TupleId(0)));
+        let top: Vec<u64> = sky.top().iter().map(|e| e.scored.id.0).collect();
+        assert_eq!(top, vec![1], "newer takes over after expiry");
+    }
+
+    #[test]
+    fn expire_non_member_is_noop() {
+        let mut sky = Skyband::new(2).unwrap();
+        sky.rebuild(&[s(0.9, 5), s(0.8, 6)]);
+        assert!(!sky.expire(TupleId(4)));
+        assert_eq!(sky.len(), 2);
+    }
+
+    #[test]
+    fn deficiency_detection() {
+        let mut sky = Skyband::new(2).unwrap();
+        sky.rebuild(&[s(0.9, 0), s(0.8, 1)]);
+        assert!(!sky.is_deficient());
+        assert_eq!(sky.kth(), Some(s(0.8, 1)));
+        sky.expire(TupleId(0));
+        assert!(sky.is_deficient());
+        assert_eq!(sky.kth(), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut sky = Skyband::new(2).unwrap();
+        sky.insert(s(0.5, 0));
+        sky.clear();
+        assert!(sky.is_empty());
+    }
+
+    /// Naive model: the k-skyband of a set of valid tuples is the set with
+    /// fewer than k strict dominators (newer arrival, strictly better
+    /// `Scored` — which given distinct ids means strictly higher score).
+    fn naive_skyband(tuples: &[Scored], k: usize) -> Vec<TupleId> {
+        let mut out: Vec<Scored> = tuples
+            .iter()
+            .filter(|p| {
+                tuples
+                    .iter()
+                    .filter(|q| q.id > p.id && q.score > p.score)
+                    .count()
+                    < k
+            })
+            .copied()
+            .collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out.into_iter().map(|sc| sc.id).collect()
+    }
+
+    proptest! {
+        /// Streaming inserts + FIFO expiries match the naive k-skyband of
+        /// the valid tuples at every step. Discrete scores force plenty of
+        /// ties through the tie-break logic.
+        #[test]
+        fn matches_naive_skyband(
+            scores in prop::collection::vec(0u32..50, 1..60),
+            k in 1usize..6,
+            expire_every in 2usize..5,
+        ) {
+            let mut sky = Skyband::new(k).unwrap();
+            let mut valid: Vec<Scored> = Vec::new();
+            for (i, sc) in scores.iter().enumerate() {
+                let cand = Scored::new(*sc as f64 / 50.0, TupleId(i as u64));
+                sky.insert(cand);
+                valid.push(cand);
+                if i % expire_every == 0 && !valid.is_empty() {
+                    let victim = valid.remove(0);
+                    sky.expire(victim.id);
+                }
+                sky.check_invariants();
+                let got: Vec<TupleId> =
+                    sky.entries().iter().map(|e| e.scored.id).collect();
+                let want = naive_skyband(&valid, k);
+                prop_assert_eq!(got, want);
+            }
+        }
+
+        /// The first k entries of the skyband equal the brute-force top-k
+        /// of the valid tuples at every step.
+        #[test]
+        fn top_prefix_is_true_topk(
+            scores in prop::collection::vec(0u32..50, 1..60),
+            k in 1usize..6,
+        ) {
+            let mut sky = Skyband::new(k).unwrap();
+            let mut valid: Vec<Scored> = Vec::new();
+            for (i, sc) in scores.iter().enumerate() {
+                let cand = Scored::new(*sc as f64 / 50.0, TupleId(i as u64));
+                sky.insert(cand);
+                valid.push(cand);
+                if i % 2 == 0 {
+                    let victim = valid.remove(0);
+                    sky.expire(victim.id);
+                }
+                let mut want = valid.clone();
+                want.sort_by(|a, b| b.cmp(a));
+                want.truncate(k);
+                let got: Vec<Scored> =
+                    sky.top().iter().map(|e| e.scored).collect();
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-dimension sorted lists (Figure 3 of the paper).
+//!
+//! One ordered index per attribute, each holding `(value, id)` pairs for
+//! every valid tuple. TA walks a list from its preferred end (direction
+//! chosen per query monotonicity); arrivals/expiries update all `d` lists —
+//! the `O(r·d·log N)` per-cycle maintenance cost the paper attributes to
+//! TSL.
+
+use std::collections::BTreeSet;
+
+use tkm_common::{Monotonicity, OrderedF64, Result, TkmError, TupleId, MAX_DIMS};
+
+/// `d` sorted lists over the valid tuples, one per dimension.
+#[derive(Debug)]
+pub struct SortedLists {
+    lists: Vec<BTreeSet<(OrderedF64, TupleId)>>,
+}
+
+impl SortedLists {
+    /// Creates empty lists for `dims` dimensions.
+    pub fn new(dims: usize) -> Result<SortedLists> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(TkmError::InvalidParameter(format!(
+                "SortedLists: dimensionality {dims} outside [1, {MAX_DIMS}]"
+            )));
+        }
+        Ok(SortedLists {
+            lists: (0..dims).map(|_| BTreeSet::new()).collect(),
+        })
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of tuples indexed (same in every list).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lists[0].len()
+    }
+
+    /// Whether the lists are empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lists[0].is_empty()
+    }
+
+    /// Indexes a tuple in all `d` lists.
+    pub fn insert(&mut self, id: TupleId, coords: &[f64]) {
+        debug_assert_eq!(coords.len(), self.dims());
+        for (list, &x) in self.lists.iter_mut().zip(coords) {
+            let fresh = list.insert((OrderedF64::new(x), id));
+            debug_assert!(fresh, "tuple {id} already indexed");
+        }
+    }
+
+    /// Removes a tuple from all `d` lists.
+    pub fn remove(&mut self, id: TupleId, coords: &[f64]) {
+        debug_assert_eq!(coords.len(), self.dims());
+        for (list, &x) in self.lists.iter_mut().zip(coords) {
+            let existed = list.remove(&(OrderedF64::new(x), id));
+            debug_assert!(existed, "tuple {id} missing from sorted list");
+        }
+    }
+
+    /// Iterates one dimension's list starting from the end preferred under
+    /// `mono` (sorted access of TA): descending values for increasing
+    /// dimensions, ascending for decreasing ones.
+    pub fn sorted_access(
+        &self,
+        dim: usize,
+        mono: Monotonicity,
+    ) -> Box<dyn Iterator<Item = (f64, TupleId)> + '_> {
+        let list = &self.lists[dim];
+        match mono {
+            Monotonicity::Increasing => {
+                Box::new(list.iter().rev().map(|(v, id)| (v.get(), *id)))
+            }
+            Monotonicity::Decreasing => Box::new(list.iter().map(|(v, id)| (v.get(), *id))),
+        }
+    }
+
+    /// Deep size estimate in bytes. B-tree nodes cost roughly the entry
+    /// size plus per-entry tree overhead.
+    pub fn space_bytes(&self) -> usize {
+        const BTREE_PER_ENTRY_OVERHEAD: usize = 16;
+        let entry = std::mem::size_of::<(OrderedF64, TupleId)>() + BTREE_PER_ENTRY_OVERHEAD;
+        std::mem::size_of::<Self>()
+            + self.lists.iter().map(|l| l.len() * entry).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_dims() {
+        assert!(SortedLists::new(0).is_err());
+        assert!(SortedLists::new(MAX_DIMS + 1).is_err());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut l = SortedLists::new(2).unwrap();
+        l.insert(TupleId(0), &[0.3, 0.9]);
+        l.insert(TupleId(1), &[0.7, 0.1]);
+        assert_eq!(l.len(), 2);
+        l.remove(TupleId(0), &[0.3, 0.9]);
+        assert_eq!(l.len(), 1);
+        let remaining: Vec<(f64, TupleId)> =
+            l.sorted_access(0, Monotonicity::Increasing).collect();
+        assert_eq!(remaining, vec![(0.7, TupleId(1))]);
+    }
+
+    #[test]
+    fn sorted_access_directions() {
+        let mut l = SortedLists::new(1).unwrap();
+        l.insert(TupleId(0), &[0.5]);
+        l.insert(TupleId(1), &[0.2]);
+        l.insert(TupleId(2), &[0.8]);
+        let desc: Vec<f64> = l
+            .sorted_access(0, Monotonicity::Increasing)
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(desc, vec![0.8, 0.5, 0.2]);
+        let asc: Vec<f64> = l
+            .sorted_access(0, Monotonicity::Decreasing)
+            .map(|(v, _)| v)
+            .collect();
+        assert_eq!(asc, vec![0.2, 0.5, 0.8]);
+    }
+
+    #[test]
+    fn duplicate_values_disambiguated_by_id() {
+        let mut l = SortedLists::new(1).unwrap();
+        l.insert(TupleId(0), &[0.5]);
+        l.insert(TupleId(1), &[0.5]);
+        assert_eq!(l.len(), 2);
+        l.remove(TupleId(0), &[0.5]);
+        let rest: Vec<TupleId> = l
+            .sorted_access(0, Monotonicity::Increasing)
+            .map(|(_, id)| id)
+            .collect();
+        assert_eq!(rest, vec![TupleId(1)]);
+    }
+}

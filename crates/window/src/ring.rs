@@ -1,0 +1,307 @@
+//! The flat coordinate ring underlying both window kinds.
+
+use tkm_common::{Result, Timestamp, TkmError, TupleId, MAX_DIMS};
+
+/// A FIFO ring of d-dimensional tuples stored in one flat `Vec<f64>`.
+///
+/// Each slot holds `dims` consecutive coordinates plus a parallel arrival
+/// timestamp. Tuple ids are dense arrival sequence numbers, so locating a
+/// tuple is `slot = (head_slot + (id − head_id)) % capacity` — no hashing.
+/// The ring grows geometrically when full (the count window sizes it up
+/// front; the time window relies on growth).
+#[derive(Debug)]
+pub struct FlatRing {
+    dims: usize,
+    /// Coordinate storage, `capacity * dims` floats.
+    buf: Vec<f64>,
+    /// Arrival timestamps, `capacity` entries.
+    times: Vec<u64>,
+    /// Number of slots (not floats).
+    capacity: usize,
+    /// Slot index of the oldest tuple.
+    head_slot: usize,
+    /// Number of valid tuples.
+    len: usize,
+    /// Id of the oldest tuple (`head_id + len` = next id to assign).
+    head_id: u64,
+}
+
+impl FlatRing {
+    /// Creates a ring for `dims`-dimensional tuples with room for
+    /// `initial_slots` tuples before the first reallocation.
+    pub fn new(dims: usize, initial_slots: usize) -> Result<FlatRing> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(TkmError::InvalidParameter(format!(
+                "FlatRing: dimensionality {dims} outside [1, {MAX_DIMS}]"
+            )));
+        }
+        let capacity = initial_slots.max(1);
+        Ok(FlatRing {
+            dims,
+            buf: vec![0.0; capacity * dims],
+            times: vec![0; capacity],
+            capacity,
+            head_slot: 0,
+            len: 0,
+            head_id: 0,
+        })
+    }
+
+    /// Dimensionality of stored tuples.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of valid tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the ring is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Id of the oldest valid tuple.
+    #[inline]
+    pub fn oldest(&self) -> Option<TupleId> {
+        (self.len > 0).then_some(TupleId(self.head_id))
+    }
+
+    /// Id of the newest valid tuple.
+    #[inline]
+    pub fn newest(&self) -> Option<TupleId> {
+        (self.len > 0).then_some(TupleId(self.head_id + self.len as u64 - 1))
+    }
+
+    /// Slot index for a valid id, `None` if the id is outside the window.
+    #[inline]
+    fn slot_of(&self, id: TupleId) -> Option<usize> {
+        let offset = id.0.checked_sub(self.head_id)?;
+        if (offset as usize) < self.len {
+            Some((self.head_slot + offset as usize) % self.capacity)
+        } else {
+            None
+        }
+    }
+
+    /// Coordinates of a valid tuple.
+    #[inline]
+    pub fn coords(&self, id: TupleId) -> Option<&[f64]> {
+        let slot = self.slot_of(id)?;
+        Some(&self.buf[slot * self.dims..(slot + 1) * self.dims])
+    }
+
+    /// Arrival time of a valid tuple.
+    #[inline]
+    pub fn arrival_time(&self, id: TupleId) -> Option<Timestamp> {
+        Some(Timestamp(self.times[self.slot_of(id)?]))
+    }
+
+    /// Appends a tuple and returns its id. Timestamps must be
+    /// non-decreasing in arrival order (FIFO expiry depends on it).
+    pub fn push(&mut self, coords: &[f64], ts: Timestamp) -> Result<TupleId> {
+        if coords.len() != self.dims {
+            return Err(TkmError::DimensionMismatch {
+                expected: self.dims,
+                got: coords.len(),
+            });
+        }
+        debug_assert!(
+            self.len == 0
+                || self
+                    .arrival_time(self.newest().expect("non-empty"))
+                    .expect("newest is valid")
+                    .0
+                    <= ts.0,
+            "arrival timestamps must be non-decreasing"
+        );
+        if self.len == self.capacity {
+            self.grow();
+        }
+        let slot = (self.head_slot + self.len) % self.capacity;
+        self.buf[slot * self.dims..(slot + 1) * self.dims].copy_from_slice(coords);
+        self.times[slot] = ts.0;
+        let id = TupleId(self.head_id + self.len as u64);
+        self.len += 1;
+        Ok(id)
+    }
+
+    /// Removes the oldest tuple, copying its coordinates into `scratch`
+    /// (which must have length ≥ dims) and returning its id.
+    pub fn pop_front_into(&mut self, scratch: &mut [f64]) -> Option<TupleId> {
+        if self.len == 0 {
+            return None;
+        }
+        let slot = self.head_slot;
+        scratch[..self.dims].copy_from_slice(&self.buf[slot * self.dims..(slot + 1) * self.dims]);
+        let id = TupleId(self.head_id);
+        self.head_slot = (self.head_slot + 1) % self.capacity;
+        self.head_id += 1;
+        self.len -= 1;
+        if self.len == 0 {
+            self.head_slot = 0;
+        }
+        Some(id)
+    }
+
+    /// Arrival time of the oldest tuple.
+    #[inline]
+    pub fn front_time(&self) -> Option<Timestamp> {
+        (self.len > 0).then(|| Timestamp(self.times[self.head_slot]))
+    }
+
+    /// Doubles capacity, re-linearising so the head moves to slot 0.
+    fn grow(&mut self) {
+        let new_capacity = (self.capacity * 2).max(4);
+        let mut buf = vec![0.0; new_capacity * self.dims];
+        let mut times = vec![0; new_capacity];
+        for i in 0..self.len {
+            let slot = (self.head_slot + i) % self.capacity;
+            buf[i * self.dims..(i + 1) * self.dims]
+                .copy_from_slice(&self.buf[slot * self.dims..(slot + 1) * self.dims]);
+            times[i] = self.times[slot];
+        }
+        self.buf = buf;
+        self.times = times;
+        self.capacity = new_capacity;
+        self.head_slot = 0;
+    }
+
+    /// Iterates valid tuples in arrival order.
+    pub fn iter(&self) -> RingIter<'_> {
+        RingIter {
+            ring: self,
+            offset: 0,
+        }
+    }
+
+    /// Deep size estimate in bytes.
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.buf.capacity() * std::mem::size_of::<f64>()
+            + self.times.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Arrival-order iterator over `(id, coords)` pairs of a [`FlatRing`].
+pub struct RingIter<'a> {
+    ring: &'a FlatRing,
+    offset: usize,
+}
+
+impl<'a> Iterator for RingIter<'a> {
+    type Item = (TupleId, &'a [f64]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.offset >= self.ring.len {
+            return None;
+        }
+        let id = TupleId(self.ring.head_id + self.offset as u64);
+        let slot = (self.ring.head_slot + self.offset) % self.ring.capacity;
+        self.offset += 1;
+        Some((
+            id,
+            &self.ring.buf[slot * self.ring.dims..(slot + 1) * self.ring.dims],
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.ring.len - self.offset;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for RingIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_dims() {
+        assert!(FlatRing::new(0, 4).is_err());
+        assert!(FlatRing::new(MAX_DIMS + 1, 4).is_err());
+        let mut r = FlatRing::new(2, 4).unwrap();
+        assert!(r.push(&[0.0], Timestamp(0)).is_err());
+    }
+
+    #[test]
+    fn push_pop_fifo() {
+        let mut r = FlatRing::new(2, 2).unwrap();
+        let a = r.push(&[0.1, 0.2], Timestamp(0)).unwrap();
+        let b = r.push(&[0.3, 0.4], Timestamp(1)).unwrap();
+        assert_eq!(a, TupleId(0));
+        assert_eq!(b, TupleId(1));
+        let mut scratch = [0.0; 2];
+        assert_eq!(r.pop_front_into(&mut scratch), Some(a));
+        assert_eq!(scratch, [0.1, 0.2]);
+        assert_eq!(r.coords(a), None, "popped tuple is gone");
+        assert_eq!(r.coords(b), Some(&[0.3, 0.4][..]));
+        assert_eq!(r.pop_front_into(&mut scratch), Some(b));
+        assert_eq!(r.pop_front_into(&mut scratch), None);
+    }
+
+    #[test]
+    fn growth_preserves_contents_and_wraps() {
+        let mut r = FlatRing::new(3, 2).unwrap();
+        let mut scratch = [0.0; 3];
+        // Interleave pushes and pops so head_slot is non-zero when growth
+        // happens (exercises the re-linearisation).
+        for i in 0..50u64 {
+            r.push(&[i as f64, 0.5, 1.0 - i as f64 / 100.0], Timestamp(i))
+                .unwrap();
+            if i % 3 == 0 {
+                r.pop_front_into(&mut scratch);
+            }
+        }
+        let items: Vec<(TupleId, Vec<f64>)> =
+            r.iter().map(|(id, c)| (id, c.to_vec())).collect();
+        assert_eq!(items.len(), r.len());
+        for (id, coords) in items {
+            assert_eq!(coords[0], id.0 as f64);
+            assert_eq!(r.coords(id).unwrap(), &coords[..]);
+            assert_eq!(r.arrival_time(id), Some(Timestamp(id.0)));
+        }
+    }
+
+    #[test]
+    fn lookup_outside_window() {
+        let mut r = FlatRing::new(1, 2).unwrap();
+        r.push(&[0.5], Timestamp(0)).unwrap();
+        assert_eq!(r.coords(TupleId(5)), None);
+        let mut scratch = [0.0];
+        r.pop_front_into(&mut scratch);
+        assert_eq!(r.coords(TupleId(0)), None);
+    }
+
+    proptest! {
+        #[test]
+        fn ids_are_dense_and_fifo(pushes in 1usize..200, pop_every in 1usize..5) {
+            let mut r = FlatRing::new(2, 1).unwrap();
+            let mut scratch = [0.0; 2];
+            let mut popped = Vec::new();
+            for i in 0..pushes {
+                let id = r.push(&[i as f64, 0.0], Timestamp(i as u64)).unwrap();
+                prop_assert_eq!(id, TupleId(i as u64));
+                if i % pop_every == 0 {
+                    if let Some(p) = r.pop_front_into(&mut scratch) {
+                        popped.push(p.0);
+                    }
+                }
+            }
+            // Popped ids are exactly a prefix of the id sequence.
+            let expected: Vec<u64> = (0..popped.len() as u64).collect();
+            prop_assert_eq!(popped, expected);
+            // Remaining ids are contiguous.
+            let remaining: Vec<u64> = r.iter().map(|(id, _)| id.0).collect();
+            for pair in remaining.windows(2) {
+                prop_assert_eq!(pair[1], pair[0] + 1);
+            }
+        }
+    }
+}

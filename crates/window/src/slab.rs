@@ -1,0 +1,181 @@
+//! Tuple store for the §7 *update stream* model.
+//!
+//! When the stream carries explicit deletions, tuples no longer expire in
+//! FIFO order, so the ring layout does not apply: tuples live in a slab
+//! (free-list recycled slots) and are located through a hash map. The paper
+//! notes exactly this change — "the point lists of the cells are implemented
+//! as hash-tables for supporting random insertions/deletions in constant
+//! expected time" — and the same applies to the backing store.
+
+use tkm_common::{FxHashMap, Result, TkmError, TupleId, MAX_DIMS};
+
+/// Explicit-deletion tuple store (slab + id→slot hash map).
+#[derive(Debug)]
+pub struct SlabStore {
+    dims: usize,
+    /// Coordinate storage, one `dims`-stride slot per tuple.
+    buf: Vec<f64>,
+    /// Recyclable slots.
+    free: Vec<usize>,
+    /// Valid tuples.
+    slots: FxHashMap<TupleId, usize>,
+    /// Next id to assign.
+    next_id: u64,
+}
+
+impl SlabStore {
+    /// Creates an empty store for `dims`-dimensional tuples.
+    pub fn new(dims: usize) -> Result<SlabStore> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(TkmError::InvalidParameter(format!(
+                "SlabStore: dimensionality {dims} outside [1, {MAX_DIMS}]"
+            )));
+        }
+        Ok(SlabStore {
+            dims,
+            buf: Vec::new(),
+            free: Vec::new(),
+            slots: FxHashMap::default(),
+            next_id: 0,
+        })
+    }
+
+    /// Dimensionality of stored tuples.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of valid tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the store is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Inserts a tuple, assigning the next arrival id.
+    pub fn insert(&mut self, coords: &[f64]) -> Result<TupleId> {
+        if coords.len() != self.dims {
+            return Err(TkmError::DimensionMismatch {
+                expected: self.dims,
+                got: coords.len(),
+            });
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.buf[slot * self.dims..(slot + 1) * self.dims].copy_from_slice(coords);
+                slot
+            }
+            None => {
+                let slot = self.buf.len() / self.dims;
+                self.buf.extend_from_slice(coords);
+                slot
+            }
+        };
+        let id = TupleId(self.next_id);
+        self.next_id += 1;
+        self.slots.insert(id, slot);
+        Ok(id)
+    }
+
+    /// Deletes a tuple by id, returning its coordinates via `scratch`
+    /// (length ≥ dims).
+    pub fn remove_into(&mut self, id: TupleId, scratch: &mut [f64]) -> Result<()> {
+        let slot = self.slots.remove(&id).ok_or(TkmError::UnknownTuple(id))?;
+        scratch[..self.dims].copy_from_slice(&self.buf[slot * self.dims..(slot + 1) * self.dims]);
+        self.free.push(slot);
+        Ok(())
+    }
+
+    /// Coordinates of a valid tuple.
+    #[inline]
+    pub fn coords(&self, id: TupleId) -> Option<&[f64]> {
+        let slot = *self.slots.get(&id)?;
+        Some(&self.buf[slot * self.dims..(slot + 1) * self.dims])
+    }
+
+    /// Whether `id` is valid.
+    #[inline]
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.slots.contains_key(&id)
+    }
+
+    /// Iterates valid tuples in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &[f64])> + '_ {
+        self.slots
+            .iter()
+            .map(move |(id, slot)| (*id, &self.buf[slot * self.dims..(slot + 1) * self.dims]))
+    }
+
+    /// Deep size estimate in bytes.
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.buf.capacity() * std::mem::size_of::<f64>()
+            + self.free.capacity() * std::mem::size_of::<usize>()
+            + self.slots.capacity() * (std::mem::size_of::<(TupleId, usize)>() + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = SlabStore::new(2).unwrap();
+        let a = s.insert(&[0.1, 0.2]).unwrap();
+        let b = s.insert(&[0.3, 0.4]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.coords(a), Some(&[0.1, 0.2][..]));
+
+        let mut scratch = [0.0; 2];
+        s.remove_into(a, &mut scratch).unwrap();
+        assert_eq!(scratch, [0.1, 0.2]);
+        assert!(!s.contains(a));
+        assert!(s.contains(b));
+        assert!(matches!(
+            s.remove_into(a, &mut scratch),
+            Err(TkmError::UnknownTuple(_))
+        ));
+    }
+
+    #[test]
+    fn slots_are_recycled_but_ids_are_not() {
+        let mut s = SlabStore::new(1).unwrap();
+        let a = s.insert(&[1.0]).unwrap();
+        let mut scratch = [0.0];
+        s.remove_into(a, &mut scratch).unwrap();
+        let b = s.insert(&[2.0]).unwrap();
+        assert_ne!(a, b, "ids are never reused");
+        assert_eq!(s.buf.len(), 1, "slot was recycled");
+        assert_eq!(s.coords(b), Some(&[2.0][..]));
+    }
+
+    #[test]
+    fn out_of_order_deletions() {
+        let mut s = SlabStore::new(1).unwrap();
+        let ids: Vec<TupleId> = (0..10).map(|i| s.insert(&[i as f64]).unwrap()).collect();
+        let mut scratch = [0.0];
+        // Delete in arbitrary order — the very thing FIFO windows cannot do.
+        for &i in &[5usize, 0, 9, 3] {
+            s.remove_into(ids[i], &mut scratch).unwrap();
+            assert_eq!(scratch[0], i as f64);
+        }
+        assert_eq!(s.len(), 6);
+        let mut remaining: Vec<f64> = s.iter().map(|(_, c)| c[0]).collect();
+        remaining.sort_by(f64::total_cmp);
+        assert_eq!(remaining, vec![1.0, 2.0, 4.0, 6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn dimension_checks() {
+        assert!(SlabStore::new(0).is_err());
+        let mut s = SlabStore::new(2).unwrap();
+        assert!(s.insert(&[0.1]).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Time-based sliding window: tuples younger than `T` ticks are valid.
+
+use crate::ring::{FlatRing, RingIter};
+use tkm_common::{Result, Timestamp, TkmError, TupleId, MAX_DIMS};
+
+/// A time-based sliding window: a tuple inserted at time `t` is valid while
+/// `now − t < duration`.
+///
+/// Because arrival timestamps are non-decreasing, expiry is FIFO here too —
+/// the property every engine depends on.
+#[derive(Debug)]
+pub struct TimeWindow {
+    ring: FlatRing,
+    duration: u64,
+}
+
+impl TimeWindow {
+    /// Creates a window keeping tuples for `duration` ticks.
+    pub fn new(dims: usize, duration: u64) -> Result<TimeWindow> {
+        if duration == 0 {
+            return Err(TkmError::InvalidParameter(
+                "TimeWindow: duration must be positive".into(),
+            ));
+        }
+        Ok(TimeWindow {
+            ring: FlatRing::new(dims, 64)?,
+            duration,
+        })
+    }
+
+    /// Window length `T` in ticks.
+    #[inline]
+    pub fn duration(&self) -> u64 {
+        self.duration
+    }
+
+    /// Dimensionality of stored tuples.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.ring.dims()
+    }
+
+    /// Number of currently stored tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the window is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Coordinates of a valid tuple.
+    #[inline]
+    pub fn coords(&self, id: TupleId) -> Option<&[f64]> {
+        self.ring.coords(id)
+    }
+
+    /// Arrival time of a valid tuple.
+    #[inline]
+    pub fn arrival_time(&self, id: TupleId) -> Option<Timestamp> {
+        self.ring.arrival_time(id)
+    }
+
+    /// Appends a tuple; returns its arrival id. Timestamps must be
+    /// non-decreasing across inserts.
+    pub fn insert(&mut self, coords: &[f64], ts: Timestamp) -> Result<TupleId> {
+        self.ring.push(coords, ts)
+    }
+
+    /// Evicts every tuple whose age at `now` reaches the duration,
+    /// oldest first.
+    pub fn drain_expired(&mut self, now: Timestamp, mut on_expire: impl FnMut(TupleId, &[f64])) {
+        let mut scratch = [0.0f64; MAX_DIMS];
+        let dims = self.ring.dims();
+        while let Some(front) = self.ring.front_time() {
+            if now.since(front) < self.duration {
+                break;
+            }
+            let id = self
+                .ring
+                .pop_front_into(&mut scratch)
+                .expect("front_time implies non-empty");
+            on_expire(id, &scratch[..dims]);
+        }
+    }
+
+    /// Oldest valid tuple id.
+    #[inline]
+    pub fn oldest(&self) -> Option<TupleId> {
+        self.ring.oldest()
+    }
+
+    /// Newest valid tuple id.
+    #[inline]
+    pub fn newest(&self) -> Option<TupleId> {
+        self.ring.newest()
+    }
+
+    /// Iterates valid tuples in arrival order.
+    pub fn iter(&self) -> RingIter<'_> {
+        self.ring.iter()
+    }
+
+    /// Deep size estimate in bytes.
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() - std::mem::size_of::<FlatRing>() + self.ring.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_duration() {
+        assert!(TimeWindow::new(2, 0).is_err());
+    }
+
+    #[test]
+    fn expiry_by_age() {
+        let mut w = TimeWindow::new(1, 3).unwrap();
+        w.insert(&[0.0], Timestamp(0)).unwrap();
+        w.insert(&[1.0], Timestamp(1)).unwrap();
+        w.insert(&[2.0], Timestamp(2)).unwrap();
+
+        let mut gone = Vec::new();
+        w.drain_expired(Timestamp(2), |id, _| gone.push(id.0));
+        assert!(gone.is_empty(), "age 2 < duration 3, nothing expires");
+
+        w.drain_expired(Timestamp(4), |id, _| gone.push(id.0));
+        assert_eq!(gone, vec![0, 1], "ages 4 and 3 have expired");
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.oldest(), Some(TupleId(2)));
+    }
+
+    #[test]
+    fn variable_rate_stream() {
+        // Bursty arrivals: the window size fluctuates with the rate,
+        // which is exactly what distinguishes time from count windows.
+        let mut w = TimeWindow::new(2, 10).unwrap();
+        for tick in 0..30u64 {
+            let burst = if tick % 3 == 0 { 5 } else { 1 };
+            for _ in 0..burst {
+                w.insert(&[0.5, 0.5], Timestamp(tick)).unwrap();
+            }
+            w.drain_expired(Timestamp(tick), |_, _| {});
+            // All tuples are at most 10 ticks old.
+            for (id, _) in w.iter() {
+                assert!(tick.saturating_sub(w.arrival_time(id).unwrap().0) < 10);
+            }
+        }
+        assert!(w.len() > 10, "several ticks' worth of tuples stay valid");
+    }
+
+    #[test]
+    fn whole_window_can_expire() {
+        let mut w = TimeWindow::new(1, 2).unwrap();
+        w.insert(&[0.1], Timestamp(0)).unwrap();
+        w.insert(&[0.2], Timestamp(0)).unwrap();
+        let mut count = 0;
+        w.drain_expired(Timestamp(100), |_, _| count += 1);
+        assert_eq!(count, 2);
+        assert!(w.is_empty());
+        assert_eq!(w.oldest(), None);
+    }
+}

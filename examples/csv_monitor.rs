@@ -1,0 +1,144 @@
+//! Batch-replay tool: monitor top-k queries over a CSV tuple stream.
+//!
+//! Reads comma-separated rows of `d` numeric attributes (values in [0, 1]),
+//! feeds them through a sliding-window monitor in fixed-size processing
+//! cycles and prints result changes as they happen — the library as a
+//! command-line tool.
+//!
+//! Usage:
+//!   cargo run --release --example csv_monitor -- [FILE] [--engine tma|sma|tsl]
+//!
+//! Without FILE a small synthetic stream is generated and replayed, so the
+//! example is runnable stand-alone.
+
+use std::io::BufRead;
+
+use topk_monitor::engines::GridSpec;
+use topk_monitor::{
+    DataDist, EngineKind, MonitorServer, PointGen, Query, ScoreFn, ServerConfig, WindowSpec,
+};
+
+const WINDOW: usize = 2_000;
+const CYCLE: usize = 100;
+const K: usize = 5;
+
+fn parse_engine(args: &[String]) -> EngineKind {
+    match args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        Some("tma") => EngineKind::Tma,
+        Some("tsl") => EngineKind::Tsl,
+        _ => EngineKind::Sma,
+    }
+}
+
+fn load_rows(args: &[String]) -> Result<Vec<Vec<f64>>, Box<dyn std::error::Error>> {
+    let file = args.iter().skip(1).find(|a| !a.starts_with("--"));
+    if let Some(path) = file {
+        let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut rows = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let row: Result<Vec<f64>, _> =
+                trimmed.split(',').map(|c| c.trim().parse::<f64>()).collect();
+            match row {
+                Ok(r) => rows.push(r),
+                Err(e) => return Err(format!("line {}: {e}", lineno + 1).into()),
+            }
+        }
+        Ok(rows)
+    } else {
+        // Stand-alone mode: synthesise a demo stream.
+        let mut gen = PointGen::new(3, DataDist::Ant, 2718)?;
+        Ok((0..5_000).map(|_| gen.point()).collect())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = load_rows(&args)?;
+    let Some(first) = rows.first() else {
+        println!("empty input");
+        return Ok(());
+    };
+    let dims = first.len();
+    println!("{} rows of {dims} attributes", rows.len());
+
+    let engine = parse_engine(&args);
+    let mut server = MonitorServer::new(
+        ServerConfig::sma(dims, WINDOW)
+            .with_engine(engine)
+            .with_window(WindowSpec::Count(WINDOW))
+            .with_grid(GridSpec::default()),
+    )?;
+    println!("engine: {}, window: {WINDOW}, cycle: {CYCLE} rows", server.engine_name());
+
+    // One "sum of attributes" ranking plus one per-attribute ranking.
+    let mut queries = vec![(
+        "sum".to_string(),
+        server.register(Query::top_k(ScoreFn::linear(vec![1.0; dims])?, K)?)?,
+    )];
+    for dim in 0..dims {
+        let mut w = vec![0.0; dims];
+        w[dim] = 1.0;
+        queries.push((
+            format!("attr{dim}"),
+            server.register(Query::top_k(ScoreFn::linear(w)?, K)?)?,
+        ));
+    }
+    server.enable_delta_tracking()?;
+
+    let mut batch = Vec::with_capacity(CYCLE * dims);
+    let mut cycle = 0u64;
+    let mut changes = 0usize;
+    for row in &rows {
+        if row.len() != dims {
+            return Err(format!("ragged row: expected {dims} values, got {}", row.len()).into());
+        }
+        batch.extend(row.iter().map(|v| v.clamp(0.0, 1.0)));
+        if batch.len() == CYCLE * dims {
+            server.tick(&batch)?;
+            batch.clear();
+            cycle += 1;
+            for delta in server.take_deltas() {
+                changes += 1;
+                if cycle.is_multiple_of(10) {
+                    let name = &queries
+                        .iter()
+                        .find(|(_, id)| *id == delta.query)
+                        .expect("registered")
+                        .0;
+                    println!(
+                        "cycle {cycle:>4}: [{name}] +{} -{} (best now {:.4})",
+                        delta.added.len(),
+                        delta.removed.len(),
+                        server.result(delta.query)?[0].score.get(),
+                    );
+                }
+            }
+        }
+    }
+    if !batch.is_empty() {
+        server.tick(&batch)?;
+    }
+
+    println!("\nfinal standings after {cycle} cycles ({changes} result changes):");
+    for (name, id) in &queries {
+        let top = server.result(*id)?;
+        println!(
+            "  {name:>6}: {}",
+            top.iter()
+                .map(|s| format!("{}={:.4}", s.id, s.score.get()))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,227 @@
+//! Direct property tests of the top-k computation module: exactness,
+//! minimal-cell processing and frontier structure on arbitrary inputs.
+
+use proptest::prelude::*;
+use topk_monitor::engines::compute::compute_topk;
+use topk_monitor::grid::{CellMode, Grid, VisitStamps};
+use topk_monitor::{QueryId, Rect, ScoreFn, Scored, Timestamp, TupleId, Window, WindowSpec};
+
+struct Fixture {
+    grid: Grid,
+    window: Window,
+    stamps: VisitStamps,
+}
+
+fn fixture(points: &[(f64, f64)], per_dim: usize) -> Fixture {
+    let mut grid = Grid::new(2, per_dim, CellMode::Fifo).expect("grid");
+    let mut window = Window::new(2, WindowSpec::Count(points.len().max(1))).expect("window");
+    for (x, y) in points {
+        let coords = [*x, *y];
+        let id = window.insert(&coords, Timestamp(0)).expect("insert");
+        grid.insert_point(&coords, id);
+    }
+    let stamps = VisitStamps::new(grid.num_cells());
+    Fixture {
+        grid,
+        window,
+        stamps,
+    }
+}
+
+fn naive(points: &[(f64, f64)], f: &ScoreFn, k: usize, r: Option<&Rect>) -> Vec<Scored> {
+    let mut all: Vec<Scored> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, (x, y))| r.is_none_or(|r| r.contains(&[*x, *y])))
+        .map(|(i, (x, y))| Scored::new(f.score(&[*x, *y]), TupleId(i as u64)))
+        .collect();
+    all.sort_by(|a, b| b.cmp(a));
+    all.truncate(k);
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Exactness + structural guarantees on random lattice points (ties
+    /// abound), random grid resolution and random monotone direction.
+    #[test]
+    fn compute_is_exact_and_minimal(
+        raw in prop::collection::vec((0u32..24, 0u32..24), 1..80),
+        per_dim in 1usize..12,
+        k in 1usize..10,
+        w1 in -2.0f64..2.0,
+        w2 in -2.0f64..2.0,
+    ) {
+        let points: Vec<(f64, f64)> =
+            raw.iter().map(|(a, b)| (*a as f64 / 23.0, *b as f64 / 23.0)).collect();
+        let f = ScoreFn::linear(vec![w1, w2]).expect("dims");
+        let mut fx = fixture(&points, per_dim);
+        let out = compute_topk(
+            &mut fx.grid,
+            &mut fx.stamps,
+            &fx.window,
+            Some(QueryId(0)),
+            &f,
+            k,
+            None,
+            true,
+        );
+        // 1. Exact result.
+        prop_assert_eq!(out.top.as_slice(), &naive(&points, &f, k, None)[..]);
+
+        if let Some(kth) = out.top.kth() {
+            let threshold = kth.score.get();
+            // 2. Coverage: every cell that could hold a qualifying tuple is
+            //    registered in the influence list.
+            for (cid, cell) in fx.grid.cells() {
+                if fx.grid.maxscore(cid, &f) >= threshold {
+                    prop_assert!(
+                        cell.influence_contains(QueryId(0)),
+                        "uncovered influential cell {cid:?}"
+                    );
+                }
+            }
+            // 3. Frontier cells are strictly below the threshold.
+            for cell in &out.frontier {
+                prop_assert!(fx.grid.maxscore(*cell, &f) < threshold);
+            }
+            // 4. Boundary ties all tie the k-th score exactly and are not in
+            //    the result.
+            for tie in &out.boundary_ties {
+                prop_assert_eq!(tie.score, kth.score);
+                prop_assert!(!out.top.contains(tie.id));
+            }
+            // 5. Together, top + ties are exactly the tuples scoring ≥ kth.
+            let mut got: Vec<TupleId> = out
+                .top
+                .as_slice()
+                .iter()
+                .chain(&out.boundary_ties)
+                .map(|s| s.id)
+                .collect();
+            got.sort_unstable();
+            let mut want: Vec<TupleId> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, (x, y))| f.score(&[*x, *y]) >= threshold)
+                .map(|(i, _)| TupleId(i as u64))
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        } else {
+            // Deficient search floods everything and leaves no frontier.
+            prop_assert!(out.frontier.is_empty());
+        }
+    }
+
+    /// Constrained searches with clipped bounds remain exact.
+    #[test]
+    fn constrained_compute_is_exact(
+        raw in prop::collection::vec((0u32..20, 0u32..20), 1..60),
+        per_dim in 1usize..10,
+        k in 1usize..6,
+        w1 in -1.5f64..1.5,
+        w2 in -1.5f64..1.5,
+        lo1 in 0.0f64..0.7,
+        lo2 in 0.0f64..0.7,
+        ext in 0.1f64..0.6,
+    ) {
+        let points: Vec<(f64, f64)> =
+            raw.iter().map(|(a, b)| (*a as f64 / 19.0, *b as f64 / 19.0)).collect();
+        let f = ScoreFn::linear(vec![w1, w2]).expect("dims");
+        let rect = Rect::new(
+            vec![lo1, lo2],
+            vec![(lo1 + ext).min(1.0), (lo2 + ext).min(1.0)],
+        ).expect("rect");
+        let mut fx = fixture(&points, per_dim);
+        let out = compute_topk(
+            &mut fx.grid,
+            &mut fx.stamps,
+            &fx.window,
+            Some(QueryId(0)),
+            &f,
+            k,
+            Some(&rect),
+            false,
+        );
+        prop_assert_eq!(out.top.as_slice(), &naive(&points, &f, k, Some(&rect))[..]);
+    }
+
+    /// Snapshot mode (`qid = None`) produces the same result and leaves the
+    /// grid untouched.
+    #[test]
+    fn snapshot_mode_is_pure(
+        raw in prop::collection::vec((0u32..16, 0u32..16), 1..40),
+        k in 1usize..5,
+        w1 in -1.0f64..1.0,
+        w2 in -1.0f64..1.0,
+    ) {
+        let points: Vec<(f64, f64)> =
+            raw.iter().map(|(a, b)| (*a as f64 / 15.0, *b as f64 / 15.0)).collect();
+        let f = ScoreFn::linear(vec![w1, w2]).expect("dims");
+        let mut fx = fixture(&points, 6);
+        let out = compute_topk(
+            &mut fx.grid,
+            &mut fx.stamps,
+            &fx.window,
+            None,
+            &f,
+            k,
+            None,
+            false,
+        );
+        prop_assert_eq!(out.top.as_slice(), &naive(&points, &f, k, None)[..]);
+        let listed: usize = fx.grid.cells().map(|(_, c)| c.influence_len()).sum();
+        prop_assert_eq!(listed, 0, "snapshot registered influence entries");
+    }
+}
+
+/// Non-proptest regression: the skyband seeded from compute (top + ties)
+/// equals the k-skyband of all tuples scoring at least the threshold.
+#[test]
+fn skyband_seed_equivalence() {
+    use topk_monitor::Skyband;
+    let points: Vec<(f64, f64)> = (0..40)
+        .map(|i| {
+            let a = (i * 7) % 10;
+            let b = (i * 3) % 10;
+            (a as f64 / 9.0, b as f64 / 9.0)
+        })
+        .collect();
+    let f = ScoreFn::linear(vec![1.0, 1.0]).expect("dims");
+    let k = 5;
+    let mut fx = fixture(&points, 5);
+    let out = compute_topk(
+        &mut fx.grid,
+        &mut fx.stamps,
+        &fx.window,
+        Some(QueryId(0)),
+        &f,
+        k,
+        None,
+        true,
+    );
+    let threshold = out.top.kth().expect("enough points").score;
+
+    // Seeded rebuild (what SMA does).
+    let mut seed: Vec<Scored> = out.top.as_slice().to_vec();
+    seed.extend_from_slice(&out.boundary_ties);
+    let mut seeded = Skyband::new(k).expect("k");
+    seeded.rebuild(&seed);
+
+    // Incremental construction over the full stream, then filtered to the
+    // above-threshold population.
+    let mut incremental = Skyband::new(k).expect("k");
+    for (i, (x, y)) in points.iter().enumerate() {
+        incremental.insert(Scored::new(f.score(&[*x, *y]), TupleId(i as u64)));
+    }
+    let want: Vec<Scored> = incremental
+        .entries()
+        .iter()
+        .map(|e| e.scored)
+        .filter(|s| s.score >= threshold)
+        .collect();
+    let got: Vec<Scored> = seeded.entries().iter().map(|e| e.scored).collect();
+    assert_eq!(got, want);
+}

@@ -1,0 +1,114 @@
+//! Constrained top-k queries (§7): TMA and SMA against the oracle, with
+//! randomized constraint rectangles.
+
+mod common;
+
+use common::BatchGen;
+use proptest::prelude::*;
+use topk_monitor::engines::{GridSpec, SmaMonitor, TmaMonitor};
+use topk_monitor::{
+    DataDist, OracleMonitor, Query, QueryId, Rect, ScoreFn, Scored, Timestamp,
+    WindowSpec,
+};
+
+fn run_constrained_stream(
+    dims: usize,
+    window: usize,
+    per_dim: usize,
+    queries: Vec<Query>,
+    seed: u64,
+    ticks: u64,
+    batch: usize,
+) {
+    let mut tma = TmaMonitor::new(dims, WindowSpec::Count(window), GridSpec::PerDim(per_dim))
+        .expect("config");
+    let mut sma = SmaMonitor::new(dims, WindowSpec::Count(window), GridSpec::PerDim(per_dim))
+        .expect("config");
+    let mut oracle = OracleMonitor::new(dims, WindowSpec::Count(window)).expect("config");
+    for (i, q) in queries.iter().enumerate() {
+        let id = QueryId(i as u64);
+        tma.register_query(id, q.clone()).expect("tma register");
+        sma.register_query(id, q.clone()).expect("sma register");
+        oracle.register_query(id, q.clone()).expect("oracle register");
+    }
+    let mut stream = BatchGen::new(dims, DataDist::Ind, seed);
+    for t in 0..ticks {
+        let b = stream.batch(batch);
+        tma.tick(Timestamp(t), &b).expect("tma tick");
+        sma.tick(Timestamp(t), &b).expect("sma tick");
+        oracle.tick(Timestamp(t), &b).expect("oracle tick");
+        for i in 0..queries.len() {
+            let id = QueryId(i as u64);
+            let want: Vec<Scored> = oracle.result(id).expect("oracle").to_vec();
+            assert_eq!(tma.result(id).expect("tma"), &want[..], "TMA {id} at {t}");
+            assert_eq!(sma.result(id).expect("sma"), want, "SMA {id} at {t}");
+        }
+    }
+}
+
+#[test]
+fn central_and_corner_regions() {
+    let f = || ScoreFn::linear(vec![1.0, 2.0]).expect("dims");
+    let queries = vec![
+        Query::constrained(f(), 3, Rect::new(vec![0.3, 0.3], vec![0.7, 0.7]).unwrap()).unwrap(),
+        Query::constrained(f(), 5, Rect::new(vec![0.0, 0.0], vec![0.2, 0.2]).unwrap()).unwrap(),
+        Query::constrained(f(), 2, Rect::new(vec![0.8, 0.8], vec![1.0, 1.0]).unwrap()).unwrap(),
+        // Degenerate sliver region.
+        Query::constrained(f(), 4, Rect::new(vec![0.5, 0.0], vec![0.5001, 1.0]).unwrap())
+            .unwrap(),
+    ];
+    run_constrained_stream(2, 150, 7, queries, 5, 50, 20);
+}
+
+#[test]
+fn mixed_monotonicity_constrained() {
+    let queries = vec![
+        Query::constrained(
+            ScoreFn::linear(vec![1.0, -1.0]).expect("dims"),
+            3,
+            Rect::new(vec![0.25, 0.25], vec![0.9, 0.6]).unwrap(),
+        )
+        .unwrap(),
+        Query::constrained(
+            ScoreFn::linear(vec![-0.7, -0.2]).expect("dims"),
+            6,
+            Rect::new(vec![0.1, 0.4], vec![0.5, 1.0]).unwrap(),
+        )
+        .unwrap(),
+    ];
+    run_constrained_stream(2, 120, 6, queries, 29, 40, 15);
+}
+
+#[test]
+fn three_dimensional_constrained() {
+    let queries = vec![Query::constrained(
+        ScoreFn::product(vec![0.2, 0.2, 0.2]).expect("dims"),
+        4,
+        Rect::new(vec![0.2, 0.0, 0.5], vec![0.9, 0.6, 1.0]).unwrap(),
+    )
+    .unwrap()];
+    run_constrained_stream(3, 200, 5, queries, 91, 40, 25);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random constraint boxes, weights and result sizes.
+    #[test]
+    fn random_constraint_boxes(
+        lo1 in 0.0f64..0.8, lo2 in 0.0f64..0.8,
+        ext1 in 0.05f64..0.5, ext2 in 0.05f64..0.5,
+        w1 in -2.0f64..2.0, w2 in -2.0f64..2.0,
+        k in 1usize..8,
+        seed in 0u64..1000,
+    ) {
+        let rect = Rect::new(
+            vec![lo1, lo2],
+            vec![(lo1 + ext1).min(1.0), (lo2 + ext2).min(1.0)],
+        ).expect("valid box");
+        let q = Query::constrained(
+            ScoreFn::linear(vec![w1, w2]).expect("dims"), k, rect,
+        ).expect("query");
+        run_constrained_stream(2, 60, 5, vec![q], seed, 20, 10);
+    }
+}

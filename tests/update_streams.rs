@@ -1,0 +1,141 @@
+//! Update-stream TMA (§7, explicit deletions) against a brute-force scan,
+//! on randomized insert/delete sequences.
+
+use proptest::prelude::*;
+use topk_monitor::engines::GridSpec;
+use topk_monitor::{Query, QueryId, ScoreFn, Scored, TupleId, UpdateOp, UpdateStreamTma};
+
+fn brute(m: &UpdateStreamTma, q: &Query) -> Vec<Scored> {
+    let mut all: Vec<Scored> = m
+        .store()
+        .iter()
+        .filter(|(_, c)| q.constraint.as_ref().is_none_or(|r| r.contains(c)))
+        .map(|(id, c)| Scored::new(q.f.score(c), id))
+        .collect();
+    all.sort_by(|a, b| b.cmp(a));
+    all.truncate(q.k);
+    all
+}
+
+#[test]
+fn worst_case_delete_the_best_repeatedly() {
+    let mut m = UpdateStreamTma::new(1, GridSpec::PerDim(8)).expect("config");
+    let q = Query::top_k(ScoreFn::linear(vec![1.0]).unwrap(), 2).unwrap();
+    m.register_query(QueryId(0), q.clone()).expect("register");
+    // Insert a descending staircase, then repeatedly delete the current
+    // maximum — every cycle invalidates the result.
+    let ids: Vec<TupleId> = (0..30)
+        .map(|i| m.insert(&[1.0 - i as f64 / 40.0]).expect("insert"))
+        .collect();
+    m.end_cycle();
+    for (round, id) in ids.iter().enumerate().take(28) {
+        m.delete(*id).expect("delete");
+        m.end_cycle();
+        assert_eq!(
+            m.result(QueryId(0)).expect("result"),
+            &brute(&m, &q)[..],
+            "round {round}"
+        );
+    }
+    assert!(
+        m.stats().recomputations >= 28,
+        "every deletion hit the top-2"
+    );
+}
+
+#[test]
+fn interleaved_queries_and_ops() {
+    let mut m = UpdateStreamTma::new(2, GridSpec::PerDim(5)).expect("config");
+    let q0 = Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 3).unwrap();
+    m.register_query(QueryId(0), q0.clone()).expect("register");
+    let mut state = 99u64;
+    let mut rnd = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64).clamp(0.0, 1.0)
+    };
+    let mut live = Vec::new();
+    for _ in 0..20 {
+        live.push(m.insert(&[rnd(), rnd()]).expect("insert"));
+    }
+    m.end_cycle();
+
+    // Register a second query over a populated store.
+    let q1 = Query::top_k(ScoreFn::linear(vec![-1.0, 2.0]).unwrap(), 5).unwrap();
+    m.register_query(QueryId(1), q1.clone()).expect("register");
+
+    for round in 0..30 {
+        let mut ops = vec![
+            UpdateOp::Insert(vec![rnd(), rnd()]),
+            UpdateOp::Insert(vec![rnd(), rnd()]),
+        ];
+        if live.len() > 4 {
+            let idx = (rnd() * live.len() as f64) as usize % live.len();
+            ops.push(UpdateOp::Delete(live.swap_remove(idx)));
+        }
+        let new_ids = m.apply(&ops).expect("apply");
+        live.extend(new_ids);
+        assert_eq!(m.result(QueryId(0)).unwrap(), &brute(&m, &q0)[..], "q0 round {round}");
+        assert_eq!(m.result(QueryId(1)).unwrap(), &brute(&m, &q1)[..], "q1 round {round}");
+    }
+
+    // Remove one query; the other keeps working.
+    m.remove_query(QueryId(0)).expect("remove");
+    m.apply(&[UpdateOp::Insert(vec![0.9, 0.9])]).expect("apply");
+    assert!(m.result(QueryId(0)).is_err());
+    assert_eq!(m.result(QueryId(1)).unwrap(), &brute(&m, &q1)[..]);
+}
+
+#[test]
+fn empty_store_and_full_drain() {
+    let mut m = UpdateStreamTma::new(2, GridSpec::PerDim(4)).expect("config");
+    let q = Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 4).unwrap();
+    m.register_query(QueryId(0), q.clone()).expect("register");
+    assert!(m.result(QueryId(0)).unwrap().is_empty());
+    let a = m.insert(&[0.5, 0.5]).expect("insert");
+    let b = m.insert(&[0.7, 0.2]).expect("insert");
+    m.end_cycle();
+    assert_eq!(m.result(QueryId(0)).unwrap().len(), 2);
+    // Drain to empty; the result must follow.
+    m.apply(&[UpdateOp::Delete(a), UpdateOp::Delete(b)]).expect("apply");
+    assert!(m.result(QueryId(0)).unwrap().is_empty());
+    // And recover again.
+    m.apply(&[UpdateOp::Insert(vec![0.1, 0.9])]).expect("apply");
+    assert_eq!(m.result(QueryId(0)).unwrap().len(), 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary op sequences with coarse coordinates (tie pressure).
+    #[test]
+    fn random_update_streams(
+        k in 1usize..6,
+        w1 in -1.5f64..1.5,
+        w2 in -1.5f64..1.5,
+        ops in prop::collection::vec((any::<bool>(), 0u32..16, 0u32..16), 1..120),
+        batch in 1usize..6,
+    ) {
+        let mut m = UpdateStreamTma::new(2, GridSpec::PerDim(4)).expect("config");
+        let q = Query::top_k(ScoreFn::linear(vec![w1, w2]).expect("dims"), k).expect("k");
+        m.register_query(QueryId(0), q.clone()).expect("register");
+        let mut live: Vec<TupleId> = Vec::new();
+        for (i, (is_insert, a, b)) in ops.iter().enumerate() {
+            if *is_insert || live.is_empty() {
+                let coords = vec![*a as f64 / 15.0, *b as f64 / 15.0];
+                live.push(m.insert(&coords).expect("insert"));
+            } else {
+                let idx = (*a as usize) % live.len();
+                let victim = live.swap_remove(idx);
+                m.delete(victim).expect("delete");
+            }
+            if i % batch == 0 {
+                m.end_cycle();
+                prop_assert_eq!(m.result(QueryId(0)).expect("result"), &brute(&m, &q)[..]);
+            }
+        }
+        m.end_cycle();
+        prop_assert_eq!(m.result(QueryId(0)).expect("result"), &brute(&m, &q)[..]);
+    }
+}
