@@ -37,7 +37,11 @@ fn setup<E>(
         .expect("dims")
         .workload(Q);
     for (i, f) in workload.into_iter().enumerate() {
-        register(&mut engine, QueryId(i as u64), Query::top_k(f, K).expect("k"));
+        register(
+            &mut engine,
+            QueryId(i as u64),
+            Query::top_k(f, K).expect("k"),
+        );
     }
     (engine, stream)
 }
@@ -48,10 +52,7 @@ fn bench_ticks(c: &mut Criterion) {
 
     group.bench_function("tma", |b| {
         let (mut engine, mut stream) = setup(
-            || {
-                TmaMonitor::new(DIMS, WindowSpec::Count(N), GridSpec::default())
-                    .expect("config")
-            },
+            || TmaMonitor::new(DIMS, WindowSpec::Count(N), GridSpec::default()).expect("config"),
             |e, ts, batch| e.tick(ts, batch).expect("tick"),
             |e, id, q| e.register_query(id, q).expect("register"),
         );
@@ -64,10 +65,7 @@ fn bench_ticks(c: &mut Criterion) {
 
     group.bench_function("sma", |b| {
         let (mut engine, mut stream) = setup(
-            || {
-                SmaMonitor::new(DIMS, WindowSpec::Count(N), GridSpec::default())
-                    .expect("config")
-            },
+            || SmaMonitor::new(DIMS, WindowSpec::Count(N), GridSpec::default()).expect("config"),
             |e, ts, batch| e.tick(ts, batch).expect("tick"),
             |e, id, q| e.register_query(id, q).expect("register"),
         );

@@ -39,7 +39,11 @@ fn main() {
 
     // --- Constrained top-k on TMA and SMA ---
     for constrained in [false, true] {
-        let label = if constrained { "constrained" } else { "full-space" };
+        let label = if constrained {
+            "constrained"
+        } else {
+            "full-space"
+        };
         for engine in ["TMA", "SMA"] {
             let mut stream = StreamSim::new(p.dims, p.dist, p.r, p.seed).expect("dims");
             enum E {

@@ -60,8 +60,14 @@ fn main() {
 
     let m = ModelParams::default();
     let mut summary = Table::new(&["quantity", "paper default"]);
-    summary.row(vec!["cells per query C".into(), format!("{:.1}", m.cells_per_query())]);
-    summary.row(vec!["tuples per cell".into(), format!("{:.1}", m.tuples_per_cell())]);
+    summary.row(vec![
+        "cells per query C".into(),
+        format!("{:.1}", m.cells_per_query()),
+    ]);
+    summary.row(vec![
+        "tuples per cell".into(),
+        format!("{:.1}", m.tuples_per_cell()),
+    ]);
     summary.row(vec!["Pr_rec".into(), format!("{:.3}", m.pr_rec())]);
     summary.row(vec!["T_comp (ops)".into(), fmt_secs(m.t_comp())]);
     summary.row(vec!["T_TMA (ops)".into(), format!("{:.0}", m.t_tma())]);

@@ -15,10 +15,9 @@ use tkm_tsl::{tuned_kmax, KmaxPolicy, TslMonitor};
 use tkm_window::WindowSpec;
 
 fn run_tsl(p: &ExpParams, policy: KmaxPolicy) -> (f64, u64) {
-    let workload =
-        QueryGen::new(p.dims, p.family, p.seed ^ 0x9e37_79b9_7f4a_7c15)
-            .expect("valid dims")
-            .workload(p.q);
+    let workload = QueryGen::new(p.dims, p.family, p.seed ^ 0x9e37_79b9_7f4a_7c15)
+        .expect("valid dims")
+        .workload(p.q);
     let mut stream = StreamSim::new(p.dims, p.dist, p.r, p.seed).expect("valid dims");
     let mut m = TslMonitor::new(p.dims, WindowSpec::Count(p.n), policy).expect("valid config");
     let mut remaining = p.n;
@@ -30,7 +29,8 @@ fn run_tsl(p: &ExpParams, policy: KmaxPolicy) -> (f64, u64) {
     }
     for (i, f) in workload.into_iter().enumerate() {
         let q = Query::top_k(f, p.k).expect("k > 0");
-        m.register_query(QueryId(i as u64), q.f, q.k).expect("register");
+        m.register_query(QueryId(i as u64), q.f, q.k)
+            .expect("register");
     }
     let before = m.stats().refills;
     let start = std::time::Instant::now();
@@ -64,7 +64,11 @@ fn main() {
         candidates.dedup();
         for kmax in candidates {
             let (secs, refills) = run_tsl(&ExpParams { k, ..base }, KmaxPolicy::Fixed(kmax));
-            let note = if kmax == tuned { "<- paper's tuned" } else { "" };
+            let note = if kmax == tuned {
+                "<- paper's tuned"
+            } else {
+                ""
+            };
             table.row(vec![
                 kmax.to_string(),
                 fmt_secs(secs),

@@ -63,9 +63,7 @@ impl EngineBox {
         let window = WindowSpec::Count(p.n);
         let grid = GridSpec::CellBudget(p.grid_cells);
         Ok(match sel {
-            EngineSel::Tsl => {
-                EngineBox::Tsl(TslMonitor::new(p.dims, window, KmaxPolicy::Tuned)?)
-            }
+            EngineSel::Tsl => EngineBox::Tsl(TslMonitor::new(p.dims, window, KmaxPolicy::Tuned)?),
             EngineSel::Tma => EngineBox::Tma(TmaMonitor::new(p.dims, window, grid)?),
             EngineSel::Sma => EngineBox::Sma(SmaMonitor::new(p.dims, window, grid)?),
         })
@@ -117,8 +115,7 @@ impl EngineBox {
 /// window with `N` tuples, register `Q` queries, then measure `ticks`
 /// cycles of `r` arrivals each.
 pub fn run_engine(sel: EngineSel, p: &ExpParams) -> Result<RunMeasurement> {
-    let workload =
-        QueryGen::new(p.dims, p.family, p.seed ^ 0x9e37_79b9_7f4a_7c15)?.workload(p.q);
+    let workload = QueryGen::new(p.dims, p.family, p.seed ^ 0x9e37_79b9_7f4a_7c15)?.workload(p.q);
     let mut stream = StreamSim::new(p.dims, p.dist, p.r, p.seed)?;
     let mut engine = EngineBox::build(sel, p)?;
 

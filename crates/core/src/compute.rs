@@ -207,7 +207,16 @@ mod tests {
         let points = [[0.55, 0.90], [0.90, 0.55]]; // p1 (winner), p2
         let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
         let (mut grid, w, mut stamps) = setup(&points, 7);
-        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(0)), &f, 1, None, false);
+        let out = compute_topk(
+            &mut grid,
+            &mut stamps,
+            &w,
+            Some(QueryId(0)),
+            &f,
+            1,
+            None,
+            false,
+        );
         assert_eq!(out.top.as_slice(), &naive_topk(&points, &f, 1, None)[..]);
         assert_eq!(out.top.as_slice()[0].id, TupleId(0));
         // score(p1) = 0.55 + 1.8 = 2.35. Cells with maxscore ≥ 2.35 in the
@@ -233,7 +242,16 @@ mod tests {
     fn empty_window_processes_everything_and_finds_nothing() {
         let (mut grid, w, mut stamps) = setup(&[], 4);
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
-        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(3)), &f, 2, None, false);
+        let out = compute_topk(
+            &mut grid,
+            &mut stamps,
+            &w,
+            Some(QueryId(3)),
+            &f,
+            2,
+            None,
+            false,
+        );
         assert!(out.top.is_empty());
         assert_eq!(out.stats.cells_processed, 16, "deficient search floods");
         assert!(out.frontier.is_empty());
@@ -246,7 +264,16 @@ mod tests {
         let points = [[0.95, 0.1], [0.8, 0.05], [0.3, 0.9], [0.5, 0.4]];
         let f = ScoreFn::linear(vec![1.0, -1.0]).unwrap();
         let (mut grid, w, mut stamps) = setup(&points, 7);
-        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(1)), &f, 2, None, false);
+        let out = compute_topk(
+            &mut grid,
+            &mut stamps,
+            &w,
+            Some(QueryId(1)),
+            &f,
+            2,
+            None,
+            false,
+        );
         assert_eq!(out.top.as_slice(), &naive_topk(&points, &f, 2, None)[..]);
     }
 
@@ -255,7 +282,16 @@ mod tests {
         let points = [[0.9, 0.8], [0.99, 0.2], [0.5, 0.5]];
         let f = ScoreFn::product(vec![0.0, 0.0]).unwrap();
         let (mut grid, w, mut stamps) = setup(&points, 7);
-        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(1)), &f, 1, None, false);
+        let out = compute_topk(
+            &mut grid,
+            &mut stamps,
+            &w,
+            Some(QueryId(1)),
+            &f,
+            1,
+            None,
+            false,
+        );
         assert_eq!(out.top.as_slice()[0].id, TupleId(0), "0.72 beats 0.198");
     }
 
@@ -267,8 +303,20 @@ mod tests {
         let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
         let r = Rect::new(vec![0.5, 0.45], vec![0.8, 0.75]).unwrap();
         let (mut grid, w, mut stamps) = setup(&points, 7);
-        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(2)), &f, 1, Some(&r), false);
-        assert_eq!(out.top.as_slice(), &naive_topk(&points, &f, 1, Some(&r))[..]);
+        let out = compute_topk(
+            &mut grid,
+            &mut stamps,
+            &w,
+            Some(QueryId(2)),
+            &f,
+            1,
+            Some(&r),
+            false,
+        );
+        assert_eq!(
+            out.top.as_slice(),
+            &naive_topk(&points, &f, 1, Some(&r))[..]
+        );
         assert_eq!(out.top.as_slice()[0].id, TupleId(1), "p2 wins inside R");
         // Cells outside the constraint range are never touched.
         let range = grid.cell_range(&r);
@@ -288,7 +336,16 @@ mod tests {
         let points = [[0.5, 0.5], [0.6, 0.4], [0.4, 0.6], [0.9, 0.9]];
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
         let (mut grid, w, mut stamps) = setup(&points, 4);
-        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(0)), &f, 2, None, true);
+        let out = compute_topk(
+            &mut grid,
+            &mut stamps,
+            &w,
+            Some(QueryId(0)),
+            &f,
+            2,
+            None,
+            true,
+        );
         // Top-2: id3 (1.8), id0 (1.0, oldest of the ties).
         let ids: Vec<u64> = out.top.as_slice().iter().map(|e| e.id.0).collect();
         assert_eq!(ids, vec![3, 0]);
@@ -301,7 +358,16 @@ mod tests {
         let points = [[0.2, 0.3], [0.8, 0.1]];
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
         let (mut grid, w, mut stamps) = setup(&points, 4);
-        let out = compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(0)), &f, 5, None, false);
+        let out = compute_topk(
+            &mut grid,
+            &mut stamps,
+            &w,
+            Some(QueryId(0)),
+            &f,
+            5,
+            None,
+            false,
+        );
         assert_eq!(out.top.len(), 2);
         assert!(!out.top.is_full());
         assert!(out.frontier.is_empty(), "deficient search floods the grid");

@@ -197,20 +197,24 @@ mod tests {
     #[test]
     fn all_engines_build_and_agree_on_a_tiny_stream() {
         let f = || ScoreFn::linear(vec![1.0, 2.0]).unwrap();
-        let mut engines: Vec<Box<dyn ContinuousTopK>> =
-            [EngineKind::Tma, EngineKind::Sma, EngineKind::Tsl, EngineKind::Oracle]
-                .into_iter()
-                .map(|k| {
-                    build_engine(
-                        k,
-                        2,
-                        WindowSpec::Count(6),
-                        GridSpec::PerDim(4),
-                        KmaxPolicy::Tuned,
-                    )
-                    .unwrap()
-                })
-                .collect();
+        let mut engines: Vec<Box<dyn ContinuousTopK>> = [
+            EngineKind::Tma,
+            EngineKind::Sma,
+            EngineKind::Tsl,
+            EngineKind::Oracle,
+        ]
+        .into_iter()
+        .map(|k| {
+            build_engine(
+                k,
+                2,
+                WindowSpec::Count(6),
+                GridSpec::PerDim(4),
+                KmaxPolicy::Tuned,
+            )
+            .unwrap()
+        })
+        .collect();
         for e in &mut engines {
             e.register_query(QueryId(0), Query::top_k(f(), 2).unwrap())
                 .unwrap();

@@ -173,8 +173,26 @@ mod tests {
         let mut w = Window::new(2, WindowSpec::Count(4)).unwrap();
         let id = w.insert(&[0.4, 0.4], Timestamp(0)).unwrap();
         grid.insert_point(&[0.4, 0.4], id);
-        compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(1)), &f, 1, None, false);
-        compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(2)), &f, 1, None, false);
+        compute_topk(
+            &mut grid,
+            &mut stamps,
+            &w,
+            Some(QueryId(1)),
+            &f,
+            1,
+            None,
+            false,
+        );
+        compute_topk(
+            &mut grid,
+            &mut stamps,
+            &w,
+            Some(QueryId(2)),
+            &f,
+            1,
+            None,
+            false,
+        );
         remove_query_walk(&mut grid, &mut stamps, QueryId(1), &f, None);
         assert!(listed_cells(&grid, QueryId(1)).is_empty());
         assert!(!listed_cells(&grid, QueryId(2)).is_empty());
@@ -187,7 +205,16 @@ mod tests {
         let mut grid = Grid::new(2, 5, CellMode::Fifo).unwrap();
         let mut stamps = VisitStamps::new(grid.num_cells());
         let w = Window::new(2, WindowSpec::Count(4)).unwrap();
-        compute_topk(&mut grid, &mut stamps, &w, Some(QueryId(1)), &f, 1, Some(&r), false);
+        compute_topk(
+            &mut grid,
+            &mut stamps,
+            &w,
+            Some(QueryId(1)),
+            &f,
+            1,
+            Some(&r),
+            false,
+        );
         assert!(!listed_cells(&grid, QueryId(1)).is_empty());
         remove_query_walk(&mut grid, &mut stamps, QueryId(1), &f, Some(&r));
         assert!(listed_cells(&grid, QueryId(1)).is_empty());

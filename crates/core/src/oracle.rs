@@ -140,7 +140,8 @@ mod tests {
         let mut m = OracleMonitor::new(2, WindowSpec::Count(3)).unwrap();
         let q = Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 2).unwrap();
         m.register_query(QueryId(0), q).unwrap();
-        m.tick(Timestamp(0), &[0.1, 0.1, 0.9, 0.9, 0.5, 0.5]).unwrap();
+        m.tick(Timestamp(0), &[0.1, 0.1, 0.9, 0.9, 0.5, 0.5])
+            .unwrap();
         let r = m.result(QueryId(0)).unwrap();
         assert_eq!(r.len(), 2);
         assert_eq!(r[0].score.get(), 1.8);

@@ -53,7 +53,10 @@ impl<E: ContinuousTopK + Send> ParallelMonitor<E> {
     }
 
     /// Builds a pool of `n` replicas from a constructor closure.
-    pub fn with_replicas(n: usize, mut build: impl FnMut() -> Result<E>) -> Result<ParallelMonitor<E>> {
+    pub fn with_replicas(
+        n: usize,
+        mut build: impl FnMut() -> Result<E>,
+    ) -> Result<ParallelMonitor<E>> {
         let shards: Result<Vec<E>> = (0..n).map(|_| build()).collect();
         ParallelMonitor::new(shards?)
     }
@@ -183,7 +186,9 @@ mod tests {
             })
             .collect();
         for (i, q) in queries.iter().enumerate() {
-            sharded.register_query(QueryId(i as u64), q.clone()).unwrap();
+            sharded
+                .register_query(QueryId(i as u64), q.clone())
+                .unwrap();
             single.register_query(QueryId(i as u64), q.clone()).unwrap();
         }
         // Balanced placement: 7 queries over 3 shards → loads 3/2/2.

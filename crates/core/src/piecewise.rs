@@ -296,11 +296,7 @@ mod tests {
         let mut all: Vec<Scored> = window
             .iter()
             .map(|(id, c)| {
-                let d2: f64 = c
-                    .iter()
-                    .zip(center)
-                    .map(|(x, c)| (x - c) * (x - c))
-                    .sum();
+                let d2: f64 = c.iter().zip(center).map(|(x, c)| (x - c) * (x - c)).sum();
                 Scored::new(-d2, id)
             })
             .collect();
@@ -328,7 +324,8 @@ mod tests {
         let q = PiecewiseQuery::nearest_neighbor(&[0.4, 0.6], 5).unwrap();
         m.register_query(QueryId(0), q).unwrap();
         for tick in 0..50u64 {
-            m.tick(Timestamp(tick), &lcg_stream(tick + 1, 9, 2)).unwrap();
+            m.tick(Timestamp(tick), &lcg_stream(tick + 1, 9, 2))
+                .unwrap();
             assert_eq!(
                 m.result(QueryId(0)).unwrap(),
                 brute_knn(m.engine().window(), &[0.4, 0.6], 5),
@@ -346,7 +343,8 @@ mod tests {
         let q = PiecewiseQuery::nearest_neighbor(&center, 4).unwrap();
         m.register_query(QueryId(0), q).unwrap();
         for tick in 0..40u64 {
-            m.tick(Timestamp(tick), &lcg_stream(tick + 5, 12, 3)).unwrap();
+            m.tick(Timestamp(tick), &lcg_stream(tick + 5, 12, 3))
+                .unwrap();
             assert_eq!(
                 m.result(QueryId(0)).unwrap(),
                 brute_knn(m.engine().window(), &center, 4),
@@ -364,7 +362,8 @@ mod tests {
         let q = PiecewiseQuery::nearest_neighbor(&[0.0, 1.0], 3).unwrap();
         m.register_query(QueryId(0), q).unwrap();
         for tick in 0..25u64 {
-            m.tick(Timestamp(tick), &lcg_stream(tick + 9, 6, 2)).unwrap();
+            m.tick(Timestamp(tick), &lcg_stream(tick + 9, 6, 2))
+                .unwrap();
             assert_eq!(
                 m.result(QueryId(0)).unwrap(),
                 brute_knn(m.engine().window(), &[0.0, 1.0], 3)
@@ -380,7 +379,8 @@ mod tests {
         let q = PiecewiseQuery::nearest_neighbor(&[0.5, 0.5], 4).unwrap();
         m.register_query(QueryId(0), q).unwrap();
         // A tuple exactly at the centre lies in all four orthants.
-        m.tick(Timestamp(0), &[0.5, 0.5, 0.2, 0.2, 0.9, 0.1]).unwrap();
+        m.tick(Timestamp(0), &[0.5, 0.5, 0.2, 0.2, 0.9, 0.1])
+            .unwrap();
         let res = m.result(QueryId(0)).unwrap();
         assert_eq!(res.len(), 3);
         assert_eq!(res[0].id, TupleId(0), "the centre tuple is nearest");

@@ -311,7 +311,7 @@ mod tests {
         t.offer(s(0.5, 0));
         t.offer(s(0.5, 1)); // rejected tie
         t.offer(s(0.7, 2)); // evicts the 0.5/id0
-        // Boundary ties are relative to the *new* k-th (0.7): none.
+                            // Boundary ties are relative to the *new* k-th (0.7): none.
         assert!(t.boundary_ties().is_empty());
         // But if another 0.7 arrives it is captured.
         t.offer(s(0.7, 3));

@@ -209,10 +209,8 @@ mod tests {
 
     #[test]
     fn ids_are_unique() {
-        let mut server = MonitorServer::new(
-            ServerConfig::sma(1, 5).with_engine(EngineKind::Tma),
-        )
-        .unwrap();
+        let mut server =
+            MonitorServer::new(ServerConfig::sma(1, 5).with_engine(EngineKind::Tma)).unwrap();
         let f = || ScoreFn::linear(vec![1.0]).unwrap();
         let a = server.register(Query::top_k(f(), 1).unwrap()).unwrap();
         let b = server.register(Query::top_k(f(), 1).unwrap()).unwrap();

@@ -423,7 +423,8 @@ mod tests {
         m.register_query(QueryId(0), q.clone()).unwrap();
         for tick in 0..30u64 {
             let n = 2 + (tick % 5) as usize;
-            m.tick(Timestamp(tick), &lcg_stream(tick + 7, n, 2)).unwrap();
+            m.tick(Timestamp(tick), &lcg_stream(tick + 7, n, 2))
+                .unwrap();
             assert_eq!(m.result(QueryId(0)).unwrap(), brute(m.window(), &q));
         }
     }

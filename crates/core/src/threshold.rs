@@ -10,9 +10,7 @@
 use std::collections::BTreeMap;
 
 use crate::tma::{validate_arrivals, GridSpec};
-use tkm_common::{
-    FxHashSet, QueryId, Result, ScoreFn, Scored, Timestamp, TkmError, TupleId,
-};
+use tkm_common::{FxHashSet, QueryId, Result, ScoreFn, Scored, Timestamp, TkmError, TupleId};
 use tkm_grid::{CellMode, Grid, VisitStamps};
 use tkm_window::{Window, WindowSpec};
 
@@ -265,8 +263,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_over_stream() {
-        let mut m =
-            ThresholdMonitor::new(2, WindowSpec::Count(40), GridSpec::PerDim(6)).unwrap();
+        let mut m = ThresholdMonitor::new(2, WindowSpec::Count(40), GridSpec::PerDim(6)).unwrap();
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
         // Pre-populate, then register (exercises the initial walk).
         m.tick(Timestamp(0), &lcg_stream(1, 20, 2)).unwrap();
@@ -278,8 +275,7 @@ mod tests {
         );
         for tick in 1..30u64 {
             m.tick(Timestamp(tick), &lcg_stream(tick, 8, 2)).unwrap();
-            let mut got: Vec<TupleId> =
-                m.matching(QueryId(0)).unwrap().iter().copied().collect();
+            let mut got: Vec<TupleId> = m.matching(QueryId(0)).unwrap().iter().copied().collect();
             got.sort_unstable();
             assert_eq!(got, brute_matching(m.window(), &f, 1.4));
         }
@@ -287,8 +283,7 @@ mod tests {
 
     #[test]
     fn deltas_are_exact() {
-        let mut m =
-            ThresholdMonitor::new(1, WindowSpec::Count(2), GridSpec::PerDim(4)).unwrap();
+        let mut m = ThresholdMonitor::new(1, WindowSpec::Count(2), GridSpec::PerDim(4)).unwrap();
         let f = ScoreFn::linear(vec![1.0]).unwrap();
         m.register_query(QueryId(1), f, 0.5).unwrap();
         m.tick(Timestamp(0), &[0.9, 0.2]).unwrap();
@@ -302,8 +297,7 @@ mod tests {
 
     #[test]
     fn removal_clears_influence() {
-        let mut m =
-            ThresholdMonitor::new(2, WindowSpec::Count(10), GridSpec::PerDim(5)).unwrap();
+        let mut m = ThresholdMonitor::new(2, WindowSpec::Count(10), GridSpec::PerDim(5)).unwrap();
         let f = ScoreFn::linear(vec![1.0, -1.0]).unwrap();
         m.register_query(QueryId(2), f, 0.3).unwrap();
         m.remove_query(QueryId(2)).unwrap();
@@ -319,8 +313,7 @@ mod tests {
 
     #[test]
     fn validation() {
-        let mut m =
-            ThresholdMonitor::new(2, WindowSpec::Count(4), GridSpec::PerDim(4)).unwrap();
+        let mut m = ThresholdMonitor::new(2, WindowSpec::Count(4), GridSpec::PerDim(4)).unwrap();
         let f1 = ScoreFn::linear(vec![1.0]).unwrap();
         assert!(m.register_query(QueryId(0), f1, 0.5).is_err());
         let f2 = ScoreFn::linear(vec![1.0, 1.0]).unwrap();

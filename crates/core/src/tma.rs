@@ -408,8 +408,7 @@ mod tests {
     fn constrained_query_tracks_brute_force() {
         let mut m = TmaMonitor::new(2, WindowSpec::Count(40), GridSpec::PerDim(6)).unwrap();
         let r = Rect::new(vec![0.2, 0.2], vec![0.7, 0.7]).unwrap();
-        let q =
-            Query::constrained(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 3, r).unwrap();
+        let q = Query::constrained(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 3, r).unwrap();
         m.register_query(QueryId(5), q.clone()).unwrap();
         for tick in 0..40u64 {
             let arrivals = lcg_stream(tick + 77, 6, 2);

@@ -329,7 +329,8 @@ mod tests {
         let b = m.insert(&[0.8, 0.8]).unwrap();
         let _c = m.insert(&[0.1, 0.1]).unwrap();
         m.register_query(QueryId(1), q).unwrap();
-        m.apply(&[UpdateOp::Delete(a), UpdateOp::Delete(b)]).unwrap();
+        m.apply(&[UpdateOp::Delete(a), UpdateOp::Delete(b)])
+            .unwrap();
         let res = m.result(QueryId(1)).unwrap();
         assert_eq!(res.len(), 1);
         assert!((res[0].score.get() - 0.2).abs() < 1e-12);

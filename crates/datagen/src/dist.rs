@@ -232,11 +232,7 @@ mod tests {
         let pts: Vec<Vec<f64>> = (0..n).map(|_| g.point()).collect();
         let mx = pts.iter().map(|p| p[0]).sum::<f64>() / n as f64;
         let my = pts.iter().map(|p| p[1]).sum::<f64>() / n as f64;
-        let cov = pts
-            .iter()
-            .map(|p| (p[0] - mx) * (p[1] - my))
-            .sum::<f64>()
-            / n as f64;
+        let cov = pts.iter().map(|p| (p[0] - mx) * (p[1] - my)).sum::<f64>() / n as f64;
         assert!(cov < -0.01, "covariance {cov} is not negative");
     }
 
@@ -249,11 +245,7 @@ mod tests {
         let pts: Vec<Vec<f64>> = (0..n).map(|_| g.point()).collect();
         let mx = pts.iter().map(|p| p[0]).sum::<f64>() / n as f64;
         let my = pts.iter().map(|p| p[1]).sum::<f64>() / n as f64;
-        let cov = pts
-            .iter()
-            .map(|p| (p[0] - mx) * (p[1] - my))
-            .sum::<f64>()
-            / n as f64;
+        let cov = pts.iter().map(|p| (p[0] - mx) * (p[1] - my)).sum::<f64>() / n as f64;
         assert!(cov > 0.03, "covariance {cov} is not strongly positive");
     }
 

@@ -406,7 +406,7 @@ mod tests {
         let g = Grid::new(2, 7, CellMode::Fifo).unwrap();
         let f = linear2(1.0, -1.0);
         let start = g.best_corner(&f); // (6, 0)
-        // Worse along x1 (increasing): index decreases.
+                                       // Worse along x1 (increasing): index decreases.
         let a = g.step_worse(start, 0, &f).unwrap();
         assert_eq!(g.cell_coords(a)[..2], [5, 0]);
         // Worse along x2 (decreasing): index increases (Figure 7a en-heaps

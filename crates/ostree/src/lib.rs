@@ -396,7 +396,11 @@ mod tests {
         }
         t.check_invariants();
         // AVL height bound: 1.44 * log2(n + 2).
-        assert!(height(&t.root) <= 16, "height {} too large", height(&t.root));
+        assert!(
+            height(&t.root) <= 16,
+            "height {} too large",
+            height(&t.root)
+        );
         let collected: Vec<u64> = t.iter().copied().collect();
         assert_eq!(collected, (0u64..2000).collect::<Vec<_>>());
     }

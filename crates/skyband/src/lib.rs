@@ -271,7 +271,11 @@ mod tests {
         }
         sky.check_invariants();
         // Figure 10(a): band {p2(0), p3(1), p5(0), p7(1)}, top-2 {p2, p3}.
-        let band: Vec<(u64, u32)> = sky.entries().iter().map(|e| (e.scored.id.0, e.dc)).collect();
+        let band: Vec<(u64, u32)> = sky
+            .entries()
+            .iter()
+            .map(|e| (e.scored.id.0, e.dc))
+            .collect();
         assert_eq!(band, vec![(1, 0), (0, 1), (3, 0), (2, 1)]);
         let top: Vec<u64> = sky.top().iter().map(|e| e.scored.id.0).collect();
         assert_eq!(top, vec![1, 0], "top-2 = {{p2, p3}}");
@@ -279,7 +283,11 @@ mod tests {
         // p9 arrives: p3 and p7 hit DC = 2 and leave; p5 survives at DC 1.
         sky.insert(p9);
         sky.check_invariants();
-        let band: Vec<(u64, u32)> = sky.entries().iter().map(|e| (e.scored.id.0, e.dc)).collect();
+        let band: Vec<(u64, u32)> = sky
+            .entries()
+            .iter()
+            .map(|e| (e.scored.id.0, e.dc))
+            .collect();
         assert_eq!(band, vec![(1, 0), (4, 0), (3, 1)], "band = {{p2, p9, p5}}");
         let top: Vec<u64> = sky.top().iter().map(|e| e.scored.id.0).collect();
         assert_eq!(top, vec![1, 4], "new top-2 = {{p2, p9}}");

@@ -75,9 +75,7 @@ impl SortedLists {
     ) -> Box<dyn Iterator<Item = (f64, TupleId)> + '_> {
         let list = &self.lists[dim];
         match mono {
-            Monotonicity::Increasing => {
-                Box::new(list.iter().rev().map(|(v, id)| (v.get(), *id)))
-            }
+            Monotonicity::Increasing => Box::new(list.iter().rev().map(|(v, id)| (v.get(), *id))),
             Monotonicity::Decreasing => Box::new(list.iter().map(|(v, id)| (v.get(), *id))),
         }
     }
@@ -87,8 +85,7 @@ impl SortedLists {
     pub fn space_bytes(&self) -> usize {
         const BTREE_PER_ENTRY_OVERHEAD: usize = 16;
         let entry = std::mem::size_of::<(OrderedF64, TupleId)>() + BTREE_PER_ENTRY_OVERHEAD;
-        std::mem::size_of::<Self>()
-            + self.lists.iter().map(|l| l.len() * entry).sum::<usize>()
+        std::mem::size_of::<Self>() + self.lists.iter().map(|l| l.len() * entry).sum::<usize>()
     }
 }
 
@@ -110,8 +107,7 @@ mod tests {
         assert_eq!(l.len(), 2);
         l.remove(TupleId(0), &[0.3, 0.9]);
         assert_eq!(l.len(), 1);
-        let remaining: Vec<(f64, TupleId)> =
-            l.sorted_access(0, Monotonicity::Increasing).collect();
+        let remaining: Vec<(f64, TupleId)> = l.sorted_access(0, Monotonicity::Increasing).collect();
         assert_eq!(remaining, vec![(0.7, TupleId(1))]);
     }
 

@@ -259,7 +259,8 @@ impl TslMonitor {
                 let gap = tick - q.last_refill_tick;
                 let kmax = q.view.kmax();
                 if gap < 5 {
-                    q.view.set_kmax((kmax + kmax / 2 + 1).min(10 * q.view.k() + 20));
+                    q.view
+                        .set_kmax((kmax + kmax / 2 + 1).min(10 * q.view.k() + 20));
                 } else if gap > 50 {
                     q.view.set_kmax((kmax * 3 / 4).max(q.view.k() + 1));
                 }
@@ -349,8 +350,14 @@ mod tests {
         for tick in 0..40u64 {
             let arrivals = lcg_stream(tick + 1, 10, 2);
             m.tick(Timestamp(tick), &arrivals).unwrap();
-            assert_eq!(m.result(QueryId(1)).unwrap(), &brute_topk(m.window(), &f1, 3)[..]);
-            assert_eq!(m.result(QueryId(2)).unwrap(), &brute_topk(m.window(), &f2, 5)[..]);
+            assert_eq!(
+                m.result(QueryId(1)).unwrap(),
+                &brute_topk(m.window(), &f1, 3)[..]
+            );
+            assert_eq!(
+                m.result(QueryId(2)).unwrap(),
+                &brute_topk(m.window(), &f2, 5)[..]
+            );
         }
         assert!(m.stats().ticks == 40);
         assert!(m.stats().score_evaluations == 40 * 10 * 2);
@@ -364,7 +371,10 @@ mod tests {
         for tick in 0..20u64 {
             let arrivals = lcg_stream(tick + 99, 6, 2);
             m.tick(Timestamp(tick), &arrivals).unwrap();
-            assert_eq!(m.result(QueryId(7)).unwrap(), &brute_topk(m.window(), &f, 2)[..]);
+            assert_eq!(
+                m.result(QueryId(7)).unwrap(),
+                &brute_topk(m.window(), &f, 2)[..]
+            );
         }
     }
 
@@ -376,7 +386,10 @@ mod tests {
         for tick in 0..60u64 {
             let arrivals = lcg_stream(tick + 7, 5, 2);
             m.tick(Timestamp(tick), &arrivals).unwrap();
-            assert_eq!(m.result(QueryId(3)).unwrap(), &brute_topk(m.window(), &f, 4)[..]);
+            assert_eq!(
+                m.result(QueryId(3)).unwrap(),
+                &brute_topk(m.window(), &f, 4)[..]
+            );
         }
         assert!(m.stats().refills > 0, "dynamic policy exercised refills");
     }

@@ -88,10 +88,7 @@ pub fn ta_search(
                 let cand = Scored::new(f.score(coords), id);
                 if best.len() < kmax {
                     best.insert(cand);
-                } else if best
-                    .first()
-                    .is_some_and(|worst| cand > *worst)
-                {
+                } else if best.first().is_some_and(|worst| cand > *worst) {
                     best.insert(cand);
                     best.pop_first();
                 }
@@ -153,13 +150,7 @@ mod tests {
 
     #[test]
     fn finds_exact_topk() {
-        let points = [
-            [0.9, 0.1],
-            [0.2, 0.8],
-            [0.5, 0.5],
-            [0.95, 0.9],
-            [0.1, 0.2],
-        ];
+        let points = [[0.9, 0.1], [0.2, 0.8], [0.5, 0.5], [0.95, 0.9], [0.1, 0.2]];
         let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
         let (w, l) = setup(&points);
         let (res, stats) = ta_search(&l, &w, &f, 3);

@@ -250,7 +250,7 @@ mod tests {
         let mut v = TopView::new(1, 3).unwrap();
         v.refill(&[s(0.9, 0), s(0.8, 1), s(0.7, 2)]);
         v.on_expiry(TupleId(2)); // k′ = 2
-        // Arrival below the (new) worst does not regrow the view.
+                                 // Arrival below the (new) worst does not regrow the view.
         assert!(!v.on_arrival(s(0.1, 3)));
         assert_eq!(v.len(), 2);
         // Arrival above the worst enters and k′ grows back toward kmax.

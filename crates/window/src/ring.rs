@@ -259,8 +259,7 @@ mod tests {
                 r.pop_front_into(&mut scratch);
             }
         }
-        let items: Vec<(TupleId, Vec<f64>)> =
-            r.iter().map(|(id, c)| (id, c.to_vec())).collect();
+        let items: Vec<(TupleId, Vec<f64>)> = r.iter().map(|(id, c)| (id, c.to_vec())).collect();
         assert_eq!(items.len(), r.len());
         for (id, coords) in items {
             assert_eq!(coords[0], id.0 as f64);

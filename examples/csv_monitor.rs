@@ -46,8 +46,10 @@ fn load_rows(args: &[String]) -> Result<Vec<Vec<f64>>, Box<dyn std::error::Error
             if trimmed.is_empty() || trimmed.starts_with('#') {
                 continue;
             }
-            let row: Result<Vec<f64>, _> =
-                trimmed.split(',').map(|c| c.trim().parse::<f64>()).collect();
+            let row: Result<Vec<f64>, _> = trimmed
+                .split(',')
+                .map(|c| c.trim().parse::<f64>())
+                .collect();
             match row {
                 Ok(r) => rows.push(r),
                 Err(e) => return Err(format!("line {}: {e}", lineno + 1).into()),
@@ -78,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_window(WindowSpec::Count(WINDOW))
             .with_grid(GridSpec::default()),
     )?;
-    println!("engine: {}, window: {WINDOW}, cycle: {CYCLE} rows", server.engine_name());
+    println!(
+        "engine: {}, window: {WINDOW}, cycle: {CYCLE} rows",
+        server.engine_name()
+    );
 
     // One "sum of attributes" ranking plus one per-attribute ranking.
     let mut queries = vec![(

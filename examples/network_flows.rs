@@ -14,9 +14,7 @@
 //!
 //! Run with: `cargo run --release --example network_flows`
 
-use topk_monitor::{
-    DataDist, EngineKind, MonitorServer, PointGen, Query, ScoreFn, ServerConfig,
-};
+use topk_monitor::{DataDist, EngineKind, MonitorServer, PointGen, Query, ScoreFn, ServerConfig};
 
 /// Synthetic flow: (normalised throughput, normalised packet count) plus
 /// the endpoint metadata the application keeps on the side.
@@ -30,9 +28,7 @@ fn main() -> topk_monitor::Result<()> {
     const RATE: usize = 1_000;
     const K: usize = 50;
 
-    let mut server = MonitorServer::new(
-        ServerConfig::sma(2, WINDOW).with_engine(EngineKind::Sma),
-    )?;
+    let mut server = MonitorServer::new(ServerConfig::sma(2, WINDOW).with_engine(EngineKind::Sma))?;
 
     // Throughput is attribute 0; packet count is attribute 1.
     let q_heavy = server.register(Query::top_k(ScoreFn::linear(vec![1.0, 0.0])?, K)?)?;
@@ -49,7 +45,9 @@ fn main() -> topk_monitor::Result<()> {
         (rng_state >> 33) as u32
     };
 
-    println!("monitoring top-{K} heavy flows and top-{K} tiny flows over the last {WINDOW} flows\n");
+    println!(
+        "monitoring top-{K} heavy flows and top-{K} tiny flows over the last {WINDOW} flows\n"
+    );
 
     for cycle in 0..30u32 {
         buf.clear();
@@ -102,7 +100,9 @@ fn main() -> topk_monitor::Result<()> {
         assert_eq!(tiny.len(), K.min(metas.len()));
         let mut src_counts = std::collections::HashMap::new();
         for hit in &tiny {
-            *src_counts.entry(metas[hit.id.0 as usize].src).or_insert(0usize) += 1;
+            *src_counts
+                .entry(metas[hit.id.0 as usize].src)
+                .or_insert(0usize) += 1;
         }
         if let Some((src, count)) = src_counts.iter().max_by_key(|(_, c)| **c) {
             if *count > K / 2 {

@@ -13,10 +13,8 @@
 //!
 //! Run with: `cargo run --release --example stock_ticker`
 
-use topk_monitor::{
-    DataDist, PointGen, Query, QueryId, ScoreFn, Timestamp, TkmError, WindowSpec,
-};
 use topk_monitor::engines::{GridSpec, SmaMonitor, ThresholdMonitor};
+use topk_monitor::{DataDist, PointGen, Query, QueryId, ScoreFn, Timestamp, TkmError, WindowSpec};
 
 fn main() -> Result<(), TkmError> {
     const WINDOW_TICKS: u64 = 8;

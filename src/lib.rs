@@ -57,8 +57,8 @@ pub use tkm_common::{
 };
 pub use tkm_core::{
     build_engine, compute_topk, ContinuousTopK, EngineKind, EngineStats, GridSpec, MonitorServer,
-    OracleMonitor, ParallelMonitor, PiecewiseMonitor, PiecewiseQuery, Query, ResultDelta, ServerConfig, SmaMonitor, ThresholdMonitor, TmaMonitor, UpdateOp,
-    UpdateStreamTma,
+    OracleMonitor, ParallelMonitor, PiecewiseMonitor, PiecewiseQuery, Query, ResultDelta,
+    ServerConfig, SmaMonitor, ThresholdMonitor, TmaMonitor, UpdateOp, UpdateStreamTma,
 };
 pub use tkm_datagen::{DataDist, FnFamily, PointGen, QueryGen, StreamSim};
 pub use tkm_skyband::{SkyEntry, Skyband};

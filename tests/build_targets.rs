@@ -1,0 +1,138 @@
+//! Smoke guarantees for target wiring: every benchmark binary, criterion
+//! bench and example the ROADMAP's experiments rely on must exist on disk
+//! exactly where the manifests expect them, so `cargo check --workspace
+//! --all-targets` (run in CI) compiles them all and none can silently rot.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn stems(dir: &Path) -> BTreeSet<String> {
+    std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("missing directory {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            if path.extension()? == "rs" {
+                Some(path.file_stem()?.to_str()?.to_string())
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn all_paper_figure_binaries_exist() {
+    let expected: BTreeSet<String> = [
+        "ext_variants",
+        "fig13_datasets",
+        "fig14_grid",
+        "fig15_dimensionality",
+        "fig16_cardinality",
+        "fig17_arrival_rate",
+        "fig18_query_count",
+        "fig19_k",
+        "fig20_space",
+        "fig21_nonlinear",
+        "model_vs_measured",
+        "scaleout",
+        "table2_view_size",
+        "tune_kmax",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    let found = stems(&repo_root().join("crates/bench/src/bin"));
+    assert_eq!(
+        found, expected,
+        "bench binaries drifted; update this list *and* README.md"
+    );
+}
+
+#[test]
+fn all_criterion_benches_exist_and_are_registered() {
+    let expected: BTreeSet<String> = ["micro_compute", "micro_engines", "micro_structures"]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    let found = stems(&repo_root().join("crates/bench/benches"));
+    assert_eq!(found, expected, "criterion benches drifted");
+
+    // Each must be registered with `harness = false` (the criterion
+    // stand-in provides `main` via `criterion_main!`).
+    let manifest =
+        std::fs::read_to_string(repo_root().join("crates/bench/Cargo.toml")).expect("manifest");
+    for bench in &expected {
+        assert!(
+            manifest.contains(&format!("name = \"{bench}\"")),
+            "bench {bench} is not declared in crates/bench/Cargo.toml"
+        );
+    }
+    assert_eq!(
+        manifest.matches("harness = false").count(),
+        expected.len(),
+        "every [[bench]] must set harness = false"
+    );
+}
+
+#[test]
+fn all_examples_exist() {
+    let expected: BTreeSet<String> = [
+        "constrained_dashboard",
+        "csv_monitor",
+        "network_flows",
+        "quickstart",
+        "stock_ticker",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    let found = stems(&repo_root().join("examples"));
+    assert_eq!(found, expected, "examples drifted; update README.md too");
+}
+
+#[test]
+fn workspace_members_match_directories() {
+    let manifest = std::fs::read_to_string(repo_root().join("Cargo.toml")).expect("root manifest");
+    for dir in [
+        "analysis", "bench", "common", "core", "datagen", "grid", "ostree", "skyband", "tsl",
+        "window",
+    ] {
+        assert!(
+            manifest.contains(&format!("\"crates/{dir}\"")),
+            "crates/{dir} missing from [workspace] members"
+        );
+        assert!(
+            repo_root()
+                .join("crates")
+                .join(dir)
+                .join("Cargo.toml")
+                .is_file(),
+            "crates/{dir}/Cargo.toml missing"
+        );
+    }
+    for dir in ["rand", "proptest", "criterion"] {
+        assert!(
+            manifest.contains(&format!("\"vendor/{dir}\"")),
+            "vendor/{dir} missing from [workspace] members"
+        );
+    }
+}
+
+#[test]
+fn committed_proptest_regressions_parse() {
+    let path = repo_root().join("proptest-regressions/proptest_engines.txt");
+    let text = std::fs::read_to_string(&path).expect("committed regression file");
+    let seeds: Vec<u64> = text
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("cc "))
+        .map(|h| u64::from_str_radix(h.trim(), 16).expect("valid hex seed"))
+        .collect();
+    assert!(
+        !seeds.is_empty(),
+        "regression file must pin at least one seed"
+    );
+}

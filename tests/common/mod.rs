@@ -5,9 +5,7 @@
 #![allow(dead_code)]
 
 use topk_monitor::engines::{build_engine, ContinuousTopK, EngineKind, GridSpec};
-use topk_monitor::{
-    DataDist, KmaxPolicy, PointGen, Query, QueryId, Timestamp, WindowSpec,
-};
+use topk_monitor::{DataDist, KmaxPolicy, PointGen, Query, QueryId, Timestamp, WindowSpec};
 
 /// The engines under test (oracle last, as the reference).
 pub const KINDS: [EngineKind; 4] = [
@@ -18,16 +16,10 @@ pub const KINDS: [EngineKind; 4] = [
 ];
 
 /// Builds one engine of each kind with a common configuration.
-pub fn build_all(
-    dims: usize,
-    window: WindowSpec,
-    grid: GridSpec,
-) -> Vec<Box<dyn ContinuousTopK>> {
+pub fn build_all(dims: usize, window: WindowSpec, grid: GridSpec) -> Vec<Box<dyn ContinuousTopK>> {
     KINDS
         .iter()
-        .map(|k| {
-            build_engine(*k, dims, window, grid, KmaxPolicy::Tuned).expect("engine builds")
-        })
+        .map(|k| build_engine(*k, dims, window, grid, KmaxPolicy::Tuned).expect("engine builds"))
         .collect()
 }
 

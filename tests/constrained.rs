@@ -7,8 +7,7 @@ use common::BatchGen;
 use proptest::prelude::*;
 use topk_monitor::engines::{GridSpec, SmaMonitor, TmaMonitor};
 use topk_monitor::{
-    DataDist, OracleMonitor, Query, QueryId, Rect, ScoreFn, Scored, Timestamp,
-    WindowSpec,
+    DataDist, OracleMonitor, Query, QueryId, Rect, ScoreFn, Scored, Timestamp, WindowSpec,
 };
 
 fn run_constrained_stream(
@@ -29,7 +28,9 @@ fn run_constrained_stream(
         let id = QueryId(i as u64);
         tma.register_query(id, q.clone()).expect("tma register");
         sma.register_query(id, q.clone()).expect("sma register");
-        oracle.register_query(id, q.clone()).expect("oracle register");
+        oracle
+            .register_query(id, q.clone())
+            .expect("oracle register");
     }
     let mut stream = BatchGen::new(dims, DataDist::Ind, seed);
     for t in 0..ticks {
@@ -54,8 +55,12 @@ fn central_and_corner_regions() {
         Query::constrained(f(), 5, Rect::new(vec![0.0, 0.0], vec![0.2, 0.2]).unwrap()).unwrap(),
         Query::constrained(f(), 2, Rect::new(vec![0.8, 0.8], vec![1.0, 1.0]).unwrap()).unwrap(),
         // Degenerate sliver region.
-        Query::constrained(f(), 4, Rect::new(vec![0.5, 0.0], vec![0.5001, 1.0]).unwrap())
-            .unwrap(),
+        Query::constrained(
+            f(),
+            4,
+            Rect::new(vec![0.5, 0.0], vec![0.5001, 1.0]).unwrap(),
+        )
+        .unwrap(),
     ];
     run_constrained_stream(2, 150, 7, queries, 5, 50, 20);
 }

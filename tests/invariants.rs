@@ -15,8 +15,7 @@ use topk_monitor::{DataDist, Query, QueryId, ScoreFn, Timestamp, WindowSpec};
 #[test]
 fn tma_influence_lists_cover_influence_region() {
     let dims = 2;
-    let mut m =
-        TmaMonitor::new(dims, WindowSpec::Count(120), GridSpec::PerDim(8)).expect("config");
+    let mut m = TmaMonitor::new(dims, WindowSpec::Count(120), GridSpec::PerDim(8)).expect("config");
     let f = ScoreFn::linear(vec![1.0, 2.0]).expect("dims");
     let q = Query::top_k(f.clone(), 5).expect("k");
     m.register_query(QueryId(0), q).expect("register");
@@ -45,8 +44,7 @@ fn tma_influence_lists_cover_influence_region() {
 fn sma_skyband_invariants_over_time() {
     let dims = 3;
     let k = 8;
-    let mut m =
-        SmaMonitor::new(dims, WindowSpec::Count(200), GridSpec::PerDim(5)).expect("config");
+    let mut m = SmaMonitor::new(dims, WindowSpec::Count(200), GridSpec::PerDim(5)).expect("config");
     let f = ScoreFn::linear(vec![0.5, 1.5, 1.0]).expect("dims");
     m.register_query(QueryId(0), Query::top_k(f.clone(), k).expect("k"))
         .expect("register");
@@ -80,8 +78,7 @@ fn sma_skyband_invariants_over_time() {
 #[test]
 fn grid_window_lockstep() {
     let dims = 2;
-    let mut m =
-        TmaMonitor::new(dims, WindowSpec::Count(80), GridSpec::PerDim(6)).expect("config");
+    let mut m = TmaMonitor::new(dims, WindowSpec::Count(80), GridSpec::PerDim(6)).expect("config");
     let q = Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).expect("dims"), 3).expect("k");
     m.register_query(QueryId(0), q).expect("register");
     let mut stream = BatchGen::new(dims, DataDist::Ind, 2);
@@ -117,8 +114,10 @@ fn no_influence_leaks_after_removal() {
     let mut stream = BatchGen::new(dims, DataDist::Ind, 9);
     // Interleave: register, stream, remove, stream, verify.
     for (i, q) in fns.iter().enumerate() {
-        tma.register_query(QueryId(i as u64), q.clone()).expect("tma");
-        sma.register_query(QueryId(i as u64), q.clone()).expect("sma");
+        tma.register_query(QueryId(i as u64), q.clone())
+            .expect("tma");
+        sma.register_query(QueryId(i as u64), q.clone())
+            .expect("sma");
     }
     for t in 0..25u64 {
         let b = stream.batch(12);
@@ -146,8 +145,7 @@ fn no_influence_leaks_after_removal() {
 #[test]
 fn stats_are_consistent() {
     let dims = 2;
-    let mut m =
-        SmaMonitor::new(dims, WindowSpec::Count(50), GridSpec::PerDim(5)).expect("config");
+    let mut m = SmaMonitor::new(dims, WindowSpec::Count(50), GridSpec::PerDim(5)).expect("config");
     let q = Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).expect("d"), 3).expect("k");
     m.register_query(QueryId(0), q).expect("register");
     let mut stream = BatchGen::new(dims, DataDist::Ind, 41);

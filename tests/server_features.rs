@@ -5,8 +5,7 @@ mod common;
 use common::BatchGen;
 use topk_monitor::engines::GridSpec;
 use topk_monitor::{
-    DataDist, EngineKind, MonitorServer, Query, ScoreFn, Scored, ServerConfig,
-    WindowSpec,
+    DataDist, EngineKind, MonitorServer, Query, ScoreFn, Scored, ServerConfig, WindowSpec,
 };
 
 fn server(kind: EngineKind) -> MonitorServer {

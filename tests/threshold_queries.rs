@@ -23,8 +23,8 @@ fn brute(window: &Window, f: &ScoreFn, tau: f64) -> Vec<TupleId> {
 #[test]
 fn matching_set_tracks_brute_force() {
     let dims = 3;
-    let mut m = ThresholdMonitor::new(dims, WindowSpec::Count(200), GridSpec::PerDim(5))
-        .expect("config");
+    let mut m =
+        ThresholdMonitor::new(dims, WindowSpec::Count(200), GridSpec::PerDim(5)).expect("config");
     let fns = [
         (ScoreFn::linear(vec![1.0, 1.0, 1.0]).unwrap(), 2.2),
         (ScoreFn::linear(vec![1.0, -1.0, 0.5]).unwrap(), 1.1),
@@ -54,10 +54,11 @@ fn matching_set_tracks_brute_force() {
 #[test]
 fn deltas_reconstruct_the_set() {
     let dims = 2;
-    let mut m = ThresholdMonitor::new(dims, WindowSpec::Count(60), GridSpec::PerDim(6))
-        .expect("config");
+    let mut m =
+        ThresholdMonitor::new(dims, WindowSpec::Count(60), GridSpec::PerDim(6)).expect("config");
     let f = ScoreFn::linear(vec![2.0, 1.0]).unwrap();
-    m.register_query(QueryId(0), f.clone(), 1.8).expect("register");
+    m.register_query(QueryId(0), f.clone(), 1.8)
+        .expect("register");
     let mut reconstructed = std::collections::BTreeSet::new();
     let mut stream = BatchGen::new(dims, DataDist::Ind, 8);
     for t in 0..60u64 {
@@ -87,7 +88,8 @@ fn time_window_thresholds() {
     let mut m =
         ThresholdMonitor::new(dims, WindowSpec::Time(4), GridSpec::PerDim(5)).expect("config");
     let f = ScoreFn::quadratic(vec![1.0, 1.0]).unwrap();
-    m.register_query(QueryId(1), f.clone(), 1.2).expect("register");
+    m.register_query(QueryId(1), f.clone(), 1.2)
+        .expect("register");
     let mut stream = BatchGen::new(dims, DataDist::Ant, 19);
     for t in 0..40u64 {
         let n = 4 + (t % 6) as usize;

@@ -76,8 +76,16 @@ fn interleaved_queries_and_ops() {
         }
         let new_ids = m.apply(&ops).expect("apply");
         live.extend(new_ids);
-        assert_eq!(m.result(QueryId(0)).unwrap(), &brute(&m, &q0)[..], "q0 round {round}");
-        assert_eq!(m.result(QueryId(1)).unwrap(), &brute(&m, &q1)[..], "q1 round {round}");
+        assert_eq!(
+            m.result(QueryId(0)).unwrap(),
+            &brute(&m, &q0)[..],
+            "q0 round {round}"
+        );
+        assert_eq!(
+            m.result(QueryId(1)).unwrap(),
+            &brute(&m, &q1)[..],
+            "q1 round {round}"
+        );
     }
 
     // Remove one query; the other keeps working.
@@ -98,7 +106,8 @@ fn empty_store_and_full_drain() {
     m.end_cycle();
     assert_eq!(m.result(QueryId(0)).unwrap().len(), 2);
     // Drain to empty; the result must follow.
-    m.apply(&[UpdateOp::Delete(a), UpdateOp::Delete(b)]).expect("apply");
+    m.apply(&[UpdateOp::Delete(a), UpdateOp::Delete(b)])
+        .expect("apply");
     assert!(m.result(QueryId(0)).unwrap().is_empty());
     // And recover again.
     m.apply(&[UpdateOp::Insert(vec![0.1, 0.9])]).expect("apply");

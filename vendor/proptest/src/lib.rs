@@ -1,0 +1,339 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored crate re-implements the subset of proptest this workspace
+//! uses: the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! range / tuple / `prop::collection::vec` / [`any`] strategies, and the
+//! `prop_assert!` family.
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case is
+//! reported with its generated inputs and its deterministic seed, which
+//! can be committed to `proptest-regressions/<file>.txt` as a `cc <hex>`
+//! line so the exact case replays first on every future run. Case
+//! generation is fully deterministic: the seed of case *i* of a test is
+//! derived from the test's module path and *i* only, so CI runs are
+//! reproducible by construction. `PROPTEST_CASES` in the environment
+//! overrides the configured case count (useful for quick local runs).
+
+pub mod test_runner;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    // i128/u128 span arithmetic: wide signed ranges must
+                    // not overflow (debug panic) or wrap (out-of-range).
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128 * span) >> 64;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty strategy range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128 * span) >> 64;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty strategy range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty strategy range");
+            lo + rng.unit_f64_inclusive() * (hi - lo)
+        }
+    }
+
+    macro_rules! impl_tuple {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple!(A);
+    impl_tuple!(A, B);
+    impl_tuple!(A, B, C);
+    impl_tuple!(A, B, C, D);
+    impl_tuple!(A, B, C, D, E);
+    impl_tuple!(A, B, C, D, E, F);
+
+    /// Strategy for `any::<T>()`.
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.len.start < self.len.end {
+                let span = (self.len.end - self.len.start) as u64;
+                self.len.start + (((rng.next_u64() as u128 * span as u128) >> 64) as usize)
+            } else {
+                self.len.start
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Returns the canonical strategy for `T` (`Any<T>`).
+pub fn any<T>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Generates `Vec`s of `element` with length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod prop {
+    //! Namespace mirror (`prop::collection::vec`, ...).
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! The usual glob-import surface.
+    pub use crate::strategy::{Just, Strategy};
+    /// Configuration for a `proptest!` block.
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{any, prop};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current test case with a message (without panicking, so the
+/// runner can report the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = &$lhs;
+        let rhs = &$rhs;
+        $crate::prop_assert!(
+            lhs == rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let lhs = &$lhs;
+        let rhs = &$rhs;
+        $crate::prop_assert!(
+            lhs == rhs,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            lhs,
+            rhs
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = &$lhs;
+        let rhs = &$rhs;
+        $crate::prop_assert!(
+            lhs != rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, v in prop::collection::vec(0u32..5, 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    // Bare function items with no config line.
+    ($(#[$meta:meta])* fn $($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::Config::default());
+            $(#[$meta])* fn $($rest)*
+        }
+    };
+    // Closure-style immediate invocation inside an ordinary #[test]:
+    // `proptest!(config, |(a in strat, ...)| { body });`
+    ($cfg:expr, |($($arg:ident in $strat:expr),+ $(,)?)| $body:block) => {{
+        let config: $crate::test_runner::Config = $cfg;
+        let runner = $crate::test_runner::TestRunner::new(
+            config,
+            concat!(module_path!(), ":", line!()),
+            file!(),
+        );
+        runner.run(|rng: &mut $crate::test_runner::TestRng| {
+            $(let $arg = $crate::strategy::Strategy::new_value(&($strat), rng);)+
+            let rendered = format!(
+                concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                $(&$arg,)+
+            );
+            let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (move || {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+            (outcome, rendered)
+        });
+    }};
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let runner = $crate::test_runner::TestRunner::new(
+                config,
+                concat!(module_path!(), "::", stringify!($name)),
+                file!(),
+            );
+            runner.run(|rng: &mut $crate::test_runner::TestRng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), rng);)+
+                let rendered = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n",)+),
+                    $(&$arg,)+
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                (outcome, rendered)
+            });
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}

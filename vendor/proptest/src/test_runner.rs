@@ -1,0 +1,252 @@
+//! Deterministic case runner and RNG.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// A failed test case (carries the failure message).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias kept for upstream-API compatibility.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per test (plus committed regressions).
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// xoshiro256++, seeded via SplitMix64. Deterministic per seed.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Builds the generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next pseudo-random word.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, 1]`.
+    #[inline]
+    pub fn unit_f64_inclusive(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Runs the cases of one property test.
+pub struct TestRunner {
+    config: Config,
+    test_name: &'static str,
+    source_file: &'static str,
+}
+
+impl TestRunner {
+    /// Creates a runner for `test_name` defined in `source_file`.
+    pub fn new(config: Config, test_name: &'static str, source_file: &'static str) -> Self {
+        TestRunner {
+            config,
+            test_name,
+            source_file,
+        }
+    }
+
+    fn regression_path(&self) -> Option<PathBuf> {
+        let manifest = std::env::var_os("CARGO_MANIFEST_DIR")?;
+        let stem = Path::new(self.source_file).file_stem()?;
+        let mut p = PathBuf::from(manifest);
+        p.push("proptest-regressions");
+        p.push(stem);
+        p.set_extension("txt");
+        Some(p)
+    }
+
+    /// Seeds committed in `proptest-regressions/<file>.txt` (`cc <hex>` lines).
+    fn regression_seeds(&self) -> Vec<u64> {
+        let Some(path) = self.regression_path() else {
+            return Vec::new();
+        };
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let rest = line.trim().strip_prefix("cc ")?;
+                u64::from_str_radix(rest.trim(), 16).ok()
+            })
+            .collect()
+    }
+
+    fn case_count(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.config.cases),
+            Err(_) => self.config.cases,
+        }
+    }
+
+    /// Runs regression cases then `config.cases` deterministic fresh cases.
+    ///
+    /// The closure generates inputs from the provided RNG and returns the
+    /// case outcome plus a rendering of the generated inputs for failure
+    /// reports.
+    pub fn run<F>(&self, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (Result<(), TestCaseError>, String),
+    {
+        let base = fnv1a(self.test_name.as_bytes()) ^ 0x70d0_5eed_c0ff_ee01;
+        let mut seeds: Vec<(u64, bool)> = self
+            .regression_seeds()
+            .into_iter()
+            .map(|s| (s, true))
+            .collect();
+        for i in 0..self.case_count() {
+            seeds.push((
+                base.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                false,
+            ));
+        }
+        for (idx, (seed, from_regression)) in seeds.into_iter().enumerate() {
+            let mut rng = TestRng::seed_from_u64(seed);
+            let caught = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+            let (outcome, rendered) = match caught {
+                Ok(pair) => pair,
+                Err(panic) => {
+                    let msg = panic_message(&panic);
+                    self.report_failure(
+                        idx,
+                        seed,
+                        from_regression,
+                        "<inputs unavailable: body panicked before capture>",
+                        &msg,
+                    );
+                }
+            };
+            if let Err(e) = outcome {
+                self.report_failure(idx, seed, from_regression, &rendered, &e.0);
+            }
+        }
+    }
+
+    fn report_failure(
+        &self,
+        idx: usize,
+        seed: u64,
+        from_regression: bool,
+        rendered: &str,
+        msg: &str,
+    ) -> ! {
+        let origin = if from_regression {
+            "committed regression"
+        } else {
+            "generated"
+        };
+        panic!(
+            "proptest case failed: {name}\n\
+             case #{idx} ({origin}), seed cc {seed:016x}\n\
+             inputs:\n{rendered}\
+             failure: {msg}\n\
+             To replay just this case first on every run, add the line\n\
+             `cc {seed:016x}` to proptest-regressions/{file}.txt.",
+            name = self.test_name,
+            idx = idx,
+            origin = origin,
+            seed = seed,
+            rendered = rendered,
+            msg = msg,
+            file = Path::new(self.source_file)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("test"),
+        )
+    }
+}
+
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

@@ -1,0 +1,43 @@
+//! End-to-end check that committed `cc <hex>` seeds are actually loaded
+//! and replayed first — nothing else would catch a silent load failure,
+//! because properties that hold for all inputs pass with or without the
+//! extra cases.
+
+use proptest::test_runner::{Config, TestRng, TestRunner};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[test]
+fn committed_seeds_replay_first() {
+    let dir = std::env::temp_dir().join("tkm-proptest-regression-test");
+    std::fs::create_dir_all(dir.join("proptest-regressions")).unwrap();
+    let seed: u64 = 0x0123_4567_89ab_cdef;
+    std::fs::write(
+        dir.join("proptest-regressions/some_source.txt"),
+        format!("# comment line\ncc {seed:016x}\nnot a seed line\n"),
+    )
+    .unwrap();
+
+    // The runner resolves the file relative to CARGO_MANIFEST_DIR.
+    std::env::set_var("CARGO_MANIFEST_DIR", &dir);
+    std::env::remove_var("PROPTEST_CASES");
+
+    let first_draw = AtomicU64::new(0);
+    let calls = AtomicU64::new(0);
+    let runner = TestRunner::new(
+        Config::with_cases(3),
+        "mod::seed_probe",
+        "tests/some_source.rs",
+    );
+    runner.run(|rng| {
+        if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+            first_draw.store(rng.next_u64(), Ordering::SeqCst);
+        }
+        (Ok(()), String::new())
+    });
+
+    // 1 committed seed + 3 generated cases ran.
+    assert_eq!(calls.load(Ordering::SeqCst), 4);
+    // The very first case used exactly the committed seed.
+    let mut expected = TestRng::seed_from_u64(seed);
+    assert_eq!(first_draw.load(Ordering::SeqCst), expected.next_u64());
+}
