@@ -9,7 +9,7 @@ use tkm_common::{QueryId, ScoreFn, Timestamp};
 use tkm_core::compute_topk;
 use tkm_core::influence::cleanup_from_frontier;
 use tkm_datagen::{DataDist, PointGen};
-use tkm_grid::{CellMode, Grid, VisitStamps};
+use tkm_grid::{CellMode, Grid, InfluenceTable, VisitStamps};
 use tkm_tsl::{ta_search, SortedLists};
 use tkm_window::{Window, WindowSpec};
 
@@ -49,8 +49,9 @@ fn bench_compute_module(c: &mut Criterion) {
     let mut group = c.benchmark_group("topk_computation");
     group.sample_size(30);
     for dist in [DataDist::Ind, DataDist::Ant] {
-        let mut fx = fixture(dist);
+        let fx = fixture(dist);
         let mut stamps = VisitStamps::new(fx.grid.num_cells());
+        let mut influence = InfluenceTable::new(fx.grid.num_cells());
         for k in [1usize, 20, 100] {
             group.bench_with_input(
                 BenchmarkId::new(format!("grid_{}", dist.label()), k),
@@ -58,10 +59,10 @@ fn bench_compute_module(c: &mut Criterion) {
                 |b, &k| {
                     b.iter(|| {
                         let out = compute_topk(
-                            &mut fx.grid,
+                            &fx.grid,
                             &mut stamps,
                             &fx.window,
-                            Some(QueryId(0)),
+                            Some((&mut influence, QueryId(0))),
                             &fx.f,
                             k,
                             None,
@@ -69,7 +70,8 @@ fn bench_compute_module(c: &mut Criterion) {
                         );
                         // Unregister again so every iteration starts clean.
                         cleanup_from_frontier(
-                            &mut fx.grid,
+                            &fx.grid,
+                            &mut influence,
                             &mut stamps,
                             QueryId(0),
                             &fx.f,

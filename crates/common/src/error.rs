@@ -30,6 +30,10 @@ pub enum TkmError {
     /// The operation is not supported by this engine/stream-model
     /// combination (e.g. SMA over explicit-deletion update streams, §7).
     Unsupported(String),
+    /// An internal invariant failed (e.g. a worker thread panicked). The
+    /// monitor that produced it may hold inconsistent state; callers should
+    /// rebuild it rather than continue ticking.
+    Internal(String),
 }
 
 impl fmt::Display for TkmError {
@@ -44,6 +48,7 @@ impl fmt::Display for TkmError {
             TkmError::UnknownTuple(t) => write!(f, "unknown tuple {t}"),
             TkmError::DuplicateTuple(t) => write!(f, "tuple {t} already present"),
             TkmError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            TkmError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

@@ -26,7 +26,7 @@ use std::collections::BinaryHeap;
 
 use crate::result::TopList;
 use tkm_common::{OrderedF64, QueryId, Rect, ScoreFn, Scored, MAX_DIMS};
-use tkm_grid::{CellId, Grid, VisitStamps};
+use tkm_grid::{CellId, Grid, InfluenceTable, VisitStamps};
 use tkm_window::TupleLookup;
 
 /// Counters of one computation-module invocation.
@@ -55,18 +55,20 @@ pub struct ComputeOutcome {
     pub stats: ComputeStats,
 }
 
-/// Runs the top-k computation. With `qid = Some(q)` — the monitoring path —
-/// `q` is registered in the influence list of every processed cell (which
-/// is why the grid is borrowed mutably); with `qid = None` the traversal is
-/// a side-effect-free *snapshot* query. `stamps` must belong to the same
-/// grid; its epoch is advanced and, after return, still marks every
-/// en-heaped cell — the clean-up walk relies on this.
+/// Runs the top-k computation. With `influence = Some((table, q))` — the
+/// monitoring path — `q` is registered in the table's influence list of
+/// every processed cell; with `influence = None` the traversal is a
+/// side-effect-free *snapshot* query. The grid itself is only read, so one
+/// shared grid can serve concurrent computations as long as each caller
+/// brings its own table and stamps. `stamps` must belong to the same grid;
+/// its epoch is advanced and, after return, still marks every en-heaped
+/// cell — the clean-up walk relies on this.
 #[allow(clippy::too_many_arguments)]
 pub fn compute_topk<L: TupleLookup>(
-    grid: &mut Grid,
+    grid: &Grid,
     stamps: &mut VisitStamps,
     lookup: &L,
-    qid: Option<QueryId>,
+    mut influence: Option<(&mut InfluenceTable, QueryId)>,
     f: &ScoreFn,
     k: usize,
     constraint: Option<&Rect>,
@@ -123,8 +125,8 @@ pub fn compute_topk<L: TupleLookup>(
             }
             top.offer(Scored::new(f.score(coords), id));
         }
-        if let Some(q) = qid {
-            grid.cell_mut(cell).influence_insert(q);
+        if let Some((table, q)) = influence.as_mut() {
+            table.insert(cell, *q);
         }
 
         for dim in 0..dims {
@@ -177,7 +179,7 @@ mod tests {
     use tkm_grid::CellMode;
     use tkm_window::{Window, WindowSpec};
 
-    fn setup(points: &[[f64; 2]], per_dim: usize) -> (Grid, Window, VisitStamps) {
+    fn setup(points: &[[f64; 2]], per_dim: usize) -> (Grid, Window, VisitStamps, InfluenceTable) {
         let mut grid = Grid::new(2, per_dim, CellMode::Fifo).unwrap();
         let mut w = Window::new(2, WindowSpec::Count(points.len().max(1))).unwrap();
         for p in points {
@@ -185,7 +187,8 @@ mod tests {
             grid.insert_point(p, id);
         }
         let stamps = VisitStamps::new(grid.num_cells());
-        (grid, w, stamps)
+        let influence = InfluenceTable::new(grid.num_cells());
+        (grid, w, stamps, influence)
     }
 
     fn naive_topk(points: &[[f64; 2]], f: &ScoreFn, k: usize, r: Option<&Rect>) -> Vec<Scored> {
@@ -206,12 +209,12 @@ mod tests {
     fn figure5_processes_minimal_cells() {
         let points = [[0.55, 0.90], [0.90, 0.55]]; // p1 (winner), p2
         let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
-        let (mut grid, w, mut stamps) = setup(&points, 7);
+        let (grid, w, mut stamps, mut influence) = setup(&points, 7);
         let out = compute_topk(
-            &mut grid,
+            &grid,
             &mut stamps,
             &w,
-            Some(QueryId(0)),
+            Some((&mut influence, QueryId(0))),
             &f,
             1,
             None,
@@ -226,27 +229,26 @@ mod tests {
             .count() as u64;
         assert_eq!(out.stats.cells_processed, expected);
         // Every processed cell carries the influence entry.
-        let listed = grid
-            .cells()
-            .filter(|(_, c)| c.influence_contains(QueryId(0)))
+        let listed = (0..49)
+            .filter(|i| influence.contains(CellId(*i), QueryId(0)))
             .count() as u64;
         assert_eq!(listed, expected);
         // Frontier cells were en-heaped but not processed.
         for c in &out.frontier {
-            assert!(!grid.cell(*c).influence_contains(QueryId(0)));
+            assert!(!influence.contains(*c, QueryId(0)));
             assert!(stamps.is_marked(*c));
         }
     }
 
     #[test]
     fn empty_window_processes_everything_and_finds_nothing() {
-        let (mut grid, w, mut stamps) = setup(&[], 4);
+        let (grid, w, mut stamps, mut influence) = setup(&[], 4);
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
         let out = compute_topk(
-            &mut grid,
+            &grid,
             &mut stamps,
             &w,
-            Some(QueryId(3)),
+            Some((&mut influence, QueryId(3))),
             &f,
             2,
             None,
@@ -263,12 +265,12 @@ mod tests {
         // small x2.
         let points = [[0.95, 0.1], [0.8, 0.05], [0.3, 0.9], [0.5, 0.4]];
         let f = ScoreFn::linear(vec![1.0, -1.0]).unwrap();
-        let (mut grid, w, mut stamps) = setup(&points, 7);
+        let (grid, w, mut stamps, mut influence) = setup(&points, 7);
         let out = compute_topk(
-            &mut grid,
+            &grid,
             &mut stamps,
             &w,
-            Some(QueryId(1)),
+            Some((&mut influence, QueryId(1))),
             &f,
             2,
             None,
@@ -281,12 +283,12 @@ mod tests {
     fn product_function_figure7b() {
         let points = [[0.9, 0.8], [0.99, 0.2], [0.5, 0.5]];
         let f = ScoreFn::product(vec![0.0, 0.0]).unwrap();
-        let (mut grid, w, mut stamps) = setup(&points, 7);
+        let (grid, w, mut stamps, mut influence) = setup(&points, 7);
         let out = compute_topk(
-            &mut grid,
+            &grid,
             &mut stamps,
             &w,
-            Some(QueryId(1)),
+            Some((&mut influence, QueryId(1))),
             &f,
             1,
             None,
@@ -302,12 +304,12 @@ mod tests {
         let points = [[0.55, 0.95], [0.62, 0.68], [0.9, 0.9]];
         let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
         let r = Rect::new(vec![0.5, 0.45], vec![0.8, 0.75]).unwrap();
-        let (mut grid, w, mut stamps) = setup(&points, 7);
+        let (grid, w, mut stamps, mut influence) = setup(&points, 7);
         let out = compute_topk(
-            &mut grid,
+            &grid,
             &mut stamps,
             &w,
-            Some(QueryId(2)),
+            Some((&mut influence, QueryId(2))),
             &f,
             1,
             Some(&r),
@@ -320,8 +322,8 @@ mod tests {
         assert_eq!(out.top.as_slice()[0].id, TupleId(1), "p2 wins inside R");
         // Cells outside the constraint range are never touched.
         let range = grid.cell_range(&r);
-        for (cid, cell) in grid.cells() {
-            if cell.influence_contains(QueryId(2)) {
+        for (cid, _) in grid.cells() {
+            if influence.contains(cid, QueryId(2)) {
                 let cc = grid.cell_coords(cid);
                 for ((c, lo), hi) in cc.iter().zip(&range.0).zip(&range.1).take(2) {
                     assert!(c >= lo && c <= hi);
@@ -335,12 +337,12 @@ mod tests {
         // Four points, three tie at the k-th score.
         let points = [[0.5, 0.5], [0.6, 0.4], [0.4, 0.6], [0.9, 0.9]];
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
-        let (mut grid, w, mut stamps) = setup(&points, 4);
+        let (grid, w, mut stamps, mut influence) = setup(&points, 4);
         let out = compute_topk(
-            &mut grid,
+            &grid,
             &mut stamps,
             &w,
-            Some(QueryId(0)),
+            Some((&mut influence, QueryId(0))),
             &f,
             2,
             None,
@@ -357,12 +359,12 @@ mod tests {
     fn k_larger_than_population() {
         let points = [[0.2, 0.3], [0.8, 0.1]];
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
-        let (mut grid, w, mut stamps) = setup(&points, 4);
+        let (grid, w, mut stamps, mut influence) = setup(&points, 4);
         let out = compute_topk(
-            &mut grid,
+            &grid,
             &mut stamps,
             &w,
-            Some(QueryId(0)),
+            Some((&mut influence, QueryId(0))),
             &f,
             5,
             None,

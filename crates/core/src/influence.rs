@@ -14,9 +14,13 @@
 //!
 //! The same walk with the best-corner cell as seed clears *all* entries of
 //! a terminating query.
+//!
+//! The walks read the grid (geometry only) and mutate the caller's
+//! [`InfluenceTable`] — the grid itself stays immutable, so shards of a
+//! shared-ingest monitor can sweep their own tables concurrently.
 
 use tkm_common::{QueryId, Rect, ScoreFn};
-use tkm_grid::{CellId, Grid, VisitStamps};
+use tkm_grid::{CellId, Grid, InfluenceTable, VisitStamps};
 
 /// Sweeps stale influence-list entries of `qid` downward from `seeds`.
 ///
@@ -24,7 +28,8 @@ use tkm_grid::{CellId, Grid, VisitStamps};
 /// marks prevent the walk from re-entering the freshly processed region).
 /// Returns the number of cells visited.
 pub fn cleanup_from_frontier(
-    grid: &mut Grid,
+    grid: &Grid,
+    influence: &mut InfluenceTable,
     stamps: &mut VisitStamps,
     qid: QueryId,
     f: &ScoreFn,
@@ -36,7 +41,7 @@ pub fn cleanup_from_frontier(
     let mut visited = 0;
     while let Some(cell) = list.pop() {
         visited += 1;
-        if !grid.cell_mut(cell).influence_remove(qid) {
+        if !influence.remove(cell, qid) {
             // The query never influenced this cell: nothing below it can be
             // stale either (influence regions are upward-closed).
             continue;
@@ -49,7 +54,8 @@ pub fn cleanup_from_frontier(
 /// Removes `qid` from every influence list (query termination). Walks from
 /// the query's best-corner cell; returns the number of cells visited.
 pub fn remove_query_walk(
-    grid: &mut Grid,
+    grid: &Grid,
+    influence: &mut InfluenceTable,
     stamps: &mut VisitStamps,
     qid: QueryId,
     f: &ScoreFn,
@@ -66,7 +72,7 @@ pub fn remove_query_walk(
     let mut visited = 0;
     while let Some(cell) = list.pop() {
         visited += 1;
-        if !grid.cell_mut(cell).influence_remove(qid) {
+        if !influence.remove(cell, qid) {
             continue;
         }
         push_worse_neighbours(grid, stamps, f, range.as_ref(), cell, &mut list);
@@ -105,10 +111,9 @@ mod tests {
     use tkm_grid::CellMode;
     use tkm_window::{Window, WindowSpec};
 
-    fn listed_cells(grid: &Grid, qid: QueryId) -> Vec<u32> {
-        grid.cells()
-            .filter(|(_, c)| c.influence_contains(qid))
-            .map(|(id, _)| id.0)
+    fn listed_cells(grid: &Grid, influence: &InfluenceTable, qid: QueryId) -> Vec<u32> {
+        (0..grid.num_cells() as u32)
+            .filter(|i| influence.contains(CellId(*i), qid))
             .collect()
     }
 
@@ -119,6 +124,7 @@ mod tests {
     fn frontier_walk_removes_stale_band() {
         let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
         let mut grid = Grid::new(2, 7, CellMode::Fifo).unwrap();
+        let mut influence = InfluenceTable::new(grid.num_cells());
         let mut stamps = VisitStamps::new(grid.num_cells());
         let mut w = Window::new(2, WindowSpec::Count(16)).unwrap();
         let q = QueryId(9);
@@ -126,16 +132,42 @@ mod tests {
         // Weak initial point → large influence region.
         let id0 = w.insert(&[0.3, 0.3], Timestamp(0)).unwrap();
         grid.insert_point(&[0.3, 0.3], id0);
-        let out = compute_topk(&mut grid, &mut stamps, &w, Some(q), &f, 1, None, false);
-        let old_region = listed_cells(&grid, q);
+        let out = compute_topk(
+            &grid,
+            &mut stamps,
+            &w,
+            Some((&mut influence, q)),
+            &f,
+            1,
+            None,
+            false,
+        );
+        let old_region = listed_cells(&grid, &influence, q);
         assert!(old_region.len() > 20, "weak top-1 floods most of the grid");
         let _ = out;
 
         // A strong point arrives → much smaller region after recompute.
         let id1 = w.insert(&[0.9, 0.9], Timestamp(1)).unwrap();
         grid.insert_point(&[0.9, 0.9], id1);
-        let out = compute_topk(&mut grid, &mut stamps, &w, Some(q), &f, 1, None, false);
-        cleanup_from_frontier(&mut grid, &mut stamps, q, &f, None, &out.frontier);
+        let out = compute_topk(
+            &grid,
+            &mut stamps,
+            &w,
+            Some((&mut influence, q)),
+            &f,
+            1,
+            None,
+            false,
+        );
+        cleanup_from_frontier(
+            &grid,
+            &mut influence,
+            &mut stamps,
+            q,
+            &f,
+            None,
+            &out.frontier,
+        );
 
         // Remaining entries = exactly the cells with maxscore ≥ new
         // threshold (the new influence region).
@@ -143,7 +175,7 @@ mod tests {
         let want: Vec<u32> = (0..grid.num_cells() as u32)
             .filter(|i| grid.maxscore(CellId(*i), &f) >= threshold)
             .collect();
-        let mut got = listed_cells(&grid, q);
+        let mut got = listed_cells(&grid, &influence, q);
         got.sort_unstable();
         assert_eq!(got, want);
     }
@@ -152,6 +184,7 @@ mod tests {
     fn removal_walk_clears_everything() {
         let f = ScoreFn::linear(vec![1.0, -0.5]).unwrap();
         let mut grid = Grid::new(2, 6, CellMode::Fifo).unwrap();
+        let mut influence = InfluenceTable::new(grid.num_cells());
         let mut stamps = VisitStamps::new(grid.num_cells());
         let mut w = Window::new(2, WindowSpec::Count(8)).unwrap();
         let q = QueryId(4);
@@ -159,64 +192,75 @@ mod tests {
             let id = w.insert(p, Timestamp(i as u64)).unwrap();
             grid.insert_point(p, id);
         }
-        compute_topk(&mut grid, &mut stamps, &w, Some(q), &f, 2, None, false);
-        assert!(!listed_cells(&grid, q).is_empty());
-        remove_query_walk(&mut grid, &mut stamps, q, &f, None);
-        assert!(listed_cells(&grid, q).is_empty());
+        compute_topk(
+            &grid,
+            &mut stamps,
+            &w,
+            Some((&mut influence, q)),
+            &f,
+            2,
+            None,
+            false,
+        );
+        assert!(!listed_cells(&grid, &influence, q).is_empty());
+        remove_query_walk(&grid, &mut influence, &mut stamps, q, &f, None);
+        assert!(listed_cells(&grid, &influence, q).is_empty());
     }
 
     #[test]
     fn removal_walk_respects_other_queries() {
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
         let mut grid = Grid::new(2, 5, CellMode::Fifo).unwrap();
+        let mut influence = InfluenceTable::new(grid.num_cells());
         let mut stamps = VisitStamps::new(grid.num_cells());
         let mut w = Window::new(2, WindowSpec::Count(4)).unwrap();
         let id = w.insert(&[0.4, 0.4], Timestamp(0)).unwrap();
         grid.insert_point(&[0.4, 0.4], id);
         compute_topk(
-            &mut grid,
+            &grid,
             &mut stamps,
             &w,
-            Some(QueryId(1)),
+            Some((&mut influence, QueryId(1))),
             &f,
             1,
             None,
             false,
         );
         compute_topk(
-            &mut grid,
+            &grid,
             &mut stamps,
             &w,
-            Some(QueryId(2)),
+            Some((&mut influence, QueryId(2))),
             &f,
             1,
             None,
             false,
         );
-        remove_query_walk(&mut grid, &mut stamps, QueryId(1), &f, None);
-        assert!(listed_cells(&grid, QueryId(1)).is_empty());
-        assert!(!listed_cells(&grid, QueryId(2)).is_empty());
+        remove_query_walk(&grid, &mut influence, &mut stamps, QueryId(1), &f, None);
+        assert!(listed_cells(&grid, &influence, QueryId(1)).is_empty());
+        assert!(!listed_cells(&grid, &influence, QueryId(2)).is_empty());
     }
 
     #[test]
     fn constrained_removal_walk() {
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
         let r = Rect::new(vec![0.2, 0.2], vec![0.6, 0.6]).unwrap();
-        let mut grid = Grid::new(2, 5, CellMode::Fifo).unwrap();
+        let grid = Grid::new(2, 5, CellMode::Fifo).unwrap();
+        let mut influence = InfluenceTable::new(grid.num_cells());
         let mut stamps = VisitStamps::new(grid.num_cells());
         let w = Window::new(2, WindowSpec::Count(4)).unwrap();
         compute_topk(
-            &mut grid,
+            &grid,
             &mut stamps,
             &w,
-            Some(QueryId(1)),
+            Some((&mut influence, QueryId(1))),
             &f,
             1,
             Some(&r),
             false,
         );
-        assert!(!listed_cells(&grid, QueryId(1)).is_empty());
-        remove_query_walk(&mut grid, &mut stamps, QueryId(1), &f, Some(&r));
-        assert!(listed_cells(&grid, QueryId(1)).is_empty());
+        assert!(!listed_cells(&grid, &influence, QueryId(1)).is_empty());
+        remove_query_walk(&grid, &mut influence, &mut stamps, QueryId(1), &f, Some(&r));
+        assert!(listed_cells(&grid, &influence, QueryId(1)).is_empty());
     }
 }

@@ -1,0 +1,189 @@
+//! The shared ingest stage: one window + one grid, populated exactly once
+//! per processing cycle.
+//!
+//! The paper's server couples tuple storage and query maintenance in one
+//! loop. For scale-out we split them: [`IngestState`] owns everything that
+//! is *per-stream* (the sliding window, the grid's point lists, the expiry
+//! bookkeeping), while the per-query state (influence regions, top-lists,
+//! skybands) lives in [`crate::maintenance::QueryMaintenance`]
+//! implementations that can be partitioned across shards. Each tick,
+//! [`IngestState::ingest`] applies the arrival set and the expiry set to
+//! window and grid *once* and records both as `(cell, tuple)` event lists;
+//! maintenance shards then replay the events against their own queries
+//! through immutable `&IngestState` views. Tuple storage therefore stays
+//! O(1) in the shard count, instead of the S-fold replication a
+//! replica-per-shard design pays.
+
+use crate::tma::{validate_arrivals, GridSpec};
+use tkm_common::{Result, Timestamp, TupleId};
+use tkm_grid::{CellId, CellMode, Grid};
+use tkm_window::{Window, WindowSpec};
+
+/// Counters of the ingest stage (the stream-side half of
+/// [`crate::stats::EngineStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Processing cycles executed.
+    pub ticks: u64,
+    /// Tuples inserted.
+    pub arrivals: u64,
+    /// Tuples expired.
+    pub expirations: u64,
+}
+
+/// Shared per-stream state: window, grid and the event lists of the most
+/// recent processing cycle.
+#[derive(Debug)]
+pub struct IngestState {
+    window: Window,
+    grid: Grid,
+    /// `(cell, tuple)` of every arrival of the last cycle, arrival order.
+    arrivals: Vec<(CellId, TupleId)>,
+    /// `(cell, tuple)` of every expiry of the last cycle, expiry order.
+    expiries: Vec<(CellId, TupleId)>,
+    stats: IngestStats,
+}
+
+impl IngestState {
+    /// Creates the shared state for `dims`-dimensional tuples.
+    pub fn new(dims: usize, window: WindowSpec, grid: GridSpec) -> Result<IngestState> {
+        Ok(IngestState {
+            window: Window::new(dims, window)?,
+            grid: grid.build(dims, CellMode::Fifo)?,
+            arrivals: Vec::new(),
+            expiries: Vec::new(),
+            stats: IngestStats::default(),
+        })
+    }
+
+    /// Dimensionality of the monitored stream.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.window.dims()
+    }
+
+    /// The shared window (read access).
+    #[inline]
+    pub fn window(&self) -> &Window {
+        &self.window
+    }
+
+    /// The shared grid (read access).
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Executes the stream half of one processing cycle: validates and
+    /// inserts the arrival batch (window + grid), then drains the expiry
+    /// set, recording both as event lists for the maintenance stage.
+    ///
+    /// Tuples that arrive and expire within the same cycle (a count window
+    /// overrun by a burst) appear in both lists; their coordinates are no
+    /// longer resolvable afterwards, which maintenance handles by skipping
+    /// arrivals whose ids have already left the window.
+    pub fn ingest(&mut self, now: Timestamp, arrivals: &[f64]) -> Result<()> {
+        let dims = self.dims();
+        validate_arrivals(dims, arrivals)?;
+        self.stats.ticks += 1;
+        self.arrivals.clear();
+        self.expiries.clear();
+
+        for coords in arrivals.chunks_exact(dims) {
+            let id = self.window.insert(coords, now)?;
+            self.stats.arrivals += 1;
+            let cell = self.grid.insert_point(coords, id);
+            self.arrivals.push((cell, id));
+        }
+
+        let Self {
+            window,
+            grid,
+            expiries,
+            stats,
+            ..
+        } = self;
+        window.drain_expired(now, |id, coords| {
+            stats.expirations += 1;
+            let cell = grid
+                .remove_point(coords, id)
+                .expect("window and grid are updated in lockstep");
+            expiries.push((cell, id));
+        });
+        Ok(())
+    }
+
+    /// `(cell, tuple)` events of the last cycle's arrival set, in arrival
+    /// order.
+    #[inline]
+    pub fn arrival_events(&self) -> &[(CellId, TupleId)] {
+        &self.arrivals
+    }
+
+    /// `(cell, tuple)` events of the last cycle's expiry set, in expiry
+    /// (arrival) order.
+    #[inline]
+    pub fn expiry_events(&self) -> &[(CellId, TupleId)] {
+        &self.expiries
+    }
+
+    /// Cumulative stream-side counters.
+    #[inline]
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Deep size estimate in bytes: the tuple storage that sharded
+    /// maintenance *shares* instead of replicating.
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.window.space_bytes()
+            + self.grid.space_bytes()
+            + (self.arrivals.capacity() + self.expiries.capacity())
+                * std::mem::size_of::<(CellId, TupleId)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_mirror_window_and_grid() {
+        let mut s = IngestState::new(2, WindowSpec::Count(3), GridSpec::PerDim(4)).unwrap();
+        s.ingest(Timestamp(0), &[0.1, 0.1, 0.9, 0.9]).unwrap();
+        assert_eq!(s.arrival_events().len(), 2);
+        assert!(s.expiry_events().is_empty());
+        assert_eq!(s.window().len(), 2);
+
+        // Two more arrivals overflow the count window by one.
+        s.ingest(Timestamp(1), &[0.5, 0.5, 0.2, 0.8]).unwrap();
+        assert_eq!(s.arrival_events().len(), 2);
+        assert_eq!(s.expiry_events().len(), 1);
+        assert_eq!(s.expiry_events()[0].1, TupleId(0));
+        assert_eq!(s.window().len(), 3);
+        // The expired tuple's cell matches where it was inserted.
+        assert_eq!(s.expiry_events()[0].0, s.grid().locate(&[0.1, 0.1]));
+
+        let st = s.stats();
+        assert_eq!((st.ticks, st.arrivals, st.expirations), (2, 4, 1));
+    }
+
+    #[test]
+    fn burst_larger_than_window_expires_same_cycle() {
+        let mut s = IngestState::new(1, WindowSpec::Count(2), GridSpec::PerDim(4)).unwrap();
+        s.ingest(Timestamp(0), &[0.1, 0.3, 0.5, 0.7]).unwrap();
+        assert_eq!(s.arrival_events().len(), 4);
+        assert_eq!(s.expiry_events().len(), 2, "same-cycle transients");
+        // Transients are gone from the window; survivors resolve.
+        assert!(s.window().coords(TupleId(0)).is_none());
+        assert!(s.window().coords(TupleId(3)).is_some());
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut s = IngestState::new(2, WindowSpec::Count(4), GridSpec::PerDim(4)).unwrap();
+        assert!(s.ingest(Timestamp(0), &[0.5]).is_err());
+        assert!(s.ingest(Timestamp(0), &[0.5, 1.2]).is_err());
+    }
+}

@@ -22,11 +22,18 @@
 //!   engine trait ([`engine::ContinuousTopK`]) under which TMA, SMA, the
 //!   TSL baseline and the oracle are interchangeable — and verified to
 //!   report identical results;
+//! * the scale-out split: a shared **ingest stage**
+//!   ([`ingest::IngestState`] — one window + grid, populated once per
+//!   tick) under shardable **query maintenance**
+//!   ([`maintenance::QueryMaintenance`]), driven in parallel by
+//!   [`parallel::SharedParallelMonitor`];
 //! * a high-level [`server::MonitorServer`] facade.
 
 pub mod compute;
 pub mod engine;
 pub mod influence;
+pub mod ingest;
+pub mod maintenance;
 pub mod oracle;
 pub mod parallel;
 pub mod piecewise;
@@ -41,8 +48,10 @@ pub mod update_stream;
 
 pub use compute::{compute_topk, ComputeOutcome, ComputeScratch, ComputeStats};
 pub use engine::{build_engine, ContinuousTopK, EngineKind};
+pub use ingest::{IngestState, IngestStats};
+pub use maintenance::{QueryMaintenance, SmaMaintenance, TmaMaintenance};
 pub use oracle::OracleMonitor;
-pub use parallel::ParallelMonitor;
+pub use parallel::{ParallelMonitor, SharedParallelMonitor, SharedSmaMonitor, SharedTmaMonitor};
 pub use piecewise::{PiecewiseMonitor, PiecewiseQuery};
 pub use query::Query;
 pub use result::{ResultDelta, TopList};

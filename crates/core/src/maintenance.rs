@@ -1,0 +1,600 @@
+//! Per-query maintenance stages, decoupled from tuple ingest.
+//!
+//! A [`QueryMaintenance`] value owns everything that is *per-query*: the
+//! queries themselves, their result book-keeping (top-lists for TMA,
+//! skybands for SMA), the influence lists covering them, and the traversal
+//! scratch. It never mutates the shared window or grid — every cycle it
+//! *replays* the `(cell, tuple)` event lists recorded by
+//! [`IngestState::ingest`] against an immutable `&IngestState` view. That
+//! is what makes the stage shardable: partition the queries over several
+//! `QueryMaintenance` values and run [`QueryMaintenance::apply_events`] on
+//! each from its own thread, all reading the same window and grid.
+//!
+//! [`TmaMaintenance`] and [`SmaMaintenance`] are the paper's two
+//! maintenance modules (Figures 9 and 11) restated over event lists; the
+//! single-engine monitors [`crate::TmaMonitor`] / [`crate::SmaMonitor`] are
+//! thin ingest+maintenance sandwiches, so the sharded and unsharded paths
+//! execute literally the same maintenance code.
+//!
+//! One deliberate difference from the interleaved originals: an arrival
+//! that expires within its own cycle (count window overrun by a burst) is
+//! skipped instead of being offered and then removed. Such a tuple is
+//! evicted only after every older tuple (windows are FIFO), so skipping it
+//! never hides a result candidate, and the recompute-on-expiry path
+//! restores exactness for whatever the burst displaced — the differential
+//! suite pins sharded and unsharded results to the oracle either way.
+
+use std::collections::BTreeMap;
+
+use crate::compute::{compute_topk, ComputeScratch};
+use crate::influence::{cleanup_from_frontier, remove_query_walk};
+use crate::ingest::IngestState;
+use crate::query::Query;
+use crate::result::TopList;
+use crate::stats::EngineStats;
+use tkm_common::{QueryId, Result, Scored, TkmError};
+use tkm_grid::InfluenceTable;
+use tkm_skyband::Skyband;
+
+/// One shard's worth of per-query monitoring state.
+///
+/// Implementations must be [`Send`] so a sharded monitor can drive them
+/// from scoped threads; the shared state they read is only borrowed
+/// immutably.
+pub trait QueryMaintenance: Send {
+    /// Label reported by a shared-ingest sharded monitor built on this
+    /// maintenance stage.
+    const SHARED_LABEL: &'static str;
+
+    /// Creates an empty maintenance stage sized for `shared`'s grid.
+    fn new_for(shared: &IngestState) -> Self
+    where
+        Self: Sized;
+
+    /// Registers a query and computes its initial result against the
+    /// current shared window.
+    fn register_query(&mut self, shared: &IngestState, id: QueryId, query: Query) -> Result<()>;
+
+    /// Terminates a query, clearing its influence-list entries.
+    fn remove_query(&mut self, shared: &IngestState, id: QueryId) -> Result<()>;
+
+    /// Replays the shared state's last recorded cycle (arrival events, then
+    /// expiry events, then recomputation of affected queries) against this
+    /// stage's queries.
+    fn apply_events(&mut self, shared: &IngestState) -> Result<()>;
+
+    /// The current top-k result of a query, best first.
+    fn result(&self, id: QueryId) -> Result<Vec<Scored>>;
+
+    /// One-shot top-k over the shared window, leaving no state behind.
+    fn snapshot(&mut self, shared: &IngestState, query: &Query) -> Result<Vec<Scored>>;
+
+    /// Number of queries maintained by this stage.
+    fn query_count(&self) -> usize;
+
+    /// This stage's influence lists (read access, for diagnostics).
+    fn influence(&self) -> &InfluenceTable;
+
+    /// Cumulative maintenance-side counters (stream-side counters live in
+    /// [`IngestState::stats`]).
+    fn stats(&self) -> EngineStats;
+
+    /// Deep size estimate of the per-query state in bytes.
+    fn space_bytes(&self) -> usize;
+}
+
+#[derive(Debug)]
+struct TmaQuery {
+    query: Query,
+    top: TopList,
+    affected: bool,
+}
+
+/// TMA maintenance (paper Figure 9): exact top-k lists, recomputed from
+/// scratch when a result tuple expires.
+#[derive(Debug)]
+pub struct TmaMaintenance {
+    influence: InfluenceTable,
+    scratch: ComputeScratch,
+    queries: BTreeMap<QueryId, TmaQuery>,
+    stats: EngineStats,
+    changed: Vec<QueryId>,
+}
+
+impl TmaMaintenance {
+    /// The current top-k result of a query as a borrowed slice.
+    pub fn result_slice(&self, id: QueryId) -> Result<&[Scored]> {
+        self.queries
+            .get(&id)
+            .map(|q| q.top.as_slice())
+            .ok_or(TkmError::UnknownQuery(id))
+    }
+
+    /// Registered query ids.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.queries.keys().copied()
+    }
+
+    /// Queries whose result changed during the last cycle (sorted, deduped).
+    pub fn changed_queries(&self) -> &[QueryId] {
+        &self.changed
+    }
+}
+
+impl QueryMaintenance for TmaMaintenance {
+    const SHARED_LABEL: &'static str = "TMA-SHARED";
+
+    fn new_for(shared: &IngestState) -> TmaMaintenance {
+        let cells = shared.grid().num_cells();
+        TmaMaintenance {
+            influence: InfluenceTable::new(cells),
+            scratch: ComputeScratch::new(cells),
+            queries: BTreeMap::new(),
+            stats: EngineStats::default(),
+            changed: Vec::new(),
+        }
+    }
+
+    fn register_query(&mut self, shared: &IngestState, id: QueryId, query: Query) -> Result<()> {
+        if query.dims() != shared.dims() {
+            return Err(TkmError::DimensionMismatch {
+                expected: shared.dims(),
+                got: query.dims(),
+            });
+        }
+        if self.queries.contains_key(&id) {
+            return Err(TkmError::DuplicateQuery(id));
+        }
+        let out = compute_topk(
+            shared.grid(),
+            &mut self.scratch.stamps,
+            shared.window(),
+            Some((&mut self.influence, id)),
+            &query.f,
+            query.k,
+            query.constraint.as_ref(),
+            false,
+        );
+        self.stats.recomputations += 1;
+        self.stats.cells_processed += out.stats.cells_processed;
+        self.stats.points_scanned += out.stats.points_scanned;
+        self.stats.heap_pushes += out.stats.heap_pushes;
+        self.queries.insert(
+            id,
+            TmaQuery {
+                query,
+                top: out.top,
+                affected: false,
+            },
+        );
+        Ok(())
+    }
+
+    fn remove_query(&mut self, shared: &IngestState, id: QueryId) -> Result<()> {
+        let st = self.queries.remove(&id).ok_or(TkmError::UnknownQuery(id))?;
+        self.stats.cleanup_cells += remove_query_walk(
+            shared.grid(),
+            &mut self.influence,
+            &mut self.scratch.stamps,
+            id,
+            &st.query.f,
+            st.query.constraint.as_ref(),
+        );
+        Ok(())
+    }
+
+    fn apply_events(&mut self, shared: &IngestState) -> Result<()> {
+        self.changed.clear();
+
+        // ---- Pins (Figure 9, lines 3-7) ----
+        {
+            let Self {
+                influence,
+                queries,
+                stats,
+                changed,
+                ..
+            } = self;
+            for &(cell, id) in shared.arrival_events() {
+                // A same-cycle transient (already expired): cannot be in the
+                // final window, so it never has to enter a top-list.
+                let Some(coords) = shared.window().coords(id) else {
+                    continue;
+                };
+                for qid in influence.iter(cell) {
+                    stats.influence_probes += 1;
+                    let st = queries.get_mut(&qid).expect("influence lists are swept");
+                    if let Some(r) = &st.query.constraint {
+                        if !r.contains(coords) {
+                            continue;
+                        }
+                    }
+                    let score = st.query.f.score(coords);
+                    // threshold() is −∞ while the list is short, so this
+                    // single test covers the warm-up phase too.
+                    if score >= st.top.threshold() && st.top.offer(Scored::new(score, id)) {
+                        stats.result_updates += 1;
+                        changed.push(qid);
+                    }
+                }
+            }
+
+            // ---- Pdel (lines 8-11) ----
+            for &(cell, id) in shared.expiry_events() {
+                for qid in influence.iter(cell) {
+                    stats.influence_probes += 1;
+                    let st = queries.get_mut(&qid).expect("influence lists are swept");
+                    if st.top.remove(id) {
+                        st.affected = true;
+                    }
+                }
+            }
+        }
+
+        // ---- Recompute affected queries (lines 12-21) ----
+        let affected: Vec<QueryId> = self
+            .queries
+            .iter()
+            .filter(|(_, st)| st.affected)
+            .map(|(id, _)| *id)
+            .collect();
+        for qid in affected {
+            let st = self.queries.get_mut(&qid).expect("collected above");
+            st.affected = false;
+            let out = compute_topk(
+                shared.grid(),
+                &mut self.scratch.stamps,
+                shared.window(),
+                Some((&mut self.influence, qid)),
+                &st.query.f,
+                st.query.k,
+                st.query.constraint.as_ref(),
+                false,
+            );
+            self.stats.recomputations += 1;
+            self.stats.cells_processed += out.stats.cells_processed;
+            self.stats.points_scanned += out.stats.points_scanned;
+            self.stats.heap_pushes += out.stats.heap_pushes;
+            st.top = out.top;
+            self.stats.cleanup_cells += cleanup_from_frontier(
+                shared.grid(),
+                &mut self.influence,
+                &mut self.scratch.stamps,
+                qid,
+                &st.query.f,
+                st.query.constraint.as_ref(),
+                &out.frontier,
+            );
+            self.changed.push(qid);
+        }
+
+        self.changed.sort_unstable();
+        self.changed.dedup();
+        Ok(())
+    }
+
+    fn result(&self, id: QueryId) -> Result<Vec<Scored>> {
+        self.result_slice(id).map(<[Scored]>::to_vec)
+    }
+
+    fn snapshot(&mut self, shared: &IngestState, query: &Query) -> Result<Vec<Scored>> {
+        if query.dims() != shared.dims() {
+            return Err(TkmError::DimensionMismatch {
+                expected: shared.dims(),
+                got: query.dims(),
+            });
+        }
+        let out = compute_topk(
+            shared.grid(),
+            &mut self.scratch.stamps,
+            shared.window(),
+            None,
+            &query.f,
+            query.k,
+            query.constraint.as_ref(),
+            false,
+        );
+        Ok(out.top.as_slice().to_vec())
+    }
+
+    fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn influence(&self) -> &InfluenceTable {
+        &self.influence
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.influence.space_bytes()
+            + self.scratch.stamps.space_bytes()
+            + self
+                .queries
+                .values()
+                .map(|q| std::mem::size_of::<TmaQuery>() + q.top.space_bytes())
+                .sum::<usize>()
+    }
+}
+
+#[derive(Debug)]
+struct SmaQuery {
+    query: Query,
+    skyband: Skyband,
+    /// k-th score at the last from-scratch computation; the skyband
+    /// admission threshold (−∞ until the window holds k candidates).
+    top_score: f64,
+    touched: bool,
+}
+
+/// SMA maintenance (paper Figure 11): k-skyband upkeep in (score,
+/// expiry-time) space, recomputing only on deficiency.
+#[derive(Debug)]
+pub struct SmaMaintenance {
+    influence: InfluenceTable,
+    scratch: ComputeScratch,
+    queries: BTreeMap<QueryId, SmaQuery>,
+    stats: EngineStats,
+    changed: Vec<QueryId>,
+}
+
+impl SmaMaintenance {
+    /// Runs the computation module for `qid` and reseeds its skyband.
+    fn recompute(
+        influence: &mut InfluenceTable,
+        scratch: &mut ComputeScratch,
+        shared: &IngestState,
+        stats: &mut EngineStats,
+        qid: QueryId,
+        st: &mut SmaQuery,
+    ) {
+        let out = compute_topk(
+            shared.grid(),
+            &mut scratch.stamps,
+            shared.window(),
+            Some((influence, qid)),
+            &st.query.f,
+            st.query.k,
+            st.query.constraint.as_ref(),
+            true,
+        );
+        stats.recomputations += 1;
+        stats.cells_processed += out.stats.cells_processed;
+        stats.points_scanned += out.stats.points_scanned;
+        stats.heap_pushes += out.stats.heap_pushes;
+        // Seed the skyband with the top-k plus the candidates tying the
+        // k-th score: a tie-loser outlives the tied result member and can
+        // enter a future result, so dropping it would lose exactness.
+        let mut seed: Vec<Scored> = Vec::with_capacity(out.top.len() + out.boundary_ties.len());
+        seed.extend_from_slice(out.top.as_slice());
+        seed.extend_from_slice(&out.boundary_ties);
+        st.skyband.rebuild(&seed);
+        st.top_score = out.top.threshold();
+        stats.cleanup_cells += cleanup_from_frontier(
+            shared.grid(),
+            influence,
+            &mut scratch.stamps,
+            qid,
+            &st.query.f,
+            st.query.constraint.as_ref(),
+            &out.frontier,
+        );
+    }
+
+    /// Current skyband size of a query (Table 2 reports its average).
+    pub fn skyband_len(&self, id: QueryId) -> Result<usize> {
+        self.queries
+            .get(&id)
+            .map(|q| q.skyband.len())
+            .ok_or(TkmError::UnknownQuery(id))
+    }
+
+    /// Mean skyband size across queries.
+    pub fn avg_skyband_len(&self) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        self.queries
+            .values()
+            .map(|q| q.skyband.len())
+            .sum::<usize>() as f64
+            / self.queries.len() as f64
+    }
+
+    /// Registered query ids.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.queries.keys().copied()
+    }
+
+    /// Queries whose skyband changed during the last cycle (sorted,
+    /// deduped).
+    pub fn changed_queries(&self) -> &[QueryId] {
+        &self.changed
+    }
+}
+
+impl QueryMaintenance for SmaMaintenance {
+    const SHARED_LABEL: &'static str = "SMA-SHARED";
+
+    fn new_for(shared: &IngestState) -> SmaMaintenance {
+        let cells = shared.grid().num_cells();
+        SmaMaintenance {
+            influence: InfluenceTable::new(cells),
+            scratch: ComputeScratch::new(cells),
+            queries: BTreeMap::new(),
+            stats: EngineStats::default(),
+            changed: Vec::new(),
+        }
+    }
+
+    fn register_query(&mut self, shared: &IngestState, id: QueryId, query: Query) -> Result<()> {
+        if query.dims() != shared.dims() {
+            return Err(TkmError::DimensionMismatch {
+                expected: shared.dims(),
+                got: query.dims(),
+            });
+        }
+        if self.queries.contains_key(&id) {
+            return Err(TkmError::DuplicateQuery(id));
+        }
+        let mut st = SmaQuery {
+            skyband: Skyband::new(query.k)?,
+            query,
+            top_score: f64::NEG_INFINITY,
+            touched: false,
+        };
+        Self::recompute(
+            &mut self.influence,
+            &mut self.scratch,
+            shared,
+            &mut self.stats,
+            id,
+            &mut st,
+        );
+        self.queries.insert(id, st);
+        Ok(())
+    }
+
+    fn remove_query(&mut self, shared: &IngestState, id: QueryId) -> Result<()> {
+        let st = self.queries.remove(&id).ok_or(TkmError::UnknownQuery(id))?;
+        self.stats.cleanup_cells += remove_query_walk(
+            shared.grid(),
+            &mut self.influence,
+            &mut self.scratch.stamps,
+            id,
+            &st.query.f,
+            st.query.constraint.as_ref(),
+        );
+        Ok(())
+    }
+
+    fn apply_events(&mut self, shared: &IngestState) -> Result<()> {
+        self.changed.clear();
+
+        // ---- Pins (Figure 11, lines 4-11) ----
+        {
+            let Self {
+                influence,
+                queries,
+                stats,
+                ..
+            } = self;
+            for &(cell, id) in shared.arrival_events() {
+                let Some(coords) = shared.window().coords(id) else {
+                    continue; // same-cycle transient, see module docs
+                };
+                for qid in influence.iter(cell) {
+                    stats.influence_probes += 1;
+                    let st = queries.get_mut(&qid).expect("influence lists are swept");
+                    if let Some(r) = &st.query.constraint {
+                        if !r.contains(coords) {
+                            continue;
+                        }
+                    }
+                    let score = st.query.f.score(coords);
+                    if score >= st.top_score {
+                        st.skyband.insert(Scored::new(score, id));
+                        st.touched = true;
+                        stats.result_updates += 1;
+                    }
+                }
+            }
+
+            // ---- Pdel (lines 12-16) ----
+            for &(cell, id) in shared.expiry_events() {
+                for qid in influence.iter(cell) {
+                    stats.influence_probes += 1;
+                    let st = queries.get_mut(&qid).expect("influence lists are swept");
+                    if st.skyband.expire(id) {
+                        st.touched = true;
+                    }
+                }
+            }
+        }
+
+        // ---- Deficiency handling (lines 17-22) ----
+        let touched: Vec<QueryId> = self
+            .queries
+            .iter()
+            .filter(|(_, st)| st.touched)
+            .map(|(id, _)| *id)
+            .collect();
+        for qid in touched {
+            let st = self.queries.get_mut(&qid).expect("collected above");
+            st.touched = false;
+            // Recompute only if the skyband lost too many entries AND the
+            // window could supply more (a window smaller than k can never
+            // fill the band — recomputing every tick would be wasted work,
+            // and the influence lists already cover the whole grid then).
+            if st.skyband.is_deficient() && st.skyband.len() < shared.window().len() {
+                Self::recompute(
+                    &mut self.influence,
+                    &mut self.scratch,
+                    shared,
+                    &mut self.stats,
+                    qid,
+                    st,
+                );
+            }
+            self.changed.push(qid);
+        }
+
+        self.changed.sort_unstable();
+        self.changed.dedup();
+        Ok(())
+    }
+
+    fn result(&self, id: QueryId) -> Result<Vec<Scored>> {
+        self.queries
+            .get(&id)
+            .map(|q| q.skyband.top().iter().map(|e| e.scored).collect())
+            .ok_or(TkmError::UnknownQuery(id))
+    }
+
+    fn snapshot(&mut self, shared: &IngestState, query: &Query) -> Result<Vec<Scored>> {
+        if query.dims() != shared.dims() {
+            return Err(TkmError::DimensionMismatch {
+                expected: shared.dims(),
+                got: query.dims(),
+            });
+        }
+        let out = compute_topk(
+            shared.grid(),
+            &mut self.scratch.stamps,
+            shared.window(),
+            None,
+            &query.f,
+            query.k,
+            query.constraint.as_ref(),
+            false,
+        );
+        Ok(out.top.as_slice().to_vec())
+    }
+
+    fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn influence(&self) -> &InfluenceTable {
+        &self.influence
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.influence.space_bytes()
+            + self.scratch.stamps.space_bytes()
+            + self
+                .queries
+                .values()
+                .map(|q| std::mem::size_of::<SmaQuery>() + q.skyband.space_bytes())
+                .sum::<usize>()
+    }
+}

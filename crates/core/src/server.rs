@@ -7,10 +7,11 @@
 use std::collections::BTreeMap;
 
 use crate::engine::{build_engine, ContinuousTopK, EngineKind};
+use crate::parallel::{SharedSmaMonitor, SharedTmaMonitor};
 use crate::query::Query;
 use crate::result::ResultDelta;
 use crate::tma::GridSpec;
-use tkm_common::{QueryId, Result, Scored, Timestamp};
+use tkm_common::{QueryId, Result, Scored, Timestamp, TkmError};
 use tkm_tsl::KmaxPolicy;
 use tkm_window::WindowSpec;
 
@@ -27,11 +28,16 @@ pub struct ServerConfig {
     pub engine: EngineKind,
     /// `kmax` policy (TSL only).
     pub kmax: KmaxPolicy,
+    /// Query-maintenance shards. `1` runs the plain single-threaded
+    /// engine; `> 1` routes TMA/SMA through a
+    /// [`crate::parallel::SharedParallelMonitor`]: one shared window +
+    /// grid, queries partitioned across `shards` threads.
+    pub shards: usize,
 }
 
 impl ServerConfig {
     /// A sensible default: SMA over a count-based window of `n` tuples with
-    /// the paper's 12⁴-cell grid budget.
+    /// the paper's 12⁴-cell grid budget, unsharded.
     pub fn sma(dims: usize, n: usize) -> ServerConfig {
         ServerConfig {
             dims,
@@ -39,6 +45,7 @@ impl ServerConfig {
             grid: GridSpec::default(),
             engine: EngineKind::Sma,
             kmax: KmaxPolicy::Tuned,
+            shards: 1,
         }
     }
 
@@ -59,6 +66,12 @@ impl ServerConfig {
         self.grid = grid;
         self
     }
+
+    /// Selects the number of query-maintenance shards (TMA/SMA only).
+    pub fn with_shards(mut self, shards: usize) -> ServerConfig {
+        self.shards = shards;
+        self
+    }
 }
 
 /// A continuous top-k monitoring server.
@@ -74,8 +87,29 @@ pub struct MonitorServer {
 impl MonitorServer {
     /// Builds a server from its configuration.
     pub fn new(cfg: ServerConfig) -> Result<MonitorServer> {
+        let engine: Box<dyn ContinuousTopK> = match cfg.shards {
+            0 => {
+                return Err(TkmError::InvalidParameter(
+                    "ServerConfig: at least one shard required".into(),
+                ))
+            }
+            1 => build_engine(cfg.engine, cfg.dims, cfg.window, cfg.grid, cfg.kmax)?,
+            s => match cfg.engine {
+                EngineKind::Tma => {
+                    Box::new(SharedTmaMonitor::new(cfg.dims, cfg.window, cfg.grid, s)?)
+                }
+                EngineKind::Sma => {
+                    Box::new(SharedSmaMonitor::new(cfg.dims, cfg.window, cfg.grid, s)?)
+                }
+                EngineKind::Tsl | EngineKind::Oracle => {
+                    return Err(TkmError::Unsupported(
+                        "query sharding requires a grid-based engine (TMA or SMA)".into(),
+                    ))
+                }
+            },
+        };
         Ok(MonitorServer {
-            engine: build_engine(cfg.engine, cfg.dims, cfg.window, cfg.grid, cfg.kmax)?,
+            engine,
             next_query: 0,
             now: Timestamp(0),
             delta_prev: None,
@@ -205,6 +239,54 @@ mod tests {
         assert_eq!(res[0].score.get(), 1.8);
         server.unregister(q).unwrap();
         assert!(server.result(q).is_err());
+    }
+
+    #[test]
+    fn sharded_server_matches_unsharded() {
+        let mut sharded = MonitorServer::new(ServerConfig::sma(2, 30).with_shards(3)).unwrap();
+        let mut single = MonitorServer::new(ServerConfig::sma(2, 30)).unwrap();
+        assert_eq!(sharded.engine_name(), "SMA-SHARED");
+        let mk = |w: f64| Query::top_k(ScoreFn::linear(vec![w, 1.0]).unwrap(), 3).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            let q = mk(0.2 * i as f64);
+            let a = sharded.register(q.clone()).unwrap();
+            let b = single.register(q).unwrap();
+            assert_eq!(a, b);
+            ids.push(a);
+        }
+        let mut state = 3u64;
+        for _ in 0..20 {
+            let mut batch = Vec::new();
+            for _ in 0..8 {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                batch.push(((state >> 11) as f64 / (1u64 << 53) as f64).clamp(0.0, 1.0));
+            }
+            sharded.tick(&batch).unwrap();
+            single.tick(&batch).unwrap();
+            for id in &ids {
+                assert_eq!(sharded.result(*id).unwrap(), single.result(*id).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_validation() {
+        assert!(MonitorServer::new(ServerConfig::sma(2, 10).with_shards(0)).is_err());
+        assert!(MonitorServer::new(
+            ServerConfig::sma(2, 10)
+                .with_engine(EngineKind::Tsl)
+                .with_shards(2)
+        )
+        .is_err());
+        assert!(MonitorServer::new(
+            ServerConfig::sma(2, 10)
+                .with_engine(EngineKind::Tma)
+                .with_shards(2)
+        )
+        .is_ok());
     }
 
     #[test]

@@ -10,335 +10,125 @@
 //! from-scratch recomputation is needed only when the skyband itself drops
 //! below `k` entries — which, as the paper's analysis and experiments show,
 //! is rare to nonexistent under steady workloads.
+//!
+//! [`SmaMonitor`] is a thin sandwich of the shared
+//! [`crate::ingest::IngestState`] (window + grid, fed once per tick) and a
+//! single [`crate::maintenance::SmaMaintenance`] stage — the same
+//! maintenance code a [`crate::parallel::SharedParallelMonitor`] partitions
+//! across shards.
 
-use std::collections::BTreeMap;
-
-use crate::compute::{compute_topk, ComputeScratch};
-use crate::influence::{cleanup_from_frontier, remove_query_walk};
+use crate::ingest::IngestState;
+use crate::maintenance::{QueryMaintenance, SmaMaintenance};
 use crate::query::Query;
 use crate::stats::EngineStats;
-use crate::tma::{validate_arrivals, GridSpec};
-use tkm_common::{QueryId, Result, Scored, Timestamp, TkmError};
-use tkm_grid::{CellMode, Grid};
-use tkm_skyband::Skyband;
+use crate::tma::GridSpec;
+use tkm_common::{QueryId, Result, Scored, Timestamp};
+use tkm_grid::{Grid, InfluenceTable};
 use tkm_window::{Window, WindowSpec};
-
-#[derive(Debug)]
-struct SmaQuery {
-    query: Query,
-    skyband: Skyband,
-    /// k-th score at the last from-scratch computation; the skyband
-    /// admission threshold (−∞ until the window holds k candidates).
-    top_score: f64,
-    touched: bool,
-}
 
 /// Continuous top-k monitor based on skyband maintenance (the paper's SMA).
 #[derive(Debug)]
 pub struct SmaMonitor {
-    window: Window,
-    grid: Grid,
-    scratch: ComputeScratch,
-    queries: BTreeMap<QueryId, SmaQuery>,
-    stats: EngineStats,
-    changed: Vec<QueryId>,
+    shared: IngestState,
+    maint: SmaMaintenance,
 }
 
 impl SmaMonitor {
     /// Creates a monitor over `dims`-dimensional tuples.
     pub fn new(dims: usize, window: WindowSpec, grid: GridSpec) -> Result<SmaMonitor> {
-        let grid = grid.build(dims, CellMode::Fifo)?;
-        let scratch = ComputeScratch::new(grid.num_cells());
-        Ok(SmaMonitor {
-            window: Window::new(dims, window)?,
-            grid,
-            scratch,
-            queries: BTreeMap::new(),
-            stats: EngineStats::default(),
-            changed: Vec::new(),
-        })
+        let shared = IngestState::new(dims, window, grid)?;
+        let maint = SmaMaintenance::new_for(&shared);
+        Ok(SmaMonitor { shared, maint })
     }
 
     /// Dimensionality.
     #[inline]
     pub fn dims(&self) -> usize {
-        self.window.dims()
+        self.shared.dims()
     }
 
     /// The underlying window (read access).
     #[inline]
     pub fn window(&self) -> &Window {
-        &self.window
+        self.shared.window()
     }
 
     /// The underlying grid (read access, for diagnostics).
     #[inline]
     pub fn grid(&self) -> &Grid {
-        &self.grid
+        self.shared.grid()
     }
 
-    /// Runs the computation module for `qid` and reseeds its skyband.
-    fn recompute(
-        grid: &mut Grid,
-        scratch: &mut ComputeScratch,
-        window: &Window,
-        stats: &mut EngineStats,
-        qid: QueryId,
-        st: &mut SmaQuery,
-    ) {
-        let out = compute_topk(
-            grid,
-            &mut scratch.stamps,
-            window,
-            Some(qid),
-            &st.query.f,
-            st.query.k,
-            st.query.constraint.as_ref(),
-            true,
-        );
-        stats.recomputations += 1;
-        stats.cells_processed += out.stats.cells_processed;
-        stats.points_scanned += out.stats.points_scanned;
-        stats.heap_pushes += out.stats.heap_pushes;
-        // Seed the skyband with the top-k plus the candidates tying the
-        // k-th score: a tie-loser outlives the tied result member and can
-        // enter a future result, so dropping it would lose exactness.
-        let mut seed: Vec<Scored> = Vec::with_capacity(out.top.len() + out.boundary_ties.len());
-        seed.extend_from_slice(out.top.as_slice());
-        seed.extend_from_slice(&out.boundary_ties);
-        st.skyband.rebuild(&seed);
-        st.top_score = out.top.threshold();
-        stats.cleanup_cells += cleanup_from_frontier(
-            grid,
-            &mut scratch.stamps,
-            qid,
-            &st.query.f,
-            st.query.constraint.as_ref(),
-            &out.frontier,
-        );
+    /// The influence lists (read access, for diagnostics).
+    #[inline]
+    pub fn influence(&self) -> &InfluenceTable {
+        self.maint.influence()
     }
 
     /// Registers a query, computing its initial skyband.
     pub fn register_query(&mut self, id: QueryId, query: Query) -> Result<()> {
-        if query.dims() != self.dims() {
-            return Err(TkmError::DimensionMismatch {
-                expected: self.dims(),
-                got: query.dims(),
-            });
-        }
-        if self.queries.contains_key(&id) {
-            return Err(TkmError::DuplicateQuery(id));
-        }
-        let mut st = SmaQuery {
-            skyband: Skyband::new(query.k)?,
-            query,
-            top_score: f64::NEG_INFINITY,
-            touched: false,
-        };
-        Self::recompute(
-            &mut self.grid,
-            &mut self.scratch,
-            &self.window,
-            &mut self.stats,
-            id,
-            &mut st,
-        );
-        self.queries.insert(id, st);
-        Ok(())
+        self.maint.register_query(&self.shared, id, query)
     }
 
     /// Terminates a query, clearing its influence-list entries.
     pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
-        let st = self.queries.remove(&id).ok_or(TkmError::UnknownQuery(id))?;
-        self.stats.cleanup_cells += remove_query_walk(
-            &mut self.grid,
-            &mut self.scratch.stamps,
-            id,
-            &st.query.f,
-            st.query.constraint.as_ref(),
-        );
-        Ok(())
+        self.maint.remove_query(&self.shared, id)
     }
 
     /// Registered query ids.
     pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.queries.keys().copied()
+        self.maint.query_ids()
     }
 
     /// The current top-k result (the first k skyband entries), best first.
     pub fn result(&self, id: QueryId) -> Result<Vec<Scored>> {
-        self.queries
-            .get(&id)
-            .map(|q| q.skyband.top().iter().map(|e| e.scored).collect())
-            .ok_or(TkmError::UnknownQuery(id))
+        QueryMaintenance::result(&self.maint, id)
     }
 
     /// Current skyband size of a query (Table 2 reports its average).
     pub fn skyband_len(&self, id: QueryId) -> Result<usize> {
-        self.queries
-            .get(&id)
-            .map(|q| q.skyband.len())
-            .ok_or(TkmError::UnknownQuery(id))
+        self.maint.skyband_len(id)
     }
 
     /// Mean skyband size across queries.
     pub fn avg_skyband_len(&self) -> f64 {
-        if self.queries.is_empty() {
-            return 0.0;
-        }
-        self.queries
-            .values()
-            .map(|q| q.skyband.len())
-            .sum::<usize>() as f64
-            / self.queries.len() as f64
+        self.maint.avg_skyband_len()
     }
 
     /// Queries whose skyband changed during the last tick (sorted, deduped).
     pub fn changed_queries(&self) -> &[QueryId] {
-        &self.changed
+        self.maint.changed_queries()
     }
 
     /// One-shot (snapshot) top-k over the current window contents, without
     /// registering anything.
     pub fn snapshot(&mut self, query: &Query) -> Result<Vec<Scored>> {
-        if query.dims() != self.dims() {
-            return Err(TkmError::DimensionMismatch {
-                expected: self.dims(),
-                got: query.dims(),
-            });
-        }
-        let out = compute_topk(
-            &mut self.grid,
-            &mut self.scratch.stamps,
-            &self.window,
-            None,
-            &query.f,
-            query.k,
-            query.constraint.as_ref(),
-            false,
-        );
-        Ok(out.top.as_slice().to_vec())
+        self.maint.snapshot(&self.shared, query)
     }
 
     /// Executes one processing cycle (Figure 11).
     pub fn tick(&mut self, now: Timestamp, arrivals: &[f64]) -> Result<()> {
-        let dims = self.dims();
-        validate_arrivals(dims, arrivals)?;
-        self.stats.ticks += 1;
-        self.changed.clear();
-
-        // ---- Pins (lines 4-11) ----
-        {
-            let Self {
-                window,
-                grid,
-                queries,
-                stats,
-                ..
-            } = self;
-            for coords in arrivals.chunks_exact(dims) {
-                let id = window.insert(coords, now)?;
-                stats.arrivals += 1;
-                let cell = grid.insert_point(coords, id);
-                for qid in grid.cell(cell).influence_iter() {
-                    stats.influence_probes += 1;
-                    let st = queries.get_mut(&qid).expect("influence lists are swept");
-                    if let Some(r) = &st.query.constraint {
-                        if !r.contains(coords) {
-                            continue;
-                        }
-                    }
-                    let score = st.query.f.score(coords);
-                    if score >= st.top_score {
-                        st.skyband.insert(Scored::new(score, id));
-                        st.touched = true;
-                        stats.result_updates += 1;
-                    }
-                }
-            }
-        }
-
-        // ---- Pdel (lines 12-16) ----
-        {
-            let Self {
-                window,
-                grid,
-                queries,
-                stats,
-                ..
-            } = self;
-            window.drain_expired(now, |id, coords| {
-                stats.expirations += 1;
-                let cell = grid
-                    .remove_point(coords, id)
-                    .expect("window and grid are updated in lockstep");
-                for qid in grid.cell(cell).influence_iter() {
-                    stats.influence_probes += 1;
-                    let st = queries.get_mut(&qid).expect("influence lists are swept");
-                    if st.skyband.expire(id) {
-                        st.touched = true;
-                    }
-                }
-            });
-        }
-
-        // ---- Deficiency handling (lines 17-22) ----
-        let touched: Vec<QueryId> = self
-            .queries
-            .iter()
-            .filter(|(_, st)| st.touched)
-            .map(|(id, _)| *id)
-            .collect();
-        for qid in touched {
-            let st = self.queries.get_mut(&qid).expect("collected above");
-            st.touched = false;
-            // Recompute only if the skyband lost too many entries AND the
-            // window could supply more (a window smaller than k can never
-            // fill the band — recomputing every tick would be wasted work,
-            // and the influence lists already cover the whole grid then).
-            if st.skyband.is_deficient() && st.skyband.len() < self.window.len() {
-                Self::recompute(
-                    &mut self.grid,
-                    &mut self.scratch,
-                    &self.window,
-                    &mut self.stats,
-                    qid,
-                    st,
-                );
-            }
-            self.changed.push(qid);
-        }
-
-        self.changed.sort_unstable();
-        self.changed.dedup();
-        Ok(())
+        self.shared.ingest(now, arrivals)?;
+        self.maint.apply_events(&self.shared)
     }
 
     /// Cumulative counters.
     #[inline]
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.maint.stats().with_ingest(self.shared.stats())
     }
 
-    /// Deep size estimate in bytes: window + grid + per-query skyband
-    /// (`O(d + 3k)` per query as analysed in §6).
+    /// Deep size estimate in bytes: window + grid + influence lists +
+    /// per-query skyband (`O(d + 3k)` per query as analysed in §6).
     pub fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.window.space_bytes()
-            + self.grid.space_bytes()
-            + self.scratch.stamps.space_bytes()
-            + self
-                .queries
-                .values()
-                .map(|q| std::mem::size_of::<SmaQuery>() + q.skyband.space_bytes())
-                .sum::<usize>()
+        std::mem::size_of::<Self>() + self.shared.space_bytes() + self.maint.space_bytes()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tkm_common::{Rect, ScoreFn};
+    use tkm_common::{Rect, ScoreFn, TkmError};
 
     fn lcg_stream(seed: u64, n: usize, dims: usize) -> Vec<f64> {
         let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(1);
@@ -454,11 +244,6 @@ mod tests {
         ));
         m.remove_query(QueryId(0)).unwrap();
         assert!(m.remove_query(QueryId(0)).is_err());
-        let listed = m
-            .grid()
-            .cells()
-            .filter(|(_, c)| c.influence_contains(QueryId(0)))
-            .count();
-        assert_eq!(listed, 0);
+        assert_eq!(m.influence().total_entries(), 0);
     }
 }

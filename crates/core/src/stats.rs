@@ -32,6 +32,30 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Folds the stream-side counters of an ingest stage into these
+    /// maintenance-side counters (the split introduced by
+    /// [`crate::ingest::IngestState`]).
+    pub fn with_ingest(mut self, ingest: crate::ingest::IngestStats) -> EngineStats {
+        self.ticks += ingest.ticks;
+        self.arrivals += ingest.arrivals;
+        self.expirations += ingest.expirations;
+        self
+    }
+
+    /// Accumulates another stats block field-wise (summing over shards).
+    pub fn absorb(&mut self, other: EngineStats) {
+        self.ticks += other.ticks;
+        self.arrivals += other.arrivals;
+        self.expirations += other.expirations;
+        self.recomputations += other.recomputations;
+        self.cells_processed += other.cells_processed;
+        self.points_scanned += other.points_scanned;
+        self.heap_pushes += other.heap_pushes;
+        self.cleanup_cells += other.cleanup_cells;
+        self.result_updates += other.result_updates;
+        self.influence_probes += other.influence_probes;
+    }
+
     /// Recomputations per tick (the measured counterpart of the paper's
     /// `Pr_rec` per query — divide by the query count for the per-query
     /// probability).

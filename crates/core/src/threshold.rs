@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use crate::tma::{validate_arrivals, GridSpec};
 use tkm_common::{FxHashSet, QueryId, Result, ScoreFn, Scored, Timestamp, TkmError, TupleId};
-use tkm_grid::{CellMode, Grid, VisitStamps};
+use tkm_grid::{CellMode, Grid, InfluenceTable, VisitStamps};
 use tkm_window::{Window, WindowSpec};
 
 #[derive(Debug)]
@@ -31,6 +31,7 @@ struct ThresholdQuery {
 pub struct ThresholdMonitor {
     window: Window,
     grid: Grid,
+    influence: InfluenceTable,
     stamps: VisitStamps,
     queries: BTreeMap<QueryId, ThresholdQuery>,
 }
@@ -40,9 +41,11 @@ impl ThresholdMonitor {
     pub fn new(dims: usize, window: WindowSpec, grid: GridSpec) -> Result<ThresholdMonitor> {
         let grid = grid.build(dims, CellMode::Fifo)?;
         let stamps = VisitStamps::new(grid.num_cells());
+        let influence = InfluenceTable::new(grid.num_cells());
         Ok(ThresholdMonitor {
             window: Window::new(dims, window)?,
             grid,
+            influence,
             stamps,
             queries: BTreeMap::new(),
         })
@@ -100,7 +103,7 @@ impl ThresholdMonitor {
                     added.push(Scored::new(score, tid));
                 }
             }
-            self.grid.cell_mut(cell).influence_insert(id);
+            self.influence.insert(cell, id);
             for dim in 0..self.grid.dims() {
                 if let Some(n) = self.grid.step_worse(cell, dim, &f) {
                     if self.stamps.mark(n) {
@@ -133,7 +136,7 @@ impl ThresholdMonitor {
         self.stamps.mark(start);
         let mut list = vec![start];
         while let Some(cell) = list.pop() {
-            if !self.grid.cell_mut(cell).influence_remove(id) {
+            if !self.influence.remove(cell, id) {
                 continue;
             }
             for dim in 0..self.grid.dims() {
@@ -161,13 +164,14 @@ impl ThresholdMonitor {
             let Self {
                 window,
                 grid,
+                influence,
                 queries,
                 ..
             } = self;
             for coords in arrivals.chunks_exact(dims) {
                 let id = window.insert(coords, now)?;
                 let cell = grid.insert_point(coords, id);
-                for qid in grid.cell(cell).influence_iter() {
+                for qid in influence.iter(cell) {
                     let st = queries.get_mut(&qid).expect("influence lists are swept");
                     let score = st.f.score(coords);
                     if score > st.threshold {
@@ -181,7 +185,7 @@ impl ThresholdMonitor {
                 let cell = grid
                     .remove_point(coords, id)
                     .expect("window and grid are updated in lockstep");
-                for qid in grid.cell(cell).influence_iter() {
+                for qid in influence.iter(cell) {
                     let st = queries.get_mut(&qid).expect("influence lists are swept");
                     if st.matching.remove(&id) {
                         st.removed.push(id);
@@ -221,6 +225,7 @@ impl ThresholdMonitor {
         std::mem::size_of::<Self>()
             + self.window.space_bytes()
             + self.grid.space_bytes()
+            + self.influence.space_bytes()
             + self.stamps.space_bytes()
             + self
                 .queries
@@ -302,12 +307,7 @@ mod tests {
         m.register_query(QueryId(2), f, 0.3).unwrap();
         m.remove_query(QueryId(2)).unwrap();
         assert!(m.remove_query(QueryId(2)).is_err());
-        let listed = m
-            .grid
-            .cells()
-            .filter(|(_, c)| c.influence_contains(QueryId(2)))
-            .count();
-        assert_eq!(listed, 0);
+        assert_eq!(m.influence.total_entries(), 0);
         m.tick(Timestamp(0), &lcg_stream(5, 4, 2)).unwrap();
     }
 

@@ -15,16 +15,19 @@
 //! Recomputances are the cost TMA pays for storing only the exact top-k;
 //! SMA trades a slightly larger state (the skyband) for avoiding most of
 //! them.
+//!
+//! [`TmaMonitor`] is a thin sandwich of the shared
+//! [`crate::ingest::IngestState`] (window + grid, fed once per tick) and a
+//! single [`crate::maintenance::TmaMaintenance`] stage — the same
+//! maintenance code a [`crate::parallel::SharedParallelMonitor`] partitions
+//! across shards.
 
-use std::collections::BTreeMap;
-
-use crate::compute::{compute_topk, ComputeScratch};
-use crate::influence::{cleanup_from_frontier, remove_query_walk};
+use crate::ingest::IngestState;
+use crate::maintenance::{QueryMaintenance, TmaMaintenance};
 use crate::query::Query;
-use crate::result::TopList;
 use crate::stats::EngineStats;
 use tkm_common::{QueryId, Result, Scored, Timestamp, TkmError};
-use tkm_grid::{CellMode, Grid};
+use tkm_grid::{CellMode, Grid, InfluenceTable};
 use tkm_window::{Window, WindowSpec};
 
 /// How the grid is dimensioned.
@@ -72,272 +75,95 @@ pub(crate) fn validate_arrivals(dims: usize, arrivals: &[f64]) -> Result<()> {
     Ok(())
 }
 
-#[derive(Debug)]
-struct TmaQuery {
-    query: Query,
-    top: TopList,
-    affected: bool,
-}
-
 /// Continuous top-k monitor that recomputes affected queries from scratch
 /// (the paper's TMA).
 #[derive(Debug)]
 pub struct TmaMonitor {
-    window: Window,
-    grid: Grid,
-    scratch: ComputeScratch,
-    queries: BTreeMap<QueryId, TmaQuery>,
-    stats: EngineStats,
-    changed: Vec<QueryId>,
+    shared: IngestState,
+    maint: TmaMaintenance,
 }
 
 impl TmaMonitor {
     /// Creates a monitor over `dims`-dimensional tuples.
     pub fn new(dims: usize, window: WindowSpec, grid: GridSpec) -> Result<TmaMonitor> {
-        let grid = grid.build(dims, CellMode::Fifo)?;
-        let scratch = ComputeScratch::new(grid.num_cells());
-        Ok(TmaMonitor {
-            window: Window::new(dims, window)?,
-            grid,
-            scratch,
-            queries: BTreeMap::new(),
-            stats: EngineStats::default(),
-            changed: Vec::new(),
-        })
+        let shared = IngestState::new(dims, window, grid)?;
+        let maint = TmaMaintenance::new_for(&shared);
+        Ok(TmaMonitor { shared, maint })
     }
 
     /// Dimensionality.
     #[inline]
     pub fn dims(&self) -> usize {
-        self.window.dims()
+        self.shared.dims()
     }
 
     /// The underlying window (read access).
     #[inline]
     pub fn window(&self) -> &Window {
-        &self.window
+        self.shared.window()
     }
 
     /// The underlying grid (read access, for diagnostics).
     #[inline]
     pub fn grid(&self) -> &Grid {
-        &self.grid
+        self.shared.grid()
+    }
+
+    /// The influence lists (read access, for diagnostics).
+    #[inline]
+    pub fn influence(&self) -> &InfluenceTable {
+        self.maint.influence()
     }
 
     /// Registers a query and computes its initial result.
     pub fn register_query(&mut self, id: QueryId, query: Query) -> Result<()> {
-        if query.dims() != self.dims() {
-            return Err(TkmError::DimensionMismatch {
-                expected: self.dims(),
-                got: query.dims(),
-            });
-        }
-        if self.queries.contains_key(&id) {
-            return Err(TkmError::DuplicateQuery(id));
-        }
-        let out = compute_topk(
-            &mut self.grid,
-            &mut self.scratch.stamps,
-            &self.window,
-            Some(id),
-            &query.f,
-            query.k,
-            query.constraint.as_ref(),
-            false,
-        );
-        self.stats.recomputations += 1;
-        self.stats.cells_processed += out.stats.cells_processed;
-        self.stats.points_scanned += out.stats.points_scanned;
-        self.stats.heap_pushes += out.stats.heap_pushes;
-        self.queries.insert(
-            id,
-            TmaQuery {
-                query,
-                top: out.top,
-                affected: false,
-            },
-        );
-        Ok(())
+        self.maint.register_query(&self.shared, id, query)
     }
 
     /// Terminates a query, clearing its influence-list entries.
     pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
-        let st = self.queries.remove(&id).ok_or(TkmError::UnknownQuery(id))?;
-        self.stats.cleanup_cells += remove_query_walk(
-            &mut self.grid,
-            &mut self.scratch.stamps,
-            id,
-            &st.query.f,
-            st.query.constraint.as_ref(),
-        );
-        Ok(())
+        self.maint.remove_query(&self.shared, id)
     }
 
     /// Registered query ids.
     pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.queries.keys().copied()
+        self.maint.query_ids()
     }
 
     /// The current top-k result of a query, best first.
     pub fn result(&self, id: QueryId) -> Result<&[Scored]> {
-        self.queries
-            .get(&id)
-            .map(|q| q.top.as_slice())
-            .ok_or(TkmError::UnknownQuery(id))
+        self.maint.result_slice(id)
     }
 
     /// Queries whose result changed during the last tick (sorted, deduped).
     pub fn changed_queries(&self) -> &[QueryId] {
-        &self.changed
+        self.maint.changed_queries()
     }
 
     /// One-shot (snapshot) top-k over the current window contents, without
     /// registering anything: the computation module runs but leaves no
     /// influence-list entries behind.
     pub fn snapshot(&mut self, query: &Query) -> Result<Vec<Scored>> {
-        if query.dims() != self.dims() {
-            return Err(TkmError::DimensionMismatch {
-                expected: self.dims(),
-                got: query.dims(),
-            });
-        }
-        let out = compute_topk(
-            &mut self.grid,
-            &mut self.scratch.stamps,
-            &self.window,
-            None,
-            &query.f,
-            query.k,
-            query.constraint.as_ref(),
-            false,
-        );
-        Ok(out.top.as_slice().to_vec())
+        self.maint.snapshot(&self.shared, query)
     }
 
     /// Executes one processing cycle (Figure 9). `arrivals` is a flat
     /// coordinate buffer, one tuple per `dims` chunk.
     pub fn tick(&mut self, now: Timestamp, arrivals: &[f64]) -> Result<()> {
-        let dims = self.dims();
-        validate_arrivals(dims, arrivals)?;
-        self.stats.ticks += 1;
-        self.changed.clear();
-
-        // ---- Pins (lines 3-7) ----
-        {
-            let Self {
-                window,
-                grid,
-                queries,
-                stats,
-                changed,
-                ..
-            } = self;
-            for coords in arrivals.chunks_exact(dims) {
-                let id = window.insert(coords, now)?;
-                stats.arrivals += 1;
-                let cell = grid.insert_point(coords, id);
-                for qid in grid.cell(cell).influence_iter() {
-                    stats.influence_probes += 1;
-                    let st = queries.get_mut(&qid).expect("influence lists are swept");
-                    if let Some(r) = &st.query.constraint {
-                        if !r.contains(coords) {
-                            continue;
-                        }
-                    }
-                    let score = st.query.f.score(coords);
-                    // threshold() is −∞ while the list is short, so this
-                    // single test covers the warm-up phase too.
-                    if score >= st.top.threshold() && st.top.offer(Scored::new(score, id)) {
-                        stats.result_updates += 1;
-                        changed.push(qid);
-                    }
-                }
-            }
-        }
-
-        // ---- Pdel (lines 8-11) ----
-        {
-            let Self {
-                window,
-                grid,
-                queries,
-                stats,
-                ..
-            } = self;
-            window.drain_expired(now, |id, coords| {
-                stats.expirations += 1;
-                let cell = grid
-                    .remove_point(coords, id)
-                    .expect("window and grid are updated in lockstep");
-                for qid in grid.cell(cell).influence_iter() {
-                    stats.influence_probes += 1;
-                    let st = queries.get_mut(&qid).expect("influence lists are swept");
-                    if st.top.remove(id) {
-                        st.affected = true;
-                    }
-                }
-            });
-        }
-
-        // ---- Recompute affected queries (lines 12-21) ----
-        let affected: Vec<QueryId> = self
-            .queries
-            .iter()
-            .filter(|(_, st)| st.affected)
-            .map(|(id, _)| *id)
-            .collect();
-        for qid in affected {
-            let st = self.queries.get_mut(&qid).expect("collected above");
-            st.affected = false;
-            let out = compute_topk(
-                &mut self.grid,
-                &mut self.scratch.stamps,
-                &self.window,
-                Some(qid),
-                &st.query.f,
-                st.query.k,
-                st.query.constraint.as_ref(),
-                false,
-            );
-            self.stats.recomputations += 1;
-            self.stats.cells_processed += out.stats.cells_processed;
-            self.stats.points_scanned += out.stats.points_scanned;
-            self.stats.heap_pushes += out.stats.heap_pushes;
-            st.top = out.top;
-            self.stats.cleanup_cells += cleanup_from_frontier(
-                &mut self.grid,
-                &mut self.scratch.stamps,
-                qid,
-                &st.query.f,
-                st.query.constraint.as_ref(),
-                &out.frontier,
-            );
-            self.changed.push(qid);
-        }
-
-        self.changed.sort_unstable();
-        self.changed.dedup();
-        Ok(())
+        self.shared.ingest(now, arrivals)?;
+        self.maint.apply_events(&self.shared)
     }
 
     /// Cumulative counters.
     #[inline]
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.maint.stats().with_ingest(self.shared.stats())
     }
 
-    /// Deep size estimate in bytes: window + grid (point and influence
-    /// lists) + per-query state (`O(d + 2k)` per query as analysed in §6).
+    /// Deep size estimate in bytes: window + grid + influence lists +
+    /// per-query state (`O(d + 2k)` per query as analysed in §6).
     pub fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>()
-            + self.window.space_bytes()
-            + self.grid.space_bytes()
-            + self.scratch.stamps.space_bytes()
-            + self
-                .queries
-                .values()
-                .map(|q| std::mem::size_of::<TmaQuery>() + q.top.space_bytes())
-                .sum::<usize>()
+        std::mem::size_of::<Self>() + self.shared.space_bytes() + self.maint.space_bytes()
     }
 }
 
@@ -457,14 +283,25 @@ mod tests {
         let q = Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 2).unwrap();
         m.tick(Timestamp(0), &lcg_stream(3, 5, 2)).unwrap();
         m.register_query(QueryId(1), q).unwrap();
+        assert!(m.influence().total_entries() > 0);
         m.remove_query(QueryId(1)).unwrap();
-        let listed = m
-            .grid()
-            .cells()
-            .filter(|(_, c)| c.influence_contains(QueryId(1)))
-            .count();
-        assert_eq!(listed, 0);
+        assert_eq!(m.influence().total_entries(), 0);
         // Subsequent ticks must not touch the removed query.
         m.tick(Timestamp(1), &lcg_stream(4, 5, 2)).unwrap();
+    }
+
+    /// Burst larger than the count window: same-cycle transients must not
+    /// corrupt results (they are skipped in Pins, see maintenance docs).
+    #[test]
+    fn burst_overrunning_window_stays_exact() {
+        let mut m = TmaMonitor::new(2, WindowSpec::Count(4), GridSpec::PerDim(4)).unwrap();
+        let q = Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 2).unwrap();
+        m.register_query(QueryId(0), q.clone()).unwrap();
+        // 7 arrivals into a 4-window: the first 3 expire within the cycle.
+        m.tick(Timestamp(0), &lcg_stream(99, 7, 2)).unwrap();
+        assert_eq!(m.window().len(), 4);
+        assert_eq!(m.result(QueryId(0)).unwrap(), &brute(m.window(), &q)[..]);
+        m.tick(Timestamp(1), &lcg_stream(100, 9, 2)).unwrap();
+        assert_eq!(m.result(QueryId(0)).unwrap(), &brute(m.window(), &q)[..]);
     }
 }

@@ -19,7 +19,7 @@ use crate::result::TopList;
 use crate::stats::EngineStats;
 use crate::tma::GridSpec;
 use tkm_common::{QueryId, Result, Scored, TkmError, TupleId};
-use tkm_grid::{CellMode, Grid};
+use tkm_grid::{CellMode, Grid, InfluenceTable};
 use tkm_window::SlabStore;
 
 /// One operation of an update stream.
@@ -43,6 +43,7 @@ struct UsQuery {
 pub struct UpdateStreamTma {
     store: SlabStore,
     grid: Grid,
+    influence: InfluenceTable,
     scratch: ComputeScratch,
     queries: BTreeMap<QueryId, UsQuery>,
     stats: EngineStats,
@@ -53,9 +54,11 @@ impl UpdateStreamTma {
     pub fn new(dims: usize, grid: GridSpec) -> Result<UpdateStreamTma> {
         let grid = grid.build(dims, CellMode::Hash)?;
         let scratch = ComputeScratch::new(grid.num_cells());
+        let influence = InfluenceTable::new(grid.num_cells());
         Ok(UpdateStreamTma {
             store: SlabStore::new(dims)?,
             grid,
+            influence,
             scratch,
             queries: BTreeMap::new(),
             stats: EngineStats::default(),
@@ -86,10 +89,10 @@ impl UpdateStreamTma {
             return Err(TkmError::DuplicateQuery(id));
         }
         let out = compute_topk(
-            &mut self.grid,
+            &self.grid,
             &mut self.scratch.stamps,
             &self.store,
-            Some(id),
+            Some((&mut self.influence, id)),
             &query.f,
             query.k,
             query.constraint.as_ref(),
@@ -113,7 +116,8 @@ impl UpdateStreamTma {
     pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
         let st = self.queries.remove(&id).ok_or(TkmError::UnknownQuery(id))?;
         self.stats.cleanup_cells += remove_query_walk(
-            &mut self.grid,
+            &self.grid,
+            &mut self.influence,
             &mut self.scratch.stamps,
             id,
             &st.query.f,
@@ -149,7 +153,7 @@ impl UpdateStreamTma {
         self.stats.arrivals += 1;
         let cell = self.grid.insert_point(coords, id);
         let queries = &mut self.queries;
-        for qid in self.grid.cell(cell).influence_iter() {
+        for qid in self.influence.iter(cell) {
             self.stats.influence_probes += 1;
             let st = queries.get_mut(&qid).expect("influence lists are swept");
             if let Some(r) = &st.query.constraint {
@@ -176,7 +180,7 @@ impl UpdateStreamTma {
             .remove_point(coords, id)
             .expect("store and grid are updated in lockstep");
         let queries = &mut self.queries;
-        for qid in self.grid.cell(cell).influence_iter() {
+        for qid in self.influence.iter(cell) {
             self.stats.influence_probes += 1;
             let st = queries.get_mut(&qid).expect("influence lists are swept");
             if st.top.remove(id) {
@@ -200,10 +204,10 @@ impl UpdateStreamTma {
             let st = self.queries.get_mut(&qid).expect("collected above");
             st.affected = false;
             let out = compute_topk(
-                &mut self.grid,
+                &self.grid,
                 &mut self.scratch.stamps,
                 &self.store,
-                Some(qid),
+                Some((&mut self.influence, qid)),
                 &st.query.f,
                 st.query.k,
                 st.query.constraint.as_ref(),
@@ -214,7 +218,8 @@ impl UpdateStreamTma {
             self.stats.points_scanned += out.stats.points_scanned;
             st.top = out.top;
             self.stats.cleanup_cells += cleanup_from_frontier(
-                &mut self.grid,
+                &self.grid,
+                &mut self.influence,
                 &mut self.scratch.stamps,
                 qid,
                 &st.query.f,
@@ -249,6 +254,7 @@ impl UpdateStreamTma {
         std::mem::size_of::<Self>()
             + self.store.space_bytes()
             + self.grid.space_bytes()
+            + self.influence.space_bytes()
             + self.scratch.stamps.space_bytes()
             + self
                 .queries

@@ -1,8 +1,13 @@
-//! Grid cells: point lists and influence lists.
+//! Grid cells: point lists.
+//!
+//! Influence lists live *outside* the cells (see
+//! [`crate::influence::InfluenceTable`]) so that the grid stays immutable
+//! during query maintenance and can be shared read-only across maintenance
+//! shards.
 
 use std::collections::VecDeque;
 
-use tkm_common::{FxHashSet, QueryId, Result, TkmError, TupleId};
+use tkm_common::{FxHashSet, Result, TkmError, TupleId};
 
 /// How a cell stores its point list.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,22 +88,16 @@ impl Iterator for PointIter<'_> {
     }
 }
 
-/// One grid cell: point list plus influence list.
-///
-/// The influence list is lazily boxed: the vast majority of cells influence
-/// no query at any given time, and an `Option<Box<…>>` keeps them one
-/// pointer wide.
+/// One grid cell: its point list.
 #[derive(Debug)]
 pub struct Cell {
     points: PointList,
-    influence: Option<Box<FxHashSet<QueryId>>>,
 }
 
 impl Cell {
     pub(crate) fn new(mode: CellMode) -> Cell {
         Cell {
             points: PointList::new(mode),
-            influence: None,
         }
     }
 
@@ -144,55 +143,13 @@ impl Cell {
         }
     }
 
-    /// Registers a query in the influence list; returns `false` if already
-    /// present.
-    pub fn influence_insert(&mut self, q: QueryId) -> bool {
-        self.influence
-            .get_or_insert_with(Default::default)
-            .insert(q)
-    }
-
-    /// Deregisters a query; returns `true` if it was present. Frees the
-    /// backing set when it becomes empty.
-    pub fn influence_remove(&mut self, q: QueryId) -> bool {
-        let Some(set) = self.influence.as_mut() else {
-            return false;
-        };
-        let removed = set.remove(&q);
-        if set.is_empty() {
-            self.influence = None;
-        }
-        removed
-    }
-
-    /// Whether the query is registered in this cell.
-    #[inline]
-    pub fn influence_contains(&self, q: QueryId) -> bool {
-        self.influence.as_ref().is_some_and(|s| s.contains(&q))
-    }
-
-    /// Number of queries influenced by this cell.
-    #[inline]
-    pub fn influence_len(&self) -> usize {
-        self.influence.as_ref().map_or(0, |s| s.len())
-    }
-
-    /// Iterates the registered query ids.
-    pub fn influence_iter(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.influence.iter().flat_map(|s| s.iter().copied())
-    }
-
     /// Deep size estimate in bytes.
     pub fn space_bytes(&self) -> usize {
         let points = match &self.points {
             PointList::Fifo(d) => d.capacity() * std::mem::size_of::<TupleId>(),
             PointList::Hash(s) => s.capacity() * (std::mem::size_of::<TupleId>() + 8),
         };
-        let influence = self.influence.as_ref().map_or(0, |s| {
-            std::mem::size_of::<FxHashSet<QueryId>>()
-                + s.capacity() * (std::mem::size_of::<QueryId>() + 8)
-        });
-        std::mem::size_of::<Self>() + points + influence
+        std::mem::size_of::<Self>() + points
     }
 }
 
@@ -228,23 +185,9 @@ mod tests {
     }
 
     #[test]
-    fn influence_list_lifecycle() {
-        let mut c = Cell::new(CellMode::Fifo);
-        assert_eq!(c.influence_len(), 0);
-        assert!(c.influence_insert(QueryId(1)));
-        assert!(!c.influence_insert(QueryId(1)), "duplicate registration");
-        assert!(c.influence_insert(QueryId(2)));
-        assert!(c.influence_contains(QueryId(1)));
-        assert!(c.influence_remove(QueryId(1)));
-        assert!(!c.influence_remove(QueryId(1)));
-        assert!(c.influence_remove(QueryId(2)));
-        assert!(c.influence.is_none(), "empty influence set is freed");
-    }
-
-    #[test]
     fn empty_cell_is_small() {
-        // Hot memory matters: millions of cells may exist. One pointer for
-        // the influence list, one deque for the points.
-        assert!(std::mem::size_of::<Cell>() <= 56);
+        // Hot memory matters: millions of cells may exist. With influence
+        // lists moved to `InfluenceTable`, a cell is just its point list.
+        assert!(std::mem::size_of::<Cell>() <= 48);
     }
 }

@@ -1,0 +1,140 @@
+//! Per-cell influence lists, stored *beside* the grid rather than inside it.
+//!
+//! The paper attaches an influence list to every grid cell. Keeping those
+//! lists out of [`crate::Cell`] — in a parallel table indexed by
+//! [`CellId`] — preserves the same O(1) search/insert/delete while making
+//! the grid itself immutable during query maintenance. That split is what
+//! allows a single shared grid (point lists + geometry) to serve many
+//! maintenance shards concurrently: each shard owns its own
+//! `InfluenceTable` for its own queries and only ever *reads* the grid.
+//!
+//! The lists are lazily boxed exactly like the old in-cell representation:
+//! the vast majority of cells influence no query at any given time, so an
+//! `Option<Box<…>>` keeps empty slots one pointer wide.
+
+use crate::grid::CellId;
+use tkm_common::{FxHashSet, QueryId};
+
+/// Influence lists for every cell of one grid, owned by one maintenance
+/// domain (a whole engine, or one shard of a sharded monitor).
+#[derive(Debug)]
+pub struct InfluenceTable {
+    cells: Vec<Option<Box<FxHashSet<QueryId>>>>,
+}
+
+impl InfluenceTable {
+    /// Creates an empty table covering a grid with `num_cells` cells.
+    pub fn new(num_cells: usize) -> InfluenceTable {
+        let mut cells = Vec::with_capacity(num_cells);
+        cells.resize_with(num_cells, || None);
+        InfluenceTable { cells }
+    }
+
+    /// Number of cells covered (must match the grid).
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Registers a query in the cell's influence list; returns `false` if
+    /// already present.
+    pub fn insert(&mut self, cell: CellId, q: QueryId) -> bool {
+        self.cells[cell.0 as usize]
+            .get_or_insert_with(Default::default)
+            .insert(q)
+    }
+
+    /// Deregisters a query from the cell; returns `true` if it was present.
+    /// Frees the backing set when it becomes empty.
+    pub fn remove(&mut self, cell: CellId, q: QueryId) -> bool {
+        let slot = &mut self.cells[cell.0 as usize];
+        let Some(set) = slot.as_mut() else {
+            return false;
+        };
+        let removed = set.remove(&q);
+        if set.is_empty() {
+            *slot = None;
+        }
+        removed
+    }
+
+    /// Whether the query is registered in this cell.
+    #[inline]
+    pub fn contains(&self, cell: CellId, q: QueryId) -> bool {
+        self.cells[cell.0 as usize]
+            .as_ref()
+            .is_some_and(|s| s.contains(&q))
+    }
+
+    /// Number of queries influenced by this cell.
+    #[inline]
+    pub fn cell_len(&self, cell: CellId) -> usize {
+        self.cells[cell.0 as usize].as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Iterates the query ids registered in one cell.
+    pub fn iter(&self, cell: CellId) -> impl Iterator<Item = QueryId> + '_ {
+        self.cells[cell.0 as usize]
+            .iter()
+            .flat_map(|s| s.iter().copied())
+    }
+
+    /// Total number of (cell, query) entries across all cells.
+    pub fn total_entries(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|s| s.as_ref().map_or(0, |s| s.len()))
+            .sum()
+    }
+
+    /// Deep size estimate in bytes.
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.cells.capacity() * std::mem::size_of::<Option<Box<FxHashSet<QueryId>>>>()
+            + self
+                .cells
+                .iter()
+                .flatten()
+                .map(|s| {
+                    std::mem::size_of::<FxHashSet<QueryId>>()
+                        + s.capacity() * (std::mem::size_of::<QueryId>() + 8)
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut t = InfluenceTable::new(4);
+        assert_eq!(t.num_cells(), 4);
+        assert_eq!(t.cell_len(CellId(1)), 0);
+        assert!(t.insert(CellId(1), QueryId(7)));
+        assert!(!t.insert(CellId(1), QueryId(7)), "duplicate registration");
+        assert!(t.insert(CellId(1), QueryId(8)));
+        assert!(t.insert(CellId(3), QueryId(7)));
+        assert!(t.contains(CellId(1), QueryId(7)));
+        assert!(!t.contains(CellId(0), QueryId(7)));
+        assert_eq!(t.cell_len(CellId(1)), 2);
+        assert_eq!(t.total_entries(), 3);
+        let mut ids: Vec<u64> = t.iter(CellId(1)).map(|q| q.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![7, 8]);
+        assert!(t.remove(CellId(1), QueryId(7)));
+        assert!(!t.remove(CellId(1), QueryId(7)));
+        assert!(t.remove(CellId(1), QueryId(8)));
+        assert!(t.cells[1].is_none(), "empty influence set is freed");
+    }
+
+    #[test]
+    fn empty_table_is_one_pointer_per_cell() {
+        let t = InfluenceTable::new(1 << 12);
+        assert_eq!(
+            t.space_bytes() - std::mem::size_of::<InfluenceTable>(),
+            (1 << 12) * std::mem::size_of::<usize>()
+        );
+    }
+}

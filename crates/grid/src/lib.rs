@@ -8,10 +8,15 @@
 //!
 //! * a *point list* of the valid tuples inside it — FIFO for sliding
 //!   windows (per-cell arrival order equals per-cell expiry order), or a
-//!   hash set for the §7 explicit-deletion stream model; and
-//! * an *influence list*: the ids of the queries whose influence region
-//!   intersects the cell, stored as a hash set for O(1)
-//!   search/insert/delete exactly as the paper prescribes.
+//!   hash set for the §7 explicit-deletion stream model.
+//!
+//! The paper's per-cell *influence lists* (the ids of the queries whose
+//! influence region intersects a cell, hash sets for O(1)
+//! search/insert/delete) are kept in a parallel [`InfluenceTable`] indexed
+//! by cell id rather than inside the cells themselves: query maintenance
+//! then only ever *reads* the grid, so one shared grid can serve many
+//! maintenance shards concurrently while each shard owns the lists for its
+//! own queries.
 //!
 //! The grid also provides the geometric primitives the top-k computation
 //! module needs: locating a tuple's cell in O(1), the `maxscore` of a cell
@@ -21,8 +26,10 @@
 
 pub mod cell;
 pub mod grid;
+pub mod influence;
 pub mod visit;
 
 pub use cell::{Cell, CellMode, PointList};
 pub use grid::{CellId, Grid};
+pub use influence::InfluenceTable;
 pub use visit::VisitStamps;

@@ -79,6 +79,15 @@ pub enum WindowSpec {
     /// Keep tuples that arrived within the last `T` ticks (a tuple inserted
     /// at time `t` expires once `now − t ≥ T`).
     Time(u64),
+    /// [`WindowSpec::Time`] with a ring-capacity hint: pre-allocates room
+    /// for `capacity` tuples (expected arrival rate × duration) so
+    /// high-rate streams skip the warm-up regrow-and-copy cascade.
+    TimeSized {
+        /// Window length `T` in ticks.
+        duration: u64,
+        /// Tuples to pre-allocate room for.
+        capacity: usize,
+    },
 }
 
 /// A sliding window over the stream — count-based or time-based.
@@ -99,6 +108,9 @@ impl Window {
         Ok(match spec {
             WindowSpec::Count(n) => Window::Count(CountWindow::new(dims, n)?),
             WindowSpec::Time(t) => Window::Time(TimeWindow::new(dims, t)?),
+            WindowSpec::TimeSized { duration, capacity } => {
+                Window::Time(TimeWindow::with_capacity(dims, duration, capacity)?)
+            }
         })
     }
 
@@ -216,6 +228,23 @@ mod tests {
         assert_eq!(w.newest(), Some(c));
         assert_eq!(w.coords(a), None);
         assert_eq!(w.coords(c), Some(&[0.5, 0.6][..]));
+    }
+
+    #[test]
+    fn time_sized_spec_presizes() {
+        let w = Window::new(
+            2,
+            WindowSpec::TimeSized {
+                duration: 3,
+                capacity: 512,
+            },
+        )
+        .unwrap();
+        match &w {
+            Window::Time(t) => assert_eq!(t.capacity(), 512),
+            Window::Count(_) => panic!("TimeSized must build a time window"),
+        }
+        assert_eq!(w.dims(), 2);
     }
 
     #[test]

@@ -53,6 +53,12 @@ impl FlatRing {
         self.dims
     }
 
+    /// Number of slots available before the next reallocation.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of valid tuples.
     #[inline]
     pub fn len(&self) -> usize {

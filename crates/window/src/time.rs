@@ -15,15 +15,30 @@ pub struct TimeWindow {
 }
 
 impl TimeWindow {
-    /// Creates a window keeping tuples for `duration` ticks.
+    /// Ring slots pre-allocated when no capacity hint is given.
+    const DEFAULT_CAPACITY: usize = 64;
+
+    /// Creates a window keeping tuples for `duration` ticks, with a small
+    /// default ring. High-rate streams should use
+    /// [`TimeWindow::with_capacity`] so the warm-up phase does not pay a
+    /// regrow-and-copy per doubling.
     pub fn new(dims: usize, duration: u64) -> Result<TimeWindow> {
+        TimeWindow::with_capacity(dims, duration, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a window keeping tuples for `duration` ticks with room for
+    /// `capacity` tuples before the first reallocation. The natural hint is
+    /// `expected arrival rate × (duration + 1)` — a cycle's arrivals are
+    /// buffered before its expiries drain — and the ring still grows beyond
+    /// it if the stream bursts higher.
+    pub fn with_capacity(dims: usize, duration: u64, capacity: usize) -> Result<TimeWindow> {
         if duration == 0 {
             return Err(TkmError::InvalidParameter(
                 "TimeWindow: duration must be positive".into(),
             ));
         }
         Ok(TimeWindow {
-            ring: FlatRing::new(dims, 64)?,
+            ring: FlatRing::new(dims, capacity.max(1))?,
             duration,
         })
     }
@@ -32,6 +47,12 @@ impl TimeWindow {
     #[inline]
     pub fn duration(&self) -> u64 {
         self.duration
+    }
+
+    /// Tuples the ring can hold before the next reallocation.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
     }
 
     /// Dimensionality of stored tuples.
@@ -117,6 +138,61 @@ mod tests {
     #[test]
     fn rejects_zero_duration() {
         assert!(TimeWindow::new(2, 0).is_err());
+        assert!(TimeWindow::with_capacity(2, 0, 128).is_err());
+    }
+
+    #[test]
+    fn capacity_hint_presizes_the_ring() {
+        let w = TimeWindow::new(2, 5).unwrap();
+        assert_eq!(w.capacity(), 64, "default stays small");
+        let w = TimeWindow::with_capacity(2, 5, 1000).unwrap();
+        assert_eq!(w.capacity(), 1000);
+        // A zero hint is clamped rather than rejected.
+        let w = TimeWindow::with_capacity(2, 5, 0).unwrap();
+        assert!(w.capacity() >= 1);
+    }
+
+    #[test]
+    fn presized_ring_absorbs_rate_without_growth() {
+        // rate × (duration + 1) tuples fit exactly (arrivals land before
+        // expiries drain): no reallocation happens while the stream is
+        // steady.
+        let (rate, duration) = (50usize, 4u64);
+        let mut w = TimeWindow::with_capacity(1, duration, rate * (duration as usize + 1)).unwrap();
+        let cap0 = w.capacity();
+        for tick in 0..20u64 {
+            for i in 0..rate {
+                w.insert(&[i as f64 / rate as f64], Timestamp(tick))
+                    .unwrap();
+            }
+            w.drain_expired(Timestamp(tick), |_, _| {});
+        }
+        assert_eq!(w.capacity(), cap0, "steady state must not regrow");
+    }
+
+    #[test]
+    fn grow_path_crosses_several_doublings() {
+        // A deliberately tiny hint forces the ring through multiple
+        // doublings (4 → 8 → … → 256) while tuples stay addressable.
+        let mut w = TimeWindow::with_capacity(2, 1000, 4).unwrap();
+        let mut growths = 0;
+        let mut cap = w.capacity();
+        for i in 0..200u64 {
+            let x = (i as f64 / 200.0).clamp(0.0, 1.0);
+            let id = w.insert(&[x, 1.0 - x], Timestamp(i)).unwrap();
+            assert_eq!(id, TupleId(i));
+            if w.capacity() != cap {
+                growths += 1;
+                cap = w.capacity();
+            }
+        }
+        assert!(growths >= 5, "expected ≥5 doublings, saw {growths}");
+        assert_eq!(w.len(), 200);
+        for i in 0..200u64 {
+            let x = (i as f64 / 200.0).clamp(0.0, 1.0);
+            assert_eq!(w.coords(TupleId(i)).unwrap(), &[x, 1.0 - x][..]);
+            assert_eq!(w.arrival_time(TupleId(i)), Some(Timestamp(i)));
+        }
     }
 
     #[test]

@@ -56,9 +56,11 @@ pub use tkm_common::{
     Scored, ScoringFunction, Timestamp, TkmError, TupleId, MAX_DIMS,
 };
 pub use tkm_core::{
-    build_engine, compute_topk, ContinuousTopK, EngineKind, EngineStats, GridSpec, MonitorServer,
-    OracleMonitor, ParallelMonitor, PiecewiseMonitor, PiecewiseQuery, Query, ResultDelta,
-    ServerConfig, SmaMonitor, ThresholdMonitor, TmaMonitor, UpdateOp, UpdateStreamTma,
+    build_engine, compute_topk, ContinuousTopK, EngineKind, EngineStats, GridSpec, IngestState,
+    MonitorServer, OracleMonitor, ParallelMonitor, PiecewiseMonitor, PiecewiseQuery, Query,
+    QueryMaintenance, ResultDelta, ServerConfig, SharedParallelMonitor, SharedSmaMonitor,
+    SharedTmaMonitor, SmaMaintenance, SmaMonitor, ThresholdMonitor, TmaMaintenance, TmaMonitor,
+    UpdateOp, UpdateStreamTma,
 };
 pub use tkm_datagen::{DataDist, FnFamily, PointGen, QueryGen, StreamSim};
 pub use tkm_skyband::{SkyEntry, Skyband};

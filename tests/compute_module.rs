@@ -3,13 +3,14 @@
 
 use proptest::prelude::*;
 use topk_monitor::engines::compute::compute_topk;
-use topk_monitor::grid::{CellMode, Grid, VisitStamps};
+use topk_monitor::grid::{CellMode, Grid, InfluenceTable, VisitStamps};
 use topk_monitor::{QueryId, Rect, ScoreFn, Scored, Timestamp, TupleId, Window, WindowSpec};
 
 struct Fixture {
     grid: Grid,
     window: Window,
     stamps: VisitStamps,
+    influence: InfluenceTable,
 }
 
 fn fixture(points: &[(f64, f64)], per_dim: usize) -> Fixture {
@@ -21,10 +22,12 @@ fn fixture(points: &[(f64, f64)], per_dim: usize) -> Fixture {
         grid.insert_point(&coords, id);
     }
     let stamps = VisitStamps::new(grid.num_cells());
+    let influence = InfluenceTable::new(grid.num_cells());
     Fixture {
         grid,
         window,
         stamps,
+        influence,
     }
 }
 
@@ -58,10 +61,10 @@ proptest! {
         let f = ScoreFn::linear(vec![w1, w2]).expect("dims");
         let mut fx = fixture(&points, per_dim);
         let out = compute_topk(
-            &mut fx.grid,
+            &fx.grid,
             &mut fx.stamps,
             &fx.window,
-            Some(QueryId(0)),
+            Some((&mut fx.influence, QueryId(0))),
             &f,
             k,
             None,
@@ -74,10 +77,10 @@ proptest! {
             let threshold = kth.score.get();
             // 2. Coverage: every cell that could hold a qualifying tuple is
             //    registered in the influence list.
-            for (cid, cell) in fx.grid.cells() {
+            for (cid, _) in fx.grid.cells() {
                 if fx.grid.maxscore(cid, &f) >= threshold {
                     prop_assert!(
-                        cell.influence_contains(QueryId(0)),
+                        fx.influence.contains(cid, QueryId(0)),
                         "uncovered influential cell {cid:?}"
                     );
                 }
@@ -136,10 +139,10 @@ proptest! {
         ).expect("rect");
         let mut fx = fixture(&points, per_dim);
         let out = compute_topk(
-            &mut fx.grid,
+            &fx.grid,
             &mut fx.stamps,
             &fx.window,
-            Some(QueryId(0)),
+            Some((&mut fx.influence, QueryId(0))),
             &f,
             k,
             Some(&rect),
@@ -162,7 +165,7 @@ proptest! {
         let f = ScoreFn::linear(vec![w1, w2]).expect("dims");
         let mut fx = fixture(&points, 6);
         let out = compute_topk(
-            &mut fx.grid,
+            &fx.grid,
             &mut fx.stamps,
             &fx.window,
             None,
@@ -172,8 +175,11 @@ proptest! {
             false,
         );
         prop_assert_eq!(out.top.as_slice(), &naive(&points, &f, k, None)[..]);
-        let listed: usize = fx.grid.cells().map(|(_, c)| c.influence_len()).sum();
-        prop_assert_eq!(listed, 0, "snapshot registered influence entries");
+        prop_assert_eq!(
+            fx.influence.total_entries(),
+            0,
+            "snapshot registered influence entries"
+        );
     }
 }
 
@@ -193,10 +199,10 @@ fn skyband_seed_equivalence() {
     let k = 5;
     let mut fx = fixture(&points, 5);
     let out = compute_topk(
-        &mut fx.grid,
+        &fx.grid,
         &mut fx.stamps,
         &fx.window,
-        Some(QueryId(0)),
+        Some((&mut fx.influence, QueryId(0))),
         &f,
         k,
         None,

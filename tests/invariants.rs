@@ -27,10 +27,10 @@ fn tma_influence_lists_cover_influence_region() {
             continue;
         }
         let threshold = top.last().expect("k = 5").score.get();
-        for (cid, cell) in m.grid().cells() {
+        for (cid, _) in m.grid().cells() {
             if m.grid().maxscore(cid, &f) >= threshold {
                 assert!(
-                    cell.influence_contains(QueryId(0)),
+                    m.influence().contains(cid, QueryId(0)),
                     "cell {cid:?} (maxscore ≥ threshold {threshold}) not listed at tick {t}"
                 );
             }
@@ -131,14 +131,8 @@ fn no_influence_leaks_after_removal() {
     let leaks = |label: &str, total: usize| {
         assert_eq!(total, 0, "{label} leaked {total} influence entries");
     };
-    leaks(
-        "TMA",
-        tma.grid().cells().map(|(_, c)| c.influence_len()).sum(),
-    );
-    leaks(
-        "SMA",
-        sma.grid().cells().map(|(_, c)| c.influence_len()).sum(),
-    );
+    leaks("TMA", tma.influence().total_entries());
+    leaks("SMA", sma.influence().total_entries());
 }
 
 /// Engine statistics are self-consistent after a run.
