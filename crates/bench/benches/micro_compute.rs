@@ -5,11 +5,11 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tkm_common::{QueryId, ScoreFn, Timestamp};
-use tkm_core::compute_topk;
+use tkm_common::{QuerySlot, ScoreFn, Timestamp};
 use tkm_core::influence::cleanup_from_frontier;
+use tkm_core::{compute_topk, ComputeScratch};
 use tkm_datagen::{DataDist, PointGen};
-use tkm_grid::{CellMode, Grid, InfluenceTable, VisitStamps};
+use tkm_grid::{CellMode, Grid, InfluenceTable};
 use tkm_tsl::{ta_search, SortedLists};
 use tkm_window::{Window, WindowSpec};
 
@@ -50,7 +50,7 @@ fn bench_compute_module(c: &mut Criterion) {
     group.sample_size(30);
     for dist in [DataDist::Ind, DataDist::Ant] {
         let fx = fixture(dist);
-        let mut stamps = VisitStamps::new(fx.grid.num_cells());
+        let mut scratch = ComputeScratch::new(fx.grid.num_cells());
         let mut influence = InfluenceTable::new(fx.grid.num_cells());
         for k in [1usize, 20, 100] {
             group.bench_with_input(
@@ -60,23 +60,23 @@ fn bench_compute_module(c: &mut Criterion) {
                     b.iter(|| {
                         let out = compute_topk(
                             &fx.grid,
-                            &mut stamps,
+                            &mut scratch,
                             &fx.window,
-                            Some((&mut influence, QueryId(0))),
+                            Some((&mut influence, QuerySlot(0))),
                             &fx.f,
                             k,
                             None,
                             false,
+                            None,
                         );
                         // Unregister again so every iteration starts clean.
                         cleanup_from_frontier(
                             &fx.grid,
                             &mut influence,
-                            &mut stamps,
-                            QueryId(0),
+                            &mut scratch,
+                            QuerySlot(0),
                             &fx.f,
                             None,
-                            &out.frontier,
                         );
                         black_box(out.top.len())
                     })

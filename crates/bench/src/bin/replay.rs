@@ -1,0 +1,365 @@
+//! Hot-path replay benchmark: maintenance throughput under arrival bursts.
+//!
+//! Unlike the figure binaries (which reproduce the paper's absolute
+//! numbers), this benchmark isolates the *event-replay hot path* — per
+//! tick: ingest a burst of `r` arrivals, replay the recorded events
+//! against every registered query's influence lists, recompute whatever
+//! expiries broke. It sweeps the query count Q ∈ {16, 256, 4096} for both
+//! grid engines and reports sustained arrival throughput (tuples/second).
+//!
+//! Modes:
+//!
+//! * `--scale quick|default|paper` — workload preset (default: default);
+//! * `--smoke` — seconds-scale run for CI (fixed small sizes, independent
+//!   of `--scale`);
+//! * `--json` — additionally emit a machine-readable JSON report to
+//!   stdout (this is the format of the committed `BENCH_hotpath.json`
+//!   baseline; regenerate it with
+//!   `cargo run --release -p tkm_bench --bin replay -- --smoke --json`);
+//! * `--check-baseline <path>` — compare this run against a committed
+//!   baseline and exit non-zero if the baseline is malformed or any
+//!   matching scenario regressed by more than 3x (a coarse guard against
+//!   catastrophic hot-path regressions, not a +/-5% flake gate).
+
+use std::time::Instant;
+
+use tkm_bench::table::fmt_secs;
+use tkm_bench::{cli, Scale, Table};
+use tkm_common::{QueryId, Timestamp};
+use tkm_core::{GridSpec, Query, SmaMonitor, TmaMonitor};
+use tkm_datagen::{DataDist, FnFamily, QueryGen, StreamSim};
+use tkm_window::WindowSpec;
+
+/// Query counts swept by the replay scenarios.
+const QUERY_COUNTS: [usize; 3] = [16, 256, 4096];
+
+/// Tolerated throughput regression factor for `--check-baseline`.
+const REGRESSION_FACTOR: f64 = 3.0;
+
+/// One replay workload configuration.
+#[derive(Clone, Copy, Debug)]
+struct ReplayConfig {
+    dims: usize,
+    /// Count-window capacity.
+    n: usize,
+    /// Arrivals per tick (the burst size).
+    r: usize,
+    /// Measured ticks.
+    ticks: usize,
+    /// Unmeasured ticks between registration and measurement, so the
+    /// measured window reflects steady state (scratch buffers sized,
+    /// influence regions settled) rather than start-up transients.
+    warm_ticks: usize,
+    k: usize,
+    grid_cells: usize,
+    seed: u64,
+}
+
+impl ReplayConfig {
+    fn preset(scale: Scale, smoke: bool) -> ReplayConfig {
+        if smoke {
+            return ReplayConfig {
+                dims: 2,
+                n: 4_000,
+                r: 200,
+                ticks: 40,
+                warm_ticks: 10,
+                k: 10,
+                grid_cells: 4_096,
+                seed: 20060627,
+            };
+        }
+        match scale {
+            Scale::Quick => ReplayConfig {
+                dims: 2,
+                n: 10_000,
+                r: 500,
+                ticks: 60,
+                warm_ticks: 15,
+                k: 10,
+                grid_cells: 4_096,
+                seed: 20060627,
+            },
+            Scale::Default => ReplayConfig {
+                dims: 2,
+                n: 50_000,
+                r: 2_000,
+                ticks: 200,
+                warm_ticks: 25,
+                k: 10,
+                grid_cells: 20_736,
+                seed: 20060627,
+            },
+            Scale::Paper => ReplayConfig {
+                dims: 4,
+                n: 1_000_000,
+                r: 10_000,
+                ticks: 100,
+                warm_ticks: 10,
+                k: 20,
+                grid_cells: 20_736,
+                seed: 20060627,
+            },
+        }
+    }
+
+    fn summary(&self) -> String {
+        format!(
+            "d={} N={} r={} k={} grid={} ticks={}",
+            self.dims, self.n, self.r, self.k, self.grid_cells, self.ticks
+        )
+    }
+}
+
+/// One measured scenario, keyed by (engine, q) for baseline comparison.
+#[derive(Clone, Debug)]
+struct ScenarioResult {
+    engine: &'static str,
+    q: usize,
+    seconds: f64,
+    tuples_per_sec: f64,
+}
+
+/// Drives one engine through warm-up, registration and the measured burst
+/// replay; generic over the two grid monitors.
+fn run_scenario<M>(
+    cfg: &ReplayConfig,
+    q: usize,
+    mut register: impl FnMut(&mut M, QueryId, Query),
+    mut tick: impl FnMut(&mut M, Timestamp, &[f64]),
+    monitor: &mut M,
+) -> (f64, f64) {
+    let workload = QueryGen::new(cfg.dims, FnFamily::Linear, cfg.seed ^ 0x9e37_79b9)
+        .expect("dims")
+        .workload(q);
+    let mut stream = StreamSim::new(cfg.dims, DataDist::Ind, cfg.r, cfg.seed).expect("dims");
+
+    // Warm the window to steady-state density before registering queries.
+    let mut remaining = cfg.n;
+    while remaining > 0 {
+        let chunk = remaining.min(50_000);
+        let (ts, batch) = stream.warmup_batch(chunk);
+        tick(monitor, ts, batch);
+        remaining -= chunk;
+    }
+    for (i, f) in workload.into_iter().enumerate() {
+        register(
+            monitor,
+            QueryId(i as u64),
+            Query::top_k(f, cfg.k).expect("k"),
+        );
+    }
+    // Settle into steady state before the clock starts.
+    for _ in 0..cfg.warm_ticks {
+        let (ts, batch) = stream.next_batch();
+        tick(monitor, ts, batch);
+    }
+
+    let start = Instant::now();
+    for _ in 0..cfg.ticks {
+        let (ts, batch) = stream.next_batch();
+        tick(monitor, ts, batch);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let tuples = (cfg.ticks * cfg.r) as f64;
+    (seconds, tuples / seconds.max(1e-12))
+}
+
+fn run_all(cfg: &ReplayConfig) -> Vec<ScenarioResult> {
+    let mut out = Vec::new();
+    for q in QUERY_COUNTS {
+        let mut tma = TmaMonitor::new(
+            cfg.dims,
+            WindowSpec::Count(cfg.n),
+            GridSpec::CellBudget(cfg.grid_cells),
+        )
+        .expect("config");
+        let (seconds, tput) = run_scenario(
+            cfg,
+            q,
+            |m, id, query| m.register_query(id, query).expect("register"),
+            |m, ts, b| m.tick(ts, b).expect("tick"),
+            &mut tma,
+        );
+        out.push(ScenarioResult {
+            engine: "tma",
+            q,
+            seconds,
+            tuples_per_sec: tput,
+        });
+
+        let mut sma = SmaMonitor::new(
+            cfg.dims,
+            WindowSpec::Count(cfg.n),
+            GridSpec::CellBudget(cfg.grid_cells),
+        )
+        .expect("config");
+        let (seconds, tput) = run_scenario(
+            cfg,
+            q,
+            |m, id, query| m.register_query(id, query).expect("register"),
+            |m, ts, b| m.tick(ts, b).expect("tick"),
+            &mut sma,
+        );
+        out.push(ScenarioResult {
+            engine: "sma",
+            q,
+            seconds,
+            tuples_per_sec: tput,
+        });
+    }
+    out
+}
+
+/// Renders the JSON report (hand-rolled: the workspace is offline and has
+/// no serde; the schema is flat enough for string assembly).
+fn to_json(mode: &str, cfg: &ReplayConfig, results: &[ScenarioResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"replay\",\n");
+    s.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    s.push_str(&format!(
+        "  \"config\": {{\"dims\": {}, \"window\": {}, \"rate\": {}, \"ticks\": {}, \"k\": {}, \"grid_cells\": {}}},\n",
+        cfg.dims, cfg.n, cfg.r, cfg.ticks, cfg.k, cfg.grid_cells
+    ));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"q\": {}, \"seconds\": {:.6}, \"tuples_per_sec\": {:.1}}}{}\n",
+            r.engine,
+            r.q,
+            r.seconds,
+            r.tuples_per_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Minimal scenario extraction from a baseline JSON: scans for the
+/// `"engine"`/`"q"`/`"tuples_per_sec"` triples emitted by [`to_json`].
+/// Returns `None` when the file does not look like a replay baseline.
+fn parse_baseline(text: &str) -> Option<Vec<(String, usize, f64)>> {
+    if !text.contains("\"bench\": \"replay\"") {
+        return None;
+    }
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.contains("\"engine\"") {
+            continue;
+        }
+        let engine = field_str(line, "engine")?;
+        let q = field_num(line, "q")? as usize;
+        let tput = field_num(line, "tuples_per_sec")?;
+        if !(tput.is_finite() && tput > 0.0) {
+            return None;
+        }
+        out.push((engine, q, tput));
+    }
+    if out.is_empty() {
+        return None;
+    }
+    Some(out)
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares this run against the committed baseline. Returns an error
+/// message when the baseline is malformed or a matching scenario regressed
+/// more than [`REGRESSION_FACTOR`].
+fn check_baseline(path: &str, results: &[ScenarioResult]) -> std::result::Result<usize, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("check-baseline: cannot read {path}: {e}"))?;
+    let baseline =
+        parse_baseline(&text).ok_or_else(|| format!("check-baseline: {path} is malformed"))?;
+    let mut compared = 0;
+    for (engine, q, base_tput) in &baseline {
+        let Some(cur) = results.iter().find(|r| r.engine == engine && r.q == *q) else {
+            continue;
+        };
+        compared += 1;
+        if cur.tuples_per_sec * REGRESSION_FACTOR < *base_tput {
+            return Err(format!(
+                "check-baseline: {engine} Q={q} regressed >{REGRESSION_FACTOR}x: \
+                 {:.0} tuples/s now vs {base_tput:.0} in {path}",
+                cur.tuples_per_sec
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(format!(
+            "check-baseline: no scenario of {path} matches this run"
+        ));
+    }
+    Ok(compared)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--check-baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let scale = Scale::from_args();
+    let cfg = ReplayConfig::preset(scale, smoke);
+    let mode = if smoke { "smoke" } else { "full" };
+
+    cli::header(
+        "Replay — maintenance hot path under arrival bursts",
+        "beyond the paper: per-tick event-replay throughput vs Q",
+        scale,
+        &cfg.summary(),
+    );
+
+    let results = run_all(&cfg);
+
+    let mut table = Table::new(&["engine", "Q", "time [s]", "tuples/s"]);
+    for r in &results {
+        table.row(vec![
+            r.engine.to_string(),
+            r.q.to_string(),
+            fmt_secs(r.seconds),
+            format!("{:.0}", r.tuples_per_sec),
+        ]);
+    }
+    cli::emit(&table);
+
+    if json {
+        println!("--- json ---");
+        print!("{}", to_json(mode, &cfg, &results));
+    }
+
+    if let Some(path) = baseline_path {
+        match check_baseline(&path, &results) {
+            Ok(n) => println!("baseline check ok ({n} scenarios within {REGRESSION_FACTOR}x)"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if smoke {
+        println!("smoke ok");
+    }
+}

@@ -47,6 +47,39 @@ impl fmt::Display for QueryId {
     }
 }
 
+/// Dense per-engine index of a registered query — the *slot* a query
+/// occupies in a `QueryRegistry` while it is live.
+///
+/// Hot-path structures (influence lists, per-query state tables) store
+/// these 4-byte indices instead of [`QueryId`]s: a slot resolves to the
+/// query's state with a single `Vec` index, where a `QueryId` would need a
+/// map lookup. Slots are recycled after a query terminates, so they are
+/// only meaningful inside the engine that issued them and only while the
+/// query is live; the `QueryId ↔ QuerySlot` translation happens once per
+/// register/remove/result call, never per event.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QuerySlot(pub u32);
+
+impl QuerySlot {
+    /// The slot's index into dense per-query tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for QuerySlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for QuerySlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
 /// Logical timestamp (processing-cycle granularity). Only time-based
 /// windows interpret the value; count-based windows ignore it.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug)]
@@ -96,6 +129,12 @@ mod tests {
     fn display_forms() {
         assert_eq!(TupleId(7).to_string(), "t7");
         assert_eq!(QueryId(2).to_string(), "q2");
+        assert_eq!(QuerySlot(3).to_string(), "s3");
         assert_eq!(Timestamp(9).to_string(), "@9");
+    }
+
+    #[test]
+    fn slot_index() {
+        assert_eq!(QuerySlot(5).index(), 5);
     }
 }

@@ -19,7 +19,7 @@ pub mod score;
 pub use error::{Result, TkmError};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use geom::Rect;
-pub use ids::{QueryId, Timestamp, TupleId};
+pub use ids::{QueryId, QuerySlot, Timestamp, TupleId};
 pub use ordered::OrderedF64;
 pub use score::{
     LinearFn, Monotonicity, ProductFn, QuadraticFn, ScoreFn, Scored, ScoringFunction, MAX_DIMS,

@@ -21,11 +21,16 @@
 //!
 //! Constrained queries (§7) pass a constraint rectangle: the traversal is
 //! clipped to the cells overlapping it and points outside are filtered.
+//!
+//! The traversal state (visit stamps, the cell heap, the frontier list)
+//! lives in a caller-owned [`ComputeScratch`]: engines recompute queries
+//! every tick, and reusing the buffers makes steady-state recomputations
+//! allocation-free apart from the result list itself.
 
 use std::collections::BinaryHeap;
 
 use crate::result::TopList;
-use tkm_common::{OrderedF64, QueryId, Rect, ScoreFn, Scored, MAX_DIMS};
+use tkm_common::{OrderedF64, QuerySlot, Rect, ScoreFn, Scored, TupleId, MAX_DIMS};
 use tkm_grid::{CellId, Grid, InfluenceTable, VisitStamps};
 use tkm_window::TupleLookup;
 
@@ -41,6 +46,12 @@ pub struct ComputeStats {
 }
 
 /// Result of one computation-module invocation.
+///
+/// The frontier (cells en-heaped but not processed at termination — the
+/// seeds of the influence clean-up walk, Figure 9 line 14) is *not* part
+/// of this value: it is left in [`ComputeScratch::frontier`] so the
+/// follow-up [`crate::influence::cleanup_from_frontier`] walk can consume
+/// it in place without an allocation.
 #[derive(Debug)]
 pub struct ComputeOutcome {
     /// The top-k list (≤ k entries, best first).
@@ -48,40 +59,46 @@ pub struct ComputeOutcome {
     /// Candidates outside the top-k whose score ties the k-th score
     /// (present only when tie tracking was requested).
     pub boundary_ties: Vec<Scored>,
-    /// Cells left in the heap at termination: en-heaped but not processed.
-    /// They seed the influence-list clean-up walk (Figure 9, line 14).
-    pub frontier: Vec<CellId>,
     /// Access counters.
     pub stats: ComputeStats,
 }
 
-/// Runs the top-k computation. With `influence = Some((table, q))` — the
-/// monitoring path — `q` is registered in the table's influence list of
-/// every processed cell; with `influence = None` the traversal is a
-/// side-effect-free *snapshot* query. The grid itself is only read, so one
-/// shared grid can serve concurrent computations as long as each caller
-/// brings its own table and stamps. `stamps` must belong to the same grid;
-/// its epoch is advanced and, after return, still marks every en-heaped
-/// cell — the clean-up walk relies on this.
+/// Runs the top-k computation. With `influence = Some((table, slot))` —
+/// the monitoring path — the query's dense `slot` is registered in the
+/// table's influence list of every processed cell; with `influence = None`
+/// the traversal is a side-effect-free *snapshot* query. The grid itself
+/// is only read, so one shared grid can serve concurrent computations as
+/// long as each caller brings its own table and scratch. `scratch` must be
+/// sized for the same grid; after return its stamp epoch still marks every
+/// en-heaped cell and [`ComputeScratch::frontier`] holds the unprocessed
+/// frontier — the clean-up walk relies on both.
+///
+/// `reuse` recycles a previous result's [`TopList`] buffers into the new
+/// result (engines pass the query's old top-list so recomputations do not
+/// allocate); pass `None` to build a fresh list.
 #[allow(clippy::too_many_arguments)]
 pub fn compute_topk<L: TupleLookup>(
     grid: &Grid,
-    stamps: &mut VisitStamps,
+    scratch: &mut ComputeScratch,
     lookup: &L,
-    mut influence: Option<(&mut InfluenceTable, QueryId)>,
+    mut influence: Option<(&mut InfluenceTable, QuerySlot)>,
     f: &ScoreFn,
     k: usize,
     constraint: Option<&Rect>,
     track_ties: bool,
+    reuse: Option<TopList>,
 ) -> ComputeOutcome {
     debug_assert_eq!(grid.dims(), f.dims());
-    debug_assert_eq!(stamps.len(), grid.num_cells());
+    debug_assert_eq!(scratch.stamps.len(), grid.num_cells());
     let dims = grid.dims();
     let mut stats = ComputeStats::default();
-    let mut top = if track_ties {
-        TopList::with_tie_tracking(k)
-    } else {
-        TopList::new(k)
+    let mut top = match reuse {
+        Some(mut t) => {
+            t.reset(k, track_ties);
+            t
+        }
+        None if track_ties => TopList::with_tie_tracking(k),
+        None => TopList::new(k),
     };
 
     let range = constraint.map(|r| grid.cell_range(r));
@@ -98,7 +115,13 @@ pub fn compute_topk<L: TupleLookup>(
         None => grid.maxscore(cell, f),
     };
 
-    let mut heap: BinaryHeap<(OrderedF64, CellId)> = BinaryHeap::new();
+    let ComputeScratch {
+        stamps,
+        heap,
+        frontier,
+        ..
+    } = scratch;
+    heap.clear();
     stamps.begin();
     stamps.mark(start);
     heap.push((OrderedF64::new(cell_bound(grid, start)), start));
@@ -125,8 +148,8 @@ pub fn compute_topk<L: TupleLookup>(
             }
             top.offer(Scored::new(f.score(coords), id));
         }
-        if let Some((table, q)) = influence.as_mut() {
-            table.insert(cell, *q);
+        if let Some((table, slot)) = influence.as_mut() {
+            table.insert(cell, *slot);
         }
 
         for dim in 0..dims {
@@ -143,23 +166,38 @@ pub fn compute_topk<L: TupleLookup>(
         }
     }
 
+    frontier.clear();
+    frontier.extend(heap.drain().map(|(_, c)| c));
+
     let boundary_ties = top.boundary_ties();
-    let frontier: Vec<CellId> = heap.into_iter().map(|(_, c)| c).collect();
     ComputeOutcome {
         top,
         boundary_ties,
-        frontier,
         stats,
     }
 }
 
-/// Scratch buffers shared by the engines (avoids per-call allocation).
+/// Reusable traversal and replay buffers owned by one maintenance domain
+/// (engine or shard). Keeping them here makes steady-state processing
+/// cycles allocation-free: the computation heap, the frontier list and the
+/// per-cell replay buffers all retain their capacity across ticks.
 #[derive(Debug)]
 pub struct ComputeScratch {
     /// Reusable visited markers.
     pub stamps: VisitStamps,
     /// Reusable coordinate buffer.
     pub coords: [f64; MAX_DIMS],
+    /// Cell heap of the top-k traversal (drained into `frontier` on
+    /// completion).
+    pub heap: BinaryHeap<(OrderedF64, CellId)>,
+    /// Cells en-heaped but not processed by the last [`compute_topk`]
+    /// call: the clean-up walk's seed list, consumed in place.
+    pub frontier: Vec<CellId>,
+    /// Live tuple ids of the cell run being replayed (cell-grouped event
+    /// replay).
+    pub tick_ids: Vec<TupleId>,
+    /// Coordinates of `tick_ids`, flattened `dims` apiece.
+    pub tick_coords: Vec<f64>,
 }
 
 impl ComputeScratch {
@@ -168,7 +206,21 @@ impl ComputeScratch {
         ComputeScratch {
             stamps: VisitStamps::new(num_cells),
             coords: [0.0; MAX_DIMS],
+            heap: BinaryHeap::new(),
+            frontier: Vec::new(),
+            tick_ids: Vec::new(),
+            tick_coords: Vec::new(),
         }
+    }
+
+    /// Deep size estimate of the retained buffers in bytes.
+    pub fn space_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.stamps.space_bytes()
+            + self.heap.capacity() * std::mem::size_of::<(OrderedF64, CellId)>()
+            + self.frontier.capacity() * std::mem::size_of::<CellId>()
+            + self.tick_ids.capacity() * std::mem::size_of::<TupleId>()
+            + self.tick_coords.capacity() * std::mem::size_of::<f64>()
     }
 }
 
@@ -179,16 +231,19 @@ mod tests {
     use tkm_grid::CellMode;
     use tkm_window::{Window, WindowSpec};
 
-    fn setup(points: &[[f64; 2]], per_dim: usize) -> (Grid, Window, VisitStamps, InfluenceTable) {
+    fn setup(
+        points: &[[f64; 2]],
+        per_dim: usize,
+    ) -> (Grid, Window, ComputeScratch, InfluenceTable) {
         let mut grid = Grid::new(2, per_dim, CellMode::Fifo).unwrap();
         let mut w = Window::new(2, WindowSpec::Count(points.len().max(1))).unwrap();
         for p in points {
             let id = w.insert(p, Timestamp(0)).unwrap();
             grid.insert_point(p, id);
         }
-        let stamps = VisitStamps::new(grid.num_cells());
+        let scratch = ComputeScratch::new(grid.num_cells());
         let influence = InfluenceTable::new(grid.num_cells());
-        (grid, w, stamps, influence)
+        (grid, w, scratch, influence)
     }
 
     fn naive_topk(points: &[[f64; 2]], f: &ScoreFn, k: usize, r: Option<&Rect>) -> Vec<Scored> {
@@ -209,16 +264,17 @@ mod tests {
     fn figure5_processes_minimal_cells() {
         let points = [[0.55, 0.90], [0.90, 0.55]]; // p1 (winner), p2
         let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
-        let (grid, w, mut stamps, mut influence) = setup(&points, 7);
+        let (grid, w, mut scratch, mut influence) = setup(&points, 7);
         let out = compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
-            Some((&mut influence, QueryId(0))),
+            Some((&mut influence, QuerySlot(0))),
             &f,
             1,
             None,
             false,
+            None,
         );
         assert_eq!(out.top.as_slice(), &naive_topk(&points, &f, 1, None)[..]);
         assert_eq!(out.top.as_slice()[0].id, TupleId(0));
@@ -230,33 +286,34 @@ mod tests {
         assert_eq!(out.stats.cells_processed, expected);
         // Every processed cell carries the influence entry.
         let listed = (0..49)
-            .filter(|i| influence.contains(CellId(*i), QueryId(0)))
+            .filter(|i| influence.contains(CellId(*i), QuerySlot(0)))
             .count() as u64;
         assert_eq!(listed, expected);
         // Frontier cells were en-heaped but not processed.
-        for c in &out.frontier {
-            assert!(!influence.contains(*c, QueryId(0)));
-            assert!(stamps.is_marked(*c));
+        for c in &scratch.frontier {
+            assert!(!influence.contains(*c, QuerySlot(0)));
+            assert!(scratch.stamps.is_marked(*c));
         }
     }
 
     #[test]
     fn empty_window_processes_everything_and_finds_nothing() {
-        let (grid, w, mut stamps, mut influence) = setup(&[], 4);
+        let (grid, w, mut scratch, mut influence) = setup(&[], 4);
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
         let out = compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
-            Some((&mut influence, QueryId(3))),
+            Some((&mut influence, QuerySlot(3))),
             &f,
             2,
             None,
             false,
+            None,
         );
         assert!(out.top.is_empty());
         assert_eq!(out.stats.cells_processed, 16, "deficient search floods");
-        assert!(out.frontier.is_empty());
+        assert!(scratch.frontier.is_empty());
     }
 
     #[test]
@@ -265,16 +322,17 @@ mod tests {
         // small x2.
         let points = [[0.95, 0.1], [0.8, 0.05], [0.3, 0.9], [0.5, 0.4]];
         let f = ScoreFn::linear(vec![1.0, -1.0]).unwrap();
-        let (grid, w, mut stamps, mut influence) = setup(&points, 7);
+        let (grid, w, mut scratch, mut influence) = setup(&points, 7);
         let out = compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
-            Some((&mut influence, QueryId(1))),
+            Some((&mut influence, QuerySlot(1))),
             &f,
             2,
             None,
             false,
+            None,
         );
         assert_eq!(out.top.as_slice(), &naive_topk(&points, &f, 2, None)[..]);
     }
@@ -283,16 +341,17 @@ mod tests {
     fn product_function_figure7b() {
         let points = [[0.9, 0.8], [0.99, 0.2], [0.5, 0.5]];
         let f = ScoreFn::product(vec![0.0, 0.0]).unwrap();
-        let (grid, w, mut stamps, mut influence) = setup(&points, 7);
+        let (grid, w, mut scratch, mut influence) = setup(&points, 7);
         let out = compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
-            Some((&mut influence, QueryId(1))),
+            Some((&mut influence, QuerySlot(1))),
             &f,
             1,
             None,
             false,
+            None,
         );
         assert_eq!(out.top.as_slice()[0].id, TupleId(0), "0.72 beats 0.198");
     }
@@ -304,16 +363,17 @@ mod tests {
         let points = [[0.55, 0.95], [0.62, 0.68], [0.9, 0.9]];
         let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
         let r = Rect::new(vec![0.5, 0.45], vec![0.8, 0.75]).unwrap();
-        let (grid, w, mut stamps, mut influence) = setup(&points, 7);
+        let (grid, w, mut scratch, mut influence) = setup(&points, 7);
         let out = compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
-            Some((&mut influence, QueryId(2))),
+            Some((&mut influence, QuerySlot(2))),
             &f,
             1,
             Some(&r),
             false,
+            None,
         );
         assert_eq!(
             out.top.as_slice(),
@@ -323,7 +383,7 @@ mod tests {
         // Cells outside the constraint range are never touched.
         let range = grid.cell_range(&r);
         for (cid, _) in grid.cells() {
-            if influence.contains(cid, QueryId(2)) {
+            if influence.contains(cid, QuerySlot(2)) {
                 let cc = grid.cell_coords(cid);
                 for ((c, lo), hi) in cc.iter().zip(&range.0).zip(&range.1).take(2) {
                     assert!(c >= lo && c <= hi);
@@ -337,16 +397,17 @@ mod tests {
         // Four points, three tie at the k-th score.
         let points = [[0.5, 0.5], [0.6, 0.4], [0.4, 0.6], [0.9, 0.9]];
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
-        let (grid, w, mut stamps, mut influence) = setup(&points, 4);
+        let (grid, w, mut scratch, mut influence) = setup(&points, 4);
         let out = compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
-            Some((&mut influence, QueryId(0))),
+            Some((&mut influence, QuerySlot(0))),
             &f,
             2,
             None,
             true,
+            None,
         );
         // Top-2: id3 (1.8), id0 (1.0, oldest of the ties).
         let ids: Vec<u64> = out.top.as_slice().iter().map(|e| e.id.0).collect();
@@ -359,19 +420,52 @@ mod tests {
     fn k_larger_than_population() {
         let points = [[0.2, 0.3], [0.8, 0.1]];
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
-        let (grid, w, mut stamps, mut influence) = setup(&points, 4);
+        let (grid, w, mut scratch, mut influence) = setup(&points, 4);
         let out = compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
-            Some((&mut influence, QueryId(0))),
+            Some((&mut influence, QuerySlot(0))),
             &f,
             5,
             None,
             false,
+            None,
         );
         assert_eq!(out.top.len(), 2);
         assert!(!out.top.is_full());
-        assert!(out.frontier.is_empty(), "deficient search floods the grid");
+        assert!(
+            scratch.frontier.is_empty(),
+            "deficient search floods the grid"
+        );
+    }
+
+    /// Scratch reuse: back-to-back computations leave no stale state and
+    /// keep their buffer capacity.
+    #[test]
+    fn scratch_is_reusable_across_calls() {
+        let points = [[0.2, 0.9], [0.9, 0.2], [0.6, 0.6], [0.1, 0.1]];
+        let (grid, w, mut scratch, mut influence) = setup(&points, 6);
+        let f1 = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
+        let f2 = ScoreFn::linear(vec![-1.0, 1.0]).unwrap();
+        let first = compute_topk(&grid, &mut scratch, &w, None, &f1, 2, None, false, None);
+        let heap_cap = scratch.heap.capacity();
+        let again = compute_topk(&grid, &mut scratch, &w, None, &f1, 2, None, false, None);
+        assert_eq!(first.top.as_slice(), again.top.as_slice());
+        assert!(scratch.heap.capacity() >= heap_cap, "capacity retained");
+        // A different query direction still computes exactly.
+        let out = compute_topk(
+            &grid,
+            &mut scratch,
+            &w,
+            Some((&mut influence, QuerySlot(9))),
+            &f2,
+            1,
+            None,
+            false,
+            None,
+        );
+        assert_eq!(out.top.as_slice(), &naive_topk(&points, &f2, 1, None)[..]);
+        assert!(scratch.space_bytes() > std::mem::size_of::<ComputeScratch>());
     }
 }

@@ -13,51 +13,63 @@
 //! boundary.
 //!
 //! The same walk with the best-corner cell as seed clears *all* entries of
-//! a terminating query.
+//! a terminating query. Sweeping every entry before a dense slot is freed
+//! is what makes slot recycling in [`crate::registry::QueryRegistry`]
+//! safe: a recycled slot can never inherit a dead query's influence
+//! entries.
 //!
 //! The walks read the grid (geometry only) and mutate the caller's
 //! [`InfluenceTable`] — the grid itself stays immutable, so shards of a
-//! shared-ingest monitor can sweep their own tables concurrently.
+//! shared-ingest monitor can sweep their own tables concurrently. Both
+//! walks run entirely inside the caller's [`ComputeScratch`]:
+//! [`cleanup_from_frontier`] consumes [`ComputeScratch::frontier`] (left
+//! behind by the preceding [`crate::compute::compute_topk`] call) in place
+//! as its worklist, so a steady-state recompute-and-sweep cycle performs
+//! no allocation.
 
-use tkm_common::{QueryId, Rect, ScoreFn};
+use crate::compute::ComputeScratch;
+use tkm_common::{QuerySlot, Rect, ScoreFn};
 use tkm_grid::{CellId, Grid, InfluenceTable, VisitStamps};
 
-/// Sweeps stale influence-list entries of `qid` downward from `seeds`.
+/// Sweeps stale influence-list entries of `slot` downward from the
+/// frontier recorded in `scratch` by the preceding computation.
 ///
-/// `stamps` must still be in the epoch of the preceding computation (its
-/// marks prevent the walk from re-entering the freshly processed region).
-/// Returns the number of cells visited.
+/// `scratch.stamps` must still be in the epoch of that computation (its
+/// marks prevent the walk from re-entering the freshly processed region);
+/// `scratch.frontier` is drained by the walk. Returns the number of cells
+/// visited.
 pub fn cleanup_from_frontier(
     grid: &Grid,
     influence: &mut InfluenceTable,
-    stamps: &mut VisitStamps,
-    qid: QueryId,
+    scratch: &mut ComputeScratch,
+    slot: QuerySlot,
     f: &ScoreFn,
     constraint: Option<&Rect>,
-    seeds: &[CellId],
 ) -> u64 {
     let range = constraint.map(|r| grid.cell_range(r));
-    let mut list: Vec<CellId> = seeds.to_vec();
+    let ComputeScratch {
+        stamps, frontier, ..
+    } = scratch;
     let mut visited = 0;
-    while let Some(cell) = list.pop() {
+    while let Some(cell) = frontier.pop() {
         visited += 1;
-        if !influence.remove(cell, qid) {
+        if !influence.remove(cell, slot) {
             // The query never influenced this cell: nothing below it can be
             // stale either (influence regions are upward-closed).
             continue;
         }
-        push_worse_neighbours(grid, stamps, f, range.as_ref(), cell, &mut list);
+        push_worse_neighbours(grid, stamps, f, range.as_ref(), cell, frontier);
     }
     visited
 }
 
-/// Removes `qid` from every influence list (query termination). Walks from
-/// the query's best-corner cell; returns the number of cells visited.
+/// Removes `slot` from every influence list (query termination). Walks
+/// from the query's best-corner cell; returns the number of cells visited.
 pub fn remove_query_walk(
     grid: &Grid,
     influence: &mut InfluenceTable,
-    stamps: &mut VisitStamps,
-    qid: QueryId,
+    scratch: &mut ComputeScratch,
+    slot: QuerySlot,
     f: &ScoreFn,
     constraint: Option<&Rect>,
 ) -> u64 {
@@ -66,16 +78,20 @@ pub fn remove_query_walk(
         Some(r) => grid.best_corner_in(r, f),
         None => grid.best_corner(f),
     };
+    let ComputeScratch {
+        stamps, frontier, ..
+    } = scratch;
     stamps.begin();
     stamps.mark(start);
-    let mut list = vec![start];
+    frontier.clear();
+    frontier.push(start);
     let mut visited = 0;
-    while let Some(cell) = list.pop() {
+    while let Some(cell) = frontier.pop() {
         visited += 1;
-        if !influence.remove(cell, qid) {
+        if !influence.remove(cell, slot) {
             continue;
         }
-        push_worse_neighbours(grid, stamps, f, range.as_ref(), cell, &mut list);
+        push_worse_neighbours(grid, stamps, f, range.as_ref(), cell, frontier);
     }
     visited
 }
@@ -107,13 +123,13 @@ fn push_worse_neighbours(
 mod tests {
     use super::*;
     use crate::compute::compute_topk;
-    use tkm_common::{QueryId, Timestamp};
+    use tkm_common::Timestamp;
     use tkm_grid::CellMode;
     use tkm_window::{Window, WindowSpec};
 
-    fn listed_cells(grid: &Grid, influence: &InfluenceTable, qid: QueryId) -> Vec<u32> {
+    fn listed_cells(grid: &Grid, influence: &InfluenceTable, slot: QuerySlot) -> Vec<u32> {
         (0..grid.num_cells() as u32)
-            .filter(|i| influence.contains(CellId(*i), qid))
+            .filter(|i| influence.contains(CellId(*i), slot))
             .collect()
     }
 
@@ -125,22 +141,23 @@ mod tests {
         let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
         let mut grid = Grid::new(2, 7, CellMode::Fifo).unwrap();
         let mut influence = InfluenceTable::new(grid.num_cells());
-        let mut stamps = VisitStamps::new(grid.num_cells());
+        let mut scratch = ComputeScratch::new(grid.num_cells());
         let mut w = Window::new(2, WindowSpec::Count(16)).unwrap();
-        let q = QueryId(9);
+        let q = QuerySlot(9);
 
         // Weak initial point → large influence region.
         let id0 = w.insert(&[0.3, 0.3], Timestamp(0)).unwrap();
         grid.insert_point(&[0.3, 0.3], id0);
         let out = compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
             Some((&mut influence, q)),
             &f,
             1,
             None,
             false,
+            None,
         );
         let old_region = listed_cells(&grid, &influence, q);
         assert!(old_region.len() > 20, "weak top-1 floods most of the grid");
@@ -151,23 +168,16 @@ mod tests {
         grid.insert_point(&[0.9, 0.9], id1);
         let out = compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
             Some((&mut influence, q)),
             &f,
             1,
             None,
             false,
-        );
-        cleanup_from_frontier(
-            &grid,
-            &mut influence,
-            &mut stamps,
-            q,
-            &f,
             None,
-            &out.frontier,
         );
+        cleanup_from_frontier(&grid, &mut influence, &mut scratch, q, &f, None);
 
         // Remaining entries = exactly the cells with maxscore ≥ new
         // threshold (the new influence region).
@@ -185,25 +195,26 @@ mod tests {
         let f = ScoreFn::linear(vec![1.0, -0.5]).unwrap();
         let mut grid = Grid::new(2, 6, CellMode::Fifo).unwrap();
         let mut influence = InfluenceTable::new(grid.num_cells());
-        let mut stamps = VisitStamps::new(grid.num_cells());
+        let mut scratch = ComputeScratch::new(grid.num_cells());
         let mut w = Window::new(2, WindowSpec::Count(8)).unwrap();
-        let q = QueryId(4);
+        let q = QuerySlot(4);
         for (i, p) in [[0.2, 0.9], [0.7, 0.4], [0.5, 0.5]].iter().enumerate() {
             let id = w.insert(p, Timestamp(i as u64)).unwrap();
             grid.insert_point(p, id);
         }
         compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
             Some((&mut influence, q)),
             &f,
             2,
             None,
             false,
+            None,
         );
         assert!(!listed_cells(&grid, &influence, q).is_empty());
-        remove_query_walk(&grid, &mut influence, &mut stamps, q, &f, None);
+        remove_query_walk(&grid, &mut influence, &mut scratch, q, &f, None);
         assert!(listed_cells(&grid, &influence, q).is_empty());
     }
 
@@ -212,33 +223,35 @@ mod tests {
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
         let mut grid = Grid::new(2, 5, CellMode::Fifo).unwrap();
         let mut influence = InfluenceTable::new(grid.num_cells());
-        let mut stamps = VisitStamps::new(grid.num_cells());
+        let mut scratch = ComputeScratch::new(grid.num_cells());
         let mut w = Window::new(2, WindowSpec::Count(4)).unwrap();
         let id = w.insert(&[0.4, 0.4], Timestamp(0)).unwrap();
         grid.insert_point(&[0.4, 0.4], id);
         compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
-            Some((&mut influence, QueryId(1))),
+            Some((&mut influence, QuerySlot(1))),
             &f,
             1,
             None,
             false,
+            None,
         );
         compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
-            Some((&mut influence, QueryId(2))),
+            Some((&mut influence, QuerySlot(2))),
             &f,
             1,
             None,
             false,
+            None,
         );
-        remove_query_walk(&grid, &mut influence, &mut stamps, QueryId(1), &f, None);
-        assert!(listed_cells(&grid, &influence, QueryId(1)).is_empty());
-        assert!(!listed_cells(&grid, &influence, QueryId(2)).is_empty());
+        remove_query_walk(&grid, &mut influence, &mut scratch, QuerySlot(1), &f, None);
+        assert!(listed_cells(&grid, &influence, QuerySlot(1)).is_empty());
+        assert!(!listed_cells(&grid, &influence, QuerySlot(2)).is_empty());
     }
 
     #[test]
@@ -247,20 +260,28 @@ mod tests {
         let r = Rect::new(vec![0.2, 0.2], vec![0.6, 0.6]).unwrap();
         let grid = Grid::new(2, 5, CellMode::Fifo).unwrap();
         let mut influence = InfluenceTable::new(grid.num_cells());
-        let mut stamps = VisitStamps::new(grid.num_cells());
+        let mut scratch = ComputeScratch::new(grid.num_cells());
         let w = Window::new(2, WindowSpec::Count(4)).unwrap();
         compute_topk(
             &grid,
-            &mut stamps,
+            &mut scratch,
             &w,
-            Some((&mut influence, QueryId(1))),
+            Some((&mut influence, QuerySlot(1))),
             &f,
             1,
             Some(&r),
             false,
+            None,
         );
-        assert!(!listed_cells(&grid, &influence, QueryId(1)).is_empty());
-        remove_query_walk(&grid, &mut influence, &mut stamps, QueryId(1), &f, Some(&r));
-        assert!(listed_cells(&grid, &influence, QueryId(1)).is_empty());
+        assert!(!listed_cells(&grid, &influence, QuerySlot(1)).is_empty());
+        remove_query_walk(
+            &grid,
+            &mut influence,
+            &mut scratch,
+            QuerySlot(1),
+            &f,
+            Some(&r),
+        );
+        assert!(listed_cells(&grid, &influence, QuerySlot(1)).is_empty());
     }
 }

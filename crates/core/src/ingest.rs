@@ -31,6 +31,99 @@ pub struct IngestStats {
     pub expirations: u64,
 }
 
+/// One cycle's events of one kind (arrivals or expiries), re-grouped by
+/// grid cell for the maintenance replay loop.
+///
+/// A cell's influence list is identical for every event landing in that
+/// cell, so the per-event work of a tick factors into per-*run* work: the
+/// replay loop probes each cell's list once and streams the run's tuples
+/// through it. The group-by is two O(E) passes (count per distinct cell,
+/// then a stable scatter) using an epoch-stamped per-cell table — no sort,
+/// so a tick's grouping cost never exceeds a couple of linear scans even
+/// for ingest-bound workloads. Runs come out in first-touched order with
+/// FIFO (arrival) order within each run; the replay loops never depend on
+/// the order *across* cells. All buffers retain capacity across ticks.
+#[derive(Debug)]
+struct CellGroups {
+    /// Per-cell `(epoch stamp, run index)`: the run index is valid while
+    /// the stamp equals `epoch` (bumping the epoch invalidates all
+    /// entries in O(1)). One array, so each event touches one cache line
+    /// here, not two.
+    cell_run: Vec<(u32, u32)>,
+    epoch: u32,
+    /// `(cell, start, len)` runs indexing into `ids`, first-touched order.
+    runs: Vec<(CellId, u32, u32)>,
+    /// Per-run scatter cursors (pass 2 scratch).
+    cursors: Vec<u32>,
+    /// Tuple ids, concatenated run by run.
+    ids: Vec<TupleId>,
+}
+
+impl CellGroups {
+    fn new(num_cells: usize) -> CellGroups {
+        CellGroups {
+            cell_run: vec![(0, 0); num_cells],
+            epoch: 0,
+            runs: Vec::new(),
+            cursors: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+
+    fn rebuild(&mut self, events: &[(CellId, TupleId)]) {
+        self.runs.clear();
+        self.ids.clear();
+        self.cursors.clear();
+        if events.is_empty() {
+            return;
+        }
+        if self.epoch == u32::MAX {
+            self.cell_run.fill((0, 0));
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        // Pass 1: one run per distinct cell (first-touched order), counting
+        // its events.
+        for &(cell, _) in events {
+            let slot = &mut self.cell_run[cell.0 as usize];
+            if slot.0 == self.epoch {
+                self.runs[slot.1 as usize].2 += 1;
+            } else {
+                *slot = (self.epoch, self.runs.len() as u32);
+                self.runs.push((cell, 0, 1));
+            }
+        }
+        // Prefix sums fix each run's start offset.
+        let mut start = 0u32;
+        for r in &mut self.runs {
+            r.1 = start;
+            start += r.2;
+        }
+        // Pass 2: stable scatter — event order is preserved within runs.
+        self.cursors.resize(self.runs.len(), 0);
+        self.ids.resize(events.len(), TupleId(0));
+        for &(cell, id) in events {
+            let run = self.cell_run[cell.0 as usize].1 as usize;
+            let pos = self.runs[run].1 + self.cursors[run];
+            self.cursors[run] += 1;
+            self.ids[pos as usize] = id;
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (CellId, &[TupleId])> {
+        self.runs.iter().map(move |&(cell, start, len)| {
+            (cell, &self.ids[start as usize..(start + len) as usize])
+        })
+    }
+
+    fn space_bytes(&self) -> usize {
+        self.cell_run.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.cursors.capacity() * std::mem::size_of::<u32>()
+            + self.runs.capacity() * std::mem::size_of::<(CellId, u32, u32)>()
+            + self.ids.capacity() * std::mem::size_of::<TupleId>()
+    }
+}
+
 /// Shared per-stream state: window, grid and the event lists of the most
 /// recent processing cycle.
 #[derive(Debug)]
@@ -41,17 +134,25 @@ pub struct IngestState {
     arrivals: Vec<(CellId, TupleId)>,
     /// `(cell, tuple)` of every expiry of the last cycle, expiry order.
     expiries: Vec<(CellId, TupleId)>,
+    /// The arrival events of the last cycle, grouped by cell.
+    arrival_groups: CellGroups,
+    /// The expiry events of the last cycle, grouped by cell.
+    expiry_groups: CellGroups,
     stats: IngestStats,
 }
 
 impl IngestState {
     /// Creates the shared state for `dims`-dimensional tuples.
     pub fn new(dims: usize, window: WindowSpec, grid: GridSpec) -> Result<IngestState> {
+        let grid = grid.build(dims, CellMode::Fifo)?;
+        let cells = grid.num_cells();
         Ok(IngestState {
             window: Window::new(dims, window)?,
-            grid: grid.build(dims, CellMode::Fifo)?,
+            grid,
             arrivals: Vec::new(),
             expiries: Vec::new(),
+            arrival_groups: CellGroups::new(cells),
+            expiry_groups: CellGroups::new(cells),
             stats: IngestStats::default(),
         })
     }
@@ -110,6 +211,8 @@ impl IngestState {
                 .expect("window and grid are updated in lockstep");
             expiries.push((cell, id));
         });
+        self.arrival_groups.rebuild(&self.arrivals);
+        self.expiry_groups.rebuild(&self.expiries);
         Ok(())
     }
 
@@ -127,6 +230,22 @@ impl IngestState {
         &self.expiries
     }
 
+    /// The last cycle's arrival events grouped by cell: one `(cell,
+    /// tuples)` run per distinct cell (first-touched order), tuples in
+    /// arrival order within each run. The maintenance replay loop probes
+    /// each cell's influence list once per run instead of once per event.
+    #[inline]
+    pub fn arrival_runs(&self) -> impl Iterator<Item = (CellId, &[TupleId])> {
+        self.arrival_groups.iter()
+    }
+
+    /// The last cycle's expiry events grouped by cell (one run per
+    /// distinct cell, FIFO order within each run).
+    #[inline]
+    pub fn expiry_runs(&self) -> impl Iterator<Item = (CellId, &[TupleId])> {
+        self.expiry_groups.iter()
+    }
+
     /// Cumulative stream-side counters.
     #[inline]
     pub fn stats(&self) -> IngestStats {
@@ -141,6 +260,8 @@ impl IngestState {
             + self.grid.space_bytes()
             + (self.arrivals.capacity() + self.expiries.capacity())
                 * std::mem::size_of::<(CellId, TupleId)>()
+            + self.arrival_groups.space_bytes()
+            + self.expiry_groups.space_bytes()
     }
 }
 
@@ -178,6 +299,37 @@ mod tests {
         // Transients are gone from the window; survivors resolve.
         assert!(s.window().coords(TupleId(0)).is_none());
         assert!(s.window().coords(TupleId(3)).is_some());
+    }
+
+    #[test]
+    fn runs_group_events_by_cell() {
+        let mut s = IngestState::new(1, WindowSpec::Count(16), GridSpec::PerDim(4)).unwrap();
+        // Cells for per_dim=4: 0.1→cell0, 0.3→cell1, 0.9→cell3.
+        s.ingest(Timestamp(0), &[0.1, 0.9, 0.12, 0.3, 0.15])
+            .unwrap();
+        let runs: Vec<(u32, Vec<u64>)> = s
+            .arrival_runs()
+            .map(|(c, ids)| (c.0, ids.iter().map(|t| t.0).collect()))
+            .collect();
+        // One run per distinct cell in first-touched order; arrival (id)
+        // order within each run.
+        assert_eq!(runs, vec![(0, vec![0, 2, 4]), (3, vec![1]), (1, vec![3])]);
+        // Runs cover exactly the flat event list.
+        let flat: usize = s.arrival_runs().map(|(_, ids)| ids.len()).sum();
+        assert_eq!(flat, s.arrival_events().len());
+        assert!(s.expiry_runs().next().is_none());
+
+        // Expiries group the same way (capacity 16 → push 14 more).
+        let burst: Vec<f64> = (0..14).map(|i| (i % 10) as f64 / 10.0).collect();
+        s.ingest(Timestamp(1), &burst).unwrap();
+        s.ingest(Timestamp(2), &[0.5, 0.5, 0.5]).unwrap();
+        let expired: usize = s.expiry_runs().map(|(_, ids)| ids.len()).sum();
+        assert_eq!(expired, s.expiry_events().len());
+        let mut cells: Vec<u32> = s.expiry_runs().map(|(c, _)| c.0).collect();
+        let distinct = cells.len();
+        cells.sort_unstable();
+        cells.dedup();
+        assert_eq!(cells.len(), distinct, "exactly one run per distinct cell");
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod oracle;
 pub mod parallel;
 pub mod piecewise;
 pub mod query;
+pub mod registry;
 pub mod result;
 pub mod server;
 pub mod sma;
@@ -54,6 +55,7 @@ pub use oracle::OracleMonitor;
 pub use parallel::{ParallelMonitor, SharedParallelMonitor, SharedSmaMonitor, SharedTmaMonitor};
 pub use piecewise::{PiecewiseMonitor, PiecewiseQuery};
 pub use query::Query;
+pub use registry::QueryRegistry;
 pub use result::{ResultDelta, TopList};
 pub use server::{MonitorServer, ServerConfig};
 pub use sma::SmaMonitor;

@@ -4,17 +4,29 @@
 //! queries themselves, their result book-keeping (top-lists for TMA,
 //! skybands for SMA), the influence lists covering them, and the traversal
 //! scratch. It never mutates the shared window or grid — every cycle it
-//! *replays* the `(cell, tuple)` event lists recorded by
-//! [`IngestState::ingest`] against an immutable `&IngestState` view. That
-//! is what makes the stage shardable: partition the queries over several
-//! `QueryMaintenance` values and run [`QueryMaintenance::apply_events`] on
-//! each from its own thread, all reading the same window and grid.
+//! *replays* the event lists recorded by [`IngestState::ingest`] against an
+//! immutable `&IngestState` view. That is what makes the stage shardable:
+//! partition the queries over several `QueryMaintenance` values and run
+//! [`QueryMaintenance::apply_events`] on each from its own thread, all
+//! reading the same window and grid.
 //!
 //! [`TmaMaintenance`] and [`SmaMaintenance`] are the paper's two
 //! maintenance modules (Figures 9 and 11) restated over event lists; the
 //! single-engine monitors [`crate::TmaMonitor`] / [`crate::SmaMonitor`] are
 //! thin ingest+maintenance sandwiches, so the sharded and unsharded paths
 //! execute literally the same maintenance code.
+//!
+//! The replay loop is built for throughput:
+//!
+//! * per-query state lives in a dense [`QueryRegistry`] and the influence
+//!   lists carry 4-byte [`QuerySlot`]s, so resolving an influence entry is
+//!   a `Vec` index instead of a `BTreeMap` probe;
+//! * events arrive **grouped by cell** ([`IngestState::arrival_runs`]):
+//!   each cell's influence list is walked once per tick and the run's
+//!   tuples stream through every listed query with that query's state hot
+//!   in cache (the loop order is cell → query → tuple);
+//! * the traversal heap, frontier and replay buffers live in
+//!   [`ComputeScratch`], so steady-state ticks allocate nothing.
 //!
 //! One deliberate difference from the interleaved originals: an arrival
 //! that expires within its own cycle (count window overrun by a burst) is
@@ -24,15 +36,14 @@
 //! restores exactness for whatever the burst displaced — the differential
 //! suite pins sharded and unsharded results to the oracle either way.
 
-use std::collections::BTreeMap;
-
 use crate::compute::{compute_topk, ComputeScratch};
 use crate::influence::{cleanup_from_frontier, remove_query_walk};
 use crate::ingest::IngestState;
 use crate::query::Query;
+use crate::registry::QueryRegistry;
 use crate::result::TopList;
 use crate::stats::EngineStats;
-use tkm_common::{QueryId, Result, Scored, TkmError};
+use tkm_common::{QueryId, QuerySlot, Result, Scored, TkmError};
 use tkm_grid::InfluenceTable;
 use tkm_skyband::Skyband;
 
@@ -83,6 +94,37 @@ pub trait QueryMaintenance: Send {
     fn space_bytes(&self) -> usize;
 }
 
+fn check_dims(shared: &IngestState, query: &Query) -> Result<()> {
+    if query.dims() != shared.dims() {
+        return Err(TkmError::DimensionMismatch {
+            expected: shared.dims(),
+            got: query.dims(),
+        });
+    }
+    Ok(())
+}
+
+/// Copies the coordinates of a run's still-live tuples into the scratch
+/// replay buffers (`tick_ids` / `tick_coords`), skipping same-cycle
+/// transients (already expired: cannot be in the final window, so they
+/// never have to enter any result book-keeping). Returns `false` when no
+/// tuple of the run survived.
+fn stage_run(
+    scratch: &mut ComputeScratch,
+    shared: &IngestState,
+    tuples: &[tkm_common::TupleId],
+) -> bool {
+    scratch.tick_ids.clear();
+    scratch.tick_coords.clear();
+    for &id in tuples {
+        if let Some(coords) = shared.window().coords(id) {
+            scratch.tick_ids.push(id);
+            scratch.tick_coords.extend_from_slice(coords);
+        }
+    }
+    !scratch.tick_ids.is_empty()
+}
+
 #[derive(Debug)]
 struct TmaQuery {
     query: Query,
@@ -96,23 +138,32 @@ struct TmaQuery {
 pub struct TmaMaintenance {
     influence: InfluenceTable,
     scratch: ComputeScratch,
-    queries: BTreeMap<QueryId, TmaQuery>,
+    queries: QueryRegistry<TmaQuery>,
     stats: EngineStats,
     changed: Vec<QueryId>,
+    /// Reused per-tick scratch: slots whose result lost a tuple this cycle
+    /// (deduplicated via the per-query `affected` flag).
+    affected: Vec<QuerySlot>,
 }
 
 impl TmaMaintenance {
     /// The current top-k result of a query as a borrowed slice.
     pub fn result_slice(&self, id: QueryId) -> Result<&[Scored]> {
         self.queries
-            .get(&id)
+            .get(id)
             .map(|q| q.top.as_slice())
             .ok_or(TkmError::UnknownQuery(id))
     }
 
     /// Registered query ids.
     pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.queries.keys().copied()
+        self.queries.ids()
+    }
+
+    /// The dense slot of a live query — the index its influence-list
+    /// entries carry (diagnostics).
+    pub fn query_slot(&self, id: QueryId) -> Option<QuerySlot> {
+        self.queries.slot_of(id)
     }
 
     /// Queries whose result changed during the last cycle (sorted, deduped).
@@ -129,54 +180,58 @@ impl QueryMaintenance for TmaMaintenance {
         TmaMaintenance {
             influence: InfluenceTable::new(cells),
             scratch: ComputeScratch::new(cells),
-            queries: BTreeMap::new(),
+            queries: QueryRegistry::new(),
             stats: EngineStats::default(),
             changed: Vec::new(),
+            affected: Vec::new(),
         }
     }
 
     fn register_query(&mut self, shared: &IngestState, id: QueryId, query: Query) -> Result<()> {
-        if query.dims() != shared.dims() {
-            return Err(TkmError::DimensionMismatch {
-                expected: shared.dims(),
-                got: query.dims(),
-            });
-        }
-        if self.queries.contains_key(&id) {
-            return Err(TkmError::DuplicateQuery(id));
-        }
-        let out = compute_topk(
-            shared.grid(),
-            &mut self.scratch.stamps,
-            shared.window(),
-            Some((&mut self.influence, id)),
-            &query.f,
-            query.k,
-            query.constraint.as_ref(),
-            false,
-        );
-        self.stats.recomputations += 1;
-        self.stats.cells_processed += out.stats.cells_processed;
-        self.stats.points_scanned += out.stats.points_scanned;
-        self.stats.heap_pushes += out.stats.heap_pushes;
-        self.queries.insert(
+        check_dims(shared, &query)?;
+        let k = query.k;
+        let slot = self.queries.insert(
             id,
             TmaQuery {
                 query,
-                top: out.top,
+                top: TopList::new(k),
                 affected: false,
             },
+        )?;
+        let Self {
+            influence,
+            scratch,
+            queries,
+            stats,
+            ..
+        } = self;
+        let (_, st) = queries.slot_mut(slot);
+        let out = compute_topk(
+            shared.grid(),
+            scratch,
+            shared.window(),
+            Some((&mut *influence, slot)),
+            &st.query.f,
+            st.query.k,
+            st.query.constraint.as_ref(),
+            false,
+            Some(std::mem::take(&mut st.top)),
         );
+        stats.recomputations += 1;
+        stats.cells_processed += out.stats.cells_processed;
+        stats.points_scanned += out.stats.points_scanned;
+        stats.heap_pushes += out.stats.heap_pushes;
+        st.top = out.top;
         Ok(())
     }
 
     fn remove_query(&mut self, shared: &IngestState, id: QueryId) -> Result<()> {
-        let st = self.queries.remove(&id).ok_or(TkmError::UnknownQuery(id))?;
+        let (slot, st) = self.queries.remove(id)?;
         self.stats.cleanup_cells += remove_query_walk(
             shared.grid(),
             &mut self.influence,
-            &mut self.scratch.stamps,
-            id,
+            &mut self.scratch,
+            slot,
             &st.query.f,
             st.query.constraint.as_ref(),
         );
@@ -185,25 +240,30 @@ impl QueryMaintenance for TmaMaintenance {
 
     fn apply_events(&mut self, shared: &IngestState) -> Result<()> {
         self.changed.clear();
+        let dims = shared.dims();
+        let Self {
+            influence,
+            scratch,
+            queries,
+            stats,
+            changed,
+            affected,
+        } = self;
+        affected.clear();
 
-        // ---- Pins (Figure 9, lines 3-7) ----
-        {
-            let Self {
-                influence,
-                queries,
-                stats,
-                changed,
-                ..
-            } = self;
-            for &(cell, id) in shared.arrival_events() {
-                // A same-cycle transient (already expired): cannot be in the
-                // final window, so it never has to enter a top-list.
-                let Some(coords) = shared.window().coords(id) else {
-                    continue;
-                };
-                for qid in influence.iter(cell) {
-                    stats.influence_probes += 1;
-                    let st = queries.get_mut(&qid).expect("influence lists are swept");
+        // ---- Pins (Figure 9, lines 3-7), inverted: cell → query → tuple.
+        for (cell, tuples) in shared.arrival_runs() {
+            let slots = influence.as_slice(cell);
+            if slots.is_empty() || !stage_run(scratch, shared, tuples) {
+                continue;
+            }
+            for &slot in slots {
+                stats.cell_probes += 1;
+                let (qid, st) = queries.slot_mut(slot);
+                let mut updated = false;
+                for (i, &id) in scratch.tick_ids.iter().enumerate() {
+                    stats.tuple_probes += 1;
+                    let coords = &scratch.tick_coords[i * dims..(i + 1) * dims];
                     if let Some(r) = &st.query.constraint {
                         if !r.contains(coords) {
                             continue;
@@ -214,58 +274,59 @@ impl QueryMaintenance for TmaMaintenance {
                     // single test covers the warm-up phase too.
                     if score >= st.top.threshold() && st.top.offer(Scored::new(score, id)) {
                         stats.result_updates += 1;
-                        changed.push(qid);
+                        updated = true;
                     }
                 }
+                if updated {
+                    changed.push(qid);
+                }
             }
+        }
 
-            // ---- Pdel (lines 8-11) ----
-            for &(cell, id) in shared.expiry_events() {
-                for qid in influence.iter(cell) {
-                    stats.influence_probes += 1;
-                    let st = queries.get_mut(&qid).expect("influence lists are swept");
-                    if st.top.remove(id) {
+        // ---- Pdel (lines 8-11), same inversion; no coordinates needed.
+        for (cell, tuples) in shared.expiry_runs() {
+            for &slot in influence.as_slice(cell) {
+                stats.cell_probes += 1;
+                let (_, st) = queries.slot_mut(slot);
+                for &id in tuples {
+                    stats.tuple_probes += 1;
+                    if st.top.remove(id) && !st.affected {
                         st.affected = true;
+                        affected.push(slot);
                     }
                 }
             }
         }
 
         // ---- Recompute affected queries (lines 12-21) ----
-        let affected: Vec<QueryId> = self
-            .queries
-            .iter()
-            .filter(|(_, st)| st.affected)
-            .map(|(id, _)| *id)
-            .collect();
-        for qid in affected {
-            let st = self.queries.get_mut(&qid).expect("collected above");
+        for &slot in affected.iter() {
+            let (qid, st) = queries.slot_mut(slot);
             st.affected = false;
             let out = compute_topk(
                 shared.grid(),
-                &mut self.scratch.stamps,
+                scratch,
                 shared.window(),
-                Some((&mut self.influence, qid)),
+                Some((&mut *influence, slot)),
                 &st.query.f,
                 st.query.k,
                 st.query.constraint.as_ref(),
                 false,
+                Some(std::mem::take(&mut st.top)),
             );
-            self.stats.recomputations += 1;
-            self.stats.cells_processed += out.stats.cells_processed;
-            self.stats.points_scanned += out.stats.points_scanned;
-            self.stats.heap_pushes += out.stats.heap_pushes;
+            stats.recomputations += 1;
+            stats.cells_processed += out.stats.cells_processed;
+            stats.points_scanned += out.stats.points_scanned;
+            stats.heap_pushes += out.stats.heap_pushes;
             st.top = out.top;
-            self.stats.cleanup_cells += cleanup_from_frontier(
+            stats.cleanup_cells += cleanup_from_frontier(
                 shared.grid(),
-                &mut self.influence,
-                &mut self.scratch.stamps,
-                qid,
+                influence,
+                scratch,
+                slot,
                 &st.query.f,
                 st.query.constraint.as_ref(),
-                &out.frontier,
             );
-            self.changed.push(qid);
+            changed.push(qid);
         }
 
         self.changed.sort_unstable();
@@ -278,21 +339,17 @@ impl QueryMaintenance for TmaMaintenance {
     }
 
     fn snapshot(&mut self, shared: &IngestState, query: &Query) -> Result<Vec<Scored>> {
-        if query.dims() != shared.dims() {
-            return Err(TkmError::DimensionMismatch {
-                expected: shared.dims(),
-                got: query.dims(),
-            });
-        }
+        check_dims(shared, query)?;
         let out = compute_topk(
             shared.grid(),
-            &mut self.scratch.stamps,
+            &mut self.scratch,
             shared.window(),
             None,
             &query.f,
             query.k,
             query.constraint.as_ref(),
             false,
+            None,
         );
         Ok(out.top.as_slice().to_vec())
     }
@@ -312,11 +369,14 @@ impl QueryMaintenance for TmaMaintenance {
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.influence.space_bytes()
-            + self.scratch.stamps.space_bytes()
+            + self.scratch.space_bytes()
+            + self.queries.overhead_bytes()
+            + (self.changed.capacity() * std::mem::size_of::<QueryId>())
+            + (self.affected.capacity() * std::mem::size_of::<QuerySlot>())
             + self
                 .queries
-                .values()
-                .map(|q| std::mem::size_of::<TmaQuery>() + q.top.space_bytes())
+                .iter()
+                .map(|(_, q)| std::mem::size_of::<TmaQuery>() + q.top.space_bytes())
                 .sum::<usize>()
     }
 }
@@ -337,30 +397,34 @@ struct SmaQuery {
 pub struct SmaMaintenance {
     influence: InfluenceTable,
     scratch: ComputeScratch,
-    queries: BTreeMap<QueryId, SmaQuery>,
+    queries: QueryRegistry<SmaQuery>,
     stats: EngineStats,
     changed: Vec<QueryId>,
+    /// Reused per-tick scratch: slots whose skyband was touched this cycle
+    /// (deduplicated via the per-query `touched` flag).
+    affected: Vec<QuerySlot>,
 }
 
 impl SmaMaintenance {
-    /// Runs the computation module for `qid` and reseeds its skyband.
+    /// Runs the computation module for `slot` and reseeds its skyband.
     fn recompute(
         influence: &mut InfluenceTable,
         scratch: &mut ComputeScratch,
         shared: &IngestState,
         stats: &mut EngineStats,
-        qid: QueryId,
+        slot: QuerySlot,
         st: &mut SmaQuery,
     ) {
         let out = compute_topk(
             shared.grid(),
-            &mut scratch.stamps,
+            scratch,
             shared.window(),
-            Some((influence, qid)),
+            Some((&mut *influence, slot)),
             &st.query.f,
             st.query.k,
             st.query.constraint.as_ref(),
             true,
+            None,
         );
         stats.recomputations += 1;
         stats.cells_processed += out.stats.cells_processed;
@@ -377,18 +441,17 @@ impl SmaMaintenance {
         stats.cleanup_cells += cleanup_from_frontier(
             shared.grid(),
             influence,
-            &mut scratch.stamps,
-            qid,
+            scratch,
+            slot,
             &st.query.f,
             st.query.constraint.as_ref(),
-            &out.frontier,
         );
     }
 
     /// Current skyband size of a query (Table 2 reports its average).
     pub fn skyband_len(&self, id: QueryId) -> Result<usize> {
         self.queries
-            .get(&id)
+            .get(id)
             .map(|q| q.skyband.len())
             .ok_or(TkmError::UnknownQuery(id))
     }
@@ -399,15 +462,21 @@ impl SmaMaintenance {
             return 0.0;
         }
         self.queries
-            .values()
-            .map(|q| q.skyband.len())
+            .iter()
+            .map(|(_, q)| q.skyband.len())
             .sum::<usize>() as f64
             / self.queries.len() as f64
     }
 
     /// Registered query ids.
     pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.queries.keys().copied()
+        self.queries.ids()
+    }
+
+    /// The dense slot of a live query — the index its influence-list
+    /// entries carry (diagnostics).
+    pub fn query_slot(&self, id: QueryId) -> Option<QuerySlot> {
+        self.queries.slot_of(id)
     }
 
     /// Queries whose skyband changed during the last cycle (sorted,
@@ -425,47 +494,44 @@ impl QueryMaintenance for SmaMaintenance {
         SmaMaintenance {
             influence: InfluenceTable::new(cells),
             scratch: ComputeScratch::new(cells),
-            queries: BTreeMap::new(),
+            queries: QueryRegistry::new(),
             stats: EngineStats::default(),
             changed: Vec::new(),
+            affected: Vec::new(),
         }
     }
 
     fn register_query(&mut self, shared: &IngestState, id: QueryId, query: Query) -> Result<()> {
-        if query.dims() != shared.dims() {
-            return Err(TkmError::DimensionMismatch {
-                expected: shared.dims(),
-                got: query.dims(),
-            });
-        }
-        if self.queries.contains_key(&id) {
-            return Err(TkmError::DuplicateQuery(id));
-        }
-        let mut st = SmaQuery {
-            skyband: Skyband::new(query.k)?,
-            query,
-            top_score: f64::NEG_INFINITY,
-            touched: false,
-        };
-        Self::recompute(
-            &mut self.influence,
-            &mut self.scratch,
-            shared,
-            &mut self.stats,
+        check_dims(shared, &query)?;
+        let skyband = Skyband::new(query.k)?;
+        let slot = self.queries.insert(
             id,
-            &mut st,
-        );
-        self.queries.insert(id, st);
+            SmaQuery {
+                skyband,
+                query,
+                top_score: f64::NEG_INFINITY,
+                touched: false,
+            },
+        )?;
+        let Self {
+            influence,
+            scratch,
+            queries,
+            stats,
+            ..
+        } = self;
+        let (_, st) = queries.slot_mut(slot);
+        Self::recompute(influence, scratch, shared, stats, slot, st);
         Ok(())
     }
 
     fn remove_query(&mut self, shared: &IngestState, id: QueryId) -> Result<()> {
-        let st = self.queries.remove(&id).ok_or(TkmError::UnknownQuery(id))?;
+        let (slot, st) = self.queries.remove(id)?;
         self.stats.cleanup_cells += remove_query_walk(
             shared.grid(),
             &mut self.influence,
-            &mut self.scratch.stamps,
-            id,
+            &mut self.scratch,
+            slot,
             &st.query.f,
             st.query.constraint.as_ref(),
         );
@@ -474,22 +540,30 @@ impl QueryMaintenance for SmaMaintenance {
 
     fn apply_events(&mut self, shared: &IngestState) -> Result<()> {
         self.changed.clear();
+        let dims = shared.dims();
+        let Self {
+            influence,
+            scratch,
+            queries,
+            stats,
+            affected,
+            ..
+        } = self;
+        affected.clear();
 
-        // ---- Pins (Figure 11, lines 4-11) ----
-        {
-            let Self {
-                influence,
-                queries,
-                stats,
-                ..
-            } = self;
-            for &(cell, id) in shared.arrival_events() {
-                let Some(coords) = shared.window().coords(id) else {
-                    continue; // same-cycle transient, see module docs
-                };
-                for qid in influence.iter(cell) {
-                    stats.influence_probes += 1;
-                    let st = queries.get_mut(&qid).expect("influence lists are swept");
+        // ---- Pins (Figure 11, lines 4-11), inverted: cell → query →
+        // tuple.
+        for (cell, tuples) in shared.arrival_runs() {
+            let slots = influence.as_slice(cell);
+            if slots.is_empty() || !stage_run(scratch, shared, tuples) {
+                continue;
+            }
+            for &slot in slots {
+                stats.cell_probes += 1;
+                let (_, st) = queries.slot_mut(slot);
+                for (i, &id) in scratch.tick_ids.iter().enumerate() {
+                    stats.tuple_probes += 1;
+                    let coords = &scratch.tick_coords[i * dims..(i + 1) * dims];
                     if let Some(r) = &st.query.constraint {
                         if !r.contains(coords) {
                             continue;
@@ -498,47 +572,41 @@ impl QueryMaintenance for SmaMaintenance {
                     let score = st.query.f.score(coords);
                     if score >= st.top_score {
                         st.skyband.insert(Scored::new(score, id));
-                        st.touched = true;
                         stats.result_updates += 1;
+                        if !st.touched {
+                            st.touched = true;
+                            affected.push(slot);
+                        }
                     }
                 }
             }
+        }
 
-            // ---- Pdel (lines 12-16) ----
-            for &(cell, id) in shared.expiry_events() {
-                for qid in influence.iter(cell) {
-                    stats.influence_probes += 1;
-                    let st = queries.get_mut(&qid).expect("influence lists are swept");
-                    if st.skyband.expire(id) {
+        // ---- Pdel (lines 12-16) ----
+        for (cell, tuples) in shared.expiry_runs() {
+            for &slot in influence.as_slice(cell) {
+                stats.cell_probes += 1;
+                let (_, st) = queries.slot_mut(slot);
+                for &id in tuples {
+                    stats.tuple_probes += 1;
+                    if st.skyband.expire(id) && !st.touched {
                         st.touched = true;
+                        affected.push(slot);
                     }
                 }
             }
         }
 
         // ---- Deficiency handling (lines 17-22) ----
-        let touched: Vec<QueryId> = self
-            .queries
-            .iter()
-            .filter(|(_, st)| st.touched)
-            .map(|(id, _)| *id)
-            .collect();
-        for qid in touched {
-            let st = self.queries.get_mut(&qid).expect("collected above");
+        for &slot in affected.iter() {
+            let (qid, st) = queries.slot_mut(slot);
             st.touched = false;
             // Recompute only if the skyband lost too many entries AND the
             // window could supply more (a window smaller than k can never
             // fill the band — recomputing every tick would be wasted work,
             // and the influence lists already cover the whole grid then).
             if st.skyband.is_deficient() && st.skyband.len() < shared.window().len() {
-                Self::recompute(
-                    &mut self.influence,
-                    &mut self.scratch,
-                    shared,
-                    &mut self.stats,
-                    qid,
-                    st,
-                );
+                Self::recompute(influence, scratch, shared, stats, slot, st);
             }
             self.changed.push(qid);
         }
@@ -550,27 +618,23 @@ impl QueryMaintenance for SmaMaintenance {
 
     fn result(&self, id: QueryId) -> Result<Vec<Scored>> {
         self.queries
-            .get(&id)
+            .get(id)
             .map(|q| q.skyband.top().iter().map(|e| e.scored).collect())
             .ok_or(TkmError::UnknownQuery(id))
     }
 
     fn snapshot(&mut self, shared: &IngestState, query: &Query) -> Result<Vec<Scored>> {
-        if query.dims() != shared.dims() {
-            return Err(TkmError::DimensionMismatch {
-                expected: shared.dims(),
-                got: query.dims(),
-            });
-        }
+        check_dims(shared, query)?;
         let out = compute_topk(
             shared.grid(),
-            &mut self.scratch.stamps,
+            &mut self.scratch,
             shared.window(),
             None,
             &query.f,
             query.k,
             query.constraint.as_ref(),
             false,
+            None,
         );
         Ok(out.top.as_slice().to_vec())
     }
@@ -590,11 +654,14 @@ impl QueryMaintenance for SmaMaintenance {
     fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.influence.space_bytes()
-            + self.scratch.stamps.space_bytes()
+            + self.scratch.space_bytes()
+            + self.queries.overhead_bytes()
+            + (self.changed.capacity() * std::mem::size_of::<QueryId>())
+            + (self.affected.capacity() * std::mem::size_of::<QuerySlot>())
             + self
                 .queries
-                .values()
-                .map(|q| std::mem::size_of::<SmaQuery>() + q.skyband.space_bytes())
+                .iter()
+                .map(|(_, q)| std::mem::size_of::<SmaQuery>() + q.skyband.space_bytes())
                 .sum::<usize>()
     }
 }

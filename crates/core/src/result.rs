@@ -60,7 +60,12 @@ impl ResultDelta {
 }
 
 /// A best-first list of at most `k` scored tuples.
-#[derive(Clone, Debug)]
+///
+/// The [`Default`] value is a hollow placeholder (`k = 0`, no buffers) used
+/// only as the swap-out value when an engine recycles a query's previous
+/// result list into a recomputation (`std::mem::take`); it is never
+/// offered to.
+#[derive(Clone, Debug, Default)]
 pub struct TopList {
     k: usize,
     entries: Vec<Scored>,
@@ -88,6 +93,19 @@ impl TopList {
         let mut t = TopList::new(k);
         t.track_ties = true;
         t
+    }
+
+    /// Re-initialises the list for a fresh computation, keeping the entry
+    /// and pool buffers (the engines recompute thousands of queries per
+    /// tick; recycling the old result's allocation keeps that loop free of
+    /// `malloc`).
+    pub fn reset(&mut self, k: usize, track_ties: bool) {
+        debug_assert!(k > 0);
+        self.k = k;
+        self.track_ties = track_ties;
+        self.entries.clear();
+        self.pool.clear();
+        self.entries.reserve(k);
     }
 
     /// Result size bound.

@@ -27,8 +27,17 @@ pub struct EngineStats {
     /// Arrivals that updated some query's result book-keeping
     /// (top-list insertions for TMA, skyband insertions for SMA).
     pub result_updates: u64,
-    /// Influence-list probes (arrival/expiry × queries listed in the cell).
-    pub influence_probes: u64,
+    /// Per-(cell run × query) influence-list probes: how often a query was
+    /// pulled out of a cell's influence list during event replay. With
+    /// cell-grouped replay each cell's list is walked once per tick, so
+    /// this counts the *bookkeeping* cost of a cycle.
+    pub cell_probes: u64,
+    /// Per-(tuple × query) probes: score evaluations / result tests
+    /// attempted during event replay. This is the paper-comparable
+    /// "influence probe" count (an event × every query listed in its
+    /// cell), identical to what the pre-grouped replay loop counted —
+    /// Figure-reproduction binaries report this number.
+    pub tuple_probes: u64,
 }
 
 impl EngineStats {
@@ -53,7 +62,16 @@ impl EngineStats {
         self.heap_pushes += other.heap_pushes;
         self.cleanup_cells += other.cleanup_cells;
         self.result_updates += other.result_updates;
-        self.influence_probes += other.influence_probes;
+        self.cell_probes += other.cell_probes;
+        self.tuple_probes += other.tuple_probes;
+    }
+
+    /// The paper's per-(tuple × query) influence-probe count (kept as a
+    /// method so callers of the pre-split `influence_probes` field read
+    /// the same quantity).
+    #[inline]
+    pub fn influence_probes(&self) -> u64 {
+        self.tuple_probes
     }
 
     /// Recomputations per tick (the measured counterpart of the paper's

@@ -7,8 +7,7 @@
 //! order is irrelevant) and never recomputed; and maintenance merely
 //! reports arrivals/expiries of qualifying tuples.
 
-use std::collections::BTreeMap;
-
+use crate::registry::QueryRegistry;
 use crate::tma::{validate_arrivals, GridSpec};
 use tkm_common::{FxHashSet, QueryId, Result, ScoreFn, Scored, Timestamp, TkmError, TupleId};
 use tkm_grid::{CellMode, Grid, InfluenceTable, VisitStamps};
@@ -33,7 +32,7 @@ pub struct ThresholdMonitor {
     grid: Grid,
     influence: InfluenceTable,
     stamps: VisitStamps,
-    queries: BTreeMap<QueryId, ThresholdQuery>,
+    queries: QueryRegistry<ThresholdQuery>,
 }
 
 impl ThresholdMonitor {
@@ -47,7 +46,7 @@ impl ThresholdMonitor {
             grid,
             influence,
             stamps,
-            queries: BTreeMap::new(),
+            queries: QueryRegistry::new(),
         })
     }
 
@@ -78,57 +77,59 @@ impl ThresholdMonitor {
                 "register_query: threshold must be finite".into(),
             ));
         }
-        if self.queries.contains_key(&id) {
-            return Err(TkmError::DuplicateQuery(id));
-        }
-
-        let mut matching = FxHashSet::default();
-        let mut added = Vec::new();
+        let slot = self.queries.insert(
+            id,
+            ThresholdQuery {
+                f,
+                threshold,
+                matching: FxHashSet::default(),
+                added: Vec::new(),
+                removed: Vec::new(),
+            },
+        )?;
+        let Self {
+            window,
+            grid,
+            influence,
+            stamps,
+            queries,
+        } = self;
+        let (_, st) = queries.slot_mut(slot);
         // List walk from the best corner over cells with maxscore > τ
         // (paper: "the search can be performed with a list instead of a
         // heap, since the visiting order is not important").
-        self.stamps.begin();
-        let start = self.grid.best_corner(&f);
-        self.stamps.mark(start);
+        stamps.begin();
+        let start = grid.best_corner(&st.f);
+        stamps.mark(start);
         let mut list = vec![start];
         while let Some(cell) = list.pop() {
-            if self.grid.maxscore(cell, &f) <= threshold {
+            if grid.maxscore(cell, &st.f) <= st.threshold {
                 continue;
             }
-            for tid in self.grid.cell(cell).points().iter() {
-                let coords = self.window.coords(tid).expect("grid indexes valid tuples");
-                let score = f.score(coords);
-                if score > threshold {
-                    matching.insert(tid);
-                    added.push(Scored::new(score, tid));
+            for tid in grid.cell(cell).points().iter() {
+                let coords = window.coords(tid).expect("grid indexes valid tuples");
+                let score = st.f.score(coords);
+                if score > st.threshold {
+                    st.matching.insert(tid);
+                    st.added.push(Scored::new(score, tid));
                 }
             }
-            self.influence.insert(cell, id);
-            for dim in 0..self.grid.dims() {
-                if let Some(n) = self.grid.step_worse(cell, dim, &f) {
-                    if self.stamps.mark(n) {
+            influence.insert(cell, slot);
+            for dim in 0..grid.dims() {
+                if let Some(n) = grid.step_worse(cell, dim, &st.f) {
+                    if stamps.mark(n) {
                         list.push(n);
                     }
                 }
             }
         }
-        added.sort_by(|a, b| b.cmp(a));
-        self.queries.insert(
-            id,
-            ThresholdQuery {
-                f,
-                threshold,
-                matching,
-                added,
-                removed: Vec::new(),
-            },
-        );
+        st.added.sort_by(|a, b| b.cmp(a));
         Ok(())
     }
 
     /// Terminates a query, clearing its influence-list entries.
     pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
-        let st = self.queries.remove(&id).ok_or(TkmError::UnknownQuery(id))?;
+        let (slot, st) = self.queries.remove(id)?;
         // The influence region is static: sweep it with the same walk used
         // to build it.
         self.stamps.begin();
@@ -136,7 +137,7 @@ impl ThresholdMonitor {
         self.stamps.mark(start);
         let mut list = vec![start];
         while let Some(cell) = list.pop() {
-            if !self.influence.remove(cell, id) {
+            if !self.influence.remove(cell, slot) {
                 continue;
             }
             for dim in 0..self.grid.dims() {
@@ -155,7 +156,7 @@ impl ThresholdMonitor {
     pub fn tick(&mut self, now: Timestamp, arrivals: &[f64]) -> Result<()> {
         let dims = self.dims();
         validate_arrivals(dims, arrivals)?;
-        for q in self.queries.values_mut() {
+        for q in self.queries.states_mut() {
             q.added.clear();
             q.removed.clear();
         }
@@ -171,8 +172,8 @@ impl ThresholdMonitor {
             for coords in arrivals.chunks_exact(dims) {
                 let id = window.insert(coords, now)?;
                 let cell = grid.insert_point(coords, id);
-                for qid in influence.iter(cell) {
-                    let st = queries.get_mut(&qid).expect("influence lists are swept");
+                for &slot in influence.as_slice(cell) {
+                    let (_, st) = queries.slot_mut(slot);
                     let score = st.f.score(coords);
                     if score > st.threshold {
                         st.matching.insert(id);
@@ -185,8 +186,8 @@ impl ThresholdMonitor {
                 let cell = grid
                     .remove_point(coords, id)
                     .expect("window and grid are updated in lockstep");
-                for qid in influence.iter(cell) {
-                    let st = queries.get_mut(&qid).expect("influence lists are swept");
+                for &slot in influence.as_slice(cell) {
+                    let (_, st) = queries.slot_mut(slot);
                     if st.matching.remove(&id) {
                         st.removed.push(id);
                     }
@@ -199,7 +200,7 @@ impl ThresholdMonitor {
     /// Tuples that started matching `id`'s predicate in the last tick.
     pub fn added(&self, id: QueryId) -> Result<&[Scored]> {
         self.queries
-            .get(&id)
+            .get(id)
             .map(|q| q.added.as_slice())
             .ok_or(TkmError::UnknownQuery(id))
     }
@@ -207,7 +208,7 @@ impl ThresholdMonitor {
     /// Tuples that stopped matching (expired) in the last tick.
     pub fn removed(&self, id: QueryId) -> Result<&[TupleId]> {
         self.queries
-            .get(&id)
+            .get(id)
             .map(|q| q.removed.as_slice())
             .ok_or(TkmError::UnknownQuery(id))
     }
@@ -215,7 +216,7 @@ impl ThresholdMonitor {
     /// The full current matching set (unordered).
     pub fn matching(&self, id: QueryId) -> Result<&FxHashSet<TupleId>> {
         self.queries
-            .get(&id)
+            .get(id)
             .map(|q| &q.matching)
             .ok_or(TkmError::UnknownQuery(id))
     }
@@ -227,10 +228,11 @@ impl ThresholdMonitor {
             + self.grid.space_bytes()
             + self.influence.space_bytes()
             + self.stamps.space_bytes()
+            + self.queries.overhead_bytes()
             + self
                 .queries
-                .values()
-                .map(|q| {
+                .iter()
+                .map(|(_, q)| {
                     std::mem::size_of::<ThresholdQuery>()
                         + q.matching.capacity() * (std::mem::size_of::<TupleId>() + 8)
                         + q.added.capacity() * std::mem::size_of::<Scored>()

@@ -115,6 +115,13 @@ impl TmaMonitor {
         self.maint.influence()
     }
 
+    /// The dense slot a live query's influence-list entries carry
+    /// (diagnostics).
+    #[inline]
+    pub fn query_slot(&self, id: QueryId) -> Option<tkm_common::QuerySlot> {
+        self.maint.query_slot(id)
+    }
+
     /// Registers a query and computes its initial result.
     pub fn register_query(&mut self, id: QueryId, query: Query) -> Result<()> {
         self.maint.register_query(&self.shared, id, query)

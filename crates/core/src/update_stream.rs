@@ -10,15 +10,14 @@
 //! only supported option, and the crate intentionally offers no SMA
 //! counterpart).
 
-use std::collections::BTreeMap;
-
 use crate::compute::{compute_topk, ComputeScratch};
 use crate::influence::{cleanup_from_frontier, remove_query_walk};
 use crate::query::Query;
+use crate::registry::QueryRegistry;
 use crate::result::TopList;
 use crate::stats::EngineStats;
 use crate::tma::GridSpec;
-use tkm_common::{QueryId, Result, Scored, TkmError, TupleId};
+use tkm_common::{QueryId, QuerySlot, Result, Scored, TkmError, TupleId};
 use tkm_grid::{CellMode, Grid, InfluenceTable};
 use tkm_window::SlabStore;
 
@@ -45,8 +44,10 @@ pub struct UpdateStreamTma {
     grid: Grid,
     influence: InfluenceTable,
     scratch: ComputeScratch,
-    queries: BTreeMap<QueryId, UsQuery>,
+    queries: QueryRegistry<UsQuery>,
     stats: EngineStats,
+    /// Reused per-cycle scratch: slots whose result lost a tuple.
+    affected: Vec<QuerySlot>,
 }
 
 impl UpdateStreamTma {
@@ -60,8 +61,9 @@ impl UpdateStreamTma {
             grid,
             influence,
             scratch,
-            queries: BTreeMap::new(),
+            queries: QueryRegistry::new(),
             stats: EngineStats::default(),
+            affected: Vec::new(),
         })
     }
 
@@ -85,41 +87,56 @@ impl UpdateStreamTma {
                 got: query.dims(),
             });
         }
-        if self.queries.contains_key(&id) {
-            return Err(TkmError::DuplicateQuery(id));
-        }
-        let out = compute_topk(
-            &self.grid,
-            &mut self.scratch.stamps,
-            &self.store,
-            Some((&mut self.influence, id)),
-            &query.f,
-            query.k,
-            query.constraint.as_ref(),
-            false,
-        );
-        self.stats.recomputations += 1;
-        self.stats.cells_processed += out.stats.cells_processed;
-        self.stats.points_scanned += out.stats.points_scanned;
-        self.queries.insert(
+        let k = query.k;
+        let slot = self.queries.insert(
             id,
             UsQuery {
                 query,
-                top: out.top,
+                top: TopList::new(k),
                 affected: false,
             },
+        )?;
+        let Self {
+            grid,
+            influence,
+            scratch,
+            queries,
+            stats,
+            store,
+            ..
+        } = self;
+        let (_, st) = queries.slot_mut(slot);
+        let out = compute_topk(
+            grid,
+            scratch,
+            store,
+            Some((&mut *influence, slot)),
+            &st.query.f,
+            st.query.k,
+            st.query.constraint.as_ref(),
+            false,
+            Some(std::mem::take(&mut st.top)),
         );
+        stats.recomputations += 1;
+        stats.cells_processed += out.stats.cells_processed;
+        stats.points_scanned += out.stats.points_scanned;
+        st.top = out.top;
         Ok(())
     }
 
     /// Terminates a query, clearing its influence-list entries.
     pub fn remove_query(&mut self, id: QueryId) -> Result<()> {
-        let st = self.queries.remove(&id).ok_or(TkmError::UnknownQuery(id))?;
+        let (slot, st) = self.queries.remove(id)?;
+        // Unlike the sliding-window engines (whose affected list lives only
+        // inside one `apply_events` call), this one persists across the
+        // open cycle — drop the slot before it is freed, or `end_cycle`
+        // would resolve a dead (or recycled) slot.
+        self.affected.retain(|s| *s != slot);
         self.stats.cleanup_cells += remove_query_walk(
             &self.grid,
             &mut self.influence,
-            &mut self.scratch.stamps,
-            id,
+            &mut self.scratch,
+            slot,
             &st.query.f,
             st.query.constraint.as_ref(),
         );
@@ -131,7 +148,7 @@ impl UpdateStreamTma {
     /// queries unresolved until then).
     pub fn result(&self, id: QueryId) -> Result<&[Scored]> {
         self.queries
-            .get(&id)
+            .get(id)
             .map(|q| q.top.as_slice())
             .ok_or(TkmError::UnknownQuery(id))
     }
@@ -153,9 +170,14 @@ impl UpdateStreamTma {
         self.stats.arrivals += 1;
         let cell = self.grid.insert_point(coords, id);
         let queries = &mut self.queries;
-        for qid in self.influence.iter(cell) {
-            self.stats.influence_probes += 1;
-            let st = queries.get_mut(&qid).expect("influence lists are swept");
+        let slots = self.influence.as_slice(cell);
+        // Each update is a cell run of one tuple, so the per-(run × query)
+        // probe count equals the list length (same semantics as the
+        // sliding-window engines' cell-grouped replay).
+        self.stats.cell_probes += slots.len() as u64;
+        for &slot in slots {
+            self.stats.tuple_probes += 1;
+            let (_, st) = queries.slot_mut(slot);
             if let Some(r) = &st.query.constraint {
                 if !r.contains(coords) {
                     continue;
@@ -180,11 +202,14 @@ impl UpdateStreamTma {
             .remove_point(coords, id)
             .expect("store and grid are updated in lockstep");
         let queries = &mut self.queries;
-        for qid in self.influence.iter(cell) {
-            self.stats.influence_probes += 1;
-            let st = queries.get_mut(&qid).expect("influence lists are swept");
-            if st.top.remove(id) {
+        let slots = self.influence.as_slice(cell);
+        self.stats.cell_probes += slots.len() as u64;
+        for &slot in slots {
+            self.stats.tuple_probes += 1;
+            let (_, st) = queries.slot_mut(slot);
+            if st.top.remove(id) && !st.affected {
                 st.affected = true;
+                self.affected.push(slot);
             }
         }
         Ok(())
@@ -194,39 +219,43 @@ impl UpdateStreamTma {
     /// deletions since the last call.
     pub fn end_cycle(&mut self) {
         self.stats.ticks += 1;
-        let affected: Vec<QueryId> = self
-            .queries
-            .iter()
-            .filter(|(_, st)| st.affected)
-            .map(|(id, _)| *id)
-            .collect();
-        for qid in affected {
-            let st = self.queries.get_mut(&qid).expect("collected above");
+        let Self {
+            store,
+            grid,
+            influence,
+            scratch,
+            queries,
+            stats,
+            affected,
+        } = self;
+        for &slot in affected.iter() {
+            let (_, st) = queries.slot_mut(slot);
             st.affected = false;
             let out = compute_topk(
-                &self.grid,
-                &mut self.scratch.stamps,
-                &self.store,
-                Some((&mut self.influence, qid)),
+                grid,
+                scratch,
+                store,
+                Some((&mut *influence, slot)),
                 &st.query.f,
                 st.query.k,
                 st.query.constraint.as_ref(),
                 false,
+                Some(std::mem::take(&mut st.top)),
             );
-            self.stats.recomputations += 1;
-            self.stats.cells_processed += out.stats.cells_processed;
-            self.stats.points_scanned += out.stats.points_scanned;
+            stats.recomputations += 1;
+            stats.cells_processed += out.stats.cells_processed;
+            stats.points_scanned += out.stats.points_scanned;
             st.top = out.top;
-            self.stats.cleanup_cells += cleanup_from_frontier(
-                &self.grid,
-                &mut self.influence,
-                &mut self.scratch.stamps,
-                qid,
+            stats.cleanup_cells += cleanup_from_frontier(
+                grid,
+                influence,
+                scratch,
+                slot,
                 &st.query.f,
                 st.query.constraint.as_ref(),
-                &out.frontier,
             );
         }
+        affected.clear();
     }
 
     /// Applies a batch of operations as one processing cycle; returns the
@@ -255,11 +284,13 @@ impl UpdateStreamTma {
             + self.store.space_bytes()
             + self.grid.space_bytes()
             + self.influence.space_bytes()
-            + self.scratch.stamps.space_bytes()
+            + self.scratch.space_bytes()
+            + self.queries.overhead_bytes()
+            + self.affected.capacity() * std::mem::size_of::<QuerySlot>()
             + self
                 .queries
-                .values()
-                .map(|q| std::mem::size_of::<UsQuery>() + q.top.space_bytes())
+                .iter()
+                .map(|(_, q)| std::mem::size_of::<UsQuery>() + q.top.space_bytes())
                 .sum::<usize>()
     }
 }
@@ -340,6 +371,27 @@ mod tests {
         let res = m.result(QueryId(1)).unwrap();
         assert_eq!(res.len(), 1);
         assert!((res[0].score.get() - 0.2).abs() < 1e-12);
+    }
+
+    /// Regression: a query removed while deletions have it queued for
+    /// recomputation must not leave its (freed, possibly recycled) slot in
+    /// the pending-affected list — `end_cycle` would resolve a dead slot
+    /// (panic) or recompute whichever query recycled it.
+    #[test]
+    fn removing_affected_query_before_end_cycle_is_safe() {
+        let mut m = UpdateStreamTma::new(2, GridSpec::PerDim(4)).unwrap();
+        let q = Query::top_k(ScoreFn::linear(vec![1.0, 1.0]).unwrap(), 2).unwrap();
+        let a = m.insert(&[0.9, 0.9]).unwrap();
+        let _b = m.insert(&[0.5, 0.5]).unwrap();
+        m.register_query(QueryId(0), q.clone()).unwrap();
+        m.delete(a).unwrap(); // QueryId(0) is now pending recomputation
+        m.remove_query(QueryId(0)).unwrap();
+        // Recycle the freed slot with a fresh query before the cycle ends.
+        m.register_query(QueryId(1), q.clone()).unwrap();
+        let recomputes = m.stats().recomputations;
+        m.end_cycle(); // must neither panic nor recompute the new query
+        assert_eq!(m.stats().recomputations, recomputes);
+        assert_eq!(m.result(QueryId(1)).unwrap(), &brute(m.store(), &q)[..]);
     }
 
     #[test]

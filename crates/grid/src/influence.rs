@@ -8,25 +8,153 @@
 //! maintenance shards concurrently: each shard owns its own
 //! `InfluenceTable` for its own queries and only ever *reads* the grid.
 //!
-//! The lists are lazily boxed exactly like the old in-cell representation:
-//! the vast majority of cells influence no query at any given time, so an
-//! `Option<Box<…>>` keeps empty slots one pointer wide.
+//! The lists hold **dense query slots** (`QuerySlot`, 4 bytes) rather than
+//! `QueryId`s, and each cell stores them as a sorted small-vector: up to
+//! [`INLINE_CAP`] slots live inline in the table itself, longer lists
+//! spill to a heap `Vec`. The replay hot path iterates a cell's list as
+//! one contiguous scan — no hash-set probing, no pointer chase for the
+//! common short lists — while membership tests stay O(log n) via binary
+//! search.
+//!
+//! Spilled lists that shrink back keep their allocation as long as it is
+//! small ([`RETAIN_CAP`]): influence regions breathe with the stream, and
+//! the same boundary cells flip between empty and occupied constantly, so
+//! freeing eagerly would realloc every few ticks. Only lists whose
+//! capacity outgrew `RETAIN_CAP` are returned to the allocator when they
+//! fit inline again; retained capacity is counted by
+//! [`InfluenceTable::space_bytes`].
 
 use crate::grid::CellId;
-use tkm_common::{FxHashSet, QueryId};
+use tkm_common::QuerySlot;
+
+/// Slots stored inline (inside the table's cell array) before a list
+/// spills to the heap. Three slots keep the whole per-cell variant at 16
+/// bytes — the empty-table footprint is what every event probe walks, so
+/// it is kept as small as the inline optimisation allows.
+pub const INLINE_CAP: usize = 3;
+
+/// Hysteresis threshold for [`InfluenceTable::remove`]: a spilled list
+/// that shrinks to inline size keeps its heap buffer unless its capacity
+/// exceeds this many slots.
+pub const RETAIN_CAP: usize = 64;
+
+/// One cell's influence list: a sorted set of dense query slots.
+#[derive(Debug)]
+enum CellList {
+    /// At most [`INLINE_CAP`] slots, stored in place (sorted ascending).
+    Inline {
+        len: u8,
+        ids: [QuerySlot; INLINE_CAP],
+    },
+    /// Spilled to the heap (sorted ascending). Boxed so the variant stays
+    /// 16 bytes wide (a bare `Vec` would widen every cell to 32); long
+    /// lists pay one extra pointer hop, short ones never leave the table.
+    #[allow(clippy::box_collection)]
+    Spilled(Box<Vec<QuerySlot>>),
+}
+
+/// Every cell pays this footprint even when empty; keep it one sixteenth
+/// of a cache line.
+const _: () = assert!(std::mem::size_of::<CellList>() == 16);
+
+impl CellList {
+    const EMPTY: CellList = CellList::Inline {
+        len: 0,
+        ids: [QuerySlot(0); INLINE_CAP],
+    };
+
+    #[inline]
+    fn as_slice(&self) -> &[QuerySlot] {
+        match self {
+            CellList::Inline { len, ids } => &ids[..*len as usize],
+            CellList::Spilled(v) => v,
+        }
+    }
+
+    fn insert(&mut self, q: QuerySlot) -> bool {
+        match self {
+            CellList::Inline { len, ids } => {
+                let n = *len as usize;
+                let Err(pos) = ids[..n].binary_search(&q) else {
+                    return false;
+                };
+                if n < INLINE_CAP {
+                    ids.copy_within(pos..n, pos + 1);
+                    ids[pos] = q;
+                    *len += 1;
+                } else {
+                    // Spill: move the inline slots plus the newcomer to the
+                    // heap, preserving sorted order.
+                    let mut v = Vec::with_capacity(INLINE_CAP * 2 + 2);
+                    v.extend_from_slice(&ids[..pos]);
+                    v.push(q);
+                    v.extend_from_slice(&ids[pos..]);
+                    *self = CellList::Spilled(Box::new(v));
+                }
+                true
+            }
+            CellList::Spilled(v) => {
+                let Err(pos) = v.binary_search(&q) else {
+                    return false;
+                };
+                v.insert(pos, q);
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, q: QuerySlot) -> bool {
+        match self {
+            CellList::Inline { len, ids } => {
+                let n = *len as usize;
+                let Ok(pos) = ids[..n].binary_search(&q) else {
+                    return false;
+                };
+                ids.copy_within(pos + 1..n, pos);
+                *len -= 1;
+                true
+            }
+            CellList::Spilled(v) => {
+                let Ok(pos) = v.binary_search(&q) else {
+                    return false;
+                };
+                v.remove(pos);
+                // Hysteresis: keep the buffer for the next re-expansion
+                // unless it grew genuinely large.
+                if v.len() <= INLINE_CAP && v.capacity() > RETAIN_CAP {
+                    let mut ids = [QuerySlot(0); INLINE_CAP];
+                    ids[..v.len()].copy_from_slice(v);
+                    *self = CellList::Inline {
+                        len: v.len() as u8,
+                        ids,
+                    };
+                }
+                true
+            }
+        }
+    }
+
+    #[inline]
+    fn heap_bytes(&self) -> usize {
+        match self {
+            CellList::Inline { .. } => 0,
+            CellList::Spilled(v) => v.capacity() * std::mem::size_of::<QuerySlot>(),
+        }
+    }
+}
 
 /// Influence lists for every cell of one grid, owned by one maintenance
 /// domain (a whole engine, or one shard of a sharded monitor).
 #[derive(Debug)]
 pub struct InfluenceTable {
-    cells: Vec<Option<Box<FxHashSet<QueryId>>>>,
+    cells: Vec<CellList>,
 }
 
 impl InfluenceTable {
     /// Creates an empty table covering a grid with `num_cells` cells.
     pub fn new(num_cells: usize) -> InfluenceTable {
         let mut cells = Vec::with_capacity(num_cells);
-        cells.resize_with(num_cells, || None);
+        cells.resize_with(num_cells, || CellList::EMPTY);
         InfluenceTable { cells }
     }
 
@@ -36,70 +164,55 @@ impl InfluenceTable {
         self.cells.len()
     }
 
-    /// Registers a query in the cell's influence list; returns `false` if
-    /// already present.
-    pub fn insert(&mut self, cell: CellId, q: QueryId) -> bool {
-        self.cells[cell.0 as usize]
-            .get_or_insert_with(Default::default)
-            .insert(q)
+    /// Registers a query slot in the cell's influence list; returns
+    /// `false` if already present.
+    pub fn insert(&mut self, cell: CellId, q: QuerySlot) -> bool {
+        self.cells[cell.0 as usize].insert(q)
     }
 
-    /// Deregisters a query from the cell; returns `true` if it was present.
-    /// Frees the backing set when it becomes empty.
-    pub fn remove(&mut self, cell: CellId, q: QueryId) -> bool {
-        let slot = &mut self.cells[cell.0 as usize];
-        let Some(set) = slot.as_mut() else {
-            return false;
-        };
-        let removed = set.remove(&q);
-        if set.is_empty() {
-            *slot = None;
-        }
-        removed
+    /// Deregisters a query slot from the cell; returns `true` if it was
+    /// present. Shrunk lists retain their allocation below the
+    /// [`RETAIN_CAP`] hysteresis threshold (boundary cells flip between
+    /// empty and occupied every few ticks under a sliding window).
+    pub fn remove(&mut self, cell: CellId, q: QuerySlot) -> bool {
+        self.cells[cell.0 as usize].remove(q)
     }
 
-    /// Whether the query is registered in this cell.
+    /// Whether the query slot is registered in this cell.
     #[inline]
-    pub fn contains(&self, cell: CellId, q: QueryId) -> bool {
-        self.cells[cell.0 as usize]
-            .as_ref()
-            .is_some_and(|s| s.contains(&q))
+    pub fn contains(&self, cell: CellId, q: QuerySlot) -> bool {
+        self.as_slice(cell).binary_search(&q).is_ok()
     }
 
     /// Number of queries influenced by this cell.
     #[inline]
     pub fn cell_len(&self, cell: CellId) -> usize {
-        self.cells[cell.0 as usize].as_ref().map_or(0, |s| s.len())
+        self.as_slice(cell).len()
     }
 
-    /// Iterates the query ids registered in one cell.
-    pub fn iter(&self, cell: CellId) -> impl Iterator<Item = QueryId> + '_ {
-        self.cells[cell.0 as usize]
-            .iter()
-            .flat_map(|s| s.iter().copied())
+    /// The cell's influence list as a sorted contiguous slice — the
+    /// replay hot path iterates this directly.
+    #[inline]
+    pub fn as_slice(&self, cell: CellId) -> &[QuerySlot] {
+        self.cells[cell.0 as usize].as_slice()
+    }
+
+    /// Iterates the query slots registered in one cell (ascending).
+    pub fn iter(&self, cell: CellId) -> impl Iterator<Item = QuerySlot> + '_ {
+        self.as_slice(cell).iter().copied()
     }
 
     /// Total number of (cell, query) entries across all cells.
     pub fn total_entries(&self) -> usize {
-        self.cells
-            .iter()
-            .map(|s| s.as_ref().map_or(0, |s| s.len()))
-            .sum()
+        self.cells.iter().map(|s| s.as_slice().len()).sum()
     }
 
-    /// Deep size estimate in bytes.
+    /// Deep size estimate in bytes, including heap capacity retained by
+    /// the remove hysteresis.
     pub fn space_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.cells.capacity() * std::mem::size_of::<Option<Box<FxHashSet<QueryId>>>>()
-            + self
-                .cells
-                .iter()
-                .flatten()
-                .map(|s| {
-                    std::mem::size_of::<FxHashSet<QueryId>>()
-                        + s.capacity() * (std::mem::size_of::<QueryId>() + 8)
-                })
-                .sum::<usize>()
+            + self.cells.capacity() * std::mem::size_of::<CellList>()
+            + self.cells.iter().map(CellList::heap_bytes).sum::<usize>()
     }
 }
 
@@ -112,29 +225,117 @@ mod tests {
         let mut t = InfluenceTable::new(4);
         assert_eq!(t.num_cells(), 4);
         assert_eq!(t.cell_len(CellId(1)), 0);
-        assert!(t.insert(CellId(1), QueryId(7)));
-        assert!(!t.insert(CellId(1), QueryId(7)), "duplicate registration");
-        assert!(t.insert(CellId(1), QueryId(8)));
-        assert!(t.insert(CellId(3), QueryId(7)));
-        assert!(t.contains(CellId(1), QueryId(7)));
-        assert!(!t.contains(CellId(0), QueryId(7)));
+        assert!(t.insert(CellId(1), QuerySlot(7)));
+        assert!(!t.insert(CellId(1), QuerySlot(7)), "duplicate registration");
+        assert!(t.insert(CellId(1), QuerySlot(8)));
+        assert!(t.insert(CellId(3), QuerySlot(7)));
+        assert!(t.contains(CellId(1), QuerySlot(7)));
+        assert!(!t.contains(CellId(0), QuerySlot(7)));
         assert_eq!(t.cell_len(CellId(1)), 2);
         assert_eq!(t.total_entries(), 3);
-        let mut ids: Vec<u64> = t.iter(CellId(1)).map(|q| q.0).collect();
-        ids.sort_unstable();
-        assert_eq!(ids, vec![7, 8]);
-        assert!(t.remove(CellId(1), QueryId(7)));
-        assert!(!t.remove(CellId(1), QueryId(7)));
-        assert!(t.remove(CellId(1), QueryId(8)));
-        assert!(t.cells[1].is_none(), "empty influence set is freed");
+        let ids: Vec<u32> = t.iter(CellId(1)).map(|q| q.0).collect();
+        assert_eq!(ids, vec![7, 8], "sorted contiguous scan");
+        assert!(t.remove(CellId(1), QuerySlot(7)));
+        assert!(!t.remove(CellId(1), QuerySlot(7)));
+        assert!(t.remove(CellId(1), QuerySlot(8)));
+        assert_eq!(t.cell_len(CellId(1)), 0);
     }
 
     #[test]
-    fn empty_table_is_one_pointer_per_cell() {
+    fn lists_stay_sorted_across_spill() {
+        let mut t = InfluenceTable::new(1);
+        // Insert out of order, past the inline capacity.
+        for q in [9u32, 3, 7, 1, 5, 8, 2, 6, 0, 4] {
+            assert!(t.insert(CellId(0), QuerySlot(q)));
+        }
+        let ids: Vec<u32> = t.iter(CellId(0)).map(|q| q.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u32>>());
+        assert_eq!(t.as_slice(CellId(0)).len(), 10);
+        for q in 0..10 {
+            assert!(t.contains(CellId(0), QuerySlot(q)));
+        }
+        assert!(!t.contains(CellId(0), QuerySlot(10)));
+        // Removing from the middle keeps order.
+        assert!(t.remove(CellId(0), QuerySlot(4)));
+        let ids: Vec<u32> = t.iter(CellId(0)).map(|q| q.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn inline_lists_need_no_heap() {
+        let mut t = InfluenceTable::new(64);
+        let empty = t.space_bytes();
+        for cell in 0..64u32 {
+            for q in 0..INLINE_CAP as u32 {
+                t.insert(CellId(cell), QuerySlot(q));
+            }
+        }
+        assert_eq!(
+            t.space_bytes(),
+            empty,
+            "up to {INLINE_CAP} slots per cell stay inline"
+        );
+    }
+
+    /// Satellite regression: a spilled list that shrinks back keeps its
+    /// buffer (no realloc churn on flip-flopping boundary cells), and the
+    /// retained capacity is visible in `space_bytes`.
+    #[test]
+    fn remove_hysteresis_retains_small_buffers() {
+        let mut t = InfluenceTable::new(1);
+        for q in 0..(INLINE_CAP as u32 + 2) {
+            t.insert(CellId(0), QuerySlot(q));
+        }
+        let spilled = t.space_bytes();
+        assert!(
+            spilled > InfluenceTable::new(1).space_bytes(),
+            "heap in use"
+        );
+        for q in 0..(INLINE_CAP as u32 + 2) {
+            t.remove(CellId(0), QuerySlot(q));
+        }
+        assert_eq!(t.cell_len(CellId(0)), 0);
+        assert_eq!(
+            t.space_bytes(),
+            spilled,
+            "small buffer retained after emptying (hysteresis)"
+        );
+        // Re-inserting after the flip reuses the retained buffer.
+        assert!(t.insert(CellId(0), QuerySlot(3)));
+        assert_eq!(t.space_bytes(), spilled);
+    }
+
+    /// The hysteresis is bounded: buffers that outgrew `RETAIN_CAP` are
+    /// freed once the list fits inline again.
+    #[test]
+    fn remove_hysteresis_frees_large_buffers() {
+        let mut t = InfluenceTable::new(1);
+        let n = RETAIN_CAP as u32 * 2;
+        for q in 0..n {
+            t.insert(CellId(0), QuerySlot(q));
+        }
+        let spilled = t.space_bytes();
+        for q in 0..n {
+            t.remove(CellId(0), QuerySlot(q));
+        }
+        assert!(
+            t.space_bytes() < spilled,
+            "oversized buffer freed when back to inline size"
+        );
+        assert_eq!(
+            t.space_bytes(),
+            InfluenceTable::new(1).space_bytes(),
+            "list is inline again"
+        );
+    }
+
+    #[test]
+    fn empty_table_is_flat() {
         let t = InfluenceTable::new(1 << 12);
         assert_eq!(
             t.space_bytes() - std::mem::size_of::<InfluenceTable>(),
-            (1 << 12) * std::mem::size_of::<usize>()
+            (1 << 12) * std::mem::size_of::<CellList>(),
+            "no per-cell heap allocation while empty"
         );
     }
 }

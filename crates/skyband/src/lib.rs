@@ -161,25 +161,52 @@ impl Skyband {
         }
     }
 
-    /// Inserts a newly arrived tuple (its id must exceed every id already
-    /// present — arrivals come in sequence order). Increments the dominance
-    /// counter of every dominated entry and evicts entries whose counter
-    /// reaches `k`. Returns the insertion rank (0 = new best). O(len).
+    /// Inserts an arrived tuple. Increments the dominance counter of every
+    /// entry it dominates (present, strictly lower-ranked *and* older) and
+    /// evicts entries whose counter reaches `k`. Returns the insertion rank
+    /// (0 = new best). O(len).
+    ///
+    /// Arrivals of one processing cycle may be inserted in any order
+    /// (cell-grouped event replay delivers them per cell, not globally by
+    /// id): the dominance tests compare ids explicitly instead of assuming
+    /// the newcomer is newest. A dominator of `s` that was itself already
+    /// evicted is not counted toward `s`'s counter — an *undercount*, which
+    /// can only keep `s` longer than strictly necessary, never evict a
+    /// future result.
     pub fn insert(&mut self, s: Scored) -> usize {
         debug_assert!(
-            self.entries.iter().all(|e| e.scored.id < s.id),
-            "inserts must arrive in id order"
+            self.entries.iter().all(|e| e.scored.id != s.id),
+            "an id is inserted at most once"
         );
-        // Position in descending order: first index whose entry ranks below
-        // `s`. Entries after it rank strictly lower and arrived earlier —
-        // precisely the entries `s` dominates.
+        // Position in descending order: first index whose entry ranks
+        // below `s`.
         let pos = self.entries.partition_point(|e| e.scored > s);
-        self.entries.insert(pos, SkyEntry { scored: s, dc: 0 });
+        // In-band dominators of `s`: higher-ranked entries that are newer.
+        let dc = self.entries[..pos]
+            .iter()
+            .filter(|e| e.scored.id > s.id)
+            .count();
         let k = self.k as u32;
-        let mut write = pos + 1;
-        for read in pos + 1..self.entries.len() {
+        let mut write = pos;
+        if dc < self.k {
+            self.entries.insert(
+                pos,
+                SkyEntry {
+                    scored: s,
+                    dc: dc as u32,
+                },
+            );
+            write = pos + 1;
+        }
+        // Entries `s` dominates: lower-ranked and older. Same-cycle
+        // arrivals with larger ids that rank below `s` are *not* dominated
+        // (they outlive `s`) and keep their counter.
+        let scan_from = write;
+        for read in scan_from..self.entries.len() {
             let mut e = self.entries[read];
-            e.dc += 1;
+            if e.scored.id < s.id {
+                e.dc += 1;
+            }
             if e.dc < k {
                 self.entries[write] = e;
                 write += 1;
@@ -189,14 +216,22 @@ impl Skyband {
         pos
     }
 
-    /// Removes an expiring tuple. Only the oldest valid tuple can expire,
-    /// and if present it is in the current top-k and dominates nobody, so
-    /// no counters change. Returns `true` if the tuple was present.
+    /// Removes an expiring tuple. An expiring member dominates nobody that
+    /// outlives it (everything it dominates is older and thus expires
+    /// first), so no counters change. Returns `true` if the tuple was
+    /// present.
     pub fn expire(&mut self, id: TupleId) -> bool {
         match self.entries.iter().position(|e| e.scored.id == id) {
             Some(pos) => {
+                // Footnote 5: at most k−1 in-band dominators plus the
+                // still-present older entries (same-cycle batch expiries
+                // may be processed in any order) can rank above it.
                 debug_assert!(
-                    pos < self.k,
+                    self.entries[..pos]
+                        .iter()
+                        .filter(|e| e.scored.id > id)
+                        .count()
+                        < self.k,
                     "an expiring skyband member must be in the top-k (footnote 5)"
                 );
                 self.entries.remove(pos);
@@ -357,6 +392,30 @@ mod tests {
         assert!(sky.expire(TupleId(0)));
         let top: Vec<u64> = sky.top().iter().map(|e| e.scored.id.0).collect();
         assert_eq!(top, vec![1], "newer takes over after expiry");
+    }
+
+    /// Same-cycle arrivals may be inserted in any order (cell-grouped
+    /// event replay delivers them per cell): the resulting band must match
+    /// the id-ordered outcome.
+    #[test]
+    fn out_of_order_inserts_within_a_cycle() {
+        let mut in_order = Skyband::new(2).unwrap();
+        let mut shuffled = Skyband::new(2).unwrap();
+        let batch = [s(0.7, 10), s(0.9, 11), s(0.4, 12), s(0.8, 13)];
+        for p in batch {
+            in_order.insert(p);
+        }
+        for p in [batch[1], batch[3], batch[0], batch[2]] {
+            shuffled.insert(p);
+        }
+        in_order.check_invariants();
+        shuffled.check_invariants();
+        assert_eq!(in_order.entries(), shuffled.entries());
+        // Batch expiry may also drain in any order.
+        assert!(shuffled.expire(TupleId(13)));
+        assert!(shuffled.expire(TupleId(11)));
+        let top: Vec<u64> = shuffled.top().iter().map(|e| e.scored.id.0).collect();
+        assert_eq!(top, vec![12]);
     }
 
     #[test]

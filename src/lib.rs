@@ -52,15 +52,15 @@
 
 pub use tkm_analysis::ModelParams;
 pub use tkm_common::{
-    LinearFn, Monotonicity, OrderedF64, ProductFn, QuadraticFn, QueryId, Rect, Result, ScoreFn,
-    Scored, ScoringFunction, Timestamp, TkmError, TupleId, MAX_DIMS,
+    LinearFn, Monotonicity, OrderedF64, ProductFn, QuadraticFn, QueryId, QuerySlot, Rect, Result,
+    ScoreFn, Scored, ScoringFunction, Timestamp, TkmError, TupleId, MAX_DIMS,
 };
 pub use tkm_core::{
-    build_engine, compute_topk, ContinuousTopK, EngineKind, EngineStats, GridSpec, IngestState,
-    MonitorServer, OracleMonitor, ParallelMonitor, PiecewiseMonitor, PiecewiseQuery, Query,
-    QueryMaintenance, ResultDelta, ServerConfig, SharedParallelMonitor, SharedSmaMonitor,
-    SharedTmaMonitor, SmaMaintenance, SmaMonitor, ThresholdMonitor, TmaMaintenance, TmaMonitor,
-    UpdateOp, UpdateStreamTma,
+    build_engine, compute_topk, ComputeScratch, ContinuousTopK, EngineKind, EngineStats, GridSpec,
+    IngestState, MonitorServer, OracleMonitor, ParallelMonitor, PiecewiseMonitor, PiecewiseQuery,
+    Query, QueryMaintenance, QueryRegistry, ResultDelta, ServerConfig, SharedParallelMonitor,
+    SharedSmaMonitor, SharedTmaMonitor, SmaMaintenance, SmaMonitor, ThresholdMonitor,
+    TmaMaintenance, TmaMonitor, UpdateOp, UpdateStreamTma,
 };
 pub use tkm_datagen::{DataDist, FnFamily, PointGen, QueryGen, StreamSim};
 pub use tkm_skyband::{SkyEntry, Skyband};

@@ -38,6 +38,7 @@ fn all_paper_figure_binaries_exist() {
         "fig20_space",
         "fig21_nonlinear",
         "model_vs_measured",
+        "replay",
         "scaleout",
         "table2_view_size",
         "tune_kmax",
@@ -54,10 +55,15 @@ fn all_paper_figure_binaries_exist() {
 
 #[test]
 fn all_criterion_benches_exist_and_are_registered() {
-    let expected: BTreeSet<String> = ["micro_compute", "micro_engines", "micro_structures"]
-        .into_iter()
-        .map(String::from)
-        .collect();
+    let expected: BTreeSet<String> = [
+        "micro_compute",
+        "micro_engines",
+        "micro_structures",
+        "replay",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
     let found = stems(&repo_root().join("crates/bench/benches"));
     assert_eq!(found, expected, "criterion benches drifted");
 

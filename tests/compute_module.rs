@@ -3,13 +3,15 @@
 
 use proptest::prelude::*;
 use topk_monitor::engines::compute::compute_topk;
-use topk_monitor::grid::{CellMode, Grid, InfluenceTable, VisitStamps};
-use topk_monitor::{QueryId, Rect, ScoreFn, Scored, Timestamp, TupleId, Window, WindowSpec};
+use topk_monitor::grid::{CellMode, Grid, InfluenceTable};
+use topk_monitor::{
+    ComputeScratch, QuerySlot, Rect, ScoreFn, Scored, Timestamp, TupleId, Window, WindowSpec,
+};
 
 struct Fixture {
     grid: Grid,
     window: Window,
-    stamps: VisitStamps,
+    scratch: ComputeScratch,
     influence: InfluenceTable,
 }
 
@@ -21,12 +23,12 @@ fn fixture(points: &[(f64, f64)], per_dim: usize) -> Fixture {
         let id = window.insert(&coords, Timestamp(0)).expect("insert");
         grid.insert_point(&coords, id);
     }
-    let stamps = VisitStamps::new(grid.num_cells());
+    let scratch = ComputeScratch::new(grid.num_cells());
     let influence = InfluenceTable::new(grid.num_cells());
     Fixture {
         grid,
         window,
-        stamps,
+        scratch,
         influence,
     }
 }
@@ -62,13 +64,14 @@ proptest! {
         let mut fx = fixture(&points, per_dim);
         let out = compute_topk(
             &fx.grid,
-            &mut fx.stamps,
+            &mut fx.scratch,
             &fx.window,
-            Some((&mut fx.influence, QueryId(0))),
+            Some((&mut fx.influence, QuerySlot(0))),
             &f,
             k,
             None,
             true,
+            None,
         );
         // 1. Exact result.
         prop_assert_eq!(out.top.as_slice(), &naive(&points, &f, k, None)[..]);
@@ -80,13 +83,13 @@ proptest! {
             for (cid, _) in fx.grid.cells() {
                 if fx.grid.maxscore(cid, &f) >= threshold {
                     prop_assert!(
-                        fx.influence.contains(cid, QueryId(0)),
+                        fx.influence.contains(cid, QuerySlot(0)),
                         "uncovered influential cell {cid:?}"
                     );
                 }
             }
             // 3. Frontier cells are strictly below the threshold.
-            for cell in &out.frontier {
+            for cell in &fx.scratch.frontier {
                 prop_assert!(fx.grid.maxscore(*cell, &f) < threshold);
             }
             // 4. Boundary ties all tie the k-th score exactly and are not in
@@ -114,7 +117,7 @@ proptest! {
             prop_assert_eq!(got, want);
         } else {
             // Deficient search floods everything and leaves no frontier.
-            prop_assert!(out.frontier.is_empty());
+            prop_assert!(fx.scratch.frontier.is_empty());
         }
     }
 
@@ -140,13 +143,14 @@ proptest! {
         let mut fx = fixture(&points, per_dim);
         let out = compute_topk(
             &fx.grid,
-            &mut fx.stamps,
+            &mut fx.scratch,
             &fx.window,
-            Some((&mut fx.influence, QueryId(0))),
+            Some((&mut fx.influence, QuerySlot(0))),
             &f,
             k,
             Some(&rect),
             false,
+            None,
         );
         prop_assert_eq!(out.top.as_slice(), &naive(&points, &f, k, Some(&rect))[..]);
     }
@@ -166,13 +170,14 @@ proptest! {
         let mut fx = fixture(&points, 6);
         let out = compute_topk(
             &fx.grid,
-            &mut fx.stamps,
+            &mut fx.scratch,
             &fx.window,
             None,
             &f,
             k,
             None,
             false,
+            None,
         );
         prop_assert_eq!(out.top.as_slice(), &naive(&points, &f, k, None)[..]);
         prop_assert_eq!(
@@ -200,13 +205,14 @@ fn skyband_seed_equivalence() {
     let mut fx = fixture(&points, 5);
     let out = compute_topk(
         &fx.grid,
-        &mut fx.stamps,
+        &mut fx.scratch,
         &fx.window,
-        Some((&mut fx.influence, QueryId(0))),
+        Some((&mut fx.influence, QuerySlot(0))),
         &f,
         k,
         None,
         true,
+        None,
     );
     let threshold = out.top.kth().expect("enough points").score;
 

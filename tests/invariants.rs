@@ -27,10 +27,11 @@ fn tma_influence_lists_cover_influence_region() {
             continue;
         }
         let threshold = top.last().expect("k = 5").score.get();
+        let slot = m.query_slot(QueryId(0)).expect("live query");
         for (cid, _) in m.grid().cells() {
             if m.grid().maxscore(cid, &f) >= threshold {
                 assert!(
-                    m.influence().contains(cid, QueryId(0)),
+                    m.influence().contains(cid, slot),
                     "cell {cid:?} (maxscore ≥ threshold {threshold}) not listed at tick {t}"
                 );
             }

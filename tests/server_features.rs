@@ -63,6 +63,11 @@ fn snapshot_leaves_no_residue() {
         s.tick(&stream.batch(8)).expect("tick");
     }
     let before = s.result(monitored).expect("result");
+    // One warm-up snapshot: the first ad-hoc traversal may grow the
+    // reusable compute scratch (heap/frontier capacity, reported by
+    // `space_bytes`); what must not happen is *per-snapshot* accumulation.
+    s.snapshot(&Query::top_k(ScoreFn::linear(vec![0.1, 1.9]).expect("d"), 6).expect("k"))
+        .expect("snapshot");
     let space_before = s.space_bytes();
     // Fire many ad-hoc snapshots with unrelated functions.
     for w in 1..20 {

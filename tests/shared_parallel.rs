@@ -177,6 +177,61 @@ proptest! {
         }
     }
 
+    /// Heavy query churn: every tick may terminate queries *and* register
+    /// new ones, so the engines' dense registries recycle slots
+    /// constantly. A recycled slot inherits the freed index that dead
+    /// influence-list entries carried — if termination ever left a stale
+    /// entry behind, the new query would receive another query's events
+    /// (or a swept-too-late cell would panic the registry). Divergent
+    /// weight vectors per generation make any aliasing show up as a wrong
+    /// result immediately.
+    #[test]
+    fn dense_slot_recycling_never_aliases(
+        capacity in 8usize..48,
+        per_dim in 2usize..8,
+        k in 1usize..6,
+        churn_ops in prop::collection::vec(
+            // Per tick: (how many to remove 0..=2, how many to add 0..=2,
+            // arrival batch spec).
+            (0u8..3, 0u8..3, prop::collection::vec((0u32..64, 0u32..64), 0..8)),
+            4..20,
+        ),
+    ) {
+        let dims = 2;
+        let mut fleet = Fleet::new(dims, WindowSpec::Count(capacity), GridSpec::PerDim(per_dim));
+        // Weights vary with the registration counter, so a query that
+        // reuses a dead query's slot ranks tuples differently than its
+        // predecessor did.
+        let query = |gen: u64| {
+            let w1 = ((gen * 7 + 1) % 9) as f64 - 4.0;
+            let w2 = ((gen * 5 + 3) % 9) as f64 - 4.0;
+            Query::top_k(
+                ScoreFn::linear(vec![w1, w2.max(0.5)]).expect("dims"),
+                k,
+            )
+            .expect("k")
+        };
+        fleet.register(&query(0));
+        fleet.register(&query(1));
+        for (t, (removals, additions, batch_spec)) in churn_ops.iter().enumerate() {
+            for _ in 0..*removals {
+                if fleet.live.len() > 1 {
+                    fleet.remove_oldest();
+                }
+            }
+            for _ in 0..*additions {
+                let gen = fleet.next_query;
+                fleet.register(&query(gen));
+            }
+            let mut batch = Vec::with_capacity(batch_spec.len() * dims);
+            for (a, b) in batch_spec {
+                batch.push(*a as f64 / 63.0);
+                batch.push(*b as f64 / 63.0);
+            }
+            fleet.tick_and_compare(Timestamp(t as u64), &batch)?;
+        }
+    }
+
     /// Extreme tie pressure: every coordinate drawn from a 2-3 level
     /// lattice, so most tuples tie most others; ordering must still match
     /// the oracle exactly (older tuple wins equal scores).
