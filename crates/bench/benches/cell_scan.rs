@@ -1,0 +1,91 @@
+//! Criterion microbench for the coordinate-inline cell blocks: scanning
+//! every cell's points through the dim-specialized kernels (contiguous SoA
+//! reads) versus the pre-inline layout's access pattern (resolve each
+//! tuple id through the window ring, then score).
+//!
+//! The second variant is exactly what the traversal inner loop used to do
+//! before the cells carried their own coordinates; keeping both here makes
+//! the layout's win (and any future regression) visible in one number.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tkm_common::{ScoreFn, Timestamp};
+use tkm_core::kernel;
+use tkm_datagen::{DataDist, PointGen};
+use tkm_grid::{CellMode, Grid};
+use tkm_window::{Window, WindowSpec};
+
+const N: usize = 50_000;
+
+struct Fixture {
+    grid: Grid,
+    window: Window,
+    f: ScoreFn,
+    dims: usize,
+}
+
+fn fixture(dims: usize) -> Fixture {
+    let mut gen = PointGen::new(dims, DataDist::Ind, 7).expect("dims");
+    let mut grid = Grid::with_cell_budget(dims, 20_736, CellMode::Fifo).expect("budget");
+    let mut window = Window::new(dims, WindowSpec::Count(N)).expect("config");
+    let mut buf = [0.0f64; tkm_common::MAX_DIMS];
+    for _ in 0..N {
+        gen.fill(&mut buf);
+        let coords = &buf[..dims];
+        let id = window.insert(coords, Timestamp(0)).expect("insert");
+        grid.insert_point(coords, id);
+    }
+    let f = ScoreFn::linear(vec![0.8; dims]).expect("dims");
+    Fixture {
+        grid,
+        window,
+        f,
+        dims,
+    }
+}
+
+fn bench_cell_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cell_scan");
+    group.sample_size(30);
+    for dims in [2usize, 4] {
+        let fx = fixture(dims);
+        // Contiguous: stream (id, coords) straight out of the cell blocks
+        // through the scoring kernel — the post-inline traversal loop.
+        group.bench_with_input(BenchmarkId::new("contiguous", dims), &fx, |b, fx| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for (_, cell) in fx.grid.cells() {
+                    let points = cell.points();
+                    kernel::scan_block(
+                        &fx.f,
+                        fx.dims,
+                        points.ids(),
+                        points.coords(),
+                        None,
+                        |_, score| acc += score,
+                    );
+                }
+                black_box(acc)
+            })
+        });
+        // Lookup-per-tuple: the pre-inline pattern — ids in the cell, one
+        // window-ring resolution per scanned point.
+        group.bench_with_input(BenchmarkId::new("lookup_per_tuple", dims), &fx, |b, fx| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for (_, cell) in fx.grid.cells() {
+                    for &id in cell.points().ids() {
+                        let coords = fx.window.coords(id).expect("valid tuple");
+                        acc += fx.f.score(coords);
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cell_scan);
+criterion_main!(benches);

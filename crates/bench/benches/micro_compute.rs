@@ -7,7 +7,7 @@ use std::hint::black_box;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tkm_common::{QuerySlot, ScoreFn, Timestamp};
 use tkm_core::influence::cleanup_from_frontier;
-use tkm_core::{compute_topk, ComputeScratch};
+use tkm_core::{compute_topk, ComputeScratch, InfluenceUpdate};
 use tkm_datagen::{DataDist, PointGen};
 use tkm_grid::{CellMode, Grid, InfluenceTable};
 use tkm_tsl::{ta_search, SortedLists};
@@ -61,8 +61,7 @@ fn bench_compute_module(c: &mut Criterion) {
                         let out = compute_topk(
                             &fx.grid,
                             &mut scratch,
-                            &fx.window,
-                            Some((&mut influence, QuerySlot(0))),
+                            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(0))),
                             &fx.f,
                             k,
                             None,

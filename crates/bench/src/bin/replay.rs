@@ -7,19 +7,30 @@
 //! expiries broke. It sweeps the query count Q ∈ {16, 256, 4096} for both
 //! grid engines and reports sustained arrival throughput (tuples/second).
 //!
+//! Besides the steady-state scenarios, an **expiry-heavy recompute**
+//! scenario (engines `tma-rec` / `sma-rec`) shrinks the window to twice
+//! the burst size: half the window turns over every tick, result tuples
+//! expire constantly, and the measured loop is dominated by full
+//! recomputations (the traversal + clean-up path) instead of event
+//! replay.
+//!
 //! Modes:
 //!
 //! * `--scale quick|default|paper` — workload preset (default: default);
 //! * `--smoke` — seconds-scale run for CI (fixed small sizes, independent
-//!   of `--scale`);
+//!   of `--scale`); includes the recompute scenarios;
+//! * `--recompute` — run the expiry-heavy recompute scenarios (only) at
+//!   the selected scale;
 //! * `--json` — additionally emit a machine-readable JSON report to
 //!   stdout (this is the format of the committed `BENCH_hotpath.json`
 //!   baseline; regenerate it with
 //!   `cargo run --release -p tkm_bench --bin replay -- --smoke --json`);
 //! * `--check-baseline <path>` — compare this run against a committed
 //!   baseline and exit non-zero if the baseline is malformed or any
-//!   matching scenario regressed by more than 3x (a coarse guard against
-//!   catastrophic hot-path regressions, not a +/-5% flake gate).
+//!   matching scenario (matched by engine label and Q, including the
+//!   `*-rec` recompute scenarios) regressed by more than 3x (a coarse
+//!   guard against catastrophic hot-path regressions, not a +/-5% flake
+//!   gate).
 
 use std::time::Instant;
 
@@ -103,6 +114,18 @@ impl ReplayConfig {
         }
     }
 
+    /// The expiry-heavy variant: the window holds only two bursts, so
+    /// every tick expires `r` tuples (half the window) and result expiry
+    /// — hence full recomputation — dominates the measured loop.
+    fn recompute_preset(scale: Scale, smoke: bool) -> ReplayConfig {
+        let base = ReplayConfig::preset(scale, smoke);
+        ReplayConfig {
+            n: base.r * 2,
+            ticks: base.ticks / 2,
+            ..base
+        }
+    }
+
     fn summary(&self) -> String {
         format!(
             "d={} N={} r={} k={} grid={} ticks={}",
@@ -165,7 +188,11 @@ fn run_scenario<M>(
     (seconds, tuples / seconds.max(1e-12))
 }
 
-fn run_all(cfg: &ReplayConfig) -> Vec<ScenarioResult> {
+fn run_all(
+    cfg: &ReplayConfig,
+    tma_label: &'static str,
+    sma_label: &'static str,
+) -> Vec<ScenarioResult> {
     let mut out = Vec::new();
     for q in QUERY_COUNTS {
         let mut tma = TmaMonitor::new(
@@ -182,7 +209,7 @@ fn run_all(cfg: &ReplayConfig) -> Vec<ScenarioResult> {
             &mut tma,
         );
         out.push(ScenarioResult {
-            engine: "tma",
+            engine: tma_label,
             q,
             seconds,
             tuples_per_sec: tput,
@@ -202,7 +229,7 @@ fn run_all(cfg: &ReplayConfig) -> Vec<ScenarioResult> {
             &mut sma,
         );
         out.push(ScenarioResult {
-            engine: "sma",
+            engine: sma_label,
             q,
             seconds,
             tuples_per_sec: tput,
@@ -213,7 +240,12 @@ fn run_all(cfg: &ReplayConfig) -> Vec<ScenarioResult> {
 
 /// Renders the JSON report (hand-rolled: the workspace is offline and has
 /// no serde; the schema is flat enough for string assembly).
-fn to_json(mode: &str, cfg: &ReplayConfig, results: &[ScenarioResult]) -> String {
+fn to_json(
+    mode: &str,
+    cfg: &ReplayConfig,
+    rec_cfg: &ReplayConfig,
+    results: &[ScenarioResult],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"bench\": \"replay\",\n");
@@ -221,6 +253,10 @@ fn to_json(mode: &str, cfg: &ReplayConfig, results: &[ScenarioResult]) -> String
     s.push_str(&format!(
         "  \"config\": {{\"dims\": {}, \"window\": {}, \"rate\": {}, \"ticks\": {}, \"k\": {}, \"grid_cells\": {}}},\n",
         cfg.dims, cfg.n, cfg.r, cfg.ticks, cfg.k, cfg.grid_cells
+    ));
+    s.push_str(&format!(
+        "  \"recompute_config\": {{\"dims\": {}, \"window\": {}, \"rate\": {}, \"ticks\": {}, \"k\": {}, \"grid_cells\": {}}},\n",
+        rec_cfg.dims, rec_cfg.n, rec_cfg.r, rec_cfg.ticks, rec_cfg.k, rec_cfg.grid_cells
     ));
     s.push_str("  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -316,6 +352,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let json = args.iter().any(|a| a == "--json");
+    let recompute_only = args.iter().any(|a| a == "--recompute");
     let baseline_path = args
         .iter()
         .position(|a| a == "--check-baseline")
@@ -323,16 +360,24 @@ fn main() {
         .cloned();
     let scale = Scale::from_args();
     let cfg = ReplayConfig::preset(scale, smoke);
+    let rec_cfg = ReplayConfig::recompute_preset(scale, smoke);
     let mode = if smoke { "smoke" } else { "full" };
 
     cli::header(
         "Replay — maintenance hot path under arrival bursts",
         "beyond the paper: per-tick event-replay throughput vs Q",
         scale,
-        &cfg.summary(),
+        &format!("{} | recompute: {}", cfg.summary(), rec_cfg.summary()),
     );
 
-    let results = run_all(&cfg);
+    let mut results = Vec::new();
+    if !recompute_only {
+        results.extend(run_all(&cfg, "tma", "sma"));
+    }
+    if recompute_only || smoke {
+        // Expiry-heavy: stresses the full-recomputation path.
+        results.extend(run_all(&rec_cfg, "tma-rec", "sma-rec"));
+    }
 
     let mut table = Table::new(&["engine", "Q", "time [s]", "tuples/s"]);
     for r in &results {
@@ -347,7 +392,7 @@ fn main() {
 
     if json {
         println!("--- json ---");
-        print!("{}", to_json(mode, &cfg, &results));
+        print!("{}", to_json(mode, &cfg, &rec_cfg, &results));
     }
 
     if let Some(path) = baseline_path {

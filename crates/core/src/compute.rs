@@ -22,6 +22,12 @@
 //! Constrained queries (§7) pass a constraint rectangle: the traversal is
 //! clipped to the cells overlapping it and points outside are filtered.
 //!
+//! The scan of each processed cell streams `(id, coords)` pairs straight
+//! out of the cell's coordinate-inline point block through the
+//! dim-specialized [`crate::kernel`] scan — the traversal performs **zero**
+//! per-tuple lookups into the window ring or slab (the old
+//! `TupleLookup::coords` indirection is gone from the signature entirely).
+//!
 //! The traversal state (visit stamps, the cell heap, the frontier list)
 //! lives in a caller-owned [`ComputeScratch`]: engines recompute queries
 //! every tick, and reusing the buffers makes steady-state recomputations
@@ -29,10 +35,10 @@
 
 use std::collections::BinaryHeap;
 
+use crate::kernel;
 use crate::result::TopList;
-use tkm_common::{OrderedF64, QuerySlot, Rect, ScoreFn, Scored, TupleId, MAX_DIMS};
+use tkm_common::{Monotonicity, OrderedF64, QuerySlot, Rect, ScoreFn, Scored, MAX_DIMS};
 use tkm_grid::{CellId, Grid, InfluenceTable, VisitStamps};
-use tkm_window::TupleLookup;
 
 /// Counters of one computation-module invocation.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -59,29 +65,70 @@ pub struct ComputeOutcome {
     /// Candidates outside the top-k whose score ties the k-th score
     /// (present only when tie tracking was requested).
     pub boundary_ties: Vec<Scored>,
+    /// The minimum traversal key (maxscore, clipped under a constraint)
+    /// over the processed cells: after the follow-up clean-up walk, the
+    /// query's influence lists cover every cell with key strictly above
+    /// this. Feed it back as [`InfluenceUpdate::listed_above`] on the next
+    /// recomputation to skip the (idempotent, but at high query counts
+    /// expensive) re-insert into every already-listed cell.
+    pub region_bound: f64,
     /// Access counters.
     pub stats: ComputeStats,
 }
 
-/// Runs the top-k computation. With `influence = Some((table, slot))` —
-/// the monitoring path — the query's dense `slot` is registered in the
-/// table's influence list of every processed cell; with `influence = None`
-/// the traversal is a side-effect-free *snapshot* query. The grid itself
-/// is only read, so one shared grid can serve concurrent computations as
-/// long as each caller brings its own table and scratch. `scratch` must be
+/// Influence-list maintenance instructions for a monitored computation.
+#[derive(Debug)]
+pub struct InfluenceUpdate<'a> {
+    /// The maintenance domain's influence lists.
+    pub table: &'a mut InfluenceTable,
+    /// The dense slot of the query being (re)computed.
+    pub slot: QuerySlot,
+    /// Cells whose traversal key is strictly above this are known to carry
+    /// the slot already (the [`ComputeOutcome::region_bound`] of the
+    /// previous computation for this slot, `+∞` for a first computation):
+    /// the traversal skips their insert instead of binary-searching the
+    /// corner cells' long lists on every recomputation. Boundary cells
+    /// whose key ties the bound still insert — a stop mid-way through an
+    /// equal-key group can leave part of that group unlisted, so only the
+    /// strict region is provably covered.
+    pub listed_above: f64,
+}
+
+impl<'a> InfluenceUpdate<'a> {
+    /// Update instructions for a first computation (or any caller without
+    /// a remembered bound): nothing is assumed listed, every processed
+    /// cell inserts.
+    pub fn fresh(table: &'a mut InfluenceTable, slot: QuerySlot) -> InfluenceUpdate<'a> {
+        InfluenceUpdate {
+            table,
+            slot,
+            listed_above: f64::INFINITY,
+        }
+    }
+}
+
+/// Runs the top-k computation. With `influence = Some(update)` — the
+/// monitoring path — the query's dense slot is registered in the influence
+/// list of every processed cell not already known to carry it (see
+/// [`InfluenceUpdate::listed_above`]); with `influence = None` the
+/// traversal is a side-effect-free *snapshot* query. The grid itself is
+/// only read, so one shared grid can serve concurrent computations as long
+/// as each caller brings its own table and scratch. `scratch` must be
 /// sized for the same grid; after return its stamp epoch still marks every
 /// en-heaped cell and [`ComputeScratch::frontier`] holds the unprocessed
 /// frontier — the clean-up walk relies on both.
+///
+/// All point data is read from the grid's coordinate-inline cell blocks;
+/// the window/slab is not consulted (and not a parameter).
 ///
 /// `reuse` recycles a previous result's [`TopList`] buffers into the new
 /// result (engines pass the query's old top-list so recomputations do not
 /// allocate); pass `None` to build a fresh list.
 #[allow(clippy::too_many_arguments)]
-pub fn compute_topk<L: TupleLookup>(
+pub fn compute_topk(
     grid: &Grid,
     scratch: &mut ComputeScratch,
-    lookup: &L,
-    mut influence: Option<(&mut InfluenceTable, QuerySlot)>,
+    influence: Option<InfluenceUpdate<'_>>,
     f: &ScoreFn,
     k: usize,
     constraint: Option<&Rect>,
@@ -90,9 +137,7 @@ pub fn compute_topk<L: TupleLookup>(
 ) -> ComputeOutcome {
     debug_assert_eq!(grid.dims(), f.dims());
     debug_assert_eq!(scratch.stamps.len(), grid.num_cells());
-    let dims = grid.dims();
-    let mut stats = ComputeStats::default();
-    let mut top = match reuse {
+    let top = match reuse {
         Some(mut t) => {
             t.reset(k, track_ties);
             t
@@ -100,87 +145,162 @@ pub fn compute_topk<L: TupleLookup>(
         None if track_ties => TopList::with_tie_tracking(k),
         None => TopList::new(k),
     };
+    // Resolve the scoring function to a concrete monomorphized kernel once;
+    // the whole traversal (bounds on every heap push, scans of every
+    // processed cell) then runs without a single enum dispatch.
+    kernel::dispatch(
+        f,
+        grid.dims(),
+        Traversal {
+            grid,
+            scratch,
+            influence,
+            f,
+            constraint,
+            top,
+        },
+    )
+}
 
-    let range = constraint.map(|r| grid.cell_range(r));
-    let start = match &range {
-        Some(r) => grid.best_corner_in(r, f),
-        None => grid.best_corner(f),
-    };
+/// The traversal of [`compute_topk`], generic over the concrete scorer.
+struct Traversal<'a> {
+    grid: &'a Grid,
+    scratch: &'a mut ComputeScratch,
+    influence: Option<InfluenceUpdate<'a>>,
+    f: &'a ScoreFn,
+    constraint: Option<&'a Rect>,
+    top: TopList,
+}
 
-    // With a constraint the heap keys are clipped maxscores (cell ∩ R):
-    // tighter for boundary cells, and mandatory when `f` is only monotone
-    // inside R (piecewise-monotone pieces).
-    let cell_bound = |grid: &Grid, cell: CellId| match constraint {
-        Some(r) => grid.maxscore_in(cell, f, r),
-        None => grid.maxscore(cell, f),
-    };
+impl kernel::ScorerVisitor for Traversal<'_> {
+    type Out = ComputeOutcome;
 
-    let ComputeScratch {
-        stamps,
-        heap,
-        frontier,
-        ..
-    } = scratch;
-    heap.clear();
-    stamps.begin();
-    stamps.mark(start);
-    heap.push((OrderedF64::new(cell_bound(grid, start)), start));
-    stats.heap_pushes += 1;
+    fn visit<S: kernel::Scorer>(self, scorer: &S) -> ComputeOutcome {
+        let Traversal {
+            grid,
+            scratch,
+            mut influence,
+            f,
+            constraint,
+            mut top,
+        } = self;
+        let dims = grid.dims();
+        let mut stats = ComputeStats::default();
 
-    while let Some(&(maxscore, cell)) = heap.peek() {
-        // Stop when even the best unprocessed cell cannot reach the k-th
-        // score (non-strict continue: ties may still matter).
-        if top.is_full() && maxscore.get() < top.threshold() {
-            break;
+        let range = constraint.map(|r| grid.cell_range(r));
+        let start = match &range {
+            Some(r) => grid.best_corner_in(r, f),
+            None => grid.best_corner(f),
+        };
+        // Resolve each axis' monotonicity once; the per-cell neighbour
+        // steps below run on the cached directions.
+        let mut dirs = [Monotonicity::Increasing; MAX_DIMS];
+        for (dim, dir) in dirs.iter_mut().enumerate().take(dims) {
+            *dir = f.monotonicity(dim);
         }
-        heap.pop();
-        stats.cells_processed += 1;
 
-        for id in grid.cell(cell).points().iter() {
-            stats.points_scanned += 1;
-            let coords = lookup
-                .coords(id)
-                .expect("grid must only index valid tuples");
-            if let Some(r) = constraint {
-                if !r.contains(coords) {
-                    continue;
+        // With a constraint the heap keys are clipped maxscores (cell ∩
+        // R): tighter for boundary cells, and mandatory when `f` is only
+        // monotone inside R (piecewise-monotone pieces). This runs on
+        // every heap push.
+        let cell_bound = |cell: CellId| {
+            let (cell_lo, cell_hi) = grid.cell_lo_hi(cell);
+            match constraint {
+                Some(r) => {
+                    let mut lo = [0.0f64; MAX_DIMS];
+                    let mut hi = [0.0f64; MAX_DIMS];
+                    for dim in 0..dims {
+                        lo[dim] = cell_lo[dim].max(r.lo()[dim]);
+                        hi[dim] = cell_hi[dim].min(r.hi()[dim]);
+                        if lo[dim] > hi[dim] {
+                            // Disjoint (possible for range-boundary
+                            // cells): nothing inside can qualify.
+                            return f64::NEG_INFINITY;
+                        }
+                    }
+                    scorer.bound(&lo[..dims], &hi[..dims])
+                }
+                None => scorer.bound(cell_lo, cell_hi),
+            }
+        };
+
+        let ComputeScratch {
+            stamps,
+            heap,
+            frontier,
+            ..
+        } = scratch;
+        heap.clear();
+        stamps.begin();
+        stamps.mark(start);
+        heap.push((OrderedF64::new(cell_bound(start)), start));
+        stats.heap_pushes += 1;
+        // Tracks `top.threshold()` so sub-threshold points are rejected
+        // before the offer call; score == threshold still goes through
+        // (ties matter, and the tie pool lives inside `offer`).
+        let mut threshold = f64::NEG_INFINITY;
+        // Minimum processed key so far (pops come out in descending key
+        // order, so the running value is just the latest pop's key).
+        let mut region_bound = f64::INFINITY;
+
+        while let Some(&(maxscore, cell)) = heap.peek() {
+            // Stop when even the best unprocessed cell cannot reach the
+            // k-th score (non-strict continue: ties may still matter).
+            if top.is_full() && maxscore.get() < threshold {
+                break;
+            }
+            heap.pop();
+            stats.cells_processed += 1;
+            region_bound = maxscore.get();
+
+            let points = grid.cell(cell).points();
+            stats.points_scanned += points.len() as u64;
+            scorer.scan(points.ids(), points.coords(), constraint, |id, score| {
+                if score >= threshold && top.offer(Scored::new(score, id)) {
+                    threshold = top.threshold();
+                }
+            });
+            if let Some(upd) = influence.as_mut() {
+                // Cells strictly above the previous region bound already
+                // carry the slot — skip the sorted-list insert (at high
+                // query counts the corner cells' lists are long, and this
+                // probe used to dominate recomputation cost).
+                if maxscore.get() <= upd.listed_above {
+                    upd.table.insert(cell, upd.slot);
                 }
             }
-            top.offer(Scored::new(f.score(coords), id));
-        }
-        if let Some((table, slot)) = influence.as_mut() {
-            table.insert(cell, *slot);
-        }
 
-        for dim in 0..dims {
-            let next = match &range {
-                Some(r) => grid.step_worse_in(cell, dim, f, r),
-                None => grid.step_worse(cell, dim, f),
-            };
-            if let Some(n) = next {
-                if stamps.mark(n) {
-                    heap.push((OrderedF64::new(cell_bound(grid, n)), n));
-                    stats.heap_pushes += 1;
+            for (dim, &dir) in dirs.iter().enumerate().take(dims) {
+                let next = match &range {
+                    Some(r) => grid.step_worse_in_dir(cell, dim, dir, r),
+                    None => grid.step_worse_dir(cell, dim, dir),
+                };
+                if let Some(n) = next {
+                    if stamps.mark(n) {
+                        heap.push((OrderedF64::new(cell_bound(n)), n));
+                        stats.heap_pushes += 1;
+                    }
                 }
             }
         }
-    }
 
-    frontier.clear();
-    frontier.extend(heap.drain().map(|(_, c)| c));
+        frontier.clear();
+        frontier.extend(heap.drain().map(|(_, c)| c));
 
-    let boundary_ties = top.boundary_ties();
-    ComputeOutcome {
-        top,
-        boundary_ties,
-        stats,
+        let boundary_ties = top.boundary_ties();
+        ComputeOutcome {
+            top,
+            boundary_ties,
+            region_bound,
+            stats,
+        }
     }
 }
 
-/// Reusable traversal and replay buffers owned by one maintenance domain
-/// (engine or shard). Keeping them here makes steady-state processing
-/// cycles allocation-free: the computation heap, the frontier list and the
-/// per-cell replay buffers all retain their capacity across ticks.
+/// Reusable traversal buffers owned by one maintenance domain (engine or
+/// shard). Keeping them here makes steady-state processing cycles
+/// allocation-free: the computation heap and the frontier list retain
+/// their capacity across ticks.
 #[derive(Debug)]
 pub struct ComputeScratch {
     /// Reusable visited markers.
@@ -193,11 +313,6 @@ pub struct ComputeScratch {
     /// Cells en-heaped but not processed by the last [`compute_topk`]
     /// call: the clean-up walk's seed list, consumed in place.
     pub frontier: Vec<CellId>,
-    /// Live tuple ids of the cell run being replayed (cell-grouped event
-    /// replay).
-    pub tick_ids: Vec<TupleId>,
-    /// Coordinates of `tick_ids`, flattened `dims` apiece.
-    pub tick_coords: Vec<f64>,
 }
 
 impl ComputeScratch {
@@ -208,8 +323,6 @@ impl ComputeScratch {
             coords: [0.0; MAX_DIMS],
             heap: BinaryHeap::new(),
             frontier: Vec::new(),
-            tick_ids: Vec::new(),
-            tick_coords: Vec::new(),
         }
     }
 
@@ -219,31 +332,27 @@ impl ComputeScratch {
             + self.stamps.space_bytes()
             + self.heap.capacity() * std::mem::size_of::<(OrderedF64, CellId)>()
             + self.frontier.capacity() * std::mem::size_of::<CellId>()
-            + self.tick_ids.capacity() * std::mem::size_of::<TupleId>()
-            + self.tick_coords.capacity() * std::mem::size_of::<f64>()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tkm_common::{Timestamp, TupleId};
+    use tkm_common::TupleId;
     use tkm_grid::CellMode;
-    use tkm_window::{Window, WindowSpec};
 
-    fn setup(
-        points: &[[f64; 2]],
-        per_dim: usize,
-    ) -> (Grid, Window, ComputeScratch, InfluenceTable) {
+    /// No window exists in this harness at all: the traversal reads every
+    /// coordinate from the grid's cell blocks, which is the whole point of
+    /// the coordinate-inline layout (and the compile-time guarantee that
+    /// it performs zero `TupleLookup::coords` calls).
+    fn setup(points: &[[f64; 2]], per_dim: usize) -> (Grid, ComputeScratch, InfluenceTable) {
         let mut grid = Grid::new(2, per_dim, CellMode::Fifo).unwrap();
-        let mut w = Window::new(2, WindowSpec::Count(points.len().max(1))).unwrap();
-        for p in points {
-            let id = w.insert(p, Timestamp(0)).unwrap();
-            grid.insert_point(p, id);
+        for (i, p) in points.iter().enumerate() {
+            grid.insert_point(p, TupleId(i as u64));
         }
         let scratch = ComputeScratch::new(grid.num_cells());
         let influence = InfluenceTable::new(grid.num_cells());
-        (grid, w, scratch, influence)
+        (grid, scratch, influence)
     }
 
     fn naive_topk(points: &[[f64; 2]], f: &ScoreFn, k: usize, r: Option<&Rect>) -> Vec<Scored> {
@@ -264,12 +373,11 @@ mod tests {
     fn figure5_processes_minimal_cells() {
         let points = [[0.55, 0.90], [0.90, 0.55]]; // p1 (winner), p2
         let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
-        let (grid, w, mut scratch, mut influence) = setup(&points, 7);
+        let (grid, mut scratch, mut influence) = setup(&points, 7);
         let out = compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, QuerySlot(0))),
+            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(0))),
             &f,
             1,
             None,
@@ -298,13 +406,12 @@ mod tests {
 
     #[test]
     fn empty_window_processes_everything_and_finds_nothing() {
-        let (grid, w, mut scratch, mut influence) = setup(&[], 4);
+        let (grid, mut scratch, mut influence) = setup(&[], 4);
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
         let out = compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, QuerySlot(3))),
+            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(3))),
             &f,
             2,
             None,
@@ -322,12 +429,11 @@ mod tests {
         // small x2.
         let points = [[0.95, 0.1], [0.8, 0.05], [0.3, 0.9], [0.5, 0.4]];
         let f = ScoreFn::linear(vec![1.0, -1.0]).unwrap();
-        let (grid, w, mut scratch, mut influence) = setup(&points, 7);
+        let (grid, mut scratch, mut influence) = setup(&points, 7);
         let out = compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, QuerySlot(1))),
+            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(1))),
             &f,
             2,
             None,
@@ -341,12 +447,11 @@ mod tests {
     fn product_function_figure7b() {
         let points = [[0.9, 0.8], [0.99, 0.2], [0.5, 0.5]];
         let f = ScoreFn::product(vec![0.0, 0.0]).unwrap();
-        let (grid, w, mut scratch, mut influence) = setup(&points, 7);
+        let (grid, mut scratch, mut influence) = setup(&points, 7);
         let out = compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, QuerySlot(1))),
+            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(1))),
             &f,
             1,
             None,
@@ -363,12 +468,11 @@ mod tests {
         let points = [[0.55, 0.95], [0.62, 0.68], [0.9, 0.9]];
         let f = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
         let r = Rect::new(vec![0.5, 0.45], vec![0.8, 0.75]).unwrap();
-        let (grid, w, mut scratch, mut influence) = setup(&points, 7);
+        let (grid, mut scratch, mut influence) = setup(&points, 7);
         let out = compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, QuerySlot(2))),
+            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(2))),
             &f,
             1,
             Some(&r),
@@ -397,12 +501,11 @@ mod tests {
         // Four points, three tie at the k-th score.
         let points = [[0.5, 0.5], [0.6, 0.4], [0.4, 0.6], [0.9, 0.9]];
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
-        let (grid, w, mut scratch, mut influence) = setup(&points, 4);
+        let (grid, mut scratch, mut influence) = setup(&points, 4);
         let out = compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, QuerySlot(0))),
+            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(0))),
             &f,
             2,
             None,
@@ -420,12 +523,11 @@ mod tests {
     fn k_larger_than_population() {
         let points = [[0.2, 0.3], [0.8, 0.1]];
         let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
-        let (grid, w, mut scratch, mut influence) = setup(&points, 4);
+        let (grid, mut scratch, mut influence) = setup(&points, 4);
         let out = compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, QuerySlot(0))),
+            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(0))),
             &f,
             5,
             None,
@@ -445,20 +547,19 @@ mod tests {
     #[test]
     fn scratch_is_reusable_across_calls() {
         let points = [[0.2, 0.9], [0.9, 0.2], [0.6, 0.6], [0.1, 0.1]];
-        let (grid, w, mut scratch, mut influence) = setup(&points, 6);
+        let (grid, mut scratch, mut influence) = setup(&points, 6);
         let f1 = ScoreFn::linear(vec![1.0, 2.0]).unwrap();
         let f2 = ScoreFn::linear(vec![-1.0, 1.0]).unwrap();
-        let first = compute_topk(&grid, &mut scratch, &w, None, &f1, 2, None, false, None);
+        let first = compute_topk(&grid, &mut scratch, None, &f1, 2, None, false, None);
         let heap_cap = scratch.heap.capacity();
-        let again = compute_topk(&grid, &mut scratch, &w, None, &f1, 2, None, false, None);
+        let again = compute_topk(&grid, &mut scratch, None, &f1, 2, None, false, None);
         assert_eq!(first.top.as_slice(), again.top.as_slice());
         assert!(scratch.heap.capacity() >= heap_cap, "capacity retained");
         // A different query direction still computes exactly.
         let out = compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, QuerySlot(9))),
+            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(9))),
             &f2,
             1,
             None,

@@ -122,7 +122,7 @@ fn push_worse_neighbours(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::compute::compute_topk;
+    use crate::compute::{compute_topk, InfluenceUpdate};
     use tkm_common::Timestamp;
     use tkm_grid::CellMode;
     use tkm_window::{Window, WindowSpec};
@@ -151,8 +151,7 @@ mod tests {
         let out = compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, q)),
+            Some(InfluenceUpdate::fresh(&mut influence, q)),
             &f,
             1,
             None,
@@ -169,8 +168,7 @@ mod tests {
         let out = compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, q)),
+            Some(InfluenceUpdate::fresh(&mut influence, q)),
             &f,
             1,
             None,
@@ -205,8 +203,7 @@ mod tests {
         compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, q)),
+            Some(InfluenceUpdate::fresh(&mut influence, q)),
             &f,
             2,
             None,
@@ -230,8 +227,7 @@ mod tests {
         compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, QuerySlot(1))),
+            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(1))),
             &f,
             1,
             None,
@@ -241,8 +237,7 @@ mod tests {
         compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, QuerySlot(2))),
+            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(2))),
             &f,
             1,
             None,
@@ -261,12 +256,10 @@ mod tests {
         let grid = Grid::new(2, 5, CellMode::Fifo).unwrap();
         let mut influence = InfluenceTable::new(grid.num_cells());
         let mut scratch = ComputeScratch::new(grid.num_cells());
-        let w = Window::new(2, WindowSpec::Count(4)).unwrap();
         compute_topk(
             &grid,
             &mut scratch,
-            &w,
-            Some((&mut influence, QuerySlot(1))),
+            Some(InfluenceUpdate::fresh(&mut influence, QuerySlot(1))),
             &f,
             1,
             Some(&r),

@@ -43,6 +43,12 @@ pub struct IngestStats {
 /// for ingest-bound workloads. Runs come out in first-touched order with
 /// FIFO (arrival) order within each run; the replay loops never depend on
 /// the order *across* cells. All buffers retain capacity across ticks.
+///
+/// Arrival runs carry no coordinate copy of their own: a cycle's live
+/// arrivals in cell `c` are exactly the **tail** of `c`'s coordinate-inline
+/// point block (arrivals append at the tail, expiry only consumes the
+/// front), so the replay loop slices the packed coordinates straight out of
+/// the grid — see [`IngestState::arrival_run_coords`].
 #[derive(Debug)]
 struct CellGroups {
     /// Per-cell `(epoch stamp, run index)`: the run index is valid while
@@ -233,10 +239,28 @@ impl IngestState {
     /// The last cycle's arrival events grouped by cell: one `(cell,
     /// tuples)` run per distinct cell (first-touched order), tuples in
     /// arrival order within each run. The maintenance replay loop probes
-    /// each cell's influence list once per run instead of once per event.
+    /// each cell's influence list once per run instead of once per event;
+    /// the run's coordinates come from
+    /// [`IngestState::arrival_run_coords`].
     #[inline]
     pub fn arrival_runs(&self) -> impl Iterator<Item = (CellId, &[TupleId])> {
         self.arrival_groups.iter()
+    }
+
+    /// The packed coordinates of the `live` still-valid arrivals of this
+    /// cycle's run in `cell` — the tail of the cell's coordinate-inline
+    /// point block, which holds exactly those arrivals: arrivals append at
+    /// the tail and expiry only consumes the front, so no per-event
+    /// coordinate copy (let alone a per-tuple window resolution) is ever
+    /// made. `live` must be the number of run tuples still in the window
+    /// (same-cycle transients sliced off), as computed by the replay
+    /// loop's live-suffix step.
+    #[inline]
+    pub fn arrival_run_coords(&self, cell: CellId, live: usize) -> &[f64] {
+        let points = self.grid.cell(cell).points();
+        let coords = points.coords();
+        debug_assert!(live <= points.len());
+        &coords[coords.len() - live * self.dims()..]
     }
 
     /// The last cycle's expiry events grouped by cell (one run per
@@ -299,6 +323,17 @@ mod tests {
         // Transients are gone from the window; survivors resolve.
         assert!(s.window().coords(TupleId(0)).is_none());
         assert!(s.window().coords(TupleId(3)).is_some());
+        // Tail-slice invariant under transients: each run's live suffix
+        // maps exactly onto the tail of its cell's point block.
+        let oldest = s.window().oldest().unwrap();
+        for (cell, ids) in s.arrival_runs() {
+            let live: Vec<TupleId> = ids.iter().copied().filter(|id| *id >= oldest).collect();
+            let coords = s.arrival_run_coords(cell, live.len());
+            assert_eq!(coords.len(), live.len(), "dims = 1");
+            for (id, c) in live.iter().zip(coords) {
+                assert_eq!(s.window().coords(*id).unwrap(), &[*c]);
+            }
+        }
     }
 
     #[test]
@@ -314,6 +349,16 @@ mod tests {
         // One run per distinct cell in first-touched order; arrival (id)
         // order within each run.
         assert_eq!(runs, vec![(0, vec![0, 2, 4]), (3, vec![1]), (1, vec![3])]);
+        // A run's coordinates are the tail of its cell's point block,
+        // aligned with the run's ids.
+        let coord_runs: Vec<Vec<f64>> = s
+            .arrival_runs()
+            .map(|(c, ids)| s.arrival_run_coords(c, ids.len()).to_vec())
+            .collect();
+        assert_eq!(
+            coord_runs,
+            vec![vec![0.1, 0.12, 0.15], vec![0.9], vec![0.3]]
+        );
         // Runs cover exactly the flat event list.
         let flat: usize = s.arrival_runs().map(|(_, ids)| ids.len()).sum();
         assert_eq!(flat, s.arrival_events().len());

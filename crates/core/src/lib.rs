@@ -7,7 +7,9 @@
 //! (SIGMOD 2006)*:
 //!
 //! * the **top-k computation module** ([`compute`]) that processes the
-//!   minimal set of grid cells in descending `maxscore` order;
+//!   minimal set of grid cells in descending `maxscore` order, streaming
+//!   points out of the grid's coordinate-inline cell blocks through the
+//!   dim-specialized **scoring kernels** ([`kernel`]);
 //! * **TMA** ([`tma::TmaMonitor`]) — exact top-k lists, recomputed from
 //!   scratch when results expire;
 //! * **SMA** ([`sma::SmaMonitor`]) — k-skyband maintenance in (score, time)
@@ -33,6 +35,7 @@ pub mod compute;
 pub mod engine;
 pub mod influence;
 pub mod ingest;
+pub mod kernel;
 pub mod maintenance;
 pub mod oracle;
 pub mod parallel;
@@ -47,7 +50,7 @@ pub mod threshold;
 pub mod tma;
 pub mod update_stream;
 
-pub use compute::{compute_topk, ComputeOutcome, ComputeScratch, ComputeStats};
+pub use compute::{compute_topk, ComputeOutcome, ComputeScratch, ComputeStats, InfluenceUpdate};
 pub use engine::{build_engine, ContinuousTopK, EngineKind};
 pub use ingest::{IngestState, IngestStats};
 pub use maintenance::{QueryMaintenance, SmaMaintenance, TmaMaintenance};

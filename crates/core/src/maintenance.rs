@@ -21,12 +21,16 @@
 //! * per-query state lives in a dense [`QueryRegistry`] and the influence
 //!   lists carry 4-byte [`QuerySlot`]s, so resolving an influence entry is
 //!   a `Vec` index instead of a `BTreeMap` probe;
-//! * events arrive **grouped by cell** ([`IngestState::arrival_runs`]):
-//!   each cell's influence list is walked once per tick and the run's
-//!   tuples stream through every listed query with that query's state hot
-//!   in cache (the loop order is cell → query → tuple);
-//! * the traversal heap, frontier and replay buffers live in
-//!   [`ComputeScratch`], so steady-state ticks allocate nothing.
+//! * events arrive **grouped by cell** ([`IngestState::arrival_runs`]),
+//!   and a run's coordinates are the tail of its cell's coordinate-inline
+//!   point block ([`IngestState::arrival_run_coords`]): each cell's
+//!   influence list is walked once per tick and the run's packed block
+//!   streams through the dim-specialized [`crate::kernel`] scan for every
+//!   listed query with that query's state hot in cache (the loop order is
+//!   cell → query → tuple) — replay scoring never resolves a tuple
+//!   through the window ring and never copies a coordinate;
+//! * the traversal heap and frontier live in [`ComputeScratch`], so
+//!   steady-state ticks allocate nothing.
 //!
 //! One deliberate difference from the interleaved originals: an arrival
 //! that expires within its own cycle (count window overrun by a burst) is
@@ -36,16 +40,18 @@
 //! restores exactness for whatever the burst displaced — the differential
 //! suite pins sharded and unsharded results to the oracle either way.
 
-use crate::compute::{compute_topk, ComputeScratch};
+use crate::compute::{compute_topk, ComputeScratch, InfluenceUpdate};
 use crate::influence::{cleanup_from_frontier, remove_query_walk};
 use crate::ingest::IngestState;
+use crate::kernel;
 use crate::query::Query;
 use crate::registry::QueryRegistry;
 use crate::result::TopList;
 use crate::stats::EngineStats;
-use tkm_common::{QueryId, QuerySlot, Result, Scored, TkmError};
+use tkm_common::{QueryId, QuerySlot, Result, Scored, TkmError, TupleId};
 use tkm_grid::InfluenceTable;
 use tkm_skyband::Skyband;
+use tkm_window::Window;
 
 /// One shard's worth of per-query monitoring state.
 ///
@@ -104,25 +110,25 @@ fn check_dims(shared: &IngestState, query: &Query) -> Result<()> {
     Ok(())
 }
 
-/// Copies the coordinates of a run's still-live tuples into the scratch
-/// replay buffers (`tick_ids` / `tick_coords`), skipping same-cycle
-/// transients (already expired: cannot be in the final window, so they
-/// never have to enter any result book-keeping). Returns `false` when no
-/// tuple of the run survived.
-fn stage_run(
-    scratch: &mut ComputeScratch,
-    shared: &IngestState,
-    tuples: &[tkm_common::TupleId],
-) -> bool {
-    scratch.tick_ids.clear();
-    scratch.tick_coords.clear();
-    for &id in tuples {
-        if let Some(coords) = shared.window().coords(id) {
-            scratch.tick_ids.push(id);
-            scratch.tick_coords.extend_from_slice(coords);
-        }
+/// The still-live suffix of an arrival run, skipping same-cycle transients
+/// (already expired: cannot be in the final window, so they never have to
+/// enter any result book-keeping).
+///
+/// Tuple ids are dense arrival sequence numbers and windows expire
+/// strictly in id order, so the live window is the contiguous id range
+/// `[oldest, newest]`; within a run the ids ascend, which makes the live
+/// subset a suffix that can be sliced off without copying and without
+/// resolving a single tuple through the window's storage. Returns `None`
+/// when nothing of the run survived (or the window is empty). The matching
+/// coordinates come from [`IngestState::arrival_run_coords`] — the tail of
+/// the cell's own point block.
+fn live_suffix<'a>(window: &Window, ids: &'a [TupleId]) -> Option<&'a [TupleId]> {
+    let oldest = window.oldest()?;
+    let start = ids.partition_point(|&id| id < oldest);
+    if start == ids.len() {
+        return None;
     }
-    !scratch.tick_ids.is_empty()
+    Some(&ids[start..])
 }
 
 #[derive(Debug)]
@@ -130,6 +136,11 @@ struct TmaQuery {
     query: Query,
     top: TopList,
     affected: bool,
+    /// [`ComputeOutcome::region_bound`] of the last computation: cells
+    /// with traversal keys strictly above this already carry the slot.
+    ///
+    /// [`ComputeOutcome::region_bound`]: crate::compute::ComputeOutcome
+    region_bound: f64,
 }
 
 /// TMA maintenance (paper Figure 9): exact top-k lists, recomputed from
@@ -196,6 +207,7 @@ impl QueryMaintenance for TmaMaintenance {
                 query,
                 top: TopList::new(k),
                 affected: false,
+                region_bound: f64::INFINITY,
             },
         )?;
         let Self {
@@ -209,8 +221,7 @@ impl QueryMaintenance for TmaMaintenance {
         let out = compute_topk(
             shared.grid(),
             scratch,
-            shared.window(),
-            Some((&mut *influence, slot)),
+            Some(InfluenceUpdate::fresh(influence, slot)),
             &st.query.f,
             st.query.k,
             st.query.constraint.as_ref(),
@@ -222,6 +233,7 @@ impl QueryMaintenance for TmaMaintenance {
         stats.points_scanned += out.stats.points_scanned;
         stats.heap_pushes += out.stats.heap_pushes;
         st.top = out.top;
+        st.region_bound = out.region_bound;
         Ok(())
     }
 
@@ -252,32 +264,40 @@ impl QueryMaintenance for TmaMaintenance {
         affected.clear();
 
         // ---- Pins (Figure 9, lines 3-7), inverted: cell → query → tuple.
-        for (cell, tuples) in shared.arrival_runs() {
+        // The run's packed coordinate block (the tail of the cell's own
+        // point block, still warm from ingest) streams through the scoring
+        // kernel once per listed query; no window resolution per tuple.
+        for (cell, ids) in shared.arrival_runs() {
             let slots = influence.as_slice(cell);
-            if slots.is_empty() || !stage_run(scratch, shared, tuples) {
+            if slots.is_empty() {
                 continue;
             }
+            let Some(ids) = live_suffix(shared.window(), ids) else {
+                continue;
+            };
+            let coords = shared.arrival_run_coords(cell, ids.len());
             for &slot in slots {
                 stats.cell_probes += 1;
+                stats.tuple_probes += ids.len() as u64;
                 let (qid, st) = queries.slot_mut(slot);
-                let mut updated = false;
-                for (i, &id) in scratch.tick_ids.iter().enumerate() {
-                    stats.tuple_probes += 1;
-                    let coords = &scratch.tick_coords[i * dims..(i + 1) * dims];
-                    if let Some(r) = &st.query.constraint {
-                        if !r.contains(coords) {
-                            continue;
+                let top = &mut st.top;
+                let mut updates = 0u64;
+                kernel::scan_block(
+                    &st.query.f,
+                    dims,
+                    ids,
+                    coords,
+                    st.query.constraint.as_ref(),
+                    |id, score| {
+                        // threshold() is −∞ while the list is short, so
+                        // this single test covers the warm-up phase too.
+                        if score >= top.threshold() && top.offer(Scored::new(score, id)) {
+                            updates += 1;
                         }
-                    }
-                    let score = st.query.f.score(coords);
-                    // threshold() is −∞ while the list is short, so this
-                    // single test covers the warm-up phase too.
-                    if score >= st.top.threshold() && st.top.offer(Scored::new(score, id)) {
-                        stats.result_updates += 1;
-                        updated = true;
-                    }
-                }
-                if updated {
+                    },
+                );
+                if updates > 0 {
+                    stats.result_updates += updates;
                     changed.push(qid);
                 }
             }
@@ -305,8 +325,11 @@ impl QueryMaintenance for TmaMaintenance {
             let out = compute_topk(
                 shared.grid(),
                 scratch,
-                shared.window(),
-                Some((&mut *influence, slot)),
+                Some(InfluenceUpdate {
+                    table: influence,
+                    slot,
+                    listed_above: st.region_bound,
+                }),
                 &st.query.f,
                 st.query.k,
                 st.query.constraint.as_ref(),
@@ -318,6 +341,7 @@ impl QueryMaintenance for TmaMaintenance {
             stats.points_scanned += out.stats.points_scanned;
             stats.heap_pushes += out.stats.heap_pushes;
             st.top = out.top;
+            st.region_bound = out.region_bound;
             stats.cleanup_cells += cleanup_from_frontier(
                 shared.grid(),
                 influence,
@@ -343,7 +367,6 @@ impl QueryMaintenance for TmaMaintenance {
         let out = compute_topk(
             shared.grid(),
             &mut self.scratch,
-            shared.window(),
             None,
             &query.f,
             query.k,
@@ -385,6 +408,11 @@ impl QueryMaintenance for TmaMaintenance {
 struct SmaQuery {
     query: Query,
     skyband: Skyband,
+    /// [`ComputeOutcome::region_bound`] of the last computation: cells
+    /// with traversal keys strictly above this already carry the slot.
+    ///
+    /// [`ComputeOutcome::region_bound`]: crate::compute::ComputeOutcome
+    region_bound: f64,
     /// k-th score at the last from-scratch computation; the skyband
     /// admission threshold (−∞ until the window holds k candidates).
     top_score: f64,
@@ -418,8 +446,11 @@ impl SmaMaintenance {
         let out = compute_topk(
             shared.grid(),
             scratch,
-            shared.window(),
-            Some((&mut *influence, slot)),
+            Some(InfluenceUpdate {
+                table: influence,
+                slot,
+                listed_above: st.region_bound,
+            }),
             &st.query.f,
             st.query.k,
             st.query.constraint.as_ref(),
@@ -438,6 +469,7 @@ impl SmaMaintenance {
         seed.extend_from_slice(&out.boundary_ties);
         st.skyband.rebuild(&seed);
         st.top_score = out.top.threshold();
+        st.region_bound = out.region_bound;
         stats.cleanup_cells += cleanup_from_frontier(
             shared.grid(),
             influence,
@@ -509,6 +541,7 @@ impl QueryMaintenance for SmaMaintenance {
             SmaQuery {
                 skyband,
                 query,
+                region_bound: f64::INFINITY,
                 top_score: f64::NEG_INFINITY,
                 touched: false,
             },
@@ -552,31 +585,43 @@ impl QueryMaintenance for SmaMaintenance {
         affected.clear();
 
         // ---- Pins (Figure 11, lines 4-11), inverted: cell → query →
-        // tuple.
-        for (cell, tuples) in shared.arrival_runs() {
+        // tuple; the run's coordinate block (the tail of the cell's own
+        // point block) streams through the scoring kernel once per listed
+        // query.
+        for (cell, ids) in shared.arrival_runs() {
             let slots = influence.as_slice(cell);
-            if slots.is_empty() || !stage_run(scratch, shared, tuples) {
+            if slots.is_empty() {
                 continue;
             }
+            let Some(ids) = live_suffix(shared.window(), ids) else {
+                continue;
+            };
+            let coords = shared.arrival_run_coords(cell, ids.len());
             for &slot in slots {
                 stats.cell_probes += 1;
+                stats.tuple_probes += ids.len() as u64;
                 let (_, st) = queries.slot_mut(slot);
-                for (i, &id) in scratch.tick_ids.iter().enumerate() {
-                    stats.tuple_probes += 1;
-                    let coords = &scratch.tick_coords[i * dims..(i + 1) * dims];
-                    if let Some(r) = &st.query.constraint {
-                        if !r.contains(coords) {
-                            continue;
+                let admit = st.top_score;
+                let skyband = &mut st.skyband;
+                let mut inserted = 0u64;
+                kernel::scan_block(
+                    &st.query.f,
+                    dims,
+                    ids,
+                    coords,
+                    st.query.constraint.as_ref(),
+                    |id, score| {
+                        if score >= admit {
+                            skyband.insert(Scored::new(score, id));
+                            inserted += 1;
                         }
-                    }
-                    let score = st.query.f.score(coords);
-                    if score >= st.top_score {
-                        st.skyband.insert(Scored::new(score, id));
-                        stats.result_updates += 1;
-                        if !st.touched {
-                            st.touched = true;
-                            affected.push(slot);
-                        }
+                    },
+                );
+                if inserted > 0 {
+                    stats.result_updates += inserted;
+                    if !st.touched {
+                        st.touched = true;
+                        affected.push(slot);
                     }
                 }
             }
@@ -628,7 +673,6 @@ impl QueryMaintenance for SmaMaintenance {
         let out = compute_topk(
             shared.grid(),
             &mut self.scratch,
-            shared.window(),
             None,
             &query.f,
             query.k,

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::kernel;
 use crate::query::Query;
 use crate::tma::validate_arrivals;
 use tkm_common::{QueryId, Result, Scored, Timestamp, TkmError};
@@ -51,7 +52,7 @@ impl OracleMonitor {
         let mut all: Vec<Scored> = window
             .iter()
             .filter(|(_, c)| query.constraint.as_ref().is_none_or(|r| r.contains(c)))
-            .map(|(id, c)| Scored::new(query.f.score(c), id))
+            .map(|(id, c)| Scored::new(kernel::score_point(&query.f, c), id))
             .collect();
         all.sort_by(|a, b| b.cmp(a));
         all.truncate(query.k);

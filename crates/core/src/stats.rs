@@ -32,8 +32,9 @@ pub struct EngineStats {
     /// cell-grouped replay each cell's list is walked once per tick, so
     /// this counts the *bookkeeping* cost of a cycle.
     pub cell_probes: u64,
-    /// Per-(tuple × query) probes: score evaluations / result tests
-    /// attempted during event replay. This is the paper-comparable
+    /// Per-(tuple × query) probes: entries of a run's coordinate block
+    /// streamed through the scoring kernels during event replay (or
+    /// removal tests on the expiry side). This is the paper-comparable
     /// "influence probe" count (an event × every query listed in its
     /// cell), identical to what the pre-grouped replay loop counted —
     /// Figure-reproduction binaries report this number.

@@ -7,6 +7,7 @@
 //! order is irrelevant) and never recomputed; and maintenance merely
 //! reports arrivals/expiries of qualifying tuples.
 
+use crate::kernel;
 use crate::registry::QueryRegistry;
 use crate::tma::{validate_arrivals, GridSpec};
 use tkm_common::{FxHashSet, QueryId, Result, ScoreFn, Scored, Timestamp, TkmError, TupleId};
@@ -88,11 +89,11 @@ impl ThresholdMonitor {
             },
         )?;
         let Self {
-            window,
             grid,
             influence,
             stamps,
             queries,
+            ..
         } = self;
         let (_, st) = queries.slot_mut(slot);
         // List walk from the best corner over cells with maxscore > τ
@@ -102,28 +103,43 @@ impl ThresholdMonitor {
         let start = grid.best_corner(&st.f);
         stamps.mark(start);
         let mut list = vec![start];
+        let ThresholdQuery {
+            f,
+            threshold,
+            matching,
+            added,
+            ..
+        } = st;
         while let Some(cell) = list.pop() {
-            if grid.maxscore(cell, &st.f) <= st.threshold {
+            if grid.maxscore(cell, f) <= *threshold {
                 continue;
             }
-            for tid in grid.cell(cell).points().iter() {
-                let coords = window.coords(tid).expect("grid indexes valid tuples");
-                let score = st.f.score(coords);
-                if score > st.threshold {
-                    st.matching.insert(tid);
-                    st.added.push(Scored::new(score, tid));
-                }
-            }
+            // Stream the cell's coordinate-inline block through the
+            // scoring kernel; no window resolution per tuple.
+            let points = grid.cell(cell).points();
+            kernel::scan_block(
+                f,
+                grid.dims(),
+                points.ids(),
+                points.coords(),
+                None,
+                |tid, score| {
+                    if score > *threshold {
+                        matching.insert(tid);
+                        added.push(Scored::new(score, tid));
+                    }
+                },
+            );
             influence.insert(cell, slot);
             for dim in 0..grid.dims() {
-                if let Some(n) = grid.step_worse(cell, dim, &st.f) {
+                if let Some(n) = grid.step_worse(cell, dim, f) {
                     if stamps.mark(n) {
                         list.push(n);
                     }
                 }
             }
         }
-        st.added.sort_by(|a, b| b.cmp(a));
+        added.sort_by(|a, b| b.cmp(a));
         Ok(())
     }
 
@@ -174,7 +190,7 @@ impl ThresholdMonitor {
                 let cell = grid.insert_point(coords, id);
                 for &slot in influence.as_slice(cell) {
                     let (_, st) = queries.slot_mut(slot);
-                    let score = st.f.score(coords);
+                    let score = kernel::score_point(&st.f, coords);
                     if score > st.threshold {
                         st.matching.insert(id);
                         st.added.push(Scored::new(score, id));

@@ -3,15 +3,17 @@
 //!
 //! Tuples no longer leave in arrival order, so the FIFO machinery is
 //! replaced: the backing store is a slab with hash lookup and the grid
-//! cells keep hash-set point lists. TMA carries over directly — a deletion
+//! cells delete from their coordinate-inline point blocks by id-indexed
+//! swap-remove. TMA carries over directly — a deletion
 //! hitting a result triggers recomputation. SMA does **not** apply: the
 //! skyband reduction requires knowing the expiry order in advance, which an
 //! update stream does not provide (constructing [`UpdateStreamTma`] is the
 //! only supported option, and the crate intentionally offers no SMA
 //! counterpart).
 
-use crate::compute::{compute_topk, ComputeScratch};
+use crate::compute::{compute_topk, ComputeScratch, InfluenceUpdate};
 use crate::influence::{cleanup_from_frontier, remove_query_walk};
+use crate::kernel;
 use crate::query::Query;
 use crate::registry::QueryRegistry;
 use crate::result::TopList;
@@ -35,6 +37,11 @@ struct UsQuery {
     query: Query,
     top: TopList,
     affected: bool,
+    /// [`ComputeOutcome::region_bound`] of the last computation: cells
+    /// with traversal keys strictly above this already carry the slot.
+    ///
+    /// [`ComputeOutcome::region_bound`]: crate::compute::ComputeOutcome
+    region_bound: f64,
 }
 
 /// TMA over an explicit-deletion update stream.
@@ -79,6 +86,12 @@ impl UpdateStreamTma {
         &self.store
     }
 
+    /// The underlying grid (read access, for diagnostics).
+    #[inline]
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
     /// Registers a query and computes its initial result.
     pub fn register_query(&mut self, id: QueryId, query: Query) -> Result<()> {
         if query.dims() != self.dims() {
@@ -94,6 +107,7 @@ impl UpdateStreamTma {
                 query,
                 top: TopList::new(k),
                 affected: false,
+                region_bound: f64::INFINITY,
             },
         )?;
         let Self {
@@ -102,15 +116,13 @@ impl UpdateStreamTma {
             scratch,
             queries,
             stats,
-            store,
             ..
         } = self;
         let (_, st) = queries.slot_mut(slot);
         let out = compute_topk(
             grid,
             scratch,
-            store,
-            Some((&mut *influence, slot)),
+            Some(InfluenceUpdate::fresh(influence, slot)),
             &st.query.f,
             st.query.k,
             st.query.constraint.as_ref(),
@@ -121,6 +133,7 @@ impl UpdateStreamTma {
         stats.cells_processed += out.stats.cells_processed;
         stats.points_scanned += out.stats.points_scanned;
         st.top = out.top;
+        st.region_bound = out.region_bound;
         Ok(())
     }
 
@@ -183,7 +196,7 @@ impl UpdateStreamTma {
                     continue;
                 }
             }
-            let score = st.query.f.score(coords);
+            let score = kernel::score_point(&st.query.f, coords);
             if score >= st.top.threshold() && st.top.offer(Scored::new(score, id)) {
                 self.stats.result_updates += 1;
             }
@@ -220,13 +233,13 @@ impl UpdateStreamTma {
     pub fn end_cycle(&mut self) {
         self.stats.ticks += 1;
         let Self {
-            store,
             grid,
             influence,
             scratch,
             queries,
             stats,
             affected,
+            ..
         } = self;
         for &slot in affected.iter() {
             let (_, st) = queries.slot_mut(slot);
@@ -234,8 +247,11 @@ impl UpdateStreamTma {
             let out = compute_topk(
                 grid,
                 scratch,
-                store,
-                Some((&mut *influence, slot)),
+                Some(InfluenceUpdate {
+                    table: influence,
+                    slot,
+                    listed_above: st.region_bound,
+                }),
                 &st.query.f,
                 st.query.k,
                 st.query.constraint.as_ref(),
@@ -246,6 +262,7 @@ impl UpdateStreamTma {
             stats.cells_processed += out.stats.cells_processed;
             stats.points_scanned += out.stats.points_scanned;
             st.top = out.top;
+            st.region_bound = out.region_bound;
             stats.cleanup_cells += cleanup_from_frontier(
                 grid,
                 influence,

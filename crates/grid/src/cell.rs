@@ -1,49 +1,87 @@
-//! Grid cells: point lists.
+//! Grid cells: coordinate-inline point blocks.
 //!
 //! Influence lists live *outside* the cells (see
 //! [`crate::influence::InfluenceTable`]) so that the grid stays immutable
 //! during query maintenance and can be shared read-only across maintenance
 //! shards.
+//!
+//! Each cell stores its points as a structure-of-arrays block: a dense
+//! `Vec<TupleId>` of ids plus a packed `Vec<f64>` of coordinates (`d`
+//! consecutive values per point, parallel to the ids). The top-k traversal
+//! streams `(id, coords)` pairs straight out of the cell — no per-tuple
+//! indirection into the window ring or slab — so a cell scan is two
+//! contiguous reads that the dim-specialized scoring kernels can
+//! auto-vectorize over.
+//!
+//! The two deletion disciplines map onto the same block:
+//!
+//! * **FIFO** (sliding windows, §4.1): per-cell insertions and deletions
+//!   both happen in arrival order, so the block is a head-offset ring —
+//!   removal bumps `head`, and the dead prefix is compacted away whenever
+//!   it outgrows the live suffix (amortized O(1) per removal, and the live
+//!   region always stays a single contiguous run for the scan kernels).
+//! * **Hash** (explicit-deletion update streams, §7): deletions strike
+//!   anywhere, so an id → block-index map enables O(1) swap-remove; the
+//!   scan side is identical.
 
-use std::collections::VecDeque;
+use tkm_common::{FxHashMap, Result, TkmError, TupleId};
 
-use tkm_common::{FxHashSet, Result, TkmError, TupleId};
-
-/// How a cell stores its point list.
+/// How a cell deletes from its point block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CellMode {
-    /// FIFO deque — sliding windows, where per-cell insertions and
-    /// deletions both happen in arrival order (O(1) each, §4.1).
+    /// Head-offset ring — sliding windows, where per-cell insertions and
+    /// deletions both happen in arrival order (amortized O(1) each, §4.1).
     Fifo,
-    /// Hash set — explicit-deletion update streams (§7), where deletions
-    /// strike anywhere in the cell.
+    /// Id-indexed swap-remove — explicit-deletion update streams (§7),
+    /// where deletions strike anywhere in the cell.
     Hash,
 }
 
-/// Point list of one cell.
+/// Minimum dead-prefix length before a FIFO block is compacted. Compaction
+/// copies the live suffix to the front; deferring it until the dead prefix
+/// outgrows both the live suffix and this floor keeps the copy amortized
+/// O(1) per removal without thrashing small cells.
+const COMPACT_MIN: u32 = 8;
+
+/// Coordinate-inline point block of one cell (structure-of-arrays).
 #[derive(Debug)]
-pub enum PointList {
-    /// Arrival-ordered ids (front = oldest).
-    Fifo(VecDeque<TupleId>),
-    /// Unordered ids.
-    Hash(FxHashSet<TupleId>),
+pub struct PointList {
+    /// Tuple ids; `head..` are live (arrival order in FIFO mode).
+    ids: Vec<TupleId>,
+    /// Packed coordinates, `dims` per point, parallel to `ids`.
+    coords: Vec<f64>,
+    /// Offset (in points) of the logical front; always 0 in Hash mode.
+    head: u32,
+    /// Coordinates per point.
+    dims: u32,
+    /// Hash mode only: id → index into `ids`.
+    index: Option<Box<FxHashMap<TupleId, u32>>>,
 }
 
 impl PointList {
-    fn new(mode: CellMode) -> PointList {
-        match mode {
-            CellMode::Fifo => PointList::Fifo(VecDeque::new()),
-            CellMode::Hash => PointList::Hash(FxHashSet::default()),
+    fn new(mode: CellMode, dims: usize) -> PointList {
+        PointList {
+            ids: Vec::new(),
+            coords: Vec::new(),
+            head: 0,
+            dims: dims as u32,
+            index: match mode {
+                CellMode::Fifo => None,
+                CellMode::Hash => Some(Box::default()),
+            },
         }
     }
 
-    /// Number of points in the cell.
+    /// Coordinates per point.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims as usize
+    }
+
+    /// Number of live points in the cell.
     #[inline]
     pub fn len(&self) -> usize {
-        match self {
-            PointList::Fifo(d) => d.len(),
-            PointList::Hash(s) => s.len(),
-        }
+        self.ids.len() - self.head as usize
     }
 
     /// Whether the cell is empty.
@@ -52,70 +90,131 @@ impl PointList {
         self.len() == 0
     }
 
-    /// Iterates the ids in the cell (arrival order for FIFO cells).
-    pub fn iter(&self) -> PointIter<'_> {
-        match self {
-            PointList::Fifo(d) => PointIter::Fifo(d.iter()),
-            PointList::Hash(s) => PointIter::Hash(s.iter()),
-        }
-    }
-}
-
-/// Iterator over the tuple ids of one cell.
-pub enum PointIter<'a> {
-    /// FIFO backing.
-    Fifo(std::collections::vec_deque::Iter<'a, TupleId>),
-    /// Hash backing.
-    Hash(std::collections::hash_set::Iter<'a, TupleId>),
-}
-
-impl Iterator for PointIter<'_> {
-    type Item = TupleId;
-
+    /// The live tuple ids (front = oldest for FIFO cells).
     #[inline]
-    fn next(&mut self) -> Option<TupleId> {
-        match self {
-            PointIter::Fifo(it) => it.next().copied(),
-            PointIter::Hash(it) => it.next().copied(),
+    pub fn ids(&self) -> &[TupleId] {
+        &self.ids[self.head as usize..]
+    }
+
+    /// The packed coordinates of the live tuples, `dims` consecutive values
+    /// per point, aligned with [`PointList::ids`].
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords[self.head as usize * self.dims as usize..]
+    }
+
+    /// Iterates `(id, coords)` pairs (arrival order for FIFO cells).
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &[f64])> {
+        self.ids()
+            .iter()
+            .copied()
+            .zip(self.coords().chunks_exact(self.dims as usize))
+    }
+
+    /// Physical point capacity of the id array (diagnostics / space tests).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.ids.capacity()
+    }
+
+    /// Usable capacity of the Hash-mode id index (0 for FIFO cells).
+    #[inline]
+    pub fn index_capacity(&self) -> usize {
+        self.index.as_ref().map_or(0, |m| m.capacity())
+    }
+
+    fn push(&mut self, id: TupleId, coords: &[f64]) {
+        debug_assert_eq!(coords.len(), self.dims as usize);
+        if let Some(index) = &mut self.index {
+            let prev = index.insert(id, self.ids.len() as u32);
+            debug_assert!(prev.is_none(), "duplicate insert of {id:?}");
+        }
+        self.ids.push(id);
+        // Element-wise pushes: `extend_from_slice` lowers to a memcpy call
+        // for runtime-length slices, which costs more than d stores for
+        // the tiny d of a point.
+        for &c in coords {
+            self.coords.push(c);
         }
     }
 
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        match self {
-            PointIter::Fifo(it) => it.size_hint(),
-            PointIter::Hash(it) => it.size_hint(),
+    fn remove(&mut self, id: TupleId) -> Result<()> {
+        match &mut self.index {
+            None => {
+                // FIFO: only the front may leave.
+                match self.ids.get(self.head as usize) {
+                    Some(front) if *front == id => {
+                        self.head += 1;
+                        self.maybe_compact();
+                        Ok(())
+                    }
+                    _ => Err(TkmError::UnknownTuple(id)),
+                }
+            }
+            Some(index) => {
+                let Some(pos) = index.remove(&id) else {
+                    return Err(TkmError::UnknownTuple(id));
+                };
+                let pos = pos as usize;
+                let last = self.ids.len() - 1;
+                let d = self.dims as usize;
+                if pos != last {
+                    let moved = self.ids[last];
+                    self.ids[pos] = moved;
+                    self.coords.copy_within(last * d..(last + 1) * d, pos * d);
+                    index.insert(moved, pos as u32);
+                }
+                self.ids.pop();
+                self.coords.truncate(last * d);
+                Ok(())
+            }
+        }
+    }
+
+    /// Drops the dead prefix of a FIFO block once it outgrows the live
+    /// suffix: the copy moves `live` points after at least `live` removals
+    /// since the previous compaction, so each removal pays O(1) amortized.
+    fn maybe_compact(&mut self) {
+        let head = self.head as usize;
+        let live = self.ids.len() - head;
+        if live == 0 {
+            self.ids.clear();
+            self.coords.clear();
+            self.head = 0;
+        } else if self.head >= COMPACT_MIN && head > live {
+            let d = self.dims as usize;
+            self.ids.copy_within(head.., 0);
+            self.ids.truncate(live);
+            self.coords.copy_within(head * d.., 0);
+            self.coords.truncate(live * d);
+            self.head = 0;
         }
     }
 }
 
-/// One grid cell: its point list.
+/// One grid cell: its coordinate-inline point block.
 #[derive(Debug)]
 pub struct Cell {
     points: PointList,
 }
 
 impl Cell {
-    pub(crate) fn new(mode: CellMode) -> Cell {
+    pub(crate) fn new(mode: CellMode, dims: usize) -> Cell {
         Cell {
-            points: PointList::new(mode),
+            points: PointList::new(mode, dims),
         }
     }
 
-    /// The cell's point list.
+    /// The cell's point block.
     #[inline]
     pub fn points(&self) -> &PointList {
         &self.points
     }
 
-    /// Adds a tuple to the point list (tail position for FIFO cells —
-    /// callers must insert in arrival order).
-    pub fn push_point(&mut self, id: TupleId) {
-        match &mut self.points {
-            PointList::Fifo(d) => d.push_back(id),
-            PointList::Hash(s) => {
-                s.insert(id);
-            }
-        }
+    /// Adds a tuple and its coordinates to the block (tail position for
+    /// FIFO cells — callers must insert in arrival order).
+    pub fn push_point(&mut self, id: TupleId, coords: &[f64]) {
+        self.points.push(id, coords);
     }
 
     /// Removes a tuple.
@@ -125,32 +224,35 @@ impl Cell {
     /// anything else indicates engine corruption and is reported as an
     /// error rather than silently breaking the index.
     pub fn remove_point(&mut self, id: TupleId) -> Result<()> {
-        match &mut self.points {
-            PointList::Fifo(d) => match d.front() {
-                Some(front) if *front == id => {
-                    d.pop_front();
-                    Ok(())
-                }
-                _ => Err(TkmError::UnknownTuple(id)),
-            },
-            PointList::Hash(s) => {
-                if s.remove(&id) {
-                    Ok(())
-                } else {
-                    Err(TkmError::UnknownTuple(id))
-                }
-            }
-        }
+        self.points.remove(id)
     }
 
-    /// Deep size estimate in bytes.
+    /// Deep size estimate in bytes: retained id + coordinate capacity plus
+    /// the Hash-mode index table (bucket array at its real load factor, not
+    /// just the live entries).
     pub fn space_bytes(&self) -> usize {
-        let points = match &self.points {
-            PointList::Fifo(d) => d.capacity() * std::mem::size_of::<TupleId>(),
-            PointList::Hash(s) => s.capacity() * (std::mem::size_of::<TupleId>() + 8),
-        };
-        std::mem::size_of::<Self>() + points
+        let p = &self.points;
+        let mut bytes = std::mem::size_of::<Self>()
+            + p.ids.capacity() * std::mem::size_of::<TupleId>()
+            + p.coords.capacity() * std::mem::size_of::<f64>();
+        if let Some(index) = &p.index {
+            bytes +=
+                std::mem::size_of::<FxHashMap<TupleId, u32>>() + hash_index_bytes(index.capacity());
+        }
+        bytes
     }
+}
+
+/// Heap footprint of a hashbrown-style table with the given *usable*
+/// capacity: the bucket array is sized to the next power of two above
+/// `capacity / 0.875` (the 7/8 load factor), and each bucket pays its
+/// `(TupleId, u32)` entry plus one control byte.
+pub(crate) fn hash_index_bytes(capacity: usize) -> usize {
+    if capacity == 0 {
+        return 0;
+    }
+    let buckets = (capacity * 8 / 7 + 1).next_power_of_two();
+    buckets * (std::mem::size_of::<(TupleId, u32)>() + 1)
 }
 
 #[cfg(test)]
@@ -159,35 +261,117 @@ mod tests {
 
     #[test]
     fn fifo_point_list_enforces_order() {
-        let mut c = Cell::new(CellMode::Fifo);
-        c.push_point(TupleId(1));
-        c.push_point(TupleId(5));
+        let mut c = Cell::new(CellMode::Fifo, 2);
+        c.push_point(TupleId(1), &[0.1, 0.2]);
+        c.push_point(TupleId(5), &[0.3, 0.4]);
         assert_eq!(c.points().len(), 2);
         // Removing a non-front id is an engine bug and must be caught.
         assert!(c.remove_point(TupleId(5)).is_err());
         assert!(c.remove_point(TupleId(1)).is_ok());
+        assert_eq!(c.points().ids(), &[TupleId(5)]);
+        assert_eq!(c.points().coords(), &[0.3, 0.4]);
         assert!(c.remove_point(TupleId(5)).is_ok());
         assert!(c.points().is_empty());
     }
 
     #[test]
     fn hash_point_list_random_removal() {
-        let mut c = Cell::new(CellMode::Hash);
+        let mut c = Cell::new(CellMode::Hash, 1);
         for i in 0..5 {
-            c.push_point(TupleId(i));
+            c.push_point(TupleId(i), &[i as f64 / 10.0]);
         }
         assert!(c.remove_point(TupleId(3)).is_ok());
         assert!(c.remove_point(TupleId(3)).is_err());
         assert_eq!(c.points().len(), 4);
-        let mut ids: Vec<u64> = c.points().iter().map(|t| t.0).collect();
-        ids.sort_unstable();
-        assert_eq!(ids, vec![0, 1, 2, 4]);
+        let mut pts: Vec<(u64, f64)> = c.points().iter().map(|(t, c)| (t.0, c[0])).collect();
+        pts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(pts, vec![(0, 0.0), (1, 0.1), (2, 0.2), (4, 0.4)]);
+    }
+
+    /// The ids and coords arrays must stay aligned across swap-removes.
+    #[test]
+    fn hash_swap_remove_keeps_blocks_aligned() {
+        let mut c = Cell::new(CellMode::Hash, 2);
+        for i in 0..10u64 {
+            c.push_point(TupleId(i), &[i as f64 / 10.0, i as f64 / 20.0]);
+        }
+        // Remove in an arbitrary (non-FIFO) order.
+        for victim in [4u64, 0, 9, 5, 1] {
+            assert!(c.remove_point(TupleId(victim)).is_ok());
+        }
+        assert_eq!(c.points().len(), 5);
+        for (id, coords) in c.points().iter() {
+            assert_eq!(coords, &[id.0 as f64 / 10.0, id.0 as f64 / 20.0]);
+        }
+    }
+
+    /// FIFO blocks compact their dead prefix: after draining far more
+    /// points than remain live, the retained buffers must not keep
+    /// growing with the total insert count.
+    #[test]
+    fn fifo_ring_compacts_dead_prefix() {
+        let mut c = Cell::new(CellMode::Fifo, 2);
+        for i in 0..4096u64 {
+            c.push_point(TupleId(i), &[0.5, 0.5]);
+            if i >= 4 {
+                c.remove_point(TupleId(i - 4)).unwrap();
+            }
+        }
+        assert_eq!(c.points().len(), 4);
+        assert!(
+            c.points().capacity() < 4096,
+            "dead prefix never compacted: capacity {}",
+            c.points().capacity()
+        );
+        // The live window survived the compactions intact.
+        let ids: Vec<u64> = c.points().ids().iter().map(|t| t.0).collect();
+        assert_eq!(ids, vec![4092, 4093, 4094, 4095]);
     }
 
     #[test]
     fn empty_cell_is_small() {
         // Hot memory matters: millions of cells may exist. With influence
-        // lists moved to `InfluenceTable`, a cell is just its point list.
-        assert!(std::mem::size_of::<Cell>() <= 48);
+        // lists in `InfluenceTable` and the Hash index boxed, a cell is two
+        // Vecs plus the head/dims words and one optional pointer.
+        assert!(std::mem::size_of::<Cell>() <= 64);
+    }
+
+    /// `space_bytes` must track the *retained* capacities of the SoA block
+    /// and charge the Hash index at its bucket-array size (load-factor
+    /// overhead included), not the naive entry count.
+    #[test]
+    fn space_bytes_pins_layout_accounting() {
+        let dims = 3;
+        let mut fifo = Cell::new(CellMode::Fifo, dims);
+        let mut hash = Cell::new(CellMode::Hash, dims);
+        assert_eq!(fifo.space_bytes(), std::mem::size_of::<Cell>());
+        for i in 0..100u64 {
+            fifo.push_point(TupleId(i), &[0.1, 0.2, 0.3]);
+            hash.push_point(TupleId(i), &[0.1, 0.2, 0.3]);
+        }
+        // FIFO: exactly the two Vec capacities.
+        assert_eq!(
+            fifo.space_bytes(),
+            std::mem::size_of::<Cell>()
+                + fifo.points().capacity() * std::mem::size_of::<TupleId>()
+                + fifo.points().coords.capacity() * std::mem::size_of::<f64>()
+        );
+        // Hash: additionally the boxed map struct + its bucket array.
+        let expect_index = std::mem::size_of::<FxHashMap<TupleId, u32>>()
+            + hash_index_bytes(hash.points().index_capacity());
+        assert_eq!(
+            hash.space_bytes(),
+            std::mem::size_of::<Cell>()
+                + hash.points().capacity() * std::mem::size_of::<TupleId>()
+                + hash.points().coords.capacity() * std::mem::size_of::<f64>()
+                + expect_index
+        );
+        // Load-factor overhead: the bucket array estimate must exceed the
+        // naive entries × entry-size figure the old accounting used.
+        let naive = 100 * (std::mem::size_of::<TupleId>() + std::mem::size_of::<u32>());
+        assert!(hash_index_bytes(hash.points().index_capacity()) > naive);
+        // And the bucket count actually covers the usable capacity.
+        let cap = hash.points().index_capacity();
+        assert!(hash_index_bytes(cap) >= cap * std::mem::size_of::<(TupleId, u32)>());
     }
 }

@@ -18,8 +18,23 @@ pub struct Grid {
     dims: usize,
     per_dim: usize,
     delta: f64,
+    /// Exactly `per_dim as f64`: `locate` multiplies by this instead of
+    /// dividing by `delta` (the float-guard comparisons stay in terms of
+    /// `delta` products, so cell assignment is unchanged).
+    inv_delta: f64,
     mode: CellMode,
     cells: Vec<Cell>,
+    /// Precomputed closed bounds of every cell, `2·dims` values apiece
+    /// (lower corner, then upper corner). `maxscore` runs on every heap
+    /// push of the traversal; reading the corner here replaces the per-call
+    /// div/mod decomposition of the linear cell index.
+    bounds: Vec<f64>,
+    /// Per-cell per-axis indices (`dims` apiece): the worse-neighbour steps
+    /// of the traversal and the clean-up walks check boundaries here
+    /// instead of re-deriving axis indices with a div/mod chain.
+    axes: Vec<u32>,
+    /// Linear-index stride of one step along each axis (`per_dim^axis`).
+    strides: [u32; MAX_DIMS],
 }
 
 impl Grid {
@@ -45,13 +60,56 @@ impl Grid {
             }
         }
         let mut cells = Vec::with_capacity(total);
-        cells.resize_with(total, || Cell::new(mode));
+        cells.resize_with(total, || Cell::new(mode, dims));
+        let delta = 1.0 / per_dim as f64;
+        // Precompute every cell's closed bounds and axis indices with an
+        // odometer over the per-axis indices (dimension 0 fastest,
+        // matching `locate`).
+        let mut bounds = Vec::with_capacity(total * 2 * dims);
+        let mut axes = Vec::with_capacity(total * dims);
+        let mut idx = [0usize; MAX_DIMS];
+        for _ in 0..total {
+            for &i in idx.iter().take(dims) {
+                bounds.push(i as f64 * delta);
+            }
+            for &i in idx.iter().take(dims) {
+                // The workspace ends at exactly 1.0; `per_dim·δ` can round
+                // to either side of it, so the last cell's upper bound is
+                // pinned (sound — no coordinate exceeds 1.0 — and at least
+                // as tight).
+                bounds.push(if i + 1 == per_dim {
+                    1.0
+                } else {
+                    (i + 1) as f64 * delta
+                });
+            }
+            for &i in idx.iter().take(dims) {
+                axes.push(i as u32);
+            }
+            for slot in idx.iter_mut().take(dims) {
+                *slot += 1;
+                if *slot < per_dim {
+                    break;
+                }
+                *slot = 0;
+            }
+        }
+        let mut strides = [0u32; MAX_DIMS];
+        let mut stride = 1usize;
+        for s in strides.iter_mut().take(dims) {
+            *s = stride as u32;
+            stride *= per_dim;
+        }
         Ok(Grid {
             dims,
             per_dim,
-            delta: 1.0 / per_dim as f64,
+            delta,
+            inv_delta: per_dim as f64,
             mode,
             cells,
+            bounds,
+            axes,
+            strides,
         })
     }
 
@@ -126,7 +184,7 @@ impl Grid {
             "coordinates must lie in the unit workspace, got {x}"
         );
         let clamped = x.clamp(0.0, 1.0);
-        let mut idx = ((clamped / self.delta) as usize).min(self.per_dim - 1);
+        let mut idx = ((clamped * self.inv_delta) as usize).min(self.per_dim - 1);
         // Floating-point guard: make the assignment consistent with the
         // closed cell bounds used by `maxscore` (idx·δ ≤ x ≤ (idx+1)·δ).
         if clamped < idx as f64 * self.delta {
@@ -134,7 +192,11 @@ impl Grid {
         } else if clamped > (idx + 1) as f64 * self.delta {
             idx += 1;
         }
-        idx
+        // The guard can step past the last cell when `per_dim·δ` rounds
+        // below 1.0 (e.g. per_dim = 49): x = 1.0 exceeds `per_dim·δ` yet
+        // belongs to the last cell, whose upper bound is pinned to exactly
+        // 1.0 in the bounds table.
+        idx.min(self.per_dim - 1)
     }
 
     /// The cell covering `coords`. Coordinates must lie in `[0,1]^d`.
@@ -152,16 +214,22 @@ impl Grid {
     }
 
     /// Decomposes a cell id into per-axis indices (first `dims` entries of
-    /// the returned array are meaningful).
+    /// the returned array are meaningful). Reads the precomputed axis
+    /// table — no div/mod chain.
     #[inline]
     pub fn cell_coords(&self, id: CellId) -> [usize; MAX_DIMS] {
-        let mut rest = id.0 as usize;
+        let base = id.0 as usize * self.dims;
         let mut out = [0usize; MAX_DIMS];
-        for slot in out.iter_mut().take(self.dims) {
-            *slot = rest % self.per_dim;
-            rest /= self.per_dim;
+        for (slot, &axis) in out.iter_mut().zip(&self.axes[base..base + self.dims]) {
+            *slot = axis as usize;
         }
         out
+    }
+
+    /// The per-axis index of a cell along one dimension (precomputed).
+    #[inline]
+    fn axis_of(&self, id: CellId, dim: usize) -> u32 {
+        self.axes[id.0 as usize * self.dims + dim]
     }
 
     /// Recomposes per-axis indices into a cell id.
@@ -178,25 +246,30 @@ impl Grid {
         CellId(linear as u32)
     }
 
+    /// The precomputed closed bounds of a cell as `(lo, hi)` slices.
+    #[inline]
+    pub fn cell_lo_hi(&self, id: CellId) -> (&[f64], &[f64]) {
+        let base = id.0 as usize * 2 * self.dims;
+        let block = &self.bounds[base..base + 2 * self.dims];
+        block.split_at(self.dims)
+    }
+
     /// Fills `lo`/`hi` with the closed bounds of the cell.
     #[inline]
     pub fn cell_bounds(&self, id: CellId, lo: &mut [f64], hi: &mut [f64]) {
-        let coords = self.cell_coords(id);
-        for dim in 0..self.dims {
-            lo[dim] = coords[dim] as f64 * self.delta;
-            hi[dim] = (coords[dim] + 1) as f64 * self.delta;
-        }
+        let (src_lo, src_hi) = self.cell_lo_hi(id);
+        lo[..self.dims].copy_from_slice(src_lo);
+        hi[..self.dims].copy_from_slice(src_hi);
     }
 
     /// Upper bound for the score of any point inside the cell: the score of
-    /// the cell's preferred corner (paper §3.1).
+    /// the cell's preferred corner (paper §3.1). Runs on every heap push of
+    /// the traversal, so it reads the precomputed corner directly.
     #[inline]
     pub fn maxscore(&self, id: CellId, f: &ScoreFn) -> f64 {
         debug_assert_eq!(f.dims(), self.dims);
-        let mut lo = [0.0f64; MAX_DIMS];
-        let mut hi = [0.0f64; MAX_DIMS];
-        self.cell_bounds(id, &mut lo, &mut hi);
-        f.max_score_rect(&lo[..self.dims], &hi[..self.dims])
+        let (lo, hi) = self.cell_lo_hi(id);
+        f.max_score_rect(lo, hi)
     }
 
     /// Upper bound for the score of any point inside the *intersection* of
@@ -208,12 +281,12 @@ impl Grid {
     #[inline]
     pub fn maxscore_in(&self, id: CellId, f: &ScoreFn, rect: &Rect) -> f64 {
         debug_assert_eq!(f.dims(), self.dims);
+        let (cell_lo, cell_hi) = self.cell_lo_hi(id);
         let mut lo = [0.0f64; MAX_DIMS];
         let mut hi = [0.0f64; MAX_DIMS];
-        self.cell_bounds(id, &mut lo, &mut hi);
         for dim in 0..self.dims {
-            lo[dim] = lo[dim].max(rect.lo()[dim]);
-            hi[dim] = hi[dim].min(rect.hi()[dim]);
+            lo[dim] = cell_lo[dim].max(rect.lo()[dim]);
+            hi[dim] = cell_hi[dim].min(rect.hi()[dim]);
             if lo[dim] > hi[dim] {
                 // Disjoint (possible for range-boundary cells): nothing
                 // inside can qualify.
@@ -238,24 +311,39 @@ impl Grid {
 
     /// The neighbour of `id` one step toward lower scores along `dim`
     /// (`c_{i-1,j}` / `c_{i,j-1}` of Figure 6 generalised to monotonicity
-    /// direction), or `None` at the workspace boundary.
+    /// direction), or `None` at the workspace boundary. One axis-table
+    /// read and one stride add — this runs for every processed cell ×
+    /// dimension of every traversal and clean-up walk.
+    #[inline]
     pub fn step_worse(&self, id: CellId, dim: usize, f: &ScoreFn) -> Option<CellId> {
-        let mut coords = self.cell_coords(id);
-        match f.monotonicity(dim) {
+        self.step_worse_dir(id, dim, f.monotonicity(dim))
+    }
+
+    /// [`Grid::step_worse`] with the monotonicity direction already
+    /// resolved — traversals resolve each axis once up front instead of
+    /// dispatching into the scoring function on every step.
+    #[inline]
+    pub fn step_worse_dir(
+        &self,
+        id: CellId,
+        dim: usize,
+        dir: tkm_common::Monotonicity,
+    ) -> Option<CellId> {
+        let axis = self.axis_of(id, dim);
+        match dir {
             tkm_common::Monotonicity::Increasing => {
-                if coords[dim] == 0 {
+                if axis == 0 {
                     return None;
                 }
-                coords[dim] -= 1;
+                Some(CellId(id.0 - self.strides[dim]))
             }
             tkm_common::Monotonicity::Decreasing => {
-                if coords[dim] + 1 >= self.per_dim {
+                if axis as usize + 1 >= self.per_dim {
                     return None;
                 }
-                coords[dim] += 1;
+                Some(CellId(id.0 + self.strides[dim]))
             }
         }
-        Some(self.cell_from_coords(&coords[..self.dims]))
     }
 
     /// Per-axis cell index range `[lo, hi]` (inclusive) of the cells that
@@ -289,6 +377,7 @@ impl Grid {
     }
 
     /// [`Grid::step_worse`] restricted to an inclusive per-axis cell range.
+    #[inline]
     pub fn step_worse_in(
         &self,
         id: CellId,
@@ -296,28 +385,41 @@ impl Grid {
         f: &ScoreFn,
         range: &([usize; MAX_DIMS], [usize; MAX_DIMS]),
     ) -> Option<CellId> {
-        let mut coords = self.cell_coords(id);
-        match f.monotonicity(dim) {
-            tkm_common::Monotonicity::Increasing => {
-                if coords[dim] <= range.0[dim] {
-                    return None;
-                }
-                coords[dim] -= 1;
-            }
-            tkm_common::Monotonicity::Decreasing => {
-                if coords[dim] >= range.1[dim] {
-                    return None;
-                }
-                coords[dim] += 1;
-            }
-        }
-        Some(self.cell_from_coords(&coords[..self.dims]))
+        self.step_worse_in_dir(id, dim, f.monotonicity(dim), range)
     }
 
-    /// Inserts a tuple into its covering cell; returns the cell id.
+    /// [`Grid::step_worse_dir`] restricted to an inclusive per-axis cell
+    /// range.
+    #[inline]
+    pub fn step_worse_in_dir(
+        &self,
+        id: CellId,
+        dim: usize,
+        dir: tkm_common::Monotonicity,
+        range: &([usize; MAX_DIMS], [usize; MAX_DIMS]),
+    ) -> Option<CellId> {
+        let axis = self.axis_of(id, dim) as usize;
+        match dir {
+            tkm_common::Monotonicity::Increasing => {
+                if axis <= range.0[dim] {
+                    return None;
+                }
+                Some(CellId(id.0 - self.strides[dim]))
+            }
+            tkm_common::Monotonicity::Decreasing => {
+                if axis >= range.1[dim] {
+                    return None;
+                }
+                Some(CellId(id.0 + self.strides[dim]))
+            }
+        }
+    }
+
+    /// Inserts a tuple into its covering cell (coordinates are copied into
+    /// the cell's point block); returns the cell id.
     pub fn insert_point(&mut self, coords: &[f64], id: TupleId) -> CellId {
         let cell = self.locate(coords);
-        self.cell_mut(cell).push_point(id);
+        self.cell_mut(cell).push_point(id, coords);
         cell
     }
 
@@ -330,7 +432,10 @@ impl Grid {
 
     /// Deep size estimate in bytes.
     pub fn space_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.cells.iter().map(Cell::space_bytes).sum::<usize>()
+        std::mem::size_of::<Self>()
+            + self.bounds.capacity() * std::mem::size_of::<f64>()
+            + self.axes.capacity() * std::mem::size_of::<u32>()
+            + self.cells.iter().map(Cell::space_bytes).sum::<usize>()
     }
 }
 
@@ -443,6 +548,58 @@ mod tests {
         let lo_corner = g.cell_from_coords(&[3, 2]);
         assert_eq!(g.step_worse_in(lo_corner, 0, &f, &range), None);
         assert_eq!(g.step_worse_in(lo_corner, 1, &f, &range), None);
+    }
+
+    /// The construction-time bounds table must agree exactly (bitwise, not
+    /// within epsilon) with the index-arithmetic derivation it replaced —
+    /// `axis_index`'s floating-point guard depends on the same products —
+    /// except each axis' last cell, whose upper bound is pinned to 1.0.
+    #[test]
+    fn precomputed_bounds_match_index_arithmetic() {
+        for dims in 1..=3usize {
+            let g = Grid::new(dims, 7, CellMode::Fifo).unwrap();
+            for c in 0..g.num_cells() as u32 {
+                let id = CellId(c);
+                let cc = g.cell_coords(id);
+                let (lo, hi) = g.cell_lo_hi(id);
+                for dim in 0..dims {
+                    assert_eq!(lo[dim], cc[dim] as f64 * g.delta());
+                    if cc[dim] + 1 == g.per_dim() {
+                        assert_eq!(hi[dim], 1.0);
+                    } else {
+                        assert_eq!(hi[dim], (cc[dim] + 1) as f64 * g.delta());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Regression: resolutions where `per_dim · fl(1/per_dim)` rounds
+    /// below 1.0 (49 is one) used to let the float guard step *past* the
+    /// last cell for coordinates at the workspace boundary — panicking on
+    /// insert for corner points and silently mis-indexing mixed ones. The
+    /// boundary coordinate must land in the last cell, whose pinned
+    /// closed bounds contain it.
+    #[test]
+    fn workspace_boundary_lands_in_last_cell() {
+        for per_dim in [7usize, 49, 98, 103, 144] {
+            let mut g = Grid::new(2, per_dim, CellMode::Fifo).unwrap();
+            let corner = g.locate(&[1.0, 1.0]);
+            assert_eq!(
+                g.cell_coords(corner)[..2],
+                [per_dim - 1, per_dim - 1],
+                "per_dim {per_dim}"
+            );
+            let mixed = g.insert_point(&[1.0, 0.5], TupleId(0));
+            let (lo, hi) = g.cell_lo_hi(mixed);
+            assert!(lo[0] <= 1.0 && 1.0 <= hi[0], "per_dim {per_dim}");
+            assert!(lo[1] <= 0.5 && 0.5 <= hi[1], "per_dim {per_dim}");
+            // The traversal's soundness invariant at the boundary: the
+            // point's score never exceeds its cell's maxscore.
+            let f = ScoreFn::linear(vec![1.0, 1.0]).unwrap();
+            assert!(f.score(&[1.0, 0.5]) <= g.maxscore(mixed, &f));
+            g.remove_point(&[1.0, 0.5], TupleId(0)).unwrap();
+        }
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! `[i·δ, (i+1)·δ) × [j·δ, (j+1)·δ) × …` of the unit workspace. Each cell
 //! keeps
 //!
-//! * a *point list* of the valid tuples inside it — FIFO for sliding
-//!   windows (per-cell arrival order equals per-cell expiry order), or a
-//!   hash set for the §7 explicit-deletion stream model.
+//! * a coordinate-inline *point block* of the valid tuples inside it — a
+//!   structure-of-arrays pair of id and packed-coordinate arrays, so cell
+//!   scans never chase pointers back into the window ring. Deletion is a
+//!   FIFO head-offset ring for sliding windows (per-cell arrival order
+//!   equals per-cell expiry order) or an id-indexed swap-remove for the §7
+//!   explicit-deletion stream model.
 //!
 //! The paper's per-cell *influence lists* (the ids of the queries whose
 //! influence region intersects a cell, hash sets for O(1)

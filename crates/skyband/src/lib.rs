@@ -64,6 +64,11 @@ pub struct Skyband {
     k: usize,
     /// Entries in descending `Scored` order (best first).
     entries: Vec<SkyEntry>,
+    /// Lower bound on every entry's id (conservative: removals may leave
+    /// it stale-low). Expiry replay probes every query listed in the
+    /// expiring tuple's cell, and almost all of those probes miss — this
+    /// bound turns a miss into one comparison instead of an O(len) scan.
+    min_id: TupleId,
 }
 
 impl Skyband {
@@ -77,6 +82,7 @@ impl Skyband {
         Ok(Skyband {
             k,
             entries: Vec::with_capacity(k + k / 2 + 1),
+            min_id: TupleId(u64::MAX),
         })
     }
 
@@ -149,10 +155,12 @@ impl Skyband {
         );
         self.entries.clear();
         let mut arrivals = OsTree::new();
+        self.min_id = TupleId(u64::MAX);
         for s in top {
             let dc = arrivals.count_greater(&s.id.0);
             arrivals.insert(s.id.0);
             if dc < self.k {
+                self.min_id = self.min_id.min(s.id);
                 self.entries.push(SkyEntry {
                     scored: *s,
                     dc: dc as u32,
@@ -178,6 +186,7 @@ impl Skyband {
             self.entries.iter().all(|e| e.scored.id != s.id),
             "an id is inserted at most once"
         );
+        self.min_id = self.min_id.min(s.id);
         // Position in descending order: first index whose entry ranks
         // below `s`.
         let pos = self.entries.partition_point(|e| e.scored > s);
@@ -221,6 +230,10 @@ impl Skyband {
     /// first), so no counters change. Returns `true` if the tuple was
     /// present.
     pub fn expire(&mut self, id: TupleId) -> bool {
+        if id < self.min_id {
+            // Older than everything ever retained: cannot be present.
+            return false;
+        }
         match self.entries.iter().position(|e| e.scored.id == id) {
             Some(pos) => {
                 // Footnote 5: at most k−1 in-band dominators plus the
@@ -244,6 +257,7 @@ impl Skyband {
     /// Removes every entry.
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.min_id = TupleId(u64::MAX);
     }
 
     /// Deep size estimate in bytes. Matches the paper's `O(d + 3k)` per

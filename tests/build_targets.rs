@@ -56,6 +56,7 @@ fn all_paper_figure_binaries_exist() {
 #[test]
 fn all_criterion_benches_exist_and_are_registered() {
     let expected: BTreeSet<String> = [
+        "cell_scan",
         "micro_compute",
         "micro_engines",
         "micro_structures",

@@ -2,32 +2,28 @@
 //! minimal-cell processing and frontier structure on arbitrary inputs.
 
 use proptest::prelude::*;
-use topk_monitor::engines::compute::compute_topk;
+use topk_monitor::engines::compute::{compute_topk, InfluenceUpdate};
 use topk_monitor::grid::{CellMode, Grid, InfluenceTable};
-use topk_monitor::{
-    ComputeScratch, QuerySlot, Rect, ScoreFn, Scored, Timestamp, TupleId, Window, WindowSpec,
-};
+use topk_monitor::{ComputeScratch, QuerySlot, Rect, ScoreFn, Scored, TupleId};
 
 struct Fixture {
     grid: Grid,
-    window: Window,
     scratch: ComputeScratch,
     influence: InfluenceTable,
 }
 
+/// No window backs this harness: the computation module reads every
+/// coordinate from the grid's cell blocks (ids are assigned directly,
+/// matching the dense arrival numbering a window would produce).
 fn fixture(points: &[(f64, f64)], per_dim: usize) -> Fixture {
     let mut grid = Grid::new(2, per_dim, CellMode::Fifo).expect("grid");
-    let mut window = Window::new(2, WindowSpec::Count(points.len().max(1))).expect("window");
-    for (x, y) in points {
-        let coords = [*x, *y];
-        let id = window.insert(&coords, Timestamp(0)).expect("insert");
-        grid.insert_point(&coords, id);
+    for (i, (x, y)) in points.iter().enumerate() {
+        grid.insert_point(&[*x, *y], TupleId(i as u64));
     }
     let scratch = ComputeScratch::new(grid.num_cells());
     let influence = InfluenceTable::new(grid.num_cells());
     Fixture {
         grid,
-        window,
         scratch,
         influence,
     }
@@ -65,8 +61,7 @@ proptest! {
         let out = compute_topk(
             &fx.grid,
             &mut fx.scratch,
-            &fx.window,
-            Some((&mut fx.influence, QuerySlot(0))),
+            Some(InfluenceUpdate::fresh(&mut fx.influence, QuerySlot(0))),
             &f,
             k,
             None,
@@ -144,8 +139,7 @@ proptest! {
         let out = compute_topk(
             &fx.grid,
             &mut fx.scratch,
-            &fx.window,
-            Some((&mut fx.influence, QuerySlot(0))),
+            Some(InfluenceUpdate::fresh(&mut fx.influence, QuerySlot(0))),
             &f,
             k,
             Some(&rect),
@@ -171,7 +165,6 @@ proptest! {
         let out = compute_topk(
             &fx.grid,
             &mut fx.scratch,
-            &fx.window,
             None,
             &f,
             k,
@@ -206,8 +199,7 @@ fn skyband_seed_equivalence() {
     let out = compute_topk(
         &fx.grid,
         &mut fx.scratch,
-        &fx.window,
-        Some((&mut fx.influence, QuerySlot(0))),
+        Some(InfluenceUpdate::fresh(&mut fx.influence, QuerySlot(0))),
         &f,
         k,
         None,

@@ -1,0 +1,185 @@
+//! Differential suite for the coordinate-inline (SoA) cell blocks: under
+//! arbitrary churn, every cell's `(id, coords)` pairs must mirror a naive
+//! per-cell model exactly — through FIFO ring compactions, window-overrun
+//! transients, and Hash-mode swap-removes — and the engines built on the
+//! blocks must keep reporting the brute-force oracle's results.
+
+use proptest::prelude::*;
+use topk_monitor::engines::{
+    GridSpec, IngestState, OracleMonitor, SmaMonitor, TmaMonitor, UpdateStreamTma,
+};
+use topk_monitor::grid::Grid;
+use topk_monitor::{
+    Query, QueryId, ScoreFn, Scored, Timestamp, TupleId, UpdateOp, Window, WindowSpec,
+};
+
+/// Rebuilds the expected per-cell contents from the window: every valid
+/// tuple, grouped by its covering cell, in arrival order.
+fn expected_cells(grid: &Grid, window: &Window) -> Vec<Vec<(TupleId, Vec<f64>)>> {
+    let mut cells: Vec<Vec<(TupleId, Vec<f64>)>> = vec![Vec::new(); grid.num_cells()];
+    for (id, coords) in window.iter() {
+        cells[grid.locate(coords).0 as usize].push((id, coords.to_vec()));
+    }
+    cells
+}
+
+fn assert_cells_match(grid: &Grid, window: &Window, context: &str) {
+    let want = expected_cells(grid, window);
+    for (cid, cell) in grid.cells() {
+        let got: Vec<(TupleId, Vec<f64>)> = cell
+            .points()
+            .iter()
+            .map(|(id, c)| (id, c.to_vec()))
+            .collect();
+        assert_eq!(
+            got, want[cid.0 as usize],
+            "{context}: cell {cid:?} diverged from the window"
+        );
+        // The SoA arrays themselves stay aligned.
+        assert_eq!(
+            cell.points().ids().len() * grid.dims(),
+            cell.points().coords().len()
+        );
+    }
+}
+
+fn brute(window: &Window, q: &Query) -> Vec<Scored> {
+    let mut all: Vec<Scored> = window
+        .iter()
+        .filter(|(_, c)| q.constraint.as_ref().is_none_or(|r| r.contains(c)))
+        .map(|(id, c)| Scored::new(q.f.score(c), id))
+        .collect();
+    all.sort_by(|a, b| b.cmp(a));
+    all.truncate(q.k);
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FIFO blocks vs the window under arbitrary arrival/expiry churn.
+    /// Small capacities force constant expiry (ring-compaction boundaries)
+    /// and bursts larger than the window create same-cycle transients.
+    #[test]
+    fn fifo_cells_mirror_window_under_churn(
+        capacity in 1usize..40,
+        per_dim in 1usize..8,
+        bursts in prop::collection::vec(prop::collection::vec((0u32..32, 0u32..32), 0..50), 1..20),
+    ) {
+        let dims = 2;
+        let mut s = IngestState::new(dims, WindowSpec::Count(capacity), GridSpec::PerDim(per_dim))
+            .expect("config");
+        for (t, burst) in bursts.iter().enumerate() {
+            let mut batch = Vec::with_capacity(burst.len() * dims);
+            for (a, b) in burst {
+                batch.push(*a as f64 / 31.0);
+                batch.push(*b as f64 / 31.0);
+            }
+            s.ingest(Timestamp(t as u64), &batch).expect("ingest");
+            assert_cells_match(s.grid(), s.window(), &format!("tick {t}"));
+        }
+    }
+
+    /// Hash blocks vs a naive model under explicit out-of-order deletes
+    /// (the §7 update-stream discipline): swap-removes must keep the id
+    /// and coordinate arrays aligned, and the TMA engine on top must keep
+    /// matching a full rescan.
+    #[test]
+    fn hash_cells_and_engine_survive_explicit_deletes(
+        per_dim in 1usize..7,
+        k in 1usize..6,
+        w1 in -2.0f64..2.0,
+        w2 in -2.0f64..2.0,
+        ops in prop::collection::vec((0u32..32, 0u32..32, 0u32..4), 1..120),
+    ) {
+        let dims = 2;
+        let mut m = UpdateStreamTma::new(dims, GridSpec::PerDim(per_dim)).expect("config");
+        let q = Query::top_k(ScoreFn::linear(vec![w1, w2]).expect("dims"), k).expect("k");
+        m.register_query(QueryId(0), q.clone()).expect("register");
+        let mut live: Vec<TupleId> = Vec::new();
+        let mut cycle = Vec::new();
+        for (i, (a, b, action)) in ops.iter().enumerate() {
+            // action 0: delete a pseudo-random live tuple; else insert.
+            if *action == 0 && live.len() > 1 {
+                let victim = live.remove((*a as usize + i) % live.len());
+                cycle.push(UpdateOp::Delete(victim));
+            } else {
+                cycle.push(UpdateOp::Insert(vec![*a as f64 / 31.0, *b as f64 / 31.0]));
+            }
+            if cycle.len() == 4 {
+                let ids = m.apply(&cycle).expect("apply");
+                live.extend(ids);
+                cycle.clear();
+                // Engine result stays exact over the hash blocks.
+                let mut all: Vec<Scored> = m
+                    .store()
+                    .iter()
+                    .map(|(id, c)| Scored::new(q.f.score(c), id))
+                    .collect();
+                all.sort_by(|x, y| y.cmp(x));
+                all.truncate(q.k);
+                prop_assert_eq!(m.result(QueryId(0)).expect("result"), &all[..]);
+            }
+        }
+        // Drain the remaining partial cycle so the store is settled, then
+        // check the index: every live tuple is in exactly its covering
+        // cell with its coordinates aligned, and nothing else is indexed.
+        if !cycle.is_empty() {
+            m.apply(&cycle).expect("apply");
+        }
+        let mut total = 0usize;
+        for (id, coords) in m.store().iter() {
+            let cid = m.grid().locate(coords);
+            let found = m
+                .grid()
+                .cell(cid)
+                .points()
+                .iter()
+                .any(|(pid, pc)| pid == id && pc == coords);
+            prop_assert!(found, "tuple {id:?} missing from its cell block");
+            total += 1;
+        }
+        let indexed: usize = m.grid().cells().map(|(_, c)| c.points().len()).sum();
+        prop_assert_eq!(indexed, total, "grid indexes a dead tuple");
+    }
+
+    /// Expiry-heavy engine differential: tiny windows and big bursts make
+    /// every tick recompute (exercising the region-bound influence skip)
+    /// while the FIFO blocks compact constantly. TMA and SMA must match
+    /// the oracle on every cycle.
+    #[test]
+    fn engines_match_oracle_under_heavy_expiry(
+        capacity in 2usize..12,
+        k in 1usize..8,
+        per_dim in 2usize..8,
+        w1 in -2.0f64..2.0,
+        w2 in -2.0f64..2.0,
+        bursts in prop::collection::vec(prop::collection::vec((0u32..24, 0u32..24), 0..10), 1..30),
+    ) {
+        let dims = 2;
+        let window = WindowSpec::Count(capacity);
+        let grid = GridSpec::PerDim(per_dim);
+        let mut tma = TmaMonitor::new(dims, window, grid).expect("config");
+        let mut sma = SmaMonitor::new(dims, window, grid).expect("config");
+        let mut oracle = OracleMonitor::new(dims, window).expect("config");
+        let q = Query::top_k(ScoreFn::linear(vec![w1, w2]).expect("dims"), k).expect("k");
+        tma.register_query(QueryId(0), q.clone()).expect("register");
+        sma.register_query(QueryId(0), q.clone()).expect("register");
+        oracle.register_query(QueryId(0), q.clone()).expect("register");
+        for (t, burst) in bursts.iter().enumerate() {
+            let mut batch = Vec::with_capacity(burst.len() * dims);
+            for (a, b) in burst {
+                batch.push(*a as f64 / 23.0);
+                batch.push(*b as f64 / 23.0);
+            }
+            let ts = Timestamp(t as u64);
+            tma.tick(ts, &batch).expect("tick");
+            sma.tick(ts, &batch).expect("tick");
+            oracle.tick(ts, &batch).expect("tick");
+            let want = oracle.result(QueryId(0)).expect("oracle");
+            prop_assert_eq!(tma.result(QueryId(0)).expect("tma"), want, "TMA tick {}", t);
+            prop_assert_eq!(&sma.result(QueryId(0)).expect("sma")[..], want, "SMA tick {}", t);
+            prop_assert_eq!(&brute(tma.window(), &q)[..], want, "window drift tick {}", t);
+        }
+    }
+}
