@@ -1,0 +1,346 @@
+//! The `tkm_service` TCP server — and its loopback measurement harness.
+//!
+//! Three modes:
+//!
+//! * **serve** (default): bind the wire-protocol server and run until
+//!   killed.
+//!
+//!   ```console
+//!   $ cargo run --release -p tkm_bench --bin serve -- \
+//!         --addr 127.0.0.1:7171 --dims 2 --window 10000 --tick-ms 100
+//!   ```
+//!
+//! * **`--bench`**: in-process loopback measurement — one ingest client
+//!   streams arrivals through a manually ticked service while N
+//!   subscriber clients reconstruct their query's top-k from the delta
+//!   stream; every subscriber is verified against both a server-side
+//!   `SNAPSHOT` and an independent in-process engine oracle. Reports
+//!   ingest throughput (tuples/s) and the delta propagation latency
+//!   distribution (p50/p99, ingest send → subscriber apply).
+//!
+//! * **`--smoke`**: the same harness at CI scale (a second or so); used
+//!   by the workflow as the end-to-end serving-layer gate.
+//!
+//! `--json` prints the measurement as a single JSON object on stdout.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use tkm_core::{EngineKind, MonitorServer, Query, ServerConfig};
+use tkm_datagen::{DataDist, PointGen};
+use tkm_service::{apply_push, Push, Service, ServiceClient, ServiceConfig, TickPolicy};
+
+struct Args {
+    addr: String,
+    dims: usize,
+    window: usize,
+    engine: EngineKind,
+    tick_ms: u64,
+    push_queue: usize,
+    clients: usize,
+    ticks: usize,
+    rate: usize,
+    k: usize,
+    smoke: bool,
+    bench: bool,
+    json: bool,
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    flag_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let bench = argv.iter().any(|a| a == "--bench");
+    // Smoke is a small bench; bench is the default-scale measurement.
+    let (clients, ticks, rate, window) = if smoke {
+        (4, 60, 40, 2_000)
+    } else {
+        (8, 300, 200, 10_000)
+    };
+    Args {
+        addr: flag_value(&argv, "--addr").unwrap_or_else(|| "127.0.0.1:7171".into()),
+        dims: parse_num(&argv, "--dims", 2),
+        window: parse_num(&argv, "--window", window),
+        engine: match flag_value(&argv, "--engine").as_deref() {
+            Some("tma") => EngineKind::Tma,
+            Some("tsl") => EngineKind::Tsl,
+            _ => EngineKind::Sma,
+        },
+        tick_ms: parse_num(&argv, "--tick-ms", 100),
+        push_queue: parse_num(&argv, "--push-queue", 1024),
+        clients: parse_num(&argv, "--clients", clients),
+        ticks: parse_num(&argv, "--ticks", ticks),
+        rate: parse_num(&argv, "--rate", rate),
+        k: parse_num(&argv, "--k", 8),
+        smoke,
+        bench,
+        json: argv.iter().any(|a| a == "--json"),
+    }
+}
+
+fn server_config(args: &Args) -> ServerConfig {
+    ServerConfig::sma(args.dims, args.window).with_engine(args.engine)
+}
+
+fn main() {
+    let args = parse_args();
+    if args.smoke || args.bench {
+        loopback(&args);
+    } else {
+        serve_forever(&args);
+    }
+}
+
+fn serve_forever(args: &Args) {
+    let cfg = ServiceConfig::new(server_config(args))
+        .with_tick(TickPolicy::Interval(std::time::Duration::from_millis(
+            args.tick_ms.max(1),
+        )))
+        .with_push_queue(args.push_queue);
+    let service = Service::bind(args.addr.as_str(), cfg).expect("bind");
+    println!(
+        "serving {} (dims={}, window={}) on {} — one cycle per {}ms, push cap {}",
+        match args.engine {
+            EngineKind::Tma => "TMA",
+            EngineKind::Sma => "SMA",
+            EngineKind::Tsl => "TSL",
+            EngineKind::Oracle => "ORACLE",
+        },
+        args.dims,
+        args.window,
+        service.local_addr(),
+        args.tick_ms.max(1),
+        args.push_queue
+    );
+    println!("protocol: see the README `Serving` section. Ctrl-C to stop.");
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Per-subscriber outcome of the loopback run.
+struct SubOutcome {
+    /// Delta latencies (ingest send → subscriber apply), microseconds.
+    latencies_us: Vec<f64>,
+    /// Pushes applied (deltas + snapshots).
+    pushes: usize,
+    /// Verification verdict.
+    ok: bool,
+}
+
+fn loopback(args: &Args) {
+    let scfg = server_config(args);
+    let service = Service::bind(
+        "127.0.0.1:0",
+        ServiceConfig::new(scfg).with_push_queue(args.push_queue),
+    )
+    .expect("bind loopback");
+    let addr = service.local_addr();
+
+    // The independent oracle: the same engine configuration fed the same
+    // batches directly, bypassing the wire entirely.
+    let mut oracle = MonitorServer::new(scfg).expect("oracle");
+
+    // Pre-register every subscriber's query through a control connection
+    // so ids are known up front; weights vary per subscriber.
+    let mut control = ServiceClient::connect(addr).expect("control connect");
+    let mut weight_sets = Vec::new();
+    let mut query_ids = Vec::new();
+    for c in 0..args.clients {
+        let weights: Vec<f64> = (0..args.dims)
+            .map(|d| 0.25 + ((c + d * 3) % 7) as f64 / 4.0)
+            .collect();
+        let id = control.register_linear(args.k, &weights).expect("register");
+        let f = tkm_common::ScoreFn::linear(weights.clone()).unwrap();
+        oracle
+            .register(Query::top_k(f, args.k).unwrap())
+            .expect("oracle register");
+        weight_sets.push(weights);
+        query_ids.push(id);
+    }
+
+    // Send instants per tick (index = at - 1), shared with subscribers.
+    let send_instants: Arc<Mutex<Vec<Instant>>> = Arc::new(Mutex::new(Vec::new()));
+    let total_ticks = args.ticks + 1; // + the guaranteed-delta sentinel
+
+    let mut subs = Vec::new();
+    for (c, q) in query_ids.iter().enumerate() {
+        let q = *q;
+        let instants = Arc::clone(&send_instants);
+        let data_ticks = args.ticks;
+        subs.push(std::thread::spawn(move || {
+            let mut client = ServiceClient::connect(addr).expect("subscriber connect");
+            let baseline = client.subscribe(q).expect("subscribe");
+            let mut mirror: BTreeMap<_, _> = [(q, baseline)].into_iter().collect();
+            let mut outcome = SubOutcome {
+                latencies_us: Vec::new(),
+                pushes: 0,
+                ok: true,
+            };
+            // Read pushes until the sentinel tick reaches this query.
+            loop {
+                let push = client.next_push().expect("push stream");
+                let received = Instant::now();
+                let at = match &push {
+                    Push::Delta { at, .. } | Push::Snapshot { at, .. } => Some(at.0),
+                    Push::Resync { .. } => None,
+                };
+                apply_push(&mut mirror, &push);
+                outcome.pushes += 1;
+                if let Some(at) = at {
+                    if at >= 1 && at as usize <= data_ticks {
+                        let sent = instants.lock().unwrap()[at as usize - 1];
+                        outcome
+                            .latencies_us
+                            .push(received.duration_since(sent).as_secs_f64() * 1e6);
+                    }
+                    if at as usize > data_ticks {
+                        break; // sentinel observed
+                    }
+                }
+            }
+            // The wire's own view of the truth…
+            let (_, wire_expected) = client.snapshot(q).expect("final snapshot");
+            while let Some(push) = client.try_buffered_push() {
+                apply_push(&mut mirror, &push);
+            }
+            if mirror.get(&q).map(Vec::as_slice) != Some(wire_expected.as_slice()) {
+                eprintln!("subscriber {c}: delta reconstruction != server snapshot");
+                outcome.ok = false;
+            }
+            let _ = client.quit();
+            (outcome, mirror.remove(&q).unwrap_or_default())
+        }));
+    }
+
+    // Ingest: one client streams `ticks` cycles of `rate` tuples, then the
+    // sentinel cycle of k max-score tuples (score 1·Σw beats any interior
+    // point, so every query's result changes and every subscriber
+    // observes the final tick).
+    let mut ingest = ServiceClient::connect(addr).expect("ingest connect");
+    let mut gen = PointGen::new(args.dims, DataDist::Ind, 42).expect("gen");
+    let started = Instant::now();
+    let mut batches: Vec<Vec<f64>> = Vec::with_capacity(total_ticks);
+    for _ in 0..args.ticks {
+        let mut batch = Vec::with_capacity(args.rate * args.dims);
+        for _ in 0..args.rate {
+            batch.extend(gen.point());
+        }
+        batches.push(batch);
+    }
+    batches.push(vec![1.0; args.k * args.dims]); // sentinel
+    let gen_elapsed = started.elapsed();
+
+    let ingest_start = Instant::now();
+    for batch in &batches {
+        send_instants.lock().unwrap().push(Instant::now());
+        ingest.tick(batch).expect("tick");
+    }
+    let ingest_elapsed = ingest_start.elapsed();
+
+    // Feed the oracle the same batches.
+    for batch in &batches {
+        oracle.tick(batch).expect("oracle tick");
+    }
+
+    // Collect subscribers and verify against the oracle.
+    let mut latencies = Vec::new();
+    let mut pushes = 0usize;
+    let mut all_ok = true;
+    for (c, handle) in subs.into_iter().enumerate() {
+        let (outcome, mirror) = handle.join().expect("subscriber thread");
+        latencies.extend(outcome.latencies_us);
+        pushes += outcome.pushes;
+        all_ok &= outcome.ok;
+        let expected = oracle.result(query_ids[c]).expect("oracle result");
+        if mirror != expected {
+            eprintln!("subscriber {c}: delta reconstruction != in-process oracle");
+            all_ok = false;
+        }
+    }
+
+    let stats = ingest.stats().expect("stats");
+    let _ = ingest.quit();
+    let _ = control.quit();
+    service.shutdown();
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    let tuples: usize = batches.iter().map(|b| b.len()).sum::<usize>() / args.dims;
+    let tuples_per_s = tuples as f64 / ingest_elapsed.as_secs_f64();
+
+    if args.json {
+        println!(
+            "{{\"mode\":\"{}\",\"engine\":\"{}\",\"dims\":{},\"window\":{},\"clients\":{},\
+             \"ticks\":{},\"tuples\":{},\"tuples_per_s\":{:.0},\"delta_p50_us\":{:.1},\
+             \"delta_p99_us\":{:.1},\"deltas_applied\":{},\"resyncs\":{},\"ok\":{}}}",
+            if args.smoke { "smoke" } else { "bench" },
+            stats.get("engine").map(String::as_str).unwrap_or("?"),
+            args.dims,
+            args.window,
+            args.clients,
+            total_ticks,
+            tuples,
+            tuples_per_s,
+            pct(0.50),
+            pct(0.99),
+            pushes,
+            stats.get("resyncs").map(String::as_str).unwrap_or("0"),
+            all_ok
+        );
+    } else {
+        println!(
+            "== serve loopback ({}) ==",
+            if args.smoke { "smoke" } else { "bench" }
+        );
+        println!(
+            "   {} clients × top-{} over {} engine, window {} (d={})",
+            args.clients,
+            args.k,
+            stats.get("engine").map(String::as_str).unwrap_or("?"),
+            args.window,
+            args.dims
+        );
+        println!(
+            "   {} ticks, {} tuples in {:.3}s ingest wall time (+{:.3}s datagen)",
+            total_ticks,
+            tuples,
+            ingest_elapsed.as_secs_f64(),
+            gen_elapsed.as_secs_f64()
+        );
+        println!("   ingest throughput : {tuples_per_s:>10.0} tuples/s over the wire");
+        println!(
+            "   delta latency     : p50 {:.1}µs   p99 {:.1}µs   ({} samples)",
+            pct(0.50),
+            pct(0.99),
+            latencies.len()
+        );
+        println!(
+            "   pushes applied: {pushes}   resyncs: {}   verification: {}",
+            stats.get("resyncs").map(String::as_str).unwrap_or("0"),
+            if all_ok { "oracle-identical" } else { "FAILED" }
+        );
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Core vocabulary types shared by every crate in the top-k monitoring
 //! workspace.

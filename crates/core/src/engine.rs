@@ -14,7 +14,12 @@ use tkm_window::WindowSpec;
 /// All implementations report *identical* results for the same stream and
 /// queries (the integration test suite enforces this); they differ only in
 /// cost profile.
-pub trait ContinuousTopK {
+///
+/// `Send` is a supertrait so a boxed engine (and the [`crate::server::
+/// MonitorServer`] that owns one) can move into a serving thread; every
+/// engine is plain owned data (custom scoring functions are already
+/// `Send + Sync` via [`tkm_common::ScoringFunction`]).
+pub trait ContinuousTopK: Send {
     /// Engine name for reports ("TMA", "SMA", "TSL", "ORACLE").
     fn name(&self) -> &'static str;
 

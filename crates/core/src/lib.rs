@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! Continuous top-k monitoring over sliding windows — the core engines.
 //!
@@ -29,7 +29,10 @@
 //!   tick) under shardable **query maintenance**
 //!   ([`maintenance::QueryMaintenance`]), driven in parallel by
 //!   [`parallel::SharedParallelMonitor`];
-//! * a high-level [`server::MonitorServer`] facade.
+//! * a high-level [`server::MonitorServer`] facade, with per-tick result
+//!   deltas ([`result::ResultDelta`]) and per-query delta routing
+//!   ([`route::DeltaRouter`]) as the seam for serving layers such as the
+//!   `tkm_service` wire protocol.
 
 pub mod compute;
 pub mod engine;
@@ -43,6 +46,7 @@ pub mod piecewise;
 pub mod query;
 pub mod registry;
 pub mod result;
+pub mod route;
 pub mod server;
 pub mod sma;
 pub mod stats;
@@ -60,6 +64,7 @@ pub use piecewise::{PiecewiseMonitor, PiecewiseQuery};
 pub use query::Query;
 pub use registry::QueryRegistry;
 pub use result::{ResultDelta, TopList};
+pub use route::DeltaRouter;
 pub use server::{MonitorServer, ServerConfig};
 pub use sma::SmaMonitor;
 pub use stats::EngineStats;

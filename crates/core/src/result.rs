@@ -25,6 +25,30 @@ impl ResultDelta {
         self.added.is_empty() && self.removed.is_empty()
     }
 
+    /// Applies this delta to a client-side mirror of the result list,
+    /// keeping it best-first.
+    ///
+    /// This is the inverse of [`ResultDelta::diff`]: a subscriber that
+    /// starts from a snapshot of `result()` and applies every subsequent
+    /// delta in order reconstructs `result()` exactly (the contract pinned
+    /// by `tests/delta_replay.rs` and relied on by the `tkm_service` wire
+    /// protocol). Removals that are not present and additions that already
+    /// are leave the mirror unchanged, so re-applying a delta after a
+    /// snapshot resync is harmless.
+    pub fn apply(&self, mirror: &mut Vec<Scored>) {
+        for gone in &self.removed {
+            if let Some(pos) = mirror.iter().position(|e| e == gone) {
+                mirror.remove(pos);
+            }
+        }
+        for fresh in &self.added {
+            let pos = mirror.partition_point(|e| e > fresh);
+            if mirror.get(pos) != Some(fresh) {
+                mirror.insert(pos, *fresh);
+            }
+        }
+    }
+
     /// Diffs two best-first result lists. Scores are immutable per tuple,
     /// so a single merge pass over the sorted lists suffices.
     pub fn diff(query: QueryId, old: &[Scored], new: &[Scored]) -> ResultDelta {
@@ -268,6 +292,28 @@ mod tests {
         let d = ResultDelta::diff(q, &a, &c);
         assert_eq!(d.added, vec![s(0.5, 3)]);
         assert_eq!(d.removed, vec![s(0.5, 1)]);
+    }
+
+    #[test]
+    fn apply_inverts_diff() {
+        let q = QueryId(0);
+        let old = vec![s(0.9, 0), s(0.5, 1), s(0.3, 2)];
+        let new = vec![s(0.9, 0), s(0.7, 4), s(0.5, 3)];
+        let delta = ResultDelta::diff(q, &old, &new);
+        let mut mirror = old.clone();
+        delta.apply(&mut mirror);
+        assert_eq!(mirror, new);
+
+        // Idempotent: re-applying after a resync changes nothing.
+        delta.apply(&mut mirror);
+        assert_eq!(mirror, new);
+
+        // From empty and to empty.
+        let mut mirror = Vec::new();
+        ResultDelta::diff(q, &[], &new).apply(&mut mirror);
+        assert_eq!(mirror, new);
+        ResultDelta::diff(q, &new, &[]).apply(&mut mirror);
+        assert!(mirror.is_empty());
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct ServerConfig {
     /// [`crate::parallel::SharedParallelMonitor`]: one shared window +
     /// grid, queries partitioned across `shards` threads.
     pub shards: usize,
+    /// Whether per-tick result-change reporting starts enabled (see
+    /// [`MonitorServer::enable_delta_tracking`]). Serving layers that fan
+    /// deltas out to subscribers turn this on so no tick can slip through
+    /// before tracking starts.
+    pub delta_tracking: bool,
 }
 
 impl ServerConfig {
@@ -46,6 +51,7 @@ impl ServerConfig {
             engine: EngineKind::Sma,
             kmax: KmaxPolicy::Tuned,
             shards: 1,
+            delta_tracking: false,
         }
     }
 
@@ -72,11 +78,18 @@ impl ServerConfig {
         self.shards = shards;
         self
     }
+
+    /// Turns per-tick result-change reporting on from the first tick.
+    pub fn with_delta_tracking(mut self, on: bool) -> ServerConfig {
+        self.delta_tracking = on;
+        self
+    }
 }
 
 /// A continuous top-k monitoring server.
 pub struct MonitorServer {
     engine: Box<dyn ContinuousTopK>,
+    config: ServerConfig,
     next_query: u64,
     now: Timestamp,
     /// Previous results per query while delta tracking is on.
@@ -108,18 +121,28 @@ impl MonitorServer {
                 }
             },
         };
-        Ok(MonitorServer {
+        let mut server = MonitorServer {
             engine,
+            config: cfg,
             next_query: 0,
             now: Timestamp(0),
             delta_prev: None,
             deltas: Vec::new(),
-        })
+        };
+        if cfg.delta_tracking {
+            server.enable_delta_tracking()?;
+        }
+        Ok(server)
     }
 
     /// The engine in use ("TMA", "SMA", "TSL", "ORACLE").
     pub fn engine_name(&self) -> &'static str {
         self.engine.name()
+    }
+
+    /// The configuration the server was built from.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// Dimensionality of the monitored stream.
@@ -198,8 +221,15 @@ impl MonitorServer {
     }
 
     /// Like [`MonitorServer::tick`] with an explicit timestamp (must be
-    /// non-decreasing).
+    /// non-decreasing across cycles; FIFO expiry depends on it, so a
+    /// regressing timestamp is rejected rather than fed to the engine).
     pub fn tick_at(&mut self, now: Timestamp, arrivals: &[f64]) -> Result<()> {
+        if now.advance(1) < self.now {
+            return Err(TkmError::InvalidParameter(format!(
+                "tick_at: timestamp {now} precedes the last processed cycle (now {})",
+                self.now
+            )));
+        }
         self.engine.tick(now, arrivals)?;
         self.now = now.advance(1);
         self.record_deltas()
@@ -287,6 +317,36 @@ mod tests {
                 .with_shards(2)
         )
         .is_ok());
+    }
+
+    #[test]
+    fn tick_at_rejects_regressing_timestamps() {
+        let mut server = MonitorServer::new(ServerConfig::sma(1, 4)).unwrap();
+        server.tick_at(Timestamp(5), &[0.5]).unwrap();
+        assert_eq!(server.now(), Timestamp(6));
+        // Equal-to-last is allowed (several cycles in one instant)…
+        server.tick_at(Timestamp(5), &[0.4]).unwrap();
+        // …but going backwards is not.
+        assert!(server.tick_at(Timestamp(2), &[0.3]).is_err());
+        assert_eq!(server.now(), Timestamp(6), "rejected cycle left no trace");
+    }
+
+    #[test]
+    fn delta_tracking_from_construction() {
+        let cfg = ServerConfig::sma(1, 4).with_delta_tracking(true);
+        let mut server = MonitorServer::new(cfg).unwrap();
+        assert!(server.config().delta_tracking);
+        let q = server
+            .register(Query::top_k(ScoreFn::linear(vec![1.0]).unwrap(), 2).unwrap())
+            .unwrap();
+        // The very first tick is already reported — no enable_delta_tracking
+        // call races against it.
+        server.tick(&[0.4, 0.9]).unwrap();
+        let deltas = server.take_deltas();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].query, q);
+        assert_eq!(deltas[0].added.len(), 2);
+        assert!(server.take_deltas().is_empty(), "drained");
     }
 
     #[test]

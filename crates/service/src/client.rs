@@ -1,0 +1,269 @@
+//! A small blocking client for the wire protocol.
+//!
+//! [`ServiceClient`] owns one TCP connection and demultiplexes the
+//! server's single ordered line stream into *replies* (returned from the
+//! request methods) and *pushes* (buffered, read with
+//! [`ServiceClient::next_push`]). [`apply_push`] maintains a client-side
+//! mirror of subscribed results from the push stream — the reconstruction
+//! path the integration tests pin against the engine oracle.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{parse_server_line, Family, Push, Reply, Request, ServerLine, WireWindow};
+use tkm_common::{QueryId, Scored, Timestamp};
+
+/// A client-side failure: transport, framing, or a server `ERR` reply.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(std::io::Error),
+    /// The server sent a line this client cannot parse, or a reply of an
+    /// unexpected shape.
+    Protocol(String),
+    /// The server answered `ERR`.
+    Server {
+        /// The machine-readable code.
+        code: crate::protocol::ErrCode,
+        /// The human-readable message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Convenience alias for client results.
+pub type ClientResult<T> = std::result::Result<T, ClientError>;
+
+/// A blocking connection to a [`Service`](crate::Service).
+pub struct ServiceClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// Pushes received while waiting for a reply, in arrival order.
+    pending: VecDeque<Push>,
+}
+
+impl ServiceClient {
+    /// Connects to a running service.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<ServiceClient> {
+        let stream = TcpStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        Ok(ServiceClient {
+            writer: stream,
+            reader: BufReader::new(read_half),
+            pending: VecDeque::new(),
+        })
+    }
+
+    /// Sends a raw request line (terminator added here).
+    pub fn send(&mut self, req: &Request) -> ClientResult<()> {
+        let line = format!("{req}\n");
+        self.writer.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    fn read_line(&mut self) -> ClientResult<ServerLine> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Protocol("connection closed".into()));
+        }
+        parse_server_line(line.trim()).map_err(ClientError::Protocol)
+    }
+
+    /// Reads until the next *reply*, buffering any pushes that arrive
+    /// first.
+    pub fn wait_reply(&mut self) -> ClientResult<Reply> {
+        loop {
+            match self.read_line()? {
+                ServerLine::Reply(r) => return Ok(r),
+                ServerLine::Push(p) => self.pending.push_back(p),
+            }
+        }
+    }
+
+    /// Returns the next push, blocking on the socket if none is buffered.
+    pub fn next_push(&mut self) -> ClientResult<Push> {
+        if let Some(p) = self.pending.pop_front() {
+            return Ok(p);
+        }
+        match self.read_line()? {
+            ServerLine::Push(p) => Ok(p),
+            ServerLine::Reply(r) => Err(ClientError::Protocol(format!(
+                "unsolicited reply while reading pushes: {r}"
+            ))),
+        }
+    }
+
+    /// Returns a buffered push without touching the socket.
+    pub fn try_buffered_push(&mut self) -> Option<Push> {
+        self.pending.pop_front()
+    }
+
+    fn expect_query(&mut self) -> ClientResult<QueryId> {
+        match self.wait_reply()? {
+            Reply::OkQuery(q) => Ok(q),
+            other => fail(other),
+        }
+    }
+
+    /// Registers an unconstrained linear query; returns its server id.
+    pub fn register_linear(&mut self, k: usize, weights: &[f64]) -> ClientResult<QueryId> {
+        self.register(k, weights, Family::Linear, None, None)
+    }
+
+    /// Registers a query with full control over the wire arguments.
+    pub fn register(
+        &mut self,
+        k: usize,
+        weights: &[f64],
+        family: Family,
+        range: Option<Vec<(f64, f64)>>,
+        window: Option<WireWindow>,
+    ) -> ClientResult<QueryId> {
+        self.send(&Request::Register {
+            k,
+            weights: weights.to_vec(),
+            family,
+            range,
+            window,
+        })?;
+        self.expect_query()
+    }
+
+    /// Terminates a query.
+    pub fn unregister(&mut self, q: QueryId) -> ClientResult<()> {
+        self.send(&Request::Unregister(q))?;
+        self.expect_query().map(drop)
+    }
+
+    /// Subscribes to a query's delta stream and returns the baseline
+    /// snapshot.
+    ///
+    /// The server enqueues the baseline `SNAPSHOT` push immediately before
+    /// the `OK` reply, so after the reply it is guaranteed to sit in the
+    /// push buffer — possibly *behind* deltas of other subscriptions this
+    /// connection already holds, which stay buffered for
+    /// [`ServiceClient::next_push`] in order.
+    pub fn subscribe(&mut self, q: QueryId) -> ClientResult<Vec<Scored>> {
+        self.send(&Request::Subscribe(q))?;
+        self.expect_query()?;
+        // rposition: the baseline is the *last* snapshot enqueued before
+        // the reply (earlier buffered snapshots for `q` can exist after an
+        // unsubscribe/resubscribe cycle).
+        let baseline = self
+            .pending
+            .iter()
+            .rposition(|p| matches!(p, Push::Snapshot { query, .. } if *query == q));
+        match baseline.and_then(|pos| self.pending.remove(pos)) {
+            Some(Push::Snapshot { entries, .. }) => Ok(entries),
+            _ => Err(ClientError::Protocol(format!(
+                "baseline snapshot for {q} missing from the subscribe reply"
+            ))),
+        }
+    }
+
+    /// Stops a subscription (idempotent).
+    pub fn unsubscribe(&mut self, q: QueryId) -> ClientResult<()> {
+        self.send(&Request::Unsubscribe(q))?;
+        self.expect_query().map(drop)
+    }
+
+    /// One-shot result read.
+    pub fn snapshot(&mut self, q: QueryId) -> ClientResult<(Timestamp, Vec<Scored>)> {
+        self.send(&Request::Snapshot(q))?;
+        match self.wait_reply()? {
+            Reply::OkSnapshot { query, at, entries } if query == q => Ok((at, entries)),
+            other => fail(other),
+        }
+    }
+
+    /// Queues a batch of arrivals (and, under manual ticking, runs the
+    /// cycle); returns the server's logical time after the request.
+    pub fn tick(&mut self, arrivals: &[f64]) -> ClientResult<Timestamp> {
+        self.send(&Request::Tick {
+            arrivals: arrivals.to_vec(),
+        })?;
+        match self.wait_reply()? {
+            Reply::OkTick { now, .. } => Ok(now),
+            other => fail(other),
+        }
+    }
+
+    /// Like [`ServiceClient::tick`] with an explicit timestamp.
+    pub fn tick_at(&mut self, at: Timestamp, arrivals: &[f64]) -> ClientResult<Timestamp> {
+        self.send(&Request::TickAt {
+            at,
+            arrivals: arrivals.to_vec(),
+        })?;
+        match self.wait_reply()? {
+            Reply::OkTick { now, .. } => Ok(now),
+            other => fail(other),
+        }
+    }
+
+    /// Server counters as a key → value map.
+    pub fn stats(&mut self) -> ClientResult<BTreeMap<String, String>> {
+        self.send(&Request::Stats)?;
+        match self.wait_reply()? {
+            Reply::OkStats(pairs) => Ok(pairs.into_iter().collect()),
+            other => fail(other),
+        }
+    }
+
+    /// Says goodbye and consumes the connection.
+    pub fn quit(mut self) -> ClientResult<()> {
+        self.send(&Request::Quit)?;
+        match self.wait_reply()? {
+            Reply::OkBye => Ok(()),
+            other => fail(other),
+        }
+    }
+}
+
+fn fail<T>(reply: Reply) -> ClientResult<T> {
+    match reply {
+        Reply::Err { code, message } => Err(ClientError::Server { code, message }),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected reply shape: {other}"
+        ))),
+    }
+}
+
+/// Applies one push to a client-side mirror of subscribed results.
+///
+/// `DELTA` edits the query's list via [`tkm_core::ResultDelta::apply`];
+/// `SNAPSHOT` replaces it wholesale (this is what makes the
+/// drop-to-snapshot resync self-healing); `RESYNC` itself changes nothing
+/// — the snapshots that follow it do the re-baselining. Returns the query
+/// the push affected, if any.
+pub fn apply_push(mirror: &mut BTreeMap<QueryId, Vec<Scored>>, push: &Push) -> Option<QueryId> {
+    match push {
+        Push::Delta { delta, .. } => {
+            delta.apply(mirror.entry(delta.query).or_default());
+            Some(delta.query)
+        }
+        Push::Snapshot { query, entries, .. } => {
+            mirror.insert(*query, entries.clone());
+            Some(*query)
+        }
+        Push::Resync { .. } => None,
+    }
+}

@@ -1,0 +1,68 @@
+#![deny(missing_docs)]
+
+//! Multi-client TCP serving layer over the continuous top-k monitor.
+//!
+//! The paper's engines answer *"what are the top-k right now?"*; this
+//! crate answers *"who needs to hear that it changed?"*. It wraps one
+//! [`tkm_core::MonitorServer`] in a std-only (no async runtime) socket
+//! server speaking a line-oriented text protocol:
+//!
+//! * [`protocol`] — the wire grammar: `REGISTER` / `UNREGISTER` /
+//!   `SUBSCRIBE` / `UNSUBSCRIBE` / `SNAPSHOT` / `TICK` / `TICKAT` /
+//!   `STATS` requests, `OK`/`ERR` replies, and the asynchronous `DELTA` /
+//!   `SNAPSHOT` / `RESYNC` pushes;
+//! * [`session`] — per-connection reader/writer threads around one
+//!   ordered outbound queue with the **drop-to-snapshot** backpressure
+//!   policy: a subscriber that cannot keep up with its delta stream loses
+//!   its backlog and is re-baselined with fresh snapshots instead of
+//!   growing an unbounded queue;
+//! * [`service`] — the single engine-owner event loop: requests from all
+//!   sessions are serialized through one bounded inbox, queued arrivals
+//!   are batched into **one engine cycle per tick** (immediate under
+//!   manual ticking, once per wall-clock interval otherwise), and each
+//!   cycle's [`tkm_core::ResultDelta`]s are fanned out through a
+//!   [`tkm_core::DeltaRouter`] to exactly the sessions subscribed to each
+//!   query;
+//! * [`client`] — a small blocking client used by the integration tests,
+//!   the loopback benchmark (`cargo run -p tkm_bench --bin serve`) and the
+//!   README walkthrough.
+//!
+//! The deployment shape follows the pub/sub framing of the related work
+//! (see `PAPERS.md`): many standing subscriptions over one shared stream,
+//! with per-client traffic kept to result *deltas* rather than full
+//! snapshots.
+//!
+//! ```no_run
+//! use tkm_core::ServerConfig;
+//! use tkm_service::{Service, ServiceClient, ServiceConfig};
+//!
+//! // Serve an SMA engine over a count-1000 window on an OS-chosen port.
+//! let service = Service::bind("127.0.0.1:0", ServiceConfig::new(ServerConfig::sma(2, 1000)))
+//!     .unwrap();
+//!
+//! // A subscriber registers a query and follows its changes...
+//! let mut sub = ServiceClient::connect(service.local_addr()).unwrap();
+//! let q = sub.register_linear(3, &[1.0, 2.0]).unwrap();
+//! let baseline = sub.subscribe(q).unwrap();
+//! assert!(baseline.is_empty());
+//!
+//! // ...while an ingest connection drives the stream.
+//! let mut ingest = ServiceClient::connect(service.local_addr()).unwrap();
+//! ingest.tick(&[0.9, 0.4, 0.3, 0.8]).unwrap();
+//!
+//! let delta = sub.next_push().unwrap(); // DELTA q0 @1 +t0:.. +t1:..
+//! # drop(delta);
+//! service.shutdown();
+//! ```
+
+pub mod client;
+pub mod protocol;
+pub mod service;
+pub mod session;
+
+pub use client::{apply_push, ClientError, ClientResult, ServiceClient};
+pub use protocol::{
+    parse_request, parse_server_line, ErrCode, Family, Push, Reply, Request, ServerLine, WireWindow,
+};
+pub use service::{Service, ServiceConfig, TickPolicy};
+pub use session::{SessionId, SessionOut};

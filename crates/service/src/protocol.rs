@@ -1,0 +1,794 @@
+//! The line-oriented wire protocol.
+//!
+//! Everything on the wire is UTF-8 text, one message per `\n`-terminated
+//! line, tokens separated by spaces. Three message classes exist:
+//!
+//! * **requests** (client → server): [`Request`] — `REGISTER`,
+//!   `UNREGISTER`, `SUBSCRIBE`, `UNSUBSCRIBE`, `SNAPSHOT`, `TICK`,
+//!   `TICKAT`, `STATS`, `QUIT`;
+//! * **replies** (server → client, exactly one per request, in request
+//!   order): [`Reply`] — lines starting `OK` or `ERR`;
+//! * **pushes** (server → subscriber, asynchronous): [`Push`] — lines
+//!   starting `DELTA`, `SNAPSHOT` or `RESYNC`.
+//!
+//! Replies and pushes share one ordered stream per connection, so a client
+//! that issues a request is guaranteed to see every push enqueued before
+//! the reply first — [`parse_server_line`] classifies a received line into
+//! [`ServerLine::Reply`] vs [`ServerLine::Push`] unambiguously by its first
+//! token.
+//!
+//! Scored entries are encoded `t<id>:<score>` with the score printed by
+//! Rust's shortest-round-trip `f64` formatter, so `encode → parse` is
+//! bit-exact and a subscriber can reconstruct results oracle-identically.
+//! The full verb-by-verb grammar is documented in the README's *Serving*
+//! section; the round-trip property is pinned by this module's tests.
+
+use std::fmt;
+
+use tkm_common::{QueryId, Scored, Timestamp, TupleId};
+use tkm_core::ResultDelta;
+use tkm_window::WindowSpec;
+
+/// Scoring-function family selector of a `REGISTER` request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// `Σ wᵢ·xᵢ` (the default).
+    Linear,
+    /// `Π (wᵢ + xᵢ)`.
+    Product,
+    /// `Σ wᵢ·xᵢ²`.
+    Quadratic,
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Family::Linear => "linear",
+            Family::Product => "product",
+            Family::Quadratic => "quadratic",
+        })
+    }
+}
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// `REGISTER k=<K> weights=<w,..> [fn=<family>] [range=<lo:hi,..>]
+    /// [window=count:<N>|time:<T>]` — registers a continuous query.
+    ///
+    /// The optional `window` argument is a deployment assertion: the
+    /// server rejects the registration unless it matches the window it
+    /// was started with, so a client cannot silently monitor a different
+    /// window than it believes it does.
+    Register {
+        /// Result cardinality.
+        k: usize,
+        /// Per-dimension function parameters (weights/offsets).
+        weights: Vec<f64>,
+        /// Scoring-function family.
+        family: Family,
+        /// Optional per-dimension `(lo, hi)` constraint region (§7).
+        range: Option<Vec<(f64, f64)>>,
+        /// Optional window assertion.
+        window: Option<WireWindow>,
+    },
+    /// `UNREGISTER q<ID>` — terminates a query.
+    Unregister(QueryId),
+    /// `SUBSCRIBE q<ID>` — starts streaming the query's result changes to
+    /// this connection; a baseline `SNAPSHOT` push is enqueued immediately
+    /// before the `OK` reply.
+    Subscribe(QueryId),
+    /// `UNSUBSCRIBE q<ID>` — stops the stream (idempotent).
+    Unsubscribe(QueryId),
+    /// `SNAPSHOT q<ID>` — one-shot read of the current result.
+    Snapshot(QueryId),
+    /// `TICK [v1 v2 ..]` — queues arrivals (one tuple per `dims` values)
+    /// for the next processing cycle. Under manual ticking the cycle runs
+    /// immediately; under interval ticking all arrivals queued during the
+    /// interval are batched into one cycle.
+    Tick {
+        /// Flat coordinate buffer of the queued arrivals.
+        arrivals: Vec<f64>,
+    },
+    /// `TICKAT @<ts> [v1 v2 ..]` — like `TICK` with an explicit
+    /// (non-decreasing) logical timestamp. Manual ticking only.
+    TickAt {
+        /// Logical timestamp of the cycle.
+        at: Timestamp,
+        /// Flat coordinate buffer of the queued arrivals.
+        arrivals: Vec<f64>,
+    },
+    /// `STATS` — server counters as `key=value` pairs.
+    Stats,
+    /// `QUIT` — server replies `OK bye` and closes the connection.
+    Quit,
+}
+
+/// The window shape carried by a `REGISTER … window=` assertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireWindow {
+    /// `count:<N>` — the `N` most recent tuples.
+    Count(usize),
+    /// `time:<T>` — tuples younger than `T` ticks.
+    Time(u64),
+}
+
+impl WireWindow {
+    /// Whether the assertion matches a server's configured window.
+    /// `TimeSized` is a `Time` window with a pre-allocation hint, so it
+    /// matches `time:<T>` on equal duration.
+    pub fn matches(self, spec: WindowSpec) -> bool {
+        match (self, spec) {
+            (WireWindow::Count(n), WindowSpec::Count(m)) => n == m,
+            (WireWindow::Time(t), WindowSpec::Time(u)) => t == u,
+            (WireWindow::Time(t), WindowSpec::TimeSized { duration, .. }) => t == duration,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for WireWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireWindow::Count(n) => write!(f, "count:{n}"),
+            WireWindow::Time(t) => write!(f, "time:{t}"),
+        }
+    }
+}
+
+/// Machine-readable error class of an `ERR` reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The request line did not parse.
+    Parse,
+    /// An argument was syntactically valid but semantically rejected.
+    BadArg,
+    /// The query id is not registered.
+    UnknownQuery,
+    /// A `REGISTER … window=` assertion did not match the server window.
+    WindowMismatch,
+    /// The operation is not supported in this server mode.
+    Unsupported,
+    /// The engine reported an internal error.
+    Internal,
+}
+
+impl ErrCode {
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::Parse => "parse",
+            ErrCode::BadArg => "bad-arg",
+            ErrCode::UnknownQuery => "unknown-query",
+            ErrCode::WindowMismatch => "window-mismatch",
+            ErrCode::Unsupported => "unsupported",
+            ErrCode::Internal => "internal",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<ErrCode> {
+        Some(match s {
+            "parse" => ErrCode::Parse,
+            "bad-arg" => ErrCode::BadArg,
+            "unknown-query" => ErrCode::UnknownQuery,
+            "window-mismatch" => ErrCode::WindowMismatch,
+            "unsupported" => ErrCode::Unsupported,
+            "internal" => ErrCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A server reply — exactly one per request, in request order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// `OK q<ID>` — the query id affected by a
+    /// register/unregister/subscribe/unsubscribe.
+    OkQuery(QueryId),
+    /// `OK @<t> queued=<n>` — tick accepted; `t` is the logical time
+    /// after any flush, `n` the tuples queued by this request.
+    OkTick {
+        /// Logical time after the request was processed.
+        now: Timestamp,
+        /// Number of tuples this request queued.
+        queued: usize,
+    },
+    /// `OK SNAPSHOT q<ID> @<t> [entries..]` — a one-shot result read.
+    OkSnapshot {
+        /// The query read.
+        query: QueryId,
+        /// Logical time of the read.
+        at: Timestamp,
+        /// The current result, best first.
+        entries: Vec<Scored>,
+    },
+    /// `OK STATS key=value ..` — server counters.
+    OkStats(Vec<(String, String)>),
+    /// `OK bye` — connection closing after `QUIT`.
+    OkBye,
+    /// `ERR <code> <message>` — the request failed.
+    Err {
+        /// Machine-readable error class.
+        code: ErrCode,
+        /// Human-readable explanation.
+        message: String,
+    },
+}
+
+/// An asynchronous server push to a subscribed connection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Push {
+    /// `DELTA q<ID> @<t> [+entry].. [-entry]..` — the query's result
+    /// changed at tick `t`; apply added (`+`) and removed (`-`) entries to
+    /// the mirrored list.
+    Delta {
+        /// Logical time of the change.
+        at: Timestamp,
+        /// The change itself.
+        delta: ResultDelta,
+    },
+    /// `SNAPSHOT q<ID> @<t> [entries..]` — a full result baseline: sent
+    /// right after `SUBSCRIBE` and during a backpressure resync. Replaces
+    /// the mirrored list wholesale.
+    Snapshot {
+        /// The query whose state this is.
+        query: QueryId,
+        /// Logical time of the baseline.
+        at: Timestamp,
+        /// The full result, best first.
+        entries: Vec<Scored>,
+    },
+    /// `RESYNC <n>` — this connection consumed pushes too slowly and its
+    /// backlog was dropped; the server has enqueued `n` fresh `SNAPSHOT`
+    /// pushes (one per subscription) to re-baseline it.
+    ///
+    /// `n` is advisory, not a framing guarantee: if the consumer is
+    /// *still* too slow, an in-flight resync can itself be superseded by
+    /// a further `RESYNC` before all `n` snapshots were delivered. A
+    /// conforming client therefore treats every `SNAPSHOT` push as an
+    /// authoritative replacement of that query's mirror (as
+    /// [`apply_push`](crate::client::apply_push) does) and uses `RESYNC`
+    /// only to detect that intermediate states were lost.
+    Resync {
+        /// Number of `SNAPSHOT` pushes enqueued behind this marker.
+        count: usize,
+    },
+}
+
+/// A classified server-to-client line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServerLine {
+    /// A reply to a request this connection sent.
+    Reply(Reply),
+    /// An asynchronous push.
+    Push(Push),
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn write_entries(out: &mut String, entries: &[Scored], sign: &str) {
+    for e in entries {
+        out.push(' ');
+        out.push_str(sign);
+        out.push_str(&format!("t{}:{}", e.id.0, e.score.get()));
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Register {
+                k,
+                weights,
+                family,
+                range,
+                window,
+            } => {
+                write!(f, "REGISTER k={k} weights={}", join_floats(weights))?;
+                if *family != Family::Linear {
+                    write!(f, " fn={family}")?;
+                }
+                if let Some(r) = range {
+                    let spans: Vec<String> =
+                        r.iter().map(|(lo, hi)| format!("{lo}:{hi}")).collect();
+                    write!(f, " range={}", spans.join(","))?;
+                }
+                if let Some(w) = window {
+                    write!(f, " window={w}")?;
+                }
+                Ok(())
+            }
+            Request::Unregister(q) => write!(f, "UNREGISTER {q}"),
+            Request::Subscribe(q) => write!(f, "SUBSCRIBE {q}"),
+            Request::Unsubscribe(q) => write!(f, "UNSUBSCRIBE {q}"),
+            Request::Snapshot(q) => write!(f, "SNAPSHOT {q}"),
+            Request::Tick { arrivals } => {
+                write!(f, "TICK")?;
+                for v in arrivals {
+                    write!(f, " {v}")?;
+                }
+                Ok(())
+            }
+            Request::TickAt { at, arrivals } => {
+                write!(f, "TICKAT {at}")?;
+                for v in arrivals {
+                    write!(f, " {v}")?;
+                }
+                Ok(())
+            }
+            Request::Stats => f.write_str("STATS"),
+            Request::Quit => f.write_str("QUIT"),
+        }
+    }
+}
+
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reply::OkQuery(q) => write!(f, "OK {q}"),
+            Reply::OkTick { now, queued } => write!(f, "OK {now} queued={queued}"),
+            Reply::OkSnapshot { query, at, entries } => {
+                let mut line = format!("OK SNAPSHOT {query} {at}");
+                write_entries(&mut line, entries, "");
+                f.write_str(&line)
+            }
+            Reply::OkStats(pairs) => {
+                write!(f, "OK STATS")?;
+                for (k, v) in pairs {
+                    write!(f, " {k}={v}")?;
+                }
+                Ok(())
+            }
+            Reply::OkBye => f.write_str("OK bye"),
+            Reply::Err { code, message } => write!(f, "ERR {code} {message}"),
+        }
+    }
+}
+
+impl fmt::Display for Push {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Push::Delta { at, delta } => {
+                let mut line = format!("DELTA {} {at}", delta.query);
+                write_entries(&mut line, &delta.added, "+");
+                write_entries(&mut line, &delta.removed, "-");
+                f.write_str(&line)
+            }
+            Push::Snapshot { query, at, entries } => {
+                let mut line = format!("SNAPSHOT {query} {at}");
+                write_entries(&mut line, entries, "");
+                f.write_str(&line)
+            }
+            Push::Resync { count } => write!(f, "RESYNC {count}"),
+        }
+    }
+}
+
+impl fmt::Display for ServerLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerLine::Reply(r) => r.fmt(f),
+            ServerLine::Push(p) => p.fmt(f),
+        }
+    }
+}
+
+fn join_floats(vals: &[f64]) -> String {
+    vals.iter()
+        .map(f64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+// ----------------------------------------------------------------- parsing
+
+fn parse_qid(tok: &str) -> Result<QueryId, String> {
+    let digits = tok.strip_prefix('q').unwrap_or(tok);
+    digits
+        .parse::<u64>()
+        .map(QueryId)
+        .map_err(|_| format!("expected query id, got `{tok}`"))
+}
+
+fn parse_ts(tok: &str) -> Result<Timestamp, String> {
+    let digits = tok.strip_prefix('@').unwrap_or(tok);
+    digits
+        .parse::<u64>()
+        .map(Timestamp)
+        .map_err(|_| format!("expected timestamp, got `{tok}`"))
+}
+
+fn parse_f64(tok: &str) -> Result<f64, String> {
+    let v: f64 = tok
+        .parse()
+        .map_err(|_| format!("expected number, got `{tok}`"))?;
+    if !v.is_finite() {
+        return Err(format!("non-finite value `{tok}`"));
+    }
+    Ok(v)
+}
+
+fn parse_entry(tok: &str) -> Result<Scored, String> {
+    let body = tok
+        .strip_prefix('t')
+        .ok_or_else(|| format!("expected t<id>:<score>, got `{tok}`"))?;
+    let (id, score) = body
+        .split_once(':')
+        .ok_or_else(|| format!("expected t<id>:<score>, got `{tok}`"))?;
+    let id = id
+        .parse::<u64>()
+        .map_err(|_| format!("bad tuple id in `{tok}`"))?;
+    Ok(Scored::new(parse_f64(score)?, TupleId(id)))
+}
+
+fn parse_floats(csv: &str) -> Result<Vec<f64>, String> {
+    if csv.is_empty() {
+        return Err("empty number list".into());
+    }
+    csv.split(',').map(parse_f64).collect()
+}
+
+fn one_arg<'a>(toks: &[&'a str], verb: &str) -> Result<&'a str, String> {
+    match toks {
+        [arg] => Ok(arg),
+        _ => Err(format!("{verb} takes exactly one argument")),
+    }
+}
+
+fn parse_register(toks: &[&str]) -> Result<Request, String> {
+    let mut k = None;
+    let mut weights = None;
+    let mut family = Family::Linear;
+    let mut range = None;
+    let mut window = None;
+    for tok in toks {
+        let (key, value) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("REGISTER arguments are key=value, got `{tok}`"))?;
+        match key {
+            "k" => {
+                let v: usize = value.parse().map_err(|_| format!("bad k `{value}`"))?;
+                k = Some(v);
+            }
+            "weights" => weights = Some(parse_floats(value)?),
+            "fn" => {
+                family = match value {
+                    "linear" => Family::Linear,
+                    "product" => Family::Product,
+                    "quadratic" => Family::Quadratic,
+                    _ => return Err(format!("unknown fn family `{value}`")),
+                }
+            }
+            "range" => {
+                let spans: Result<Vec<(f64, f64)>, String> = value
+                    .split(',')
+                    .map(|span| {
+                        let (lo, hi) = span
+                            .split_once(':')
+                            .ok_or_else(|| format!("range spans are lo:hi, got `{span}`"))?;
+                        Ok((parse_f64(lo)?, parse_f64(hi)?))
+                    })
+                    .collect();
+                range = Some(spans?);
+            }
+            "window" => {
+                let (kind, size) = value
+                    .split_once(':')
+                    .ok_or_else(|| format!("window is count:<N> or time:<T>, got `{value}`"))?;
+                let n: u64 = size
+                    .parse()
+                    .map_err(|_| format!("bad window size `{size}`"))?;
+                window = Some(match kind {
+                    "count" => WireWindow::Count(n as usize),
+                    "time" => WireWindow::Time(n),
+                    _ => return Err(format!("unknown window kind `{kind}`")),
+                });
+            }
+            _ => return Err(format!("unknown REGISTER argument `{key}`")),
+        }
+    }
+    Ok(Request::Register {
+        k: k.ok_or("REGISTER requires k=")?,
+        weights: weights.ok_or("REGISTER requires weights=")?,
+        family,
+        range,
+        window,
+    })
+}
+
+/// Parses one client request line.
+///
+/// Returns a human-readable description of the first problem found; the
+/// serving layer wraps it into an `ERR parse` reply.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut toks = line.split_whitespace();
+    let verb = toks.next().ok_or("empty request")?;
+    let rest: Vec<&str> = toks.collect();
+    match verb {
+        "REGISTER" => parse_register(&rest),
+        "UNREGISTER" => Ok(Request::Unregister(parse_qid(one_arg(&rest, verb)?)?)),
+        "SUBSCRIBE" => Ok(Request::Subscribe(parse_qid(one_arg(&rest, verb)?)?)),
+        "UNSUBSCRIBE" => Ok(Request::Unsubscribe(parse_qid(one_arg(&rest, verb)?)?)),
+        "SNAPSHOT" => Ok(Request::Snapshot(parse_qid(one_arg(&rest, verb)?)?)),
+        "TICK" => Ok(Request::Tick {
+            arrivals: rest
+                .iter()
+                .map(|t| parse_f64(t))
+                .collect::<Result<_, _>>()?,
+        }),
+        "TICKAT" => {
+            let (at, vals) = rest.split_first().ok_or("TICKAT requires a timestamp")?;
+            Ok(Request::TickAt {
+                at: parse_ts(at)?,
+                arrivals: vals
+                    .iter()
+                    .map(|t| parse_f64(t))
+                    .collect::<Result<_, _>>()?,
+            })
+        }
+        "STATS" => Ok(Request::Stats),
+        "QUIT" => Ok(Request::Quit),
+        _ => Err(format!("unknown verb `{verb}`")),
+    }
+}
+
+fn parse_signed_entries(toks: &[&str]) -> Result<(Vec<Scored>, Vec<Scored>), String> {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    for tok in toks {
+        if let Some(body) = tok.strip_prefix('+') {
+            added.push(parse_entry(body)?);
+        } else if let Some(body) = tok.strip_prefix('-') {
+            removed.push(parse_entry(body)?);
+        } else {
+            return Err(format!("DELTA entries are +t..:.. or -t..:.., got `{tok}`"));
+        }
+    }
+    Ok((added, removed))
+}
+
+/// Parses one server-to-client line into a reply or a push.
+pub fn parse_server_line(line: &str) -> Result<ServerLine, String> {
+    let mut toks = line.split_whitespace();
+    let head = toks.next().ok_or("empty server line")?;
+    let rest: Vec<&str> = toks.collect();
+    match head {
+        "OK" => parse_ok(&rest).map(ServerLine::Reply),
+        "ERR" => {
+            let (code, msg) = rest.split_first().ok_or("ERR requires a code")?;
+            let code =
+                ErrCode::from_str(code).ok_or_else(|| format!("unknown ERR code `{code}`"))?;
+            Ok(ServerLine::Reply(Reply::Err {
+                code,
+                message: msg.join(" "),
+            }))
+        }
+        "DELTA" => {
+            let (query, rest) = rest.split_first().ok_or("DELTA requires a query id")?;
+            let (at, entries) = rest.split_first().ok_or("DELTA requires a timestamp")?;
+            let (added, removed) = parse_signed_entries(entries)?;
+            Ok(ServerLine::Push(Push::Delta {
+                at: parse_ts(at)?,
+                delta: ResultDelta {
+                    query: parse_qid(query)?,
+                    added,
+                    removed,
+                },
+            }))
+        }
+        "SNAPSHOT" => {
+            let (query, at, entries) = parse_snapshot_body(&rest)?;
+            Ok(ServerLine::Push(Push::Snapshot { query, at, entries }))
+        }
+        "RESYNC" => {
+            let count: usize = one_arg(&rest, "RESYNC")?
+                .parse()
+                .map_err(|_| "bad RESYNC count".to_string())?;
+            Ok(ServerLine::Push(Push::Resync { count }))
+        }
+        _ => Err(format!("unknown server line `{head}`")),
+    }
+}
+
+fn parse_snapshot_body(toks: &[&str]) -> Result<(QueryId, Timestamp, Vec<Scored>), String> {
+    let (query, rest) = toks.split_first().ok_or("SNAPSHOT requires a query id")?;
+    let (at, entries) = rest.split_first().ok_or("SNAPSHOT requires a timestamp")?;
+    let entries: Result<Vec<Scored>, String> = entries.iter().map(|t| parse_entry(t)).collect();
+    Ok((parse_qid(query)?, parse_ts(at)?, entries?))
+}
+
+fn parse_ok(toks: &[&str]) -> Result<Reply, String> {
+    match toks {
+        ["bye"] => Ok(Reply::OkBye),
+        ["SNAPSHOT", rest @ ..] => {
+            let (query, at, entries) = parse_snapshot_body(rest)?;
+            Ok(Reply::OkSnapshot { query, at, entries })
+        }
+        ["STATS", pairs @ ..] => {
+            let pairs: Result<Vec<(String, String)>, String> = pairs
+                .iter()
+                .map(|tok| {
+                    tok.split_once('=')
+                        .map(|(k, v)| (k.to_string(), v.to_string()))
+                        .ok_or_else(|| format!("STATS pairs are key=value, got `{tok}`"))
+                })
+                .collect();
+            Ok(Reply::OkStats(pairs?))
+        }
+        [ts, queued] if queued.starts_with("queued=") => Ok(Reply::OkTick {
+            now: parse_ts(ts)?,
+            queued: queued["queued=".len()..]
+                .parse()
+                .map_err(|_| "bad queued count".to_string())?,
+        }),
+        [qid] => Ok(Reply::OkQuery(parse_qid(qid)?)),
+        _ => Err(format!("unparseable OK reply `{}`", toks.join(" "))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(score: f64, id: u64) -> Scored {
+        Scored::new(score, TupleId(id))
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let cases = vec![
+            Request::Register {
+                k: 5,
+                weights: vec![1.0, -0.25],
+                family: Family::Linear,
+                range: None,
+                window: Some(WireWindow::Count(1000)),
+            },
+            Request::Register {
+                k: 1,
+                weights: vec![0.5, 0.5, 0.125],
+                family: Family::Quadratic,
+                range: Some(vec![(0.0, 0.5), (0.25, 1.0), (0.0, 1.0)]),
+                window: Some(WireWindow::Time(60)),
+            },
+            Request::Unregister(QueryId(3)),
+            Request::Subscribe(QueryId(0)),
+            Request::Unsubscribe(QueryId(9)),
+            Request::Snapshot(QueryId(2)),
+            Request::Tick {
+                arrivals: vec![0.5, 0.75, 0.125, 1.0],
+            },
+            Request::Tick { arrivals: vec![] },
+            Request::TickAt {
+                at: Timestamp(17),
+                arrivals: vec![0.5, -0.5],
+            },
+            Request::Stats,
+            Request::Quit,
+        ];
+        for req in cases {
+            let line = req.to_string();
+            assert_eq!(parse_request(&line), Ok(req.clone()), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn server_line_round_trips() {
+        let cases = vec![
+            ServerLine::Reply(Reply::OkQuery(QueryId(4))),
+            ServerLine::Reply(Reply::OkTick {
+                now: Timestamp(12),
+                queued: 8,
+            }),
+            ServerLine::Reply(Reply::OkSnapshot {
+                query: QueryId(1),
+                at: Timestamp(3),
+                entries: vec![s(0.875, 10), s(-0.5, 2)],
+            }),
+            ServerLine::Reply(Reply::OkSnapshot {
+                query: QueryId(1),
+                at: Timestamp(3),
+                entries: vec![],
+            }),
+            ServerLine::Reply(Reply::OkStats(vec![
+                ("engine".into(), "SMA".into()),
+                ("queries".into(), "3".into()),
+            ])),
+            ServerLine::Reply(Reply::OkBye),
+            ServerLine::Reply(Reply::Err {
+                code: ErrCode::UnknownQuery,
+                message: "unknown query q7".into(),
+            }),
+            ServerLine::Push(Push::Delta {
+                at: Timestamp(9),
+                delta: ResultDelta {
+                    query: QueryId(2),
+                    added: vec![s(0.75, 40)],
+                    removed: vec![s(0.25, 3), s(0.125, 4)],
+                },
+            }),
+            ServerLine::Push(Push::Snapshot {
+                query: QueryId(5),
+                at: Timestamp(100),
+                entries: vec![s(1.5, 7)],
+            }),
+            ServerLine::Push(Push::Resync { count: 3 }),
+        ];
+        for line in cases {
+            let text = line.to_string();
+            assert_eq!(parse_server_line(&text), Ok(line.clone()), "text: {text}");
+        }
+    }
+
+    #[test]
+    fn scores_round_trip_bit_exactly() {
+        // Shortest-round-trip formatting: parse(to_string(x)) == x exactly.
+        for &score in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            -987654.321,
+            0.30000000000000004,
+        ] {
+            let push = Push::Snapshot {
+                query: QueryId(0),
+                at: Timestamp(0),
+                entries: vec![s(score, 1)],
+            };
+            let ServerLine::Push(Push::Snapshot { entries, .. }) =
+                parse_server_line(&push.to_string()).unwrap()
+            else {
+                panic!("wrong shape");
+            };
+            assert_eq!(entries[0].score.get().to_bits(), score.to_bits());
+        }
+    }
+
+    #[test]
+    fn parse_rejections() {
+        for bad in [
+            "",
+            "FROB",
+            "REGISTER",
+            "REGISTER k=3",
+            "REGISTER k=x weights=1",
+            "REGISTER k=3 weights=",
+            "REGISTER k=3 weights=1 window=century:5",
+            "REGISTER k=3 weights=1 fn=cubic",
+            "SUBSCRIBE",
+            "SUBSCRIBE q1 q2",
+            "UNREGISTER qq",
+            "TICK 0.5 nan",
+            "TICKAT",
+        ] {
+            assert!(parse_request(bad).is_err(), "should reject `{bad}`");
+        }
+        for bad in [
+            "",
+            "OK",
+            "WHAT 1",
+            "ERR",
+            "ERR weird msg",
+            "DELTA q1 @2 t3:4",
+        ] {
+            assert!(parse_server_line(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn window_assertion_matching() {
+        assert!(WireWindow::Count(5).matches(WindowSpec::Count(5)));
+        assert!(!WireWindow::Count(5).matches(WindowSpec::Count(6)));
+        assert!(!WireWindow::Count(5).matches(WindowSpec::Time(5)));
+        assert!(WireWindow::Time(60).matches(WindowSpec::Time(60)));
+        assert!(WireWindow::Time(60).matches(WindowSpec::TimeSized {
+            duration: 60,
+            capacity: 1000
+        }));
+    }
+}

@@ -1,0 +1,539 @@
+//! The serving event loop.
+//!
+//! One [`Service`] owns one [`MonitorServer`] and any number of TCP
+//! clients. All engine access is serialized through a single
+//! **engine-owner thread** fed by a bounded inbox channel; per-connection
+//! reader threads are pure parsers, per-connection writer threads are pure
+//! drains (see [`crate::session`]). The owner thread:
+//!
+//! 1. executes requests in arrival order, replying on the issuing
+//!    session's queue;
+//! 2. accumulates `TICK`/`TICKAT` arrivals and flushes them as **one**
+//!    `tick_at` per processing cycle — immediately under
+//!    [`TickPolicy::Manual`], or once per wall-clock interval under
+//!    [`TickPolicy::Interval`], so a burst of ingest requests inside one
+//!    interval becomes a single engine cycle;
+//! 3. drains the cycle's [`tkm_core::ResultDelta`]s and fans each out to the
+//!    sessions subscribed to its query (via
+//!    [`tkm_core::DeltaRouter`]), applying the drop-to-snapshot
+//!    backpressure policy to slow consumers.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{ErrCode, Family, Push, Reply, Request};
+use crate::session::{run_reader, run_writer, SessionId, SessionOut};
+use tkm_common::{Rect, Result, ScoreFn, Timestamp, TkmError};
+use tkm_core::{DeltaRouter, MonitorServer, Query, ServerConfig};
+
+/// When queued arrivals are flushed into an engine cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TickPolicy {
+    /// Every `TICK`/`TICKAT` request flushes immediately — deterministic,
+    /// the mode used by tests and the loopback bench.
+    Manual,
+    /// Arrivals queue up; a timer flushes them as one `tick_at` per
+    /// interval. `TICKAT` is rejected in this mode (the timer owns the
+    /// clock).
+    Interval(Duration),
+}
+
+/// Configuration of a [`Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// The engine configuration. Delta tracking is forced on — the serving
+    /// layer is built around per-tick result changes.
+    pub server: ServerConfig,
+    /// When queued arrivals become engine cycles.
+    pub tick: TickPolicy,
+    /// Per-session cap on queued push lines before the drop-to-snapshot
+    /// policy kicks in.
+    pub push_queue: usize,
+    /// Bound of the engine-owner inbox (requests in flight across all
+    /// sessions); senders block when full, back-pressuring readers.
+    pub inbox: usize,
+}
+
+impl ServiceConfig {
+    /// A manual-tick service over the given engine configuration, with a
+    /// 1024-line push cap and a 1024-event inbox.
+    pub fn new(server: ServerConfig) -> ServiceConfig {
+        ServiceConfig {
+            server: server.with_delta_tracking(true),
+            tick: TickPolicy::Manual,
+            push_queue: 1024,
+            inbox: 1024,
+        }
+    }
+
+    /// Selects the tick policy.
+    pub fn with_tick(mut self, tick: TickPolicy) -> ServiceConfig {
+        self.tick = tick;
+        self
+    }
+
+    /// Selects the per-session push cap (minimum 1).
+    pub fn with_push_queue(mut self, cap: usize) -> ServiceConfig {
+        self.push_queue = cap.max(1);
+        self
+    }
+}
+
+/// An event consumed by the engine-owner thread.
+pub(crate) enum Event {
+    /// A new connection: its id and its outbound queue.
+    Connect(SessionId, Arc<SessionOut>),
+    /// A parsed request from a session.
+    Request(SessionId, Request),
+    /// An unparseable line from a session (the parse error).
+    Bad(SessionId, String),
+    /// A session's reader hit EOF/error; tear the session down.
+    Gone(SessionId),
+    /// Timer fired (interval mode): flush queued arrivals.
+    Flush,
+    /// Stop the event loop and close every session.
+    Shutdown,
+}
+
+/// A running TCP serving layer over one [`MonitorServer`].
+///
+/// Dropping a `Service` without calling [`Service::shutdown`] leaves the
+/// background threads running detached; call `shutdown` for an orderly
+/// stop.
+pub struct Service {
+    addr: SocketAddr,
+    inbox: SyncSender<Event>,
+    stopping: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Binds a listener and spawns the accept + engine (+ timer) threads.
+    ///
+    /// Bind to port 0 to let the OS choose; [`Service::local_addr`] reports
+    /// the actual endpoint.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServiceConfig) -> Result<Service> {
+        let server = MonitorServer::new(cfg.server.with_delta_tracking(true))?;
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| TkmError::InvalidParameter(format!("bind failed: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| TkmError::Internal(format!("local_addr: {e}")))?;
+        let (tx, rx) = std::sync::mpsc::sync_channel(cfg.inbox.max(1));
+        let stopping = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+
+        let accept_tx = tx.clone();
+        let accept_stop = Arc::clone(&stopping);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(listener, accept_tx, &accept_stop);
+        }));
+
+        if let TickPolicy::Interval(period) = cfg.tick {
+            let timer_tx = tx.clone();
+            let timer_stop = Arc::clone(&stopping);
+            threads.push(std::thread::spawn(move || {
+                // Deadline-based so the cadence tracks `period` exactly,
+                // sleeping in short slices so shutdown is not held hostage
+                // by a long tick interval.
+                let slice = Duration::from_millis(25);
+                let mut next = Instant::now() + period;
+                loop {
+                    if timer_stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let now = Instant::now();
+                    if now < next {
+                        std::thread::sleep((next - now).min(slice));
+                        continue;
+                    }
+                    next += period;
+                    if timer_tx.send(Event::Flush).is_err() {
+                        return;
+                    }
+                }
+            }));
+        }
+
+        let mut owner = EngineOwner {
+            server,
+            cfg,
+            sessions: BTreeMap::new(),
+            router: DeltaRouter::new(),
+            pending: Vec::new(),
+            stats: Counters::default(),
+        };
+        threads.push(std::thread::spawn(move || owner.run(&rx)));
+
+        Ok(Service {
+            addr: local,
+            inbox: tx,
+            stopping,
+            threads,
+        })
+    }
+
+    /// The address the service listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every session, and joins the accept /
+    /// timer / engine threads. Per-session writer threads drain their
+    /// remaining queued lines on their own (they are detached), so
+    /// delivery of already-queued output is best-effort if the process
+    /// exits immediately after this returns.
+    pub fn shutdown(mut self) {
+        self.stopping.store(true, Ordering::Relaxed);
+        let _ = self.inbox.send(Event::Shutdown);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, inbox: SyncSender<Event>, stopping: &AtomicBool) {
+    let mut next = 0u64;
+    for stream in listener.incoming() {
+        if stopping.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let sid = SessionId(next);
+        next += 1;
+        let out = Arc::new(SessionOut::new());
+        if inbox.send(Event::Connect(sid, Arc::clone(&out))).is_err() {
+            return;
+        }
+        if stopping.load(Ordering::Relaxed) {
+            // Shutdown raced this accept: the engine may never process the
+            // Connect, so close the queue ourselves before spawning the
+            // writer — close is idempotent, a double close is harmless.
+            out.close();
+        }
+        let Ok(write_half) = stream.try_clone() else {
+            let _ = inbox.send(Event::Gone(sid));
+            continue;
+        };
+        let writer_out = Arc::clone(&out);
+        std::thread::spawn(move || run_writer(write_half, &writer_out));
+        let reader_inbox = inbox.clone();
+        std::thread::spawn(move || run_reader(stream, sid, reader_inbox));
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    ticks: u64,
+    arrivals: u64,
+    deltas: u64,
+    resyncs: u64,
+    tick_errors: u64,
+}
+
+struct EngineOwner {
+    server: MonitorServer,
+    cfg: ServiceConfig,
+    sessions: BTreeMap<SessionId, Arc<SessionOut>>,
+    router: DeltaRouter<SessionId>,
+    /// Arrivals queued since the last flush (flat coordinate buffer).
+    pending: Vec<f64>,
+    stats: Counters,
+}
+
+impl EngineOwner {
+    fn run(&mut self, rx: &Receiver<Event>) {
+        let started = Instant::now();
+        while let Ok(event) = rx.recv() {
+            match event {
+                Event::Connect(sid, out) => {
+                    self.sessions.insert(sid, out);
+                }
+                Event::Request(sid, req) => {
+                    if let Request::Quit = req {
+                        self.reply(sid, Reply::OkBye);
+                        self.teardown(sid);
+                        continue;
+                    }
+                    let reply = self.execute(sid, req, started);
+                    self.reply(sid, reply);
+                }
+                Event::Bad(sid, msg) => self.reply(
+                    sid,
+                    Reply::Err {
+                        code: ErrCode::Parse,
+                        message: msg,
+                    },
+                ),
+                Event::Gone(sid) => self.teardown(sid),
+                Event::Flush => {
+                    if self.flush(None).is_err() {
+                        self.stats.tick_errors += 1;
+                    }
+                }
+                Event::Shutdown => break,
+            }
+        }
+        for out in self.sessions.values() {
+            out.close();
+        }
+        // Connects that were still queued behind the Shutdown event would
+        // otherwise leave their writer threads parked forever.
+        while let Ok(event) = rx.try_recv() {
+            if let Event::Connect(_, out) = event {
+                out.close();
+            }
+        }
+    }
+
+    fn reply(&self, sid: SessionId, reply: Reply) {
+        if let Some(out) = self.sessions.get(&sid) {
+            out.send_reply(reply.to_string());
+        }
+    }
+
+    fn teardown(&mut self, sid: SessionId) {
+        self.router.drop_subscriber(&sid);
+        if let Some(out) = self.sessions.remove(&sid) {
+            out.close();
+        }
+    }
+
+    /// Executes one request, returning its reply. `Quit` is handled by the
+    /// caller.
+    fn execute(&mut self, sid: SessionId, req: Request, started: Instant) -> Reply {
+        match req {
+            Request::Register {
+                k,
+                weights,
+                family,
+                range,
+                window,
+            } => self.register(k, &weights, family, range, window),
+            Request::Unregister(q) => match self.server.unregister(q) {
+                Ok(()) => {
+                    self.router.drop_query(q);
+                    Reply::OkQuery(q)
+                }
+                Err(e) => err_reply(e),
+            },
+            Request::Subscribe(q) => match self.server.result(q) {
+                Ok(entries) => {
+                    self.router.subscribe(q, sid);
+                    // Baseline the subscriber immediately before its OK:
+                    // FIFO ordering guarantees the snapshot arrives with
+                    // the reply and before any subsequent delta.
+                    if let Some(out) = self.sessions.get(&sid) {
+                        out.force_push(
+                            Push::Snapshot {
+                                query: q,
+                                at: self.server.now(),
+                                entries,
+                            }
+                            .to_string(),
+                        );
+                    }
+                    Reply::OkQuery(q)
+                }
+                Err(e) => err_reply(e),
+            },
+            Request::Unsubscribe(q) => {
+                self.router.unsubscribe(q, &sid);
+                Reply::OkQuery(q)
+            }
+            Request::Snapshot(q) => match self.server.result(q) {
+                Ok(entries) => Reply::OkSnapshot {
+                    query: q,
+                    at: self.server.now(),
+                    entries,
+                },
+                Err(e) => err_reply(e),
+            },
+            Request::Tick { arrivals } => self.ingest(arrivals, None),
+            Request::TickAt { at, arrivals } => {
+                if self.cfg.tick != TickPolicy::Manual {
+                    return Reply::Err {
+                        code: ErrCode::Unsupported,
+                        message: "TICKAT requires a manual-tick server (the interval timer \
+                                  owns the clock)"
+                            .into(),
+                    };
+                }
+                self.ingest(arrivals, Some(at))
+            }
+            Request::Stats => self.stats_reply(started),
+            Request::Quit => unreachable!("handled by the event loop"),
+        }
+    }
+
+    fn register(
+        &mut self,
+        k: usize,
+        weights: &[f64],
+        family: Family,
+        range: Option<Vec<(f64, f64)>>,
+        window: Option<crate::protocol::WireWindow>,
+    ) -> Reply {
+        if let Some(w) = window {
+            if !w.matches(self.server.config().window) {
+                return Reply::Err {
+                    code: ErrCode::WindowMismatch,
+                    message: format!(
+                        "client asserted window={w} but the server monitors {:?}",
+                        self.server.config().window
+                    ),
+                };
+            }
+        }
+        let f = match family {
+            Family::Linear => ScoreFn::linear(weights.to_vec()),
+            Family::Product => ScoreFn::product(weights.to_vec()),
+            Family::Quadratic => ScoreFn::quadratic(weights.to_vec()),
+        };
+        let query = f.and_then(|f| match range {
+            None => Query::top_k(f, k),
+            Some(spans) => {
+                let (lo, hi): (Vec<f64>, Vec<f64>) = spans.into_iter().unzip();
+                Rect::new(lo, hi).and_then(|rect| Query::constrained(f, k, rect))
+            }
+        });
+        match query.and_then(|q| self.server.register(q)) {
+            Ok(id) => Reply::OkQuery(id),
+            Err(e) => err_reply(e),
+        }
+    }
+
+    fn ingest(&mut self, arrivals: Vec<f64>, at: Option<Timestamp>) -> Reply {
+        let dims = self.server.dims();
+        if !arrivals.len().is_multiple_of(dims) {
+            return Reply::Err {
+                code: ErrCode::BadArg,
+                message: format!(
+                    "arrival buffer of {} values is not a whole number of {dims}-dim tuples",
+                    arrivals.len()
+                ),
+            };
+        }
+        let queued = arrivals.len() / dims;
+        self.pending.extend_from_slice(&arrivals);
+        if self.cfg.tick == TickPolicy::Manual {
+            if let Err(e) = self.flush(at) {
+                return err_reply(e);
+            }
+        }
+        Reply::OkTick {
+            now: self.server.now(),
+            queued,
+        }
+    }
+
+    /// Runs one engine cycle over the queued arrivals and fans the
+    /// resulting deltas out to subscribers.
+    fn flush(&mut self, at: Option<Timestamp>) -> Result<()> {
+        let arrivals = std::mem::take(&mut self.pending);
+        let outcome = match at {
+            Some(t) => self.server.tick_at(t, &arrivals),
+            None => self.server.tick(&arrivals),
+        };
+        // A rejected cycle (e.g. a regressing TICKAT timestamp) drops its
+        // arrivals with it.
+        outcome?;
+        self.stats.ticks += 1;
+        self.stats.arrivals += (arrivals.len() / self.server.dims().max(1)) as u64;
+
+        let now = self.server.now();
+        let deltas = self.server.take_deltas();
+        self.stats.deltas += deltas.len() as u64;
+        let mut resynced: Vec<SessionId> = Vec::new();
+        for delta in &deltas {
+            let subscribers = self.router.subscribers(delta.query);
+            if subscribers.is_empty() {
+                continue;
+            }
+            // Encode once per delta, not once per subscriber.
+            let line = Push::Delta {
+                at: now,
+                delta: delta.clone(),
+            }
+            .to_string();
+            for sid in subscribers {
+                if resynced.contains(sid) {
+                    continue;
+                }
+                let Some(out) = self.sessions.get(sid) else {
+                    continue;
+                };
+                if !out.try_push(line.clone(), self.cfg.push_queue) {
+                    resynced.push(*sid);
+                }
+            }
+        }
+        // Slow consumers lost their queued pushes: re-baseline every one
+        // of their subscriptions from the (post-tick) current results.
+        for sid in resynced {
+            self.stats.resyncs += 1;
+            let Some(out) = self.sessions.get(&sid) else {
+                continue;
+            };
+            let subs = self.router.subscriptions_of(&sid);
+            out.force_push(Push::Resync { count: subs.len() }.to_string());
+            for q in subs {
+                let entries = self.server.result(q).unwrap_or_default();
+                out.force_push(
+                    Push::Snapshot {
+                        query: q,
+                        at: now,
+                        entries,
+                    }
+                    .to_string(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn stats_reply(&self, started: Instant) -> Reply {
+        let pairs = vec![
+            ("engine".into(), self.server.engine_name().to_string()),
+            ("dims".into(), self.server.dims().to_string()),
+            ("now".into(), self.server.now().to_string()),
+            ("sessions".into(), self.sessions.len().to_string()),
+            ("subscriptions".into(), self.router.len().to_string()),
+            ("ticks".into(), self.stats.ticks.to_string()),
+            ("arrivals".into(), self.stats.arrivals.to_string()),
+            ("deltas".into(), self.stats.deltas.to_string()),
+            ("resyncs".into(), self.stats.resyncs.to_string()),
+            ("tick_errors".into(), self.stats.tick_errors.to_string()),
+            (
+                "pending".into(),
+                (self.pending.len() / self.server.dims().max(1)).to_string(),
+            ),
+            ("space_bytes".into(), self.server.space_bytes().to_string()),
+            (
+                "uptime_ms".into(),
+                started.elapsed().as_millis().to_string(),
+            ),
+        ];
+        Reply::OkStats(pairs)
+    }
+}
+
+fn err_reply(e: TkmError) -> Reply {
+    let code = match &e {
+        TkmError::UnknownQuery(_) => ErrCode::UnknownQuery,
+        TkmError::DimensionMismatch { .. } | TkmError::InvalidParameter(_) => ErrCode::BadArg,
+        TkmError::Unsupported(_) => ErrCode::Unsupported,
+        _ => ErrCode::Internal,
+    };
+    Reply::Err {
+        code,
+        message: e.to_string(),
+    }
+}

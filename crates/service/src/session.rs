@@ -1,0 +1,298 @@
+//! Per-connection session plumbing.
+//!
+//! Each accepted TCP connection gets **two** threads and **one** queue:
+//!
+//! * a *reader* thread that parses request lines and feeds them to the
+//!   single engine-owner thread over the service's bounded inbox (a slow
+//!   engine therefore back-pressures every producer through plain blocking
+//!   channel sends);
+//! * a *writer* thread that drains this session's [`SessionOut`] queue to
+//!   the socket;
+//! * the [`SessionOut`] queue itself — one ordered lane shared by replies
+//!   and pushes, so a client always observes every push enqueued before a
+//!   reply *before* that reply.
+//!
+//! **Backpressure policy** (drop-to-snapshot): replies are never dropped,
+//! but the number of queued *push* lines is capped. When the engine tries
+//! to push a delta to a session whose cap is reached — a consumer reading
+//! slower than its subscriptions produce — every queued push is discarded
+//! and the engine re-baselines the session with a `RESYNC` marker followed
+//! by a fresh `SNAPSHOT` per subscription. The slow client loses
+//! intermediate states, never the current one, and server memory stays
+//! bounded per session.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex};
+
+use crate::protocol::parse_request;
+use crate::service::Event;
+
+/// Identifier of one accepted connection, unique within a service run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A queued outbound line, classed by droppability.
+enum OutLine {
+    /// A reply to a request — never dropped.
+    Reply(String),
+    /// An asynchronous push — dropped wholesale on overflow.
+    Push(String),
+}
+
+#[derive(Default)]
+struct OutState {
+    queue: VecDeque<OutLine>,
+    /// Number of `Push` lines currently queued.
+    pushes: usize,
+    /// No further lines will be accepted; the writer drains and exits.
+    closed: bool,
+}
+
+/// The outbound side of one session: an ordered reply/push queue drained
+/// by the session's writer thread.
+#[derive(Default)]
+pub struct SessionOut {
+    state: Mutex<OutState>,
+    ready: Condvar,
+}
+
+impl SessionOut {
+    /// Creates an empty open queue.
+    pub fn new() -> SessionOut {
+        SessionOut::default()
+    }
+
+    /// Enqueues a reply line. Replies are exempt from the push cap — their
+    /// volume is bounded by the client's own (flow-controlled) request
+    /// rate, so they cannot grow without bound.
+    pub fn send_reply(&self, line: String) {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return;
+        }
+        st.queue.push_back(OutLine::Reply(line));
+        self.ready.notify_one();
+    }
+
+    /// Tries to enqueue a push line under a cap of `cap` pending pushes.
+    ///
+    /// On overflow every queued push is discarded (replies are retained in
+    /// order) and `false` is returned: the caller must re-baseline the
+    /// session with `RESYNC` + `SNAPSHOT` pushes via
+    /// [`SessionOut::force_push`].
+    pub fn try_push(&self, line: String, cap: usize) -> bool {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            // A vanishing session needs no resync.
+            return true;
+        }
+        if st.pushes >= cap {
+            st.queue.retain(|l| matches!(l, OutLine::Reply(_)));
+            st.pushes = 0;
+            return false;
+        }
+        st.queue.push_back(OutLine::Push(line));
+        st.pushes += 1;
+        self.ready.notify_one();
+        true
+    }
+
+    /// Enqueues a push line bypassing the cap — used only for the `RESYNC`
+    /// marker and its snapshots, whose volume is bounded by the session's
+    /// subscription count.
+    pub fn force_push(&self, line: String) {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return;
+        }
+        st.queue.push_back(OutLine::Push(line));
+        st.pushes += 1;
+        self.ready.notify_one();
+    }
+
+    /// Marks the queue closed: already-queued lines are still delivered,
+    /// then the writer thread shuts the socket down and exits.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        self.ready.notify_one();
+    }
+
+    /// Blocks until at least one line is available (draining up to `max`
+    /// of them into `batch`) or the queue is closed and empty (returns
+    /// `false`).
+    fn pop_into(&self, batch: &mut Vec<String>, max: usize) -> bool {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if !st.queue.is_empty() {
+                while batch.len() < max {
+                    match st.queue.pop_front() {
+                        Some(OutLine::Reply(l)) => batch.push(l),
+                        Some(OutLine::Push(l)) => {
+                            st.pushes -= 1;
+                            batch.push(l);
+                        }
+                        None => break,
+                    }
+                }
+                return true;
+            }
+            if st.closed {
+                return false;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    /// Number of currently queued push lines (test/stats hook).
+    pub fn queued_pushes(&self) -> usize {
+        self.state.lock().unwrap().pushes
+    }
+}
+
+/// Body of a session's writer thread: drains the queue to the socket in
+/// batches (one flush per drain, not per line). On any write failure the
+/// queue is closed; the engine learns of the death from the reader side.
+pub(crate) fn run_writer(stream: TcpStream, out: &SessionOut) {
+    let mut writer = BufWriter::new(&stream);
+    let mut batch = Vec::new();
+    while out.pop_into(&mut batch, 256) {
+        for line in batch.drain(..) {
+            if writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .is_err()
+            {
+                out.close();
+                return;
+            }
+        }
+        if writer.flush().is_err() {
+            out.close();
+            return;
+        }
+    }
+    // Closed and fully drained: also unblocks this session's reader.
+    let _ = writer.flush();
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Hard cap on one request line, keeping per-connection reader memory
+/// bounded against a peer that never sends `\n`. Generous: a `TICK` batch
+/// of ~25k 2-d tuples still fits.
+pub(crate) const MAX_REQUEST_LINE: u64 = 1 << 20;
+
+/// Reads one `\n`-terminated line of at most [`MAX_REQUEST_LINE`] bytes.
+/// Returns `Ok(None)` on clean EOF and `Err` on oversized input, invalid
+/// UTF-8, or socket failure.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<Option<String>> {
+    use std::io::{Error, ErrorKind, Read};
+    buf.clear();
+    let n = reader
+        .by_ref()
+        .take(MAX_REQUEST_LINE)
+        .read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if buf.last() != Some(&b'\n') && n as u64 >= MAX_REQUEST_LINE {
+        return Err(Error::new(ErrorKind::InvalidData, "request line too long"));
+    }
+    let line = std::str::from_utf8(buf)
+        .map_err(|_| Error::new(ErrorKind::InvalidData, "request line is not UTF-8"))?;
+    Ok(Some(line.to_string()))
+}
+
+/// Body of a session's reader thread: parses request lines and forwards
+/// them to the engine-owner thread. Sends [`Event::Gone`] exactly once on
+/// EOF, socket error, an oversized/non-UTF-8 line, or service shutdown.
+pub(crate) fn run_reader(stream: TcpStream, sid: SessionId, inbox: SyncSender<Event>) {
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        match read_request_line(&mut reader, &mut buf) {
+            Ok(None) | Err(_) => break,
+            Ok(Some(line)) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let event = match parse_request(trimmed) {
+                    Ok(req) => Event::Request(sid, req),
+                    Err(msg) => Event::Bad(sid, msg),
+                };
+                if inbox.send(event).is_err() {
+                    break; // Engine gone: service shut down.
+                }
+            }
+        }
+    }
+    let _ = inbox.send(Event::Gone(sid));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replies_survive_push_overflow() {
+        let out = SessionOut::new();
+        out.send_reply("OK q0".into());
+        assert!(out.try_push("DELTA 1".into(), 2));
+        assert!(out.try_push("DELTA 2".into(), 2));
+        // Third push overflows the cap of 2: pushes dropped, replies kept.
+        assert!(!out.try_push("DELTA 3".into(), 2));
+        out.send_reply("OK q1".into());
+        out.force_push("RESYNC 1".into());
+        out.close();
+
+        let mut drained = Vec::new();
+        while out.pop_into(&mut drained, 64) {}
+        assert_eq!(drained, vec!["OK q0", "OK q1", "RESYNC 1"]);
+    }
+
+    #[test]
+    fn pop_blocks_until_line_or_close() {
+        use std::sync::Arc;
+        let out = Arc::new(SessionOut::new());
+        let clone = Arc::clone(&out);
+        let handle = std::thread::spawn(move || {
+            let mut batch = Vec::new();
+            let got = clone.pop_into(&mut batch, 8);
+            (got, batch)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        out.send_reply("hello".into());
+        let (got, batch) = handle.join().unwrap();
+        assert!(got);
+        assert_eq!(batch, vec!["hello"]);
+
+        out.close();
+        let mut rest = Vec::new();
+        assert!(!out.pop_into(&mut rest, 8), "closed and empty");
+    }
+
+    #[test]
+    fn closed_queue_accepts_nothing() {
+        let out = SessionOut::new();
+        out.close();
+        out.send_reply("late".into());
+        assert!(out.try_push("late push".into(), 4), "no resync for corpses");
+        out.force_push("late force".into());
+        let mut batch = Vec::new();
+        assert!(!out.pop_into(&mut batch, 8));
+        assert!(batch.is_empty());
+    }
+}

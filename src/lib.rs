@@ -45,10 +45,18 @@
 //! | [`tkm_skyband`] | k-skyband with dominance counters |
 //! | [`tkm_tsl`] | TSL baseline (sorted lists + TA + kmax views) |
 //! | [`tkm_core`] | TMA, SMA, computation module, §7 extensions, server |
+//! | [`tkm_service`] | TCP serving layer: wire protocol, sessions, delta fan-out |
 //! | [`tkm_datagen`] | IND/ANT generators, query workloads, stream simulator |
 //! | [`tkm_analysis`] | §6 analytical cost model |
 //!
 //! The most common items are re-exported at the root.
+
+/// Every fenced `rust` block in the README compiles and runs as a doctest
+/// of this item (`cargo test --doc`), so the README's snippets can never
+/// drift from the real API again.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
 
 pub use tkm_analysis::ModelParams;
 pub use tkm_common::{
@@ -63,6 +71,7 @@ pub use tkm_core::{
     TmaMaintenance, TmaMonitor, UpdateOp, UpdateStreamTma,
 };
 pub use tkm_datagen::{DataDist, FnFamily, PointGen, QueryGen, StreamSim};
+pub use tkm_service::{Service, ServiceClient, ServiceConfig, TickPolicy};
 pub use tkm_skyband::{SkyEntry, Skyband};
 pub use tkm_tsl::{KmaxPolicy, TslMonitor};
 pub use tkm_window::{CountWindow, SlabStore, TimeWindow, TupleLookup, Window, WindowSpec};
@@ -74,6 +83,7 @@ pub use tkm_core as engines;
 pub use tkm_datagen as datagen;
 pub use tkm_grid as grid;
 pub use tkm_ostree as ostree;
+pub use tkm_service as service;
 pub use tkm_skyband as skyband;
 pub use tkm_tsl as baseline;
 pub use tkm_window as window;

@@ -40,6 +40,7 @@ fn all_paper_figure_binaries_exist() {
         "model_vs_measured",
         "replay",
         "scaleout",
+        "serve",
         "table2_view_size",
         "tune_kmax",
     ]
@@ -105,8 +106,8 @@ fn all_examples_exist() {
 fn workspace_members_match_directories() {
     let manifest = std::fs::read_to_string(repo_root().join("Cargo.toml")).expect("root manifest");
     for dir in [
-        "analysis", "bench", "common", "core", "datagen", "grid", "ostree", "skyband", "tsl",
-        "window",
+        "analysis", "bench", "common", "core", "datagen", "grid", "ostree", "service", "skyband",
+        "tsl", "window",
     ] {
         assert!(
             manifest.contains(&format!("\"crates/{dir}\"")),
