@@ -59,7 +59,7 @@ fn bench_skyband(c: &mut Criterion) {
                         sky.insert(Scored::new(lcg(&mut state), TupleId(next)));
                         next += 1;
                         // Expire the oldest band member occasionally.
-                        if let Some(e) = sky.entries().iter().map(|e| e.scored.id).min() {
+                        if let Some(e) = sky.scored().iter().map(|s| s.id).min() {
                             sky.expire(e);
                         }
                     }

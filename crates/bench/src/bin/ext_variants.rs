@@ -90,8 +90,8 @@ fn main() {
                 }
             }
             let before = match &m {
-                E::T(x) => x.stats().recomputations,
-                E::S(x) => x.stats().recomputations,
+                E::T(x) => x.stats().recomputations(),
+                E::S(x) => x.stats().recomputations(),
             };
             let start = Instant::now();
             for _ in 0..p.ticks {
@@ -103,8 +103,8 @@ fn main() {
             }
             let secs = start.elapsed().as_secs_f64();
             let recomputes = match &m {
-                E::T(x) => x.stats().recomputations,
-                E::S(x) => x.stats().recomputations,
+                E::T(x) => x.stats().recomputations(),
+                E::S(x) => x.stats().recomputations(),
             } - before;
             table.row(vec![
                 label.into(),
@@ -170,7 +170,7 @@ fn main() {
             let q = Query::top_k(f.clone(), p.k).expect("query");
             m.register_query(QueryId(i as u64), q).expect("register");
         }
-        let before = m.stats().recomputations;
+        let before = m.stats().recomputations();
         // Deterministic pseudo-random victim selection.
         let mut state = p.seed | 1;
         let start = Instant::now();
@@ -193,7 +193,7 @@ fn main() {
             "update-stream".into(),
             "TMA(hash)".into(),
             fmt_secs(start.elapsed().as_secs_f64()),
-            (m.stats().recomputations - before).to_string(),
+            (m.stats().recomputations() - before).to_string(),
         ]);
     }
 

@@ -97,8 +97,8 @@ impl EngineBox {
     fn recompute_counter(&self) -> u64 {
         match self {
             EngineBox::Tsl(m) => m.stats().refills,
-            EngineBox::Tma(m) => m.stats().recomputations,
-            EngineBox::Sma(m) => m.stats().recomputations,
+            EngineBox::Tma(m) => m.stats().recomputations(),
+            EngineBox::Sma(m) => m.stats().recomputations(),
         }
     }
 

@@ -297,6 +297,276 @@ impl kernel::ScorerVisitor for Traversal<'_> {
     }
 }
 
+/// One query of a batched shared recomputation ([`compute_topk_group`]).
+///
+/// Members of one group must agree on per-axis monotonicity (they share a
+/// traversal order) and must be unconstrained — a constrained query clips
+/// its traversal to a private cell range and recomputes solo.
+#[derive(Debug)]
+pub struct GroupMember {
+    /// The query's dense slot.
+    pub slot: QuerySlot,
+    /// The query's scoring function.
+    pub f: ScoreFn,
+    /// Result size.
+    pub k: usize,
+    /// Cells whose maxscore under `f` is strictly above this are known to
+    /// carry the slot already (see [`InfluenceUpdate::listed_above`]).
+    pub listed_above: f64,
+    /// Keep the previously listed superset: the influence post-pass skips
+    /// the shrink-side removals for this member, so cells between the new
+    /// threshold and `listed_above` stay listed. A superset region is
+    /// sound — it only costs extra replay probes — and skipping the
+    /// removals (plus the frontier sweep) turns a threshold flip-flop
+    /// into a no-op instead of a mass relist. The caller must then keep
+    /// its fed-back bound at `min(listed_above, region_bound)`.
+    pub keep_superset: bool,
+    /// Collect boundary ties (skyband seeding).
+    pub track_ties: bool,
+    /// Recycled result buffers from the previous computation.
+    pub reuse: Option<TopList>,
+}
+
+/// Per-member result of a [`compute_topk_group`] traversal. The fields
+/// mirror [`ComputeOutcome`], except that `region_bound` is the member's
+/// final k-th score (`−∞` when deficient): every cell with maxscore ≥ it
+/// was processed and is covered by the member's influence lists.
+#[derive(Debug)]
+pub struct GroupOutcome {
+    /// The member's dense slot (copied through for the caller's re-match).
+    pub slot: QuerySlot,
+    /// The top-k list (≤ k entries, best first).
+    pub top: TopList,
+    /// Candidates tying the k-th score (when tie tracking was requested).
+    pub boundary_ties: Vec<Scored>,
+    /// The member's influence-region bound — feed back as `listed_above`.
+    pub region_bound: f64,
+}
+
+/// Internal per-member traversal state of [`compute_topk_group`].
+struct GroupRun {
+    m: GroupMember,
+    top: TopList,
+    threshold: f64,
+}
+
+/// Runs one shared grid traversal serving every member of a group —
+/// the batched counterpart of N solo [`compute_topk`] calls.
+///
+/// Cells pop in descending *group* key order (the max of the active
+/// members' cell bounds), each popped cell's coordinate block is streamed
+/// once per still-interested member, and a member drops out as soon as the
+/// group key falls strictly below its k-th score. Every cell a solo
+/// traversal for member `m` would process has bound ≥ `m`'s final
+/// threshold, hence group key ≥ that threshold, hence pops before `m` is
+/// done — so each member's result is identical to its solo result.
+///
+/// Influence lists are maintained in a post-pass over the popped cells
+/// (recorded in [`ComputeScratch::popped`]): for each member, cells with
+/// bound ≥ its final threshold are inserted (unless already listed per
+/// `listed_above`), and popped cells *below* the member's threshold but
+/// inside its previously-listed region are removed — the shared envelope
+/// covers them, so the follow-up frontier walk (which starts strictly
+/// below every member's threshold) would never reach those stale entries.
+/// After return, [`ComputeScratch::frontier`] holds the shared frontier
+/// and the stamp epoch still marks every en-heaped cell; pass the group's
+/// slots to [`crate::influence::cleanup_group_from_frontier`] to finish
+/// the sweep.
+///
+/// `members` is drained (its buffers are recycled by the caller);
+/// `results` is cleared and refilled with one [`GroupOutcome`] per member,
+/// in member order.
+pub fn compute_topk_group(
+    grid: &Grid,
+    scratch: &mut ComputeScratch,
+    influence: &mut InfluenceTable,
+    members: &mut Vec<GroupMember>,
+    results: &mut Vec<GroupOutcome>,
+) -> ComputeStats {
+    results.clear();
+    let mut stats = ComputeStats::default();
+    if members.is_empty() {
+        scratch.frontier.clear();
+        return stats;
+    }
+    let dims = grid.dims();
+    debug_assert!(members.iter().all(|m| m.f.dims() == dims));
+    debug_assert!(
+        members
+            .iter()
+            .all(|m| (0..dims).all(|d| m.f.monotonicity(d) == members[0].f.monotonicity(d))),
+        "group members must share per-axis monotonicity"
+    );
+
+    let mut runs: Vec<GroupRun> = members
+        .drain(..)
+        .map(|mut m| {
+            let top = match m.reuse.take() {
+                Some(mut t) => {
+                    t.reset(m.k, m.track_ties);
+                    t
+                }
+                None if m.track_ties => TopList::with_tie_tracking(m.k),
+                None => TopList::new(m.k),
+            };
+            GroupRun {
+                m,
+                top,
+                threshold: f64::NEG_INFINITY,
+            }
+        })
+        .collect();
+
+    let mut dirs = [Monotonicity::Increasing; MAX_DIMS];
+    for (dim, dir) in dirs.iter_mut().enumerate().take(dims) {
+        *dir = runs[0].m.f.monotonicity(dim);
+    }
+    let start = grid.best_corner(&runs[0].m.f);
+
+    // Max cell bound over the members still traversing: the heap key. A
+    // finished member stops inflating the keys of cells pushed later, so
+    // the group search narrows as members complete. Only the active
+    // member indices are consulted, so a popped cell costs the *live*
+    // member count, not the group size — in a recompute storm most
+    // members retire within the first few cells and the deep tail of the
+    // traversal is paid only by the members that still need it.
+    let group_bound = |runs: &[GroupRun], active: &[u32], cell: CellId| -> f64 {
+        let (lo, hi) = grid.cell_lo_hi(cell);
+        let mut best = f64::NEG_INFINITY;
+        for &ri in active {
+            best = best.max(kernel::cell_bound(&runs[ri as usize].m.f, lo, hi));
+        }
+        best
+    };
+    let mut active_idx: Vec<u32> = (0..runs.len() as u32).collect();
+
+    let ComputeScratch {
+        stamps,
+        heap,
+        frontier,
+        popped,
+        ..
+    } = scratch;
+    heap.clear();
+    popped.clear();
+    stamps.begin();
+    stamps.mark(start);
+    heap.push((
+        OrderedF64::new(group_bound(&runs, &active_idx, start)),
+        start,
+    ));
+    stats.heap_pushes += 1;
+
+    while let Some(&(key, cell)) = heap.peek() {
+        let key = key.get();
+        let mut ai = 0;
+        while ai < active_idx.len() {
+            let r = &mut runs[active_idx[ai] as usize];
+            // Strictly below the member's k-th score: no remaining cell
+            // (keys descend) can contribute to it. Ties continue.
+            if r.top.is_full() && key < r.threshold {
+                active_idx.swap_remove(ai);
+            } else {
+                ai += 1;
+            }
+        }
+        if active_idx.is_empty() {
+            break;
+        }
+        heap.pop();
+        stats.cells_processed += 1;
+        popped.push((key, cell));
+
+        let points = grid.cell(cell).points();
+        let (lo, hi) = grid.cell_lo_hi(cell);
+        for &ri in active_idx.iter() {
+            let r = &mut runs[ri as usize];
+            // The cell may be on the heap for *other* members only: skip
+            // the scan when this member's own bound is already beaten
+            // (strictly — boundary ties can still hold result tuples).
+            if r.top.is_full() && kernel::cell_bound(&r.m.f, lo, hi) < r.threshold {
+                continue;
+            }
+            stats.points_scanned += points.len() as u64;
+            let top = &mut r.top;
+            let mut threshold = r.threshold;
+            kernel::scan_block(
+                &r.m.f,
+                dims,
+                points.ids(),
+                points.coords(),
+                None,
+                |id, score| {
+                    if score >= threshold && top.offer(Scored::new(score, id)) {
+                        threshold = top.threshold();
+                    }
+                },
+            );
+            r.threshold = threshold;
+        }
+
+        for (dim, &dir) in dirs.iter().enumerate().take(dims) {
+            if let Some(n) = grid.step_worse_dir(cell, dim, dir) {
+                if stamps.mark(n) {
+                    heap.push((OrderedF64::new(group_bound(&runs, &active_idx, n)), n));
+                    stats.heap_pushes += 1;
+                }
+            }
+        }
+    }
+
+    frontier.clear();
+    frontier.extend(heap.drain().map(|(_, c)| c));
+
+    // Influence post-pass over the shared envelope. Every cell with
+    // bound ≥ a member's final threshold was popped (see above), so
+    // inserting those popped cells covers the member's influence region
+    // exactly; popped cells below the threshold but at/above the member's
+    // previously-listed bound may carry stale entries that the frontier
+    // walk (seeded strictly below every threshold) cannot reach — remove
+    // them here.
+    for r in runs.iter() {
+        let t_final = r.top.threshold();
+        for &(key, cell) in popped.iter() {
+            // Pop keys are non-increasing and, while a member is active,
+            // upper-bound its cell bound; every cell with bound ≥ the
+            // member's final threshold pops (with key ≥ that bound)
+            // before the member retires. So once the key drops below the
+            // threshold no later cell can need an insert — a
+            // superset-keeping member (no removals) is finished. A
+            // resyncing member keeps scanning: cells popped after it
+            // retired can carry stale entries at keys the bound no longer
+            // dominates, and a missed removal would strand an influence
+            // entry that the frontier walk (blocked by this epoch's
+            // stamps) can never reach.
+            if r.m.keep_superset && key < t_final {
+                break;
+            }
+            let (lo, hi) = grid.cell_lo_hi(cell);
+            let b = kernel::cell_bound(&r.m.f, lo, hi);
+            if b >= t_final {
+                if b <= r.m.listed_above {
+                    influence.insert(cell, r.m.slot);
+                }
+            } else if !r.m.keep_superset && b >= r.m.listed_above {
+                influence.remove(cell, r.m.slot);
+            }
+        }
+    }
+
+    for r in runs {
+        let region_bound = r.top.threshold();
+        let boundary_ties = r.top.boundary_ties();
+        results.push(GroupOutcome {
+            slot: r.m.slot,
+            top: r.top,
+            boundary_ties,
+            region_bound,
+        });
+    }
+    stats
+}
+
 /// Reusable traversal buffers owned by one maintenance domain (engine or
 /// shard). Keeping them here makes steady-state processing cycles
 /// allocation-free: the computation heap and the frontier list retain
@@ -313,6 +583,13 @@ pub struct ComputeScratch {
     /// Cells en-heaped but not processed by the last [`compute_topk`]
     /// call: the clean-up walk's seed list, consumed in place.
     pub frontier: Vec<CellId>,
+    /// `(pop key, cell)` pairs processed by the last
+    /// [`compute_topk_group`] call, in pop order (keys non-increasing) —
+    /// the shared envelope its influence post-pass iterates. The recorded
+    /// group key upper-bounds every then-active member's cell bound, so
+    /// the post-pass can stop a member's scan at the first key below its
+    /// threshold.
+    pub popped: Vec<(f64, CellId)>,
 }
 
 impl ComputeScratch {
@@ -323,6 +600,7 @@ impl ComputeScratch {
             coords: [0.0; MAX_DIMS],
             heap: BinaryHeap::new(),
             frontier: Vec::new(),
+            popped: Vec::new(),
         }
     }
 
@@ -332,6 +610,7 @@ impl ComputeScratch {
             + self.stamps.space_bytes()
             + self.heap.capacity() * std::mem::size_of::<(OrderedF64, CellId)>()
             + self.frontier.capacity() * std::mem::size_of::<CellId>()
+            + self.popped.capacity() * std::mem::size_of::<(f64, CellId)>()
     }
 }
 
@@ -540,6 +819,144 @@ mod tests {
             scratch.frontier.is_empty(),
             "deficient search floods the grid"
         );
+    }
+
+    /// A shared group traversal must produce, per member, the identical
+    /// result list and the identical influence coverage as solo
+    /// traversals.
+    #[test]
+    fn group_traversal_matches_solo() {
+        let points = [
+            [0.55, 0.90],
+            [0.90, 0.55],
+            [0.10, 0.95],
+            [0.40, 0.40],
+            [0.75, 0.20],
+            [0.33, 0.66],
+            [0.80, 0.80],
+        ];
+        let fs = [
+            ScoreFn::linear(vec![1.0, 2.0]).unwrap(),
+            ScoreFn::linear(vec![2.0, 1.0]).unwrap(),
+            ScoreFn::product(vec![0.1, 0.1]).unwrap(),
+        ];
+        let (grid, mut scratch, mut solo_influence) = setup(&points, 7);
+        let mut solo_tops = Vec::new();
+        let mut solo_listed = Vec::new();
+        for (i, f) in fs.iter().enumerate() {
+            let out = compute_topk(
+                &grid,
+                &mut scratch,
+                Some(InfluenceUpdate::fresh(
+                    &mut solo_influence,
+                    QuerySlot(i as u32),
+                )),
+                f,
+                2,
+                None,
+                true,
+                None,
+            );
+            solo_tops.push((out.top.as_slice().to_vec(), out.boundary_ties.clone()));
+            let listed: Vec<u32> = (0..grid.num_cells() as u32)
+                .filter(|c| solo_influence.contains(CellId(*c), QuerySlot(i as u32)))
+                .collect();
+            solo_listed.push(listed);
+        }
+
+        let mut group_influence = InfluenceTable::new(grid.num_cells());
+        let mut members: Vec<GroupMember> = fs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| GroupMember {
+                slot: QuerySlot(i as u32),
+                f: f.clone(),
+                k: 2,
+                listed_above: f64::INFINITY,
+                keep_superset: false,
+                track_ties: true,
+                reuse: None,
+            })
+            .collect();
+        let mut results = Vec::new();
+        let stats = compute_topk_group(
+            &grid,
+            &mut scratch,
+            &mut group_influence,
+            &mut members,
+            &mut results,
+        );
+        assert!(members.is_empty(), "members are drained");
+        assert_eq!(results.len(), fs.len());
+        assert!(stats.cells_processed > 0);
+
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.slot, QuerySlot(i as u32));
+            assert_eq!(r.top.as_slice(), &solo_tops[i].0[..], "member {i} top");
+            assert_eq!(r.boundary_ties, solo_tops[i].1, "member {i} ties");
+            let listed: Vec<u32> = (0..grid.num_cells() as u32)
+                .filter(|c| group_influence.contains(CellId(*c), QuerySlot(i as u32)))
+                .collect();
+            assert_eq!(listed, solo_listed[i], "member {i} influence coverage");
+        }
+        // Frontier cells sit strictly below every member's threshold and
+        // carry no fresh influence entries.
+        for c in &scratch.frontier {
+            for (i, r) in results.iter().enumerate() {
+                let (lo, hi) = grid.cell_lo_hi(*c);
+                assert!(kernel::cell_bound(&fs[i], lo, hi) < r.region_bound);
+            }
+        }
+    }
+
+    /// A deficient member (k beyond the population) keeps the group
+    /// traversal flooding the whole grid, exactly like a solo search.
+    #[test]
+    fn group_with_deficient_member_floods() {
+        let points = [[0.2, 0.3], [0.8, 0.1]];
+        let (grid, mut scratch, mut influence) = setup(&points, 4);
+        let mut members = vec![
+            GroupMember {
+                slot: QuerySlot(0),
+                f: ScoreFn::linear(vec![1.0, 1.0]).unwrap(),
+                k: 1,
+                listed_above: f64::INFINITY,
+                keep_superset: false,
+                track_ties: false,
+                reuse: None,
+            },
+            GroupMember {
+                slot: QuerySlot(1),
+                f: ScoreFn::linear(vec![2.0, 0.5]).unwrap(),
+                k: 5,
+                listed_above: f64::INFINITY,
+                keep_superset: false,
+                track_ties: false,
+                reuse: None,
+            },
+        ];
+        let mut results = Vec::new();
+        let stats = compute_topk_group(
+            &grid,
+            &mut scratch,
+            &mut influence,
+            &mut members,
+            &mut results,
+        );
+        assert_eq!(stats.cells_processed, 16, "deficient member floods");
+        assert!(scratch.frontier.is_empty());
+        assert_eq!(results[1].top.len(), 2);
+        assert_eq!(results[1].region_bound, f64::NEG_INFINITY);
+        // The deficient member is listed everywhere; the satisfied member
+        // only in its influence region.
+        let listed0 = (0..16)
+            .filter(|c| influence.contains(CellId(*c), QuerySlot(0)))
+            .count();
+        let listed1 = (0..16)
+            .filter(|c| influence.contains(CellId(*c), QuerySlot(1)))
+            .count();
+        assert_eq!(listed1, 16);
+        assert!(listed0 < 16);
     }
 
     /// Scratch reuse: back-to-back computations leave no stale state and

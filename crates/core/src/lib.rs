@@ -54,7 +54,10 @@ pub mod threshold;
 pub mod tma;
 pub mod update_stream;
 
-pub use compute::{compute_topk, ComputeOutcome, ComputeScratch, ComputeStats, InfluenceUpdate};
+pub use compute::{
+    compute_topk, compute_topk_group, ComputeOutcome, ComputeScratch, ComputeStats, GroupMember,
+    GroupOutcome, InfluenceUpdate,
+};
 pub use engine::{build_engine, ContinuousTopK, EngineKind};
 pub use ingest::{IngestState, IngestStats};
 pub use maintenance::{QueryMaintenance, SmaMaintenance, TmaMaintenance};

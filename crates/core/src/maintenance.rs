@@ -1,20 +1,39 @@
 //! Per-query maintenance stages, decoupled from tuple ingest.
 //!
 //! A [`QueryMaintenance`] value owns everything that is *per-query*: the
-//! queries themselves, their result book-keeping (top-lists for TMA,
-//! skybands for SMA), the influence lists covering them, and the traversal
-//! scratch. It never mutates the shared window or grid — every cycle it
-//! *replays* the event lists recorded by [`IngestState::ingest`] against an
-//! immutable `&IngestState` view. That is what makes the stage shardable:
-//! partition the queries over several `QueryMaintenance` values and run
-//! [`QueryMaintenance::apply_events`] on each from its own thread, all
-//! reading the same window and grid.
+//! queries themselves, their result book-keeping (refill skybands for TMA,
+//! k-skybands for SMA), the influence lists covering them, and the
+//! traversal scratch. It never mutates the shared window or grid — every
+//! cycle it *replays* the event lists recorded by [`IngestState::ingest`]
+//! against an immutable `&IngestState` view. That is what makes the stage
+//! shardable: partition the queries over several `QueryMaintenance` values
+//! and run [`QueryMaintenance::apply_events`] on each from its own thread,
+//! all reading the same window and grid.
 //!
 //! [`TmaMaintenance`] and [`SmaMaintenance`] are the paper's two
 //! maintenance modules (Figures 9 and 11) restated over event lists; the
 //! single-engine monitors [`crate::TmaMonitor`] / [`crate::SmaMonitor`] are
 //! thin ingest+maintenance sandwiches, so the sharded and unsharded paths
 //! execute literally the same maintenance code.
+//!
+//! The recomputation path is tiered to kill the worst-tick cliff:
+//!
+//! 1. **Skyband refill (default TMA configuration).** Each TMA query keeps
+//!    a `k_max`-skyband ([`tkm_skyband::tuned_kmax`] entries) instead of a
+//!    bare top-k list; its k-prefix *is* the result. Result expiries are
+//!    absorbed from the band without touching the grid, and a traversal is
+//!    needed only when the band itself drains below `k` — the paper §8
+//!    refill idea applied to the grid engines.
+//! 2. **Batched shared recomputation.** Queries that do fall back in the
+//!    same tick are grouped by per-axis monotonicity (constrained queries
+//!    recompute solo) and served by **one**
+//!    [`crate::compute::compute_topk_group`] grid traversal per group,
+//!    which scans each visited cell block once per member instead of
+//!    re-walking the grid per query. A synchronized expiry wave that
+//!    forces hundreds of queries to recompute costs one traversal, not
+//!    hundreds.
+//! 3. **Solo recomputation** remains as the fallback for constrained
+//!    queries, singleton groups, and `set_batched_recompute(false)`.
 //!
 //! The replay loop is built for throughput:
 //!
@@ -40,17 +59,22 @@
 //! restores exactness for whatever the burst displaced — the differential
 //! suite pins sharded and unsharded results to the oracle either way.
 
-use crate::compute::{compute_topk, ComputeScratch, InfluenceUpdate};
-use crate::influence::{cleanup_from_frontier, remove_query_walk};
+use crate::compute::{
+    compute_topk, compute_topk_group, ComputeScratch, ComputeStats, GroupMember, GroupOutcome,
+    InfluenceUpdate,
+};
+use crate::influence::{cleanup_from_frontier, cleanup_group_from_frontier, remove_query_walk};
 use crate::ingest::IngestState;
 use crate::kernel;
 use crate::query::Query;
 use crate::registry::QueryRegistry;
 use crate::result::TopList;
 use crate::stats::EngineStats;
-use tkm_common::{QueryId, QuerySlot, Result, Scored, TkmError, TupleId};
+use tkm_common::{
+    Monotonicity, OrderedF64, QueryId, QuerySlot, Result, ScoreFn, Scored, TkmError, TupleId,
+};
 use tkm_grid::InfluenceTable;
-use tkm_skyband::Skyband;
+use tkm_skyband::{tuned_kmax, Skyband};
 use tkm_window::Window;
 
 /// One shard's worth of per-query monitoring state.
@@ -98,7 +122,26 @@ pub trait QueryMaintenance: Send {
 
     /// Deep size estimate of the per-query state in bytes.
     fn space_bytes(&self) -> usize;
+
+    /// Enables or disables batched shared recomputation (default: on).
+    /// With batching off every fallback recomputes solo — the reference
+    /// behaviour the differential suite compares the batched path against.
+    fn set_batched_recompute(&mut self, on: bool);
 }
+
+/// Cap on the member count of one shared recomputation traversal.
+///
+/// A shared traversal costs O(members × envelope cells): every popped
+/// cell runs a retire check and a bound test per still-active member, and
+/// the group heap key (the max over active members' bounds) keeps
+/// *everyone* active until the group's deepest member is satisfied. A
+/// recompute storm that throws thousands of queries into one group would
+/// make each of them pay the whole union envelope. Chunking the
+/// signature run — pre-sorted by descending stale threshold, a cheap
+/// proxy for traversal depth — bounds that product: members of similar
+/// depth retire together, so each chunk's traversal is only as deep as
+/// its own members need.
+const GROUP_CHUNK: usize = 64;
 
 fn check_dims(shared: &IngestState, query: &Query) -> Result<()> {
     if query.dims() != shared.dims() {
@@ -131,20 +174,63 @@ fn live_suffix<'a>(window: &Window, ids: &'a [TupleId]) -> Option<&'a [TupleId]>
     Some(&ids[start..])
 }
 
+/// Per-axis monotonicity signature: bit `d` set iff the function is
+/// decreasing on axis `d`. Queries sharing a signature traverse the grid
+/// in the same order and can share one group traversal.
+fn mono_signature(f: &ScoreFn, dims: usize) -> u32 {
+    let mut sig = 0u32;
+    for d in 0..dims {
+        if f.monotonicity(d) == Monotonicity::Decreasing {
+            sig |= 1 << d;
+        }
+    }
+    sig
+}
+
+fn absorb_compute(stats: &mut EngineStats, cs: ComputeStats) {
+    stats.cells_processed += cs.cells_processed;
+    stats.points_scanned += cs.points_scanned;
+    stats.heap_pushes += cs.heap_pushes;
+}
+
 #[derive(Debug)]
 struct TmaQuery {
     query: Query,
-    top: TopList,
+    /// The `k_max` refill band; its `query.k`-prefix is the current
+    /// result. Keeping `k_max > k` candidates means result expiries are
+    /// refilled from the band instead of triggering a grid traversal.
+    band: Skyband,
+    /// Dominance parameter of `band` ([`tuned_kmax`] of `query.k`).
+    kmax: usize,
+    /// Admission threshold: the `k_max`-th score at the last from-scratch
+    /// computation (−∞ while the window cannot fill the band). Every band
+    /// entry scores ≥ this, so while the band holds ≥ k entries its
+    /// prefix is provably the exact top-k.
+    ///
+    /// The threshold is *static between recomputations* (that is what
+    /// makes the exactness argument a one-liner), so a band started over a
+    /// sparse window admits generously until the next traversal tightens
+    /// it — see [`TmaMaintenance::fat_cap`].
+    admit: f64,
+    /// Recycled top-list buffers for recomputations.
+    rec: TopList,
     affected: bool,
-    /// [`ComputeOutcome::region_bound`] of the last computation: cells
-    /// with traversal keys strictly above this already carry the slot.
+    /// Monotone floor of [`ComputeOutcome::region_bound`] over the
+    /// computations since the last *resync* (a traversal that underfilled
+    /// the band): cells with traversal keys strictly above this already
+    /// carry the slot. Recomputations only lower it — a tightening
+    /// traversal keeps the old superset listing instead of shrinking the
+    /// region, so alternating thresholds stop churning the influence
+    /// lists (see [`TmaMaintenance::recompute`]).
     ///
     /// [`ComputeOutcome::region_bound`]: crate::compute::ComputeOutcome
     region_bound: f64,
 }
 
-/// TMA maintenance (paper Figure 9): exact top-k lists, recomputed from
-/// scratch when a result tuple expires.
+/// TMA maintenance (paper Figure 9) with `k_max` skyband refill as the
+/// default configuration: exact top-k prefixes served from a per-query
+/// refill band, from-scratch (and, when several queries fall back in one
+/// tick, *batched*) recomputation only when the band drains below `k`.
 #[derive(Debug)]
 pub struct TmaMaintenance {
     influence: InfluenceTable,
@@ -152,17 +238,25 @@ pub struct TmaMaintenance {
     queries: QueryRegistry<TmaQuery>,
     stats: EngineStats,
     changed: Vec<QueryId>,
-    /// Reused per-tick scratch: slots whose result lost a tuple this cycle
+    /// Reused per-tick scratch: slots whose band lost a tuple this cycle
     /// (deduplicated via the per-query `affected` flag).
     affected: Vec<QuerySlot>,
+    batched: bool,
+    /// Reused per-tick scratch of the batching machinery.
+    pending: Vec<(QuerySlot, u32, OrderedF64)>,
+    members: Vec<GroupMember>,
+    outcomes: Vec<GroupOutcome>,
+    group_slots: Vec<QuerySlot>,
+    seed: Vec<Scored>,
 }
 
 impl TmaMaintenance {
-    /// The current top-k result of a query as a borrowed slice.
+    /// The current top-k result of a query as a borrowed slice (the
+    /// k-prefix of its refill band).
     pub fn result_slice(&self, id: QueryId) -> Result<&[Scored]> {
         self.queries
             .get(id)
-            .map(|q| q.top.as_slice())
+            .map(|q| q.band.prefix(q.query.k))
             .ok_or(TkmError::UnknownQuery(id))
     }
 
@@ -181,6 +275,98 @@ impl TmaMaintenance {
     pub fn changed_queries(&self) -> &[QueryId] {
         &self.changed
     }
+
+    /// Current refill-band size of a query (between `k` and ~`k_max`).
+    pub fn band_len(&self, id: QueryId) -> Result<usize> {
+        self.queries
+            .get(id)
+            .map(|q| q.band.len())
+            .ok_or(TkmError::UnknownQuery(id))
+    }
+
+    /// Runs the computation module for `slot` at `k_max` depth and
+    /// reseeds its refill band.
+    fn recompute(
+        influence: &mut InfluenceTable,
+        scratch: &mut ComputeScratch,
+        shared: &IngestState,
+        stats: &mut EngineStats,
+        seed: &mut Vec<Scored>,
+        slot: QuerySlot,
+        st: &mut TmaQuery,
+    ) {
+        // Resync (assign the fresh bound and sweep the stale band) only
+        // when the previous traversal underfilled the band — registration,
+        // or a window drained below k_max. Otherwise the region bound is a
+        // monotone floor: a tightening recomputation keeps the old, larger
+        // listing (a superset region is sound — arrivals in the extra
+        // cells fail the admission test, expirations miss the band — it
+        // only costs replay probes), so a threshold flip-flop between
+        // recomputations stops churning the influence lists.
+        let resync = st.admit == f64::NEG_INFINITY;
+        let out = compute_topk(
+            shared.grid(),
+            scratch,
+            Some(InfluenceUpdate {
+                table: influence,
+                slot,
+                listed_above: st.region_bound,
+            }),
+            &st.query.f,
+            st.kmax,
+            st.query.constraint.as_ref(),
+            true,
+            Some(std::mem::take(&mut st.rec)),
+        );
+        stats.recompute_queries += 1;
+        stats.recompute_groups += 1;
+        absorb_compute(stats, out.stats);
+        // Seed the band with the top-k_max plus the candidates tying the
+        // k_max-th score: a tie-loser outlives the tied band member and
+        // can enter a future result.
+        seed.clear();
+        seed.extend_from_slice(out.top.as_slice());
+        seed.extend_from_slice(&out.boundary_ties);
+        st.band.rebuild(seed);
+        st.admit = out.top.threshold();
+        st.rec = out.top;
+        if resync {
+            st.region_bound = out.region_bound;
+            stats.cleanup_cells += cleanup_from_frontier(
+                shared.grid(),
+                influence,
+                scratch,
+                slot,
+                &st.query.f,
+                st.query.constraint.as_ref(),
+            );
+        } else {
+            st.region_bound = st.region_bound.min(out.region_bound);
+        }
+    }
+
+    /// Band-size cap above which a *tightening* recomputation fires even
+    /// though the band is healthy. The admission threshold is static
+    /// between recomputations, so a query registered over a sparse window
+    /// (admit −∞) would otherwise admit every arrival forever and its
+    /// influence region would never shrink from the registration-time
+    /// flood. The cap bounds both: one traversal resets the band to
+    /// ~`k_max` entries and raises the threshold to the `k_max`-th score
+    /// (the admit-−∞ trigger also makes that traversal a *resync*, so the
+    /// flood-sized influence region is swept rather than floored).
+    fn fat_cap(kmax: usize) -> usize {
+        2 * kmax + 8
+    }
+
+    /// Whether `st` must fall back to a from-scratch computation: either
+    /// the band can no longer serve an exact k-prefix while the window
+    /// could supply more candidates (when the band holds the *whole*
+    /// window it is exact by construction, however small), or the band
+    /// outgrew [`Self::fat_cap`] and wants its threshold tightened.
+    fn needs_recompute(st: &TmaQuery, shared: &IngestState) -> bool {
+        (st.band.len() < st.query.k && st.band.len() < shared.window().len())
+            || st.band.len() > Self::fat_cap(st.kmax)
+    }
 }
 
 impl QueryMaintenance for TmaMaintenance {
@@ -195,17 +381,27 @@ impl QueryMaintenance for TmaMaintenance {
             stats: EngineStats::default(),
             changed: Vec::new(),
             affected: Vec::new(),
+            batched: true,
+            pending: Vec::new(),
+            members: Vec::new(),
+            outcomes: Vec::new(),
+            group_slots: Vec::new(),
+            seed: Vec::new(),
         }
     }
 
     fn register_query(&mut self, shared: &IngestState, id: QueryId, query: Query) -> Result<()> {
         check_dims(shared, &query)?;
-        let k = query.k;
+        let kmax = tuned_kmax(query.k);
+        let band = Skyband::new(kmax)?;
         let slot = self.queries.insert(
             id,
             TmaQuery {
                 query,
-                top: TopList::new(k),
+                band,
+                kmax,
+                admit: f64::NEG_INFINITY,
+                rec: TopList::default(),
                 affected: false,
                 region_bound: f64::INFINITY,
             },
@@ -215,25 +411,12 @@ impl QueryMaintenance for TmaMaintenance {
             scratch,
             queries,
             stats,
+            seed,
             ..
         } = self;
         let (_, st) = queries.slot_mut(slot);
-        let out = compute_topk(
-            shared.grid(),
-            scratch,
-            Some(InfluenceUpdate::fresh(influence, slot)),
-            &st.query.f,
-            st.query.k,
-            st.query.constraint.as_ref(),
-            false,
-            Some(std::mem::take(&mut st.top)),
-        );
-        stats.recomputations += 1;
-        stats.cells_processed += out.stats.cells_processed;
-        stats.points_scanned += out.stats.points_scanned;
-        stats.heap_pushes += out.stats.heap_pushes;
-        st.top = out.top;
-        st.region_bound = out.region_bound;
+        st.rec = TopList::with_tie_tracking(st.kmax);
+        Self::recompute(influence, scratch, shared, stats, seed, slot, st);
         Ok(())
     }
 
@@ -260,6 +443,12 @@ impl QueryMaintenance for TmaMaintenance {
             stats,
             changed,
             affected,
+            batched,
+            pending,
+            members,
+            outcomes,
+            group_slots,
+            seed,
         } = self;
         affected.clear();
 
@@ -267,6 +456,9 @@ impl QueryMaintenance for TmaMaintenance {
         // The run's packed coordinate block (the tail of the cell's own
         // point block, still warm from ingest) streams through the scoring
         // kernel once per listed query; no window resolution per tuple.
+        // Arrivals scoring at/above the admission threshold enter the
+        // refill band; they change the *visible* result only when they
+        // land inside the k-prefix.
         for (cell, ids) in shared.arrival_runs() {
             let slots = influence.as_slice(cell);
             if slots.is_empty() {
@@ -280,8 +472,11 @@ impl QueryMaintenance for TmaMaintenance {
                 stats.cell_probes += 1;
                 stats.tuple_probes += ids.len() as u64;
                 let (qid, st) = queries.slot_mut(slot);
-                let top = &mut st.top;
-                let mut updates = 0u64;
+                let k = st.query.k;
+                let admit = st.admit;
+                let band = &mut st.band;
+                let mut stored = 0u64;
+                let mut visible = false;
                 kernel::scan_block(
                     &st.query.f,
                     dims,
@@ -289,68 +484,186 @@ impl QueryMaintenance for TmaMaintenance {
                     coords,
                     st.query.constraint.as_ref(),
                     |id, score| {
-                        // threshold() is −∞ while the list is short, so
-                        // this single test covers the warm-up phase too.
-                        if score >= top.threshold() && top.offer(Scored::new(score, id)) {
-                            updates += 1;
+                        if score >= admit {
+                            if let Some(pos) = band.insert(Scored::new(score, id)) {
+                                stored += 1;
+                                visible |= pos < k;
+                            }
                         }
                     },
                 );
-                if updates > 0 {
-                    stats.result_updates += updates;
+                if stored > 0 {
+                    stats.result_updates += stored;
+                    // A band past the cap schedules a tightening
+                    // recomputation (checked with the deficient ones).
+                    if st.band.len() > Self::fat_cap(st.kmax) && !st.affected {
+                        st.affected = true;
+                        affected.push(slot);
+                    }
+                }
+                if visible {
                     changed.push(qid);
                 }
             }
         }
 
         // ---- Pdel (lines 8-11), same inversion; no coordinates needed.
+        // An expiry inside the band is absorbed by the refill: the next
+        // band entry slides into the k-prefix with no grid work at all.
+        //
+        // A synchronized expiry wave turns the per-tuple replay quadratic:
+        // the wave's tuples are the very top scorers, so every one of them
+        // lands in cells that every query covers, and each (cell, covering
+        // query, tuple) triple costs a linear band probe. Once the probe
+        // count exceeds the fleet size, one sweep per band against the
+        // oldest live id is strictly cheaper — windows expire in id order,
+        // so "older than the oldest live tuple" identifies the expired
+        // band entries exactly.
+        let mut probes = 0usize;
         for (cell, tuples) in shared.expiry_runs() {
-            for &slot in influence.as_slice(cell) {
-                stats.cell_probes += 1;
-                let (_, st) = queries.slot_mut(slot);
-                for &id in tuples {
-                    stats.tuple_probes += 1;
-                    if st.top.remove(id) && !st.affected {
+            probes += influence.as_slice(cell).len() * tuples.len();
+        }
+        if probes > 2 * queries.len() {
+            let cutoff = shared.window().oldest().unwrap_or(TupleId(u64::MAX));
+            for (slot, qid, st) in queries.slots_mut() {
+                stats.tuple_probes += 1;
+                if let Some(pos) = st.band.expire_before(cutoff) {
+                    if pos < st.query.k {
+                        changed.push(qid);
+                    }
+                    if !st.affected {
                         st.affected = true;
                         affected.push(slot);
                     }
                 }
             }
+        } else {
+            for (cell, tuples) in shared.expiry_runs() {
+                for &slot in influence.as_slice(cell) {
+                    stats.cell_probes += 1;
+                    let (qid, st) = queries.slot_mut(slot);
+                    let k = st.query.k;
+                    for &id in tuples {
+                        stats.tuple_probes += 1;
+                        if let Some(pos) = st.band.expire(id) {
+                            if pos < k {
+                                changed.push(qid);
+                            }
+                            if !st.affected {
+                                st.affected = true;
+                                affected.push(slot);
+                            }
+                        }
+                    }
+                }
+            }
         }
 
-        // ---- Recompute affected queries (lines 12-21) ----
+        // ---- Fallback recomputation (lines 12-21) — only for queries
+        // whose band drained below k. Unconstrained fallbacks are grouped
+        // by monotonicity signature and served by one shared traversal
+        // per group; constrained ones (and singleton groups) go solo.
+        // (A recomputation never has to mark `changed` itself: a
+        // deficiency implies an expiry inside the k-prefix, which already
+        // pushed the query; a cap-tightening rebuild reproduces the exact
+        // prefix the band was already serving.)
+        pending.clear();
         for &slot in affected.iter() {
-            let (qid, st) = queries.slot_mut(slot);
+            let (_, st) = queries.slot_mut(slot);
             st.affected = false;
-            let out = compute_topk(
-                shared.grid(),
-                scratch,
-                Some(InfluenceUpdate {
-                    table: influence,
+            if !Self::needs_recompute(st, shared) {
+                continue;
+            }
+            if *batched && st.query.constraint.is_none() {
+                pending.push((
                     slot,
-                    listed_above: st.region_bound,
-                }),
-                &st.query.f,
-                st.query.k,
-                st.query.constraint.as_ref(),
-                false,
-                Some(std::mem::take(&mut st.top)),
-            );
-            stats.recomputations += 1;
-            stats.cells_processed += out.stats.cells_processed;
-            stats.points_scanned += out.stats.points_scanned;
-            stats.heap_pushes += out.stats.heap_pushes;
-            st.top = out.top;
-            st.region_bound = out.region_bound;
-            stats.cleanup_cells += cleanup_from_frontier(
-                shared.grid(),
-                influence,
-                scratch,
-                slot,
-                &st.query.f,
-                st.query.constraint.as_ref(),
-            );
-            changed.push(qid);
+                    mono_signature(&st.query.f, dims),
+                    OrderedF64::new(st.admit),
+                ));
+            } else {
+                Self::recompute(influence, scratch, shared, stats, seed, slot, st);
+            }
+        }
+
+        pending.sort_unstable_by_key(|&(slot, sig, depth)| (sig, std::cmp::Reverse(depth), slot.0));
+        let mut i = 0;
+        while i < pending.len() {
+            let sig = pending[i].1;
+            let mut sig_end = i + 1;
+            while sig_end < pending.len() && pending[sig_end].1 == sig {
+                sig_end += 1;
+            }
+            // One traversal per GROUP_CHUNK members, sliced off the
+            // signature run in descending-threshold order: a shared
+            // traversal costs O(members x envelope cells), and mixing a
+            // deep (stale or deficient) member into a shallow group makes
+            // every member pay its envelope. Depth-sorted chunks keep
+            // each traversal as shallow as its own members need.
+            let j = sig_end.min(i + GROUP_CHUNK);
+            if j - i == 1 {
+                let slot = pending[i].0;
+                let (_, st) = queries.slot_mut(slot);
+                Self::recompute(influence, scratch, shared, stats, seed, slot, st);
+            } else {
+                members.clear();
+                // `group_slots` collects only the members that resync
+                // (previous traversal underfilled: admit −∞); everyone
+                // else keeps their superset listing (monotone region
+                // floor, see `recompute`) and needs no frontier sweep.
+                group_slots.clear();
+                let mut walk_f: Option<ScoreFn> = None;
+                let mut total = 0u64;
+                for &(slot, _, _) in &pending[i..j] {
+                    let (_, st) = queries.slot_mut(slot);
+                    if walk_f.is_none() {
+                        walk_f = Some(st.query.f.clone());
+                    }
+                    let resync = st.admit == f64::NEG_INFINITY;
+                    members.push(GroupMember {
+                        slot,
+                        f: st.query.f.clone(),
+                        k: st.kmax,
+                        listed_above: st.region_bound,
+                        keep_superset: !resync,
+                        track_ties: true,
+                        reuse: Some(std::mem::take(&mut st.rec)),
+                    });
+                    if resync {
+                        group_slots.push(slot);
+                    }
+                    total += 1;
+                }
+                let gstats =
+                    compute_topk_group(shared.grid(), scratch, influence, members, outcomes);
+                stats.recompute_groups += 1;
+                stats.recompute_queries += total;
+                absorb_compute(stats, gstats);
+                if !group_slots.is_empty() {
+                    stats.cleanup_cells += cleanup_group_from_frontier(
+                        shared.grid(),
+                        influence,
+                        scratch,
+                        group_slots,
+                        walk_f.as_ref().expect("group is non-empty"),
+                    );
+                }
+                for out in outcomes.drain(..) {
+                    let (_, st) = queries.slot_mut(out.slot);
+                    seed.clear();
+                    seed.extend_from_slice(out.top.as_slice());
+                    seed.extend_from_slice(&out.boundary_ties);
+                    st.band.rebuild(seed);
+                    let resync = st.admit == f64::NEG_INFINITY;
+                    st.admit = out.top.threshold();
+                    st.region_bound = if resync {
+                        out.region_bound
+                    } else {
+                        st.region_bound.min(out.region_bound)
+                    };
+                    st.rec = out.top;
+                }
+            }
+            i = j;
         }
 
         self.changed.sort_unstable();
@@ -396,11 +709,22 @@ impl QueryMaintenance for TmaMaintenance {
             + self.queries.overhead_bytes()
             + (self.changed.capacity() * std::mem::size_of::<QueryId>())
             + (self.affected.capacity() * std::mem::size_of::<QuerySlot>())
+            + (self.pending.capacity() * std::mem::size_of::<(QuerySlot, u32, OrderedF64)>())
+            + (self.members.capacity() * std::mem::size_of::<GroupMember>())
+            + (self.outcomes.capacity() * std::mem::size_of::<GroupOutcome>())
+            + (self.group_slots.capacity() * std::mem::size_of::<QuerySlot>())
+            + (self.seed.capacity() * std::mem::size_of::<Scored>())
             + self
                 .queries
                 .iter()
-                .map(|(_, q)| std::mem::size_of::<TmaQuery>() + q.top.space_bytes())
+                .map(|(_, q)| {
+                    std::mem::size_of::<TmaQuery>() + q.band.space_bytes() + q.rec.space_bytes()
+                })
                 .sum::<usize>()
+    }
+
+    fn set_batched_recompute(&mut self, on: bool) {
+        self.batched = on;
     }
 }
 
@@ -408,8 +732,10 @@ impl QueryMaintenance for TmaMaintenance {
 struct SmaQuery {
     query: Query,
     skyband: Skyband,
-    /// [`ComputeOutcome::region_bound`] of the last computation: cells
-    /// with traversal keys strictly above this already carry the slot.
+    /// Monotone floor of [`ComputeOutcome::region_bound`] over the
+    /// computations since the last resync (see the TMA twin of this
+    /// field): cells with traversal keys strictly above this already
+    /// carry the slot.
     ///
     /// [`ComputeOutcome::region_bound`]: crate::compute::ComputeOutcome
     region_bound: f64,
@@ -420,7 +746,9 @@ struct SmaQuery {
 }
 
 /// SMA maintenance (paper Figure 11): k-skyband upkeep in (score,
-/// expiry-time) space, recomputing only on deficiency.
+/// expiry-time) space, recomputing only on deficiency — and, when several
+/// queries turn deficient in the same tick, recomputing them with one
+/// shared traversal per monotonicity group.
 #[derive(Debug)]
 pub struct SmaMaintenance {
     influence: InfluenceTable,
@@ -431,6 +759,13 @@ pub struct SmaMaintenance {
     /// Reused per-tick scratch: slots whose skyband was touched this cycle
     /// (deduplicated via the per-query `touched` flag).
     affected: Vec<QuerySlot>,
+    batched: bool,
+    /// Reused per-tick scratch of the batching machinery.
+    pending: Vec<(QuerySlot, u32, OrderedF64)>,
+    members: Vec<GroupMember>,
+    outcomes: Vec<GroupOutcome>,
+    group_slots: Vec<QuerySlot>,
+    seed: Vec<Scored>,
 }
 
 impl SmaMaintenance {
@@ -440,9 +775,15 @@ impl SmaMaintenance {
         scratch: &mut ComputeScratch,
         shared: &IngestState,
         stats: &mut EngineStats,
+        seed: &mut Vec<Scored>,
         slot: QuerySlot,
         st: &mut SmaQuery,
     ) {
+        // Monotone region floor, as in the TMA engine: resync (assign the
+        // fresh bound, sweep the stale band) only when the previous
+        // traversal underfilled the skyband; otherwise keep the superset
+        // listing and floor the bound.
+        let resync = st.top_score == f64::NEG_INFINITY;
         let out = compute_topk(
             shared.grid(),
             scratch,
@@ -457,27 +798,30 @@ impl SmaMaintenance {
             true,
             None,
         );
-        stats.recomputations += 1;
-        stats.cells_processed += out.stats.cells_processed;
-        stats.points_scanned += out.stats.points_scanned;
-        stats.heap_pushes += out.stats.heap_pushes;
+        stats.recompute_queries += 1;
+        stats.recompute_groups += 1;
+        absorb_compute(stats, out.stats);
         // Seed the skyband with the top-k plus the candidates tying the
         // k-th score: a tie-loser outlives the tied result member and can
         // enter a future result, so dropping it would lose exactness.
-        let mut seed: Vec<Scored> = Vec::with_capacity(out.top.len() + out.boundary_ties.len());
+        seed.clear();
         seed.extend_from_slice(out.top.as_slice());
         seed.extend_from_slice(&out.boundary_ties);
-        st.skyband.rebuild(&seed);
+        st.skyband.rebuild(seed);
         st.top_score = out.top.threshold();
-        st.region_bound = out.region_bound;
-        stats.cleanup_cells += cleanup_from_frontier(
-            shared.grid(),
-            influence,
-            scratch,
-            slot,
-            &st.query.f,
-            st.query.constraint.as_ref(),
-        );
+        if resync {
+            st.region_bound = out.region_bound;
+            stats.cleanup_cells += cleanup_from_frontier(
+                shared.grid(),
+                influence,
+                scratch,
+                slot,
+                &st.query.f,
+                st.query.constraint.as_ref(),
+            );
+        } else {
+            st.region_bound = st.region_bound.min(out.region_bound);
+        }
     }
 
     /// Current skyband size of a query (Table 2 reports its average).
@@ -530,6 +874,12 @@ impl QueryMaintenance for SmaMaintenance {
             stats: EngineStats::default(),
             changed: Vec::new(),
             affected: Vec::new(),
+            batched: true,
+            pending: Vec::new(),
+            members: Vec::new(),
+            outcomes: Vec::new(),
+            group_slots: Vec::new(),
+            seed: Vec::new(),
         }
     }
 
@@ -551,10 +901,11 @@ impl QueryMaintenance for SmaMaintenance {
             scratch,
             queries,
             stats,
+            seed,
             ..
         } = self;
         let (_, st) = queries.slot_mut(slot);
-        Self::recompute(influence, scratch, shared, stats, slot, st);
+        Self::recompute(influence, scratch, shared, stats, seed, slot, st);
         Ok(())
     }
 
@@ -579,8 +930,14 @@ impl QueryMaintenance for SmaMaintenance {
             scratch,
             queries,
             stats,
+            changed,
             affected,
-            ..
+            batched,
+            pending,
+            members,
+            outcomes,
+            group_slots,
+            seed,
         } = self;
         affected.clear();
 
@@ -628,32 +985,141 @@ impl QueryMaintenance for SmaMaintenance {
         }
 
         // ---- Pdel (lines 12-16) ----
+        // Same mass-expiry escape hatch as TMA: when a synchronized wave
+        // would probe more (cell, query, tuple) triples than there are
+        // queries, sweep each skyband once against the oldest live id
+        // instead of replaying tuple by tuple.
+        let mut probes = 0usize;
         for (cell, tuples) in shared.expiry_runs() {
-            for &slot in influence.as_slice(cell) {
-                stats.cell_probes += 1;
-                let (_, st) = queries.slot_mut(slot);
-                for &id in tuples {
-                    stats.tuple_probes += 1;
-                    if st.skyband.expire(id) && !st.touched {
-                        st.touched = true;
-                        affected.push(slot);
+            probes += influence.as_slice(cell).len() * tuples.len();
+        }
+        if probes > 2 * queries.len() {
+            let cutoff = shared.window().oldest().unwrap_or(TupleId(u64::MAX));
+            for (slot, _, st) in queries.slots_mut() {
+                stats.tuple_probes += 1;
+                if st.skyband.expire_before(cutoff).is_some() && !st.touched {
+                    st.touched = true;
+                    affected.push(slot);
+                }
+            }
+        } else {
+            for (cell, tuples) in shared.expiry_runs() {
+                for &slot in influence.as_slice(cell) {
+                    stats.cell_probes += 1;
+                    let (_, st) = queries.slot_mut(slot);
+                    for &id in tuples {
+                        stats.tuple_probes += 1;
+                        if st.skyband.expire(id).is_some() && !st.touched {
+                            st.touched = true;
+                            affected.push(slot);
+                        }
                     }
                 }
             }
         }
 
         // ---- Deficiency handling (lines 17-22) ----
+        // Recompute only if the skyband lost too many entries AND the
+        // window could supply more (a window smaller than k can never
+        // fill the band — recomputing every tick would be wasted work,
+        // and the influence lists already cover the whole grid then).
+        // Unconstrained deficient queries are grouped by monotonicity
+        // signature and recomputed with one shared traversal per group.
+        pending.clear();
         for &slot in affected.iter() {
             let (qid, st) = queries.slot_mut(slot);
             st.touched = false;
-            // Recompute only if the skyband lost too many entries AND the
-            // window could supply more (a window smaller than k can never
-            // fill the band — recomputing every tick would be wasted work,
-            // and the influence lists already cover the whole grid then).
             if st.skyband.is_deficient() && st.skyband.len() < shared.window().len() {
-                Self::recompute(influence, scratch, shared, stats, slot, st);
+                if *batched && st.query.constraint.is_none() {
+                    pending.push((
+                        slot,
+                        mono_signature(&st.query.f, dims),
+                        OrderedF64::new(st.top_score),
+                    ));
+                } else {
+                    Self::recompute(influence, scratch, shared, stats, seed, slot, st);
+                }
             }
-            self.changed.push(qid);
+            changed.push(qid);
+        }
+
+        pending.sort_unstable_by_key(|&(slot, sig, depth)| (sig, std::cmp::Reverse(depth), slot.0));
+        let mut i = 0;
+        while i < pending.len() {
+            let sig = pending[i].1;
+            let mut sig_end = i + 1;
+            while sig_end < pending.len() && pending[sig_end].1 == sig {
+                sig_end += 1;
+            }
+            // One traversal per GROUP_CHUNK members, sliced off the
+            // signature run in descending-threshold order: a shared
+            // traversal costs O(members x envelope cells), and mixing a
+            // deep (stale or deficient) member into a shallow group makes
+            // every member pay its envelope. Depth-sorted chunks keep
+            // each traversal as shallow as its own members need.
+            let j = sig_end.min(i + GROUP_CHUNK);
+            if j - i == 1 {
+                let slot = pending[i].0;
+                let (_, st) = queries.slot_mut(slot);
+                Self::recompute(influence, scratch, shared, stats, seed, slot, st);
+            } else {
+                members.clear();
+                // As in the TMA engine: `group_slots` collects only the
+                // resyncing members; the rest keep their superset listing
+                // (monotone region floor) and skip the frontier sweep.
+                group_slots.clear();
+                let mut walk_f: Option<ScoreFn> = None;
+                let mut total = 0u64;
+                for &(slot, _, _) in &pending[i..j] {
+                    let (_, st) = queries.slot_mut(slot);
+                    if walk_f.is_none() {
+                        walk_f = Some(st.query.f.clone());
+                    }
+                    let resync = st.top_score == f64::NEG_INFINITY;
+                    members.push(GroupMember {
+                        slot,
+                        f: st.query.f.clone(),
+                        k: st.query.k,
+                        listed_above: st.region_bound,
+                        keep_superset: !resync,
+                        track_ties: true,
+                        reuse: None,
+                    });
+                    if resync {
+                        group_slots.push(slot);
+                    }
+                    total += 1;
+                }
+                let gstats =
+                    compute_topk_group(shared.grid(), scratch, influence, members, outcomes);
+                stats.recompute_groups += 1;
+                stats.recompute_queries += total;
+                absorb_compute(stats, gstats);
+                if !group_slots.is_empty() {
+                    stats.cleanup_cells += cleanup_group_from_frontier(
+                        shared.grid(),
+                        influence,
+                        scratch,
+                        group_slots,
+                        walk_f.as_ref().expect("group is non-empty"),
+                    );
+                }
+                for out in outcomes.drain(..) {
+                    let (_, st) = queries.slot_mut(out.slot);
+                    seed.clear();
+                    seed.extend_from_slice(out.top.as_slice());
+                    seed.extend_from_slice(&out.boundary_ties);
+                    st.skyband.rebuild(seed);
+                    let resync = st.top_score == f64::NEG_INFINITY;
+                    st.top_score = out.top.threshold();
+                    st.region_bound = if resync {
+                        out.region_bound
+                    } else {
+                        st.region_bound.min(out.region_bound)
+                    };
+                }
+            }
+            i = j;
         }
 
         self.changed.sort_unstable();
@@ -664,7 +1130,7 @@ impl QueryMaintenance for SmaMaintenance {
     fn result(&self, id: QueryId) -> Result<Vec<Scored>> {
         self.queries
             .get(id)
-            .map(|q| q.skyband.top().iter().map(|e| e.scored).collect())
+            .map(|q| q.skyband.top_scored().to_vec())
             .ok_or(TkmError::UnknownQuery(id))
     }
 
@@ -702,10 +1168,19 @@ impl QueryMaintenance for SmaMaintenance {
             + self.queries.overhead_bytes()
             + (self.changed.capacity() * std::mem::size_of::<QueryId>())
             + (self.affected.capacity() * std::mem::size_of::<QuerySlot>())
+            + (self.pending.capacity() * std::mem::size_of::<(QuerySlot, u32, OrderedF64)>())
+            + (self.members.capacity() * std::mem::size_of::<GroupMember>())
+            + (self.outcomes.capacity() * std::mem::size_of::<GroupOutcome>())
+            + (self.group_slots.capacity() * std::mem::size_of::<QuerySlot>())
+            + (self.seed.capacity() * std::mem::size_of::<Scored>())
             + self
                 .queries
                 .iter()
                 .map(|(_, q)| std::mem::size_of::<SmaQuery>() + q.skyband.space_bytes())
                 .sum::<usize>()
+    }
+
+    fn set_batched_recompute(&mut self, on: bool) {
+        self.batched = on;
     }
 }

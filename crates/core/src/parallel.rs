@@ -309,6 +309,14 @@ impl<M: QueryMaintenance> SharedParallelMonitor<M> {
         self.shards[0].snapshot(&self.shared, query)
     }
 
+    /// Enables or disables batched shared recomputation on every shard
+    /// (default: on).
+    pub fn set_batched_recompute(&mut self, on: bool) {
+        for s in &mut self.shards {
+            s.set_batched_recompute(on);
+        }
+    }
+
     /// Cumulative counters: the shared ingest stage plus every shard's
     /// maintenance counters.
     pub fn stats(&self) -> EngineStats {

@@ -151,6 +151,16 @@ impl<T> QueryRegistry<T> {
         self.slots.iter_mut().flatten().map(|e| &mut e.state)
     }
 
+    /// Iterates live `(QuerySlot, QueryId, &mut state)` triples in slot
+    /// order (the mass-expiry sweep visits every band without going
+    /// through the influence lists).
+    pub fn slots_mut(&mut self) -> impl Iterator<Item = (QuerySlot, QueryId, &mut T)> {
+        self.slots.iter_mut().enumerate().filter_map(|(i, s)| {
+            s.as_mut()
+                .map(|e| (QuerySlot(i as u32), e.id, &mut e.state))
+        })
+    }
+
     /// Live query ids in slot order.
     pub fn ids(&self) -> impl Iterator<Item = QueryId> + '_ {
         self.slots.iter().flatten().map(|e| e.id)

@@ -107,6 +107,12 @@ impl SmaMonitor {
         self.maint.changed_queries()
     }
 
+    /// Enables or disables batched shared recomputation (default: on).
+    /// With batching off every deficiency fallback recomputes solo.
+    pub fn set_batched_recompute(&mut self, on: bool) {
+        self.maint.set_batched_recompute(on);
+    }
+
     /// One-shot (snapshot) top-k over the current window contents, without
     /// registering anything.
     pub fn snapshot(&mut self, query: &Query) -> Result<Vec<Scored>> {
@@ -177,9 +183,9 @@ mod tests {
         // (two initial computations only, for uniform data).
         let s = m.stats();
         assert!(
-            s.recomputations <= 6,
+            s.recomputations() <= 6,
             "SMA recomputed {} times — skyband maintenance is broken",
-            s.recomputations
+            s.recomputations()
         );
     }
 
@@ -237,7 +243,7 @@ mod tests {
         }
         // One initial computation; deficiency with an exhausted window must
         // not recompute every tick.
-        assert_eq!(m.stats().recomputations, 1);
+        assert_eq!(m.stats().recomputations(), 1);
     }
 
     #[test]

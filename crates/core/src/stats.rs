@@ -13,9 +13,17 @@ pub struct EngineStats {
     pub arrivals: u64,
     /// Tuples expired/deleted.
     pub expirations: u64,
-    /// From-scratch invocations of the top-k computation module
-    /// (initial computations plus re-computations).
-    pub recomputations: u64,
+    /// Queries whose result was rebuilt from scratch by the top-k
+    /// computation module (initial computations plus re-computations).
+    /// Formerly `recomputations`: with batched shared recomputation a
+    /// single grid traversal can serve several queries, so this counts
+    /// *queries served*, not traversals — see `recompute_groups`.
+    pub recompute_queries: u64,
+    /// Grid traversals launched by the computation module. A solo
+    /// recomputation adds 1 to both counters; a shared traversal serving a
+    /// group of n queries adds 1 here and n to `recompute_queries`, so
+    /// `recompute_groups < recompute_queries` proves batching engaged.
+    pub recompute_groups: u64,
     /// Cells de-heaped (processed) by the computation module.
     pub cells_processed: u64,
     /// Points examined inside processed cells.
@@ -57,7 +65,8 @@ impl EngineStats {
         self.ticks += other.ticks;
         self.arrivals += other.arrivals;
         self.expirations += other.expirations;
-        self.recomputations += other.recomputations;
+        self.recompute_queries += other.recompute_queries;
+        self.recompute_groups += other.recompute_groups;
         self.cells_processed += other.cells_processed;
         self.points_scanned += other.points_scanned;
         self.heap_pushes += other.heap_pushes;
@@ -75,6 +84,14 @@ impl EngineStats {
         self.tuple_probes
     }
 
+    /// Per-query recomputations, summed over queries (kept as a method so
+    /// callers of the pre-split `recomputations` field read the same
+    /// quantity).
+    #[inline]
+    pub fn recomputations(&self) -> u64 {
+        self.recompute_queries
+    }
+
     /// Recomputations per tick (the measured counterpart of the paper's
     /// `Pr_rec` per query — divide by the query count for the per-query
     /// probability).
@@ -82,7 +99,7 @@ impl EngineStats {
         if self.ticks == 0 {
             0.0
         } else {
-            self.recomputations as f64 / self.ticks as f64
+            self.recompute_queries as f64 / self.ticks as f64
         }
     }
 }
@@ -96,7 +113,25 @@ mod tests {
         let mut s = EngineStats::default();
         assert_eq!(s.recomputations_per_tick(), 0.0);
         s.ticks = 4;
-        s.recomputations = 6;
+        s.recompute_queries = 6;
         assert_eq!(s.recomputations_per_tick(), 1.5);
+        assert_eq!(s.recomputations(), 6);
+    }
+
+    #[test]
+    fn absorb_sums_group_counters() {
+        let mut a = EngineStats {
+            recompute_queries: 5,
+            recompute_groups: 2,
+            ..EngineStats::default()
+        };
+        let b = EngineStats {
+            recompute_queries: 3,
+            recompute_groups: 3,
+            ..EngineStats::default()
+        };
+        a.absorb(b);
+        assert_eq!(a.recompute_queries, 8);
+        assert_eq!(a.recompute_groups, 5);
     }
 }

@@ -129,7 +129,8 @@ impl UpdateStreamTma {
             false,
             Some(std::mem::take(&mut st.top)),
         );
-        stats.recomputations += 1;
+        stats.recompute_queries += 1;
+        stats.recompute_groups += 1;
         stats.cells_processed += out.stats.cells_processed;
         stats.points_scanned += out.stats.points_scanned;
         st.top = out.top;
@@ -258,7 +259,8 @@ impl UpdateStreamTma {
                 false,
                 Some(std::mem::take(&mut st.top)),
             );
-            stats.recomputations += 1;
+            stats.recompute_queries += 1;
+            stats.recompute_groups += 1;
             stats.cells_processed += out.stats.cells_processed;
             stats.points_scanned += out.stats.points_scanned;
             st.top = out.top;
@@ -362,7 +364,7 @@ mod tests {
                 "divergence at cycle {cycle}"
             );
         }
-        assert!(m.stats().recomputations > 1, "deletions hit the result");
+        assert!(m.stats().recomputations() > 1, "deletions hit the result");
     }
 
     #[test]
@@ -405,9 +407,9 @@ mod tests {
         m.remove_query(QueryId(0)).unwrap();
         // Recycle the freed slot with a fresh query before the cycle ends.
         m.register_query(QueryId(1), q.clone()).unwrap();
-        let recomputes = m.stats().recomputations;
+        let recomputes = m.stats().recomputations();
         m.end_cycle(); // must neither panic nor recompute the new query
-        assert_eq!(m.stats().recomputations, recomputes);
+        assert_eq!(m.stats().recomputations(), recomputes);
         assert_eq!(m.result(QueryId(1)).unwrap(), &brute(m.store(), &q)[..]);
     }
 

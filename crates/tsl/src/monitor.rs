@@ -39,20 +39,9 @@ impl KmaxPolicy {
     }
 }
 
-/// The paper's fine-tuned `kmax` values (§8, "we also fine-tune the value
-/// of kmax … the optimal values (4, 10, 20, 30, 70, 120) for the values
-/// (1, 5, 10, 20, 50, 100) of k").
-pub fn tuned_kmax(k: usize) -> usize {
-    match k {
-        1 => 4,
-        5 => 10,
-        10 => 20,
-        20 => 30,
-        50 => 70,
-        100 => 120,
-        _ => k + (k / 2).max(3),
-    }
-}
+/// The paper's fine-tuned `kmax` values — shared with the skyband crate so
+/// TMA's refill band and the TSL views agree on the table.
+pub use tkm_skyband::tuned_kmax;
 
 /// Cumulative counters of a [`TslMonitor`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

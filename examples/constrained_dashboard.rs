@@ -89,7 +89,7 @@ fn main() -> Result<(), TkmError> {
     assert_eq!(after[0].id, before[1].id, "the runner-up takes over");
     println!(
         "\nrecomputations triggered by corrections: {}",
-        live.stats().recomputations - 1
+        live.stats().recomputations() - 1
     );
     Ok(())
 }

@@ -74,7 +74,7 @@ fn main() -> Result<(), TkmError> {
 
     println!(
         "\ndone: {total} trades, {} skyband recomputations (SMA pre-computes future leaders)",
-        ranking.stats().recomputations
+        ranking.stats().recomputations()
     );
     Ok(())
 }

@@ -221,11 +221,11 @@ fn skyband_seed_equivalence() {
         incremental.insert(Scored::new(f.score(&[*x, *y]), TupleId(i as u64)));
     }
     let want: Vec<Scored> = incremental
-        .entries()
+        .scored()
         .iter()
-        .map(|e| e.scored)
+        .copied()
         .filter(|s| s.score >= threshold)
         .collect();
-    let got: Vec<Scored> = seeded.entries().iter().map(|e| e.scored).collect();
+    let got: Vec<Scored> = seeded.scored().to_vec();
     assert_eq!(got, want);
 }

@@ -38,7 +38,7 @@ fn worst_case_delete_the_best_repeatedly() {
         );
     }
     assert!(
-        m.stats().recomputations >= 28,
+        m.stats().recomputations() >= 28,
         "every deletion hit the top-2"
     );
 }
