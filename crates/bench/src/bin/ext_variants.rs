@@ -6,6 +6,9 @@
 //! traversals stay clipped to their region, threshold queries never
 //! recompute, update-stream TMA pays hash-cell overhead).
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use std::time::Instant;
 
 use tkm_bench::table::fmt_secs;

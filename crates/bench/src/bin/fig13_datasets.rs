@@ -5,6 +5,9 @@
 //! (attribute correlation, sum variance), and dumps sample CSVs with
 //! `--csv`.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_bench::params::Scale;
 use tkm_bench::{cli, Table};
 use tkm_datagen::{DataDist, PointGen};

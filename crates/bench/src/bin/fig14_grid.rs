@@ -6,6 +6,9 @@
 //! finer grids pay for heap operations on empty cells, coarser grids scan
 //! points outside the influence regions; space grows with granularity.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_bench::table::{fmt_mb, fmt_secs};
 use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
 

@@ -5,6 +5,9 @@
 //! computation module's advantage over TA; SMA < TMA thanks to fewer
 //! recomputations; everything is slower on ANT.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_bench::table::fmt_secs;
 use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
 use tkm_datagen::DataDist;

@@ -5,6 +5,9 @@
 //! grid methods stay more than an order of magnitude below TSL; ANT costs
 //! more than IND.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_bench::table::fmt_secs;
 use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
 use tkm_datagen::DataDist;

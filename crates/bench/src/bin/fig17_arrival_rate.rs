@@ -5,6 +5,9 @@
 //! TSL throughout; the SMA-over-TMA gap widens on ANT where TMA's frequent
 //! recomputations are expensive.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_bench::table::fmt_secs;
 use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
 use tkm_datagen::DataDist;

@@ -3,6 +3,9 @@
 //! The paper varies Q from 100 to 5000. Expected shape: every method
 //! scales roughly linearly in Q; relative order TSL ≫ TMA > SMA unchanged.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_bench::table::fmt_secs;
 use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
 use tkm_datagen::DataDist;

@@ -6,6 +6,9 @@
 //! `Pr_rec ≤ 1 − (1 − r/N)^k` rises — at k = 100 on ANT, TMA approaches
 //! TSL while SMA stays well below.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_bench::table::fmt_secs;
 use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
 use tkm_datagen::DataDist;

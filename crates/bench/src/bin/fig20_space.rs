@@ -4,6 +4,9 @@
 //! extra sorted lists dominate); SMA slightly above TMA (dominance
 //! counters + skyband slack).
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_bench::table::fmt_mb;
 use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
 use tkm_datagen::DataDist;

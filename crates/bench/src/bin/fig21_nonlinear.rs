@@ -5,6 +5,9 @@
 //! identical relative order to the linear case (Figure 15) — the framework
 //! only needs per-dimension monotonicity.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_bench::table::fmt_secs;
 use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
 use tkm_datagen::{DataDist, FnFamily};

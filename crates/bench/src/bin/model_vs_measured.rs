@@ -6,6 +6,9 @@
 //! query-cycle, the predicted T_TMA/T_SMA cost ratio against measured CPU
 //! ratios, and the skyband-size prediction (≈ k) against Table 2 numbers.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_analysis::ModelParams;
 use tkm_bench::table::fmt_secs;
 use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};

@@ -65,6 +65,9 @@
 //!   or a burst gate above failed (a coarse guard against catastrophic
 //!   hot-path regressions, not a +/-5% flake gate).
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use std::time::Instant;
 
 use tkm_bench::table::fmt_secs;
@@ -882,6 +885,9 @@ fn main() {
 
     let mut failed = false;
     if let Some(path) = baseline_path {
+        // Baseline-check mode is the CI configuration; record which lint
+        // pass guarded the hot-path annotations this run relies on.
+        println!("static analysis: {}", tkm_lint::describe());
         match check_baseline(&path, &results) {
             Ok(n) => println!("baseline check ok ({n} scenarios within {REGRESSION_FACTOR}x)"),
             Err(msg) => {

@@ -16,6 +16,9 @@
 //! `--smoke` runs a seconds-scale configuration (used by CI to exercise
 //! the parallel path on every push).
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use std::time::Instant;
 
 use tkm_bench::table::{fmt_mb, fmt_secs};

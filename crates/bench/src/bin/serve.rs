@@ -23,6 +23,9 @@
 //!
 //! `--json` prints the measurement as a single JSON object on stdout.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;

@@ -5,6 +5,9 @@
 //! views — SMA continuously discards tuples that can never appear in a
 //! result, TSL deliberately over-provisions to delay refills.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_bench::{cli, EngineSel, ExpParams, Scale, Table};
 use tkm_datagen::DataDist;
 

@@ -6,6 +6,9 @@
 //! for each `k` and reports the CPU time plus the refill count, with the
 //! dynamic policy as a final comparison row.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use tkm_bench::table::fmt_secs;
 use tkm_bench::{cli, ExpParams, Scale, Table};
 use tkm_common::QueryId;

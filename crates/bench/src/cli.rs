@@ -5,6 +5,9 @@
 //! * `--scale quick|default|paper` — parameter preset (see [`crate::params`]);
 //! * `--csv` — additionally print the table as CSV.
 
+// Emitting results on stdout is this module's entire purpose.
+#![allow(clippy::print_stdout)]
+
 use crate::params::Scale;
 use crate::table::Table;
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Experiment harness for reproducing the paper's tables and figures.
 //!
 //! Each figure/table has a dedicated binary in `src/bin/`; they share the

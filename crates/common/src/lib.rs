@@ -1,4 +1,5 @@
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Core vocabulary types shared by every crate in the top-k monitoring
 //! workspace.

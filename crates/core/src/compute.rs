@@ -59,6 +59,7 @@ pub struct ComputeStats {
 /// follow-up [`crate::influence::cleanup_from_frontier`] walk can consume
 /// it in place without an allocation.
 #[derive(Debug)]
+// lint: allow(space, reason=transient per-computation value; its buffers are recycled into the counted ComputeScratch)
 pub struct ComputeOutcome {
     /// The top-k list (≤ k entries, best first).
     pub top: TopList,
@@ -125,6 +126,7 @@ impl<'a> InfluenceUpdate<'a> {
 /// result (engines pass the query's old top-list so recomputations do not
 /// allocate); pass `None` to build a fresh list.
 #[allow(clippy::too_many_arguments)]
+// lint: hot-path
 pub fn compute_topk(
     grid: &Grid,
     scratch: &mut ComputeScratch,
@@ -344,7 +346,8 @@ pub struct GroupOutcome {
 }
 
 /// Internal per-member traversal state of [`compute_topk_group`].
-struct GroupRun {
+#[derive(Debug)]
+pub(crate) struct GroupRun {
     m: GroupMember,
     top: TopList,
     threshold: f64,
@@ -376,6 +379,7 @@ struct GroupRun {
 /// `members` is drained (its buffers are recycled by the caller);
 /// `results` is cleared and refilled with one [`GroupOutcome`] per member,
 /// in member order.
+// lint: hot-path
 pub fn compute_topk_group(
     grid: &Grid,
     scratch: &mut ComputeScratch,
@@ -398,24 +402,31 @@ pub fn compute_topk_group(
         "group members must share per-axis monotonicity"
     );
 
-    let mut runs: Vec<GroupRun> = members
-        .drain(..)
-        .map(|mut m| {
-            let top = match m.reuse.take() {
-                Some(mut t) => {
-                    t.reset(m.k, m.track_ties);
-                    t
-                }
-                None if m.track_ties => TopList::with_tie_tracking(m.k),
-                None => TopList::new(m.k),
-            };
-            GroupRun {
-                m,
-                top,
-                threshold: f64::NEG_INFINITY,
+    let ComputeScratch {
+        stamps,
+        heap,
+        frontier,
+        popped,
+        runs,
+        active,
+        ..
+    } = scratch;
+    runs.clear();
+    runs.extend(members.drain(..).map(|mut m| {
+        let top = match m.reuse.take() {
+            Some(mut t) => {
+                t.reset(m.k, m.track_ties);
+                t
             }
-        })
-        .collect();
+            None if m.track_ties => TopList::with_tie_tracking(m.k),
+            None => TopList::new(m.k),
+        };
+        GroupRun {
+            m,
+            top,
+            threshold: f64::NEG_INFINITY,
+        }
+    }));
 
     let mut dirs = [Monotonicity::Increasing; MAX_DIMS];
     for (dim, dir) in dirs.iter_mut().enumerate().take(dims) {
@@ -438,23 +449,15 @@ pub fn compute_topk_group(
         }
         best
     };
-    let mut active_idx: Vec<u32> = (0..runs.len() as u32).collect();
+    let active_idx = active;
+    active_idx.clear();
+    active_idx.extend(0..runs.len() as u32);
 
-    let ComputeScratch {
-        stamps,
-        heap,
-        frontier,
-        popped,
-        ..
-    } = scratch;
     heap.clear();
     popped.clear();
     stamps.begin();
     stamps.mark(start);
-    heap.push((
-        OrderedF64::new(group_bound(&runs, &active_idx, start)),
-        start,
-    ));
+    heap.push((OrderedF64::new(group_bound(runs, active_idx, start)), start));
     stats.heap_pushes += 1;
 
     while let Some(&(key, cell)) = heap.peek() {
@@ -508,7 +511,7 @@ pub fn compute_topk_group(
         for (dim, &dir) in dirs.iter().enumerate().take(dims) {
             if let Some(n) = grid.step_worse_dir(cell, dim, dir) {
                 if stamps.mark(n) {
-                    heap.push((OrderedF64::new(group_bound(&runs, &active_idx, n)), n));
+                    heap.push((OrderedF64::new(group_bound(runs, active_idx, n)), n));
                     stats.heap_pushes += 1;
                 }
             }
@@ -554,7 +557,7 @@ pub fn compute_topk_group(
         }
     }
 
-    for r in runs {
+    for r in runs.drain(..) {
         let region_bound = r.top.threshold();
         let boundary_ties = r.top.boundary_ties();
         results.push(GroupOutcome {
@@ -590,6 +593,12 @@ pub struct ComputeScratch {
     /// the post-pass can stop a member's scan at the first key below its
     /// threshold.
     pub popped: Vec<(f64, CellId)>,
+    /// Per-member traversal slots of [`compute_topk_group`], drained into
+    /// the outcomes on completion (the vec itself keeps its capacity).
+    pub(crate) runs: Vec<GroupRun>,
+    /// Indices of the members still traversing, reused across group
+    /// computations.
+    pub(crate) active: Vec<u32>,
 }
 
 impl ComputeScratch {
@@ -601,6 +610,8 @@ impl ComputeScratch {
             heap: BinaryHeap::new(),
             frontier: Vec::new(),
             popped: Vec::new(),
+            runs: Vec::new(),
+            active: Vec::new(),
         }
     }
 
@@ -611,6 +622,8 @@ impl ComputeScratch {
             + self.heap.capacity() * std::mem::size_of::<(OrderedF64, CellId)>()
             + self.frontier.capacity() * std::mem::size_of::<CellId>()
             + self.popped.capacity() * std::mem::size_of::<(f64, CellId)>()
+            + self.runs.capacity() * std::mem::size_of::<GroupRun>()
+            + self.active.capacity() * std::mem::size_of::<u32>()
     }
 }
 

@@ -38,6 +38,7 @@ use tkm_grid::{CellId, Grid, InfluenceTable, VisitStamps};
 /// marks prevent the walk from re-entering the freshly processed region);
 /// `scratch.frontier` is drained by the walk. Returns the number of cells
 /// visited.
+// lint: hot-path
 pub fn cleanup_from_frontier(
     grid: &Grid,
     influence: &mut InfluenceTable,
@@ -75,6 +76,7 @@ pub fn cleanup_from_frontier(
 /// the epoch of that group traversal: the marks stop the walk from
 /// re-entering the freshly processed envelope, whose stale entries the
 /// group's influence post-pass already removed. Returns cells visited.
+// lint: hot-path
 pub fn cleanup_group_from_frontier(
     grid: &Grid,
     influence: &mut InfluenceTable,

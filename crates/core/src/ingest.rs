@@ -14,10 +14,30 @@
 //! O(1) in the shard count, instead of the S-fold replication a
 //! replica-per-shard design pays.
 
-use crate::tma::{validate_arrivals, GridSpec};
-use tkm_common::{Result, Timestamp, TupleId};
+use crate::tma::GridSpec;
+use tkm_common::{Result, Timestamp, TkmError, TupleId};
 use tkm_grid::{CellId, CellMode, Grid};
 use tkm_window::{Window, WindowSpec};
+
+/// Validates a flat arrival buffer against the workspace: the single
+/// entry-point check shared by every ingest path (the TMA/SMA monitors
+/// via [`IngestState::ingest`], the threshold monitor, and the
+/// brute-force oracle), so all engines reject malformed input with the
+/// same error message.
+pub(crate) fn validate_arrivals(dims: usize, arrivals: &[f64]) -> Result<()> {
+    if !arrivals.len().is_multiple_of(dims) {
+        return Err(TkmError::InvalidParameter(format!(
+            "tick: arrival buffer length {} is not a multiple of dims {dims}",
+            arrivals.len()
+        )));
+    }
+    if let Some(bad) = arrivals.iter().find(|x| !(0.0..=1.0).contains(*x)) {
+        return Err(TkmError::InvalidParameter(format!(
+            "tick: coordinate {bad} outside the unit workspace"
+        )));
+    }
+    Ok(())
+}
 
 /// Counters of the ingest stage (the stream-side half of
 /// [`crate::stats::EngineStats`]).
@@ -189,6 +209,7 @@ impl IngestState {
     /// overrun by a burst) appear in both lists; their coordinates are no
     /// longer resolvable afterwards, which maintenance handles by skipping
     /// arrivals whose ids have already left the window.
+    // lint: hot-path
     pub fn ingest(&mut self, now: Timestamp, arrivals: &[f64]) -> Result<()> {
         let dims = self.dims();
         validate_arrivals(dims, arrivals)?;
@@ -214,6 +235,7 @@ impl IngestState {
             stats.expirations += 1;
             let cell = grid
                 .remove_point(coords, id)
+                // lint: allow(panic, reason=window/grid lockstep is the ingest invariant; desync is unrecoverable)
                 .expect("window and grid are updated in lockstep");
             expiries.push((cell, id));
         });
@@ -382,5 +404,44 @@ mod tests {
         let mut s = IngestState::new(2, WindowSpec::Count(4), GridSpec::PerDim(4)).unwrap();
         assert!(s.ingest(Timestamp(0), &[0.5]).is_err());
         assert!(s.ingest(Timestamp(0), &[0.5, 1.2]).is_err());
+    }
+
+    /// Every tick entry point funnels through [`validate_arrivals`], so a
+    /// misaligned arrival buffer must produce the *identical* error
+    /// message from all four engines — a client switching engines sees
+    /// the same diagnostic.
+    #[test]
+    fn dims_mismatch_message_is_shared_across_engines() {
+        use crate::oracle::OracleMonitor;
+        use crate::sma::SmaMonitor;
+        use crate::threshold::ThresholdMonitor;
+        use crate::tma::TmaMonitor;
+        use tkm_common::ScoreFn;
+
+        let want = "tick: arrival buffer length 3 is not a multiple of dims 2";
+        let bad = [0.1, 0.2, 0.3];
+
+        let mut tma = TmaMonitor::new(2, WindowSpec::Count(4), GridSpec::PerDim(4)).unwrap();
+        let mut sma = SmaMonitor::new(2, WindowSpec::Count(4), GridSpec::PerDim(4)).unwrap();
+        let mut thr = ThresholdMonitor::new(2, WindowSpec::Count(4), GridSpec::PerDim(4)).unwrap();
+        let mut orc = OracleMonitor::new(2, WindowSpec::Count(4)).unwrap();
+        thr.register_query(
+            tkm_common::QueryId(0),
+            ScoreFn::linear(vec![1.0, 1.0]).unwrap(),
+            0.5,
+        )
+        .unwrap();
+
+        for err in [
+            tma.tick(Timestamp(0), &bad).unwrap_err(),
+            sma.tick(Timestamp(0), &bad).unwrap_err(),
+            thr.tick(Timestamp(0), &bad).unwrap_err(),
+            orc.tick(Timestamp(0), &bad).unwrap_err(),
+        ] {
+            match err {
+                tkm_common::TkmError::InvalidParameter(msg) => assert_eq!(msg, want),
+                other => panic!("expected InvalidParameter, got {other:?}"),
+            }
+        }
     }
 }

@@ -1,4 +1,5 @@
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Continuous top-k monitoring over sliding windows — the core engines.
 //!

@@ -286,6 +286,7 @@ impl TmaMaintenance {
 
     /// Runs the computation module for `slot` at `k_max` depth and
     /// reseeds its refill band.
+    // lint: hot-path
     fn recompute(
         influence: &mut InfluenceTable,
         scratch: &mut ComputeScratch,
@@ -433,6 +434,7 @@ impl QueryMaintenance for TmaMaintenance {
         Ok(())
     }
 
+    // lint: hot-path
     fn apply_events(&mut self, shared: &IngestState) -> Result<()> {
         self.changed.clear();
         let dims = shared.dims();
@@ -616,11 +618,13 @@ impl QueryMaintenance for TmaMaintenance {
                 for &(slot, _, _) in &pending[i..j] {
                     let (_, st) = queries.slot_mut(slot);
                     if walk_f.is_none() {
+                        // lint: allow(alloc, reason=one O(dims) coefficient copy per refill group, amortised by the traversal it seeds)
                         walk_f = Some(st.query.f.clone());
                     }
                     let resync = st.admit == f64::NEG_INFINITY;
                     members.push(GroupMember {
                         slot,
+                        // lint: allow(alloc, reason=one O(dims) coefficient copy per member per refill, amortised by the shared traversal)
                         f: st.query.f.clone(),
                         k: st.kmax,
                         listed_above: st.region_bound,
@@ -638,13 +642,14 @@ impl QueryMaintenance for TmaMaintenance {
                 stats.recompute_groups += 1;
                 stats.recompute_queries += total;
                 absorb_compute(stats, gstats);
-                if !group_slots.is_empty() {
+                debug_assert!(walk_f.is_some() || group_slots.is_empty());
+                if let Some(walk) = walk_f.as_ref().filter(|_| !group_slots.is_empty()) {
                     stats.cleanup_cells += cleanup_group_from_frontier(
                         shared.grid(),
                         influence,
                         scratch,
                         group_slots,
-                        walk_f.as_ref().expect("group is non-empty"),
+                        walk,
                     );
                 }
                 for out in outcomes.drain(..) {
@@ -706,7 +711,7 @@ impl QueryMaintenance for TmaMaintenance {
         std::mem::size_of::<Self>()
             + self.influence.space_bytes()
             + self.scratch.space_bytes()
-            + self.queries.overhead_bytes()
+            + self.queries.space_bytes()
             + (self.changed.capacity() * std::mem::size_of::<QueryId>())
             + (self.affected.capacity() * std::mem::size_of::<QuerySlot>())
             + (self.pending.capacity() * std::mem::size_of::<(QuerySlot, u32, OrderedF64)>())
@@ -770,6 +775,7 @@ pub struct SmaMaintenance {
 
 impl SmaMaintenance {
     /// Runs the computation module for `slot` and reseeds its skyband.
+    // lint: hot-path
     fn recompute(
         influence: &mut InfluenceTable,
         scratch: &mut ComputeScratch,
@@ -922,6 +928,7 @@ impl QueryMaintenance for SmaMaintenance {
         Ok(())
     }
 
+    // lint: hot-path
     fn apply_events(&mut self, shared: &IngestState) -> Result<()> {
         self.changed.clear();
         let dims = shared.dims();
@@ -1073,11 +1080,13 @@ impl QueryMaintenance for SmaMaintenance {
                 for &(slot, _, _) in &pending[i..j] {
                     let (_, st) = queries.slot_mut(slot);
                     if walk_f.is_none() {
+                        // lint: allow(alloc, reason=one O(dims) coefficient copy per refill group, amortised by the traversal it seeds)
                         walk_f = Some(st.query.f.clone());
                     }
                     let resync = st.top_score == f64::NEG_INFINITY;
                     members.push(GroupMember {
                         slot,
+                        // lint: allow(alloc, reason=one O(dims) coefficient copy per member per refill, amortised by the shared traversal)
                         f: st.query.f.clone(),
                         k: st.query.k,
                         listed_above: st.region_bound,
@@ -1095,13 +1104,14 @@ impl QueryMaintenance for SmaMaintenance {
                 stats.recompute_groups += 1;
                 stats.recompute_queries += total;
                 absorb_compute(stats, gstats);
-                if !group_slots.is_empty() {
+                debug_assert!(walk_f.is_some() || group_slots.is_empty());
+                if let Some(walk) = walk_f.as_ref().filter(|_| !group_slots.is_empty()) {
                     stats.cleanup_cells += cleanup_group_from_frontier(
                         shared.grid(),
                         influence,
                         scratch,
                         group_slots,
-                        walk_f.as_ref().expect("group is non-empty"),
+                        walk,
                     );
                 }
                 for out in outcomes.drain(..) {
@@ -1165,7 +1175,7 @@ impl QueryMaintenance for SmaMaintenance {
         std::mem::size_of::<Self>()
             + self.influence.space_bytes()
             + self.scratch.space_bytes()
-            + self.queries.overhead_bytes()
+            + self.queries.space_bytes()
             + (self.changed.capacity() * std::mem::size_of::<QueryId>())
             + (self.affected.capacity() * std::mem::size_of::<QuerySlot>())
             + (self.pending.capacity() * std::mem::size_of::<(QuerySlot, u32, OrderedF64)>())

@@ -8,9 +8,9 @@
 
 use std::collections::BTreeMap;
 
+use crate::ingest::validate_arrivals;
 use crate::kernel;
 use crate::query::Query;
-use crate::tma::validate_arrivals;
 use tkm_common::{QueryId, Result, Scored, Timestamp, TkmError};
 use tkm_window::{Window, WindowSpec};
 

@@ -59,13 +59,14 @@ fn join_outcome(joined: std::thread::Result<Result<()>>) -> Result<()> {
     }
 }
 
-/// Picks the least-loaded shard.
+/// Picks the least-loaded shard (shard 0 when the pool is empty, which
+/// the constructors reject).
 fn least_loaded(load: &[usize]) -> usize {
     load.iter()
         .enumerate()
         .min_by_key(|(_, l)| **l)
         .map(|(i, _)| i)
-        .expect("at least one shard")
+        .unwrap_or(0)
 }
 
 /// A pool of engine replicas with queries sharded across them (replicated

@@ -37,6 +37,7 @@ use tkm_common::{
 /// A non-monotone preference function given as a partition of the
 /// workspace into regions with per-region monotone pieces.
 #[derive(Clone, Debug)]
+// lint: allow(space, reason=submitted query description, not retained engine state; registration keeps only k and the sub-query ids)
 pub struct PiecewiseQuery {
     pieces: Vec<(Rect, ScoreFn)>,
     k: usize,
@@ -86,7 +87,7 @@ impl PiecewiseQuery {
     /// let mut knn = PiecewiseMonitor::new(engine);
     /// knn.register_query(
     ///     QueryId(0),
-    ///     PiecewiseQuery::nearest_neighbor(&[0.5, 0.5], 2).unwrap(),
+    ///     &PiecewiseQuery::nearest_neighbor(&[0.5, 0.5], 2).unwrap(),
     /// )
     /// .unwrap();
     /// knn.tick(Timestamp(0), &[0.1, 0.1, 0.45, 0.55, 0.9, 0.2]).unwrap();
@@ -150,6 +151,7 @@ impl PiecewiseQuery {
 
 /// `f(x) = −Σ (xᵢ − cᵢ)²` with a per-orthant monotonicity declaration.
 #[derive(Debug)]
+// lint: allow(space, reason=O(dims) boxed anchor owned by a ScoreFn; counted through ScoreFn::space_bytes)
 struct NegSquaredDistance {
     center: Box<[f64]>,
     mono: Box<[Monotonicity]>,
@@ -204,7 +206,7 @@ impl<E: ContinuousTopK> PiecewiseMonitor<E> {
     }
 
     /// Registers a piecewise query under a caller-chosen external id.
-    pub fn register_query(&mut self, id: QueryId, q: PiecewiseQuery) -> Result<()> {
+    pub fn register_query(&mut self, id: QueryId, q: &PiecewiseQuery) -> Result<()> {
         if self.queries.contains_key(&id) {
             return Err(TkmError::DuplicateQuery(id));
         }
@@ -322,7 +324,7 @@ mod tests {
             SmaMonitor::new(2, WindowSpec::Count(60), GridSpec::PerDim(7)).expect("config");
         let mut m = PiecewiseMonitor::new(engine);
         let q = PiecewiseQuery::nearest_neighbor(&[0.4, 0.6], 5).unwrap();
-        m.register_query(QueryId(0), q).unwrap();
+        m.register_query(QueryId(0), &q).unwrap();
         for tick in 0..50u64 {
             m.tick(Timestamp(tick), &lcg_stream(tick + 1, 9, 2))
                 .unwrap();
@@ -341,7 +343,7 @@ mod tests {
         let mut m = PiecewiseMonitor::new(engine);
         let center = [0.5, 0.25, 0.75];
         let q = PiecewiseQuery::nearest_neighbor(&center, 4).unwrap();
-        m.register_query(QueryId(0), q).unwrap();
+        m.register_query(QueryId(0), &q).unwrap();
         for tick in 0..40u64 {
             m.tick(Timestamp(tick), &lcg_stream(tick + 5, 12, 3))
                 .unwrap();
@@ -360,7 +362,7 @@ mod tests {
             SmaMonitor::new(2, WindowSpec::Count(30), GridSpec::PerDim(5)).expect("config");
         let mut m = PiecewiseMonitor::new(engine);
         let q = PiecewiseQuery::nearest_neighbor(&[0.0, 1.0], 3).unwrap();
-        m.register_query(QueryId(0), q).unwrap();
+        m.register_query(QueryId(0), &q).unwrap();
         for tick in 0..25u64 {
             m.tick(Timestamp(tick), &lcg_stream(tick + 9, 6, 2))
                 .unwrap();
@@ -377,7 +379,7 @@ mod tests {
             SmaMonitor::new(2, WindowSpec::Count(10), GridSpec::PerDim(4)).expect("config");
         let mut m = PiecewiseMonitor::new(engine);
         let q = PiecewiseQuery::nearest_neighbor(&[0.5, 0.5], 4).unwrap();
-        m.register_query(QueryId(0), q).unwrap();
+        m.register_query(QueryId(0), &q).unwrap();
         // A tuple exactly at the centre lies in all four orthants.
         m.tick(Timestamp(0), &[0.5, 0.5, 0.2, 0.2, 0.9, 0.1])
             .unwrap();
@@ -395,14 +397,14 @@ mod tests {
             SmaMonitor::new(2, WindowSpec::Count(10), GridSpec::PerDim(4)).expect("config");
         let mut m = PiecewiseMonitor::new(engine);
         let q = PiecewiseQuery::nearest_neighbor(&[0.5, 0.5], 2).unwrap();
-        m.register_query(QueryId(1), q.clone()).unwrap();
+        m.register_query(QueryId(1), &q).unwrap();
         assert!(matches!(
-            m.register_query(QueryId(1), q),
+            m.register_query(QueryId(1), &q),
             Err(TkmError::DuplicateQuery(_))
         ));
         // Dimensionality mismatch rolls back cleanly.
         let q3 = PiecewiseQuery::nearest_neighbor(&[0.5, 0.5, 0.5], 2).unwrap();
-        assert!(m.register_query(QueryId(2), q3).is_err());
+        assert!(m.register_query(QueryId(2), &q3).is_err());
         m.remove_query(QueryId(1)).unwrap();
         assert!(m.remove_query(QueryId(1)).is_err());
         assert!(m.result(QueryId(1)).is_err());

@@ -96,7 +96,9 @@ impl<T> QueryRegistry<T> {
     /// together with the removed state.
     pub fn remove(&mut self, id: QueryId) -> Result<(QuerySlot, T)> {
         let slot = self.index.remove(&id).ok_or(TkmError::UnknownQuery(id))?;
-        let entry = self.slots[slot.index()].take().expect("index maps to live");
+        let entry = self.slots[slot.index()]
+            .take()
+            .ok_or_else(|| TkmError::Internal(format!("query {id:?} maps to a freed slot")))?;
         self.free.push(slot);
         Ok((slot, entry.state))
     }
@@ -128,6 +130,7 @@ impl<T> QueryRegistry<T> {
     pub fn slot_mut(&mut self, slot: QuerySlot) -> (QueryId, &mut T) {
         let e = self.slots[slot.index()]
             .as_mut()
+            // lint: allow(panic, reason=documented panic contract; a dead slot here is an engine invariant breach)
             .expect("influence lists are swept");
         (e.id, &mut e.state)
     }
@@ -137,6 +140,7 @@ impl<T> QueryRegistry<T> {
     pub fn slot_ref(&self, slot: QuerySlot) -> (QueryId, &T) {
         let e = self.slots[slot.index()]
             .as_ref()
+            // lint: allow(panic, reason=documented panic contract; a dead slot here is an engine invariant breach)
             .expect("influence lists are swept");
         (e.id, &e.state)
     }
@@ -166,13 +170,13 @@ impl<T> QueryRegistry<T> {
         self.slots.iter().flatten().map(|e| e.id)
     }
 
-    /// Size of the registry's own bookkeeping (slot wrappers, free list,
-    /// id index) — per-query state (`T` itself, stored inline in the slot
+    /// Deep size of the registry's own bookkeeping (slot wrappers, free
+    /// list, id index) — per-query state (`T` itself, stored inline in the slot
     /// vec) is accounted by the caller via [`QueryRegistry::iter`], so the
     /// slot-vec term here counts only the per-slot wrapper bytes
     /// (`Option<Entry<T>>` minus `T`: the id, the discriminant and
     /// padding), not `T` again.
-    pub fn overhead_bytes(&self) -> usize {
+    pub fn space_bytes(&self) -> usize {
         /// Amortised per-entry overhead of the hash index (control bytes
         /// plus load-factor headroom), mirroring the constants used for
         /// other hash containers in the workspace.
@@ -252,6 +256,6 @@ mod tests {
         r.remove(QueryId(2)).unwrap();
         let got: Vec<(u64, u8)> = r.iter().map(|(id, s)| (id.0, *s)).collect();
         assert_eq!(got, vec![(0, 0), (1, 1), (3, 3), (4, 4)]);
-        assert!(r.overhead_bytes() > std::mem::size_of::<QueryRegistry<u8>>());
+        assert!(r.space_bytes() > std::mem::size_of::<QueryRegistry<u8>>());
     }
 }

@@ -10,6 +10,7 @@ use tkm_common::{OrderedF64, QueryId, Scored, TupleId};
 /// The change of one query's result across a processing cycle — the
 /// "changes reported to the client" of Figures 9 and 11.
 #[derive(Clone, Debug, PartialEq, Eq)]
+// lint: allow(space, reason=per-tick API value drained by the client, not resident engine state)
 pub struct ResultDelta {
     /// The query whose result changed.
     pub query: QueryId,
@@ -195,10 +196,11 @@ impl TopList {
             }
             let pos = self.entries.partition_point(|e| *e > s);
             self.entries.insert(pos, s);
-            let evicted = self.entries.pop().expect("len = k + 1");
-            if self.track_ties {
-                self.pool.push(evicted);
-                self.prune_pool();
+            if let Some(evicted) = self.entries.pop() {
+                if self.track_ties {
+                    self.pool.push(evicted);
+                    self.prune_pool();
+                }
             }
             true
         } else {

@@ -102,6 +102,23 @@ impl<S: PartialEq + Clone> DeltaRouter<S> {
         self.subs.is_empty()
     }
 
+    /// Deep size estimate in bytes: the map nodes plus each query's
+    /// subscriber list. `B`-tree node overhead is approximated with one
+    /// pointer-sized word per entry.
+    pub fn space_bytes(&self) -> usize {
+        const NODE_OVERHEAD: usize = std::mem::size_of::<usize>();
+        std::mem::size_of::<Self>()
+            + self
+                .subs
+                .values()
+                .map(|list| {
+                    std::mem::size_of::<(QueryId, Vec<S>)>()
+                        + NODE_OVERHEAD
+                        + list.capacity() * std::mem::size_of::<S>()
+                })
+                .sum::<usize>()
+    }
+
     /// Fans a batch of drained deltas out to their subscribers: yields one
     /// `(subscriber, delta)` pair per interested party, in delta order.
     pub fn route<'a>(

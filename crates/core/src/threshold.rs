@@ -7,9 +7,10 @@
 //! order is irrelevant) and never recomputed; and maintenance merely
 //! reports arrivals/expiries of qualifying tuples.
 
+use crate::ingest::validate_arrivals;
 use crate::kernel;
 use crate::registry::QueryRegistry;
-use crate::tma::{validate_arrivals, GridSpec};
+use crate::tma::GridSpec;
 use tkm_common::{FxHashSet, QueryId, Result, ScoreFn, Scored, Timestamp, TkmError, TupleId};
 use tkm_grid::{CellMode, Grid, InfluenceTable, VisitStamps};
 use tkm_window::{Window, WindowSpec};
@@ -201,6 +202,7 @@ impl ThresholdMonitor {
             window.drain_expired(now, |id, coords| {
                 let cell = grid
                     .remove_point(coords, id)
+                    // lint: allow(panic, reason=window/grid lockstep is the ingest invariant; desync is unrecoverable)
                     .expect("window and grid are updated in lockstep");
                 for &slot in influence.as_slice(cell) {
                     let (_, st) = queries.slot_mut(slot);
@@ -244,7 +246,7 @@ impl ThresholdMonitor {
             + self.grid.space_bytes()
             + self.influence.space_bytes()
             + self.stamps.space_bytes()
-            + self.queries.overhead_bytes()
+            + self.queries.space_bytes()
             + self
                 .queries
                 .iter()

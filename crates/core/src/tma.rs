@@ -34,7 +34,7 @@ use crate::ingest::IngestState;
 use crate::maintenance::{QueryMaintenance, TmaMaintenance};
 use crate::query::Query;
 use crate::stats::EngineStats;
-use tkm_common::{QueryId, Result, Scored, Timestamp, TkmError};
+use tkm_common::{QueryId, Result, Scored, Timestamp};
 use tkm_grid::{CellMode, Grid, InfluenceTable};
 use tkm_window::{Window, WindowSpec};
 
@@ -65,22 +65,6 @@ impl Default for GridSpec {
     fn default() -> Self {
         GridSpec::CellBudget(Self::DEFAULT_BUDGET)
     }
-}
-
-/// Validates a flat arrival buffer against the workspace.
-pub(crate) fn validate_arrivals(dims: usize, arrivals: &[f64]) -> Result<()> {
-    if !arrivals.len().is_multiple_of(dims) {
-        return Err(TkmError::InvalidParameter(format!(
-            "tick: arrival buffer length {} is not a multiple of dims {dims}",
-            arrivals.len()
-        )));
-    }
-    if let Some(bad) = arrivals.iter().find(|x| !(0.0..=1.0).contains(*x)) {
-        return Err(TkmError::InvalidParameter(format!(
-            "tick: coordinate {bad} outside the unit workspace"
-        )));
-    }
-    Ok(())
 }
 
 /// Continuous top-k monitor that recomputes affected queries from scratch
@@ -196,6 +180,7 @@ impl TmaMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tkm_common::TkmError;
     use tkm_common::{Rect, ScoreFn};
 
     fn lcg_stream(seed: u64, n: usize, dims: usize) -> Vec<f64> {

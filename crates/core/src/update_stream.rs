@@ -214,6 +214,7 @@ impl UpdateStreamTma {
         let cell = self
             .grid
             .remove_point(coords, id)
+            // lint: allow(panic, reason=store/grid lockstep is the ingest invariant; desync is unrecoverable)
             .expect("store and grid are updated in lockstep");
         let queries = &mut self.queries;
         let slots = self.influence.as_slice(cell);
@@ -304,7 +305,7 @@ impl UpdateStreamTma {
             + self.grid.space_bytes()
             + self.influence.space_bytes()
             + self.scratch.space_bytes()
-            + self.queries.overhead_bytes()
+            + self.queries.space_bytes()
             + self.affected.capacity() * std::mem::size_of::<QuerySlot>()
             + self
                 .queries

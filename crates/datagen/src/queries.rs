@@ -59,6 +59,7 @@ impl QueryGen {
             FnFamily::Product => ScoreFn::product(coeffs),
             FnFamily::Quadratic => ScoreFn::quadratic(coeffs),
         }
+        // lint: allow(panic, reason=generated coefficients are drawn from [0,1), which every family accepts)
         .expect("coefficients in [0,1] are always valid")
     }
 

@@ -223,19 +223,27 @@ impl Cell {
     /// expire tuples in arrival order, so per-cell expiry is FIFO too);
     /// anything else indicates engine corruption and is reported as an
     /// error rather than silently breaking the index.
+    // lint: hot-path
     pub fn remove_point(&mut self, id: TupleId) -> Result<()> {
         self.points.remove(id)
     }
 
-    /// Deep size estimate in bytes: retained id + coordinate capacity plus
-    /// the Hash-mode index table (bucket array at its real load factor, not
-    /// just the live entries).
+    /// Deep size estimate in bytes: the cell header plus its point
+    /// block's retained capacity.
     pub fn space_bytes(&self) -> usize {
-        let p = &self.points;
-        let mut bytes = std::mem::size_of::<Self>()
-            + p.ids.capacity() * std::mem::size_of::<TupleId>()
-            + p.coords.capacity() * std::mem::size_of::<f64>();
-        if let Some(index) = &p.index {
+        std::mem::size_of::<Self>() + self.points.space_bytes()
+    }
+}
+
+impl PointList {
+    /// Heap bytes retained by the block: id + coordinate capacity plus
+    /// the Hash-mode index table (bucket array at its real load factor,
+    /// not just the live entries). Excludes `size_of::<PointList>`
+    /// itself, which the owning [`Cell`] accounts for inline.
+    pub fn space_bytes(&self) -> usize {
+        let mut bytes = self.ids.capacity() * std::mem::size_of::<TupleId>()
+            + self.coords.capacity() * std::mem::size_of::<f64>();
+        if let Some(index) = &self.index {
             bytes +=
                 std::mem::size_of::<FxHashMap<TupleId, u32>>() + hash_index_bytes(index.capacity());
         }

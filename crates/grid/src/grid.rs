@@ -266,6 +266,7 @@ impl Grid {
     /// the cell's preferred corner (paper §3.1). Runs on every heap push of
     /// the traversal, so it reads the precomputed corner directly.
     #[inline]
+    // lint: hot-path
     pub fn maxscore(&self, id: CellId, f: &ScoreFn) -> f64 {
         debug_assert_eq!(f.dims(), self.dims);
         let (lo, hi) = self.cell_lo_hi(id);
@@ -417,6 +418,7 @@ impl Grid {
 
     /// Inserts a tuple into its covering cell (coordinates are copied into
     /// the cell's point block); returns the cell id.
+    // lint: hot-path
     pub fn insert_point(&mut self, coords: &[f64], id: TupleId) -> CellId {
         let cell = self.locate(coords);
         self.cell_mut(cell).push_point(id, coords);
@@ -424,6 +426,7 @@ impl Grid {
     }
 
     /// Removes a tuple from its covering cell; returns the cell id.
+    // lint: hot-path
     pub fn remove_point(&mut self, coords: &[f64], id: TupleId) -> Result<CellId> {
         let cell = self.locate(coords);
         self.cell_mut(cell).remove_point(id)?;

@@ -1,0 +1,436 @@
+//! A minimal hand-rolled Rust lexer with line/column tracking.
+//!
+//! The lexer understands exactly as much Rust as the rules need to be
+//! sound: string literals (plain, raw, byte, raw-byte, C), char literals
+//! vs lifetimes, nested block comments, numeric literals, identifiers
+//! (including raw `r#ident`), and single-character punctuation. It does
+//! **not** build an AST; the [`crate::scan`] layer recovers the little
+//! structure the rules need (item bodies, attributes, directives) by
+//! walking the token stream.
+//!
+//! Design constraints: `std` only, no external parser crates, and the
+//! token stream must survive every file in this workspace — including
+//! `#[rustfmt::skip]` blocks, raw strings containing `"` and `//`, and
+//! nested `/* /* */ */` comments — without ever mistaking literal or
+//! comment *content* for code.
+
+/// What a token is, as far as the lint rules care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Vec`, `unwrap`, `mut`, ...).
+    Ident(String),
+    /// Any string literal: `"..."`, `r"..."`, `r#"..."#`, `b"..."`,
+    /// `br#"..."#`, `c"..."`. Content is discarded.
+    Str,
+    /// A char or byte-char literal (`'a'`, `b'\n'`). Content discarded.
+    Char,
+    /// A lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+    /// A numeric literal. Content discarded.
+    Num,
+    /// A single punctuation character (`{`, `.`, `:`, `!`, ...).
+    /// Multi-character operators appear as consecutive tokens.
+    Punct(char),
+    /// A line comment, `//` included (block comments are skipped).
+    /// Kept as tokens so `// lint:` directives can be recovered.
+    Comment(String),
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind (and text where the rules need it).
+    pub kind: TokKind,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True if this token is a comment (line comments only).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::Comment(_))
+    }
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, f: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek() {
+            if !f(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated literals
+/// or comments consume to end-of-file, which is the forgiving behavior
+/// a lint (as opposed to a compiler) wants.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut cur = Cursor::new(src);
+    let mut toks = Vec::new();
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                cur.eat_while(|b| b != b'\n');
+                let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                toks.push(Tok {
+                    kind: TokKind::Comment(text),
+                    line,
+                    col,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                // Block comment; Rust block comments nest.
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            cur.bump();
+                            cur.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'"' => {
+                lex_string_body(&mut cur, 0);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    line,
+                    col,
+                });
+            }
+            b'\'' => {
+                let kind = lex_quote(&mut cur);
+                toks.push(Tok { kind, line, col });
+            }
+            _ if b.is_ascii_digit() => {
+                lex_number(&mut cur);
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    line,
+                    col,
+                });
+            }
+            _ if is_ident_start(b) => {
+                if let Some(kind) = lex_ident_or_prefixed(&mut cur) {
+                    toks.push(Tok { kind, line, col });
+                }
+            }
+            _ => {
+                cur.bump();
+                toks.push(Tok {
+                    kind: TokKind::Punct(b as char),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// Consumes a string body starting at the opening `"`, honoring escapes
+/// and, when `hashes > 0`, raw-string `"##...#` terminators.
+fn lex_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.peek() {
+            None => break,
+            Some(b'\\') if hashes == 0 => {
+                cur.bump();
+                cur.bump();
+            }
+            Some(b'"') => {
+                cur.bump();
+                if hashes == 0 {
+                    break;
+                }
+                let mut seen = 0usize;
+                while seen < hashes && cur.peek() == Some(b'#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(_) => {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// Disambiguates `'a'` / `b'\n'` (char literal) from `'a` (lifetime).
+fn lex_quote(cur: &mut Cursor<'_>) -> TokKind {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: consume escape then to closing quote.
+            cur.bump();
+            cur.bump();
+            cur.eat_while(|b| b != b'\'' && b != b'\n');
+            cur.bump();
+            TokKind::Char
+        }
+        Some(b) if is_ident_start(b) => {
+            // `'a'` is a char, `'a` / `'abc` is a lifetime. Consume the
+            // identifier; a following `'` makes it a char literal.
+            cur.eat_while(is_ident_cont);
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+                TokKind::Char
+            } else {
+                TokKind::Lifetime
+            }
+        }
+        Some(_) => {
+            // Punctuation char literal like '(' or '"'.
+            cur.bump();
+            if cur.peek() == Some(b'\'') {
+                cur.bump();
+            }
+            TokKind::Char
+        }
+        None => TokKind::Lifetime,
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    // Digits, underscores, type suffixes, hex/oct/bin bodies.
+    cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    // A fractional part: `.` followed by a digit (so `0..n` stays a range).
+    if cur.peek() == Some(b'.') && cur.peek_at(1).is_some_and(|b| b.is_ascii_digit()) {
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+    }
+    // Exponent sign: `1e-3` / `2.5E+10` leave a trailing `e` consumed above.
+    if matches!(cur.peek(), Some(b'+') | Some(b'-')) {
+        let prev = cur.src.get(cur.pos.wrapping_sub(1)).copied();
+        if matches!(prev, Some(b'e') | Some(b'E')) {
+            cur.bump();
+            cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        }
+    }
+}
+
+/// Lexes an identifier, handling the prefixed literal forms that start
+/// like identifiers: `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`,
+/// `b'x'`, `c"..."`, and raw identifiers `r#match`.
+fn lex_ident_or_prefixed(cur: &mut Cursor<'_>) -> Option<TokKind> {
+    let start = cur.pos;
+    let first = cur.peek()?;
+    cur.bump();
+
+    // Possible literal prefixes: r, b, br, rb(c), c ... check before
+    // consuming more identifier characters.
+    let second = cur.peek();
+    match (first, second) {
+        (b'r' | b'b' | b'c', Some(b'"')) => {
+            lex_string_body(cur, 0);
+            return Some(TokKind::Str);
+        }
+        (b'b', Some(b'\'')) => {
+            return Some(lex_quote(cur));
+        }
+        (b'r' | b'b' | b'c', Some(b'#')) => {
+            // Count hashes; a quote after them means raw string, an
+            // identifier char means raw identifier (only after `r#`).
+            let mut off = 0usize;
+            while cur.peek_at(off) == Some(b'#') {
+                off += 1;
+            }
+            match cur.peek_at(off) {
+                Some(b'"') => {
+                    for _ in 0..off {
+                        cur.bump();
+                    }
+                    lex_string_body(cur, off);
+                    return Some(TokKind::Str);
+                }
+                _ if first == b'r' && off == 1 => {
+                    cur.bump(); // the '#'
+                    cur.eat_while(is_ident_cont);
+                    let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+                    return Some(TokKind::Ident(text));
+                }
+                _ => {}
+            }
+        }
+        (b'b', Some(b'r')) if cur.peek_at(1) == Some(b'"') || cur.peek_at(1) == Some(b'#') => {
+            cur.bump(); // the 'r'
+            if cur.peek() == Some(b'"') {
+                lex_string_body(cur, 0);
+                return Some(TokKind::Str);
+            }
+            let mut off = 0usize;
+            while cur.peek_at(off) == Some(b'#') {
+                off += 1;
+            }
+            if cur.peek_at(off) == Some(b'"') {
+                for _ in 0..off {
+                    cur.bump();
+                }
+                lex_string_body(cur, off);
+                return Some(TokKind::Str);
+            }
+        }
+        _ => {}
+    }
+
+    cur.eat_while(is_ident_cont);
+    let text = String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned();
+    Some(TokKind::Ident(text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_content_is_not_code() {
+        let src = r####"let s = r#"call .unwrap() // not a comment "#; s.len()"####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn ok() {}";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "ok"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let toks = lex("let c = 'x'; fn f<'a>(v: &'a str) -> &'a str { v }");
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        let lifes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(chars, 1);
+        assert_eq!(lifes, 3);
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("fn a() {}\n  let b = 1;");
+        let b = toks.iter().find(|t| t.ident() == Some("b")).expect("b");
+        assert_eq!((b.line, b.col), (2, 7));
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let ids = idents(r#"let s = "escaped \" .unwrap() \\"; s.len()"#);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"len".to_string()));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let src = r##"let a = b"panic!"; let b = br#"todo!"#; let c = c"assert!";"##;
+        let ids = idents(src);
+        assert!(!ids
+            .iter()
+            .any(|s| s == "panic" || s == "todo" || s == "assert"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let ids = idents("let r#fn = 1; r#fn + 2");
+        assert_eq!(ids.iter().filter(|s| *s == "r#fn").count(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..10 {}");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! CLI for `tkm_lint`.
+//!
+//! ```text
+//! tkm_lint [--root DIR] [--json] [FILES...]
+//! tkm_lint --version
+//! ```
+//!
+//! With no `FILES`, walks the workspace under `--root` (default: the
+//! current directory): every `crates/*/src/**/*.rs` plus the root
+//! package's `src/`. Explicit `FILES` are linted under the strictest
+//! class (library source in a space-checked crate) — this is what the
+//! fixture tests and pre-commit spot checks use.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tkm_lint::{describe, json_report, lint_files, FileClass, SourceFile, SPACE_CHECKED_CRATES};
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: tkm_lint [--root DIR] [--json] [FILES...]\n       tkm_lint --version"
+}
+
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--version" | "-V" => {
+                println!("{}", describe());
+                return Ok(None);
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(None);
+            }
+            "--json" => json = true,
+            "--root" => {
+                root = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            f if !f.starts_with('-') => files.push(PathBuf::from(f)),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Some(Options { root, json, files }))
+}
+
+/// Reads the `name = "..."` of a crate manifest with a plain line scan
+/// (std-only; the workspace's manifests are simple enough).
+fn package_name(manifest: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(manifest).ok()?;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                return Some(rest.trim().trim_matches('"').to_string());
+            }
+        }
+        if line.starts_with('[') && line != "[package]" {
+            break;
+        }
+    }
+    None
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+/// Loads one crate's library sources (`<crate>/src/**/*.rs`) with the
+/// right per-file class.
+fn load_crate(
+    root: &Path,
+    crate_dir: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), String> {
+    let src = crate_dir.join("src");
+    if !src.is_dir() {
+        return Ok(());
+    }
+    let mut paths = Vec::new();
+    rs_files(&src, &mut paths)?;
+    for p in paths {
+        let is_bin = p.file_name().is_some_and(|f| f == "main.rs")
+            || p.strip_prefix(&src).is_ok_and(|r| r.starts_with("bin"));
+        let text = std::fs::read_to_string(&p).map_err(|e| format!("read {}: {e}", p.display()))?;
+        let display = p.strip_prefix(root).unwrap_or(&p).display().to_string();
+        out.push(SourceFile {
+            path: display,
+            text,
+            class: FileClass {
+                crate_name: crate_name.to_string(),
+                is_lib: !is_bin,
+                space_checked: SPACE_CHECKED_CRATES.contains(&crate_name),
+            },
+        });
+    }
+    Ok(())
+}
+
+/// Walks the whole workspace: `crates/*` plus the root package.
+fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    let entries =
+        std::fs::read_dir(&crates).map_err(|e| format!("read_dir {}: {e}", crates.display()))?;
+    let mut dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let Some(name) = package_name(&dir.join("Cargo.toml")) else {
+            continue;
+        };
+        load_crate(root, &dir, &name, &mut out)?;
+    }
+    if let Some(name) = package_name(&root.join("Cargo.toml")) {
+        load_crate(root, root, &name, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let Some(opts) = parse_args()? else {
+        return Ok(ExitCode::SUCCESS);
+    };
+
+    let files = if opts.files.is_empty() {
+        load_workspace(&opts.root)?
+    } else {
+        let mut out = Vec::new();
+        for p in &opts.files {
+            let text =
+                std::fs::read_to_string(p).map_err(|e| format!("read {}: {e}", p.display()))?;
+            out.push(SourceFile {
+                path: p.display().to_string(),
+                text,
+                class: FileClass {
+                    crate_name: "adhoc".to_string(),
+                    is_lib: true,
+                    space_checked: true,
+                },
+            });
+        }
+        out
+    };
+
+    let diags = lint_files(&files);
+    if opts.json {
+        println!("{}", json_report(&diags, files.len()));
+    } else {
+        println!("{}", describe());
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "{} file(s) scanned, {} violation(s)",
+            files.len(),
+            diags.len()
+        );
+    }
+    Ok(if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("tkm_lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

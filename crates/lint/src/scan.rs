@@ -1,0 +1,429 @@
+//! Structural scan over the token stream.
+//!
+//! Recovers the minimal structure the rules need without an AST:
+//!
+//! * `#[cfg(test)]` item bodies (token-index ranges), so the panic rule
+//!   can exempt test code;
+//! * `// lint: hot-path` regions — the body of the next `fn` item, or
+//!   the next bare `{ ... }` block;
+//! * `// lint: allow(<rule>, reason=...)` suppressions, attached to the
+//!   directive's own line and the next code line;
+//! * which lines contain code tokens at all (for allow attachment);
+//! * malformed-directive diagnostics, so a typo'd `// lint:` comment is
+//!   itself a lint error instead of a silent no-op.
+
+use crate::lexer::{Tok, TokKind};
+use crate::{Diagnostic, RULES};
+
+/// A half-open token-index range `[start, end)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Region {
+    /// First token index inside the region.
+    pub start: usize,
+    /// One past the last token index inside the region.
+    pub end: usize,
+}
+
+impl Region {
+    /// True if token index `i` falls inside the region.
+    pub fn contains(&self, i: usize) -> bool {
+        self.start <= i && i < self.end
+    }
+}
+
+/// One parsed `// lint: allow(rule, reason=...)` directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule name the directive suppresses.
+    pub rule: String,
+    /// 1-based line the directive comment sits on.
+    pub line: u32,
+}
+
+/// Everything the structural scan learned about one file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Bodies of `#[cfg(test)]` items.
+    pub test_regions: Vec<Region>,
+    /// Bodies of `// lint: hot-path` functions/blocks.
+    pub hot_regions: Vec<Region>,
+    /// Parsed allow directives.
+    pub allows: Vec<Allow>,
+    /// Lines that contain at least one non-comment token.
+    pub code_lines: Vec<u32>,
+    /// Malformed-directive diagnostics (rule `directive`).
+    pub errors: Vec<Diagnostic>,
+}
+
+impl Scan {
+    /// True if token index `i` is inside a `#[cfg(test)]` item body.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|r| r.contains(i))
+    }
+
+    /// True if token index `i` is inside a hot-path region.
+    pub fn in_hot(&self, i: usize) -> bool {
+        self.hot_regions.iter().any(|r| r.contains(i))
+    }
+
+    /// True if a diagnostic for `rule` at `line` is suppressed by an
+    /// allow directive: one on the same line, or one on an earlier line
+    /// with no code line in between (so a directive on its own line
+    /// covers exactly the next code line).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|a| {
+            a.rule == rule
+                && (a.line == line
+                    || (a.line < line && !self.code_lines.iter().any(|&l| a.line < l && l < line)))
+        })
+    }
+}
+
+/// Finds the body of the item starting at token `i`: skips attribute
+/// groups and balanced `(...)` / `[...]` runs, then returns the token
+/// range of the first top-level `{ ... }`. Returns `None` when a `;`
+/// ends the item first (fieldless struct, trait method without body,
+/// `use` declaration, ...).
+pub(crate) fn item_body(toks: &[Tok], mut i: usize) -> Option<Region> {
+    let mut depth_paren = 0i32;
+    let mut depth_brack = 0i32;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::Punct('(') => depth_paren += 1,
+            TokKind::Punct(')') => depth_paren -= 1,
+            TokKind::Punct('[') => depth_brack += 1,
+            TokKind::Punct(']') => depth_brack -= 1,
+            TokKind::Punct('{') if depth_paren == 0 && depth_brack == 0 => {
+                return brace_span(toks, i);
+            }
+            TokKind::Punct(';') if depth_paren == 0 && depth_brack == 0 => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Returns the region covering the brace group opening at token `open`
+/// (which must be `{`), inclusive of both braces.
+fn brace_span(toks: &[Tok], open: usize) -> Option<Region> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(Region {
+                        start: open,
+                        end: j + 1,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unbalanced file: treat the region as running to EOF.
+    Some(Region {
+        start: open,
+        end: toks.len(),
+    })
+}
+
+/// Returns the token range of the attribute starting at `#` (index `i`),
+/// i.e. `#[ ... ]` or `#![ ... ]`, and whether it mentions `cfg(test)`.
+fn attr_span(toks: &[Tok], i: usize) -> Option<(usize, bool)> {
+    let mut j = i + 1;
+    if j < toks.len() && toks[j].is_punct('!') {
+        j += 1;
+    }
+    if j >= toks.len() || !toks[j].is_punct('[') {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut saw_cfg = false;
+    let mut saw_test = false;
+    let mut saw_not = false;
+    while j < toks.len() {
+        match &toks[j].kind {
+            TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    let is_cfg_test = saw_cfg && saw_test && !saw_not;
+                    return Some((j + 1, is_cfg_test));
+                }
+            }
+            TokKind::Ident(s) => match s.as_str() {
+                "cfg" => saw_cfg = true,
+                "test" => saw_test = true,
+                "not" => saw_not = true,
+                _ => {}
+            },
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses `// lint: ...` directives out of a comment's text. Returns
+/// `Ok(None)` for ordinary comments.
+enum Directive {
+    HotPath,
+    Allow(String),
+}
+
+fn parse_directive(text: &str) -> Result<Option<Directive>, String> {
+    let body = text.trim_start_matches('/').trim();
+    let Some(rest) = body.strip_prefix("lint:") else {
+        return Ok(None);
+    };
+    let rest = rest.trim();
+    if rest == "hot-path" {
+        return Ok(Some(Directive::HotPath));
+    }
+    if let Some(args) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    {
+        let (rule, reason) = match args.split_once(',') {
+            Some((r, rest)) => (r.trim(), rest.trim()),
+            None => (args.trim(), ""),
+        };
+        if !RULES.contains(&rule) {
+            return Err(format!(
+                "unknown rule `{rule}` in allow directive (known rules: {})",
+                RULES.join(", ")
+            ));
+        }
+        let reason_ok = reason
+            .strip_prefix("reason")
+            .and_then(|r| r.trim_start().strip_prefix('='))
+            .map(|r| !r.trim().is_empty())
+            .unwrap_or(false);
+        if !reason_ok {
+            return Err(format!(
+                "allow directive for `{rule}` needs a non-empty `reason=...`"
+            ));
+        }
+        return Ok(Some(Directive::Allow(rule.to_string())));
+    }
+    Err(format!(
+        "unrecognized lint directive `{rest}` (expected `hot-path` or `allow(rule, reason=...)`)"
+    ))
+}
+
+/// Runs the structural scan over `toks` for diagnostics-reporting
+/// purposes against `file` (used only in error spans).
+pub fn scan(file: &str, toks: &[Tok]) -> Scan {
+    let mut out = Scan::default();
+
+    let mut seen_lines = std::collections::BTreeSet::new();
+    for t in toks {
+        if !t.is_comment() {
+            seen_lines.insert(t.line);
+        }
+    }
+    out.code_lines = seen_lines.into_iter().collect();
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].kind {
+            TokKind::Comment(text) => {
+                match parse_directive(text) {
+                    Ok(None) => {}
+                    Ok(Some(Directive::Allow(rule))) => {
+                        out.allows.push(Allow {
+                            rule,
+                            line: toks[i].line,
+                        });
+                    }
+                    Ok(Some(Directive::HotPath)) => {
+                        if let Some(region) = hot_target(toks, i + 1) {
+                            out.hot_regions.push(region);
+                        } else {
+                            out.errors.push(Diagnostic::new(
+                                "directive",
+                                file,
+                                toks[i].line,
+                                toks[i].col,
+                                "`lint: hot-path` is not followed by a function or block",
+                            ));
+                        }
+                    }
+                    Err(msg) => {
+                        out.errors.push(Diagnostic::new(
+                            "directive",
+                            file,
+                            toks[i].line,
+                            toks[i].col,
+                            msg,
+                        ));
+                    }
+                }
+                i += 1;
+            }
+            TokKind::Punct('#') => {
+                match attr_span(toks, i) {
+                    Some((after, true)) => {
+                        // `#[cfg(test)]`: the next item's body is a test
+                        // region. Skip any further attributes first.
+                        let mut j = after;
+                        while j < toks.len() {
+                            if toks[j].is_comment() {
+                                j += 1;
+                            } else if toks[j].is_punct('#') {
+                                match attr_span(toks, j) {
+                                    Some((next, _)) => j = next,
+                                    None => break,
+                                }
+                            } else {
+                                break;
+                            }
+                        }
+                        if let Some(region) = item_body(toks, j) {
+                            out.test_regions.push(region);
+                            i = region.end;
+                        } else {
+                            i = after;
+                        }
+                    }
+                    Some((after, false)) => i = after,
+                    None => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Resolves what a `hot-path` directive at comment index `ci` marks:
+/// the body of the next `fn` item, or the next bare block.
+fn hot_target(toks: &[Tok], mut i: usize) -> Option<Region> {
+    // Skip comments and attributes between the directive and the item.
+    while i < toks.len() {
+        if toks[i].is_comment() {
+            i += 1;
+        } else if toks[i].is_punct('#') {
+            match attr_span(toks, i) {
+                Some((after, _)) => i = after,
+                None => return None,
+            }
+        } else {
+            break;
+        }
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    if toks[i].is_punct('{') {
+        return brace_span(toks, i);
+    }
+    // Scan a bounded window of qualifier tokens for the `fn` keyword:
+    // `pub`, `pub(crate)`, `const`, `async`, `unsafe`, `extern "C"`.
+    let mut j = i;
+    let limit = (i + 12).min(toks.len());
+    while j < limit {
+        match toks[j].ident() {
+            Some("fn") => return item_body(toks, j + 1),
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_module_is_a_test_region() {
+        let src = "fn a() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn b() { y.unwrap(); } }";
+        let toks = lex(src);
+        let s = scan("f.rs", &toks);
+        assert_eq!(s.test_regions.len(), 1);
+        let unwraps: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.ident() == Some("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!s.in_test(unwraps[0]));
+        assert!(s.in_test(unwraps[1]));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod real { fn a() {} }";
+        let s = scan("f.rs", &lex(src));
+        assert!(s.test_regions.is_empty());
+    }
+
+    #[test]
+    fn hot_path_marks_fn_body() {
+        let src = "// lint: hot-path\npub fn tick(&mut self) -> usize { self.n }\nfn cold() { Vec::<u8>::new(); }";
+        let toks = lex(src);
+        let s = scan("f.rs", &toks);
+        assert_eq!(s.hot_regions.len(), 1);
+        let n = toks.iter().position(|t| t.ident() == Some("n")).unwrap();
+        let vec = toks.iter().position(|t| t.ident() == Some("Vec")).unwrap();
+        assert!(s.in_hot(n));
+        assert!(!s.in_hot(vec));
+    }
+
+    #[test]
+    fn hot_path_marks_bare_block() {
+        let src = "fn f() { let a = 1; // lint: hot-path\n { inner(); } outer(); }";
+        let toks = lex(src);
+        let s = scan("f.rs", &toks);
+        assert_eq!(s.hot_regions.len(), 1);
+        let inner = toks
+            .iter()
+            .position(|t| t.ident() == Some("inner"))
+            .unwrap();
+        let outer = toks
+            .iter()
+            .position(|t| t.ident() == Some("outer"))
+            .unwrap();
+        assert!(s.in_hot(inner));
+        assert!(!s.in_hot(outer));
+    }
+
+    #[test]
+    fn dangling_hot_path_is_an_error() {
+        let src = "// lint: hot-path\nuse std::fmt;";
+        let s = scan("f.rs", &lex(src));
+        assert_eq!(s.errors.len(), 1);
+        assert!(s.errors[0].message.contains("not followed"));
+    }
+
+    #[test]
+    fn allow_parses_and_attaches() {
+        let src = "// lint: allow(panic, reason=mutex poisoning is fatal by design)\nlock.unwrap();\nother.unwrap();";
+        let s = scan("f.rs", &lex(src));
+        assert_eq!(s.allows.len(), 1);
+        assert!(s.allowed("panic", 1));
+        assert!(s.allowed("panic", 2));
+        assert!(!s.allowed("panic", 3));
+        assert!(!s.allowed("alloc", 2));
+    }
+
+    #[test]
+    fn allow_requires_reason_and_known_rule() {
+        let s = scan("f.rs", &lex("// lint: allow(panic)\n"));
+        assert_eq!(s.errors.len(), 1);
+        let s = scan("f.rs", &lex("// lint: allow(bogus, reason=x)\n"));
+        assert_eq!(s.errors.len(), 1);
+        assert!(s.errors[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_own_line() {
+        let src = "lock.unwrap(); // lint: allow(panic, reason=poisoning is fatal)";
+        let s = scan("f.rs", &lex(src));
+        assert!(s.allowed("panic", 1));
+    }
+}

@@ -1,0 +1,25 @@
+// Allow-suppressed fixture for the `alloc` rule: zero diagnostics.
+
+// lint: hot-path
+pub fn tick(&mut self, events: &[Event]) -> usize {
+    // Reuses scratch capacity: no constructor calls, no collect.
+    self.scratch.clear();
+    for e in events {
+        self.scratch.push(e.id);
+    }
+    // lint: allow(alloc, reason=grow-once spill path, amortized over the run)
+    let spill = Vec::with_capacity(events.len());
+    let n = self.scratch.len() + spill.capacity();
+    n
+}
+
+// A hot block inside an otherwise cold function.
+pub fn mixed(&mut self) {
+    let warmup: Vec<u64> = (0..8).collect();
+    // lint: hot-path
+    {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.ids);
+    }
+    drop(warmup);
+}

@@ -1,0 +1,21 @@
+// Known-bad fixture for the `alloc` rule: every allocation below must
+// be reported, with the exact lines asserted by tests/fixtures.rs.
+
+// lint: hot-path
+pub fn tick(&mut self, events: &[Event]) -> usize {
+    let mut scratch = Vec::new(); // line 6: `Vec::new`
+    for e in events {
+        scratch.push(e.id);
+    }
+    let ids: Vec<u64> = events.iter().map(|e| e.id).collect(); // line 10: `.collect()`
+    let owned = events.to_vec(); // line 11: `.to_vec()`
+    let label = format!("tick {}", ids.len()); // line 12: `format!`
+    let boxed = Box::new(owned); // line 13: `Box::new`
+    let turbo = Vec::<u8>::with_capacity(label.len()); // line 14: turbofish ctor
+    scratch.len() + boxed.len() + turbo.capacity()
+}
+
+pub fn cold(&mut self) -> Vec<u64> {
+    // Not annotated: allocation here is fine.
+    self.ids.to_vec()
+}

@@ -1,0 +1,17 @@
+// Allow-suppressed fixture for the `debug_assert` rule: zero
+// diagnostics.
+
+pub fn apply(&mut self, id: u64) {
+    // The release build must do the removal too: hoist it out.
+    let was_pending = self.pending.remove(&id);
+    debug_assert!(was_pending);
+
+    // Read-only assertions are fine.
+    debug_assert!(self.queue.iter().all(|q| *q != id));
+    debug_assert_eq!(self.queue.len(), self.expected);
+
+    // lint: allow(debug_assert, reason=checker mutates only its own scratch buffer)
+    debug_assert!(self.checker.verify_with_scratch(&mut self.scratch));
+
+    self.applied += 1;
+}

@@ -1,0 +1,9 @@
+// Known-bad fixture for the `debug_assert` rule: side effects that
+// disappear in release builds.
+
+pub fn apply(&mut self, id: u64) {
+    debug_assert!(self.pending.remove(&id)); // line 5: mutating `.remove()`
+    debug_assert!(validate(&mut self.state)); // line 6: `&mut` borrow
+    debug_assert_eq!(self.queue.pop(), Some(id)); // line 7: mutating `.pop()`
+    self.applied += 1;
+}

@@ -1,0 +1,43 @@
+// Lexer torture fixture: every panicking/allocating spelling below is
+// literal or comment *content*, never code. Expected diagnostics: none.
+// The whole file is also a library source in a space-checked crate, so
+// surviving it exercises every rule's tokenizer dependence at once.
+
+pub fn raw_strings() -> &'static str {
+    let a = r"no escape \ .unwrap() here";
+    let b = r#"quoted " then .expect("...") and panic!"#;
+    let c = r##"hash depth two: "# still inside "## ;
+    let d = "escaped quote \" then .unwrap() \\";
+    let e = b"byte string with assert!(x)";
+    let f = br#"raw bytes with Vec::new()"#;
+    let _ = (a, b, c, d, e, f);
+    "ok"
+}
+
+/* Block comment with panic!("nope") and a nested /* inner comment
+   holding .unwrap() and Vec::new() */ still outer */
+pub fn comments_and_chars(v: &[u8]) -> usize {
+    let quote = '"';
+    let backslash = '\\';
+    let newline = '\n';
+    let tick = '\'';
+    let lifetime_like: &'static str = "still fine";
+    // line comment mentioning .unwrap() and format!("{}", 1)
+    v.len() + [quote, backslash, newline, tick].len() + lifetime_like.len()
+}
+
+#[rustfmt::skip]
+pub fn skipped_formatting(x:u64)->u64{let y=x*2;
+    let r#match = y + 1; // raw identifier
+    r#match}
+
+pub struct NoHeapFields {
+    stamp: u64,
+    ratio: f64,
+}
+
+pub fn ranges_and_generics(n: usize) -> usize {
+    let pairs: &[(usize, usize)] = &[(0, 1)];
+    let sum: usize = (0..n).sum();
+    sum + pairs.len()
+}

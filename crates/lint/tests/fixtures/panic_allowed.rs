@@ -1,0 +1,37 @@
+// Allow-suppressed fixture for the `panic` rule: zero diagnostics.
+
+pub fn lookup(&self, id: u64) -> Result<u64> {
+    let slot = self
+        .slots
+        .get(&id)
+        .ok_or(TkmError::UnknownQuery(id))?;
+    // Invariant: slots only ever hold in-bounds indices.
+    debug_assert!(*slot < self.values.len());
+    // lint: allow(panic, reason=slot validity is the registry's core invariant)
+    Ok(*self.values.get(*slot).expect("registry invariant"))
+}
+
+pub fn lock(&self) -> MutexGuard<'_, State> {
+    self.state.lock().unwrap() // lint: allow(panic, reason=poisoned mutex means a thread already panicked; propagating is correct)
+}
+
+// Compile-time assertions cannot abort a running process.
+const _: () = assert!(std::mem::size_of::<u64>() == 8);
+
+pub fn debug_only_panics(&self) {
+    // Panics inside `debug_assert!` bodies are debug-only by definition.
+    debug_assert!(self.slots.get(0).unwrap().is_live());
+    debug_assert_eq!(self.front().expect("checked"), self.oldest);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic_freely() {
+        let v: Vec<u8> = Vec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        v.first().unwrap();
+        panic!("tests can panic");
+    }
+}

@@ -1,0 +1,18 @@
+// Known-bad fixture for the `panic` rule.
+
+pub fn lookup(&self, id: u64) -> u64 {
+    let slot = self.slots.get(&id).unwrap(); // line 4: `.unwrap()`
+    let val = self.values.get(slot).expect("slot out of range"); // line 5: `.expect()`
+    if *val == 0 {
+        panic!("zero value for {id}"); // line 7: `panic!`
+    }
+    match self.kind {
+        Kind::Dense => *val,
+        _ => unreachable!(), // line 11: `unreachable!`
+    }
+}
+
+pub fn check(&self, n: usize) {
+    assert!(n < self.len); // line 16: `assert!`
+    assert_eq!(self.stamp, n as u64); // line 17: `assert_eq!`
+}

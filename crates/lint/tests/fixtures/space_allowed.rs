@@ -1,0 +1,27 @@
+// Allow-suppressed fixture for the `space` rule: zero diagnostics.
+// Shows all three ways a heap-owning struct is considered covered.
+
+/// Covered directly: the struct has its own `space_bytes` impl.
+pub struct EventLog {
+    entries: Vec<u64>,
+}
+
+impl EventLog {
+    pub fn space_bytes(&self) -> usize {
+        let helpers = self.entries.capacity() * std::mem::size_of::<HelperEntry>();
+        std::mem::size_of::<Self>() + helpers
+    }
+}
+
+/// Covered transitively: `HelperEntry` is mentioned inside the
+/// `space_bytes` body above (its bytes are counted by the parent).
+pub struct HelperEntry {
+    tags: Vec<u32>,
+}
+
+/// Explicitly waived: a transient builder that never lives across a
+/// tick, so it is deliberately outside the §6 space formulas.
+// lint: allow(space, reason=transient builder, dropped before the tick returns)
+pub struct LogBuilder {
+    staged: Vec<u64>,
+}

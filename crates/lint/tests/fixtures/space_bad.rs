@@ -1,0 +1,19 @@
+// Known-bad fixture for the `space` rule: both structs own heap memory
+// and neither is reachable from any `space_bytes` accounting.
+
+pub struct EventLog {
+    // line 4: `Vec` field, no accounting anywhere
+    entries: Vec<u64>,
+    cursor: usize,
+}
+
+pub struct TagIndex {
+    // line 10: `HashMap` field, no accounting anywhere
+    by_tag: HashMap<u32, u64>,
+}
+
+impl EventLog {
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}

@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Order-statistic balanced tree.
 //!
@@ -60,6 +61,7 @@ fn balance_factor<K>(n: &Node<K>) -> i32 {
 }
 
 fn rotate_right<K>(mut n: Box<Node<K>>) -> Box<Node<K>> {
+    // lint: allow(panic, reason=AVL rotation precondition; callers check the balance factor first)
     let mut left = n.left.take().expect("rotate_right requires a left child");
     n.left = left.right.take();
     update(&mut n);
@@ -69,6 +71,7 @@ fn rotate_right<K>(mut n: Box<Node<K>>) -> Box<Node<K>> {
 }
 
 fn rotate_left<K>(mut n: Box<Node<K>>) -> Box<Node<K>> {
+    // lint: allow(panic, reason=AVL rotation precondition; callers check the balance factor first)
     let mut right = n.right.take().expect("rotate_left requires a right child");
     n.right = right.left.take();
     update(&mut n);
@@ -81,12 +84,16 @@ fn rebalance<K>(mut n: Box<Node<K>>) -> Box<Node<K>> {
     update(&mut n);
     let bf = balance_factor(&n);
     if bf > 1 {
+        // lint: allow(panic, reason=AVL rotation precondition follows from the balance-factor arithmetic)
         if balance_factor(n.left.as_ref().expect("bf > 1 implies left child")) < 0 {
+            // lint: allow(panic, reason=AVL rotation precondition checked two lines above)
             n.left = Some(rotate_left(n.left.take().expect("checked above")));
         }
         rotate_right(n)
     } else if bf < -1 {
+        // lint: allow(panic, reason=AVL rotation precondition follows from the balance-factor arithmetic)
         if balance_factor(n.right.as_ref().expect("bf < -1 implies right child")) > 0 {
+            // lint: allow(panic, reason=AVL rotation precondition checked two lines above)
             n.right = Some(rotate_right(n.right.take().expect("checked above")));
         }
         rotate_left(n)

@@ -1,4 +1,5 @@
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Multi-client TCP serving layer over the continuous top-k monitor.
 //!

@@ -131,7 +131,7 @@ impl Service {
         let accept_tx = tx.clone();
         let accept_stop = Arc::clone(&stopping);
         threads.push(std::thread::spawn(move || {
-            accept_loop(listener, accept_tx, &accept_stop);
+            accept_loop(&listener, &accept_tx, &accept_stop);
         }));
 
         if let TickPolicy::Interval(period) = cfg.tick {
@@ -199,7 +199,7 @@ impl Service {
     }
 }
 
-fn accept_loop(listener: TcpListener, inbox: SyncSender<Event>, stopping: &AtomicBool) {
+fn accept_loop(listener: &TcpListener, inbox: &SyncSender<Event>, stopping: &AtomicBool) {
     let mut next = 0u64;
     for stream in listener.incoming() {
         if stopping.load(Ordering::Relaxed) {
@@ -223,9 +223,9 @@ fn accept_loop(listener: TcpListener, inbox: SyncSender<Event>, stopping: &Atomi
             continue;
         };
         let writer_out = Arc::clone(&out);
-        std::thread::spawn(move || run_writer(write_half, &writer_out));
+        std::thread::spawn(move || run_writer(&write_half, &writer_out));
         let reader_inbox = inbox.clone();
-        std::thread::spawn(move || run_reader(stream, sid, reader_inbox));
+        std::thread::spawn(move || run_reader(stream, sid, &reader_inbox));
     }
 }
 
@@ -258,16 +258,16 @@ impl EngineOwner {
                 }
                 Event::Request(sid, req) => {
                     if let Request::Quit = req {
-                        self.reply(sid, Reply::OkBye);
+                        self.reply(sid, &Reply::OkBye);
                         self.teardown(sid);
                         continue;
                     }
                     let reply = self.execute(sid, req, started);
-                    self.reply(sid, reply);
+                    self.reply(sid, &reply);
                 }
                 Event::Bad(sid, msg) => self.reply(
                     sid,
-                    Reply::Err {
+                    &Reply::Err {
                         code: ErrCode::Parse,
                         message: msg,
                     },
@@ -293,7 +293,7 @@ impl EngineOwner {
         }
     }
 
-    fn reply(&self, sid: SessionId, reply: Reply) {
+    fn reply(&self, sid: SessionId, reply: &Reply) {
         if let Some(out) = self.sessions.get(&sid) {
             out.send_reply(reply.to_string());
         }
@@ -322,7 +322,7 @@ impl EngineOwner {
                     self.router.drop_query(q);
                     Reply::OkQuery(q)
                 }
-                Err(e) => err_reply(e),
+                Err(e) => err_reply(&e),
             },
             Request::Subscribe(q) => match self.server.result(q) {
                 Ok(entries) => {
@@ -342,7 +342,7 @@ impl EngineOwner {
                     }
                     Reply::OkQuery(q)
                 }
-                Err(e) => err_reply(e),
+                Err(e) => err_reply(&e),
             },
             Request::Unsubscribe(q) => {
                 self.router.unsubscribe(q, &sid);
@@ -354,9 +354,9 @@ impl EngineOwner {
                     at: self.server.now(),
                     entries,
                 },
-                Err(e) => err_reply(e),
+                Err(e) => err_reply(&e),
             },
-            Request::Tick { arrivals } => self.ingest(arrivals, None),
+            Request::Tick { arrivals } => self.ingest(&arrivals, None),
             Request::TickAt { at, arrivals } => {
                 if self.cfg.tick != TickPolicy::Manual {
                     return Reply::Err {
@@ -366,10 +366,15 @@ impl EngineOwner {
                             .into(),
                     };
                 }
-                self.ingest(arrivals, Some(at))
+                self.ingest(&arrivals, Some(at))
             }
             Request::Stats => self.stats_reply(started),
-            Request::Quit => unreachable!("handled by the event loop"),
+            // The event loop intercepts QUIT before dispatch; answering
+            // defensively keeps the server alive if that ever regresses.
+            Request::Quit => Reply::Err {
+                code: ErrCode::Unsupported,
+                message: "QUIT is handled by the session layer".into(),
+            },
         }
     }
 
@@ -406,11 +411,11 @@ impl EngineOwner {
         });
         match query.and_then(|q| self.server.register(q)) {
             Ok(id) => Reply::OkQuery(id),
-            Err(e) => err_reply(e),
+            Err(e) => err_reply(&e),
         }
     }
 
-    fn ingest(&mut self, arrivals: Vec<f64>, at: Option<Timestamp>) -> Reply {
+    fn ingest(&mut self, arrivals: &[f64], at: Option<Timestamp>) -> Reply {
         let dims = self.server.dims();
         if !arrivals.len().is_multiple_of(dims) {
             return Reply::Err {
@@ -422,10 +427,10 @@ impl EngineOwner {
             };
         }
         let queued = arrivals.len() / dims;
-        self.pending.extend_from_slice(&arrivals);
+        self.pending.extend_from_slice(arrivals);
         if self.cfg.tick == TickPolicy::Manual {
             if let Err(e) = self.flush(at) {
-                return err_reply(e);
+                return err_reply(&e);
             }
         }
         Reply::OkTick {
@@ -516,6 +521,7 @@ impl EngineOwner {
                 (self.pending.len() / self.server.dims().max(1)).to_string(),
             ),
             ("space_bytes".into(), self.server.space_bytes().to_string()),
+            ("router_bytes".into(), self.router.space_bytes().to_string()),
             (
                 "uptime_ms".into(),
                 started.elapsed().as_millis().to_string(),
@@ -525,7 +531,7 @@ impl EngineOwner {
     }
 }
 
-fn err_reply(e: TkmError) -> Reply {
+fn err_reply(e: &TkmError) -> Reply {
     let code = match &e {
         TkmError::UnknownQuery(_) => ErrCode::UnknownQuery,
         TkmError::DimensionMismatch { .. } | TkmError::InvalidParameter(_) => ErrCode::BadArg,

@@ -66,6 +66,16 @@ pub struct SessionOut {
 }
 
 impl SessionOut {
+    /// Locks the queue state, recovering from poisoning: the queue's
+    /// push/pop operations keep it structurally consistent even if a
+    /// holder panicked mid-update, and losing one session's backlog is
+    /// strictly better than wedging every thread that touches it.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, OutState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Creates an empty open queue.
     pub fn new() -> SessionOut {
         SessionOut::default()
@@ -75,7 +85,7 @@ impl SessionOut {
     /// volume is bounded by the client's own (flow-controlled) request
     /// rate, so they cannot grow without bound.
     pub fn send_reply(&self, line: String) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         if st.closed {
             return;
         }
@@ -90,7 +100,7 @@ impl SessionOut {
     /// session with `RESYNC` + `SNAPSHOT` pushes via
     /// [`SessionOut::force_push`].
     pub fn try_push(&self, line: String, cap: usize) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         if st.closed {
             // A vanishing session needs no resync.
             return true;
@@ -110,7 +120,7 @@ impl SessionOut {
     /// marker and its snapshots, whose volume is bounded by the session's
     /// subscription count.
     pub fn force_push(&self, line: String) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         if st.closed {
             return;
         }
@@ -122,7 +132,7 @@ impl SessionOut {
     /// Marks the queue closed: already-queued lines are still delivered,
     /// then the writer thread shuts the socket down and exits.
     pub fn close(&self) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         st.closed = true;
         self.ready.notify_one();
     }
@@ -131,7 +141,7 @@ impl SessionOut {
     /// of them into `batch`) or the queue is closed and empty (returns
     /// `false`).
     fn pop_into(&self, batch: &mut Vec<String>, max: usize) -> bool {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.lock_state();
         loop {
             if !st.queue.is_empty() {
                 while batch.len() < max {
@@ -149,21 +159,24 @@ impl SessionOut {
             if st.closed {
                 return false;
             }
-            st = self.ready.wait(st).unwrap();
+            st = self
+                .ready
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Number of currently queued push lines (test/stats hook).
     pub fn queued_pushes(&self) -> usize {
-        self.state.lock().unwrap().pushes
+        self.lock_state().pushes
     }
 }
 
 /// Body of a session's writer thread: drains the queue to the socket in
 /// batches (one flush per drain, not per line). On any write failure the
 /// queue is closed; the engine learns of the death from the reader side.
-pub(crate) fn run_writer(stream: TcpStream, out: &SessionOut) {
-    let mut writer = BufWriter::new(&stream);
+pub(crate) fn run_writer(stream: &TcpStream, out: &SessionOut) {
+    let mut writer = BufWriter::new(stream);
     let mut batch = Vec::new();
     while out.pop_into(&mut batch, 256) {
         for line in batch.drain(..) {
@@ -218,7 +231,7 @@ fn read_request_line(
 /// Body of a session's reader thread: parses request lines and forwards
 /// them to the engine-owner thread. Sends [`Event::Gone`] exactly once on
 /// EOF, socket error, an oversized/non-UTF-8 line, or service shutdown.
-pub(crate) fn run_reader(stream: TcpStream, sid: SessionId, inbox: SyncSender<Event>) {
+pub(crate) fn run_reader(stream: TcpStream, sid: SessionId, inbox: &SyncSender<Event>) {
     let mut reader = BufReader::new(stream);
     let mut buf = Vec::new();
     loop {

@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! k-skyband maintenance in the 2-dimensional *(score, expiry-time)* space
 //! (paper §3.1 and §5).
@@ -219,6 +220,7 @@ impl Skyband {
     /// evicted is not counted toward `s`'s counter — an *undercount*, which
     /// can only keep `s` longer than strictly necessary, never evict a
     /// future result.
+    // lint: hot-path
     pub fn insert(&mut self, s: Scored) -> Option<usize> {
         debug_assert!(
             self.scored.iter().all(|e| e.id != s.id),
@@ -263,6 +265,7 @@ impl Skyband {
     /// outlives it (everything it dominates is older and thus expires
     /// first), so no counters change. Returns the position the tuple held
     /// (0 = best) when it was present.
+    // lint: hot-path
     pub fn expire(&mut self, id: TupleId) -> Option<usize> {
         if id < self.min_id {
             // Older than everything ever retained: cannot be present.
@@ -290,6 +293,7 @@ impl Skyband {
     /// query). No counters change, for the same reason as in `expire`.
     /// Returns the smallest position among the removed entries (0 = best;
     /// `None` when nothing was removed).
+    // lint: hot-path
     pub fn expire_before(&mut self, cutoff: TupleId) -> Option<usize> {
         if self.min_id >= cutoff {
             // Every retained entry is at least as new as the cutoff.
@@ -333,17 +337,21 @@ impl Skyband {
 
     /// Validates internal invariants (tests/debugging).
     pub fn check_invariants(&self) {
+        // lint: allow(panic, reason=opt-in invariant checker; aborting on breach is its contract)
         assert_eq!(self.scored.len(), self.dcs.len(), "parallel arrays");
         for w in self.scored.windows(2) {
+            // lint: allow(panic, reason=opt-in invariant checker; aborting on breach is its contract)
             assert!(w[0] > w[1], "entries must be strictly descending");
         }
         for &dc in &self.dcs {
+            // lint: allow(panic, reason=opt-in invariant checker; aborting on breach is its contract)
             assert!((dc as usize) < self.k, "DC must stay below k");
         }
         // An entry's counter is at least its number of in-band dominators
         // (out-of-band dominators — entries since evicted — may add more).
         for (i, e) in self.scored.iter().enumerate() {
             let in_band = self.scored[..i].iter().filter(|d| d.id > e.id).count();
+            // lint: allow(panic, reason=opt-in invariant checker; aborting on breach is its contract)
             assert!(
                 self.dcs[i] as usize >= in_band,
                 "DC below in-band dominator count"

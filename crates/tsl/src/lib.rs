@@ -1,4 +1,5 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! The **Threshold Sorted List** (TSL) baseline of the paper (§3.2).
 //!

@@ -82,9 +82,12 @@ pub fn ta_search(
             last[dim] = value;
             if seen.insert(id) {
                 stats.random_accesses += 1;
-                let coords = window
-                    .coords(id)
-                    .expect("sorted lists must only index valid tuples");
+                let Some(coords) = window.coords(id) else {
+                    // Sorted lists only index valid tuples; a miss here
+                    // means a stale list, which debug builds surface.
+                    debug_assert!(false, "sorted list entry {id:?} not in window");
+                    continue;
+                };
                 let cand = Scored::new(f.score(coords), id);
                 if best.len() < kmax {
                     best.insert(cand);
@@ -97,9 +100,10 @@ pub fn ta_search(
         // End of a round: check the stopping condition.
         if best.len() >= kmax {
             let threshold = f.score(&last[..dims]);
-            let kth = best.first().expect("len >= kmax >= 1").score.get();
-            if kth > threshold {
-                break;
+            if let Some(worst) = best.first() {
+                if worst.score.get() > threshold {
+                    break;
+                }
             }
         }
     }

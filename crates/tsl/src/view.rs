@@ -94,7 +94,11 @@ impl TopView {
     /// the worst member is displaced. Returns `true` when the view changed.
     pub fn on_arrival(&mut self, s: Scored) -> bool {
         if self.entries.len() >= self.kmax {
-            let worst = *self.entries.last().expect("kmax >= 1");
+            // Full view (kmax >= 1, so `last` exists): displace the worst.
+            let Some(&worst) = self.entries.last() else {
+                self.entries.push(s);
+                return true;
+            };
             if s <= worst {
                 return false;
             }

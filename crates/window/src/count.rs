@@ -79,10 +79,9 @@ impl CountWindow {
         let mut scratch = [0.0f64; MAX_DIMS];
         let dims = self.ring.dims();
         while self.ring.len() > self.capacity {
-            let id = self
-                .ring
-                .pop_front_into(&mut scratch)
-                .expect("len > capacity ≥ 1 implies non-empty");
+            let Some(id) = self.ring.pop_front_into(&mut scratch) else {
+                break; // len > capacity >= 1, so the ring cannot be empty
+            };
             on_expire(id, &scratch[..dims]);
         }
     }

@@ -100,10 +100,9 @@ impl TimeWindow {
             if now.since(front) < self.duration {
                 break;
             }
-            let id = self
-                .ring
-                .pop_front_into(&mut scratch)
-                .expect("front_time implies non-empty");
+            let Some(id) = self.ring.pop_front_into(&mut scratch) else {
+                break; // front_time returned Some, so the ring is non-empty
+            };
             on_expire(id, &scratch[..dims]);
         }
     }

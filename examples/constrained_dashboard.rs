@@ -9,6 +9,9 @@
 //!
 //! Run with: `cargo run --release --example constrained_dashboard`
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use topk_monitor::engines::{GridSpec, TmaMonitor, UpdateStreamTma};
 use topk_monitor::{
     DataDist, PointGen, Query, QueryId, Rect, ScoreFn, Timestamp, TkmError, TupleId, WindowSpec,

@@ -11,6 +11,9 @@
 //! Without FILE a small synthetic stream is generated and replayed, so the
 //! example is runnable stand-alone.
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use std::io::BufRead;
 
 use topk_monitor::engines::GridSpec;

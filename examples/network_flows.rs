@@ -14,6 +14,9 @@
 //!
 //! Run with: `cargo run --release --example network_flows`
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use topk_monitor::{DataDist, EngineKind, MonitorServer, PointGen, Query, ScoreFn, ServerConfig};
 
 /// Synthetic flow: (normalised throughput, normalised packet count) plus

@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use topk_monitor::{MonitorServer, Query, ScoreFn, ServerConfig};
 
 fn main() -> topk_monitor::Result<()> {

@@ -13,6 +13,9 @@
 //!
 //! Run with: `cargo run --release --example stock_ticker`
 
+// A CLI tool: stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use topk_monitor::engines::{GridSpec, SmaMonitor, ThresholdMonitor};
 use topk_monitor::{DataDist, PointGen, Query, QueryId, ScoreFn, Timestamp, TkmError, WindowSpec};
 

@@ -14,7 +14,7 @@ fn run_constrained_stream(
     dims: usize,
     window: usize,
     per_dim: usize,
-    queries: Vec<Query>,
+    queries: &[Query],
     seed: u64,
     ticks: u64,
     batch: usize,
@@ -62,7 +62,7 @@ fn central_and_corner_regions() {
         )
         .unwrap(),
     ];
-    run_constrained_stream(2, 150, 7, queries, 5, 50, 20);
+    run_constrained_stream(2, 150, 7, &queries, 5, 50, 20);
 }
 
 #[test]
@@ -81,7 +81,7 @@ fn mixed_monotonicity_constrained() {
         )
         .unwrap(),
     ];
-    run_constrained_stream(2, 120, 6, queries, 29, 40, 15);
+    run_constrained_stream(2, 120, 6, &queries, 29, 40, 15);
 }
 
 #[test]
@@ -92,7 +92,7 @@ fn three_dimensional_constrained() {
         Rect::new(vec![0.2, 0.0, 0.5], vec![0.9, 0.6, 1.0]).unwrap(),
     )
     .unwrap()];
-    run_constrained_stream(3, 200, 5, queries, 91, 40, 25);
+    run_constrained_stream(3, 200, 5, &queries, 91, 40, 25);
 }
 
 proptest! {
@@ -114,6 +114,6 @@ proptest! {
         let q = Query::constrained(
             ScoreFn::linear(vec![w1, w2]).expect("dims"), k, rect,
         ).expect("query");
-        run_constrained_stream(2, 60, 5, vec![q], seed, 20, 10);
+        run_constrained_stream(2, 60, 5, &[q], seed, 20, 10);
     }
 }
