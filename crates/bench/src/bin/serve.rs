@@ -21,6 +21,16 @@
 //! * **`--smoke`**: the same harness at CI scale (a second or so); used
 //!   by the workflow as the end-to-end serving-layer gate.
 //!
+//! * **`--chaos`**: the loopback harness under a seeded fault plan — a
+//!   fraction of the subscriber sessions get their sockets reset,
+//!   truncated mid-line, byte-garbled, write-stalled, or short-written
+//!   while the ingest stream runs. Self-healing clients must reconnect,
+//!   re-subscribe, and re-baseline; every subscriber (survivor or
+//!   reconnector) is then verified bit-exact against the in-process
+//!   oracle. `--seed` pins the run; `--fault` overrides the schedule DSL
+//!   (`sid=kind@at[+every][:ms];.. | ..`). Combine with `--smoke` for CI
+//!   scale.
+//!
 //! `--json` prints the measurement as a single JSON object on stdout.
 
 // A CLI tool: stdout is the interface.
@@ -32,7 +42,10 @@ use std::time::Instant;
 
 use tkm_core::{EngineKind, MonitorServer, Query, ServerConfig};
 use tkm_datagen::{DataDist, PointGen};
-use tkm_service::{apply_push, Push, Service, ServiceClient, ServiceConfig, TickPolicy};
+use tkm_service::{
+    apply_push, FaultSchedule, Push, ReconnectPolicy, Service, ServiceClient, ServiceConfig,
+    TickPolicy,
+};
 
 struct Args {
     addr: String,
@@ -47,6 +60,9 @@ struct Args {
     k: usize,
     smoke: bool,
     bench: bool,
+    chaos: bool,
+    seed: u64,
+    fault: Option<String>,
     json: bool,
 }
 
@@ -90,6 +106,9 @@ fn parse_args() -> Args {
         k: parse_num(&argv, "--k", 8),
         smoke,
         bench,
+        chaos: argv.iter().any(|a| a == "--chaos"),
+        seed: parse_num(&argv, "--seed", 0xC4A05),
+        fault: flag_value(&argv, "--fault"),
         json: argv.iter().any(|a| a == "--json"),
     }
 }
@@ -100,7 +119,9 @@ fn server_config(args: &Args) -> ServerConfig {
 
 fn main() {
     let args = parse_args();
-    if args.smoke || args.bench {
+    if args.chaos {
+        chaos(&args);
+    } else if args.smoke || args.bench {
         loopback(&args);
     } else {
         serve_forever(&args);
@@ -340,6 +361,242 @@ fn loopback(args: &Args) {
         println!(
             "   pushes applied: {pushes}   resyncs: {}   verification: {}",
             stats.get("resyncs").map(String::as_str).unwrap_or("0"),
+            if all_ok { "oracle-identical" } else { "FAILED" }
+        );
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}
+
+/// Default chaos schedule: every other subscriber session (1-based; the
+/// control connection is session 0) gets a fault, cycling through the
+/// kill/corrupt kinds — ≥50% of the fleet is hit.
+fn default_fault_dsl(clients: usize) -> String {
+    let kinds = [
+        "reset@10",
+        "garble@8",
+        "truncate@14",
+        "stall-write@9+25:10",
+        "partial@6+30",
+    ];
+    let mut parts = Vec::new();
+    for (n, sid) in (1..=clients).step_by(2).enumerate() {
+        parts.push(format!("{sid}={}", kinds[n % kinds.len()]));
+    }
+    parts.join("|")
+}
+
+fn chaos(args: &Args) {
+    let scfg = server_config(args);
+    let dsl = args
+        .fault
+        .clone()
+        .unwrap_or_else(|| default_fault_dsl(args.clients));
+    let faulted = dsl
+        .split('|')
+        .filter(|p| !p.trim_start().starts_with('*'))
+        .count();
+    let schedule = FaultSchedule::parse(&dsl, args.seed).expect("fault schedule DSL");
+    let service = Service::bind(
+        "127.0.0.1:0",
+        ServiceConfig::new(scfg)
+            .with_push_queue(args.push_queue)
+            .with_faults(schedule),
+    )
+    .expect("bind chaos loopback");
+    let addr = service.local_addr();
+
+    let mut oracle = MonitorServer::new(scfg).expect("oracle");
+
+    // Control dials first (session 0 — never faulted by the default plan)
+    // and registers every query, keeping wire ids positional with the
+    // oracle's.
+    let mut control = ServiceClient::connect(addr).expect("control connect");
+    let mut query_ids = Vec::new();
+    for c in 0..args.clients {
+        let weights: Vec<f64> = (0..args.dims)
+            .map(|d| 0.25 + ((c + d * 3) % 7) as f64 / 4.0)
+            .collect();
+        let id = control.register_linear(args.k, &weights).expect("register");
+        let f = tkm_common::ScoreFn::linear(weights).unwrap();
+        oracle
+            .register(Query::top_k(f, args.k).unwrap())
+            .expect("oracle register");
+        query_ids.push(id);
+    }
+
+    // Subscribers connect *serially* so session ids — and therefore which
+    // connection each fault plan hits — are deterministic: sessions 1..=N.
+    // Reconnected sessions get fresh ids outside the plan and run clean.
+    let mut clients = Vec::new();
+    for (i, q) in query_ids.iter().enumerate() {
+        let policy = ReconnectPolicy {
+            base: std::time::Duration::from_millis(5),
+            max: std::time::Duration::from_millis(100),
+            retries: 40,
+            seed: args.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..ReconnectPolicy::default()
+        };
+        let mut client = ServiceClient::connect(addr)
+            .expect("subscriber connect")
+            .with_reconnect(policy);
+        let baseline = client.subscribe(*q).expect("subscribe");
+        clients.push((client, *q, baseline));
+    }
+
+    let data_ticks = args.ticks;
+    let subs: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(i, (mut client, q, baseline))| {
+            let hit = i % 2 == 0; // sessions 1,3,5,.. carry the default plan
+            std::thread::spawn(move || {
+                let mut mirror: BTreeMap<_, _> = [(q, baseline)].into_iter().collect();
+                let mut pushes = 0usize;
+                // Ride out the stream (auto-resuming on faults) until a
+                // push timestamped after the sentinel tick arrives —
+                // either the sentinel delta itself or a post-sentinel
+                // re-baseline snapshot.
+                loop {
+                    let push = client.next_push().expect("push stream");
+                    apply_push(&mut mirror, &push);
+                    pushes += 1;
+                    let at = match &push {
+                        Push::Delta { at, .. } | Push::Snapshot { at, .. } => at.0 as usize,
+                        Push::Resync { .. } => 0,
+                    };
+                    if at > data_ticks {
+                        break;
+                    }
+                }
+                // A garbled byte can corrupt a score digit into a line
+                // that still parses; the protocol's recovery story is an
+                // explicit re-baseline, so every faulted subscriber ends
+                // with one.
+                if hit {
+                    client.resume().expect("post-soak re-baseline");
+                    loop {
+                        match client.next_push().expect("re-baseline push") {
+                            p @ Push::Snapshot { .. } => {
+                                apply_push(&mut mirror, &p);
+                                break;
+                            }
+                            p => {
+                                apply_push(&mut mirror, &p);
+                            }
+                        }
+                    }
+                }
+                (
+                    client.reconnects(),
+                    pushes,
+                    mirror.remove(&q).unwrap_or_default(),
+                )
+            })
+        })
+        .collect();
+
+    // Ingest (session N+1 — outside the default plan) streams the soak,
+    // then a sentinel cycle of max-score tuples so every query's result
+    // changes on the final tick.
+    let mut ingest = ServiceClient::connect(addr).expect("ingest connect");
+    let mut gen = PointGen::new(args.dims, DataDist::Ind, args.seed ^ 42).expect("gen");
+    let mut batches: Vec<Vec<f64>> = Vec::with_capacity(data_ticks + 1);
+    for _ in 0..data_ticks {
+        let mut batch = Vec::with_capacity(args.rate * args.dims);
+        for _ in 0..args.rate {
+            batch.extend(gen.point());
+        }
+        batches.push(batch);
+    }
+    batches.push(vec![1.0; args.k * args.dims]); // sentinel
+    let started = Instant::now();
+    for batch in &batches {
+        ingest.tick(batch).expect("tick");
+        oracle.tick(batch).expect("oracle tick");
+    }
+    let soak_elapsed = started.elapsed();
+
+    let mut reconnects = 0u64;
+    let mut pushes = 0usize;
+    let mut all_ok = true;
+    for (c, handle) in subs.into_iter().enumerate() {
+        let (reconn, applied, mirror) = handle.join().expect("subscriber thread");
+        reconnects += reconn;
+        pushes += applied;
+        let expected = oracle.result(query_ids[c]).expect("oracle result");
+        if mirror != expected {
+            eprintln!("subscriber {c}: reconstruction != in-process oracle after chaos");
+            all_ok = false;
+        }
+    }
+
+    // Server-side truth must match the oracle too.
+    for (c, q) in query_ids.iter().enumerate() {
+        let (_, wire) = control.snapshot(*q).expect("verify snapshot");
+        let expected = oracle.result(*q).expect("oracle result");
+        if wire != expected {
+            eprintln!("query {c}: server snapshot != in-process oracle after chaos");
+            all_ok = false;
+        }
+    }
+
+    let stats = control.stats().expect("stats");
+    let stat = |k: &str| stats.get(k).map(String::as_str).unwrap_or("0").to_string();
+    let injected: u64 = stat("faults").parse().unwrap_or(0);
+    if injected == 0 {
+        eprintln!("chaos plan never fired (faults=0)");
+        all_ok = false;
+    }
+    if faulted > 0 && reconnects == 0 {
+        eprintln!("no subscriber ever reconnected under {faulted} faulted sessions");
+        all_ok = false;
+    }
+    let _ = ingest.quit();
+    let _ = control.quit();
+    service.shutdown();
+
+    if args.json {
+        println!(
+            "{{\"mode\":\"chaos\",\"engine\":\"{}\",\"dims\":{},\"window\":{},\"clients\":{},\
+             \"faulted\":{},\"seed\":{},\"ticks\":{},\"pushes\":{},\"reconnects\":{},\
+             \"resyncs\":{},\"reaped\":{},\"shed\":{},\"faults\":{},\"ok\":{}}}",
+            stat("engine"),
+            args.dims,
+            args.window,
+            args.clients,
+            faulted,
+            args.seed,
+            data_ticks + 1,
+            pushes,
+            reconnects,
+            stat("resyncs"),
+            stat("reaped"),
+            stat("shed"),
+            injected,
+            all_ok
+        );
+    } else {
+        println!("== serve chaos soak ==");
+        println!(
+            "   {} clients ({faulted} faulted) × top-{} over {} engine, window {} (d={})",
+            args.clients,
+            args.k,
+            stat("engine"),
+            args.window,
+            args.dims
+        );
+        println!("   plan: {dsl}  (seed {})", args.seed);
+        println!(
+            "   {} ticks in {:.3}s — {pushes} pushes applied, {reconnects} reconnects, \
+             {} resyncs, {injected} faults injected",
+            data_ticks + 1,
+            soak_elapsed.as_secs_f64(),
+            stat("resyncs"),
+        );
+        println!(
+            "   verification: {}",
             if all_ok { "oracle-identical" } else { "FAILED" }
         );
     }

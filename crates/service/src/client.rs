@@ -6,12 +6,23 @@
 //! [`ServiceClient::next_push`]). [`apply_push`] maintains a client-side
 //! mirror of subscribed results from the push stream — the reconstruction
 //! path the integration tests pin against the engine oracle.
+//!
+//! With a [`ReconnectPolicy`] attached, the client is *self-healing*: a
+//! dead or garbled connection is re-dialed with exponential backoff and
+//! jitter, every remembered subscription is re-`SUBSCRIBE`d, and the
+//! mirror is re-baselined through the same `RESYNC`-then-`SNAPSHOT`
+//! machinery the server uses for slow consumers — a consumer of
+//! [`ServiceClient::next_push`] + [`apply_push`] converges back to the
+//! oracle without any extra code. [`ClientStatus`] events surface the
+//! `Degraded`/`Recovered` transitions.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
+use crate::fault::splitmix64;
 use crate::protocol::{parse_server_line, Family, Push, Reply, Request, ServerLine, WireWindow};
 use tkm_common::{QueryId, Scored, Timestamp};
 
@@ -53,12 +64,73 @@ impl From<std::io::Error> for ClientError {
 /// Convenience alias for client results.
 pub type ClientResult<T> = std::result::Result<T, ClientError>;
 
+/// Reconnect behavior of a self-healing [`ServiceClient`].
+///
+/// Attempt `n` (1-based) sleeps `min(base·factorⁿ⁻¹, max)` scaled by a
+/// seeded jitter factor in `[0.5, 1.0]` before re-dialing, so a fleet of
+/// clients dropped by the same fault does not reconnect in lockstep.
+#[derive(Clone, Debug)]
+pub struct ReconnectPolicy {
+    /// First-attempt backoff.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+    /// Exponential growth factor per failed attempt.
+    pub factor: f64,
+    /// Attempts before [`ServiceClient::resume`] gives up.
+    pub retries: u32,
+    /// Jitter seed (deterministic per client).
+    pub seed: u64,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> ReconnectPolicy {
+        ReconnectPolicy {
+            base: Duration::from_millis(20),
+            max: Duration::from_secs(2),
+            factor: 2.0,
+            retries: 16,
+            seed: 0x6A77,
+        }
+    }
+}
+
+/// A connection-health transition surfaced by a self-healing client
+/// (drained with [`ServiceClient::take_status`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientStatus {
+    /// The connection died; reconnect attempt `attempt` is starting.
+    Degraded {
+        /// 1-based attempt counter within one [`ServiceClient::resume`].
+        attempt: u32,
+    },
+    /// A reconnect succeeded and the session was resumed.
+    Recovered {
+        /// Subscriptions re-established (and re-baselined).
+        resubscribed: usize,
+        /// Attempts the recovery took.
+        attempts: u32,
+    },
+}
+
 /// A blocking connection to a [`Service`](crate::Service).
 pub struct ServiceClient {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
     /// Pushes received while waiting for a reply, in arrival order.
     pending: VecDeque<Push>,
+    /// The endpoint we dialed (needed to re-dial).
+    addr: Option<SocketAddr>,
+    /// Self-healing configuration; `None` = fail fast (the default).
+    policy: Option<ReconnectPolicy>,
+    /// Live subscriptions, remembered for session resume.
+    subs: Vec<QueryId>,
+    /// Degraded/Recovered transitions not yet drained by the caller.
+    statuses: VecDeque<ClientStatus>,
+    /// Successful session resumes over this client's lifetime.
+    reconnects: u64,
+    /// Jitter state.
+    rng: u64,
 }
 
 impl ServiceClient {
@@ -66,11 +138,147 @@ impl ServiceClient {
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<ServiceClient> {
         let stream = TcpStream::connect(addr)?;
         let read_half = stream.try_clone()?;
+        let addr = stream.peer_addr().ok();
         Ok(ServiceClient {
             writer: stream,
             reader: BufReader::new(read_half),
             pending: VecDeque::new(),
+            addr,
+            policy: None,
+            subs: Vec::new(),
+            statuses: VecDeque::new(),
+            reconnects: 0,
+            rng: 0,
         })
+    }
+
+    /// Makes the client self-healing: on transport or framing failure,
+    /// [`ServiceClient::next_push`] (and explicit [`ServiceClient::resume`]
+    /// calls) reconnect under `policy` and resume the session.
+    pub fn with_reconnect(mut self, policy: ReconnectPolicy) -> ServiceClient {
+        self.rng = policy.seed;
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Next unread connection-health transition, if any.
+    pub fn take_status(&mut self) -> Option<ClientStatus> {
+        self.statuses.pop_front()
+    }
+
+    /// Successful session resumes over this client's lifetime.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Tears the current connection down, re-dials under the reconnect
+    /// policy (exponential backoff + jitter), re-`SUBSCRIBE`s every
+    /// remembered subscription, and re-baselines the push stream: a
+    /// synthetic `RESYNC` marker followed by the fresh baseline
+    /// `SNAPSHOT`s lands in the pending-push buffer, so an
+    /// [`apply_push`]-driven mirror self-corrects exactly as it does for
+    /// a server-side resync.
+    ///
+    /// Intermediate pushes sent while the connection was down are lost —
+    /// that is what the re-baseline repairs. Fails only once `retries`
+    /// attempts are exhausted (or no policy/endpoint is configured).
+    pub fn resume(&mut self) -> ClientResult<()> {
+        let Some(policy) = self.policy.clone() else {
+            return Err(ClientError::Protocol(
+                "no reconnect policy configured".into(),
+            ));
+        };
+        let Some(addr) = self.addr else {
+            return Err(ClientError::Protocol(
+                "peer address unknown; cannot reconnect".into(),
+            ));
+        };
+        // The old socket is dead or poisoned either way; make it
+        // unambiguous so a half-working connection cannot interleave.
+        let _ = self.writer.shutdown(std::net::Shutdown::Both);
+        let mut backoff = policy.base;
+        for attempt in 1..=policy.retries.max(1) {
+            self.statuses.push_back(ClientStatus::Degraded { attempt });
+            // Jitter in [0.5, 1.0]: never sleeps longer than the nominal
+            // backoff, never less than half of it.
+            let unit = (splitmix64(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64;
+            std::thread::sleep(backoff.mul_f64(0.5 + 0.5 * unit));
+            backoff = Duration::from_secs_f64(
+                (backoff.as_secs_f64() * policy.factor).min(policy.max.as_secs_f64()),
+            );
+            let Ok(stream) = TcpStream::connect(addr) else {
+                continue;
+            };
+            let Ok(read_half) = stream.try_clone() else {
+                continue;
+            };
+            self.writer = stream;
+            self.reader = BufReader::new(read_half);
+            // Stale pushes from the dead connection must not survive into
+            // the resumed stream; the baselines below replace them.
+            self.pending.clear();
+            match self.resubscribe_all() {
+                Ok(resubscribed) => {
+                    self.reconnects += 1;
+                    self.statuses.push_back(ClientStatus::Recovered {
+                        resubscribed,
+                        attempts: attempt,
+                    });
+                    return Ok(());
+                }
+                // The fresh connection died during resume (or the server
+                // is still coming up): keep backing off.
+                Err(ClientError::Io(_) | ClientError::Protocol(_)) => continue,
+                Err(e @ ClientError::Server { .. }) => return Err(e),
+            }
+        }
+        Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            format!("reconnect gave up after {} attempts", policy.retries.max(1)),
+        )))
+    }
+
+    /// Re-`SUBSCRIBE`s every remembered subscription on a fresh
+    /// connection. The server enqueues each baseline `SNAPSHOT` before
+    /// its `OK`, so the baselines accumulate in the pending-push buffer
+    /// in subscription order; a `RESYNC` marker is prepended so consumers
+    /// can tell intermediate states were lost. Subscriptions whose query
+    /// vanished while we were away are dropped from the resume set.
+    fn resubscribe_all(&mut self) -> ClientResult<usize> {
+        self.pending.push_back(Push::Resync {
+            count: self.subs.len(),
+        });
+        let mut kept = Vec::new();
+        for q in self.subs.clone() {
+            self.send(&Request::Subscribe(q))?;
+            match self.wait_reply()? {
+                Reply::OkQuery(_) => kept.push(q),
+                Reply::Err { .. } => continue,
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected reply shape: {other}"
+                    )))
+                }
+            }
+        }
+        let resubscribed = kept.len();
+        self.subs = kept;
+        Ok(resubscribed)
+    }
+
+    /// Runs one closure, healing the connection and retrying once if it
+    /// fails on transport/framing while a reconnect policy is attached.
+    fn heal<T>(
+        &mut self,
+        mut op: impl FnMut(&mut ServiceClient) -> ClientResult<T>,
+    ) -> ClientResult<T> {
+        match op(self) {
+            Err(ClientError::Io(_) | ClientError::Protocol(_)) if self.policy.is_some() => {
+                self.resume()?;
+                op(self)
+            }
+            other => other,
+        }
     }
 
     /// Sends a raw request line (terminator added here).
@@ -100,15 +308,30 @@ impl ServiceClient {
     }
 
     /// Returns the next push, blocking on the socket if none is buffered.
+    ///
+    /// On a self-healing client (see [`ServiceClient::with_reconnect`]) a
+    /// transport or framing failure here — a reset connection, a garbled
+    /// line — triggers [`ServiceClient::resume`]; the caller then simply
+    /// receives the synthetic `RESYNC` and baseline `SNAPSHOT` pushes of
+    /// the resumed session.
     pub fn next_push(&mut self) -> ClientResult<Push> {
-        if let Some(p) = self.pending.pop_front() {
-            return Ok(p);
-        }
-        match self.read_line()? {
-            ServerLine::Push(p) => Ok(p),
-            ServerLine::Reply(r) => Err(ClientError::Protocol(format!(
-                "unsolicited reply while reading pushes: {r}"
-            ))),
+        loop {
+            if let Some(p) = self.pending.pop_front() {
+                return Ok(p);
+            }
+            match self.read_line() {
+                Ok(ServerLine::Push(p)) => return Ok(p),
+                Ok(ServerLine::Reply(r)) => {
+                    return Err(ClientError::Protocol(format!(
+                        "unsolicited reply while reading pushes: {r}"
+                    )))
+                }
+                Err(ClientError::Io(_) | ClientError::Protocol(_)) if self.policy.is_some() => {
+                    // The resume seeds `pending`; loop around to drain it.
+                    self.resume()?;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -165,6 +388,9 @@ impl ServiceClient {
     pub fn subscribe(&mut self, q: QueryId) -> ClientResult<Vec<Scored>> {
         self.send(&Request::Subscribe(q))?;
         self.expect_query()?;
+        if !self.subs.contains(&q) {
+            self.subs.push(q);
+        }
         // rposition: the baseline is the *last* snapshot enqueued before
         // the reply (earlier buffered snapshots for `q` can exist after an
         // unsubscribe/resubscribe cycle).
@@ -182,17 +408,33 @@ impl ServiceClient {
 
     /// Stops a subscription (idempotent).
     pub fn unsubscribe(&mut self, q: QueryId) -> ClientResult<()> {
+        self.subs.retain(|s| *s != q);
         self.send(&Request::Unsubscribe(q))?;
         self.expect_query().map(drop)
     }
 
-    /// One-shot result read.
+    /// One-shot result read. Idempotent, so a self-healing client retries
+    /// it once across a resume.
     pub fn snapshot(&mut self, q: QueryId) -> ClientResult<(Timestamp, Vec<Scored>)> {
-        self.send(&Request::Snapshot(q))?;
-        match self.wait_reply()? {
-            Reply::OkSnapshot { query, at, entries } if query == q => Ok((at, entries)),
-            other => fail(other),
-        }
+        self.heal(|c| {
+            c.send(&Request::Snapshot(q))?;
+            match c.wait_reply()? {
+                Reply::OkSnapshot { query, at, entries } if query == q => Ok((at, entries)),
+                other => fail(other),
+            }
+        })
+    }
+
+    /// Heartbeat round-trip. Idempotent, so a self-healing client retries
+    /// it once across a resume.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        self.heal(|c| {
+            c.send(&Request::Ping)?;
+            match c.wait_reply()? {
+                Reply::OkPong => Ok(()),
+                other => fail(other),
+            }
+        })
     }
 
     /// Queues a batch of arrivals (and, under manual ticking, runs the
@@ -219,13 +461,16 @@ impl ServiceClient {
         }
     }
 
-    /// Server counters as a key → value map.
+    /// Server counters as a key → value map. Idempotent, so a
+    /// self-healing client retries it once across a resume.
     pub fn stats(&mut self) -> ClientResult<BTreeMap<String, String>> {
-        self.send(&Request::Stats)?;
-        match self.wait_reply()? {
-            Reply::OkStats(pairs) => Ok(pairs.into_iter().collect()),
-            other => fail(other),
-        }
+        self.heal(|c| {
+            c.send(&Request::Stats)?;
+            match c.wait_reply()? {
+                Reply::OkStats(pairs) => Ok(pairs.into_iter().collect()),
+                other => fail(other),
+            }
+        })
     }
 
     /// Says goodbye and consumes the connection.

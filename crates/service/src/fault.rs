@@ -1,0 +1,670 @@
+//! Deterministic fault injection over the session transport.
+//!
+//! The serving layer's sessions read and write through the [`Transport`]
+//! trait-object seam instead of assuming [`TcpStream`], so a test or the
+//! chaos benchmark can interpose a [`FaultyStream`]: a wrapper that
+//! injects, from a seeded schedule, read/write stalls, abrupt resets,
+//! partial writes, byte garbling, and mid-line truncation.
+//!
+//! Faults are scripted by a [`FaultPlan`] — a list of [`FaultRule`]s keyed
+//! on the connection's I/O-operation counter (the only clock visible at
+//! the transport layer), each firing once or periodically. Plans are built
+//! programmatically or parsed from a compact DSL:
+//!
+//! ```text
+//! reset@40                 kill the connection at its 40th I/O op
+//! stall-write@10+10:200    from op 10, every 10 ops, stall a write 200ms
+//! garble@25+40             from op 25, every 40 ops, flip one outbound byte
+//! ```
+//!
+//! A [`FaultSchedule`] assigns one plan per accepted-connection index
+//! ("kill subscriber 3 at op 40") and is handed to the service via
+//! [`ServiceConfig::with_faults`](crate::ServiceConfig::with_faults); the
+//! schedule and every stochastic choice inside it (garble positions) are
+//! fully determined by the configured seed.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// The I/O seam the session layer runs on.
+///
+/// Implemented by [`TcpStream`] (the production transport) and by
+/// [`FaultyStream`] (any transport wrapped in a fault schedule). Reader
+/// and writer threads each own one boxed half; both halves of one
+/// connection must agree on [`Transport::shutdown_both`] so either side
+/// can poison the whole session.
+pub trait Transport: Read + Write + Send {
+    /// Best-effort shutdown of both directions; unblocks the peer half.
+    fn shutdown_both(&self);
+    /// Bounds how long one read may block (None = forever).
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()>;
+    /// Bounds how long one write may block (None = forever).
+    fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()>;
+}
+
+impl Transport for TcpStream {
+    fn shutdown_both(&self) {
+        let _ = TcpStream::shutdown(self, Shutdown::Both);
+    }
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, t)
+    }
+    fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, t)
+    }
+}
+
+/// SplitMix64: the deterministic generator behind garble positions and
+/// client backoff jitter (kept dependency-free on purpose).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One injectable fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Sleep this many milliseconds before the next read proceeds.
+    StallRead(u64),
+    /// Sleep this many milliseconds before the next write proceeds.
+    StallWrite(u64),
+    /// Abruptly shut the connection down; all subsequent I/O fails with
+    /// `ConnectionReset`.
+    Reset,
+    /// XOR-flip one byte (seeded position) of the next outbound chunk.
+    Garble,
+    /// Write only the first half of the next outbound chunk, then reset —
+    /// the peer observes a line cut mid-token.
+    Truncate,
+    /// Accept only the first half of the next outbound chunk (a short
+    /// write); the rest arrives through the caller's retry loop.
+    Partial,
+}
+
+impl FaultKind {
+    /// Whether the fault fires on read ops, write ops, or both.
+    fn applies(self, write_op: bool) -> bool {
+        match self {
+            FaultKind::StallRead(_) => !write_op,
+            FaultKind::StallWrite(_)
+            | FaultKind::Garble
+            | FaultKind::Truncate
+            | FaultKind::Partial => write_op,
+            FaultKind::Reset => true,
+        }
+    }
+}
+
+/// A fault keyed on the connection's I/O-operation counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultRule {
+    /// What to inject.
+    pub kind: FaultKind,
+    /// First operation index (1-based, reads + writes combined) at which
+    /// the rule fires.
+    pub at: u64,
+    /// Recurrence period in operations; `0` fires exactly once.
+    pub every: u64,
+}
+
+impl FaultRule {
+    /// Whether this rule fires at operation `op` of the given direction.
+    fn fires(&self, op: u64, write_op: bool) -> bool {
+        self.kind.applies(write_op)
+            && op >= self.at
+            && if self.every == 0 {
+                op == self.at
+            } else {
+                (op - self.at).is_multiple_of(self.every)
+            }
+    }
+}
+
+/// A scripted sequence of faults for one connection.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The rules, all consulted at every operation.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Adds one rule (builder style).
+    pub fn with(mut self, kind: FaultKind, at: u64, every: u64) -> FaultPlan {
+        self.rules.push(FaultRule { kind, at, every });
+        self
+    }
+
+    /// Parses the plan DSL: whitespace/`;`-separated rules of the form
+    /// `kind@at[+every][:ms]`, e.g. `reset@40`,
+    /// `stall-write@10+10:200`, `garble@25+40`. Kinds: `stall-read` /
+    /// `stall-write` (require `:ms`), `reset`, `garble`, `truncate`,
+    /// `partial`.
+    pub fn parse(dsl: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for tok in dsl.split([';', ' ', '\t', '\n']).filter(|t| !t.is_empty()) {
+            let (kind, sched) = tok
+                .split_once('@')
+                .ok_or_else(|| format!("fault rules are kind@at[+every][:ms], got `{tok}`"))?;
+            let (sched, ms) = match sched.split_once(':') {
+                Some((s, ms)) => {
+                    let ms: u64 = ms.parse().map_err(|_| format!("bad stall ms in `{tok}`"))?;
+                    (s, Some(ms))
+                }
+                None => (sched, None),
+            };
+            let (at, every) = match sched.split_once('+') {
+                Some((at, every)) => (
+                    at.parse().map_err(|_| format!("bad op index in `{tok}`"))?,
+                    every
+                        .parse()
+                        .map_err(|_| format!("bad recurrence in `{tok}`"))?,
+                ),
+                None => (
+                    sched
+                        .parse()
+                        .map_err(|_| format!("bad op index in `{tok}`"))?,
+                    0,
+                ),
+            };
+            let kind = match (kind, ms) {
+                ("stall-read", Some(ms)) => FaultKind::StallRead(ms),
+                ("stall-write", Some(ms)) => FaultKind::StallWrite(ms),
+                ("stall-read" | "stall-write", None) => {
+                    return Err(format!(
+                        "`{tok}` needs a stall duration, e.g. `{kind}@{sched}:100`"
+                    ))
+                }
+                ("reset", None) => FaultKind::Reset,
+                ("garble", None) => FaultKind::Garble,
+                ("truncate", None) => FaultKind::Truncate,
+                ("partial", None) => FaultKind::Partial,
+                _ => return Err(format!("unknown fault kind in `{tok}`")),
+            };
+            plan.rules.push(FaultRule { kind, at, every });
+        }
+        Ok(plan)
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                f.write_str(";")?;
+            }
+            let (name, ms) = match r.kind {
+                FaultKind::StallRead(ms) => ("stall-read", Some(ms)),
+                FaultKind::StallWrite(ms) => ("stall-write", Some(ms)),
+                FaultKind::Reset => ("reset", None),
+                FaultKind::Garble => ("garble", None),
+                FaultKind::Truncate => ("truncate", None),
+                FaultKind::Partial => ("partial", None),
+            };
+            write!(f, "{name}@{}", r.at)?;
+            if r.every > 0 {
+                write!(f, "+{}", r.every)?;
+            }
+            if let Some(ms) = ms {
+                write!(f, ":{ms}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Assigns a [`FaultPlan`] to each accepted-connection index.
+///
+/// Connection indices are the service's session ids: the nth accepted
+/// connection (0-based) matches an entry with that index, else the
+/// fallback (if any), else runs fault-free. Given the same seed and the
+/// same connection order the injected schedule is identical run to run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    entries: Vec<(u64, FaultPlan)>,
+    fallback: Option<FaultPlan>,
+    /// Seed for every stochastic choice inside the injected faults.
+    pub seed: u64,
+}
+
+impl FaultSchedule {
+    /// An empty schedule with the given seed.
+    pub fn new(seed: u64) -> FaultSchedule {
+        FaultSchedule {
+            entries: Vec::new(),
+            fallback: None,
+            seed,
+        }
+    }
+
+    /// Assigns `plan` to connection index `conn` (builder style).
+    pub fn with_plan(mut self, conn: u64, plan: FaultPlan) -> FaultSchedule {
+        self.entries.push((conn, plan));
+        self
+    }
+
+    /// Assigns `plan` to every connection without an explicit entry.
+    pub fn with_fallback(mut self, plan: FaultPlan) -> FaultSchedule {
+        self.fallback = Some(plan);
+        self
+    }
+
+    /// Parses a schedule: `|`-separated `conn=plan` entries where `conn`
+    /// is a connection index or `*` (the fallback), and `plan` is the
+    /// [`FaultPlan::parse`] DSL. Example:
+    /// `2=reset@40|5=garble@60+30|*=stall-write@50+100:80`.
+    pub fn parse(dsl: &str, seed: u64) -> Result<FaultSchedule, String> {
+        let mut sched = FaultSchedule::new(seed);
+        for entry in dsl.split('|').filter(|e| !e.trim().is_empty()) {
+            let (conn, plan) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("schedule entries are conn=plan, got `{entry}`"))?;
+            let plan = FaultPlan::parse(plan)?;
+            if conn.trim() == "*" {
+                sched.fallback = Some(plan);
+            } else {
+                let idx: u64 = conn
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad connection index `{conn}`"))?;
+                sched.entries.push((idx, plan));
+            }
+        }
+        Ok(sched)
+    }
+
+    /// The plan for connection index `conn`, if any.
+    pub fn plan_for(&self, conn: u64) -> Option<&FaultPlan> {
+        self.entries
+            .iter()
+            .find(|(c, _)| *c == conn)
+            .map(|(_, p)| p)
+            .or(self.fallback.as_ref())
+    }
+}
+
+/// Shared mutable state of one faulted connection (both halves).
+struct FaultState {
+    plan: FaultPlan,
+    /// 1-based count of I/O operations so far (reads + writes).
+    ops: u64,
+    /// SplitMix64 state for garble positions/masks.
+    rng: u64,
+    /// A `Reset`/`Truncate` fired: all subsequent I/O fails.
+    dead: bool,
+}
+
+/// What the wrapper does to the current operation.
+enum Injected {
+    None,
+    Stall(Duration),
+    Reset,
+    /// Garble: flip the byte at `pos % len` with `mask`.
+    Garble {
+        pos: u64,
+        mask: u8,
+    },
+    Truncate,
+    Partial,
+}
+
+/// A [`Transport`] wrapped in a seeded [`FaultPlan`].
+///
+/// Both halves of a connection share one operation counter and one
+/// liveness flag, so a `Reset` injected on either half kills both.
+pub struct FaultyStream<T: Transport> {
+    inner: T,
+    state: Arc<Mutex<FaultState>>,
+    /// Global injected-fault tally (service metrics), if any.
+    tally: Option<Arc<AtomicU64>>,
+}
+
+impl<T: Transport> FaultyStream<T> {
+    /// Wraps the two halves of one connection in a shared fault plan.
+    pub fn pair(
+        read_half: T,
+        write_half: T,
+        plan: FaultPlan,
+        seed: u64,
+        tally: Option<Arc<AtomicU64>>,
+    ) -> (FaultyStream<T>, FaultyStream<T>) {
+        let state = Arc::new(Mutex::new(FaultState {
+            plan,
+            ops: 0,
+            rng: seed,
+            dead: false,
+        }));
+        (
+            FaultyStream {
+                inner: read_half,
+                state: Arc::clone(&state),
+                tally: tally.clone(),
+            },
+            FaultyStream {
+                inner: write_half,
+                state,
+                tally,
+            },
+        )
+    }
+
+    /// Wraps a single half (client-side tests) in its own plan.
+    pub fn wrap(inner: T, plan: FaultPlan, seed: u64) -> FaultyStream<T> {
+        FaultyStream {
+            inner,
+            state: Arc::new(Mutex::new(FaultState {
+                plan,
+                ops: 0,
+                rng: seed,
+                dead: false,
+            })),
+            tally: None,
+        }
+    }
+
+    /// Locks the shared state, recovering from poisoning (a panicking
+    /// holder cannot corrupt the plain counters inside).
+    fn lock(&self) -> MutexGuard<'_, FaultState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Advances the op counter and decides what to inject for this op.
+    fn decide(&self, write_op: bool) -> Injected {
+        let mut st = self.lock();
+        if st.dead {
+            return Injected::Reset;
+        }
+        st.ops += 1;
+        let op = st.ops;
+        let Some(rule) = st.plan.rules.iter().find(|r| r.fires(op, write_op)) else {
+            return Injected::None;
+        };
+        let kind = rule.kind;
+        let injected = match kind {
+            FaultKind::StallRead(ms) | FaultKind::StallWrite(ms) => {
+                Injected::Stall(Duration::from_millis(ms))
+            }
+            FaultKind::Reset => {
+                st.dead = true;
+                Injected::Reset
+            }
+            FaultKind::Garble => {
+                let word = splitmix64(&mut st.rng);
+                Injected::Garble {
+                    pos: word >> 8,
+                    // Never a zero mask: the flip must be visible.
+                    mask: (word as u8) | 1,
+                }
+            }
+            FaultKind::Truncate => {
+                st.dead = true;
+                Injected::Truncate
+            }
+            FaultKind::Partial => Injected::Partial,
+        };
+        if let Some(tally) = &self.tally {
+            tally.fetch_add(1, Ordering::Relaxed);
+        }
+        injected
+    }
+
+    fn reset_err() -> io::Error {
+        io::Error::new(io::ErrorKind::ConnectionReset, "injected connection reset")
+    }
+}
+
+impl<T: Transport> Read for FaultyStream<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.decide(false) {
+            Injected::None | Injected::Garble { .. } | Injected::Truncate | Injected::Partial => {
+                self.inner.read(buf)
+            }
+            Injected::Stall(d) => {
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            Injected::Reset => {
+                self.inner.shutdown_both();
+                Err(Self::reset_err())
+            }
+        }
+    }
+}
+
+impl<T: Transport> Write for FaultyStream<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self.decide(true) {
+            Injected::None => self.inner.write(buf),
+            Injected::Stall(d) => {
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            Injected::Reset => {
+                self.inner.shutdown_both();
+                Err(Self::reset_err())
+            }
+            Injected::Garble { pos, mask } => {
+                if buf.is_empty() {
+                    return self.inner.write(buf);
+                }
+                let mut garbled = buf.to_vec();
+                let idx = (pos % garbled.len() as u64) as usize;
+                garbled[idx] ^= mask;
+                self.inner.write_all(&garbled)?;
+                Ok(buf.len())
+            }
+            Injected::Truncate => {
+                let half = buf.len() / 2;
+                let _ = self.inner.write(&buf[..half]);
+                let _ = self.inner.flush();
+                self.inner.shutdown_both();
+                Err(Self::reset_err())
+            }
+            Injected::Partial => {
+                let n = buf.len().div_ceil(2).max(1).min(buf.len());
+                if n == 0 {
+                    return self.inner.write(buf);
+                }
+                self.inner.write(&buf[..n])
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.lock().dead {
+            return Err(Self::reset_err());
+        }
+        self.inner.flush()
+    }
+}
+
+impl<T: Transport> Transport for FaultyStream<T> {
+    fn shutdown_both(&self) {
+        self.inner.shutdown_both();
+    }
+    fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(t)
+    }
+    fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_dsl_round_trips() {
+        let plan = FaultPlan::new()
+            .with(FaultKind::Reset, 40, 0)
+            .with(FaultKind::StallWrite(200), 10, 10)
+            .with(FaultKind::Garble, 25, 40)
+            .with(FaultKind::StallRead(5), 3, 0)
+            .with(FaultKind::Truncate, 99, 0)
+            .with(FaultKind::Partial, 7, 2);
+        let text = plan.to_string();
+        assert_eq!(FaultPlan::parse(&text), Ok(plan), "dsl: {text}");
+    }
+
+    #[test]
+    fn plan_dsl_rejects_malformed() {
+        for bad in [
+            "reset",
+            "reset@x",
+            "stall-read@5",
+            "stall-write@5+2",
+            "frob@1",
+            "garble@1:20",
+            "reset@1+x",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "should reject `{bad}`");
+        }
+    }
+
+    #[test]
+    fn schedule_assignment_and_fallback() {
+        let sched = FaultSchedule::parse("2=reset@40|*=garble@60+30", 7).expect("parse");
+        assert_eq!(
+            sched.plan_for(2),
+            Some(&FaultPlan::new().with(FaultKind::Reset, 40, 0))
+        );
+        assert_eq!(
+            sched.plan_for(9),
+            Some(&FaultPlan::new().with(FaultKind::Garble, 60, 30))
+        );
+        let explicit = FaultSchedule::new(1).with_plan(0, FaultPlan::new());
+        assert_eq!(explicit.plan_for(1), None, "no fallback configured");
+    }
+
+    #[test]
+    fn rules_fire_deterministically() {
+        let once = FaultRule {
+            kind: FaultKind::Reset,
+            at: 4,
+            every: 0,
+        };
+        assert!(!once.fires(3, true));
+        assert!(once.fires(4, false));
+        assert!(!once.fires(5, true));
+        let periodic = FaultRule {
+            kind: FaultKind::Garble,
+            at: 10,
+            every: 5,
+        };
+        assert!(periodic.fires(10, true));
+        assert!(!periodic.fires(12, true));
+        assert!(periodic.fires(20, true));
+        assert!(!periodic.fires(20, false), "garble is write-only");
+    }
+
+    /// In-memory transport: writes land in a shared buffer, reads yield
+    /// nothing (enough to unit-test the write-side injections).
+    struct Sink {
+        data: Arc<Mutex<Vec<u8>>>,
+        down: Arc<AtomicU64>,
+    }
+
+    impl Read for Sink {
+        fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+            Ok(0)
+        }
+    }
+    impl Write for Sink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.data
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    impl Transport for Sink {
+        fn shutdown_both(&self) {
+            self.down.fetch_add(1, Ordering::Relaxed);
+        }
+        fn set_read_timeout(&self, _t: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+        fn set_write_timeout(&self, _t: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn garble_flips_exactly_one_byte() {
+        let data = Arc::new(Mutex::new(Vec::new()));
+        let down = Arc::new(AtomicU64::new(0));
+        let sink = Sink {
+            data: Arc::clone(&data),
+            down,
+        };
+        let plan = FaultPlan::new().with(FaultKind::Garble, 2, 0);
+        let mut s = FaultyStream::wrap(sink, plan, 42);
+        s.write_all(b"AAAA").expect("clean write");
+        s.write_all(b"BBBB").expect("garbled write");
+        let got = data.lock().unwrap().clone();
+        assert_eq!(&got[..4], b"AAAA");
+        let flipped: Vec<usize> = (0..4).filter(|&i| got[4 + i] != b'B').collect();
+        assert_eq!(flipped.len(), 1, "exactly one byte flipped: {got:?}");
+    }
+
+    #[test]
+    fn reset_kills_both_halves() {
+        let data = Arc::new(Mutex::new(Vec::new()));
+        let down = Arc::new(AtomicU64::new(0));
+        let mk = |d: &Arc<Mutex<Vec<u8>>>, s: &Arc<AtomicU64>| Sink {
+            data: Arc::clone(d),
+            down: Arc::clone(s),
+        };
+        let plan = FaultPlan::new().with(FaultKind::Reset, 2, 0);
+        let (mut r, mut w) = FaultyStream::pair(mk(&data, &down), mk(&data, &down), plan, 1, None);
+        w.write_all(b"ok").expect("op 1 clean");
+        assert!(w.write_all(b"boom").is_err(), "op 2 resets");
+        assert_eq!(down.load(Ordering::Relaxed), 1, "socket shut down");
+        let mut buf = [0u8; 4];
+        assert!(r.read(&mut buf).is_err(), "reader half is dead too");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        // Same plan + seed => identical garble decisions (byte positions
+        // and masks) across runs.
+        let run = || {
+            let data = Arc::new(Mutex::new(Vec::new()));
+            let down = Arc::new(AtomicU64::new(0));
+            let sink = Sink {
+                data: Arc::clone(&data),
+                down,
+            };
+            let plan = FaultPlan::new().with(FaultKind::Garble, 1, 1);
+            let mut s = FaultyStream::wrap(sink, plan, 0xC4A05);
+            for _ in 0..8 {
+                s.write_all(b"0123456789").expect("write");
+            }
+            let bytes = data.lock().unwrap().clone();
+            bytes
+        };
+        assert_eq!(run(), run());
+    }
+}

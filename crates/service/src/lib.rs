@@ -26,7 +26,17 @@
 //!   query;
 //! * [`client`] — a small blocking client used by the integration tests,
 //!   the loopback benchmark (`cargo run -p tkm_bench --bin serve`) and the
-//!   README walkthrough.
+//!   README walkthrough, with optional reconnect/backoff/resume
+//!   resilience ([`ReconnectPolicy`]);
+//! * [`fault`] — the [`Transport`] seam plus a deterministic
+//!   fault-injection layer ([`FaultyStream`], [`FaultPlan`]) that the
+//!   chaos tests and `serve --chaos` script seeded stalls, resets, and
+//!   garbling through.
+//!
+//! The failure model (idle reaping, write deadlines, `PING`/`PONG`
+//! heartbeats, `ERR busy` overload shedding, client backoff) is
+//! documented in the README's *Failure model* section and in
+//! `docs/ARCHITECTURE.md`.
 //!
 //! The deployment shape follows the pub/sub framing of the related work
 //! (see `PAPERS.md`): many standing subscriptions over one shared stream,
@@ -57,11 +67,15 @@
 //! ```
 
 pub mod client;
+pub mod fault;
 pub mod protocol;
 pub mod service;
 pub mod session;
 
-pub use client::{apply_push, ClientError, ClientResult, ServiceClient};
+pub use client::{
+    apply_push, ClientError, ClientResult, ClientStatus, ReconnectPolicy, ServiceClient,
+};
+pub use fault::{FaultKind, FaultPlan, FaultRule, FaultSchedule, FaultyStream, Transport};
 pub use protocol::{
     parse_request, parse_server_line, ErrCode, Family, Push, Reply, Request, ServerLine, WireWindow,
 };

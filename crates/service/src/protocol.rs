@@ -5,7 +5,7 @@
 //!
 //! * **requests** (client → server): [`Request`] — `REGISTER`,
 //!   `UNREGISTER`, `SUBSCRIBE`, `UNSUBSCRIBE`, `SNAPSHOT`, `TICK`,
-//!   `TICKAT`, `STATS`, `QUIT`;
+//!   `TICKAT`, `STATS`, `PING`, `QUIT`;
 //! * **replies** (server → client, exactly one per request, in request
 //!   order): [`Reply`] — lines starting `OK` or `ERR`;
 //! * **pushes** (server → subscriber, asynchronous): [`Push`] — lines
@@ -100,6 +100,10 @@ pub enum Request {
     },
     /// `STATS` — server counters as `key=value` pairs.
     Stats,
+    /// `PING` — heartbeat; the server replies `OK pong`. Keeps a
+    /// connection that is silent in both directions alive under the
+    /// server's idle deadline.
+    Ping,
     /// `QUIT` — server replies `OK bye` and closes the connection.
     Quit,
 }
@@ -149,6 +153,9 @@ pub enum ErrCode {
     WindowMismatch,
     /// The operation is not supported in this server mode.
     Unsupported,
+    /// The server is overloaded and shed this request before it reached
+    /// the engine; the request had no effect and can be retried.
+    Busy,
     /// The engine reported an internal error.
     Internal,
 }
@@ -161,6 +168,7 @@ impl ErrCode {
             ErrCode::UnknownQuery => "unknown-query",
             ErrCode::WindowMismatch => "window-mismatch",
             ErrCode::Unsupported => "unsupported",
+            ErrCode::Busy => "busy",
             ErrCode::Internal => "internal",
         }
     }
@@ -172,6 +180,7 @@ impl ErrCode {
             "unknown-query" => ErrCode::UnknownQuery,
             "window-mismatch" => ErrCode::WindowMismatch,
             "unsupported" => ErrCode::Unsupported,
+            "busy" => ErrCode::Busy,
             "internal" => ErrCode::Internal,
             _ => return None,
         })
@@ -209,6 +218,8 @@ pub enum Reply {
     },
     /// `OK STATS key=value ..` — server counters.
     OkStats(Vec<(String, String)>),
+    /// `OK pong` — heartbeat answer to `PING`.
+    OkPong,
     /// `OK bye` — connection closing after `QUIT`.
     OkBye,
     /// `ERR <code> <message>` — the request failed.
@@ -322,6 +333,7 @@ impl fmt::Display for Request {
                 Ok(())
             }
             Request::Stats => f.write_str("STATS"),
+            Request::Ping => f.write_str("PING"),
             Request::Quit => f.write_str("QUIT"),
         }
     }
@@ -344,6 +356,7 @@ impl fmt::Display for Reply {
                 }
                 Ok(())
             }
+            Reply::OkPong => f.write_str("OK pong"),
             Reply::OkBye => f.write_str("OK bye"),
             Reply::Err { code, message } => write!(f, "ERR {code} {message}"),
         }
@@ -532,6 +545,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "STATS" => Ok(Request::Stats),
+        "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
         _ => Err(format!("unknown verb `{verb}`")),
     }
@@ -605,6 +619,7 @@ fn parse_snapshot_body(toks: &[&str]) -> Result<(QueryId, Timestamp, Vec<Scored>
 fn parse_ok(toks: &[&str]) -> Result<Reply, String> {
     match toks {
         ["bye"] => Ok(Reply::OkBye),
+        ["pong"] => Ok(Reply::OkPong),
         ["SNAPSHOT", rest @ ..] => {
             let (query, at, entries) = parse_snapshot_body(rest)?;
             Ok(Reply::OkSnapshot { query, at, entries })
@@ -669,6 +684,7 @@ mod tests {
                 arrivals: vec![0.5, -0.5],
             },
             Request::Stats,
+            Request::Ping,
             Request::Quit,
         ];
         for req in cases {
@@ -699,10 +715,15 @@ mod tests {
                 ("engine".into(), "SMA".into()),
                 ("queries".into(), "3".into()),
             ])),
+            ServerLine::Reply(Reply::OkPong),
             ServerLine::Reply(Reply::OkBye),
             ServerLine::Reply(Reply::Err {
                 code: ErrCode::UnknownQuery,
                 message: "unknown query q7".into(),
+            }),
+            ServerLine::Reply(Reply::Err {
+                code: ErrCode::Busy,
+                message: "server inbox full".into(),
             }),
             ServerLine::Push(Push::Delta {
                 at: Timestamp(9),

@@ -20,14 +20,15 @@
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::fault::{FaultSchedule, FaultyStream, Transport};
 use crate::protocol::{ErrCode, Family, Push, Reply, Request};
-use crate::session::{run_reader, run_writer, SessionId, SessionOut};
+use crate::session::{run_reader, run_writer, Liveness, ReaderKnobs, SessionId, SessionOut};
 use tkm_common::{Rect, Result, ScoreFn, Timestamp, TkmError};
 use tkm_core::{DeltaRouter, MonitorServer, Query, ServerConfig};
 
@@ -44,7 +45,7 @@ pub enum TickPolicy {
 }
 
 /// Configuration of a [`Service`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServiceConfig {
     /// The engine configuration. Delta tracking is forced on — the serving
     /// layer is built around per-tick result changes.
@@ -55,19 +56,40 @@ pub struct ServiceConfig {
     /// policy kicks in.
     pub push_queue: usize,
     /// Bound of the engine-owner inbox (requests in flight across all
-    /// sessions); senders block when full, back-pressuring readers.
+    /// sessions); senders block when full, back-pressuring readers — until
+    /// the [`ServiceConfig::busy_timeout`] shedding deadline.
     pub inbox: usize,
+    /// Tear down a connection with no traffic in either direction for
+    /// this long (`None` = never reap). Silent clients stay alive by
+    /// sending `PING`.
+    pub idle_timeout: Option<Duration>,
+    /// Poison a session whose socket write blocks this long (`None` =
+    /// block forever) — the deadline that frees the writer thread of a
+    /// client that stopped reading.
+    pub write_timeout: Option<Duration>,
+    /// How long a full engine inbox may stall a request before the
+    /// session sheds it with `ERR busy` (only when no earlier request of
+    /// the same session is still awaiting its reply).
+    pub busy_timeout: Duration,
+    /// Fault-injection schedule wrapped around accepted connections
+    /// (tests and the chaos bench; `None` in production).
+    pub faults: Option<FaultSchedule>,
 }
 
 impl ServiceConfig {
     /// A manual-tick service over the given engine configuration, with a
-    /// 1024-line push cap and a 1024-event inbox.
+    /// 1024-line push cap, a 1024-event inbox, no idle/write deadlines,
+    /// a 250 ms shedding deadline, and no fault injection.
     pub fn new(server: ServerConfig) -> ServiceConfig {
         ServiceConfig {
             server: server.with_delta_tracking(true),
             tick: TickPolicy::Manual,
             push_queue: 1024,
             inbox: 1024,
+            idle_timeout: None,
+            write_timeout: None,
+            busy_timeout: Duration::from_millis(250),
+            faults: None,
         }
     }
 
@@ -82,12 +104,51 @@ impl ServiceConfig {
         self.push_queue = cap.max(1);
         self
     }
+
+    /// Selects the idle-reaping deadline.
+    pub fn with_idle_timeout(mut self, deadline: Duration) -> ServiceConfig {
+        self.idle_timeout = Some(deadline);
+        self
+    }
+
+    /// Selects the per-write deadline.
+    pub fn with_write_timeout(mut self, deadline: Duration) -> ServiceConfig {
+        self.write_timeout = Some(deadline);
+        self
+    }
+
+    /// Selects the overload-shedding deadline.
+    pub fn with_busy_timeout(mut self, deadline: Duration) -> ServiceConfig {
+        self.busy_timeout = deadline;
+        self
+    }
+
+    /// Wraps accepted connections in a fault-injection schedule.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> ServiceConfig {
+        self.faults = Some(faults);
+        self
+    }
+}
+
+/// Robustness counters shared by the session threads (which record) and
+/// the engine owner (which reports them via `STATS`).
+#[derive(Default)]
+pub(crate) struct Metrics {
+    /// Connections torn down by the idle deadline.
+    pub(crate) reaped: AtomicU64,
+    /// Requests answered `ERR busy` without reaching the engine.
+    pub(crate) shed: AtomicU64,
+    /// Faults injected by the configured [`FaultSchedule`] (behind an
+    /// `Arc` so [`FaultyStream`] halves can tally into it directly).
+    pub(crate) faults: Arc<AtomicU64>,
 }
 
 /// An event consumed by the engine-owner thread.
 pub(crate) enum Event {
-    /// A new connection: its id and its outbound queue.
-    Connect(SessionId, Arc<SessionOut>),
+    /// A new connection: its id, its outbound queue, and its in-flight
+    /// request counter (see `session::forward` for the shedding
+    /// contract).
+    Connect(SessionId, Arc<SessionOut>, Arc<AtomicUsize>),
     /// A parsed request from a session.
     Request(SessionId, Request),
     /// An unparseable line from a session (the parse error).
@@ -126,12 +187,22 @@ impl Service {
             .map_err(|e| TkmError::Internal(format!("local_addr: {e}")))?;
         let (tx, rx) = std::sync::mpsc::sync_channel(cfg.inbox.max(1));
         let stopping = Arc::new(AtomicBool::new(false));
+        let metrics = Arc::new(Metrics::default());
         let mut threads = Vec::new();
 
-        let accept_tx = tx.clone();
-        let accept_stop = Arc::clone(&stopping);
+        let ctx = AcceptCtx {
+            inbox: tx.clone(),
+            stopping: Arc::clone(&stopping),
+            knobs: ReaderKnobs {
+                idle: cfg.idle_timeout,
+                busy: cfg.busy_timeout,
+            },
+            write_timeout: cfg.write_timeout,
+            faults: cfg.faults.clone(),
+            metrics: Arc::clone(&metrics),
+        };
         threads.push(std::thread::spawn(move || {
-            accept_loop(&listener, &accept_tx, &accept_stop);
+            accept_loop(&listener, &ctx);
         }));
 
         if let TickPolicy::Interval(period) = cfg.tick {
@@ -167,6 +238,7 @@ impl Service {
             router: DeltaRouter::new(),
             pending: Vec::new(),
             stats: Counters::default(),
+            metrics,
         };
         threads.push(std::thread::spawn(move || owner.run(&rx)));
 
@@ -199,33 +271,92 @@ impl Service {
     }
 }
 
-fn accept_loop(listener: &TcpListener, inbox: &SyncSender<Event>, stopping: &AtomicBool) {
+/// Everything the accept loop needs to outfit a new session's threads.
+struct AcceptCtx {
+    inbox: SyncSender<Event>,
+    stopping: Arc<AtomicBool>,
+    knobs: ReaderKnobs,
+    write_timeout: Option<Duration>,
+    faults: Option<FaultSchedule>,
+    metrics: Arc<Metrics>,
+}
+
+fn accept_loop(listener: &TcpListener, ctx: &AcceptCtx) {
     let mut next = 0u64;
     for stream in listener.incoming() {
-        if stopping.load(Ordering::Relaxed) {
+        if ctx.stopping.load(Ordering::Relaxed) {
             return;
         }
         let Ok(stream) = stream else { continue };
         let sid = SessionId(next);
         next += 1;
         let out = Arc::new(SessionOut::new());
-        if inbox.send(Event::Connect(sid, Arc::clone(&out))).is_err() {
+        let inflight = Arc::new(AtomicUsize::new(0));
+        if ctx
+            .inbox
+            .send(Event::Connect(sid, Arc::clone(&out), Arc::clone(&inflight)))
+            .is_err()
+        {
             return;
         }
-        if stopping.load(Ordering::Relaxed) {
+        if ctx.stopping.load(Ordering::Relaxed) {
             // Shutdown raced this accept: the engine may never process the
             // Connect, so close the queue ourselves before spawning the
             // writer — close is idempotent, a double close is harmless.
             out.close();
         }
         let Ok(write_half) = stream.try_clone() else {
-            let _ = inbox.send(Event::Gone(sid));
+            let _ = ctx.inbox.send(Event::Gone(sid));
             continue;
         };
+        // Wrap both halves in the session's fault plan, if one is
+        // scheduled for this connection index.
+        let plan = ctx
+            .faults
+            .as_ref()
+            .and_then(|f| f.plan_for(sid.0))
+            .filter(|p| !p.is_empty())
+            .cloned();
+        let (read_t, write_t): (Box<dyn Transport>, Box<dyn Transport>) = match plan {
+            Some(plan) => {
+                let seed = ctx
+                    .faults
+                    .as_ref()
+                    .map_or(0, |f| f.seed)
+                    .wrapping_add(sid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let (r, w) = FaultyStream::pair(
+                    stream,
+                    write_half,
+                    plan,
+                    seed,
+                    Some(Arc::clone(&ctx.metrics.faults)),
+                );
+                (Box::new(r), Box::new(w))
+            }
+            None => (Box::new(stream), Box::new(write_half)),
+        };
+        let liveness = Arc::new(Liveness::new());
         let writer_out = Arc::clone(&out);
-        std::thread::spawn(move || run_writer(&write_half, &writer_out));
-        let reader_inbox = inbox.clone();
-        std::thread::spawn(move || run_reader(stream, sid, &reader_inbox));
+        let writer_liveness = Arc::clone(&liveness);
+        let write_timeout = ctx.write_timeout;
+        std::thread::spawn(move || {
+            run_writer(write_t, &writer_out, &writer_liveness, write_timeout)
+        });
+        let reader_inbox = ctx.inbox.clone();
+        let knobs = ctx.knobs;
+        let reader_metrics = Arc::clone(&ctx.metrics);
+        std::thread::spawn(move || {
+            run_reader(
+                read_t,
+                sid,
+                &reader_inbox,
+                &out,
+                &inflight,
+                &liveness,
+                knobs,
+                &reader_metrics,
+            );
+        });
     }
 }
 
@@ -238,14 +369,23 @@ struct Counters {
     tick_errors: u64,
 }
 
+/// The engine owner's view of one live session.
+struct SessionHandle {
+    out: Arc<SessionOut>,
+    /// Requests accepted by the reader but not yet replied to; the engine
+    /// decrements it *after* enqueuing each reply (shedding contract).
+    inflight: Arc<AtomicUsize>,
+}
+
 struct EngineOwner {
     server: MonitorServer,
     cfg: ServiceConfig,
-    sessions: BTreeMap<SessionId, Arc<SessionOut>>,
+    sessions: BTreeMap<SessionId, SessionHandle>,
     router: DeltaRouter<SessionId>,
     /// Arrivals queued since the last flush (flat coordinate buffer).
     pending: Vec<f64>,
     stats: Counters,
+    metrics: Arc<Metrics>,
 }
 
 impl EngineOwner {
@@ -253,25 +393,32 @@ impl EngineOwner {
         let started = Instant::now();
         while let Ok(event) = rx.recv() {
             match event {
-                Event::Connect(sid, out) => {
-                    self.sessions.insert(sid, out);
+                Event::Connect(sid, out, inflight) => {
+                    self.sessions.insert(sid, SessionHandle { out, inflight });
                 }
                 Event::Request(sid, req) => {
-                    if let Request::Quit = req {
+                    let quitting = matches!(req, Request::Quit);
+                    if quitting {
                         self.reply(sid, &Reply::OkBye);
-                        self.teardown(sid);
-                        continue;
+                    } else {
+                        let reply = self.execute(sid, req, started);
+                        self.reply(sid, &reply);
                     }
-                    let reply = self.execute(sid, req, started);
-                    self.reply(sid, &reply);
+                    self.acknowledge(sid);
+                    if quitting {
+                        self.teardown(sid);
+                    }
                 }
-                Event::Bad(sid, msg) => self.reply(
-                    sid,
-                    &Reply::Err {
-                        code: ErrCode::Parse,
-                        message: msg,
-                    },
-                ),
+                Event::Bad(sid, msg) => {
+                    self.reply(
+                        sid,
+                        &Reply::Err {
+                            code: ErrCode::Parse,
+                            message: msg,
+                        },
+                    );
+                    self.acknowledge(sid);
+                }
                 Event::Gone(sid) => self.teardown(sid),
                 Event::Flush => {
                     if self.flush(None).is_err() {
@@ -281,28 +428,37 @@ impl EngineOwner {
                 Event::Shutdown => break,
             }
         }
-        for out in self.sessions.values() {
-            out.close();
+        for handle in self.sessions.values() {
+            handle.out.close();
         }
         // Connects that were still queued behind the Shutdown event would
         // otherwise leave their writer threads parked forever.
         while let Ok(event) = rx.try_recv() {
-            if let Event::Connect(_, out) = event {
+            if let Event::Connect(_, out, _) = event {
                 out.close();
             }
         }
     }
 
     fn reply(&self, sid: SessionId, reply: &Reply) {
-        if let Some(out) = self.sessions.get(&sid) {
-            out.send_reply(reply.to_string());
+        if let Some(handle) = self.sessions.get(&sid) {
+            handle.out.send_reply(reply.to_string());
+        }
+    }
+
+    /// Releases one in-flight token *after* the corresponding reply was
+    /// enqueued — the ordering that makes reader-side `ERR busy` shedding
+    /// safe (see `session::forward`).
+    fn acknowledge(&self, sid: SessionId) {
+        if let Some(handle) = self.sessions.get(&sid) {
+            handle.inflight.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
     fn teardown(&mut self, sid: SessionId) {
         self.router.drop_subscriber(&sid);
-        if let Some(out) = self.sessions.remove(&sid) {
-            out.close();
+        if let Some(handle) = self.sessions.remove(&sid) {
+            handle.out.close();
         }
     }
 
@@ -330,8 +486,8 @@ impl EngineOwner {
                     // Baseline the subscriber immediately before its OK:
                     // FIFO ordering guarantees the snapshot arrives with
                     // the reply and before any subsequent delta.
-                    if let Some(out) = self.sessions.get(&sid) {
-                        out.force_push(
+                    if let Some(handle) = self.sessions.get(&sid) {
+                        handle.out.force_push(
                             Push::Snapshot {
                                 query: q,
                                 at: self.server.now(),
@@ -369,6 +525,7 @@ impl EngineOwner {
                 self.ingest(&arrivals, Some(at))
             }
             Request::Stats => self.stats_reply(started),
+            Request::Ping => Reply::OkPong,
             // The event loop intercepts QUIT before dispatch; answering
             // defensively keeps the server alive if that ever regresses.
             Request::Quit => Reply::Err {
@@ -386,6 +543,15 @@ impl EngineOwner {
         range: Option<Vec<(f64, f64)>>,
         window: Option<crate::protocol::WireWindow>,
     ) -> Reply {
+        // Engines pre-allocate k result slots per query, so an untrusted
+        // wire k must be bounded before it reaches an allocator.
+        const MAX_WIRE_K: usize = 1 << 16;
+        if k > MAX_WIRE_K {
+            return Reply::Err {
+                code: ErrCode::BadArg,
+                message: format!("k={k} exceeds the serving-layer cap of {MAX_WIRE_K}"),
+            };
+        }
         if let Some(w) = window {
             if !w.matches(self.server.config().window) {
                 return Reply::Err {
@@ -472,10 +638,10 @@ impl EngineOwner {
                 if resynced.contains(sid) {
                     continue;
                 }
-                let Some(out) = self.sessions.get(sid) else {
+                let Some(handle) = self.sessions.get(sid) else {
                     continue;
                 };
-                if !out.try_push(line.clone(), self.cfg.push_queue) {
+                if !handle.out.try_push(line.clone(), self.cfg.push_queue) {
                     resynced.push(*sid);
                 }
             }
@@ -484,9 +650,10 @@ impl EngineOwner {
         // of their subscriptions from the (post-tick) current results.
         for sid in resynced {
             self.stats.resyncs += 1;
-            let Some(out) = self.sessions.get(&sid) else {
+            let Some(handle) = self.sessions.get(&sid) else {
                 continue;
             };
+            let out = &handle.out;
             let subs = self.router.subscriptions_of(&sid);
             out.force_push(Push::Resync { count: subs.len() }.to_string());
             for q in subs {
@@ -515,6 +682,18 @@ impl EngineOwner {
             ("arrivals".into(), self.stats.arrivals.to_string()),
             ("deltas".into(), self.stats.deltas.to_string()),
             ("resyncs".into(), self.stats.resyncs.to_string()),
+            (
+                "reaped".into(),
+                self.metrics.reaped.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "shed".into(),
+                self.metrics.shed.load(Ordering::Relaxed).to_string(),
+            ),
+            (
+                "faults".into(),
+                self.metrics.faults.load(Ordering::Relaxed).to_string(),
+            ),
             ("tick_errors".into(), self.stats.tick_errors.to_string()),
             (
                 "pending".into(),

@@ -1,16 +1,18 @@
 //! Per-connection session plumbing.
 //!
-//! Each accepted TCP connection gets **two** threads and **one** queue:
+//! Each accepted connection gets **two** threads and **one** queue:
 //!
 //! * a *reader* thread that parses request lines and feeds them to the
-//!   single engine-owner thread over the service's bounded inbox (a slow
-//!   engine therefore back-pressures every producer through plain blocking
-//!   channel sends);
+//!   single engine-owner thread over the service's bounded inbox;
 //! * a *writer* thread that drains this session's [`SessionOut`] queue to
 //!   the socket;
 //! * the [`SessionOut`] queue itself — one ordered lane shared by replies
 //!   and pushes, so a client always observes every push enqueued before a
 //!   reply *before* that reply.
+//!
+//! Both threads run on the [`Transport`](crate::fault::Transport) seam,
+//! not on `TcpStream` directly, so the fault-injection layer can wrap the
+//! socket (see [`crate::fault`]).
 //!
 //! **Backpressure policy** (drop-to-snapshot): replies are never dropped,
 //! but the number of queued *push* lines is capped. When the engine tries
@@ -20,15 +22,38 @@
 //! by a fresh `SNAPSHOT` per subscription. The slow client loses
 //! intermediate states, never the current one, and server memory stays
 //! bounded per session.
+//!
+//! **Failure policy** (see the README's *Failure model*):
+//!
+//! * *Idle reaping* — with an idle deadline configured, reads time out in
+//!   short slices and a connection with no traffic in either direction for
+//!   the deadline is torn down (counted in `STATS reaped=`). Liveness is
+//!   bidirectional: a pure subscriber is kept alive by its own delta
+//!   stream; a connection silent in both directions must `PING`.
+//! * *Write deadline* — a write that blocks past the configured deadline
+//!   (client stopped reading, socket buffers full) poisons the session
+//!   instead of wedging the writer thread forever.
+//! * *Overload shedding* — when the engine inbox stays full past the busy
+//!   deadline and this session has no earlier request still in flight, the
+//!   reader answers `ERR busy` itself instead of blocking. The shed
+//!   request never reached the engine, so the client can always retry it.
+//! * *Leak-free teardown* — whichever half dies first, the other is
+//!   unblocked: the writer shuts the socket down on any write failure
+//!   (waking a blocked reader into EOF), and the engine's teardown closes
+//!   the queue (draining then shutting down a healthy writer). Exactly one
+//!   `Gone` event reaches the engine, which drops the session's
+//!   `DeltaRouter` subscriptions.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::net::{Shutdown, TcpStream};
-use std::sync::mpsc::SyncSender;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use crate::protocol::parse_request;
-use crate::service::Event;
+use crate::fault::Transport;
+use crate::protocol::{parse_request, ErrCode, Reply};
+use crate::service::{Event, Metrics};
 
 /// Identifier of one accepted connection, unique within a service run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -172,31 +197,84 @@ impl SessionOut {
     }
 }
 
+/// Bidirectional last-activity clock of one connection, shared by its
+/// reader (inbound bytes) and writer (successful flushes).
+pub(crate) struct Liveness {
+    epoch: Instant,
+    last_ms: AtomicU64,
+}
+
+impl Liveness {
+    pub(crate) fn new() -> Liveness {
+        Liveness {
+            epoch: Instant::now(),
+            last_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Records activity now.
+    pub(crate) fn touch(&self) {
+        let ms = self.epoch.elapsed().as_millis() as u64;
+        self.last_ms.fetch_max(ms, Ordering::Relaxed);
+    }
+
+    /// Time since the last recorded activity in either direction.
+    pub(crate) fn idle(&self) -> Duration {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        Duration::from_millis(now.saturating_sub(self.last_ms.load(Ordering::Relaxed)))
+    }
+}
+
+/// Reader-side deadlines, copied out of the service configuration.
+#[derive(Clone, Copy)]
+pub(crate) struct ReaderKnobs {
+    /// Tear the connection down after this much bidirectional silence.
+    pub(crate) idle: Option<Duration>,
+    /// How long a full engine inbox may stall a request before the reader
+    /// sheds it with `ERR busy`.
+    pub(crate) busy: Duration,
+}
+
 /// Body of a session's writer thread: drains the queue to the socket in
-/// batches (one flush per drain, not per line). On any write failure the
-/// queue is closed; the engine learns of the death from the reader side.
-pub(crate) fn run_writer(stream: &TcpStream, out: &SessionOut) {
-    let mut writer = BufWriter::new(stream);
+/// batches (one flush per drain, not per line). On any write failure —
+/// including a configured write deadline expiring — the queue is closed
+/// **and the socket is shut down**, so a reader blocked on the same
+/// connection wakes into EOF and the engine learns of the death; leaving
+/// the socket open here is what used to leak the reader/subscriptions of
+/// a client that vanished without closing its write half.
+pub(crate) fn run_writer(
+    transport: Box<dyn Transport>,
+    out: &SessionOut,
+    liveness: &Liveness,
+    write_timeout: Option<Duration>,
+) {
+    if let Some(t) = write_timeout {
+        let _ = transport.set_write_timeout(Some(t));
+    }
+    let mut writer = BufWriter::new(transport);
     let mut batch = Vec::new();
     while out.pop_into(&mut batch, 256) {
+        let mut dead = false;
         for line in batch.drain(..) {
             if writer
                 .write_all(line.as_bytes())
                 .and_then(|()| writer.write_all(b"\n"))
                 .is_err()
             {
-                out.close();
-                return;
+                dead = true;
+                break;
             }
         }
-        if writer.flush().is_err() {
+        if dead || writer.flush().is_err() {
             out.close();
+            writer.get_ref().shutdown_both();
             return;
         }
+        liveness.touch();
     }
     // Closed and fully drained: also unblocks this session's reader.
     let _ = writer.flush();
-    let _ = stream.shutdown(Shutdown::Both);
+    writer.get_ref().shutdown_both();
 }
 
 /// Hard cap on one request line, keeping per-connection reader memory
@@ -204,40 +282,204 @@ pub(crate) fn run_writer(stream: &TcpStream, out: &SessionOut) {
 /// of ~25k 2-d tuples still fits.
 pub(crate) const MAX_REQUEST_LINE: u64 = 1 << 20;
 
-/// Reads one `\n`-terminated line of at most [`MAX_REQUEST_LINE`] bytes.
-/// Returns `Ok(None)` on clean EOF and `Err` on oversized input, invalid
-/// UTF-8, or socket failure.
+/// Outcome of reading one request line.
+enum Line {
+    /// A complete UTF-8 line (terminator included).
+    Req(String),
+    /// Clean EOF (or EOF mid-line).
+    Eof,
+    /// The line exceeded [`MAX_REQUEST_LINE`]; its remainder is unread.
+    TooLong,
+    /// A complete line that is not valid UTF-8.
+    NotUtf8,
+    /// The idle deadline expired with no traffic in either direction.
+    Idle,
+    /// The socket failed.
+    Dead,
+}
+
+/// Reads one `\n`-terminated line of at most [`MAX_REQUEST_LINE`] bytes,
+/// resuming across read-timeout slices (partial bytes stay in `buf`) and
+/// watching the shared idle clock between slices.
 fn read_request_line(
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut BufReader<Box<dyn Transport>>,
     buf: &mut Vec<u8>,
-) -> std::io::Result<Option<String>> {
-    use std::io::{Error, ErrorKind, Read};
+    liveness: &Liveness,
+    idle: Option<Duration>,
+) -> Line {
+    use std::io::{ErrorKind, Read};
     buf.clear();
-    let n = reader
-        .by_ref()
-        .take(MAX_REQUEST_LINE)
-        .read_until(b'\n', buf)?;
-    if n == 0 {
-        return Ok(None);
+    loop {
+        let before = buf.len();
+        let room = MAX_REQUEST_LINE - buf.len() as u64;
+        match reader.by_ref().take(room).read_until(b'\n', buf) {
+            Ok(0) => return Line::Eof,
+            Ok(_) => {
+                liveness.touch();
+                if buf.last() == Some(&b'\n') {
+                    return match std::str::from_utf8(buf) {
+                        Ok(s) => Line::Req(s.to_string()),
+                        Err(_) => Line::NotUtf8,
+                    };
+                }
+                if buf.len() as u64 >= MAX_REQUEST_LINE {
+                    return Line::TooLong;
+                }
+                // No newline, no EOF, below the cap: the take() adaptor
+                // drained a buffer boundary; keep reading.
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // A timed-out read_until has already pushed any bytes it
+                // saw into `buf`; never clear it between slices.
+                if buf.len() > before {
+                    liveness.touch();
+                }
+                if let Some(limit) = idle {
+                    if liveness.idle() >= limit {
+                        return Line::Idle;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return Line::Dead,
+        }
     }
-    if buf.last() != Some(&b'\n') && n as u64 >= MAX_REQUEST_LINE {
-        return Err(Error::new(ErrorKind::InvalidData, "request line too long"));
+}
+
+/// Consumes the unread remainder of an oversized line (bounded memory:
+/// 4 KiB at a time) so the session can continue at the next line. Returns
+/// `false` if the connection died or went idle first.
+fn discard_line_remainder(
+    reader: &mut BufReader<Box<dyn Transport>>,
+    liveness: &Liveness,
+    idle: Option<Duration>,
+) -> bool {
+    use std::io::{ErrorKind, Read};
+    let mut junk = Vec::with_capacity(4096);
+    loop {
+        junk.clear();
+        match reader.by_ref().take(4096).read_until(b'\n', &mut junk) {
+            Ok(0) => return false,
+            Ok(_) => {
+                liveness.touch();
+                if junk.last() == Some(&b'\n') {
+                    return true;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if let Some(limit) = idle {
+                    if liveness.idle() >= limit {
+                        return false;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
     }
-    let line = std::str::from_utf8(buf)
-        .map_err(|_| Error::new(ErrorKind::InvalidData, "request line is not UTF-8"))?;
-    Ok(Some(line.to_string()))
+}
+
+/// Forwards one event to the engine inbox with overload shedding.
+///
+/// The in-flight counter is the reply-ordering guard: the reader
+/// increments it *before* attempting the send, the engine decrements it
+/// *after* enqueuing the corresponding reply. The reader may therefore
+/// answer `ERR busy` out-of-band only when the inbox has been full past
+/// the busy deadline **and** its own token is the only one outstanding —
+/// at that point every earlier request on this session has already been
+/// replied to, so the one-reply-per-request-in-order contract holds. A
+/// shed request never reached the engine, making a client retry safe.
+///
+/// Returns `false` only when the engine is gone (service shut down).
+fn forward(
+    event: Event,
+    inbox: &SyncSender<Event>,
+    inflight: &AtomicUsize,
+    out: &SessionOut,
+    busy: Duration,
+    metrics: &Metrics,
+) -> bool {
+    inflight.fetch_add(1, Ordering::SeqCst);
+    let mut ev = event;
+    let mut deadline: Option<Instant> = None;
+    loop {
+        match inbox.try_send(ev) {
+            Ok(()) => return true,
+            Err(TrySendError::Disconnected(_)) => {
+                inflight.fetch_sub(1, Ordering::SeqCst);
+                return false;
+            }
+            Err(TrySendError::Full(back)) => {
+                ev = back;
+                let now = Instant::now();
+                let limit = *deadline.get_or_insert(now + busy);
+                if now >= limit && inflight.load(Ordering::SeqCst) == 1 {
+                    inflight.fetch_sub(1, Ordering::SeqCst);
+                    metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    out.send_reply(
+                        Reply::Err {
+                            code: ErrCode::Busy,
+                            message: "server inbox full; request dropped, retry later".into(),
+                        }
+                        .to_string(),
+                    );
+                    return true;
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
 }
 
 /// Body of a session's reader thread: parses request lines and forwards
 /// them to the engine-owner thread. Sends [`Event::Gone`] exactly once on
-/// EOF, socket error, an oversized/non-UTF-8 line, or service shutdown.
-pub(crate) fn run_reader(stream: TcpStream, sid: SessionId, inbox: &SyncSender<Event>) {
-    let mut reader = BufReader::new(stream);
+/// EOF, socket error, idle expiry, or service shutdown. Oversized and
+/// non-UTF-8 lines are answered with `ERR parse` and the session
+/// continues.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_reader(
+    transport: Box<dyn Transport>,
+    sid: SessionId,
+    inbox: &SyncSender<Event>,
+    out: &SessionOut,
+    inflight: &AtomicUsize,
+    liveness: &Liveness,
+    knobs: ReaderKnobs,
+    metrics: &Metrics,
+) {
+    if let Some(idle) = knobs.idle {
+        // Short slices so the idle clock is polled well below the
+        // deadline; the exact slice only bounds reaping latency.
+        let slice = (idle / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
+        let _ = transport.set_read_timeout(Some(slice));
+    }
+    let mut reader = BufReader::new(transport);
     let mut buf = Vec::new();
     loop {
-        match read_request_line(&mut reader, &mut buf) {
-            Ok(None) | Err(_) => break,
-            Ok(Some(line)) => {
+        match read_request_line(&mut reader, &mut buf, liveness, knobs.idle) {
+            Line::Eof | Line::Dead => break,
+            Line::Idle => {
+                metrics.reaped.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            Line::TooLong => {
+                let bad = Event::Bad(
+                    sid,
+                    format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                );
+                if !forward(bad, inbox, inflight, out, knobs.busy, metrics)
+                    || !discard_line_remainder(&mut reader, liveness, knobs.idle)
+                {
+                    break;
+                }
+            }
+            Line::NotUtf8 => {
+                let bad = Event::Bad(sid, "request line is not UTF-8".into());
+                if !forward(bad, inbox, inflight, out, knobs.busy, metrics) {
+                    break;
+                }
+            }
+            Line::Req(line) => {
                 let trimmed = line.trim();
                 if trimmed.is_empty() {
                     continue;
@@ -246,8 +488,8 @@ pub(crate) fn run_reader(stream: TcpStream, sid: SessionId, inbox: &SyncSender<E
                     Ok(req) => Event::Request(sid, req),
                     Err(msg) => Event::Bad(sid, msg),
                 };
-                if inbox.send(event).is_err() {
-                    break; // Engine gone: service shut down.
+                if !forward(event, inbox, inflight, out, knobs.busy, metrics) {
+                    break;
                 }
             }
         }
@@ -307,5 +549,16 @@ mod tests {
         let mut batch = Vec::new();
         assert!(!out.pop_into(&mut batch, 8));
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn liveness_tracks_latest_touch() {
+        let liv = Liveness::new();
+        liv.touch();
+        assert!(liv.idle() < Duration::from_millis(100));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(liv.idle() >= Duration::from_millis(20));
+        liv.touch();
+        assert!(liv.idle() < Duration::from_millis(20));
     }
 }

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
+use topk_monitor::service::{apply_push, parse_server_line, Push, ServerLine};
 use topk_monitor::{
     EngineKind, MonitorServer, Query, QueryId, ResultDelta, ScoreFn, Scored, ServerConfig,
 };
@@ -20,7 +21,8 @@ use topk_monitor::{
 /// 3 = unregister the oldest live query, 4 = simulate a dropped-delta
 /// resync on the oldest live query (skip its deltas this tick and
 /// re-baseline its mirror from a snapshot — the service's backpressure
-/// path).
+/// path). [`run_wire_churn`] reinterprets the same steps as `action % 6`,
+/// where 5 opens/closes a multi-tick reconnect gap.
 type Step = (Vec<(u32, u32)>, u8, u8, i8, i8);
 
 fn apply_tick_deltas(
@@ -96,6 +98,109 @@ fn run_churn(engine: EngineKind, capacity: usize, steps: &[Step]) {
     }
 }
 
+/// Wire-level churn: every delta/snapshot travels through the actual line
+/// encoding (`Push` → text → [`parse_server_line`] → [`apply_push`]), and
+/// `action % 6 == 5` toggles a *reconnect gap* on the oldest live query —
+/// its mirror misses every delta for one or more whole ticks (the client
+/// is gone), then is re-baselined exactly the way a resumed
+/// `ServiceClient` is: a synthetic `RESYNC` marker followed by a fresh
+/// `SNAPSHOT`, both through the wire. Mirrors must equal `result()`
+/// bit-exactly whenever they are online.
+fn run_wire_churn(engine: EngineKind, capacity: usize, steps: &[Step]) {
+    let cfg = ServerConfig::sma(2, capacity)
+        .with_engine(engine)
+        .with_delta_tracking(true);
+    let mut server = MonitorServer::new(cfg).expect("server");
+    let mut mirrors: BTreeMap<QueryId, Vec<Scored>> = BTreeMap::new();
+    // The one query currently in a reconnect gap (its consumer is away).
+    let mut offline: Option<QueryId> = None;
+
+    let via_wire = |push: Push| -> Push {
+        let line = push.to_string();
+        match parse_server_line(&line).expect("wire round-trip") {
+            ServerLine::Push(p) => p,
+            ServerLine::Reply(r) => panic!("push parsed as reply: {r}"),
+        }
+    };
+    let rebaseline =
+        |server: &MonitorServer, mirrors: &mut BTreeMap<QueryId, Vec<Scored>>, q: QueryId| {
+            apply_push(mirrors, &via_wire(Push::Resync { count: 1 }));
+            let snapshot = Push::Snapshot {
+                query: q,
+                at: server.now(),
+                entries: server.result(q).expect("resync snapshot"),
+            };
+            apply_push(mirrors, &via_wire(snapshot));
+        };
+
+    for (batch_spec, action, k, w1, w2) in steps {
+        let mut reconnected = None;
+        match action % 6 {
+            2 => {
+                let k = 1 + (*k as usize % 8);
+                let weights = vec![*w1 as f64 / 4.0, *w2 as f64 / 4.0];
+                let q = Query::top_k(ScoreFn::linear(weights).expect("weights"), k).expect("k");
+                let id = server.register(q).expect("register");
+                mirrors.insert(id, server.result(id).expect("baseline"));
+            }
+            3 => {
+                if let Some((&id, _)) = mirrors.iter().next() {
+                    server.unregister(id).expect("unregister");
+                    mirrors.remove(&id);
+                    if offline == Some(id) {
+                        offline = None; // the vanished client's query died too
+                    }
+                }
+            }
+            5 => match offline.take() {
+                // A gap was open: this step ends it (after the tick below,
+                // like a real resume racing the live stream).
+                Some(q) => reconnected = Some(q),
+                None => offline = mirrors.keys().next().copied(),
+            },
+            _ => {}
+        }
+
+        let mut batch = Vec::with_capacity(batch_spec.len() * 2);
+        for (a, b) in batch_spec {
+            batch.push((a % 16) as f64 / 15.0);
+            batch.push((b % 16) as f64 / 15.0);
+        }
+        server.tick(&batch).expect("tick");
+
+        let now = server.now();
+        for delta in server.take_deltas() {
+            let q = delta.query;
+            if Some(q) == offline || Some(q) == reconnected || !mirrors.contains_key(&q) {
+                continue; // nobody is listening for this query right now
+            }
+            apply_push(&mut mirrors, &via_wire(Push::Delta { at: now, delta }));
+        }
+        if let Some(q) = reconnected {
+            rebaseline(&server, &mut mirrors, q);
+        }
+
+        for (id, mirror) in &mirrors {
+            if Some(*id) == offline {
+                continue; // divergence is expected while the client is away
+            }
+            let truth = server.result(*id).expect("result");
+            assert_eq!(
+                mirror, &truth,
+                "{engine:?}: wire mirror of {id} diverged from result()"
+            );
+        }
+    }
+
+    // A gap still open at the end must close exactly, however many ticks
+    // it spanned.
+    if let Some(q) = offline {
+        rebaseline(&server, &mut mirrors, q);
+        let truth = server.result(q).expect("result");
+        assert_eq!(mirrors[&q], truth, "{engine:?}: final re-baseline diverged");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -123,6 +228,34 @@ proptest! {
         ),
     ) {
         run_churn(EngineKind::Tma, capacity, &steps);
+    }
+
+    /// SMA streams stay exact through the wire encoding under churn with
+    /// multi-tick reconnect gaps repaired by RESYNC/SNAPSHOT re-baselines.
+    #[test]
+    fn sma_wire_replay_survives_reconnect_gaps(
+        capacity in 4usize..48,
+        steps in prop::collection::vec(
+            (prop::collection::vec((0u32..64, 0u32..64), 0..10),
+             any::<u8>(), any::<u8>(), -8i8..8, -8i8..8),
+            1..30,
+        ),
+    ) {
+        run_wire_churn(EngineKind::Sma, capacity, &steps);
+    }
+
+    /// TMA streams stay exact through the wire encoding under churn with
+    /// multi-tick reconnect gaps repaired by RESYNC/SNAPSHOT re-baselines.
+    #[test]
+    fn tma_wire_replay_survives_reconnect_gaps(
+        capacity in 4usize..48,
+        steps in prop::collection::vec(
+            (prop::collection::vec((0u32..64, 0u32..64), 0..10),
+             any::<u8>(), any::<u8>(), -8i8..8, -8i8..8),
+            1..30,
+        ),
+    ) {
+        run_wire_churn(EngineKind::Tma, capacity, &steps);
     }
 }
 

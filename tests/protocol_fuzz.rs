@@ -1,0 +1,350 @@
+//! Protocol fuzz hardening (no new deps: proptest is already vendored).
+//!
+//! Two layers: pure parser fuzz — [`parse_request`] / [`parse_server_line`]
+//! must never panic on arbitrary byte soup, semi-structured near-miss
+//! lines, or truncations of valid lines, and everything they do accept
+//! must reparse to the same value from its own encoding — and a live
+//! session fuzz: a raw socket feeding junk (including split multi-byte
+//! UTF-8 and an absurd `k=`) gets a clean `ERR` per line and the session
+//! keeps serving.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use topk_monitor::service::{
+    apply_push, parse_request, parse_server_line, Push, Service, ServiceConfig,
+};
+use topk_monitor::{Scored, ServerConfig};
+
+/// If a line parses, its canonical encoding must parse back to the same
+/// value — the fixed point every fuzz case below is checked against.
+fn assert_request_fixed_point(line: &str) {
+    if let Ok(req) = parse_request(line) {
+        let encoded = req.to_string();
+        match parse_request(&encoded) {
+            Ok(again) => assert_eq!(req, again, "request round-trip via {encoded:?}"),
+            Err(e) => panic!("canonical encoding {encoded:?} rejected: {e}"),
+        }
+    }
+}
+
+fn assert_server_line_fixed_point(line: &str) {
+    if let Ok(parsed) = parse_server_line(line) {
+        let encoded = match &parsed {
+            topk_monitor::service::ServerLine::Reply(r) => r.to_string(),
+            topk_monitor::service::ServerLine::Push(p) => p.to_string(),
+        };
+        match parse_server_line(&encoded) {
+            Ok(again) => assert_eq!(parsed, again, "server-line round-trip via {encoded:?}"),
+            Err(e) => panic!("canonical encoding {encoded:?} rejected: {e}"),
+        }
+    }
+}
+
+/// Builds a token that looks almost like a protocol argument — near-misses
+/// exercise far more parser branches than uniform noise does.
+fn near_token(kind: u8, a: u32, b: u32) -> String {
+    match kind % 14 {
+        0 => format!("q{a}"),
+        1 => format!("t{a}:{}", b as f64 / 8.0),
+        2 => format!(
+            "{}t{a}:{}",
+            if b.is_multiple_of(2) { '+' } else { '-' },
+            a as f64 / 4.0
+        ),
+        3 => format!("@{}", a as i64 - 500),
+        4 => format!("k={}", (a as u64) * (b as u64)),
+        5 => format!("weights={},{}e{}", a as f64 / 7.0, b, a % 400),
+        6 => ["fn=linear", "fn=product", "fn=quadratic", "fn=lin", "fn="][a as usize % 5].into(),
+        7 => format!(
+            "range={}:{},{}",
+            a as f64 / 3.0,
+            b,
+            if b.is_multiple_of(2) { ":" } else { "" }
+        ),
+        8 => format!(
+            "window={}:{a}",
+            ["count", "time", "tick", ""][b as usize % 4]
+        ),
+        9 => [
+            "nan", "inf", "NaN", "-inf", "1e308", "-1e-308", "0x10", "--1",
+        ][a as usize % 8]
+            .into(),
+        10 => format!("queued={a}"),
+        11 => [
+            "pong", "bye", "STATS", "t:", "q", "@", "+t1:", "=", ",,", ":",
+        ][a as usize % 10]
+            .into(),
+        12 => format!("{a}.{b}.{a}"),
+        _ => format!("{}", f64::from_bits((a as u64) << 32 | b as u64)),
+    }
+}
+
+const VERBS: [&str; 16] = [
+    "REGISTER",
+    "UNREGISTER",
+    "SUBSCRIBE",
+    "UNSUBSCRIBE",
+    "SNAPSHOT",
+    "TICK",
+    "TICKAT",
+    "STATS",
+    "PING",
+    "QUIT",
+    "OK",
+    "ERR",
+    "DELTA",
+    "RESYNC",
+    "tick",
+    "",
+];
+
+fn near_line(verb: usize, toks: &[(u8, u32, u32)]) -> String {
+    let mut line = VERBS[verb % VERBS.len()].to_string();
+    for (kind, a, b) in toks {
+        line.push(' ');
+        line.push_str(&near_token(*kind, *a, *b));
+    }
+    line
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup (decoded lossily, as the session reader does)
+    /// never panics either parser, and anything accepted is a fixed point
+    /// of its own encoding.
+    #[test]
+    fn parsers_survive_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let line = String::from_utf8_lossy(&bytes);
+        assert_request_fixed_point(&line);
+        assert_server_line_fixed_point(&line);
+    }
+
+    /// Near-miss protocol lines — right verbs, plausible-but-mangled
+    /// arguments — never panic and round-trip when accepted.
+    #[test]
+    fn parsers_survive_near_miss_lines(
+        verb in 0usize..16,
+        toks in prop::collection::vec((any::<u8>(), 0u32..2000, 0u32..2000), 0..7),
+    ) {
+        let line = near_line(verb, &toks);
+        assert_request_fixed_point(&line);
+        assert_server_line_fixed_point(&line);
+    }
+
+    /// Every byte-truncation of a valid request line (re-decoded lossily,
+    /// so cuts can land inside a UTF-8 sequence) parses without panicking;
+    /// the untruncated line must parse.
+    #[test]
+    fn truncated_valid_requests_never_panic(
+        k in 1usize..16,
+        weights in prop::collection::vec(-4i16..4, 1..5),
+        arrivals in prop::collection::vec(0u16..1000, 0..6),
+        cut in any::<u16>(),
+    ) {
+        let ws: Vec<String> = weights.iter().map(|w| (*w as f64 / 4.0).to_string()).collect();
+        let vs: Vec<String> = arrivals.iter().map(|v| (*v as f64 / 1000.0).to_string()).collect();
+        for line in [
+            format!("REGISTER k={k} weights={} window=count:32", ws.join(",")),
+            format!("TICK {}", vs.join(" ")),
+            format!("TICKAT @{k} {}", vs.join(" ")),
+        ] {
+            prop_assert!(parse_request(&line).is_ok(), "seed line rejected: {line}");
+            let cut = cut as usize % (line.len() + 1);
+            let truncated = String::from_utf8_lossy(&line.as_bytes()[..cut]);
+            assert_request_fixed_point(&truncated);
+        }
+    }
+
+    /// Byte-truncations of valid server lines (replies and pushes) never
+    /// panic the client-side parser.
+    #[test]
+    fn truncated_valid_server_lines_never_panic(
+        ids in prop::collection::vec(0u32..100, 1..5),
+        cut in any::<u16>(),
+    ) {
+        let entries: Vec<String> =
+            ids.iter().map(|i| format!("+t{i}:{}", *i as f64 / 8.0)).collect();
+        for line in [
+            format!("DELTA q1 @7{}", entries.iter().map(|e| format!(" {e}")).collect::<String>()),
+            format!("OK SNAPSHOT q2 @9 t{}:0.5", ids[0]),
+            "OK STATS sessions=3 faults=0".to_string(),
+            "ERR busy server inbox full; request dropped, retry later".to_string(),
+            "RESYNC 2".to_string(),
+        ] {
+            prop_assert!(parse_server_line(&line).is_ok(), "seed line rejected: {line}");
+            let cut = cut as usize % (line.len() + 1);
+            let truncated = String::from_utf8_lossy(&line.as_bytes()[..cut]);
+            assert_server_line_fixed_point(&truncated);
+        }
+    }
+}
+
+/// Live-session fuzz: seeded junk lines over a raw socket each earn a
+/// reply (never a hang, never a dropped session), split-across-write
+/// UTF-8 reassembles, an absurd `k=` draws `ERR bad-arg`, and after all
+/// of it the session still answers `PING` and serves a real register.
+#[test]
+fn junk_over_a_raw_socket_gets_errs_and_the_session_survives() {
+    let cfg = ServiceConfig::new(ServerConfig::sma(2, 16));
+    let service = Service::bind("127.0.0.1:0", cfg).expect("bind");
+    let sock = TcpStream::connect(service.local_addr()).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = BufReader::new(sock.try_clone().expect("clone"));
+    let mut sock = sock;
+
+    let reply = |reader: &mut BufReader<TcpStream>| -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        assert!(
+            line.starts_with("OK") || line.starts_with("ERR"),
+            "not a reply: {line:?}"
+        );
+        line
+    };
+
+    // 64 deterministic junk lines of non-whitespace byte soup (whitespace-
+    // only lines are silently skipped by the reader, so every line here is
+    // guaranteed a reply), pipelined, then drained.
+    let mut state = 0xF00DF00Du64;
+    let mut junk = Vec::new();
+    let mut sent = 0usize;
+    for _ in 0..64 {
+        junk.clear();
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let len = 1 + (state >> 40) as usize % 48;
+        for i in 0..len {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Mostly printable-and-beyond, occasional interior space —
+            // never b'\n', and byte 0 is never whitespace.
+            let b = 0x21 + ((state >> 33) % 0xDE) as u8;
+            junk.push(if i > 0 && b.is_multiple_of(13) {
+                b' '
+            } else {
+                b
+            });
+        }
+        junk.push(b'\n');
+        sock.write_all(&junk).expect("write junk");
+        sent += 1;
+    }
+    sock.flush().expect("flush");
+    for _ in 0..sent {
+        reply(&mut reader);
+    }
+
+    // A multi-byte UTF-8 character split across two writes reassembles
+    // into one (invalid) request — one clean parse error, no hang.
+    sock.write_all("caf".as_bytes()).expect("split 1");
+    sock.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(20));
+    let e_acute = "é".as_bytes();
+    sock.write_all(&e_acute[..1]).expect("split 2");
+    sock.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(20));
+    sock.write_all(&e_acute[1..]).expect("split 3");
+    sock.write_all(b"\n").expect("split end");
+    sock.flush().expect("flush");
+    assert!(reply(&mut reader).starts_with("ERR parse "));
+
+    // Same split trick on a *valid* verb must still succeed.
+    sock.write_all(b"PI").expect("half verb");
+    sock.flush().expect("flush");
+    std::thread::sleep(Duration::from_millis(20));
+    sock.write_all(b"NG\n").expect("other half");
+    sock.flush().expect("flush");
+    assert_eq!(reply(&mut reader), "OK pong\n");
+
+    // Oversized-but-parseable arguments are rejected cleanly, not obeyed.
+    sock.write_all(b"REGISTER k=999999999999 weights=1,1\n")
+        .expect("huge k");
+    assert!(reply(&mut reader).starts_with("ERR bad-arg "));
+
+    // The session is still fully functional: register, subscribe, tick,
+    // and mirror the pushed delta.
+    sock.write_all(b"REGISTER k=2 weights=1,1\nSUBSCRIBE q0\nTICK 0.5 0.5\n")
+        .expect("real work");
+    assert_eq!(reply(&mut reader), "OK q0\n");
+    let mut mirror: BTreeMap<_, Vec<Scored>> = BTreeMap::new();
+    let mut pushed = 0;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("line");
+        match parse_server_line(line.trim_end()).expect("classify") {
+            topk_monitor::service::ServerLine::Push(p) => {
+                pushed += 1;
+                apply_push(&mut mirror, &p);
+                if pushed == 2 {
+                    break; // baseline snapshot + the tick's delta
+                }
+            }
+            topk_monitor::service::ServerLine::Reply(_) => {
+                assert!(line.starts_with("OK"), "mid-stream failure: {line:?}")
+            }
+        }
+    }
+    let entries = &mirror[&mirror.keys().next().copied().expect("q")];
+    assert_eq!(entries.len(), 1, "one tuple in the window: {entries:?}");
+    assert_eq!(entries[0].score.get(), 1.0);
+
+    sock.write_all(b"QUIT\n").expect("quit");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("drain");
+    assert!(rest.contains("OK bye"), "no farewell in {rest:?}");
+    service.shutdown();
+}
+
+/// A push stream interleaved with junk on the same socket: garbage lines
+/// earn `ERR parse` replies while subscriptions keep flowing undisturbed.
+#[test]
+fn junk_between_requests_does_not_disturb_the_push_stream() {
+    let cfg = ServiceConfig::new(ServerConfig::sma(1, 8));
+    let service = Service::bind("127.0.0.1:0", cfg).expect("bind");
+    let sock = TcpStream::connect(service.local_addr()).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reader = BufReader::new(sock.try_clone().expect("clone"));
+    let mut sock = sock;
+
+    sock.write_all(b"REGISTER k=1 weights=1\nSUBSCRIBE q0\n")
+        .expect("setup");
+    let mut mirror: BTreeMap<_, Vec<Scored>> = BTreeMap::new();
+    let mut errs = 0;
+    let mut deltas = 0;
+    for round in 0..8u32 {
+        // Strictly increasing, so every tick dethrones the top-1 and is
+        // guaranteed to push a delta.
+        let v = f64::from(round + 1) / 10.0;
+        sock.write_all(format!("\x01garbage {round}\x02\nTICK {v}\n").as_bytes())
+            .expect("round");
+        sock.flush().expect("flush");
+        while deltas <= round {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("line");
+            if line.starts_with("ERR parse ") {
+                errs += 1;
+            } else if let Ok(topk_monitor::service::ServerLine::Push(p)) =
+                parse_server_line(line.trim_end())
+            {
+                if matches!(p, Push::Delta { .. }) {
+                    deltas += 1;
+                }
+                apply_push(&mut mirror, &p);
+            }
+        }
+    }
+    assert_eq!(errs, 8, "every junk line draws exactly one ERR parse");
+    let q = mirror.keys().next().copied().expect("q");
+    assert_eq!(mirror[&q].len(), 1, "top-1 mirror: {:?}", mirror[&q]);
+    sock.write_all(b"QUIT\n").expect("quit");
+    service.shutdown();
+}
