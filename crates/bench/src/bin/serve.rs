@@ -31,6 +31,20 @@
 //!   (`sid=kind@at[+every][:ms];.. | ..`). Combine with `--smoke` for CI
 //!   scale.
 //!
+//! * **`--sites N`**: multi-site mode — N site services each run a local
+//!   engine on their shard of the stream and ship only candidate deltas
+//!   (plus a per-cycle watermark) to a coordinator that merges them into
+//!   the global top-k, while a single-node oracle ingests the full
+//!   stream directly. Reports uplink bytes shipped vs naive stream
+//!   forwarding and the ingest→merge→push latency distribution, then
+//!   verifies the merged results bit-exact against the oracle.
+//!   `--check-baseline BENCH_distrib.json` gates the byte ratio (≥5×
+//!   reduction, no >1.5× regression) and the merge p99. Combined with
+//!   `--chaos`: a seeded site-kill soak — one site (picked by `--seed`)
+//!   is killed a third of the way in and restarted at two thirds; the
+//!   coordinator must keep answering every round (flagged `DEGRADED`),
+//!   heal on re-enrollment, and still land bit-exact on the oracle.
+//!
 //! `--json` prints the measurement as a single JSON object on stdout.
 
 // A CLI tool: stdout is the interface.
@@ -43,9 +57,10 @@ use std::time::Instant;
 use tkm_core::{EngineKind, MonitorServer, Query, ServerConfig};
 use tkm_datagen::{DataDist, PointGen};
 use tkm_service::{
-    apply_push, FaultSchedule, Push, ReconnectPolicy, Service, ServiceClient, ServiceConfig,
-    TickPolicy,
+    apply_push, FaultSchedule, Push, ReconnectPolicy, Role, Service, ServiceClient, ServiceConfig,
+    SiteRole, TickPolicy,
 };
+use tkm_window::WindowSpec;
 
 struct Args {
     addr: String,
@@ -61,8 +76,10 @@ struct Args {
     smoke: bool,
     bench: bool,
     chaos: bool,
+    sites: usize,
     seed: u64,
     fault: Option<String>,
+    baseline: Option<String>,
     json: bool,
 }
 
@@ -83,8 +100,18 @@ fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
     let bench = argv.iter().any(|a| a == "--bench");
+    let sites = parse_num(&argv, "--sites", 0usize);
     // Smoke is a small bench; bench is the default-scale measurement.
-    let (clients, ticks, rate, window) = if smoke {
+    // Multi-site runs push a higher per-tick rate: candidate shipping
+    // wins over stream forwarding exactly when rate ≫ top-k churn, and
+    // the byte-ratio gate measures that margin.
+    let (clients, ticks, rate, window) = if sites > 0 {
+        if smoke {
+            (4, 40, 200, 2_000)
+        } else {
+            (8, 150, 600, 10_000)
+        }
+    } else if smoke {
         (4, 60, 40, 2_000)
     } else {
         (8, 300, 200, 10_000)
@@ -107,8 +134,10 @@ fn parse_args() -> Args {
         smoke,
         bench,
         chaos: argv.iter().any(|a| a == "--chaos"),
+        sites,
         seed: parse_num(&argv, "--seed", 0xC4A05),
         fault: flag_value(&argv, "--fault"),
+        baseline: flag_value(&argv, "--check-baseline"),
         json: argv.iter().any(|a| a == "--json"),
     }
 }
@@ -119,7 +148,9 @@ fn server_config(args: &Args) -> ServerConfig {
 
 fn main() {
     let args = parse_args();
-    if args.chaos {
+    if args.sites > 0 {
+        distrib(&args);
+    } else if args.chaos {
         chaos(&args);
     } else if args.smoke || args.bench {
         loopback(&args);
@@ -220,7 +251,7 @@ fn loopback(args: &Args) {
                 let received = Instant::now();
                 let at = match &push {
                     Push::Delta { at, .. } | Push::Snapshot { at, .. } => Some(at.0),
-                    Push::Resync { .. } => None,
+                    _ => None,
                 };
                 apply_push(&mut mirror, &push);
                 outcome.pushes += 1;
@@ -464,7 +495,7 @@ fn chaos(args: &Args) {
                     pushes += 1;
                     let at = match &push {
                         Push::Delta { at, .. } | Push::Snapshot { at, .. } => at.0 as usize,
-                        Push::Resync { .. } => 0,
+                        _ => 0,
                     };
                     if at > data_ticks {
                         break;
@@ -599,6 +630,429 @@ fn chaos(args: &Args) {
             "   verification: {}",
             if all_ok { "oracle-identical" } else { "FAILED" }
         );
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}
+
+/// One site of the mesh: its service plus the driver connection that
+/// feeds it shard batches.
+struct SiteHandle {
+    svc: Service,
+    driver: ServiceClient,
+}
+
+fn bind_site_handle(scfg: ServerConfig, site: u64, coord: &str) -> SiteHandle {
+    let svc = Service::bind(
+        "127.0.0.1:0",
+        ServiceConfig::new(scfg).with_role(Role::Site(SiteRole::new(site, coord.to_string()))),
+    )
+    .expect("bind site");
+    let driver = ServiceClient::connect(svc.local_addr()).expect("site driver connect");
+    SiteHandle { svc, driver }
+}
+
+/// Minimum acceptable uplink byte reduction vs forwarding the raw stream:
+/// the distributed tier only earns its keep when candidate shipping is at
+/// least this much cheaper.
+const DISTRIB_RATIO_FLOOR: f64 = 5.0;
+/// A committed byte ratio may erode by at most this factor.
+const DISTRIB_RATIO_REGRESSION: f64 = 1.5;
+/// Merge p99 may regress by at most this factor …
+const DISTRIB_P99_REGRESSION: f64 = 4.0;
+/// … and only counts as a regression above this absolute floor, which
+/// keeps scheduler jitter on loopback sockets from tripping CI.
+const DISTRIB_P99_FLOOR_US: f64 = 10_000.0;
+
+/// Scans `"key": <number>` (with or without the space) out of a flat JSON
+/// object — the committed baselines are written by this binary, so the
+/// shape is known and a parser dependency stays unnecessary.
+fn json_num(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = text.find(&pat)? + pat.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares this multi-site run against the committed baseline: the byte
+/// ratio must clear [`DISTRIB_RATIO_FLOOR`], not erode more than
+/// [`DISTRIB_RATIO_REGRESSION`] below the committed value, and the merge
+/// p99 must stay within [`DISTRIB_P99_REGRESSION`] of it (above the
+/// absolute jitter floor).
+fn check_distrib_baseline(path: &str, ratio: f64, p99_us: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("check-baseline: cannot read {path}: {e}"))?;
+    let base_ratio = json_num(&text, "bytes_ratio")
+        .ok_or_else(|| format!("check-baseline: {path} has no bytes_ratio"))?;
+    let base_p99 = json_num(&text, "merge_p99_us")
+        .ok_or_else(|| format!("check-baseline: {path} has no merge_p99_us"))?;
+    if ratio < DISTRIB_RATIO_FLOOR {
+        return Err(format!(
+            "check-baseline: uplink byte reduction {ratio:.1}x is below the \
+             {DISTRIB_RATIO_FLOOR}x floor"
+        ));
+    }
+    if ratio * DISTRIB_RATIO_REGRESSION < base_ratio {
+        return Err(format!(
+            "check-baseline: byte ratio regressed >{DISTRIB_RATIO_REGRESSION}x: \
+             {ratio:.1}x now vs {base_ratio:.1}x in {path}"
+        ));
+    }
+    if p99_us > base_p99 * DISTRIB_P99_REGRESSION && p99_us > DISTRIB_P99_FLOOR_US {
+        return Err(format!(
+            "check-baseline: merge p99 regressed >{DISTRIB_P99_REGRESSION}x: \
+             {p99_us:.0}µs now vs {base_p99:.0}µs in {path}"
+        ));
+    }
+    Ok(())
+}
+
+/// The multi-site harness: `--sites N` site services shard the stream,
+/// ship candidate deltas to one coordinator, and the merged global top-k
+/// is verified bit-exact against a single-node oracle fed the full
+/// stream in-process. With `--chaos`, one seeded site is killed and later
+/// restarted mid-soak.
+fn distrib(args: &Args) {
+    // A time window distributes cleanly (each site expires its own shard
+    // by timestamp); a quarter of the run keeps expiry churn in frame.
+    let window_ticks = (args.ticks as u64 / 4).max(8);
+    let scfg = server_config(args).with_window(WindowSpec::Time(window_ticks));
+    let coordinator = Service::bind(
+        "127.0.0.1:0",
+        ServiceConfig::new(scfg)
+            .with_role(Role::Coordinator)
+            .with_push_queue(args.push_queue),
+    )
+    .expect("bind coordinator");
+    let addr = coordinator.local_addr();
+    let coord_addr = addr.to_string();
+
+    let mut oracle = MonitorServer::new(scfg).expect("oracle");
+    let mut control = ServiceClient::connect(addr).expect("control connect");
+    let mut query_ids = Vec::new();
+    for c in 0..args.clients {
+        let weights: Vec<f64> = (0..args.dims)
+            .map(|d| 0.25 + ((c + d * 3) % 7) as f64 / 4.0)
+            .collect();
+        let id = control.register_linear(args.k, &weights).expect("register");
+        let f = tkm_common::ScoreFn::linear(weights).unwrap();
+        oracle
+            .register(Query::top_k(f, args.k).unwrap())
+            .expect("oracle register");
+        query_ids.push(id);
+    }
+
+    // One subscriber mirrors every query from the coordinator's delta
+    // stream; per-push latency is measured from the instant its round's
+    // first shard was sent (ingest → site → merge → push).
+    let send_instants: Arc<Mutex<Vec<Instant>>> = Arc::new(Mutex::new(Vec::new()));
+    let data_ticks = args.ticks;
+    let qids = query_ids.clone();
+    let instants = Arc::clone(&send_instants);
+    let sub = std::thread::spawn(move || {
+        let mut client = ServiceClient::connect(addr).expect("subscriber connect");
+        let mut mirror = BTreeMap::new();
+        for q in &qids {
+            mirror.insert(*q, client.subscribe(*q).expect("subscribe"));
+        }
+        let mut latencies = Vec::new();
+        let mut pushes = 0usize;
+        let mut degraded = 0usize;
+        let mut healed = 0usize;
+        loop {
+            let push = client.next_push().expect("push stream");
+            let received = Instant::now();
+            pushes += 1;
+            if let Push::Degraded { sites, .. } = &push {
+                if sites.is_empty() {
+                    healed += 1;
+                } else {
+                    degraded += 1;
+                }
+                continue;
+            }
+            let at = match &push {
+                Push::Delta { at, .. } | Push::Snapshot { at, .. } => Some(at.0),
+                _ => None,
+            };
+            apply_push(&mut mirror, &push);
+            if let Some(at) = at {
+                if at >= 1 && at as usize <= data_ticks {
+                    let sent = instants.lock().unwrap()[at as usize - 1];
+                    latencies.push(received.duration_since(sent).as_secs_f64() * 1e6);
+                }
+                if at as usize > data_ticks {
+                    break; // sentinel observed
+                }
+            }
+        }
+        // Delta reconstruction must agree with the coordinator's own
+        // published snapshot for every query (the oracle comparison runs
+        // against the coordinator in the main thread).
+        let mut ok = true;
+        for q in &qids {
+            let (_, wire) = client.snapshot(*q).expect("final snapshot");
+            while let Some(p) = client.try_buffered_push() {
+                apply_push(&mut mirror, &p);
+            }
+            if mirror.get(q).map(Vec::as_slice) != Some(wire.as_slice()) {
+                eprintln!("subscriber: delta reconstruction != coordinator snapshot for {q}");
+                ok = false;
+            }
+        }
+        let _ = client.quit();
+        (latencies, pushes, degraded, healed, ok)
+    });
+
+    let mut sites: Vec<Option<SiteHandle>> = (0..args.sites)
+        .map(|s| Some(bind_site_handle(scfg, s as u64, &coord_addr)))
+        .collect();
+    let victim = args.chaos.then(|| (args.seed as usize) % args.sites);
+    let t_kill = args.ticks / 3;
+    let t_heal = 2 * args.ticks / 3;
+
+    let mut gen = PointGen::new(args.dims, DataDist::Ind, args.seed ^ 7).expect("gen");
+    let mut base = 0u64;
+    let mut degraded_observed = false;
+    let mut snapshots_served = 0usize;
+    let soak_start = Instant::now();
+    for t in 1..=args.ticks {
+        if let Some(v) = victim {
+            if t == t_kill {
+                if let Some(h) = sites[v].take() {
+                    drop(h.driver);
+                    h.svc.shutdown();
+                }
+            }
+            if t == t_heal && sites[v].is_none() {
+                sites[v] = Some(bind_site_handle(scfg, v as u64, &coord_addr));
+            }
+        }
+        // Shard the round contiguously so global ids stay dense in
+        // arrival order; a dead site's share is simply lost (neither the
+        // mesh nor the oracle sees it).
+        let per = args.rate / args.sites;
+        send_instants.lock().unwrap().push(Instant::now());
+        let mut full = Vec::with_capacity(args.rate * args.dims);
+        for s in 0..args.sites {
+            let n = if s + 1 == args.sites {
+                args.rate - per * (args.sites - 1)
+            } else {
+                per
+            };
+            let mut chunk = Vec::with_capacity(n * args.dims);
+            for _ in 0..n {
+                chunk.extend(gen.point());
+            }
+            let Some(h) = sites[s].as_mut() else { continue };
+            h.driver
+                .site_ingest(tkm_common::Timestamp(t as u64), base, &chunk)
+                .expect("site ingest");
+            base += n as u64;
+            full.extend_from_slice(&chunk);
+        }
+        oracle
+            .tick_at(tkm_common::Timestamp(t as u64), &full)
+            .expect("oracle tick");
+        if args.chaos {
+            // Graceful degradation, not an outage: the coordinator must
+            // answer every round of the soak.
+            control
+                .snapshot(query_ids[0])
+                .expect("snapshot during soak");
+            snapshots_served += 1;
+            if !degraded_observed {
+                let stats = control.stats().expect("stats");
+                degraded_observed = stats.get("degraded_sites").is_some_and(|v| !v.is_empty());
+            }
+        }
+    }
+    let soak_elapsed = soak_start.elapsed();
+
+    // Sentinel cycle: k max-score tuples through site 0 (they dominate
+    // every query, so each one's result changes), bare markers from the
+    // rest so the frontier advances and the merge publishes.
+    let sentinel_t = args.ticks as u64 + 1;
+    let sentinel = vec![1.0; args.k * args.dims];
+    for (s, slot) in sites.iter_mut().enumerate() {
+        let Some(h) = slot.as_mut() else { continue };
+        let chunk: &[f64] = if s == 0 { &sentinel } else { &[] };
+        h.driver
+            .site_ingest(tkm_common::Timestamp(sentinel_t), base, chunk)
+            .expect("sentinel ingest");
+    }
+    base += args.k as u64;
+    let _ = base;
+    oracle
+        .tick_at(tkm_common::Timestamp(sentinel_t), &sentinel)
+        .expect("oracle sentinel");
+
+    // Convergence: poll the coordinator against the oracle, driving
+    // empty catch-up cycles (lockstep on both sides) so re-dialed
+    // uplinks re-enroll and in-flight markers land.
+    let deadline = Instant::now() + std::time::Duration::from_secs(60);
+    let mut settle_t = sentinel_t;
+    let mut converged = false;
+    while !converged && Instant::now() < deadline {
+        converged = query_ids.iter().all(|q| {
+            let wire = control.snapshot(*q).expect("verify snapshot").1;
+            oracle.result(*q).is_ok_and(|want| want == wire)
+        });
+        if converged {
+            break;
+        }
+        settle_t += 1;
+        for h in sites.iter_mut().flatten() {
+            let _ = h
+                .driver
+                .site_ingest(tkm_common::Timestamp(settle_t), 0, &[]);
+        }
+        oracle
+            .tick_at(tkm_common::Timestamp(settle_t), &[])
+            .expect("oracle settle");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let (latencies, pushes, degraded_pushes, healed_pushes, sub_ok) =
+        sub.join().expect("subscriber thread");
+    let mut latencies = latencies;
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+
+    let mut bytes_shipped = 0u64;
+    let mut bytes_naive = 0u64;
+    for h in sites.iter_mut().flatten() {
+        let stats = h.driver.stats().expect("site stats");
+        let num = |k: &str| {
+            stats
+                .get(k)
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0)
+        };
+        bytes_shipped += num("bytes_shipped");
+        bytes_naive += num("bytes_naive");
+    }
+    let ratio = bytes_naive as f64 / bytes_shipped.max(1) as f64;
+    let coord_stats = control.stats().expect("coordinator stats");
+    let healed_now = coord_stats
+        .get("degraded_sites")
+        .is_some_and(String::is_empty);
+
+    let mut all_ok = sub_ok && converged;
+    if !converged {
+        eprintln!("mesh never converged with the single-node oracle");
+    }
+    if args.chaos {
+        if !degraded_observed || degraded_pushes == 0 {
+            eprintln!("site kill was never surfaced as DEGRADED");
+            all_ok = false;
+        }
+        if !healed_now || healed_pushes == 0 {
+            eprintln!("restarted site never healed the DEGRADED flag");
+            all_ok = false;
+        }
+        if snapshots_served != args.ticks {
+            eprintln!(
+                "coordinator missed soak snapshots: {snapshots_served}/{}",
+                args.ticks
+            );
+            all_ok = false;
+        }
+    }
+
+    let _ = control.quit();
+    for h in sites.into_iter().flatten() {
+        let _ = h.driver.quit();
+        h.svc.shutdown();
+    }
+    coordinator.shutdown();
+
+    let mode = match (args.chaos, args.smoke) {
+        (true, _) => "distrib-chaos",
+        (false, true) => "distrib-smoke",
+        (false, false) => "distrib",
+    };
+    if args.json {
+        println!(
+            "{{\"mode\":\"{mode}\",\"sites\":{},\"dims\":{},\"window_ticks\":{},\
+             \"clients\":{},\"ticks\":{},\"rate\":{},\"k\":{},\"seed\":{},\
+             \"bytes_shipped\":{bytes_shipped},\"bytes_naive\":{bytes_naive},\
+             \"bytes_ratio\":{ratio:.2},\"merge_p50_us\":{:.1},\"merge_p99_us\":{:.1},\
+             \"pushes\":{pushes},\"degraded_pushes\":{degraded_pushes},\
+             \"healed_pushes\":{healed_pushes},\"ok\":{all_ok}}}",
+            args.sites,
+            args.dims,
+            window_ticks,
+            args.clients,
+            args.ticks + 1,
+            args.rate,
+            args.k,
+            args.seed,
+            pct(0.50),
+            pct(0.99),
+        );
+    } else {
+        println!("== serve multi-site ({mode}) ==");
+        println!(
+            "   {} sites → 1 coordinator, {} queries × top-{} (d={}), window {} ticks",
+            args.sites, args.clients, args.k, args.dims, window_ticks
+        );
+        println!(
+            "   {} ticks × {} tuples in {:.3}s soak wall time",
+            args.ticks + 1,
+            args.rate,
+            soak_elapsed.as_secs_f64()
+        );
+        println!(
+            "   uplink bytes      : {bytes_shipped} shipped vs {bytes_naive} naive forwarding \
+             ({ratio:.1}x fewer)"
+        );
+        println!(
+            "   merge latency     : p50 {:.1}µs   p99 {:.1}µs   ({} samples)",
+            pct(0.50),
+            pct(0.99),
+            latencies.len()
+        );
+        if args.chaos {
+            println!(
+                "   chaos: site {} killed @t{t_kill}, restarted @t{t_heal} — \
+                 {degraded_pushes} DEGRADED / {healed_pushes} heal pushes, \
+                 {snapshots_served}/{} soak snapshots answered",
+                victim.unwrap_or(0),
+                args.ticks
+            );
+        }
+        println!(
+            "   verification: {}",
+            if all_ok { "oracle-identical" } else { "FAILED" }
+        );
+    }
+
+    if let Some(path) = &args.baseline {
+        if args.chaos {
+            println!("baseline check skipped (chaos mode measures robustness, not bytes)");
+        } else {
+            match check_distrib_baseline(path, ratio, pct(0.99)) {
+                Ok(()) => println!(
+                    "baseline check ok ({ratio:.1}x ≥ {DISTRIB_RATIO_FLOOR}x, within \
+                     {DISTRIB_RATIO_REGRESSION}x of {path})"
+                ),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    all_ok = false;
+                }
+            }
+        }
     }
     if !all_ok {
         std::process::exit(1);

@@ -23,7 +23,9 @@ use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::fault::splitmix64;
-use crate::protocol::{parse_server_line, Family, Push, Reply, Request, ServerLine, WireWindow};
+use crate::protocol::{
+    parse_server_line, Family, Push, QuerySpec, Reply, Request, ServerLine, WireWindow,
+};
 use tkm_common::{QueryId, Scored, Timestamp};
 
 /// A client-side failure: transport, framing, or a server `ERR` reply.
@@ -137,6 +139,8 @@ impl ServiceClient {
     /// Connects to a running service.
     pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<ServiceClient> {
         let stream = TcpStream::connect(addr)?;
+        // Requests are small lines; Nagle would stall pipelined sends.
+        let _ = stream.set_nodelay(true);
         let read_half = stream.try_clone()?;
         let addr = stream.peer_addr().ok();
         Ok(ServiceClient {
@@ -362,10 +366,12 @@ impl ServiceClient {
         window: Option<WireWindow>,
     ) -> ClientResult<QueryId> {
         self.send(&Request::Register {
-            k,
-            weights: weights.to_vec(),
-            family,
-            range,
+            spec: QuerySpec {
+                k,
+                weights: weights.to_vec(),
+                family,
+                range,
+            },
             window,
         })?;
         self.expect_query()
@@ -461,6 +467,50 @@ impl ServiceClient {
         }
     }
 
+    /// Enrolls this connection as site `site`'s uplink on a coordinator
+    /// (`SITE <id> dims=<d>`); any `ADOPT` replay pushed ahead of the
+    /// reply lands in the push buffer. Returns the acknowledged site id.
+    ///
+    /// Test/bench drivers use this to play a site by hand; a real site
+    /// server maintains its own uplink internally.
+    pub fn enroll_site(&mut self, site: u64, dims: usize) -> ClientResult<u64> {
+        self.send(&Request::SiteHello { site, dims })?;
+        match self.wait_reply()? {
+            Reply::OkSite(id) => Ok(id),
+            other => fail(other),
+        }
+    }
+
+    /// Drives one ingest cycle on a site server (`SITETICK @t base=g …`):
+    /// `base` is the global id of the batch's first tuple. Returns the
+    /// site's logical time after the cycle.
+    pub fn site_ingest(
+        &mut self,
+        at: Timestamp,
+        base: u64,
+        arrivals: &[f64],
+    ) -> ClientResult<Timestamp> {
+        self.send(&Request::SiteIngest {
+            at,
+            base,
+            arrivals: arrivals.to_vec(),
+        })?;
+        match self.wait_reply()? {
+            Reply::OkTick { now, .. } => Ok(now),
+            other => fail(other),
+        }
+    }
+
+    /// Sends a bare cycle marker (`SITETICK @t`): an empty ingest cycle on
+    /// a site, a watermark advance on a coordinator (uplink protocol).
+    pub fn site_cycle(&mut self, at: Timestamp) -> ClientResult<Timestamp> {
+        self.send(&Request::SiteCycle { at })?;
+        match self.wait_reply()? {
+            Reply::OkTick { now, .. } => Ok(now),
+            other => fail(other),
+        }
+    }
+
     /// Server counters as a key → value map. Idempotent, so a
     /// self-healing client retries it once across a resume.
     pub fn stats(&mut self) -> ClientResult<BTreeMap<String, String>> {
@@ -497,8 +547,10 @@ fn fail<T>(reply: Reply) -> ClientResult<T> {
 /// `DELTA` edits the query's list via [`tkm_core::ResultDelta::apply`];
 /// `SNAPSHOT` replaces it wholesale (this is what makes the
 /// drop-to-snapshot resync self-healing); `RESYNC` itself changes nothing
-/// — the snapshots that follow it do the re-baselining. Returns the query
-/// the push affected, if any.
+/// — the snapshots that follow it do the re-baselining. `ADOPT` (a
+/// site-role instruction) and `DEGRADED` (a data-quality marker) never
+/// carry result data, so they leave the mirror untouched. Returns the
+/// query the push affected, if any.
 pub fn apply_push(mirror: &mut BTreeMap<QueryId, Vec<Scored>>, push: &Push) -> Option<QueryId> {
     match push {
         Push::Delta { delta, .. } => {
@@ -509,6 +561,6 @@ pub fn apply_push(mirror: &mut BTreeMap<QueryId, Vec<Scored>>, push: &Push) -> O
             mirror.insert(*query, entries.clone());
             Some(*query)
         }
-        Push::Resync { .. } => None,
+        Push::Resync { .. } | Push::Adopt { .. } | Push::Degraded { .. } => None,
     }
 }

@@ -154,52 +154,74 @@ impl FaultPlan {
     /// `kind@at[+every][:ms]`, e.g. `reset@40`,
     /// `stall-write@10+10:200`, `garble@25+40`. Kinds: `stall-read` /
     /// `stall-write` (require `:ms`), `reset`, `garble`, `truncate`,
-    /// `partial`.
+    /// `partial`. Errors name the offending token and its byte offset in
+    /// the input.
     pub fn parse(dsl: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new();
-        for tok in dsl.split([';', ' ', '\t', '\n']).filter(|t| !t.is_empty()) {
-            let (kind, sched) = tok
-                .split_once('@')
-                .ok_or_else(|| format!("fault rules are kind@at[+every][:ms], got `{tok}`"))?;
-            let (sched, ms) = match sched.split_once(':') {
-                Some((s, ms)) => {
-                    let ms: u64 = ms.parse().map_err(|_| format!("bad stall ms in `{tok}`"))?;
-                    (s, Some(ms))
-                }
-                None => (sched, None),
-            };
-            let (at, every) = match sched.split_once('+') {
-                Some((at, every)) => (
-                    at.parse().map_err(|_| format!("bad op index in `{tok}`"))?,
-                    every
-                        .parse()
-                        .map_err(|_| format!("bad recurrence in `{tok}`"))?,
-                ),
-                None => (
-                    sched
-                        .parse()
-                        .map_err(|_| format!("bad op index in `{tok}`"))?,
-                    0,
-                ),
-            };
-            let kind = match (kind, ms) {
-                ("stall-read", Some(ms)) => FaultKind::StallRead(ms),
-                ("stall-write", Some(ms)) => FaultKind::StallWrite(ms),
-                ("stall-read" | "stall-write", None) => {
-                    return Err(format!(
-                        "`{tok}` needs a stall duration, e.g. `{kind}@{sched}:100`"
-                    ))
-                }
-                ("reset", None) => FaultKind::Reset,
-                ("garble", None) => FaultKind::Garble,
-                ("truncate", None) => FaultKind::Truncate,
-                ("partial", None) => FaultKind::Partial,
-                _ => return Err(format!("unknown fault kind in `{tok}`")),
-            };
-            plan.rules.push(FaultRule { kind, at, every });
+        // Every separator is one byte, so token offsets can be tracked
+        // through the split without re-scanning the input.
+        let mut off = 0usize;
+        for tok in dsl.split([';', ' ', '\t', '\n']) {
+            let pos = off;
+            off += tok.len() + 1;
+            if tok.is_empty() {
+                continue;
+            }
+            plan.rules.push(parse_rule(tok, pos)?);
         }
         Ok(plan)
     }
+}
+
+/// Parses one `kind@at[+every][:ms]` rule token found at byte `pos` of
+/// its DSL input (the offset every error message points at).
+fn parse_rule(tok: &str, pos: usize) -> Result<FaultRule, String> {
+    let (kind, sched) = tok.split_once('@').ok_or_else(|| {
+        format!("fault rules are kind@at[+every][:ms], got `{tok}` at byte {pos}")
+    })?;
+    let (sched, ms) = match sched.split_once(':') {
+        Some((s, ms)) => {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("bad stall ms `{ms}` in `{tok}` at byte {pos}"))?;
+            (s, Some(ms))
+        }
+        None => (sched, None),
+    };
+    let (at, every) = match sched.split_once('+') {
+        Some((at, every)) => (
+            at.parse()
+                .map_err(|_| format!("bad op index `{at}` in `{tok}` at byte {pos}"))?,
+            every
+                .parse()
+                .map_err(|_| format!("bad recurrence `{every}` in `{tok}` at byte {pos}"))?,
+        ),
+        None => (
+            sched
+                .parse()
+                .map_err(|_| format!("bad op index `{sched}` in `{tok}` at byte {pos}"))?,
+            0,
+        ),
+    };
+    let kind = match (kind, ms) {
+        ("stall-read", Some(ms)) => FaultKind::StallRead(ms),
+        ("stall-write", Some(ms)) => FaultKind::StallWrite(ms),
+        ("stall-read" | "stall-write", None) => {
+            return Err(format!(
+                "`{tok}` at byte {pos} needs a stall duration, e.g. `{kind}@{sched}:100`"
+            ))
+        }
+        ("reset", None) => FaultKind::Reset,
+        ("garble", None) => FaultKind::Garble,
+        ("truncate", None) => FaultKind::Truncate,
+        ("partial", None) => FaultKind::Partial,
+        _ => {
+            return Err(format!(
+                "unknown fault kind `{kind}` in `{tok}` at byte {pos}"
+            ))
+        }
+    };
+    Ok(FaultRule { kind, at, every })
 }
 
 impl std::fmt::Display for FaultPlan {
@@ -270,18 +292,27 @@ impl FaultSchedule {
     /// `2=reset@40|5=garble@60+30|*=stall-write@50+100:80`.
     pub fn parse(dsl: &str, seed: u64) -> Result<FaultSchedule, String> {
         let mut sched = FaultSchedule::new(seed);
-        for entry in dsl.split('|').filter(|e| !e.trim().is_empty()) {
-            let (conn, plan) = entry
-                .split_once('=')
-                .ok_or_else(|| format!("schedule entries are conn=plan, got `{entry}`"))?;
-            let plan = FaultPlan::parse(plan)?;
+        let mut off = 0usize;
+        for entry in dsl.split('|') {
+            let pos = off;
+            off += entry.len() + 1;
+            if entry.trim().is_empty() {
+                continue;
+            }
+            let (conn, plan) = entry.split_once('=').ok_or_else(|| {
+                format!("schedule entries are conn=plan, got `{entry}` at byte {pos}")
+            })?;
+            // Plan errors carry offsets relative to the plan substring;
+            // anchor them to the entry so they locate in the full input.
+            let plan = FaultPlan::parse(plan)
+                .map_err(|e| format!("in schedule entry at byte {pos}: {e}"))?;
             if conn.trim() == "*" {
                 sched.fallback = Some(plan);
             } else {
                 let idx: u64 = conn
                     .trim()
                     .parse()
-                    .map_err(|_| format!("bad connection index `{conn}`"))?;
+                    .map_err(|_| format!("bad connection index `{conn}` at byte {pos}"))?;
                 sched.entries.push((idx, plan));
             }
         }
@@ -537,6 +568,42 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "should reject `{bad}`");
         }
+    }
+
+    #[test]
+    fn plan_errors_name_the_token_and_its_byte_offset() {
+        // `garbage` is the second token, starting right after "reset@1;".
+        let err = FaultPlan::parse("reset@1;garbage").unwrap_err();
+        assert_eq!(
+            err,
+            "fault rules are kind@at[+every][:ms], got `garbage` at byte 8"
+        );
+        let err = FaultPlan::parse("garble@2 reset@x+3").unwrap_err();
+        assert_eq!(err, "bad op index `x` in `reset@x+3` at byte 9");
+        let err = FaultPlan::parse("reset@1+y").unwrap_err();
+        assert_eq!(err, "bad recurrence `y` in `reset@1+y` at byte 0");
+        let err = FaultPlan::parse("stall-read@5:abc").unwrap_err();
+        assert_eq!(err, "bad stall ms `abc` in `stall-read@5:abc` at byte 0");
+        let err = FaultPlan::parse("reset@1 stall-write@5+2").unwrap_err();
+        assert_eq!(
+            err,
+            "`stall-write@5+2` at byte 8 needs a stall duration, e.g. `stall-write@5+2:100`"
+        );
+        let err = FaultPlan::parse("frob@1").unwrap_err();
+        assert_eq!(err, "unknown fault kind `frob` in `frob@1` at byte 0");
+    }
+
+    #[test]
+    fn schedule_errors_locate_the_entry() {
+        let err = FaultSchedule::parse("2=reset@40|oops", 0).unwrap_err();
+        assert_eq!(err, "schedule entries are conn=plan, got `oops` at byte 11");
+        let err = FaultSchedule::parse("2=reset@40|x=garble@1", 0).unwrap_err();
+        assert_eq!(err, "bad connection index `x` at byte 11");
+        let err = FaultSchedule::parse("2=reset@40|3=frob@1", 0).unwrap_err();
+        assert_eq!(
+            err,
+            "in schedule entry at byte 11: unknown fault kind `frob` in `frob@1` at byte 0"
+        );
     }
 
     #[test]

@@ -31,7 +31,13 @@
 //! * [`fault`] — the [`Transport`] seam plus a deterministic
 //!   fault-injection layer ([`FaultyStream`], [`FaultPlan`]) that the
 //!   chaos tests and `serve --chaos` script seeded stalls, resets, and
-//!   garbling through.
+//!   garbling through;
+//! * [`distrib`] — the multi-site tier: a [`Role::Site`] server runs a
+//!   local engine over its partition of the stream and ships only result
+//!   *changes* (`SITEDELTA`) up one coordinator uplink, and a
+//!   [`Role::Coordinator`] merges per-site partial results into global
+//!   top-k's with lease-based liveness, a bounded-staleness publish
+//!   frontier, and graceful `DEGRADED` degradation when sites die.
 //!
 //! The failure model (idle reaping, write deadlines, `PING`/`PONG`
 //! heartbeats, `ERR busy` overload shedding, client backoff) is
@@ -67,6 +73,7 @@
 //! ```
 
 pub mod client;
+pub mod distrib;
 pub mod fault;
 pub mod protocol;
 pub mod service;
@@ -75,9 +82,11 @@ pub mod session;
 pub use client::{
     apply_push, ClientError, ClientResult, ClientStatus, ReconnectPolicy, ServiceClient,
 };
+pub use distrib::{Role, SiteRole};
 pub use fault::{FaultKind, FaultPlan, FaultRule, FaultSchedule, FaultyStream, Transport};
 pub use protocol::{
-    parse_request, parse_server_line, ErrCode, Family, Push, Reply, Request, ServerLine, WireWindow,
+    parse_request, parse_server_line, ErrCode, Family, Push, QuerySpec, Reply, Request, ServerLine,
+    WireWindow,
 };
 pub use service::{Service, ServiceConfig, TickPolicy};
 pub use session::{SessionId, SessionOut};

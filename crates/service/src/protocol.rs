@@ -5,11 +5,17 @@
 //!
 //! * **requests** (client → server): [`Request`] — `REGISTER`,
 //!   `UNREGISTER`, `SUBSCRIBE`, `UNSUBSCRIBE`, `SNAPSHOT`, `TICK`,
-//!   `TICKAT`, `STATS`, `PING`, `QUIT`;
+//!   `TICKAT`, `STATS`, `PING`, `QUIT`, plus the distributed-tier verbs
+//!   `SITE` (a site enrolls on its coordinator uplink), `SITEDELTA` (a
+//!   site ships its local result change) and `SITETICK` (cycle marker /
+//!   site-local ingestion — see [`Request::SiteCycle`] and
+//!   [`Request::SiteIngest`]);
 //! * **replies** (server → client, exactly one per request, in request
 //!   order): [`Reply`] — lines starting `OK` or `ERR`;
 //! * **pushes** (server → subscriber, asynchronous): [`Push`] — lines
-//!   starting `DELTA`, `SNAPSHOT` or `RESYNC`.
+//!   starting `DELTA`, `SNAPSHOT`, `RESYNC`, `ADOPT` (coordinator →
+//!   site: install/retire a query) or `DEGRADED` (coordinator →
+//!   subscriber: which sites a query is currently missing).
 //!
 //! Replies and pushes share one ordered stream per connection, so a client
 //! that issues a request is guaranteed to see every push enqueued before
@@ -50,6 +56,20 @@ impl fmt::Display for Family {
     }
 }
 
+/// The query-shape arguments shared by `REGISTER` requests and `ADOPT`
+/// pushes: `k=<K> weights=<w,..> [fn=<family>] [range=<lo:hi,..>]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuerySpec {
+    /// Result cardinality.
+    pub k: usize,
+    /// Per-dimension function parameters (weights/offsets).
+    pub weights: Vec<f64>,
+    /// Scoring-function family.
+    pub family: Family,
+    /// Optional per-dimension `(lo, hi)` constraint region (§7).
+    pub range: Option<Vec<(f64, f64)>>,
+}
+
 /// A parsed client request.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
@@ -61,14 +81,8 @@ pub enum Request {
     /// was started with, so a client cannot silently monitor a different
     /// window than it believes it does.
     Register {
-        /// Result cardinality.
-        k: usize,
-        /// Per-dimension function parameters (weights/offsets).
-        weights: Vec<f64>,
-        /// Scoring-function family.
-        family: Family,
-        /// Optional per-dimension `(lo, hi)` constraint region (§7).
-        range: Option<Vec<(f64, f64)>>,
+        /// The query shape.
+        spec: QuerySpec,
         /// Optional window assertion.
         window: Option<WireWindow>,
     },
@@ -106,6 +120,73 @@ pub enum Request {
     Ping,
     /// `QUIT` — server replies `OK bye` and closes the connection.
     Quit,
+    /// `SITE <id> dims=<d>` — a site enrolls (or re-enrolls after a
+    /// failure) on its uplink connection to a coordinator. The
+    /// coordinator replies `OK s<id>`, preceded by one `ADOPT` push per
+    /// currently registered query, so a site that drains pushes until
+    /// the reply holds the full query set synchronously.
+    SiteHello {
+        /// The site's stable identifier (survives reconnects).
+        site: u64,
+        /// The site engine's dimensionality; must match the coordinator.
+        dims: usize,
+    },
+    /// `SITEDELTA q<ID> @<ts> [+entry].. [-entry]..` — a site ships the
+    /// change of its *local* top-k for one query at local cycle `ts`.
+    /// Entry tuple ids are global (the site translates before shipping),
+    /// so the coordinator can merge pools from different sites with the
+    /// exact global tie-break order.
+    SiteDelta {
+        /// The site's local cycle timestamp.
+        at: Timestamp,
+        /// The local result change, in global tuple ids.
+        delta: ResultDelta,
+    },
+    /// `SITETICK @<ts> base=<gid> [v1 v2 ..]` — drives one local cycle
+    /// of a *site-role* server: the arrivals (one tuple per `dims`
+    /// values) carry the global tuple ids `base`, `base+1`, … in order.
+    /// The site runs the cycle at `ts` and ships any `SITEDELTA`s plus a
+    /// bare `SITETICK @<ts>` marker up its coordinator uplink.
+    SiteIngest {
+        /// Logical timestamp of the cycle (global clock).
+        at: Timestamp,
+        /// Global tuple id of the first arrival in this batch.
+        base: u64,
+        /// Flat coordinate buffer of the batch.
+        arrivals: Vec<f64>,
+    },
+    /// `SITETICK @<ts>` — the cycle marker a site sends its coordinator
+    /// *after* the cycle's `SITEDELTA`s: "my local engine is now at
+    /// `ts`". The coordinator advances the site's watermark; when the
+    /// minimum watermark over live sites advances, it merges and
+    /// publishes. Doubles as the site's lease heartbeat.
+    SiteCycle {
+        /// The site's local cycle timestamp.
+        at: Timestamp,
+    },
+}
+
+impl Request {
+    /// The wire verb of this request — the first token of its encoding.
+    /// Used by the overload-shedding metrics to attribute `ERR busy`
+    /// sheds per verb.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "REGISTER",
+            Request::Unregister(_) => "UNREGISTER",
+            Request::Subscribe(_) => "SUBSCRIBE",
+            Request::Unsubscribe(_) => "UNSUBSCRIBE",
+            Request::Snapshot(_) => "SNAPSHOT",
+            Request::Tick { .. } => "TICK",
+            Request::TickAt { .. } => "TICKAT",
+            Request::Stats => "STATS",
+            Request::Ping => "PING",
+            Request::Quit => "QUIT",
+            Request::SiteHello { .. } => "SITE",
+            Request::SiteDelta { .. } => "SITEDELTA",
+            Request::SiteIngest { .. } | Request::SiteCycle { .. } => "SITETICK",
+        }
+    }
 }
 
 /// The window shape carried by a `REGISTER … window=` assertion.
@@ -222,6 +303,8 @@ pub enum Reply {
     OkPong,
     /// `OK bye` — connection closing after `QUIT`.
     OkBye,
+    /// `OK s<ID>` — a coordinator accepted a `SITE` enrollment.
+    OkSite(u64),
     /// `ERR <code> <message>` — the request failed.
     Err {
         /// Machine-readable error class.
@@ -269,6 +352,31 @@ pub enum Push {
         /// Number of `SNAPSHOT` pushes enqueued behind this marker.
         count: usize,
     },
+    /// `ADOPT q<ID> (retire | k=<K> weights=<..> [fn=..] [range=..])` —
+    /// coordinator → site: install (or retire, when `spec` is `None`)
+    /// the query under the coordinator's *global* query id. Pushed to
+    /// every enrolled site when a query is registered/unregistered, and
+    /// replayed in full ahead of the `OK s<id>` reply when a site
+    /// (re-)enrolls.
+    Adopt {
+        /// The coordinator's id for the query.
+        query: QueryId,
+        /// The query shape, or `None` to retire it.
+        spec: Option<QuerySpec>,
+    },
+    /// `DEGRADED q<ID> [s<1> s<2> ..]` — coordinator → subscriber: the
+    /// query's published result is currently merged *without* the listed
+    /// sites (they missed their lease or dropped their uplink). An empty
+    /// site list marks the query healed: every enrolled site contributes
+    /// again. Mirrors are unaffected — this is a data-quality marker,
+    /// not a result change.
+    Degraded {
+        /// The affected query.
+        query: QueryId,
+        /// Sites currently missing from the merge (ascending, empty =
+        /// healed).
+        sites: Vec<u64>,
+    },
 }
 
 /// A classified server-to-client line.
@@ -290,25 +398,25 @@ fn write_entries(out: &mut String, entries: &[Scored], sign: &str) {
     }
 }
 
+impl fmt::Display for QuerySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k={} weights={}", self.k, join_floats(&self.weights))?;
+        if self.family != Family::Linear {
+            write!(f, " fn={}", self.family)?;
+        }
+        if let Some(r) = &self.range {
+            let spans: Vec<String> = r.iter().map(|(lo, hi)| format!("{lo}:{hi}")).collect();
+            write!(f, " range={}", spans.join(","))?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for Request {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Request::Register {
-                k,
-                weights,
-                family,
-                range,
-                window,
-            } => {
-                write!(f, "REGISTER k={k} weights={}", join_floats(weights))?;
-                if *family != Family::Linear {
-                    write!(f, " fn={family}")?;
-                }
-                if let Some(r) = range {
-                    let spans: Vec<String> =
-                        r.iter().map(|(lo, hi)| format!("{lo}:{hi}")).collect();
-                    write!(f, " range={}", spans.join(","))?;
-                }
+            Request::Register { spec, window } => {
+                write!(f, "REGISTER {spec}")?;
                 if let Some(w) = window {
                     write!(f, " window={w}")?;
                 }
@@ -335,6 +443,21 @@ impl fmt::Display for Request {
             Request::Stats => f.write_str("STATS"),
             Request::Ping => f.write_str("PING"),
             Request::Quit => f.write_str("QUIT"),
+            Request::SiteHello { site, dims } => write!(f, "SITE {site} dims={dims}"),
+            Request::SiteDelta { at, delta } => {
+                let mut line = format!("SITEDELTA {} {at}", delta.query);
+                write_entries(&mut line, &delta.added, "+");
+                write_entries(&mut line, &delta.removed, "-");
+                f.write_str(&line)
+            }
+            Request::SiteIngest { at, base, arrivals } => {
+                write!(f, "SITETICK {at} base={base}")?;
+                for v in arrivals {
+                    write!(f, " {v}")?;
+                }
+                Ok(())
+            }
+            Request::SiteCycle { at } => write!(f, "SITETICK {at}"),
         }
     }
 }
@@ -358,6 +481,7 @@ impl fmt::Display for Reply {
             }
             Reply::OkPong => f.write_str("OK pong"),
             Reply::OkBye => f.write_str("OK bye"),
+            Reply::OkSite(id) => write!(f, "OK s{id}"),
             Reply::Err { code, message } => write!(f, "ERR {code} {message}"),
         }
     }
@@ -378,6 +502,17 @@ impl fmt::Display for Push {
                 f.write_str(&line)
             }
             Push::Resync { count } => write!(f, "RESYNC {count}"),
+            Push::Adopt { query, spec } => match spec {
+                Some(spec) => write!(f, "ADOPT {query} {spec}"),
+                None => write!(f, "ADOPT {query} retire"),
+            },
+            Push::Degraded { query, sites } => {
+                write!(f, "DEGRADED {query}")?;
+                for sid in sites {
+                    write!(f, " s{sid}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -453,7 +588,14 @@ fn one_arg<'a>(toks: &[&'a str], verb: &str) -> Result<&'a str, String> {
     }
 }
 
-fn parse_register(toks: &[&str]) -> Result<Request, String> {
+/// Parses the shared `k= weights= [fn=] [range=]` query-shape grammar of
+/// `REGISTER` (which additionally allows `window=`) and `ADOPT` (which
+/// rejects it: the window is the coordinator's, not per-query).
+fn parse_query_args(
+    toks: &[&str],
+    verb: &str,
+    allow_window: bool,
+) -> Result<(QuerySpec, Option<WireWindow>), String> {
     let mut k = None;
     let mut weights = None;
     let mut family = Family::Linear;
@@ -462,7 +604,7 @@ fn parse_register(toks: &[&str]) -> Result<Request, String> {
     for tok in toks {
         let (key, value) = tok
             .split_once('=')
-            .ok_or_else(|| format!("REGISTER arguments are key=value, got `{tok}`"))?;
+            .ok_or_else(|| format!("{verb} arguments are key=value, got `{tok}`"))?;
         match key {
             "k" => {
                 let v: usize = value.parse().map_err(|_| format!("bad k `{value}`"))?;
@@ -489,7 +631,7 @@ fn parse_register(toks: &[&str]) -> Result<Request, String> {
                     .collect();
                 range = Some(spans?);
             }
-            "window" => {
+            "window" if allow_window => {
                 let (kind, size) = value
                     .split_once(':')
                     .ok_or_else(|| format!("window is count:<N> or time:<T>, got `{value}`"))?;
@@ -502,16 +644,16 @@ fn parse_register(toks: &[&str]) -> Result<Request, String> {
                     _ => return Err(format!("unknown window kind `{kind}`")),
                 });
             }
-            _ => return Err(format!("unknown REGISTER argument `{key}`")),
+            _ => return Err(format!("unknown {verb} argument `{key}`")),
         }
     }
-    Ok(Request::Register {
-        k: k.ok_or("REGISTER requires k=")?,
-        weights: weights.ok_or("REGISTER requires weights=")?,
+    let spec = QuerySpec {
+        k: k.ok_or_else(|| format!("{verb} requires k="))?,
+        weights: weights.ok_or_else(|| format!("{verb} requires weights="))?,
         family,
         range,
-        window,
-    })
+    };
+    Ok((spec, window))
 }
 
 /// Parses one client request line.
@@ -523,7 +665,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let verb = toks.next().ok_or("empty request")?;
     let rest: Vec<&str> = toks.collect();
     match verb {
-        "REGISTER" => parse_register(&rest),
+        "REGISTER" => {
+            let (spec, window) = parse_query_args(&rest, "REGISTER", true)?;
+            Ok(Request::Register { spec, window })
+        }
         "UNREGISTER" => Ok(Request::Unregister(parse_qid(one_arg(&rest, verb)?)?)),
         "SUBSCRIBE" => Ok(Request::Subscribe(parse_qid(one_arg(&rest, verb)?)?)),
         "UNSUBSCRIBE" => Ok(Request::Unsubscribe(parse_qid(one_arg(&rest, verb)?)?)),
@@ -547,6 +692,55 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "STATS" => Ok(Request::Stats),
         "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
+        "SITE" => {
+            let (site, args) = rest.split_first().ok_or("SITE requires a site id")?;
+            let site = site
+                .parse::<u64>()
+                .map_err(|_| format!("expected site id, got `{site}`"))?;
+            let dims_arg = one_arg(args, "SITE <id>")?;
+            let dims = dims_arg
+                .strip_prefix("dims=")
+                .and_then(|d| d.parse::<usize>().ok())
+                .ok_or_else(|| format!("expected dims=<d>, got `{dims_arg}`"))?;
+            if dims == 0 {
+                return Err("SITE dims must be positive".into());
+            }
+            Ok(Request::SiteHello { site, dims })
+        }
+        "SITEDELTA" => {
+            let (query, rest) = rest.split_first().ok_or("SITEDELTA requires a query id")?;
+            let (at, entries) = rest.split_first().ok_or("SITEDELTA requires a timestamp")?;
+            let (added, removed) = parse_signed_entries(entries)?;
+            Ok(Request::SiteDelta {
+                at: parse_ts(at)?,
+                delta: ResultDelta {
+                    query: parse_qid(query)?,
+                    added,
+                    removed,
+                },
+            })
+        }
+        "SITETICK" => {
+            let (at, rest) = rest.split_first().ok_or("SITETICK requires a timestamp")?;
+            let at = parse_ts(at)?;
+            match rest.split_first() {
+                None => Ok(Request::SiteCycle { at }),
+                Some((first, vals)) => {
+                    let base = first
+                        .strip_prefix("base=")
+                        .and_then(|d| d.parse::<u64>().ok())
+                        .ok_or_else(|| format!("expected base=<gid>, got `{first}`"))?;
+                    Ok(Request::SiteIngest {
+                        at,
+                        base,
+                        arrivals: vals
+                            .iter()
+                            .map(|t| parse_f64(t))
+                            .collect::<Result<_, _>>()?,
+                    })
+                }
+            }
+        }
         _ => Err(format!("unknown verb `{verb}`")),
     }
 }
@@ -605,8 +799,31 @@ pub fn parse_server_line(line: &str) -> Result<ServerLine, String> {
                 .map_err(|_| "bad RESYNC count".to_string())?;
             Ok(ServerLine::Push(Push::Resync { count }))
         }
+        "ADOPT" => {
+            let (query, args) = rest.split_first().ok_or("ADOPT requires a query id")?;
+            let query = parse_qid(query)?;
+            let spec = match args {
+                ["retire"] => None,
+                args => Some(parse_query_args(args, "ADOPT", false)?.0),
+            };
+            Ok(ServerLine::Push(Push::Adopt { query, spec }))
+        }
+        "DEGRADED" => {
+            let (query, rest) = rest.split_first().ok_or("DEGRADED requires a query id")?;
+            let sites: Result<Vec<u64>, String> = rest.iter().map(|t| parse_site_id(t)).collect();
+            Ok(ServerLine::Push(Push::Degraded {
+                query: parse_qid(query)?,
+                sites: sites?,
+            }))
+        }
         _ => Err(format!("unknown server line `{head}`")),
     }
+}
+
+fn parse_site_id(tok: &str) -> Result<u64, String> {
+    tok.strip_prefix('s')
+        .and_then(|d| d.parse::<u64>().ok())
+        .ok_or_else(|| format!("expected site id s<N>, got `{tok}`"))
 }
 
 fn parse_snapshot_body(toks: &[&str]) -> Result<(QueryId, Timestamp, Vec<Scored>), String> {
@@ -641,7 +858,10 @@ fn parse_ok(toks: &[&str]) -> Result<Reply, String> {
                 .parse()
                 .map_err(|_| "bad queued count".to_string())?,
         }),
-        [qid] => Ok(Reply::OkQuery(parse_qid(qid)?)),
+        [tok] => match parse_site_id(tok) {
+            Ok(id) => Ok(Reply::OkSite(id)),
+            Err(_) => Ok(Reply::OkQuery(parse_qid(tok)?)),
+        },
         _ => Err(format!("unparseable OK reply `{}`", toks.join(" "))),
     }
 }
@@ -658,17 +878,21 @@ mod tests {
     fn request_round_trips() {
         let cases = vec![
             Request::Register {
-                k: 5,
-                weights: vec![1.0, -0.25],
-                family: Family::Linear,
-                range: None,
+                spec: QuerySpec {
+                    k: 5,
+                    weights: vec![1.0, -0.25],
+                    family: Family::Linear,
+                    range: None,
+                },
                 window: Some(WireWindow::Count(1000)),
             },
             Request::Register {
-                k: 1,
-                weights: vec![0.5, 0.5, 0.125],
-                family: Family::Quadratic,
-                range: Some(vec![(0.0, 0.5), (0.25, 1.0), (0.0, 1.0)]),
+                spec: QuerySpec {
+                    k: 1,
+                    weights: vec![0.5, 0.5, 0.125],
+                    family: Family::Quadratic,
+                    range: Some(vec![(0.0, 0.5), (0.25, 1.0), (0.0, 1.0)]),
+                },
                 window: Some(WireWindow::Time(60)),
             },
             Request::Unregister(QueryId(3)),
@@ -686,6 +910,34 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Quit,
+            Request::SiteHello { site: 2, dims: 3 },
+            Request::SiteDelta {
+                at: Timestamp(41),
+                delta: ResultDelta {
+                    query: QueryId(6),
+                    added: vec![s(0.75, 1_000_000)],
+                    removed: vec![s(0.5, 3)],
+                },
+            },
+            Request::SiteDelta {
+                at: Timestamp(0),
+                delta: ResultDelta {
+                    query: QueryId(0),
+                    added: vec![],
+                    removed: vec![],
+                },
+            },
+            Request::SiteIngest {
+                at: Timestamp(7),
+                base: 9_000,
+                arrivals: vec![0.25, 0.5, 0.75, 1.0],
+            },
+            Request::SiteIngest {
+                at: Timestamp(8),
+                base: 0,
+                arrivals: vec![],
+            },
+            Request::SiteCycle { at: Timestamp(12) },
         ];
         for req in cases {
             let line = req.to_string();
@@ -739,6 +991,28 @@ mod tests {
                 entries: vec![s(1.5, 7)],
             }),
             ServerLine::Push(Push::Resync { count: 3 }),
+            ServerLine::Reply(Reply::OkSite(7)),
+            ServerLine::Push(Push::Adopt {
+                query: QueryId(3),
+                spec: Some(QuerySpec {
+                    k: 4,
+                    weights: vec![0.5, 0.25],
+                    family: Family::Product,
+                    range: Some(vec![(0.0, 1.0), (-0.5, 0.5)]),
+                }),
+            }),
+            ServerLine::Push(Push::Adopt {
+                query: QueryId(9),
+                spec: None,
+            }),
+            ServerLine::Push(Push::Degraded {
+                query: QueryId(2),
+                sites: vec![0, 4],
+            }),
+            ServerLine::Push(Push::Degraded {
+                query: QueryId(2),
+                sites: vec![],
+            }),
         ];
         for line in cases {
             let text = line.to_string();
@@ -786,6 +1060,19 @@ mod tests {
             "UNREGISTER qq",
             "TICK 0.5 nan",
             "TICKAT",
+            "SITE",
+            "SITE 3",
+            "SITE x dims=2",
+            "SITE 3 dims=0",
+            "SITE 3 dims=two",
+            "SITE 3 dims=2 extra",
+            "SITEDELTA",
+            "SITEDELTA q1",
+            "SITEDELTA q1 @2 t3:4",
+            "SITETICK",
+            "SITETICK @3 0.5",
+            "SITETICK @3 base=x 0.5",
+            "SITETICK @3 base=7 nan",
         ] {
             assert!(parse_request(bad).is_err(), "should reject `{bad}`");
         }
@@ -796,6 +1083,13 @@ mod tests {
             "ERR",
             "ERR weird msg",
             "DELTA q1 @2 t3:4",
+            "ADOPT",
+            "ADOPT q1",
+            "ADOPT q1 retire extra",
+            "ADOPT q1 k=3 weights=1 window=count:5",
+            "DEGRADED",
+            "DEGRADED q1 7",
+            "DEGRADED q1 sX",
         ] {
             assert!(parse_server_line(bad).is_err(), "should reject `{bad}`");
         }

@@ -26,11 +26,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::distrib::{CoordState, Role, SiteState};
 use crate::fault::{FaultSchedule, FaultyStream, Transport};
-use crate::protocol::{ErrCode, Family, Push, Reply, Request};
+use crate::protocol::{ErrCode, Family, Push, QuerySpec, Reply, Request};
 use crate::session::{run_reader, run_writer, Liveness, ReaderKnobs, SessionId, SessionOut};
-use tkm_common::{Rect, Result, ScoreFn, Timestamp, TkmError};
-use tkm_core::{DeltaRouter, MonitorServer, Query, ServerConfig};
+use tkm_common::{QueryId, Rect, Result, ScoreFn, Scored, Timestamp, TkmError};
+use tkm_core::{DeltaRouter, MonitorServer, Query, ResultDelta, ServerConfig};
 
 /// When queued arrivals are flushed into an engine cycle.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +75,9 @@ pub struct ServiceConfig {
     /// Fault-injection schedule wrapped around accepted connections
     /// (tests and the chaos bench; `None` in production).
     pub faults: Option<FaultSchedule>,
+    /// The part this server plays in a deployment (see
+    /// [`crate::distrib`]); standalone unless configured otherwise.
+    pub role: Role,
 }
 
 impl ServiceConfig {
@@ -90,6 +94,7 @@ impl ServiceConfig {
             write_timeout: None,
             busy_timeout: Duration::from_millis(250),
             faults: None,
+            role: Role::Standalone,
         }
     }
 
@@ -128,19 +133,70 @@ impl ServiceConfig {
         self.faults = Some(faults);
         self
     }
+
+    /// Selects the deployment role (site or coordinator).
+    pub fn with_role(mut self, role: Role) -> ServiceConfig {
+        self.role = role;
+        self
+    }
 }
+
+/// Verbs a session can shed with `ERR busy`, in the order their counters
+/// appear in [`Metrics::shed_by_verb`]; `parse` stands for lines that
+/// never parsed into a verb at all.
+pub(crate) const SHED_VERBS: [&str; 14] = [
+    "REGISTER",
+    "UNREGISTER",
+    "SUBSCRIBE",
+    "UNSUBSCRIBE",
+    "SNAPSHOT",
+    "TICK",
+    "TICKAT",
+    "STATS",
+    "PING",
+    "SITE",
+    "SITEDELTA",
+    "SITETICK",
+    "QUIT",
+    "parse",
+];
 
 /// Robustness counters shared by the session threads (which record) and
 /// the engine owner (which reports them via `STATS`).
-#[derive(Default)]
 pub(crate) struct Metrics {
     /// Connections torn down by the idle deadline.
     pub(crate) reaped: AtomicU64,
     /// Requests answered `ERR busy` without reaching the engine.
     pub(crate) shed: AtomicU64,
+    /// The same sheds broken down per verb (indexed like [`SHED_VERBS`]),
+    /// so shedding of site uplink traffic is distinguishable from
+    /// shedding of subscriber traffic.
+    pub(crate) shed_by_verb: [AtomicU64; SHED_VERBS.len()],
     /// Faults injected by the configured [`FaultSchedule`] (behind an
     /// `Arc` so [`FaultyStream`] halves can tally into it directly).
     pub(crate) faults: Arc<AtomicU64>,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            reaped: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            shed_by_verb: std::array::from_fn(|_| AtomicU64::new(0)),
+            faults: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Metrics {
+    /// Tallies one `ERR busy` shed of `verb` (both the total and the
+    /// per-verb slot).
+    pub(crate) fn record_shed(&self, verb: &str) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        if let Some(i) = SHED_VERBS.iter().position(|v| *v == verb) {
+            self.shed_by_verb[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// An event consumed by the engine-owner thread.
@@ -231,9 +287,15 @@ impl Service {
             }));
         }
 
+        let role = match cfg.role.clone() {
+            Role::Standalone => RoleState::Standalone,
+            Role::Coordinator => RoleState::Coordinator(CoordState::new()),
+            Role::Site(site) => RoleState::Site(SiteState::new(site)),
+        };
         let mut owner = EngineOwner {
             server,
             cfg,
+            role,
             sessions: BTreeMap::new(),
             router: DeltaRouter::new(),
             pending: Vec::new(),
@@ -288,6 +350,9 @@ fn accept_loop(listener: &TcpListener, ctx: &AcceptCtx) {
             return;
         }
         let Ok(stream) = stream else { continue };
+        // Pushes are small one-way lines (no reply to piggyback an ACK
+        // on); Nagle would batch them into ~40ms stalls.
+        let _ = stream.set_nodelay(true);
         let sid = SessionId(next);
         next += 1;
         let out = Arc::new(SessionOut::new());
@@ -377,9 +442,18 @@ struct SessionHandle {
     inflight: Arc<AtomicUsize>,
 }
 
+/// Role-specific state carried by the engine owner (a separate field from
+/// the engine so site/coordinator code can borrow both disjointly).
+enum RoleState {
+    Standalone,
+    Coordinator(CoordState),
+    Site(SiteState),
+}
+
 struct EngineOwner {
     server: MonitorServer,
     cfg: ServiceConfig,
+    role: RoleState,
     sessions: BTreeMap<SessionId, SessionHandle>,
     router: DeltaRouter<SessionId>,
     /// Arrivals queued since the last flush (flat coordinate buffer).
@@ -460,27 +534,40 @@ impl EngineOwner {
         if let Some(handle) = self.sessions.remove(&sid) {
             handle.out.close();
         }
+        // If the dead session was a site uplink, the site just missed its
+        // lease: drop its contribution, keep serving from the survivors,
+        // and flag every query degraded (graceful degradation — the
+        // coordinator never stops answering).
+        if let RoleState::Coordinator(coord) = &mut self.role {
+            if coord.gone(sid).is_some() {
+                let deltas = coord.republish();
+                let at = coord.publish_ts();
+                self.fan_out(at, &deltas);
+                self.push_degraded();
+            }
+        }
     }
 
     /// Executes one request, returning its reply. `Quit` is handled by the
     /// caller.
     fn execute(&mut self, sid: SessionId, req: Request, started: Instant) -> Reply {
+        if let Some(reject) = self.role_guard(&req) {
+            return reject;
+        }
         match req {
-            Request::Register {
-                k,
-                weights,
-                family,
-                range,
-                window,
-            } => self.register(k, &weights, family, range, window),
+            Request::Register { spec, window } => self.register(spec, window),
             Request::Unregister(q) => match self.server.unregister(q) {
                 Ok(()) => {
                     self.router.drop_query(q);
+                    if let RoleState::Coordinator(coord) = &mut self.role {
+                        coord.unregister(q);
+                    }
+                    self.broadcast_adopt(q, None);
                     Reply::OkQuery(q)
                 }
                 Err(e) => err_reply(&e),
             },
-            Request::Subscribe(q) => match self.server.result(q) {
+            Request::Subscribe(q) => match self.result_of(q) {
                 Ok(entries) => {
                     self.router.subscribe(q, sid);
                     // Baseline the subscriber immediately before its OK:
@@ -490,11 +577,21 @@ impl EngineOwner {
                         handle.out.force_push(
                             Push::Snapshot {
                                 query: q,
-                                at: self.server.now(),
+                                at: self.now_ts(),
                                 entries,
                             }
                             .to_string(),
                         );
+                        // A subscriber arriving mid-degradation learns the
+                        // current status with its baseline.
+                        if let RoleState::Coordinator(coord) = &self.role {
+                            let sites = coord.degraded_sites();
+                            if !sites.is_empty() {
+                                handle
+                                    .out
+                                    .force_push(Push::Degraded { query: q, sites }.to_string());
+                            }
+                        }
                     }
                     Reply::OkQuery(q)
                 }
@@ -504,10 +601,10 @@ impl EngineOwner {
                 self.router.unsubscribe(q, &sid);
                 Reply::OkQuery(q)
             }
-            Request::Snapshot(q) => match self.server.result(q) {
+            Request::Snapshot(q) => match self.result_of(q) {
                 Ok(entries) => Reply::OkSnapshot {
                     query: q,
-                    at: self.server.now(),
+                    at: self.now_ts(),
                     entries,
                 },
                 Err(e) => err_reply(&e),
@@ -526,6 +623,16 @@ impl EngineOwner {
             }
             Request::Stats => self.stats_reply(started),
             Request::Ping => Reply::OkPong,
+            Request::SiteHello { site, dims } => self.site_hello(sid, site, dims),
+            Request::SiteDelta { at: _, delta } => self.site_delta(sid, &delta),
+            Request::SiteIngest { at, base, arrivals } => self.site_ingest(at, base, &arrivals),
+            // On a coordinator a bare SITETICK is a site's cycle marker;
+            // on a site it is an empty ingest cycle (keeps the local clock
+            // in lockstep when this site drew no arrivals).
+            Request::SiteCycle { at } => match self.role {
+                RoleState::Coordinator(_) => self.site_marker(sid, at),
+                _ => self.site_ingest(at, 0, &[]),
+            },
             // The event loop intercepts QUIT before dispatch; answering
             // defensively keeps the server alive if that ever regresses.
             Request::Quit => Reply::Err {
@@ -535,23 +642,220 @@ impl EngineOwner {
         }
     }
 
-    fn register(
-        &mut self,
-        k: usize,
-        weights: &[f64],
-        family: Family,
-        range: Option<Vec<(f64, f64)>>,
-        window: Option<crate::protocol::WireWindow>,
-    ) -> Reply {
-        // Engines pre-allocate k result slots per query, so an untrusted
-        // wire k must be bounded before it reaches an allocator.
-        const MAX_WIRE_K: usize = 1 << 16;
-        if k > MAX_WIRE_K {
+    /// Rejects verbs the configured role does not serve (`None` = serve
+    /// it). Sites only speak the ingest verbs plus diagnostics; the
+    /// coordinator's clock is owned by its sites, so direct ticking is
+    /// refused; a standalone server knows nothing of the site verbs.
+    fn role_guard(&self, req: &Request) -> Option<Reply> {
+        let allowed = match (&self.role, req) {
+            (_, Request::Stats | Request::Ping | Request::Quit) => true,
+            (
+                RoleState::Standalone,
+                Request::SiteHello { .. }
+                | Request::SiteDelta { .. }
+                | Request::SiteIngest { .. }
+                | Request::SiteCycle { .. },
+            ) => false,
+            (RoleState::Standalone, _) => true,
+            (
+                RoleState::Coordinator(_),
+                Request::Tick { .. } | Request::TickAt { .. } | Request::SiteIngest { .. },
+            ) => false,
+            (RoleState::Coordinator(_), _) => true,
+            (RoleState::Site(_), Request::SiteIngest { .. } | Request::SiteCycle { .. }) => true,
+            (RoleState::Site(_), _) => false,
+        };
+        (!allowed).then(|| Reply::Err {
+            code: ErrCode::Unsupported,
+            message: format!(
+                "{} is not served in the {} role",
+                req.verb(),
+                self.role_name()
+            ),
+        })
+    }
+
+    fn role_name(&self) -> &'static str {
+        match self.role {
+            RoleState::Standalone => "standalone",
+            RoleState::Coordinator(_) => "coordinator",
+            RoleState::Site(_) => "site",
+        }
+    }
+
+    /// The result a subscriber-facing verb serves: the coordinator's
+    /// merged published view, or the local engine's.
+    fn result_of(&self, q: QueryId) -> Result<Vec<Scored>> {
+        match &self.role {
+            RoleState::Coordinator(coord) => coord.result_of(q).ok_or(TkmError::UnknownQuery(q)),
+            _ => self.server.result(q),
+        }
+    }
+
+    /// The timestamp subscriber-facing output is labeled with: the
+    /// coordinator's publish frontier, or the local engine clock.
+    fn now_ts(&self) -> Timestamp {
+        match &self.role {
+            RoleState::Coordinator(coord) => coord.publish_ts(),
+            _ => self.server.now(),
+        }
+    }
+
+    /// Forwards a query's adoption (or retirement, `spec: None`) to every
+    /// live site uplink. Coordinator-only; a no-op elsewhere.
+    fn broadcast_adopt(&self, query: QueryId, spec: Option<QuerySpec>) {
+        let RoleState::Coordinator(coord) = &self.role else {
+            return;
+        };
+        let line = Push::Adopt { query, spec }.to_string();
+        for sid in coord.uplink_sids() {
+            if let Some(handle) = self.sessions.get(&sid) {
+                handle.out.force_push(line.clone());
+            }
+        }
+    }
+
+    /// Pushes the current degradation status (`DEGRADED q<ID> [sites]`) to
+    /// every subscriber of every query; an empty site list announces the
+    /// heal.
+    fn push_degraded(&self) {
+        let RoleState::Coordinator(coord) = &self.role else {
+            return;
+        };
+        let sites = coord.degraded_sites();
+        for q in coord.queries() {
+            let line = Push::Degraded {
+                query: q,
+                sites: sites.clone(),
+            }
+            .to_string();
+            for sid in self.router.subscribers(q) {
+                if let Some(handle) = self.sessions.get(sid) {
+                    handle.out.force_push(line.clone());
+                }
+            }
+        }
+    }
+
+    /// Enrolls a site uplink (`SITE`): checks dimensionality, supersedes
+    /// any previous session for the same site id, and replays the query
+    /// set as `ADOPT` pushes ahead of the `OK s<id>` reply.
+    fn site_hello(&mut self, sid: SessionId, site: u64, dims: usize) -> Reply {
+        let want = self.server.dims();
+        let RoleState::Coordinator(coord) = &mut self.role else {
+            return internal_reply("SITE outside the coordinator role");
+        };
+        if dims != want {
             return Reply::Err {
                 code: ErrCode::BadArg,
-                message: format!("k={k} exceeds the serving-layer cap of {MAX_WIRE_K}"),
+                message: format!("site monitors {dims} dims but the coordinator expects {want}"),
             };
         }
+        let replay = coord.enroll(sid, site);
+        if let Some(handle) = self.sessions.get(&sid) {
+            for (q, spec) in replay {
+                handle.out.force_push(
+                    Push::Adopt {
+                        query: q,
+                        spec: Some(spec),
+                    }
+                    .to_string(),
+                );
+            }
+        }
+        Reply::OkSite(site)
+    }
+
+    /// Merges one shipped `SITEDELTA` into the sender's pool.
+    fn site_delta(&mut self, sid: SessionId, delta: &ResultDelta) -> Reply {
+        let RoleState::Coordinator(coord) = &mut self.role else {
+            return internal_reply("SITEDELTA outside the coordinator role");
+        };
+        match coord.apply_delta(sid, delta) {
+            Ok(q) => Reply::OkQuery(q),
+            Err(message) => Reply::Err {
+                code: ErrCode::BadArg,
+                message,
+            },
+        }
+    }
+
+    /// Processes a site's cycle marker: advance its watermark, and when
+    /// the frontier moved (or the site just healed) re-merge and fan the
+    /// changes out to subscribers.
+    fn site_marker(&mut self, sid: SessionId, at: Timestamp) -> Reply {
+        let (now, publish) = {
+            let RoleState::Coordinator(coord) = &mut self.role else {
+                return internal_reply("SITETICK marker outside the coordinator role");
+            };
+            if coord.site_of(sid).is_none() {
+                return Reply::Err {
+                    code: ErrCode::BadArg,
+                    message: "SITETICK from a connection that has not enrolled with SITE".into(),
+                };
+            }
+            let publish = coord
+                .marker(sid, at)
+                .map(|o| (o.at, o.healed, coord.republish()));
+            (coord.publish_ts(), publish)
+        };
+        if let Some((publish_at, healed, deltas)) = publish {
+            self.fan_out(publish_at, &deltas);
+            if healed {
+                self.push_degraded();
+            }
+        }
+        Reply::OkTick { now, queued: 0 }
+    }
+
+    /// Runs one site-local ingest cycle (`SITETICK … base=…`): tick the
+    /// local engine, record the local↔global id mapping, and ship the
+    /// resulting deltas plus the cycle marker up the coordinator uplink.
+    fn site_ingest(&mut self, at: Timestamp, base: u64, arrivals: &[f64]) -> Reply {
+        let window = self.cfg.server.window;
+        let RoleState::Site(site) = &mut self.role else {
+            return internal_reply("SITETICK ingest outside the site role");
+        };
+        site.ensure_uplink(&mut self.server);
+        site.drain(&mut self.server);
+        let dims = self.server.dims();
+        if !arrivals.len().is_multiple_of(dims) {
+            return Reply::Err {
+                code: ErrCode::BadArg,
+                message: format!(
+                    "arrival buffer of {} values is not a whole number of {dims}-dim tuples",
+                    arrivals.len()
+                ),
+            };
+        }
+        // What forwarding the raw ingest upstream would have cost — the
+        // baseline the distributed bench compares shipped bytes against.
+        let naive = Request::SiteIngest {
+            at,
+            base,
+            arrivals: arrivals.to_vec(),
+        }
+        .to_string()
+        .len() as u64
+            + 1;
+        if let Err(e) = self.server.tick_at(at, arrivals) {
+            self.stats.tick_errors += 1;
+            return err_reply(&e);
+        }
+        let tuples = (arrivals.len() / dims) as u64;
+        site.record_batch(at, base, tuples, window);
+        self.stats.ticks += 1;
+        self.stats.arrivals += tuples;
+        let deltas = self.server.take_deltas();
+        self.stats.deltas += deltas.len() as u64;
+        site.ship_cycle(at, &deltas, naive);
+        Reply::OkTick {
+            now: self.server.now(),
+            queued: tuples as usize,
+        }
+    }
+
+    fn register(&mut self, spec: QuerySpec, window: Option<crate::protocol::WireWindow>) -> Reply {
         if let Some(w) = window {
             if !w.matches(self.server.config().window) {
                 return Reply::Err {
@@ -563,20 +867,14 @@ impl EngineOwner {
                 };
             }
         }
-        let f = match family {
-            Family::Linear => ScoreFn::linear(weights.to_vec()),
-            Family::Product => ScoreFn::product(weights.to_vec()),
-            Family::Quadratic => ScoreFn::quadratic(weights.to_vec()),
-        };
-        let query = f.and_then(|f| match range {
-            None => Query::top_k(f, k),
-            Some(spans) => {
-                let (lo, hi): (Vec<f64>, Vec<f64>) = spans.into_iter().unzip();
-                Rect::new(lo, hi).and_then(|rect| Query::constrained(f, k, rect))
+        match build_query(&spec).and_then(|q| self.server.register(q)) {
+            Ok(id) => {
+                if let RoleState::Coordinator(coord) = &mut self.role {
+                    coord.register(id, spec.clone());
+                }
+                self.broadcast_adopt(id, Some(spec));
+                Reply::OkQuery(id)
             }
-        });
-        match query.and_then(|q| self.server.register(q)) {
-            Ok(id) => Reply::OkQuery(id),
             Err(e) => err_reply(&e),
         }
     }
@@ -622,8 +920,15 @@ impl EngineOwner {
         let now = self.server.now();
         let deltas = self.server.take_deltas();
         self.stats.deltas += deltas.len() as u64;
+        self.fan_out(now, &deltas);
+        Ok(())
+    }
+
+    /// Fans a cycle's result deltas out to their subscribers, applying
+    /// the drop-to-snapshot backpressure policy to slow consumers.
+    fn fan_out(&mut self, now: Timestamp, deltas: &[ResultDelta]) {
         let mut resynced: Vec<SessionId> = Vec::new();
-        for delta in &deltas {
+        for delta in deltas {
             let subscribers = self.router.subscribers(delta.query);
             if subscribers.is_empty() {
                 continue;
@@ -647,17 +952,17 @@ impl EngineOwner {
             }
         }
         // Slow consumers lost their queued pushes: re-baseline every one
-        // of their subscriptions from the (post-tick) current results.
+        // of their subscriptions from the (post-cycle) current results.
         for sid in resynced {
             self.stats.resyncs += 1;
             let Some(handle) = self.sessions.get(&sid) else {
                 continue;
             };
-            let out = &handle.out;
+            let out = Arc::clone(&handle.out);
             let subs = self.router.subscriptions_of(&sid);
             out.force_push(Push::Resync { count: subs.len() }.to_string());
             for q in subs {
-                let entries = self.server.result(q).unwrap_or_default();
+                let entries = self.result_of(q).unwrap_or_default();
                 out.force_push(
                     Push::Snapshot {
                         query: q,
@@ -668,11 +973,10 @@ impl EngineOwner {
                 );
             }
         }
-        Ok(())
     }
 
     fn stats_reply(&self, started: Instant) -> Reply {
-        let pairs = vec![
+        let mut pairs = vec![
             ("engine".into(), self.server.engine_name().to_string()),
             ("dims".into(), self.server.dims().to_string()),
             ("now".into(), self.server.now().to_string()),
@@ -706,7 +1010,53 @@ impl EngineOwner {
                 started.elapsed().as_millis().to_string(),
             ),
         ];
+        // Per-verb shed breakdown (only non-zero slots, to keep the line
+        // short); the sum over these equals `shed=`.
+        for (i, verb) in SHED_VERBS.iter().enumerate() {
+            let n = self.metrics.shed_by_verb[i].load(Ordering::Relaxed);
+            if n > 0 {
+                pairs.push((format!("shed_{verb}"), n.to_string()));
+            }
+        }
+        match &self.role {
+            RoleState::Standalone => pairs.push(("role".into(), "standalone".into())),
+            RoleState::Coordinator(coord) => pairs.extend(coord.stats()),
+            RoleState::Site(site) => pairs.extend(site.stats()),
+        }
         Reply::OkStats(pairs)
+    }
+}
+
+/// Builds an engine [`Query`] from a wire [`QuerySpec`] — shared by
+/// `REGISTER` on the serving path and `ADOPT` adoption on site uplinks.
+pub(crate) fn build_query(spec: &QuerySpec) -> Result<Query> {
+    // Engines pre-allocate k result slots per query, so an untrusted
+    // wire k must be bounded before it reaches an allocator.
+    const MAX_WIRE_K: usize = 1 << 16;
+    if spec.k > MAX_WIRE_K {
+        return Err(TkmError::InvalidParameter(format!(
+            "k={} exceeds the serving-layer cap of {MAX_WIRE_K}",
+            spec.k
+        )));
+    }
+    let f = match spec.family {
+        Family::Linear => ScoreFn::linear(spec.weights.clone()),
+        Family::Product => ScoreFn::product(spec.weights.clone()),
+        Family::Quadratic => ScoreFn::quadratic(spec.weights.clone()),
+    }?;
+    match &spec.range {
+        None => Query::top_k(f, spec.k),
+        Some(spans) => {
+            let (lo, hi): (Vec<f64>, Vec<f64>) = spans.iter().copied().unzip();
+            Rect::new(lo, hi).and_then(|rect| Query::constrained(f, spec.k, rect))
+        }
+    }
+}
+
+fn internal_reply(message: &str) -> Reply {
+    Reply::Err {
+        code: ErrCode::Internal,
+        message: message.into(),
     }
 }
 

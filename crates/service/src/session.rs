@@ -391,8 +391,11 @@ fn discard_line_remainder(
 /// shed request never reached the engine, making a client retry safe.
 ///
 /// Returns `false` only when the engine is gone (service shut down).
+/// `verb` labels a shed in the per-verb breakdown (`parse` for lines
+/// that never parsed into a request).
 fn forward(
     event: Event,
+    verb: &'static str,
     inbox: &SyncSender<Event>,
     inflight: &AtomicUsize,
     out: &SessionOut,
@@ -415,7 +418,7 @@ fn forward(
                 let limit = *deadline.get_or_insert(now + busy);
                 if now >= limit && inflight.load(Ordering::SeqCst) == 1 {
                     inflight.fetch_sub(1, Ordering::SeqCst);
-                    metrics.shed.fetch_add(1, Ordering::Relaxed);
+                    metrics.record_shed(verb);
                     out.send_reply(
                         Reply::Err {
                             code: ErrCode::Busy,
@@ -467,7 +470,7 @@ pub(crate) fn run_reader(
                     sid,
                     format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
                 );
-                if !forward(bad, inbox, inflight, out, knobs.busy, metrics)
+                if !forward(bad, "parse", inbox, inflight, out, knobs.busy, metrics)
                     || !discard_line_remainder(&mut reader, liveness, knobs.idle)
                 {
                     break;
@@ -475,7 +478,7 @@ pub(crate) fn run_reader(
             }
             Line::NotUtf8 => {
                 let bad = Event::Bad(sid, "request line is not UTF-8".into());
-                if !forward(bad, inbox, inflight, out, knobs.busy, metrics) {
+                if !forward(bad, "parse", inbox, inflight, out, knobs.busy, metrics) {
                     break;
                 }
             }
@@ -484,11 +487,14 @@ pub(crate) fn run_reader(
                 if trimmed.is_empty() {
                     continue;
                 }
-                let event = match parse_request(trimmed) {
-                    Ok(req) => Event::Request(sid, req),
-                    Err(msg) => Event::Bad(sid, msg),
+                let (event, verb) = match parse_request(trimmed) {
+                    Ok(req) => {
+                        let verb = req.verb();
+                        (Event::Request(sid, req), verb)
+                    }
+                    Err(msg) => (Event::Bad(sid, msg), "parse"),
                 };
-                if !forward(event, inbox, inflight, out, knobs.busy, metrics) {
+                if !forward(event, verb, inbox, inflight, out, knobs.busy, metrics) {
                     break;
                 }
             }

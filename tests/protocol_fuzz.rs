@@ -47,7 +47,7 @@ fn assert_server_line_fixed_point(line: &str) {
 /// Builds a token that looks almost like a protocol argument — near-misses
 /// exercise far more parser branches than uniform noise does.
 fn near_token(kind: u8, a: u32, b: u32) -> String {
-    match kind % 14 {
+    match kind % 18 {
         0 => format!("q{a}"),
         1 => format!("t{a}:{}", b as f64 / 8.0),
         2 => format!(
@@ -79,11 +79,23 @@ fn near_token(kind: u8, a: u32, b: u32) -> String {
         ][a as usize % 10]
             .into(),
         12 => format!("{a}.{b}.{a}"),
-        _ => format!("{}", f64::from_bits((a as u64) << 32 | b as u64)),
+        13 => format!("{}", f64::from_bits((a as u64) << 32 | b as u64)),
+        // Site-tier argument shapes (SITE / SITEDELTA / SITETICK / ADOPT).
+        14 => format!("s{a}"),
+        15 => format!(
+            "base={}",
+            if b.is_multiple_of(3) {
+                "x".into()
+            } else {
+                a.to_string()
+            }
+        ),
+        16 => format!("dims={}", (a as u64) * (b as u64)),
+        _ => ["retire", "retire extra", "s", "s-1", "base=", "dims="][a as usize % 6].into(),
     }
 }
 
-const VERBS: [&str; 16] = [
+const VERBS: [&str; 21] = [
     "REGISTER",
     "UNREGISTER",
     "SUBSCRIBE",
@@ -94,10 +106,15 @@ const VERBS: [&str; 16] = [
     "STATS",
     "PING",
     "QUIT",
+    "SITE",
+    "SITEDELTA",
+    "SITETICK",
     "OK",
     "ERR",
     "DELTA",
     "RESYNC",
+    "ADOPT",
+    "DEGRADED",
     "tick",
     "",
 ];
@@ -128,7 +145,7 @@ proptest! {
     /// arguments — never panic and round-trip when accepted.
     #[test]
     fn parsers_survive_near_miss_lines(
-        verb in 0usize..16,
+        verb in 0usize..21,
         toks in prop::collection::vec((any::<u8>(), 0u32..2000, 0u32..2000), 0..7),
     ) {
         let line = near_line(verb, &toks);
@@ -152,6 +169,10 @@ proptest! {
             format!("REGISTER k={k} weights={} window=count:32", ws.join(",")),
             format!("TICK {}", vs.join(" ")),
             format!("TICKAT @{k} {}", vs.join(" ")),
+            format!("SITE {k} dims={}", weights.len()),
+            format!("SITEDELTA q{k} @{k} +t{k}:0.5 -t1:0.25"),
+            format!("SITETICK @{k} base={k} {}", vs.join(" ")),
+            format!("SITETICK @{k}"),
         ] {
             prop_assert!(parse_request(&line).is_ok(), "seed line rejected: {line}");
             let cut = cut as usize % (line.len() + 1);
@@ -175,6 +196,11 @@ proptest! {
             "OK STATS sessions=3 faults=0".to_string(),
             "ERR busy server inbox full; request dropped, retry later".to_string(),
             "RESYNC 2".to_string(),
+            format!("OK s{}", ids[0]),
+            format!("ADOPT q{} k=2 weights=1,0.5 fn=product", ids[0]),
+            format!("ADOPT q{} retire", ids[0]),
+            format!("DEGRADED q{} s0 s{}", ids[0], ids[0] + 1),
+            "DEGRADED q0".to_string(),
         ] {
             prop_assert!(parse_server_line(&line).is_ok(), "seed line rejected: {line}");
             let cut = cut as usize % (line.len() + 1);

@@ -312,11 +312,23 @@ fn full_inbox_sheds_with_err_busy() {
         "10 rounds of a saturated inbox never produced ERR busy"
     );
 
-    // The shed is visible to operators.
+    // The shed is visible to operators — both the total and the per-verb
+    // breakdown (the probe shed STATS requests, so that slot must be
+    // populated and the slots must sum to the total).
     let mut client = ServiceClient::connect(addr).expect("connect");
     let stats = client.stats().expect("stats");
     let shed: u64 = stats["shed"].parse().expect("shed");
     assert!(shed >= 1, "shed counter: {stats:?}");
+    let by_verb: u64 = stats
+        .iter()
+        .filter(|(k, _)| k.starts_with("shed_"))
+        .map(|(_, v)| v.parse::<u64>().expect("shed_<verb>"))
+        .sum();
+    assert_eq!(by_verb, shed, "per-verb sheds must sum to shed=: {stats:?}");
+    let shed_stats: u64 = stats
+        .get("shed_STATS")
+        .map_or(0, |v| v.parse().expect("shed_STATS"));
+    assert!(shed_stats >= 1, "the probe shed STATS requests: {stats:?}");
     client.quit().expect("quit");
     service.shutdown();
 }
