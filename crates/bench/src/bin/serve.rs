@@ -31,6 +31,18 @@
 //!   (`sid=kind@at[+every][:ms];.. | ..`). Combine with `--smoke` for CI
 //!   scale.
 //!
+//! * **`--fanout`**: the subscriber fan-out sweep — for each tier of the
+//!   sweep (1k/5k/10k subscribers; one tier with `--smoke` or an explicit
+//!   `--subs N`) the parent binds a fresh server and spawns *itself* as a
+//!   `--fanout-client` child process that opens the whole subscriber
+//!   fleet (so each process stays inside its fd limit), drives the tick
+//!   loop, and measures how long the reactor takes to push every tick's
+//!   delta to the entire fleet. Reports fan-out pushes/s and the push
+//!   completion latency distribution per tier, and asserts the
+//!   encode-once invariant server-side (`STATS encodes= == deltas=`).
+//!   `--check-baseline BENCH_fanout.json` gates the largest tier's rate
+//!   and p99 against the committed baseline.
+//!
 //! * **`--sites N`**: multi-site mode — N site services each run a local
 //!   engine on their shard of the stream and ship only candidate deltas
 //!   (plus a per-cycle watermark) to a coordinator that merges them into
@@ -51,14 +63,17 @@
 #![allow(clippy::print_stdout)]
 
 use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::fd::AsRawFd;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tkm_core::{EngineKind, MonitorServer, Query, ServerConfig};
 use tkm_datagen::{DataDist, PointGen};
 use tkm_service::{
-    apply_push, FaultSchedule, Push, ReconnectPolicy, Role, Service, ServiceClient, ServiceConfig,
-    SiteRole, TickPolicy,
+    apply_push, FaultSchedule, FramedLine, LineFramer, Poller, Push, ReconnectPolicy, Role,
+    Service, ServiceClient, ServiceConfig, SiteRole, TickPolicy, MAX_REQUEST_LINE,
 };
 use tkm_window::WindowSpec;
 
@@ -76,6 +91,9 @@ struct Args {
     smoke: bool,
     bench: bool,
     chaos: bool,
+    fanout: bool,
+    fanout_client: bool,
+    subs: usize,
     sites: usize,
     seed: u64,
     fault: Option<String>,
@@ -100,12 +118,22 @@ fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
     let bench = argv.iter().any(|a| a == "--bench");
+    let fanout = argv.iter().any(|a| a == "--fanout");
+    let fanout_client = argv.iter().any(|a| a == "--fanout-client");
     let sites = parse_num(&argv, "--sites", 0usize);
     // Smoke is a small bench; bench is the default-scale measurement.
     // Multi-site runs push a higher per-tick rate: candidate shipping
     // wins over stream forwarding exactly when rate ≫ top-k churn, and
-    // the byte-ratio gate measures that margin.
-    let (clients, ticks, rate, window) = if sites > 0 {
+    // the byte-ratio gate measures that margin. Fan-out runs are few
+    // ticks over huge fleets: per-tick cost scales with subscribers, and
+    // each tick already yields one latency sample per subscriber.
+    let (clients, ticks, rate, window) = if fanout || fanout_client {
+        if smoke {
+            (0, 8, 0, 2_000)
+        } else {
+            (0, 12, 0, 2_000)
+        }
+    } else if sites > 0 {
         if smoke {
             (4, 40, 200, 2_000)
         } else {
@@ -134,6 +162,9 @@ fn parse_args() -> Args {
         smoke,
         bench,
         chaos: argv.iter().any(|a| a == "--chaos"),
+        fanout,
+        fanout_client,
+        subs: parse_num(&argv, "--subs", 0usize),
         sites,
         seed: parse_num(&argv, "--seed", 0xC4A05),
         fault: flag_value(&argv, "--fault"),
@@ -148,7 +179,11 @@ fn server_config(args: &Args) -> ServerConfig {
 
 fn main() {
     let args = parse_args();
-    if args.sites > 0 {
+    if args.fanout_client {
+        fanout_client(&args);
+    } else if args.fanout {
+        fanout(&args);
+    } else if args.sites > 0 {
         distrib(&args);
     } else if args.chaos {
         chaos(&args);
@@ -168,12 +203,7 @@ fn serve_forever(args: &Args) {
     let service = Service::bind(args.addr.as_str(), cfg).expect("bind");
     println!(
         "serving {} (dims={}, window={}) on {} — one cycle per {}ms, push cap {}",
-        match args.engine {
-            EngineKind::Tma => "TMA",
-            EngineKind::Sma => "SMA",
-            EngineKind::Tsl => "TSL",
-            EngineKind::Oracle => "ORACLE",
-        },
+        engine_name(args.engine),
         args.dims,
         args.window,
         service.local_addr(),
@@ -630,6 +660,407 @@ fn chaos(args: &Args) {
             "   verification: {}",
             if all_ok { "oracle-identical" } else { "FAILED" }
         );
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}
+
+/// Subscriber-count tiers of the full `--fanout` sweep.
+const FANOUT_TIERS: [usize; 3] = [1_000, 5_000, 10_000];
+/// Distinct queries backing the fleet; subscriber `i` follows query
+/// `i % FANOUT_QUERIES`, so the encode-once path amortizes each tick's
+/// `FANOUT_QUERIES` encodes over the whole fleet.
+const FANOUT_QUERIES: usize = 64;
+/// Minimum acceptable fan-out rate (push lines delivered per second) at
+/// the gated tier.
+const FANOUT_RATE_FLOOR: f64 = 10_000.0;
+/// A committed fan-out rate may erode by at most this factor.
+const FANOUT_RATE_REGRESSION: f64 = 2.0;
+/// Push-completion p99 may regress by at most this factor …
+const FANOUT_P99_REGRESSION: f64 = 4.0;
+/// … and only counts as a regression above this absolute floor
+/// (scheduler jitter on a loopback fleet is large in relative terms).
+const FANOUT_P99_FLOOR_US: f64 = 50_000.0;
+
+fn engine_name(e: EngineKind) -> &'static str {
+    match e {
+        EngineKind::Tma => "TMA",
+        EngineKind::Sma => "SMA",
+        EngineKind::Tsl => "TSL",
+        EngineKind::Oracle => "ORACLE",
+    }
+}
+
+/// Extracts the `@<t>` timestamp of a `DELTA`/`SNAPSHOT` push line
+/// without paying for a full parse — the fan-out client classifies tens
+/// of thousands of lines per tick on one core.
+fn push_at(line: &str) -> Option<u64> {
+    let pos = line.find(" @")?;
+    let rest = &line[pos + 2..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One subscriber socket of the fan-out fleet.
+struct FanSub {
+    stream: TcpStream,
+    framer: LineFramer,
+    /// Highest push timestamp seen (`u64::MAX` once the socket died).
+    last_at: u64,
+}
+
+/// The `--fanout-client` child process: opens `--subs` subscriber sockets
+/// against the parent's server (split across two processes so each side
+/// stays inside its fd limit), drives the tick loop from its own ingest
+/// connection, and measures per tick how long the server's reactor takes
+/// to push that tick's delta to the *entire* fleet. Prints one flat JSON
+/// object on stdout for the parent to merge.
+fn fanout_client(args: &Args) {
+    let n = args.subs.max(1);
+    let nq = n.min(FANOUT_QUERIES);
+    let addr = args.addr.as_str();
+
+    let mut control = ServiceClient::connect(addr).expect("control connect");
+    let mut query_ids = Vec::with_capacity(nq);
+    for c in 0..nq {
+        let weights: Vec<f64> = (0..args.dims)
+            .map(|d| 0.25 + ((c + d * 3) % 7) as f64 / 4.0)
+            .collect();
+        query_ids.push(control.register_linear(args.k, &weights).expect("register"));
+    }
+
+    // The fleet: raw nonblocking sockets driven by the service crate's own
+    // exported `Poller`, with its `LineFramer` reassembling the push
+    // stream across partial reads. The handshake (baseline `SNAPSHOT`,
+    // then `OK`) runs blocking; measurement runs level-triggered.
+    let mut poller = Poller::new().expect("poller");
+    let mut subs: Vec<FanSub> = Vec::with_capacity(n);
+    let mut buf = [0u8; 4096];
+    for i in 0..n {
+        let q = query_ids[i % nq];
+        let mut stream = TcpStream::connect(addr).expect("subscriber connect");
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        stream
+            .write_all(format!("SUBSCRIBE {q}\n").as_bytes())
+            .expect("subscribe");
+        let mut framer = LineFramer::new(MAX_REQUEST_LINE);
+        'handshake: loop {
+            while let Some(line) = framer.next_line() {
+                match line {
+                    FramedLine::Line(l) if l.starts_with("OK") => break 'handshake,
+                    FramedLine::Line(l) if l.starts_with("ERR") => {
+                        panic!("subscriber {i}: {l}")
+                    }
+                    FramedLine::Line(_) => {} // the baseline SNAPSHOT push
+                    bad => panic!("subscriber {i}: framing error {bad:?}"),
+                }
+            }
+            let got = stream.read(&mut buf).expect("handshake read");
+            assert!(got > 0, "server closed subscriber {i} during handshake");
+            framer.feed(&buf[..got]);
+        }
+        stream.set_read_timeout(None).expect("clear timeout");
+        stream.set_nonblocking(true).expect("nonblocking");
+        poller
+            .add(stream.as_raw_fd(), i as u64, true, false)
+            .expect("poller add");
+        subs.push(FanSub {
+            stream,
+            framer,
+            last_at: 0,
+        });
+    }
+
+    let mut ingest = ServiceClient::connect(addr).expect("ingest connect");
+    let ticks = args.ticks as u64;
+    let mut latencies: Vec<f64> = Vec::with_capacity(n * args.ticks);
+    let mut events = Vec::new();
+    let mut pushes = 0u64;
+    let mut resyncs = 0u64;
+    let mut ok = true;
+    let started = Instant::now();
+    'ticks: for t in 1..=ticks {
+        // Each tick's single tuple scores strictly above every predecessor
+        // under any positive-weight linear query, so it enters every
+        // top-k and every query emits exactly one DELTA per tick.
+        let batch = vec![0.5 + t as f64 * 1e-6; args.dims];
+        let sent = Instant::now();
+        ingest.tick(&batch).expect("tick");
+        let mut behind = subs.iter().filter(|s| s.last_at < t).count();
+        let deadline = sent + Duration::from_secs(60);
+        while behind > 0 {
+            if Instant::now() > deadline {
+                eprintln!("tick {t}: {behind} subscribers never saw their delta");
+                ok = false;
+                break 'ticks;
+            }
+            poller
+                .wait(&mut events, Duration::from_millis(100))
+                .expect("poller wait");
+            for ev in &events {
+                let s = &mut subs[ev.token as usize];
+                if s.last_at == u64::MAX {
+                    continue;
+                }
+                let mut dead = false;
+                loop {
+                    match s.stream.read(&mut buf) {
+                        Ok(0) => {
+                            dead = true;
+                            break;
+                        }
+                        Ok(got) => s.framer.feed(&buf[..got]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            dead = true;
+                            break;
+                        }
+                    }
+                }
+                while let Some(line) = s.framer.next_line() {
+                    let FramedLine::Line(line) = line else {
+                        dead = true;
+                        break;
+                    };
+                    pushes += 1;
+                    if line.starts_with("RESYNC") {
+                        resyncs += 1;
+                        continue;
+                    }
+                    // A backpressure re-baseline SNAPSHOT at >= t counts
+                    // as catching up too: the subscriber holds tick t's
+                    // state even though the delta itself was dropped.
+                    if let Some(at) = push_at(&line) {
+                        let was_behind = s.last_at < t;
+                        if at > s.last_at {
+                            s.last_at = at;
+                        }
+                        if was_behind && s.last_at >= t {
+                            behind -= 1;
+                            latencies.push(sent.elapsed().as_secs_f64() * 1e6);
+                        }
+                    }
+                }
+                if dead {
+                    eprintln!("subscriber {} died mid-run", ev.token);
+                    ok = false;
+                    poller.remove(s.stream.as_raw_fd());
+                    if s.last_at < t {
+                        behind -= 1;
+                    }
+                    s.last_at = u64::MAX;
+                }
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // The encode-once invariant, asserted against the server's own
+    // counters: every engine delta was encoded exactly once, no matter
+    // how many subscribers its bytes fanned out to.
+    let stats = ingest.stats().expect("stats");
+    let stat_num = |k: &str| -> u64 { stats.get(k).and_then(|v| v.parse().ok()).unwrap_or(0) };
+    let encodes = stat_num("encodes");
+    let deltas = stat_num("deltas");
+    if encodes != deltas || encodes == 0 {
+        eprintln!("encode-once violated: encodes={encodes} != deltas={deltas}");
+        ok = false;
+    }
+    let _ = ingest.quit();
+    let _ = control.quit();
+
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx]
+    };
+    let per_s = pushes as f64 / elapsed.as_secs_f64();
+    println!(
+        "{{\"subs\":{n},\"queries\":{nq},\"ticks\":{ticks},\"pushes\":{pushes},\
+         \"pushes_per_s\":{per_s:.0},\"push_p50_us\":{:.1},\"push_p99_us\":{:.1},\
+         \"resyncs\":{resyncs},\"encodes\":{encodes},\"deltas\":{deltas},\"ok\":{ok}}}",
+        pct(0.50),
+        pct(0.99),
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// Scans the committed fan-out baseline for the matching subscriber
+/// tier's `key` — tier objects are flat, so anchoring on `"subs":N` and
+/// scanning forward stays inside that tier.
+fn json_tier_num(text: &str, subs: usize, key: &str) -> Option<f64> {
+    let anchor = format!("\"subs\":{subs},");
+    let start = text.find(&anchor)?;
+    json_num(&text[start..], key)
+}
+
+/// Compares the gated (largest) tier of this fan-out run against the
+/// same tier of the committed baseline: the push rate must clear
+/// [`FANOUT_RATE_FLOOR`] and not erode more than
+/// [`FANOUT_RATE_REGRESSION`] below the committed value, and the push
+/// completion p99 must stay within [`FANOUT_P99_REGRESSION`] of it
+/// (above the absolute jitter floor).
+fn check_fanout_baseline(path: &str, subs: usize, per_s: f64, p99_us: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("check-baseline: cannot read {path}: {e}"))?;
+    let base_rate = json_tier_num(&text, subs, "pushes_per_s")
+        .ok_or_else(|| format!("check-baseline: {path} has no {subs}-subscriber tier"))?;
+    let base_p99 = json_tier_num(&text, subs, "push_p99_us")
+        .ok_or_else(|| format!("check-baseline: {path} tier {subs} has no push_p99_us"))?;
+    if per_s < FANOUT_RATE_FLOOR {
+        return Err(format!(
+            "check-baseline: fan-out rate {per_s:.0}/s is below the \
+             {FANOUT_RATE_FLOOR:.0}/s floor"
+        ));
+    }
+    if per_s * FANOUT_RATE_REGRESSION < base_rate {
+        return Err(format!(
+            "check-baseline: fan-out rate regressed >{FANOUT_RATE_REGRESSION}x: \
+             {per_s:.0}/s now vs {base_rate:.0}/s in {path}"
+        ));
+    }
+    if p99_us > base_p99 * FANOUT_P99_REGRESSION && p99_us > FANOUT_P99_FLOOR_US {
+        return Err(format!(
+            "check-baseline: push p99 regressed >{FANOUT_P99_REGRESSION}x: \
+             {p99_us:.0}µs now vs {base_p99:.0}µs in {path}"
+        ));
+    }
+    Ok(())
+}
+
+/// The `--fanout` parent: per tier, binds a fresh server and re-executes
+/// this binary as a `--fanout-client` child owning the whole subscriber
+/// fleet, then merges the child's measurement with the server-side
+/// verdict. Two processes keep a 10k-subscriber tier inside both sides'
+/// fd limits — the server holds the accepted sockets, the child the
+/// connecting ones.
+fn fanout(args: &Args) {
+    let tiers: Vec<usize> = if args.subs > 0 {
+        vec![args.subs]
+    } else if args.smoke {
+        vec![FANOUT_TIERS[0]]
+    } else {
+        FANOUT_TIERS.to_vec()
+    };
+    let exe = std::env::current_exe().expect("current exe");
+    let mut tier_json: Vec<String> = Vec::new();
+    let mut all_ok = true;
+    let started = Instant::now();
+    for &nsubs in &tiers {
+        let scfg = server_config(args);
+        let service = Service::bind(
+            "127.0.0.1:0",
+            ServiceConfig::new(scfg).with_push_queue(args.push_queue),
+        )
+        .expect("bind fanout");
+        let addr = service.local_addr().to_string();
+        let out = std::process::Command::new(&exe)
+            .args([
+                "--fanout-client",
+                "--addr",
+                &addr,
+                "--subs",
+                &nsubs.to_string(),
+                "--ticks",
+                &args.ticks.to_string(),
+                "--dims",
+                &args.dims.to_string(),
+                "--k",
+                &args.k.to_string(),
+            ])
+            .output()
+            .expect("spawn fanout client");
+        service.shutdown();
+        if !out.stderr.is_empty() {
+            eprint!("{}", String::from_utf8_lossy(&out.stderr));
+        }
+        let text = String::from_utf8_lossy(&out.stdout).trim().to_string();
+        if !(out.status.success() && text.contains("\"ok\":true")) {
+            eprintln!("fanout tier {nsubs}: client run failed");
+            all_ok = false;
+        }
+        tier_json.push(text);
+    }
+    let elapsed = started.elapsed();
+
+    // The sweep is ascending, so the last tier is the gated one.
+    let max_subs = tiers.last().copied().unwrap_or(0);
+    let last = tier_json.last().cloned().unwrap_or_default();
+    let per_s = json_num(&last, "pushes_per_s").unwrap_or(0.0);
+    let p50 = json_num(&last, "push_p50_us").unwrap_or(0.0);
+    let p99 = json_num(&last, "push_p99_us").unwrap_or(0.0);
+
+    if args.json {
+        println!(
+            "{{\"mode\":\"{}\",\"engine\":\"{}\",\"dims\":{},\"ticks\":{},\
+             \"tiers\":[{}],\"max_subs\":{max_subs},\"fanout_per_s\":{per_s:.0},\
+             \"fanout_p50_us\":{p50:.1},\"fanout_p99_us\":{p99:.1},\"ok\":{all_ok}}}",
+            if args.smoke { "fanout-smoke" } else { "fanout" },
+            engine_name(args.engine),
+            args.dims,
+            args.ticks,
+            tier_json.join(","),
+        );
+    } else {
+        println!(
+            "== serve fan-out ({}) ==",
+            if args.smoke { "smoke" } else { "sweep" }
+        );
+        println!(
+            "   {} tier(s) × {} ticks over {} engine (d={}), {:.3}s wall time",
+            tiers.len(),
+            args.ticks,
+            engine_name(args.engine),
+            args.dims,
+            elapsed.as_secs_f64()
+        );
+        for text in &tier_json {
+            let num = |k: &str| json_num(text, k).unwrap_or(0.0);
+            println!(
+                "   {:>6.0} subs × {:.0} queries: {:>9.0} pushes/s   \
+                 push p50 {:>8.1}µs  p99 {:>8.1}µs   ({:.0} pushes, {:.0} resyncs)",
+                num("subs"),
+                num("queries"),
+                num("pushes_per_s"),
+                num("push_p50_us"),
+                num("push_p99_us"),
+                num("pushes"),
+                num("resyncs"),
+            );
+        }
+        println!(
+            "   verification: {}",
+            if all_ok {
+                "encode-once + fleet-complete"
+            } else {
+                "FAILED"
+            }
+        );
+    }
+
+    if let Some(path) = &args.baseline {
+        match check_fanout_baseline(path, max_subs, per_s, p99) {
+            Ok(()) => println!(
+                "baseline check ok ({per_s:.0} pushes/s ≥ {FANOUT_RATE_FLOOR:.0}/s, within \
+                 {FANOUT_RATE_REGRESSION}x of {path} at {max_subs} subs)"
+            ),
+            Err(msg) => {
+                eprintln!("{msg}");
+                all_ok = false;
+            }
+        }
     }
     if !all_ok {
         std::process::exit(1);

@@ -15,6 +15,15 @@
 //! [`ServiceClient::next_push`] + [`apply_push`] converges back to the
 //! oracle without any extra code. [`ClientStatus`] events surface the
 //! `Degraded`/`Recovered` transitions.
+//!
+//! This client is deliberately *blocking* — one socket, simple control
+//! flow — which is the right shape for tests, examples, and ingest
+//! loops. It is **not** how the server side scales: the service owns all
+//! of its connections from one epoll reactor thread (see
+//! [`crate::reactor`]), and a client-side fleet can do the same — the
+//! `serve --fanout` bench follows 10 000 subscriber sockets from one
+//! thread with the exported [`crate::reactor::Poller`] and
+//! [`crate::session::LineFramer`].
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;

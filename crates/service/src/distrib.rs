@@ -27,7 +27,11 @@
 //!
 //! Everything here is driven by the engine-owner thread (see
 //! [`crate::service`]); this module only holds the two role state
-//! machines, [`CoordState`] and [`SiteState`].
+//! machines, `CoordState` and `SiteState`. Uplink and subscriber
+//! connections alike are ordinary sessions owned by the epoll reactor
+//! ([`crate::reactor`]), so a coordinator inherits the fan-out tier's
+//! scaling: its merged `DELTA`s are encoded once per cycle and the bytes
+//! shared across every subscriber queue.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{BufRead, BufReader, Write};

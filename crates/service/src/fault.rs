@@ -340,71 +340,62 @@ struct FaultState {
     dead: bool,
 }
 
-/// What the wrapper does to the current operation.
-enum Injected {
+/// What the injection seam does to the current operation.
+pub(crate) enum Injected {
+    /// Proceed untouched.
     None,
+    /// Delay the operation by this much before proceeding. The blocking
+    /// [`FaultyStream`] sleeps; the reactor defers the connection's
+    /// readiness deadline instead (the event loop must never sleep).
     Stall(Duration),
+    /// The connection is (now) dead: fail with `ConnectionReset`.
     Reset,
-    /// Garble: flip the byte at `pos % len` with `mask`.
+    /// Flip the byte at `pos % len` of the outbound chunk with `mask`.
     Garble {
+        /// Seeded byte-position selector (reduced modulo the chunk length).
         pos: u64,
+        /// XOR mask, never zero.
         mask: u8,
     },
+    /// Write only the first half of the chunk, then kill the connection.
     Truncate,
+    /// Accept only the first half of the chunk (a short write).
     Partial,
 }
 
-/// A [`Transport`] wrapped in a seeded [`FaultPlan`].
+/// The decision core of one faulted connection, shareable between any
+/// number of I/O halves: a seeded [`FaultPlan`] plus the connection's
+/// operation counter and liveness flag.
 ///
-/// Both halves of a connection share one operation counter and one
-/// liveness flag, so a `Reset` injected on either half kills both.
-pub struct FaultyStream<T: Transport> {
-    inner: T,
+/// [`FaultyStream`] wraps one of these around a blocking [`Transport`];
+/// the reactor consults one directly on every nonblocking read/write
+/// attempt and realises the injections itself.
+pub(crate) struct FaultDecider {
     state: Arc<Mutex<FaultState>>,
     /// Global injected-fault tally (service metrics), if any.
     tally: Option<Arc<AtomicU64>>,
 }
 
-impl<T: Transport> FaultyStream<T> {
-    /// Wraps the two halves of one connection in a shared fault plan.
-    pub fn pair(
-        read_half: T,
-        write_half: T,
-        plan: FaultPlan,
-        seed: u64,
-        tally: Option<Arc<AtomicU64>>,
-    ) -> (FaultyStream<T>, FaultyStream<T>) {
-        let state = Arc::new(Mutex::new(FaultState {
-            plan,
-            ops: 0,
-            rng: seed,
-            dead: false,
-        }));
-        (
-            FaultyStream {
-                inner: read_half,
-                state: Arc::clone(&state),
-                tally: tally.clone(),
-            },
-            FaultyStream {
-                inner: write_half,
-                state,
-                tally,
-            },
-        )
+impl Clone for FaultDecider {
+    fn clone(&self) -> FaultDecider {
+        FaultDecider {
+            state: Arc::clone(&self.state),
+            tally: self.tally.clone(),
+        }
     }
+}
 
-    /// Wraps a single half (client-side tests) in its own plan.
-    pub fn wrap(inner: T, plan: FaultPlan, seed: u64) -> FaultyStream<T> {
-        FaultyStream {
-            inner,
+impl FaultDecider {
+    /// A fresh decider for one connection.
+    pub(crate) fn new(plan: FaultPlan, seed: u64, tally: Option<Arc<AtomicU64>>) -> FaultDecider {
+        FaultDecider {
             state: Arc::new(Mutex::new(FaultState {
                 plan,
                 ops: 0,
                 rng: seed,
                 dead: false,
             })),
-            tally: None,
+            tally,
         }
     }
 
@@ -416,8 +407,13 @@ impl<T: Transport> FaultyStream<T> {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// Whether a `Reset`/`Truncate` already fired.
+    pub(crate) fn is_dead(&self) -> bool {
+        self.lock().dead
+    }
+
     /// Advances the op counter and decides what to inject for this op.
-    fn decide(&self, write_op: bool) -> Injected {
+    pub(crate) fn decide(&self, write_op: bool) -> Injected {
         let mut st = self.lock();
         if st.dead {
             return Injected::Reset;
@@ -456,8 +452,58 @@ impl<T: Transport> FaultyStream<T> {
         injected
     }
 
-    fn reset_err() -> io::Error {
+    /// The error every operation on a dead connection reports.
+    pub(crate) fn reset_err() -> io::Error {
         io::Error::new(io::ErrorKind::ConnectionReset, "injected connection reset")
+    }
+}
+
+/// A [`Transport`] wrapped in a seeded [`FaultPlan`].
+///
+/// Both halves of a connection share one operation counter and one
+/// liveness flag, so a `Reset` injected on either half kills both.
+pub struct FaultyStream<T: Transport> {
+    inner: T,
+    decider: FaultDecider,
+}
+
+impl<T: Transport> FaultyStream<T> {
+    /// Wraps the two halves of one connection in a shared fault plan.
+    pub fn pair(
+        read_half: T,
+        write_half: T,
+        plan: FaultPlan,
+        seed: u64,
+        tally: Option<Arc<AtomicU64>>,
+    ) -> (FaultyStream<T>, FaultyStream<T>) {
+        let decider = FaultDecider::new(plan, seed, tally);
+        (
+            FaultyStream {
+                inner: read_half,
+                decider: decider.clone(),
+            },
+            FaultyStream {
+                inner: write_half,
+                decider,
+            },
+        )
+    }
+
+    /// Wraps a single half (client-side tests) in its own plan.
+    pub fn wrap(inner: T, plan: FaultPlan, seed: u64) -> FaultyStream<T> {
+        FaultyStream {
+            inner,
+            decider: FaultDecider::new(plan, seed, None),
+        }
+    }
+
+    /// Advances the op counter and decides what to inject for this op.
+    fn decide(&self, write_op: bool) -> Injected {
+        self.decider.decide(write_op)
+    }
+
+    fn reset_err() -> io::Error {
+        FaultDecider::reset_err()
     }
 }
 
@@ -519,7 +565,7 @@ impl<T: Transport> Write for FaultyStream<T> {
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        if self.lock().dead {
+        if self.decider.is_dead() {
             return Err(Self::reset_err());
         }
         self.inner.flush()

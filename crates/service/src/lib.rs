@@ -1,5 +1,8 @@
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) since PR 10: the reactor's scoped `sys` module
+// carries the workspace's only `#[allow(unsafe_code)]` for the four raw
+// epoll syscalls; everything else in the crate remains safe Rust.
+#![deny(unsafe_code)]
 
 //! Multi-client TCP serving layer over the continuous top-k monitor.
 //!
@@ -12,18 +15,24 @@
 //!   `SUBSCRIBE` / `UNSUBSCRIBE` / `SNAPSHOT` / `TICK` / `TICKAT` /
 //!   `STATS` requests, `OK`/`ERR` replies, and the asynchronous `DELTA` /
 //!   `SNAPSHOT` / `RESYNC` pushes;
-//! * [`session`] — per-connection reader/writer threads around one
-//!   ordered outbound queue with the **drop-to-snapshot** backpressure
-//!   policy: a subscriber that cannot keep up with its delta stream loses
-//!   its backlog and is re-baselined with fresh snapshots instead of
-//!   growing an unbounded queue;
-//! * [`service`] — the single engine-owner event loop: requests from all
+//! * [`session`] — per-connection state: one ordered outbound byte queue
+//!   (shared-payload entries, partial-write cursor) with the
+//!   **drop-to-snapshot** backpressure policy — a subscriber that cannot
+//!   keep up with its delta stream loses its backlog and is re-baselined
+//!   with fresh snapshots instead of growing an unbounded queue — plus
+//!   the incremental [`session::LineFramer`] request framing;
+//! * [`reactor`] — the readiness-based connection event loop (PR 10): a
+//!   hand-rolled level-triggered `epoll` loop on **one thread** owns
+//!   every subscriber socket (nonblocking accept/read/write, no async
+//!   runtime), so the thread count is O(shards), not O(connections);
+//! * [`service`] — the engine-owner event loop: requests from all
 //!   sessions are serialized through one bounded inbox, queued arrivals
 //!   are batched into **one engine cycle per tick** (immediate under
 //!   manual ticking, once per wall-clock interval otherwise), and each
-//!   cycle's [`tkm_core::ResultDelta`]s are fanned out through a
-//!   [`tkm_core::DeltaRouter`] to exactly the sessions subscribed to each
-//!   query;
+//!   cycle's [`tkm_core::ResultDelta`]s are encoded **once per delta**
+//!   into shared byte payloads and fanned out by a pool of shard workers
+//!   (queries partitioned by id) to exactly the sessions subscribed to
+//!   each query;
 //! * [`client`] — a small blocking client used by the integration tests,
 //!   the loopback benchmark (`cargo run -p tkm_bench --bin serve`) and the
 //!   README walkthrough, with optional reconnect/backoff/resume
@@ -76,6 +85,7 @@ pub mod client;
 pub mod distrib;
 pub mod fault;
 pub mod protocol;
+pub mod reactor;
 pub mod service;
 pub mod session;
 
@@ -88,5 +98,6 @@ pub use protocol::{
     parse_request, parse_server_line, ErrCode, Family, Push, QuerySpec, Reply, Request, ServerLine,
     WireWindow,
 };
+pub use reactor::{PollEvent, Poller};
 pub use service::{Service, ServiceConfig, TickPolicy};
-pub use session::{SessionId, SessionOut};
+pub use session::{FramedLine, LineFramer, SessionId, SessionOut, MAX_REQUEST_LINE};

@@ -26,6 +26,10 @@
 //! Scored entries are encoded `t<id>:<score>` with the score printed by
 //! Rust's shortest-round-trip `f64` formatter, so `encode → parse` is
 //! bit-exact and a subscriber can reconstruct results oracle-identically.
+//! That determinism is also what makes the fan-out path's encode-once
+//! sharing sound: each `DELTA` is serialized exactly once per cycle and
+//! the same bytes are delivered to every subscriber of the query, so no
+//! two subscribers can ever observe differently-rendered scores.
 //! The full verb-by-verb grammar is documented in the README's *Serving*
 //! section; the round-trip property is pinned by this module's tests.
 

@@ -1,0 +1,1130 @@
+//! The readiness-based connection event loop (PR 10).
+//!
+//! Before PR 10 every accepted connection cost two dedicated threads (a
+//! blocking reader and a blocking writer). That caps fan-out at a few
+//! thousand subscribers per node — the "wall for production fan-out" in
+//! the ROADMAP. This module replaces the pair with **one reactor thread**
+//! owning every subscriber socket through a hand-rolled, level-triggered
+//! `epoll` loop (no async runtime, no external crates):
+//!
+//! * nonblocking `accept`, with each new socket registered for read
+//!   readiness under its session-id token;
+//! * incremental line framing on partial reads — a request line split
+//!   across any number of `epoll` wakeups (even mid-UTF-8-sequence)
+//!   reassembles through [`crate::session::LineFramer`];
+//! * write-interest-driven flushing on partial writes — each session's
+//!   [`crate::session::SessionOut`] keeps a byte cursor into its front
+//!   payload, so a short write resumes exactly where the kernel stopped
+//!   accepting bytes, and `EPOLLOUT` interest is held only while a
+//!   session actually has queued output;
+//! * a self-pipe `Waker` so the engine owner and the fan-out shard
+//!   workers (which run on other threads) can hand the reactor freshly
+//!   queued output without the loop polling every session;
+//! * the PR 8 fault seam re-expressed for an event loop: injected stalls
+//!   become *deferred readiness deadlines* (the loop must never sleep),
+//!   while resets, garbles, truncations, and short writes act on the
+//!   chunk in flight (see [`crate::fault`]);
+//! * the reader-side overload contract unchanged: when the engine inbox
+//!   stays full past the busy deadline and the session has no earlier
+//!   request awaiting its reply, the request is shed with `ERR busy`
+//!   without ever reaching the engine. While a request is parked on a
+//!   full inbox the session's read interest is dropped, which is exactly
+//!   the TCP backpressure the blocking reader used to apply by not
+//!   reading.
+//!
+//! The syscall surface is four functions (`epoll_create1`, `epoll_ctl`,
+//! `epoll_wait`, `close`) declared in the scoped `sys` module — the
+//! only `unsafe` in the workspace.
+
+use std::collections::{BTreeSet, HashMap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::fault::{FaultDecider, FaultSchedule, Injected};
+use crate::protocol::{parse_request, ErrCode, Reply};
+use crate::service::{Event, Metrics};
+use crate::session::{FramedLine, LineFramer, Liveness, SessionId, SessionOut, MAX_REQUEST_LINE};
+
+/// Raw `epoll` bindings — the workspace's only `unsafe` code, scoped to
+/// four syscalls and one `#[repr(C)]` struct. Everything above this
+/// module is safe Rust over [`Poller`].
+#[allow(unsafe_code)]
+mod sys {
+    use std::ffi::c_int;
+
+    /// One kernel readiness record. x86-64 packs it (kernel ABI), other
+    /// architectures use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        pub(super) events: u32,
+        pub(super) data: u64,
+    }
+
+    pub(super) const EPOLL_CLOEXEC: c_int = 0x80000;
+    pub(super) const EPOLL_CTL_ADD: c_int = 1;
+    pub(super) const EPOLL_CTL_DEL: c_int = 2;
+    pub(super) const EPOLL_CTL_MOD: c_int = 3;
+    pub(super) const EPOLLIN: u32 = 0x001;
+    pub(super) const EPOLLOUT: u32 = 0x004;
+    pub(super) const EPOLLERR: u32 = 0x008;
+    pub(super) const EPOLLHUP: u32 = 0x010;
+    pub(super) const EPOLLRDHUP: u32 = 0x2000;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// SAFETY wrappers: each call passes either owned fds or pointers to
+    /// live stack/heap buffers whose lengths are passed alongside.
+    pub(super) fn create() -> c_int {
+        unsafe { epoll_create1(EPOLL_CLOEXEC) }
+    }
+
+    pub(super) fn ctl(epfd: c_int, op: c_int, fd: c_int, ev: Option<&mut EpollEvent>) -> c_int {
+        let ptr = ev.map_or(std::ptr::null_mut(), std::ptr::from_mut);
+        unsafe { epoll_ctl(epfd, op, fd, ptr) }
+    }
+
+    pub(super) fn wait(epfd: c_int, events: &mut [EpollEvent], timeout_ms: c_int) -> c_int {
+        unsafe { epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms) }
+    }
+
+    pub(super) fn close_fd(fd: c_int) {
+        unsafe {
+            close(fd);
+        }
+    }
+}
+
+/// A readiness event reported by [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct PollEvent {
+    /// The token the file descriptor was registered under.
+    pub token: u64,
+    /// The descriptor has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The descriptor can accept more bytes.
+    pub writable: bool,
+    /// The peer closed or the descriptor errored; reads will observe
+    /// EOF/the error.
+    pub hangup: bool,
+}
+
+/// A minimal level-triggered `epoll` wrapper: register descriptors under
+/// a `u64` token with read/write interest, then [`Poller::wait`] for
+/// readiness.
+///
+/// Public because the fan-out benchmark's client fleet reuses it to
+/// follow tens of thousands of subscriber sockets from one thread.
+pub struct Poller {
+    epfd: std::ffi::c_int,
+    buf: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// Creates an epoll instance (close-on-exec).
+    pub fn new() -> std::io::Result<Poller> {
+        let epfd = sys::create();
+        if epfd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Poller {
+            epfd,
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    fn interest(readable: bool, writable: bool) -> u32 {
+        let mut ev = sys::EPOLLRDHUP;
+        if readable {
+            ev |= sys::EPOLLIN;
+        }
+        if writable {
+            ev |= sys::EPOLLOUT;
+        }
+        ev
+    }
+
+    fn ctl(&self, op: std::ffi::c_int, fd: RawFd, events: u32, token: u64) -> std::io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        if sys::ctl(self.epfd, op, fd, Some(&mut ev)) < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(
+        &self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> std::io::Result<()> {
+        self.ctl(
+            sys::EPOLL_CTL_ADD,
+            fd,
+            Poller::interest(readable, writable),
+            token,
+        )
+    }
+
+    /// Changes the interest set of a registered descriptor.
+    pub fn modify(
+        &self,
+        fd: RawFd,
+        token: u64,
+        readable: bool,
+        writable: bool,
+    ) -> std::io::Result<()> {
+        self.ctl(
+            sys::EPOLL_CTL_MOD,
+            fd,
+            Poller::interest(readable, writable),
+            token,
+        )
+    }
+
+    /// Deregisters a descriptor (harmless if the kernel already dropped
+    /// it on close).
+    pub fn remove(&self, fd: RawFd) {
+        let _ = sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, None);
+    }
+
+    /// Blocks until readiness or `timeout`, appending the ready set to
+    /// `out` (cleared first). `EINTR` retries internally.
+    pub fn wait(&mut self, out: &mut Vec<PollEvent>, timeout: Duration) -> std::io::Result<()> {
+        out.clear();
+        let ms = timeout.as_millis().min(i32::MAX as u128) as std::ffi::c_int;
+        loop {
+            let n = sys::wait(self.epfd, &mut self.buf, ms);
+            if n < 0 {
+                let err = std::io::Error::last_os_error();
+                if err.kind() == ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            for ev in self.buf.iter().take(n.max(0) as usize) {
+                let bits = ev.events;
+                out.push(PollEvent {
+                    token: ev.data,
+                    readable: bits & sys::EPOLLIN != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                });
+            }
+            return Ok(());
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        sys::close_fd(self.epfd);
+    }
+}
+
+/// Self-pipe wakeup channel into the reactor: producer threads (the
+/// engine owner, fan-out shard workers) record which sessions gained
+/// output and poke one byte down a socketpair the reactor polls.
+pub(crate) struct Waker {
+    dirty: Mutex<Vec<SessionId>>,
+    /// A wakeup byte is already in flight; coalesces pokes.
+    signaled: AtomicBool,
+    /// Generic attention (shutdown) independent of any session.
+    control: AtomicBool,
+    tx: std::os::unix::net::UnixStream,
+}
+
+impl Waker {
+    fn signal(&self) {
+        if !self.signaled.swap(true, Ordering::SeqCst) {
+            // A full pipe means a byte is already pending — the wakeup
+            // still happens.
+            let _ = (&self.tx).write(&[1u8]);
+        }
+    }
+
+    /// Marks `sid` as having fresh output and wakes the loop.
+    pub(crate) fn wake(&self, sid: SessionId) {
+        {
+            let mut dirty = self
+                .dirty
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            dirty.push(sid);
+        }
+        self.signal();
+    }
+
+    /// Wakes the loop with no session attached (shutdown notice).
+    pub(crate) fn notify(&self) {
+        self.control.store(true, Ordering::SeqCst);
+        self.signal();
+    }
+
+    /// Drains the pending wakeup set. Clearing `signaled` *before*
+    /// swapping the dirty list means a producer racing this drain either
+    /// lands in the swapped-out list or triggers a fresh byte — never a
+    /// lost wakeup.
+    fn take(&self) -> Vec<SessionId> {
+        self.signaled.store(false, Ordering::SeqCst);
+        let mut dirty = self
+            .dirty
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::mem::take(&mut *dirty)
+    }
+}
+
+/// Reactor knobs copied from the service configuration.
+pub(crate) struct ReactorCfg {
+    /// Tear down a connection silent in both directions this long.
+    pub(crate) idle: Option<Duration>,
+    /// Kill a session whose socket accepted no bytes for this long while
+    /// output was queued.
+    pub(crate) write_timeout: Option<Duration>,
+    /// How long a full engine inbox may park a request before it is shed
+    /// with `ERR busy`.
+    pub(crate) busy: Duration,
+    /// Fault-injection schedule for accepted connections, if any.
+    pub(crate) faults: Option<FaultSchedule>,
+}
+
+/// A request parked on a full engine inbox (read interest is dropped
+/// while one is pending).
+struct PendingSend {
+    event: Option<Event>,
+    verb: &'static str,
+    since: Instant,
+}
+
+/// What to do with a connection after handling it.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum After {
+    Keep,
+    Drop,
+}
+
+/// Per-connection reactor state.
+struct Conn {
+    sid: SessionId,
+    stream: TcpStream,
+    out: Arc<SessionOut>,
+    inflight: Arc<AtomicUsize>,
+    framer: LineFramer,
+    liveness: Liveness,
+    decider: Option<FaultDecider>,
+    pending: Option<PendingSend>,
+    /// An injected read stall defers reads until this instant; the read
+    /// that then proceeds skips its fault decision (the stall *was* that
+    /// operation's fault).
+    read_stall: Option<Instant>,
+    skip_read_decide: bool,
+    /// Same, for writes.
+    write_stall: Option<Instant>,
+    skip_write_decide: bool,
+    /// The socket has refused bytes since this instant while output was
+    /// queued (the write-deadline clock).
+    blocked_since: Option<Instant>,
+    /// Interest currently registered with the poller.
+    reg_read: bool,
+    reg_write: bool,
+}
+
+impl Conn {
+    /// Whether this connection currently wants read readiness.
+    fn wants_read(&self) -> bool {
+        self.pending.is_none() && self.read_stall.is_none() && !self.out.is_closed()
+    }
+
+    /// Whether this connection currently wants write readiness.
+    fn wants_write(&self) -> bool {
+        self.write_stall.is_none() && !self.out.is_drained()
+    }
+
+    /// Whether any timed deadline needs the loop to wake without I/O.
+    fn needs_timer(&self, write_timeout: Option<Duration>) -> bool {
+        self.pending.is_some()
+            || self.read_stall.is_some()
+            || self.write_stall.is_some()
+            || (write_timeout.is_some() && self.blocked_since.is_some())
+    }
+}
+
+/// Everything connection handlers need besides the connection itself.
+struct Ctx {
+    inbox: SyncSender<Event>,
+    metrics: Arc<Metrics>,
+    busy: Duration,
+    write_timeout: Option<Duration>,
+}
+
+const LISTENER_TOKEN: u64 = u64::MAX;
+const WAKER_TOKEN: u64 = u64::MAX - 1;
+/// Per-wakeup read budget per connection (fairness under pipelining).
+const READ_BUDGET: usize = 16;
+/// Coalesced write staging size for clean (non-faulted) connections.
+const WRITE_CHUNK: usize = 16 * 1024;
+/// Per-wakeup write budget per connection, in staged chunks.
+const WRITE_BUDGET: usize = 16;
+
+/// The reactor: owns the listener, the wakeup pipe, and every accepted
+/// connection; runs on one dedicated thread.
+pub(crate) struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    waker: Arc<Waker>,
+    waker_rx: std::os::unix::net::UnixStream,
+    stopping: Arc<AtomicBool>,
+    ctx: Ctx,
+    cfg: ReactorCfg,
+    conns: HashMap<u64, Conn>,
+    /// Sessions with a timed deadline (stall, parked send, write block) —
+    /// scanned each loop so the common case stays O(ready), not O(conns).
+    attention: BTreeSet<u64>,
+    next_sid: u64,
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    /// Builds a reactor over an already-bound listener.
+    pub(crate) fn new(
+        listener: TcpListener,
+        inbox: SyncSender<Event>,
+        stopping: Arc<AtomicBool>,
+        metrics: Arc<Metrics>,
+        cfg: ReactorCfg,
+    ) -> std::io::Result<(Reactor, Arc<Waker>)> {
+        listener.set_nonblocking(true)?;
+        let (waker_rx, waker_tx) = std::os::unix::net::UnixStream::pair()?;
+        waker_rx.set_nonblocking(true)?;
+        waker_tx.set_nonblocking(true)?;
+        let waker = Arc::new(Waker {
+            dirty: Mutex::new(Vec::new()),
+            signaled: AtomicBool::new(false),
+            control: AtomicBool::new(false),
+            tx: waker_tx,
+        });
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), LISTENER_TOKEN, true, false)?;
+        poller.add(waker_rx.as_raw_fd(), WAKER_TOKEN, true, false)?;
+        let busy = cfg.busy;
+        let write_timeout = cfg.write_timeout;
+        Ok((
+            Reactor {
+                poller,
+                listener,
+                waker: Arc::clone(&waker),
+                waker_rx,
+                stopping,
+                ctx: Ctx {
+                    inbox,
+                    metrics,
+                    busy,
+                    write_timeout,
+                },
+                cfg,
+                conns: HashMap::new(),
+                attention: BTreeSet::new(),
+                next_sid: 0,
+                scratch: Vec::with_capacity(WRITE_CHUNK),
+            },
+            waker,
+        ))
+    }
+
+    /// The event loop. Returns when the service is stopping or the engine
+    /// owner is gone.
+    pub(crate) fn run(&mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        let mut last_sweep = Instant::now();
+        loop {
+            if self.stopping.load(Ordering::Relaxed) {
+                self.drain_and_exit();
+                return;
+            }
+            let timeout = self.poll_timeout();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // epoll itself failing is unrecoverable; fall back to a
+                // clean stop instead of spinning.
+                self.drain_and_exit();
+                return;
+            }
+            for &ev in &events {
+                match ev.token {
+                    LISTENER_TOKEN => {
+                        if self.accept_ready() == After::Drop {
+                            return;
+                        }
+                    }
+                    WAKER_TOKEN => self.waker_ready(),
+                    token => self.conn_ready(token, ev),
+                }
+            }
+            self.service_deadlines();
+            if let Some(idle) = self.cfg.idle {
+                let slice = (idle / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
+                if last_sweep.elapsed() >= slice {
+                    last_sweep = Instant::now();
+                    self.idle_sweep(idle);
+                }
+            }
+        }
+    }
+
+    /// Picks the `epoll_wait` timeout: short while timed deadlines are
+    /// outstanding, an idle-slice when reaping is configured, long
+    /// otherwise (wakeups then come from readiness and the waker pipe).
+    fn poll_timeout(&self) -> Duration {
+        if !self.attention.is_empty() {
+            return Duration::from_millis(1);
+        }
+        match self.cfg.idle {
+            Some(idle) => (idle / 4).clamp(Duration::from_millis(10), Duration::from_millis(250)),
+            None => Duration::from_millis(500),
+        }
+    }
+
+    /// Accepts every pending connection. `After::Drop` means the engine
+    /// owner is gone and the loop should exit.
+    fn accept_ready(&mut self) -> After {
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return After::Keep,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return After::Keep,
+            };
+            // Pushes are small one-way lines (no reply to piggyback an
+            // ACK on); Nagle would batch them into ~40ms stalls.
+            let _ = stream.set_nodelay(true);
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let sid = SessionId(self.next_sid);
+            self.next_sid += 1;
+            let out = Arc::new(SessionOut::new());
+            out.attach_waker(Arc::clone(&self.waker), sid);
+            let inflight = Arc::new(AtomicUsize::new(0));
+            if self
+                .ctx
+                .inbox
+                .send(Event::Connect(sid, Arc::clone(&out), Arc::clone(&inflight)))
+                .is_err()
+            {
+                return After::Drop;
+            }
+            if self.stopping.load(Ordering::Relaxed) {
+                // Shutdown raced this accept: the engine may never process
+                // the Connect, so close the queue ourselves (idempotent).
+                out.close();
+            }
+            let decider = self
+                .cfg
+                .faults
+                .as_ref()
+                .and_then(|f| {
+                    f.plan_for(sid.0)
+                        .filter(|p| !p.is_empty())
+                        .map(|plan| (plan.clone(), f.seed))
+                })
+                .map(|(plan, seed)| {
+                    FaultDecider::new(
+                        plan,
+                        seed.wrapping_add(sid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                        Some(Arc::clone(&self.ctx.metrics.faults)),
+                    )
+                });
+            if self
+                .poller
+                .add(stream.as_raw_fd(), sid.0, true, false)
+                .is_err()
+            {
+                let _ = self.ctx.inbox.send(Event::Gone(sid));
+                continue;
+            }
+            self.conns.insert(
+                sid.0,
+                Conn {
+                    sid,
+                    stream,
+                    out,
+                    inflight,
+                    framer: LineFramer::new(MAX_REQUEST_LINE),
+                    liveness: Liveness::new(),
+                    decider,
+                    pending: None,
+                    read_stall: None,
+                    skip_read_decide: false,
+                    write_stall: None,
+                    skip_write_decide: false,
+                    blocked_since: None,
+                    reg_read: true,
+                    reg_write: false,
+                },
+            );
+        }
+    }
+
+    /// Drains the wakeup pipe and flushes every session producers marked
+    /// dirty.
+    fn waker_ready(&mut self) {
+        let mut sink = [0u8; 64];
+        while matches!((&self.waker_rx).read(&mut sink), Ok(n) if n > 0) {}
+        let mut dirty = self.waker.take();
+        dirty.sort_unstable();
+        dirty.dedup();
+        for sid in dirty {
+            if self.conns.contains_key(&sid.0) {
+                self.drive_writes(sid.0);
+            }
+        }
+    }
+
+    /// Handles readiness of one connection token.
+    fn conn_ready(&mut self, token: u64, ev: PollEvent) {
+        if ev.writable {
+            self.drive_writes(token);
+        }
+        if ev.readable || ev.hangup {
+            self.drive_reads(token);
+        }
+    }
+
+    /// Runs the read side of one connection: nonblocking reads through
+    /// the fault seam into the framer, then request dispatch.
+    fn drive_reads(&mut self, token: u64) {
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if !conn.wants_read() {
+                return;
+            }
+            read_some(conn, &self.ctx)
+        };
+        self.settle(token, outcome);
+    }
+
+    /// Runs the write side of one connection (called on `EPOLLOUT`, on a
+    /// waker poke, and after stall expiry).
+    fn drive_writes(&mut self, token: u64) {
+        let outcome = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            flush_some(conn, &self.ctx, &mut self.scratch)
+        };
+        self.settle(token, outcome);
+    }
+
+    /// Applies a handler outcome: drop the connection or refresh its
+    /// poller interest and attention membership.
+    fn settle(&mut self, token: u64, outcome: After) {
+        if outcome == After::Drop {
+            self.teardown(token);
+            return;
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        // A closed and fully drained queue is the engine saying goodbye
+        // (QUIT, teardown): finish the socket.
+        if conn.out.is_closed() && conn.out.is_drained() {
+            self.teardown(token);
+            return;
+        }
+        let wants_read = conn.wants_read();
+        let wants_write = conn.wants_write();
+        if wants_read != conn.reg_read || wants_write != conn.reg_write {
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, wants_read, wants_write)
+                .is_err()
+            {
+                self.teardown(token);
+                return;
+            }
+            conn.reg_read = wants_read;
+            conn.reg_write = wants_write;
+        }
+        if conn.needs_timer(self.ctx.write_timeout) {
+            self.attention.insert(token);
+        } else {
+            self.attention.remove(&token);
+        }
+    }
+
+    /// Services timed deadlines: parked sends (retry/shed), injected
+    /// stalls (resume I/O), and write-block deadlines (kill).
+    fn service_deadlines(&mut self) {
+        let tokens: Vec<u64> = self.attention.iter().copied().collect();
+        let now = Instant::now();
+        for token in tokens {
+            let (resume_read, resume_write, outcome) = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    self.attention.remove(&token);
+                    continue;
+                };
+                let mut resume_read = false;
+                let mut resume_write = false;
+                let mut outcome = After::Keep;
+                // The write deadline must fire from the timer: a socket
+                // whose buffer stays full never reports EPOLLOUT again.
+                if let (Some(limit), Some(since)) = (self.ctx.write_timeout, conn.blocked_since) {
+                    if now.duration_since(since) >= limit {
+                        outcome = After::Drop;
+                    }
+                }
+                if conn.read_stall.is_some_and(|t| now >= t) {
+                    conn.read_stall = None;
+                    resume_read = true;
+                }
+                if conn.write_stall.is_some_and(|t| now >= t) {
+                    conn.write_stall = None;
+                    resume_write = true;
+                }
+                if outcome == After::Keep {
+                    outcome = retry_pending(conn, &self.ctx, now);
+                }
+                (resume_read, resume_write, outcome)
+            };
+            if outcome == After::Drop {
+                self.teardown(token);
+                continue;
+            }
+            if resume_write {
+                self.drive_writes(token);
+            }
+            if resume_read {
+                self.drive_reads(token);
+            } else {
+                // retry_pending may have unparked the session; refresh
+                // interest and attention even without a resume.
+                self.settle(token, After::Keep);
+            }
+        }
+    }
+
+    /// Reaps connections silent in both directions past the idle
+    /// deadline.
+    fn idle_sweep(&mut self, idle: Duration) {
+        let reap: Vec<u64> = self
+            .conns
+            .values()
+            .filter(|c| c.liveness.idle() >= idle)
+            .map(|c| c.sid.0)
+            .collect();
+        for token in reap {
+            self.ctx.metrics.reaped.fetch_add(1, Ordering::Relaxed);
+            self.teardown(token);
+        }
+    }
+
+    /// Removes one connection: deregister, release any parked in-flight
+    /// token, close the socket, and tell the engine exactly once.
+    fn teardown(&mut self, token: u64) {
+        self.attention.remove(&token);
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        self.poller.remove(conn.stream.as_raw_fd());
+        if conn.pending.take().is_some() {
+            conn.inflight.fetch_sub(1, Ordering::SeqCst);
+        }
+        conn.out.close();
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        let _ = self.ctx.inbox.send(Event::Gone(conn.sid));
+    }
+
+    /// Final best-effort flush of every session's remaining output, then
+    /// closes everything. Mirrors the old detached-writer behavior where
+    /// queued lines drained after shutdown when the sockets allowed it.
+    fn drain_and_exit(&mut self) {
+        let deadline = Instant::now() + Duration::from_millis(250);
+        while Instant::now() < deadline {
+            let tokens: Vec<u64> = self.conns.keys().copied().collect();
+            let mut pending = false;
+            for token in tokens {
+                self.drive_writes(token);
+                if let Some(conn) = self.conns.get(&token) {
+                    pending |= !conn.out.is_drained();
+                }
+            }
+            if !pending {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.teardown(token);
+        }
+    }
+}
+
+/// Reads whatever the socket has ready (through the fault seam), feeds
+/// the framer, and dispatches complete lines.
+fn read_some(conn: &mut Conn, ctx: &Ctx) -> After {
+    let mut buf = [0u8; 4096];
+    for _ in 0..READ_BUDGET {
+        if conn.pending.is_some() || conn.read_stall.is_some() {
+            return After::Keep;
+        }
+        if let Some(decider) = &conn.decider {
+            if conn.skip_read_decide {
+                conn.skip_read_decide = false;
+            } else {
+                match decider.decide(false) {
+                    Injected::None => {}
+                    Injected::Stall(d) => {
+                        // The event loop never sleeps: park the read side
+                        // and resume (without a fresh decision) at the
+                        // deadline.
+                        conn.read_stall = Some(Instant::now() + d);
+                        conn.skip_read_decide = true;
+                        return After::Keep;
+                    }
+                    Injected::Reset
+                    | Injected::Garble { .. }
+                    | Injected::Truncate
+                    | Injected::Partial => return After::Drop,
+                }
+            }
+        }
+        match conn.stream.read(&mut buf) {
+            Ok(0) => return After::Drop,
+            Ok(n) => {
+                conn.liveness.touch();
+                conn.framer.feed(&buf[..n]);
+                if dispatch_lines(conn, ctx) == After::Drop {
+                    return After::Drop;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return After::Keep,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return After::Drop,
+        }
+    }
+    After::Keep
+}
+
+/// Drains complete lines out of the framer into engine events, honoring
+/// the overload contract (park on a full inbox, read interest off).
+fn dispatch_lines(conn: &mut Conn, ctx: &Ctx) -> After {
+    while conn.pending.is_none() {
+        let Some(framed) = conn.framer.next_line() else {
+            return After::Keep;
+        };
+        let (event, verb): (Event, &'static str) = match framed {
+            FramedLine::TooLong => (
+                Event::Bad(
+                    conn.sid,
+                    format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                ),
+                "parse",
+            ),
+            FramedLine::NotUtf8 => (
+                Event::Bad(conn.sid, "request line is not UTF-8".into()),
+                "parse",
+            ),
+            FramedLine::Line(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                match parse_request(trimmed) {
+                    Ok(req) => {
+                        let verb = req.verb();
+                        (Event::Request(conn.sid, req), verb)
+                    }
+                    Err(msg) => (Event::Bad(conn.sid, msg), "parse"),
+                }
+            }
+        };
+        // The shedding contract: the in-flight token is taken *before*
+        // the send attempt, released by the engine after the reply.
+        conn.inflight.fetch_add(1, Ordering::SeqCst);
+        match ctx.inbox.try_send(event) {
+            Ok(()) => {}
+            Err(TrySendError::Disconnected(_)) => {
+                conn.inflight.fetch_sub(1, Ordering::SeqCst);
+                return After::Drop;
+            }
+            Err(TrySendError::Full(event)) => {
+                conn.pending = Some(PendingSend {
+                    event: Some(event),
+                    verb,
+                    since: Instant::now(),
+                });
+                return After::Keep;
+            }
+        }
+    }
+    After::Keep
+}
+
+/// Retries a parked send; sheds it with `ERR busy` once the deadline has
+/// passed and no earlier request of this session still awaits its reply.
+fn retry_pending(conn: &mut Conn, ctx: &Ctx, now: Instant) -> After {
+    let Some(pending) = &mut conn.pending else {
+        return After::Keep;
+    };
+    let Some(event) = pending.event.take() else {
+        conn.pending = None;
+        return After::Keep;
+    };
+    match ctx.inbox.try_send(event) {
+        Ok(()) => {
+            conn.pending = None;
+            // Bytes may already be framed behind the parked line.
+            dispatch_lines(conn, ctx)
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            conn.inflight.fetch_sub(1, Ordering::SeqCst);
+            conn.pending = None;
+            After::Drop
+        }
+        Err(TrySendError::Full(event)) => {
+            let verb = pending.verb;
+            if now >= pending.since + ctx.busy && conn.inflight.load(Ordering::SeqCst) == 1 {
+                // Every earlier request was replied to, so an out-of-band
+                // ERR keeps the one-reply-per-request order; the request
+                // never reached the engine, so a client retry is safe.
+                conn.inflight.fetch_sub(1, Ordering::SeqCst);
+                conn.pending = None;
+                ctx.metrics.record_shed(verb);
+                conn.out.send_reply(
+                    Reply::Err {
+                        code: ErrCode::Busy,
+                        message: "server inbox full; request dropped, retry later".into(),
+                    }
+                    .to_string(),
+                );
+                return dispatch_lines(conn, ctx);
+            }
+            pending.event = Some(event);
+            After::Keep
+        }
+    }
+}
+
+/// Flushes queued output: coalesced writes for clean connections,
+/// per-line writes through the fault seam for faulted ones.
+fn flush_some(conn: &mut Conn, ctx: &Ctx, scratch: &mut Vec<u8>) -> After {
+    if conn.write_stall.is_some() {
+        return After::Keep;
+    }
+    let outcome = if conn.decider.is_some() {
+        flush_faulted(conn)
+    } else {
+        flush_clean(conn, scratch)
+    };
+    if outcome == After::Drop {
+        return After::Drop;
+    }
+    if let (Some(limit), Some(since)) = (ctx.write_timeout, conn.blocked_since) {
+        if since.elapsed() >= limit {
+            return After::Drop;
+        }
+    }
+    After::Keep
+}
+
+/// The fast path: stage up to [`WRITE_CHUNK`] bytes spanning queue
+/// entries and hand them to the kernel in one call.
+fn flush_clean(conn: &mut Conn, scratch: &mut Vec<u8>) -> After {
+    for _ in 0..WRITE_BUDGET {
+        let staged = conn.out.peek_coalesced(scratch, WRITE_CHUNK);
+        if staged == 0 {
+            conn.blocked_since = None;
+            return After::Keep;
+        }
+        match conn.stream.write(scratch) {
+            Ok(0) => return After::Drop,
+            Ok(n) => {
+                conn.out.advance(n);
+                conn.liveness.touch();
+                conn.blocked_since = None;
+                if n < staged {
+                    // The kernel buffer is full; EPOLLOUT resumes us.
+                    conn.blocked_since = Some(Instant::now());
+                    return After::Keep;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                conn.blocked_since.get_or_insert_with(Instant::now);
+                return After::Keep;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return After::Drop,
+        }
+    }
+    After::Keep
+}
+
+/// The faulted path: one queue entry (one wire line) per fault decision,
+/// so garble/truncate/partial hit a single line the way the blocking
+/// writer's per-line writes did.
+fn flush_faulted(conn: &mut Conn) -> After {
+    for _ in 0..WRITE_BUDGET {
+        let Some((bytes, cursor)) = conn.out.next_chunk() else {
+            conn.blocked_since = None;
+            return After::Keep;
+        };
+        let chunk = &bytes[cursor..];
+        let injected = if conn.skip_write_decide {
+            conn.skip_write_decide = false;
+            Injected::None
+        } else {
+            match &conn.decider {
+                Some(decider) => decider.decide(true),
+                None => Injected::None,
+            }
+        };
+        let wrote = match injected {
+            Injected::None => conn.stream.write(chunk),
+            Injected::Stall(d) => {
+                conn.write_stall = Some(Instant::now() + d);
+                conn.skip_write_decide = true;
+                return After::Keep;
+            }
+            Injected::Reset => return After::Drop,
+            Injected::Garble { pos, mask } => {
+                if chunk.is_empty() {
+                    conn.stream.write(chunk)
+                } else {
+                    let mut garbled = chunk.to_vec();
+                    let idx = (pos % garbled.len() as u64) as usize;
+                    garbled[idx] ^= mask;
+                    conn.stream.write(&garbled)
+                }
+            }
+            Injected::Truncate => {
+                let _ = conn.stream.write(&chunk[..chunk.len() / 2]);
+                return After::Drop;
+            }
+            Injected::Partial => {
+                let n = chunk.len().div_ceil(2).clamp(1, chunk.len().max(1));
+                conn.stream.write(&chunk[..n])
+            }
+        };
+        match wrote {
+            Ok(0) => return After::Drop,
+            Ok(n) => {
+                conn.out.advance(n);
+                conn.liveness.touch();
+                conn.blocked_since = None;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                conn.blocked_since.get_or_insert_with(Instant::now);
+                return After::Keep;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return After::Drop,
+        }
+    }
+    After::Keep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn poller_reports_read_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut poller = Poller::new().expect("epoll");
+        poller
+            .add(listener.as_raw_fd(), 7, true, false)
+            .expect("add");
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Duration::from_millis(10))
+            .expect("wait");
+        assert!(events.is_empty(), "nothing pending yet");
+        let _client = TcpStream::connect(addr).expect("connect");
+        poller
+            .wait(&mut events, Duration::from_millis(1000))
+            .expect("wait");
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
+            "pending accept surfaces as readable: {events:?}"
+        );
+    }
+
+    #[test]
+    fn poller_tracks_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+        let mut poller = Poller::new().expect("epoll");
+        let fd = server.as_raw_fd();
+        poller.add(fd, 1, false, true).expect("add");
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Duration::from_millis(500))
+            .expect("wait");
+        assert!(
+            events.iter().any(|e| e.token == 1 && e.writable),
+            "an idle socket is writable: {events:?}"
+        );
+        // Drop write interest: nothing should be reported any more.
+        poller.modify(fd, 1, false, false).expect("modify");
+        poller
+            .wait(&mut events, Duration::from_millis(20))
+            .expect("wait");
+        assert!(events.is_empty(), "no interest, no events: {events:?}");
+        poller.remove(fd);
+        drop(client);
+    }
+
+    #[test]
+    fn waker_coalesces_and_drains() {
+        let (rx, tx) = std::os::unix::net::UnixStream::pair().expect("pair");
+        rx.set_nonblocking(true).expect("nonblocking");
+        tx.set_nonblocking(true).expect("nonblocking");
+        let waker = Waker {
+            dirty: Mutex::new(Vec::new()),
+            signaled: AtomicBool::new(false),
+            control: AtomicBool::new(false),
+            tx,
+        };
+        waker.wake(SessionId(3));
+        waker.wake(SessionId(5));
+        waker.wake(SessionId(3));
+        let mut sink = [0u8; 16];
+        let n = (&rx).read(&mut sink).expect("one byte pending");
+        assert_eq!(n, 1, "pokes coalesce into one wakeup byte");
+        assert_eq!(waker.take(), vec![SessionId(3), SessionId(5), SessionId(3)]);
+        assert!(waker.take().is_empty(), "drained");
+        // After a drain the next wake writes a fresh byte.
+        waker.wake(SessionId(9));
+        let n = (&rx).read(&mut sink).expect("fresh byte");
+        assert_eq!(n, 1);
+    }
+}

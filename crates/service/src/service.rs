@@ -1,10 +1,11 @@
 //! The serving event loop.
 //!
 //! One [`Service`] owns one [`MonitorServer`] and any number of TCP
-//! clients. All engine access is serialized through a single
-//! **engine-owner thread** fed by a bounded inbox channel; per-connection
-//! reader threads are pure parsers, per-connection writer threads are pure
-//! drains (see [`crate::session`]). The owner thread:
+//! clients. Sockets are driven by the [`crate::reactor`] event loop (one
+//! thread owning every connection); all engine access is serialized
+//! through
+//! a single **engine-owner thread** fed by a bounded inbox channel. The
+//! owner thread:
 //!
 //! 1. executes requests in arrival order, replying on the issuing
 //!    session's queue;
@@ -13,23 +14,28 @@
 //!    [`TickPolicy::Manual`], or once per wall-clock interval under
 //!    [`TickPolicy::Interval`], so a burst of ingest requests inside one
 //!    interval becomes a single engine cycle;
-//! 3. drains the cycle's [`tkm_core::ResultDelta`]s and fans each out to the
-//!    sessions subscribed to its query (via
-//!    [`tkm_core::DeltaRouter`]), applying the drop-to-snapshot
-//!    backpressure policy to slow consumers.
+//! 3. drains the cycle's [`tkm_core::ResultDelta`]s, encodes each one
+//!    **once** into a shared byte payload, and hands the payloads to a
+//!    pool of **fan-out shard workers** (queries partitioned by id, like
+//!    the engine's own `SharedParallelMonitor` shards) that enqueue the
+//!    shared bytes onto every subscribed session, applying the
+//!    drop-to-snapshot backpressure policy to slow consumers. The owner
+//!    waits for every shard's report before answering the tick — the
+//!    barrier that keeps pushes ordered before the tick's own reply.
 
-use std::collections::BTreeMap;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::{BTreeMap, HashMap};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::distrib::{CoordState, Role, SiteState};
-use crate::fault::{FaultSchedule, FaultyStream, Transport};
+use crate::fault::FaultSchedule;
 use crate::protocol::{ErrCode, Family, Push, QuerySpec, Reply, Request};
-use crate::session::{run_reader, run_writer, Liveness, ReaderKnobs, SessionId, SessionOut};
+use crate::reactor::{Reactor, ReactorCfg, Waker};
+use crate::session::{line_bytes, SessionId, SessionOut};
 use tkm_common::{QueryId, Rect, Result, ScoreFn, Scored, Timestamp, TkmError};
 use tkm_core::{DeltaRouter, MonitorServer, Query, ResultDelta, ServerConfig};
 
@@ -64,9 +70,10 @@ pub struct ServiceConfig {
     /// this long (`None` = never reap). Silent clients stay alive by
     /// sending `PING`.
     pub idle_timeout: Option<Duration>,
-    /// Poison a session whose socket write blocks this long (`None` =
-    /// block forever) — the deadline that frees the writer thread of a
-    /// client that stopped reading.
+    /// Tear down a session whose queued output has made no progress for
+    /// this long (`None` = wait forever). A peer that stops draining its
+    /// socket produces no write readiness, so the reactor enforces this
+    /// deadline from its timer pass, not from `epoll`.
     pub write_timeout: Option<Duration>,
     /// How long a full engine inbox may stall a request before the
     /// session sheds it with `ERR busy` (only when no earlier request of
@@ -78,6 +85,10 @@ pub struct ServiceConfig {
     /// The part this server plays in a deployment (see
     /// [`crate::distrib`]); standalone unless configured otherwise.
     pub role: Role,
+    /// Number of fan-out shard workers (queries are partitioned over them
+    /// by id, mirroring the engine's shard layout). `0` (the default)
+    /// follows the engine's own shard count.
+    pub fanout_shards: usize,
 }
 
 impl ServiceConfig {
@@ -95,6 +106,7 @@ impl ServiceConfig {
             busy_timeout: Duration::from_millis(250),
             faults: None,
             role: Role::Standalone,
+            fanout_shards: 0,
         }
     }
 
@@ -139,6 +151,22 @@ impl ServiceConfig {
         self.role = role;
         self
     }
+
+    /// Selects the fan-out shard-worker count (`0` = follow the engine's
+    /// shard count).
+    pub fn with_fanout_shards(mut self, shards: usize) -> ServiceConfig {
+        self.fanout_shards = shards;
+        self
+    }
+
+    /// The resolved fan-out worker count.
+    pub(crate) fn resolved_fanout_shards(&self) -> usize {
+        if self.fanout_shards == 0 {
+            self.server.shards.max(1)
+        } else {
+            self.fanout_shards
+        }
+    }
 }
 
 /// Verbs a session can shed with `ERR busy`, in the order their counters
@@ -173,8 +201,12 @@ pub(crate) struct Metrics {
     /// shedding of subscriber traffic.
     pub(crate) shed_by_verb: [AtomicU64; SHED_VERBS.len()],
     /// Faults injected by the configured [`FaultSchedule`] (behind an
-    /// `Arc` so [`FaultyStream`] halves can tally into it directly).
+    /// `Arc` so fault deciders can tally into it directly).
     pub(crate) faults: Arc<AtomicU64>,
+    /// `DELTA` payload encodings performed — exactly one per routed
+    /// delta per tick, **not** one per subscriber (the encode-once
+    /// invariant the fan-out tests assert against `STATS encodes=`).
+    pub(crate) encodes: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -184,6 +216,7 @@ impl Default for Metrics {
             shed: AtomicU64::new(0),
             shed_by_verb: std::array::from_fn(|_| AtomicU64::new(0)),
             faults: Arc::new(AtomicU64::new(0)),
+            encodes: AtomicU64::new(0),
         }
     }
 }
@@ -226,6 +259,7 @@ pub struct Service {
     addr: SocketAddr,
     inbox: SyncSender<Event>,
     stopping: Arc<AtomicBool>,
+    waker: Arc<Waker>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -246,20 +280,20 @@ impl Service {
         let metrics = Arc::new(Metrics::default());
         let mut threads = Vec::new();
 
-        let ctx = AcceptCtx {
-            inbox: tx.clone(),
-            stopping: Arc::clone(&stopping),
-            knobs: ReaderKnobs {
+        let (mut reactor, waker) = Reactor::new(
+            listener,
+            tx.clone(),
+            Arc::clone(&stopping),
+            Arc::clone(&metrics),
+            ReactorCfg {
                 idle: cfg.idle_timeout,
+                write_timeout: cfg.write_timeout,
                 busy: cfg.busy_timeout,
+                faults: cfg.faults.clone(),
             },
-            write_timeout: cfg.write_timeout,
-            faults: cfg.faults.clone(),
-            metrics: Arc::clone(&metrics),
-        };
-        threads.push(std::thread::spawn(move || {
-            accept_loop(&listener, &ctx);
-        }));
+        )
+        .map_err(|e| TkmError::Internal(format!("reactor setup: {e}")))?;
+        threads.push(std::thread::spawn(move || reactor.run()));
 
         if let TickPolicy::Interval(period) = cfg.tick {
             let timer_tx = tx.clone();
@@ -292,12 +326,14 @@ impl Service {
             Role::Coordinator => RoleState::Coordinator(CoordState::new()),
             Role::Site(site) => RoleState::Site(SiteState::new(site)),
         };
+        let pool = FanoutPool::spawn(cfg.resolved_fanout_shards());
         let mut owner = EngineOwner {
             server,
             cfg,
             role,
             sessions: BTreeMap::new(),
             router: DeltaRouter::new(),
+            pool,
             pending: Vec::new(),
             stats: Counters::default(),
             metrics,
@@ -308,6 +344,7 @@ impl Service {
             addr: local,
             inbox: tx,
             stopping,
+            waker,
             threads,
         })
     }
@@ -317,111 +354,164 @@ impl Service {
         self.addr
     }
 
-    /// Stops accepting, closes every session, and joins the accept /
-    /// timer / engine threads. Per-session writer threads drain their
-    /// remaining queued lines on their own (they are detached), so
-    /// delivery of already-queued output is best-effort if the process
-    /// exits immediately after this returns.
+    /// Stops accepting, closes every session, and joins the reactor /
+    /// timer / engine / fan-out threads. The reactor performs one final
+    /// best-effort flush of queued output before closing sockets, so
+    /// delivery of already-queued lines is best-effort on shutdown.
     pub fn shutdown(mut self) {
         self.stopping.store(true, Ordering::Relaxed);
         let _ = self.inbox.send(Event::Shutdown);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        self.waker.notify();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// Everything the accept loop needs to outfit a new session's threads.
-struct AcceptCtx {
-    inbox: SyncSender<Event>,
-    stopping: Arc<AtomicBool>,
-    knobs: ReaderKnobs,
-    write_timeout: Option<Duration>,
-    faults: Option<FaultSchedule>,
-    metrics: Arc<Metrics>,
+/// A message to one fan-out shard worker.
+enum ShardMsg {
+    /// A session subscribed to a query this shard owns.
+    Sub(QueryId, SessionId, Arc<SessionOut>),
+    /// A session dropped one subscription.
+    Unsub(QueryId, SessionId),
+    /// A query was unregistered: drop all of its subscriptions.
+    DropQuery(QueryId),
+    /// One tick's encoded payloads for this shard's queries: enqueue the
+    /// shared bytes onto every subscriber, then report who overflowed.
+    Fanout {
+        lines: Vec<(QueryId, Arc<[u8]>)>,
+        cap: usize,
+    },
 }
 
-fn accept_loop(listener: &TcpListener, ctx: &AcceptCtx) {
-    let mut next = 0u64;
-    for stream in listener.incoming() {
-        if ctx.stopping.load(Ordering::Relaxed) {
-            return;
+/// The fan-out shard workers: queries are partitioned over `shards`
+/// persistent threads by id (`q.0 % shards`, the same layout the
+/// engine's `SharedParallelMonitor` uses), so one tick's delta routing
+/// runs shard-parallel while each query's payload bytes stay shared
+/// (`Arc`) across all of its subscribers.
+struct FanoutPool {
+    txs: Vec<Sender<ShardMsg>>,
+    report_rx: Receiver<Vec<SessionId>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl FanoutPool {
+    fn spawn(shards: usize) -> FanoutPool {
+        let shards = shards.max(1);
+        let (report_tx, report_rx) = std::sync::mpsc::channel();
+        let mut txs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = std::sync::mpsc::channel::<ShardMsg>();
+            let report = report_tx.clone();
+            txs.push(tx);
+            workers.push(std::thread::spawn(move || {
+                let mut subs: HashMap<QueryId, Vec<(SessionId, Arc<SessionOut>)>> = HashMap::new();
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ShardMsg::Sub(q, sid, out) => {
+                            let list = subs.entry(q).or_default();
+                            if !list.iter().any(|(s, _)| *s == sid) {
+                                list.push((sid, out));
+                            }
+                        }
+                        ShardMsg::Unsub(q, sid) => {
+                            if let Some(list) = subs.get_mut(&q) {
+                                list.retain(|(s, _)| *s != sid);
+                                if list.is_empty() {
+                                    subs.remove(&q);
+                                }
+                            }
+                        }
+                        ShardMsg::DropQuery(q) => {
+                            subs.remove(&q);
+                        }
+                        ShardMsg::Fanout { lines, cap } => {
+                            let mut resynced: Vec<SessionId> = Vec::new();
+                            for (q, bytes) in &lines {
+                                let Some(list) = subs.get(q) else { continue };
+                                for (sid, out) in list {
+                                    if resynced.contains(sid) {
+                                        continue;
+                                    }
+                                    if !out.try_push_shared(Arc::clone(bytes), cap) {
+                                        resynced.push(*sid);
+                                    }
+                                }
+                            }
+                            if report.send(resynced).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+            }));
         }
-        let Ok(stream) = stream else { continue };
-        // Pushes are small one-way lines (no reply to piggyback an ACK
-        // on); Nagle would batch them into ~40ms stalls.
-        let _ = stream.set_nodelay(true);
-        let sid = SessionId(next);
-        next += 1;
-        let out = Arc::new(SessionOut::new());
-        let inflight = Arc::new(AtomicUsize::new(0));
-        if ctx
-            .inbox
-            .send(Event::Connect(sid, Arc::clone(&out), Arc::clone(&inflight)))
-            .is_err()
-        {
-            return;
+        FanoutPool {
+            txs,
+            report_rx,
+            workers,
         }
-        if ctx.stopping.load(Ordering::Relaxed) {
-            // Shutdown raced this accept: the engine may never process the
-            // Connect, so close the queue ourselves before spawning the
-            // writer — close is idempotent, a double close is harmless.
-            out.close();
+    }
+
+    fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn shard_of(&self, q: QueryId) -> usize {
+        (q.0 % self.txs.len() as u64) as usize
+    }
+
+    fn subscribe(&self, q: QueryId, sid: SessionId, out: Arc<SessionOut>) {
+        let _ = self.txs[self.shard_of(q)].send(ShardMsg::Sub(q, sid, out));
+    }
+
+    fn unsubscribe(&self, q: QueryId, sid: SessionId) {
+        let _ = self.txs[self.shard_of(q)].send(ShardMsg::Unsub(q, sid));
+    }
+
+    fn drop_query(&self, q: QueryId) {
+        let _ = self.txs[self.shard_of(q)].send(ShardMsg::DropQuery(q));
+    }
+
+    /// Dispatches one tick's encoded payloads to their owning shards and
+    /// **waits for every shard's overflow report** — the barrier that
+    /// keeps this tick's pushes ordered before the tick's reply and
+    /// before any later subscribe baseline. Returns the deduplicated
+    /// sessions that overflowed their push cap.
+    fn fan_out(&self, lines: Vec<(QueryId, Arc<[u8]>)>, cap: usize) -> Vec<SessionId> {
+        let mut per_shard: Vec<Vec<(QueryId, Arc<[u8]>)>> = vec![Vec::new(); self.txs.len()];
+        for (q, bytes) in lines {
+            per_shard[self.shard_of(q)].push((q, bytes));
         }
-        let Ok(write_half) = stream.try_clone() else {
-            let _ = ctx.inbox.send(Event::Gone(sid));
-            continue;
-        };
-        // Wrap both halves in the session's fault plan, if one is
-        // scheduled for this connection index.
-        let plan = ctx
-            .faults
-            .as_ref()
-            .and_then(|f| f.plan_for(sid.0))
-            .filter(|p| !p.is_empty())
-            .cloned();
-        let (read_t, write_t): (Box<dyn Transport>, Box<dyn Transport>) = match plan {
-            Some(plan) => {
-                let seed = ctx
-                    .faults
-                    .as_ref()
-                    .map_or(0, |f| f.seed)
-                    .wrapping_add(sid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                let (r, w) = FaultyStream::pair(
-                    stream,
-                    write_half,
-                    plan,
-                    seed,
-                    Some(Arc::clone(&ctx.metrics.faults)),
-                );
-                (Box::new(r), Box::new(w))
+        let mut dispatched = 0usize;
+        for (tx, lines) in self.txs.iter().zip(per_shard) {
+            if lines.is_empty() {
+                continue;
             }
-            None => (Box::new(stream), Box::new(write_half)),
-        };
-        let liveness = Arc::new(Liveness::new());
-        let writer_out = Arc::clone(&out);
-        let writer_liveness = Arc::clone(&liveness);
-        let write_timeout = ctx.write_timeout;
-        std::thread::spawn(move || {
-            run_writer(write_t, &writer_out, &writer_liveness, write_timeout)
-        });
-        let reader_inbox = ctx.inbox.clone();
-        let knobs = ctx.knobs;
-        let reader_metrics = Arc::clone(&ctx.metrics);
-        std::thread::spawn(move || {
-            run_reader(
-                read_t,
-                sid,
-                &reader_inbox,
-                &out,
-                &inflight,
-                &liveness,
-                knobs,
-                &reader_metrics,
-            );
-        });
+            if tx.send(ShardMsg::Fanout { lines, cap }).is_ok() {
+                dispatched += 1;
+            }
+        }
+        let mut resynced: Vec<SessionId> = Vec::new();
+        for _ in 0..dispatched {
+            let Ok(report) = self.report_rx.recv() else {
+                break;
+            };
+            resynced.extend(report);
+        }
+        resynced.sort_unstable();
+        resynced.dedup();
+        resynced
+    }
+}
+
+impl Drop for FanoutPool {
+    fn drop(&mut self) {
+        self.txs.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -456,6 +546,9 @@ struct EngineOwner {
     role: RoleState,
     sessions: BTreeMap<SessionId, SessionHandle>,
     router: DeltaRouter<SessionId>,
+    /// The fan-out shard workers mirroring `router` (sharded by query
+    /// id); delta routing runs there, control verbs stay here.
+    pool: FanoutPool,
     /// Arrivals queued since the last flush (flat coordinate buffer).
     pending: Vec<f64>,
     stats: Counters,
@@ -506,7 +599,8 @@ impl EngineOwner {
             handle.out.close();
         }
         // Connects that were still queued behind the Shutdown event would
-        // otherwise leave their writer threads parked forever.
+        // otherwise leave the reactor holding sockets that can never be
+        // adopted; closing their queues lets it shut them down.
         while let Ok(event) = rx.try_recv() {
             if let Event::Connect(_, out, _) = event {
                 out.close();
@@ -530,7 +624,9 @@ impl EngineOwner {
     }
 
     fn teardown(&mut self, sid: SessionId) {
-        self.router.drop_subscriber(&sid);
+        for q in self.router.drop_subscriber(&sid) {
+            self.pool.unsubscribe(q, sid);
+        }
         if let Some(handle) = self.sessions.remove(&sid) {
             handle.out.close();
         }
@@ -559,6 +655,7 @@ impl EngineOwner {
             Request::Unregister(q) => match self.server.unregister(q) {
                 Ok(()) => {
                     self.router.drop_query(q);
+                    self.pool.drop_query(q);
                     if let RoleState::Coordinator(coord) = &mut self.role {
                         coord.unregister(q);
                     }
@@ -572,8 +669,12 @@ impl EngineOwner {
                     self.router.subscribe(q, sid);
                     // Baseline the subscriber immediately before its OK:
                     // FIFO ordering guarantees the snapshot arrives with
-                    // the reply and before any subsequent delta.
+                    // the reply and before any subsequent delta. The
+                    // shard mirror learns of the subscription on the same
+                    // channel later fan-outs arrive on, so the first
+                    // delta pushed there cannot precede this baseline.
                     if let Some(handle) = self.sessions.get(&sid) {
+                        self.pool.subscribe(q, sid, Arc::clone(&handle.out));
                         handle.out.force_push(
                             Push::Snapshot {
                                 query: q,
@@ -598,7 +699,9 @@ impl EngineOwner {
                 Err(e) => err_reply(&e),
             },
             Request::Unsubscribe(q) => {
-                self.router.unsubscribe(q, &sid);
+                if self.router.unsubscribe(q, &sid) {
+                    self.pool.unsubscribe(q, sid);
+                }
                 Reply::OkQuery(q)
             }
             Request::Snapshot(q) => match self.result_of(q) {
@@ -924,33 +1027,32 @@ impl EngineOwner {
         Ok(())
     }
 
-    /// Fans a cycle's result deltas out to their subscribers, applying
-    /// the drop-to-snapshot backpressure policy to slow consumers.
+    /// Fans a cycle's result deltas out to their subscribers through the
+    /// shard workers, applying the drop-to-snapshot backpressure policy
+    /// to slow consumers.
+    ///
+    /// Each routed delta is encoded exactly **once** (tallied in
+    /// `STATS encodes=`) into an `Arc<[u8]>` payload whose bytes every
+    /// subscriber's queue shares; the per-subscriber work left is one
+    /// pointer enqueue on the owning shard's worker.
     fn fan_out(&mut self, now: Timestamp, deltas: &[ResultDelta]) {
-        let mut resynced: Vec<SessionId> = Vec::new();
+        let mut lines: Vec<(QueryId, Arc<[u8]>)> = Vec::new();
         for delta in deltas {
-            let subscribers = self.router.subscribers(delta.query);
-            if subscribers.is_empty() {
+            if self.router.subscribers(delta.query).is_empty() {
                 continue;
             }
-            // Encode once per delta, not once per subscriber.
             let line = Push::Delta {
                 at: now,
                 delta: delta.clone(),
             }
             .to_string();
-            for sid in subscribers {
-                if resynced.contains(sid) {
-                    continue;
-                }
-                let Some(handle) = self.sessions.get(sid) else {
-                    continue;
-                };
-                if !handle.out.try_push(line.clone(), self.cfg.push_queue) {
-                    resynced.push(*sid);
-                }
-            }
+            self.metrics.encodes.fetch_add(1, Ordering::Relaxed);
+            lines.push((delta.query, line_bytes(line)));
         }
+        if lines.is_empty() {
+            return;
+        }
+        let resynced = self.pool.fan_out(lines, self.cfg.push_queue);
         // Slow consumers lost their queued pushes: re-baseline every one
         // of their subscriptions from the (post-cycle) current results.
         for sid in resynced {
@@ -985,6 +1087,11 @@ impl EngineOwner {
             ("ticks".into(), self.stats.ticks.to_string()),
             ("arrivals".into(), self.stats.arrivals.to_string()),
             ("deltas".into(), self.stats.deltas.to_string()),
+            (
+                "encodes".into(),
+                self.metrics.encodes.load(Ordering::Relaxed).to_string(),
+            ),
+            ("fanout_shards".into(), self.pool.shards().to_string()),
             ("resyncs".into(), self.stats.resyncs.to_string()),
             (
                 "reaped".into(),

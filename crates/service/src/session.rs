@@ -1,59 +1,43 @@
-//! Per-connection session plumbing.
+//! Per-connection session state: outbound byte queue and line framing.
 //!
-//! Each accepted connection gets **two** threads and **one** queue:
+//! Since PR 10 connections are **not** driven by per-connection threads:
+//! the [`crate::reactor`] event loop owns every subscriber socket and
+//! drives all of them from O(shards) threads. This module provides the two
+//! pieces of per-connection state the reactor (and the engine owner / the
+//! fan-out shard workers feeding it) share:
 //!
-//! * a *reader* thread that parses request lines and feeds them to the
-//!   single engine-owner thread over the service's bounded inbox;
-//! * a *writer* thread that drains this session's [`SessionOut`] queue to
-//!   the socket;
-//! * the [`SessionOut`] queue itself — one ordered lane shared by replies
-//!   and pushes, so a client always observes every push enqueued before a
-//!   reply *before* that reply.
+//! * [`SessionOut`] — one ordered outbound queue per connection, shared by
+//!   replies and pushes. Producers (the engine owner, the fan-out shard
+//!   workers) enqueue whole lines as reference-counted byte payloads —
+//!   one tick's `DELTA` line is encoded **once** per query and the same
+//!   `Arc<[u8]>` is enqueued for every subscriber — and the reactor drains
+//!   it with a *partial-write cursor*: a short write leaves the front
+//!   payload in place with its offset advanced, so flushing resumes
+//!   mid-line at the next write-readiness wakeup without ever splicing
+//!   two lines together.
+//! * [`LineFramer`] — incremental request-line reassembly. The reactor
+//!   reads whatever the socket has ready (possibly one byte, possibly a
+//!   dozen pipelined lines, possibly a UTF-8 sequence split across two
+//!   wakeups) and feeds the raw chunks in; the framer yields complete
+//!   lines plus the same oversized/non-UTF-8 classifications the
+//!   thread-per-connection reader used to produce.
 //!
-//! Both threads run on the [`Transport`](crate::fault::Transport) seam,
-//! not on `TcpStream` directly, so the fault-injection layer can wrap the
-//! socket (see [`crate::fault`]).
-//!
-//! **Backpressure policy** (drop-to-snapshot): replies are never dropped,
-//! but the number of queued *push* lines is capped. When the engine tries
-//! to push a delta to a session whose cap is reached — a consumer reading
-//! slower than its subscriptions produce — every queued push is discarded
-//! and the engine re-baselines the session with a `RESYNC` marker followed
-//! by a fresh `SNAPSHOT` per subscription. The slow client loses
-//! intermediate states, never the current one, and server memory stays
-//! bounded per session.
-//!
-//! **Failure policy** (see the README's *Failure model*):
-//!
-//! * *Idle reaping* — with an idle deadline configured, reads time out in
-//!   short slices and a connection with no traffic in either direction for
-//!   the deadline is torn down (counted in `STATS reaped=`). Liveness is
-//!   bidirectional: a pure subscriber is kept alive by its own delta
-//!   stream; a connection silent in both directions must `PING`.
-//! * *Write deadline* — a write that blocks past the configured deadline
-//!   (client stopped reading, socket buffers full) poisons the session
-//!   instead of wedging the writer thread forever.
-//! * *Overload shedding* — when the engine inbox stays full past the busy
-//!   deadline and this session has no earlier request still in flight, the
-//!   reader answers `ERR busy` itself instead of blocking. The shed
-//!   request never reached the engine, so the client can always retry it.
-//! * *Leak-free teardown* — whichever half dies first, the other is
-//!   unblocked: the writer shuts the socket down on any write failure
-//!   (waking a blocked reader into EOF), and the engine's teardown closes
-//!   the queue (draining then shutting down a healthy writer). Exactly one
-//!   `Gone` event reaches the engine, which drops the session's
-//!   `DeltaRouter` subscriptions.
+//! **Backpressure policy** (drop-to-snapshot, unchanged since PR 5):
+//! replies are never dropped, but the number of queued *push* lines is
+//! capped. When a producer pushes to a session whose cap is reached — a
+//! consumer reading slower than its subscriptions produce — every queued
+//! push is discarded and the engine re-baselines the session with a
+//! `RESYNC` marker followed by a fresh `SNAPSHOT` per subscription. One
+//! subtlety is new with the reactor: a push that is already *partially on
+//! the wire* (cursor > 0) is never discarded, otherwise the stream would
+//! resume mid-line and garble the next payload.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{SyncSender, TrySendError};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use crate::fault::Transport;
-use crate::protocol::{parse_request, ErrCode, Reply};
-use crate::service::{Event, Metrics};
+use crate::reactor::Waker;
 
 /// Identifier of one accepted connection, unique within a service run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -66,28 +50,42 @@ impl std::fmt::Display for SessionId {
 }
 
 /// A queued outbound line, classed by droppability.
-enum OutLine {
-    /// A reply to a request — never dropped.
-    Reply(String),
-    /// An asynchronous push — dropped wholesale on overflow.
-    Push(String),
+struct OutEntry {
+    /// The full encoded line, terminator included. Shared (`Arc`) so a
+    /// fan-out of one payload to 10⁴ subscribers enqueues 10⁴ pointers,
+    /// not 10⁴ copies.
+    bytes: Arc<[u8]>,
+    /// `true` for asynchronous pushes (droppable on overflow), `false`
+    /// for replies (never dropped).
+    push: bool,
 }
 
 #[derive(Default)]
 struct OutState {
-    queue: VecDeque<OutLine>,
-    /// Number of `Push` lines currently queued.
+    queue: VecDeque<OutEntry>,
+    /// Bytes of the front entry already written to the socket.
+    cursor: usize,
+    /// Number of `push` entries currently queued.
     pushes: usize,
-    /// No further lines will be accepted; the writer drains and exits.
+    /// No further lines will be accepted; the reactor drains what is
+    /// queued and then shuts the socket down.
     closed: bool,
 }
 
-/// The outbound side of one session: an ordered reply/push queue drained
-/// by the session's writer thread.
+/// The outbound side of one session: an ordered reply/push byte queue
+/// produced by the engine owner and the fan-out shard workers, consumed
+/// by the reactor with partial-write resumption.
+///
+/// Consumption ([`SessionOut::next_chunk`] / [`SessionOut::advance`]) is
+/// single-consumer by contract — only the reactor thread drains a
+/// session — while any number of producer threads may enqueue.
 #[derive(Default)]
 pub struct SessionOut {
     state: Mutex<OutState>,
-    ready: Condvar,
+    /// The reactor waker (set once when the reactor adopts the
+    /// connection); enqueues into an empty queue poke it so the event
+    /// loop learns there are bytes to flush.
+    waker: OnceLock<(Arc<Waker>, SessionId)>,
 }
 
 impl SessionOut {
@@ -106,38 +104,89 @@ impl SessionOut {
         SessionOut::default()
     }
 
-    /// Enqueues a reply line. Replies are exempt from the push cap — their
-    /// volume is bounded by the client's own (flow-controlled) request
-    /// rate, so they cannot grow without bound.
-    pub fn send_reply(&self, line: String) {
-        let mut st = self.lock_state();
-        if st.closed {
-            return;
-        }
-        st.queue.push_back(OutLine::Reply(line));
-        self.ready.notify_one();
+    /// Attaches the reactor waker; called once when the reactor adopts
+    /// the connection.
+    pub(crate) fn attach_waker(&self, waker: Arc<Waker>, sid: SessionId) {
+        let _ = self.waker.set((waker, sid));
     }
 
-    /// Tries to enqueue a push line under a cap of `cap` pending pushes.
-    ///
-    /// On overflow every queued push is discarded (replies are retained in
-    /// order) and `false` is returned: the caller must re-baseline the
-    /// session with `RESYNC` + `SNAPSHOT` pushes via
-    /// [`SessionOut::force_push`].
+    /// Pokes the reactor (when attached) that this session has pending
+    /// output or was closed.
+    fn wake(&self) {
+        if let Some((waker, sid)) = self.waker.get() {
+            waker.wake(*sid);
+        }
+    }
+
+    fn enqueue(&self, bytes: Arc<[u8]>, push: bool) {
+        let was_idle = {
+            let mut st = self.lock_state();
+            if st.closed {
+                return;
+            }
+            let was_idle = st.queue.is_empty();
+            if push {
+                st.pushes += 1;
+            }
+            st.queue.push_back(OutEntry { bytes, push });
+            was_idle
+        };
+        // Only the empty→non-empty transition needs a wakeup: while the
+        // queue is non-empty the reactor already holds write interest.
+        if was_idle {
+            self.wake();
+        }
+    }
+
+    /// Enqueues a reply line (terminator appended here). Replies are
+    /// exempt from the push cap — their volume is bounded by the client's
+    /// own (flow-controlled) request rate, so they cannot grow without
+    /// bound.
+    pub fn send_reply(&self, line: String) {
+        self.enqueue(line_bytes(line), false);
+    }
+
+    /// Tries to enqueue a push line under a cap of `cap` pending pushes —
+    /// the string-encoding convenience over
+    /// [`SessionOut::try_push_shared`].
     pub fn try_push(&self, line: String, cap: usize) -> bool {
-        let mut st = self.lock_state();
-        if st.closed {
-            // A vanishing session needs no resync.
-            return true;
+        self.try_push_shared(line_bytes(line), cap)
+    }
+
+    /// Tries to enqueue an already-encoded push payload (terminator
+    /// included) under a cap of `cap` pending pushes.
+    ///
+    /// On overflow every queued push is discarded — except a front entry
+    /// already partially written to the socket, which must finish so the
+    /// byte stream stays line-aligned — replies are retained in order,
+    /// and `false` is returned: the caller must re-baseline the session
+    /// with `RESYNC` + `SNAPSHOT` pushes via [`SessionOut::force_push`].
+    pub fn try_push_shared(&self, bytes: Arc<[u8]>, cap: usize) -> bool {
+        let was_idle = {
+            let mut st = self.lock_state();
+            if st.closed {
+                // A vanishing session needs no resync.
+                return true;
+            }
+            if st.pushes >= cap {
+                let in_flight = st.cursor > 0;
+                let mut first = true;
+                st.queue.retain(|l| {
+                    let keep = !l.push || (first && in_flight);
+                    first = false;
+                    keep
+                });
+                st.pushes = usize::from(in_flight && st.queue.front().is_some_and(|l| l.push));
+                return false;
+            }
+            let was_idle = st.queue.is_empty();
+            st.queue.push_back(OutEntry { bytes, push: true });
+            st.pushes += 1;
+            was_idle
+        };
+        if was_idle {
+            self.wake();
         }
-        if st.pushes >= cap {
-            st.queue.retain(|l| matches!(l, OutLine::Reply(_)));
-            st.pushes = 0;
-            return false;
-        }
-        st.queue.push_back(OutLine::Push(line));
-        st.pushes += 1;
-        self.ready.notify_one();
         true
     }
 
@@ -145,49 +194,79 @@ impl SessionOut {
     /// marker and its snapshots, whose volume is bounded by the session's
     /// subscription count.
     pub fn force_push(&self, line: String) {
-        let mut st = self.lock_state();
-        if st.closed {
-            return;
-        }
-        st.queue.push_back(OutLine::Push(line));
-        st.pushes += 1;
-        self.ready.notify_one();
+        self.enqueue(line_bytes(line), true);
     }
 
     /// Marks the queue closed: already-queued lines are still delivered,
-    /// then the writer thread shuts the socket down and exits.
+    /// then the reactor shuts the socket down.
     pub fn close(&self) {
-        let mut st = self.lock_state();
-        st.closed = true;
-        self.ready.notify_one();
+        {
+            let mut st = self.lock_state();
+            st.closed = true;
+        }
+        self.wake();
     }
 
-    /// Blocks until at least one line is available (draining up to `max`
-    /// of them into `batch`) or the queue is closed and empty (returns
-    /// `false`).
-    fn pop_into(&self, batch: &mut Vec<String>, max: usize) -> bool {
+    /// Whether [`SessionOut::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock_state().closed
+    }
+
+    /// Whether nothing is queued (a closed, drained session can be shut
+    /// down).
+    pub fn is_drained(&self) -> bool {
+        self.lock_state().queue.is_empty()
+    }
+
+    /// The front payload and how many of its bytes were already written.
+    /// Single-consumer: only the draining thread may pair this with
+    /// [`SessionOut::advance`].
+    pub fn next_chunk(&self) -> Option<(Arc<[u8]>, usize)> {
+        let st = self.lock_state();
+        st.queue.front().map(|e| (Arc::clone(&e.bytes), st.cursor))
+    }
+
+    /// Copies up to `max` pending bytes (starting at the partial-write
+    /// cursor, spanning entries) into `scratch`, returning how many were
+    /// staged — the coalescing path that turns a burst of small push
+    /// lines into one socket write.
+    pub fn peek_coalesced(&self, scratch: &mut Vec<u8>, max: usize) -> usize {
+        scratch.clear();
+        let st = self.lock_state();
+        let mut skip = st.cursor;
+        for entry in &st.queue {
+            if scratch.len() >= max {
+                break;
+            }
+            let body = &entry.bytes[skip.min(entry.bytes.len())..];
+            skip = 0;
+            let room = max - scratch.len();
+            scratch.extend_from_slice(&body[..body.len().min(room)]);
+        }
+        scratch.len()
+    }
+
+    /// Records `n` bytes as written, popping every entry the cursor moves
+    /// past (partial progress stays in the cursor).
+    pub fn advance(&self, n: usize) {
         let mut st = self.lock_state();
-        loop {
-            if !st.queue.is_empty() {
-                while batch.len() < max {
-                    match st.queue.pop_front() {
-                        Some(OutLine::Reply(l)) => batch.push(l),
-                        Some(OutLine::Push(l)) => {
-                            st.pushes -= 1;
-                            batch.push(l);
-                        }
-                        None => break,
-                    }
-                }
-                return true;
+        st.cursor += n;
+        while let Some(front) = st.queue.front() {
+            let len = front.bytes.len();
+            let push = front.push;
+            if st.cursor < len {
+                break;
             }
-            if st.closed {
-                return false;
+            st.cursor -= len;
+            if push {
+                st.pushes -= 1;
             }
-            st = self
-                .ready
-                .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.queue.pop_front();
+        }
+        // An over-advance past the queue tail cannot represent bytes on
+        // the wire; clamp so a buggy caller cannot wedge the cursor.
+        if st.queue.is_empty() {
+            st.cursor = 0;
         }
     }
 
@@ -197,8 +276,17 @@ impl SessionOut {
     }
 }
 
-/// Bidirectional last-activity clock of one connection, shared by its
-/// reader (inbound bytes) and writer (successful flushes).
+/// Encodes one outbound line: the string's bytes plus the `\n`
+/// terminator, as a shareable payload.
+pub(crate) fn line_bytes(line: String) -> Arc<[u8]> {
+    let mut bytes = line.into_bytes();
+    bytes.push(b'\n');
+    Arc::from(bytes)
+}
+
+/// Bidirectional last-activity clock of one connection: inbound bytes and
+/// successful flushes both count (a pure subscriber is kept alive by its
+/// own delta stream; a connection silent in both directions must `PING`).
 pub(crate) struct Liveness {
     epoch: Instant,
     last_ms: AtomicU64,
@@ -225,287 +313,123 @@ impl Liveness {
     }
 }
 
-/// Reader-side deadlines, copied out of the service configuration.
-#[derive(Clone, Copy)]
-pub(crate) struct ReaderKnobs {
-    /// Tear the connection down after this much bidirectional silence.
-    pub(crate) idle: Option<Duration>,
-    /// How long a full engine inbox may stall a request before the reader
-    /// sheds it with `ERR busy`.
-    pub(crate) busy: Duration,
-}
-
-/// Body of a session's writer thread: drains the queue to the socket in
-/// batches (one flush per drain, not per line). On any write failure —
-/// including a configured write deadline expiring — the queue is closed
-/// **and the socket is shut down**, so a reader blocked on the same
-/// connection wakes into EOF and the engine learns of the death; leaving
-/// the socket open here is what used to leak the reader/subscriptions of
-/// a client that vanished without closing its write half.
-pub(crate) fn run_writer(
-    transport: Box<dyn Transport>,
-    out: &SessionOut,
-    liveness: &Liveness,
-    write_timeout: Option<Duration>,
-) {
-    if let Some(t) = write_timeout {
-        let _ = transport.set_write_timeout(Some(t));
-    }
-    let mut writer = BufWriter::new(transport);
-    let mut batch = Vec::new();
-    while out.pop_into(&mut batch, 256) {
-        let mut dead = false;
-        for line in batch.drain(..) {
-            if writer
-                .write_all(line.as_bytes())
-                .and_then(|()| writer.write_all(b"\n"))
-                .is_err()
-            {
-                dead = true;
-                break;
-            }
-        }
-        if dead || writer.flush().is_err() {
-            out.close();
-            writer.get_ref().shutdown_both();
-            return;
-        }
-        liveness.touch();
-    }
-    // Closed and fully drained: also unblocks this session's reader.
-    let _ = writer.flush();
-    writer.get_ref().shutdown_both();
-}
-
-/// Hard cap on one request line, keeping per-connection reader memory
+/// Hard cap on one request line, keeping per-connection framing memory
 /// bounded against a peer that never sends `\n`. Generous: a `TICK` batch
 /// of ~25k 2-d tuples still fits.
-pub(crate) const MAX_REQUEST_LINE: u64 = 1 << 20;
+pub const MAX_REQUEST_LINE: usize = 1 << 20;
 
-/// Outcome of reading one request line.
-enum Line {
-    /// A complete UTF-8 line (terminator included).
-    Req(String),
-    /// Clean EOF (or EOF mid-line).
-    Eof,
-    /// The line exceeded [`MAX_REQUEST_LINE`]; its remainder is unread.
+/// One framed inbound line (or its rejection), yielded by
+/// [`LineFramer::next_line`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum FramedLine {
+    /// A complete UTF-8 line, terminator stripped.
+    Line(String),
+    /// The line exceeded the framer's byte cap; its remainder (up to the
+    /// next `\n`) is silently discarded and framing resumes at the next
+    /// line.
     TooLong,
     /// A complete line that is not valid UTF-8.
     NotUtf8,
-    /// The idle deadline expired with no traffic in either direction.
-    Idle,
-    /// The socket failed.
-    Dead,
 }
 
-/// Reads one `\n`-terminated line of at most [`MAX_REQUEST_LINE`] bytes,
-/// resuming across read-timeout slices (partial bytes stay in `buf`) and
-/// watching the shared idle clock between slices.
-fn read_request_line(
-    reader: &mut BufReader<Box<dyn Transport>>,
-    buf: &mut Vec<u8>,
-    liveness: &Liveness,
-    idle: Option<Duration>,
-) -> Line {
-    use std::io::{ErrorKind, Read};
-    buf.clear();
-    loop {
-        let before = buf.len();
-        let room = MAX_REQUEST_LINE - buf.len() as u64;
-        match reader.by_ref().take(room).read_until(b'\n', buf) {
-            Ok(0) => return Line::Eof,
-            Ok(_) => {
-                liveness.touch();
-                if buf.last() == Some(&b'\n') {
-                    return match std::str::from_utf8(buf) {
-                        Ok(s) => Line::Req(s.to_string()),
-                        Err(_) => Line::NotUtf8,
-                    };
-                }
-                if buf.len() as u64 >= MAX_REQUEST_LINE {
-                    return Line::TooLong;
-                }
-                // No newline, no EOF, below the cap: the take() adaptor
-                // drained a buffer boundary; keep reading.
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                // A timed-out read_until has already pushed any bytes it
-                // saw into `buf`; never clear it between slices.
-                if buf.len() > before {
-                    liveness.touch();
-                }
-                if let Some(limit) = idle {
-                    if liveness.idle() >= limit {
-                        return Line::Idle;
-                    }
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return Line::Dead,
-        }
-    }
-}
-
-/// Consumes the unread remainder of an oversized line (bounded memory:
-/// 4 KiB at a time) so the session can continue at the next line. Returns
-/// `false` if the connection died or went idle first.
-fn discard_line_remainder(
-    reader: &mut BufReader<Box<dyn Transport>>,
-    liveness: &Liveness,
-    idle: Option<Duration>,
-) -> bool {
-    use std::io::{ErrorKind, Read};
-    let mut junk = Vec::with_capacity(4096);
-    loop {
-        junk.clear();
-        match reader.by_ref().take(4096).read_until(b'\n', &mut junk) {
-            Ok(0) => return false,
-            Ok(_) => {
-                liveness.touch();
-                if junk.last() == Some(&b'\n') {
-                    return true;
-                }
-            }
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if let Some(limit) = idle {
-                    if liveness.idle() >= limit {
-                        return false;
-                    }
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return false,
-        }
-    }
-}
-
-/// Forwards one event to the engine inbox with overload shedding.
+/// Incremental `\n`-line reassembly over arbitrary read-chunk boundaries.
 ///
-/// The in-flight counter is the reply-ordering guard: the reader
-/// increments it *before* attempting the send, the engine decrements it
-/// *after* enqueuing the corresponding reply. The reader may therefore
-/// answer `ERR busy` out-of-band only when the inbox has been full past
-/// the busy deadline **and** its own token is the only one outstanding —
-/// at that point every earlier request on this session has already been
-/// replied to, so the one-reply-per-request-in-order contract holds. A
-/// shed request never reached the engine, making a client retry safe.
-///
-/// Returns `false` only when the engine is gone (service shut down).
-/// `verb` labels a shed in the per-verb breakdown (`parse` for lines
-/// that never parsed into a request).
-fn forward(
-    event: Event,
-    verb: &'static str,
-    inbox: &SyncSender<Event>,
-    inflight: &AtomicUsize,
-    out: &SessionOut,
-    busy: Duration,
-    metrics: &Metrics,
-) -> bool {
-    inflight.fetch_add(1, Ordering::SeqCst);
-    let mut ev = event;
-    let mut deadline: Option<Instant> = None;
-    loop {
-        match inbox.try_send(ev) {
-            Ok(()) => return true,
-            Err(TrySendError::Disconnected(_)) => {
-                inflight.fetch_sub(1, Ordering::SeqCst);
-                return false;
-            }
-            Err(TrySendError::Full(back)) => {
-                ev = back;
-                let now = Instant::now();
-                let limit = *deadline.get_or_insert(now + busy);
-                if now >= limit && inflight.load(Ordering::SeqCst) == 1 {
-                    inflight.fetch_sub(1, Ordering::SeqCst);
-                    metrics.record_shed(verb);
-                    out.send_reply(
-                        Reply::Err {
-                            code: ErrCode::Busy,
-                            message: "server inbox full; request dropped, retry later".into(),
-                        }
-                        .to_string(),
-                    );
-                    return true;
-                }
-                std::thread::sleep(Duration::from_micros(200));
-            }
-        }
-    }
+/// Feed whatever the socket produced — single bytes, half a UTF-8
+/// sequence, a dozen pipelined lines — via [`LineFramer::feed`], then
+/// drain complete lines with [`LineFramer::next_line`]. Memory is bounded
+/// by the line cap: once a line exceeds it, the framer switches to a
+/// discard mode that scans (without storing) until the terminator.
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// An oversized line was reported; bytes are dropped until `\n`.
+    discarding: bool,
+    /// A `TooLong` classification not yet yielded by `next_line`.
+    pending_too_long: bool,
+    max: usize,
 }
 
-/// Body of a session's reader thread: parses request lines and forwards
-/// them to the engine-owner thread. Sends [`Event::Gone`] exactly once on
-/// EOF, socket error, idle expiry, or service shutdown. Oversized and
-/// non-UTF-8 lines are answered with `ERR parse` and the session
-/// continues.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_reader(
-    transport: Box<dyn Transport>,
-    sid: SessionId,
-    inbox: &SyncSender<Event>,
-    out: &SessionOut,
-    inflight: &AtomicUsize,
-    liveness: &Liveness,
-    knobs: ReaderKnobs,
-    metrics: &Metrics,
-) {
-    if let Some(idle) = knobs.idle {
-        // Short slices so the idle clock is polled well below the
-        // deadline; the exact slice only bounds reaping latency.
-        let slice = (idle / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
-        let _ = transport.set_read_timeout(Some(slice));
+impl LineFramer {
+    /// A framer with the given line cap ([`MAX_REQUEST_LINE`] for the
+    /// serving layer).
+    pub fn new(max: usize) -> LineFramer {
+        LineFramer {
+            buf: Vec::new(),
+            discarding: false,
+            pending_too_long: false,
+            max: max.max(1),
+        }
     }
-    let mut reader = BufReader::new(transport);
-    let mut buf = Vec::new();
-    loop {
-        match read_request_line(&mut reader, &mut buf, liveness, knobs.idle) {
-            Line::Eof | Line::Dead => break,
-            Line::Idle => {
-                metrics.reaped.fetch_add(1, Ordering::Relaxed);
-                break;
+
+    /// Appends one read chunk.
+    pub fn feed(&mut self, mut chunk: &[u8]) {
+        if self.discarding {
+            match chunk.iter().position(|b| *b == b'\n') {
+                Some(i) => {
+                    self.discarding = false;
+                    chunk = &chunk[i + 1..];
+                }
+                None => return,
             }
-            Line::TooLong => {
-                let bad = Event::Bad(
-                    sid,
-                    format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
-                );
-                if !forward(bad, "parse", inbox, inflight, out, knobs.busy, metrics)
-                    || !discard_line_remainder(&mut reader, liveness, knobs.idle)
-                {
-                    break;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes currently buffered (partial line + any complete lines not
+    /// yet drained).
+    pub fn pending_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Yields the next complete line (or cap/encoding rejection), `None`
+    /// when more bytes are needed.
+    pub fn next_line(&mut self) -> Option<FramedLine> {
+        if self.pending_too_long {
+            self.pending_too_long = false;
+            return Some(FramedLine::TooLong);
+        }
+        match self.buf.iter().position(|b| *b == b'\n') {
+            Some(pos) => {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the terminator
+                if line.last() == Some(&b'\r') {
+                    line.pop(); // tolerate CRLF peers
+                }
+                if line.len() > self.max {
+                    return Some(FramedLine::TooLong);
+                }
+                match String::from_utf8(line) {
+                    Ok(s) => Some(FramedLine::Line(s)),
+                    Err(_) => Some(FramedLine::NotUtf8),
                 }
             }
-            Line::NotUtf8 => {
-                let bad = Event::Bad(sid, "request line is not UTF-8".into());
-                if !forward(bad, "parse", inbox, inflight, out, knobs.busy, metrics) {
-                    break;
+            None => {
+                if self.buf.len() > self.max {
+                    // Already oversized with no terminator in sight: report
+                    // once, drop what we hold, scan for the terminator.
+                    self.buf.clear();
+                    self.discarding = true;
+                    return Some(FramedLine::TooLong);
                 }
-            }
-            Line::Req(line) => {
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue;
-                }
-                let (event, verb) = match parse_request(trimmed) {
-                    Ok(req) => {
-                        let verb = req.verb();
-                        (Event::Request(sid, req), verb)
-                    }
-                    Err(msg) => (Event::Bad(sid, msg), "parse"),
-                };
-                if !forward(event, verb, inbox, inflight, out, knobs.busy, metrics) {
-                    break;
-                }
+                None
             }
         }
     }
-    let _ = inbox.send(Event::Gone(sid));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Drains the queue as a writer with unbounded appetite would.
+    fn drain_all(out: &SessionOut) -> Vec<u8> {
+        let mut got = Vec::new();
+        while let Some((bytes, cursor)) = out.next_chunk() {
+            got.extend_from_slice(&bytes[cursor..]);
+            out.advance(bytes.len() - cursor);
+        }
+        got
+    }
 
     #[test]
     fn replies_survive_push_overflow() {
@@ -518,31 +442,53 @@ mod tests {
         out.send_reply("OK q1".into());
         out.force_push("RESYNC 1".into());
         out.close();
-
-        let mut drained = Vec::new();
-        while out.pop_into(&mut drained, 64) {}
-        assert_eq!(drained, vec!["OK q0", "OK q1", "RESYNC 1"]);
+        assert_eq!(drain_all(&out), b"OK q0\nOK q1\nRESYNC 1\n");
+        assert!(out.is_drained());
     }
 
     #[test]
-    fn pop_blocks_until_line_or_close() {
-        use std::sync::Arc;
-        let out = Arc::new(SessionOut::new());
-        let clone = Arc::clone(&out);
-        let handle = std::thread::spawn(move || {
-            let mut batch = Vec::new();
-            let got = clone.pop_into(&mut batch, 8);
-            (got, batch)
-        });
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        out.send_reply("hello".into());
-        let (got, batch) = handle.join().unwrap();
-        assert!(got);
-        assert_eq!(batch, vec!["hello"]);
-
+    fn overflow_never_drops_a_partially_written_push() {
+        let out = SessionOut::new();
+        assert!(out.try_push("DELTA first".into(), 2));
+        assert!(out.try_push("DELTA second".into(), 2));
+        // Simulate a short write: 3 bytes of "DELTA first\n" on the wire.
+        out.advance(3);
+        assert!(!out.try_push("DELTA third".into(), 2), "cap overflow");
+        out.force_push("RESYNC 1".into());
         out.close();
-        let mut rest = Vec::new();
-        assert!(!out.pop_into(&mut rest, 8), "closed and empty");
+        // The in-flight line survives (resuming at its cursor), the rest
+        // of the backlog is gone, the resync follows.
+        assert_eq!(drain_all(&out), b"TA first\nRESYNC 1\n");
+    }
+
+    #[test]
+    fn partial_write_cursor_resumes_mid_line() {
+        let out = SessionOut::new();
+        out.send_reply("0123456789".into());
+        out.send_reply("ab".into());
+        let mut got = Vec::new();
+        // Drain in 4-byte nibbles.
+        while let Some((bytes, cursor)) = out.next_chunk() {
+            let n = (bytes.len() - cursor).min(4);
+            got.extend_from_slice(&bytes[cursor..cursor + n]);
+            out.advance(n);
+        }
+        assert_eq!(got, b"0123456789\nab\n");
+    }
+
+    #[test]
+    fn coalesced_peek_spans_entries_and_respects_cursor() {
+        let out = SessionOut::new();
+        out.send_reply("AA".into());
+        out.send_reply("BB".into());
+        out.send_reply("CC".into());
+        out.advance(1); // "A" already on the wire
+        let mut scratch = Vec::new();
+        assert_eq!(out.peek_coalesced(&mut scratch, 5), 5);
+        assert_eq!(scratch, b"A\nBB\n");
+        out.advance(5);
+        assert_eq!(out.peek_coalesced(&mut scratch, 64), 3);
+        assert_eq!(scratch, b"CC\n");
     }
 
     #[test]
@@ -552,9 +498,57 @@ mod tests {
         out.send_reply("late".into());
         assert!(out.try_push("late push".into(), 4), "no resync for corpses");
         out.force_push("late force".into());
-        let mut batch = Vec::new();
-        assert!(!out.pop_into(&mut batch, 8));
-        assert!(batch.is_empty());
+        assert!(out.is_drained());
+        assert!(out.next_chunk().is_none());
+    }
+
+    #[test]
+    fn framer_reassembles_across_arbitrary_chunks() {
+        let mut framer = LineFramer::new(1024);
+        for b in b"PING\nSTA" {
+            framer.feed(&[*b]);
+        }
+        assert_eq!(framer.next_line(), Some(FramedLine::Line("PING".into())));
+        assert_eq!(framer.next_line(), None);
+        framer.feed(b"TS\n");
+        assert_eq!(framer.next_line(), Some(FramedLine::Line("STATS".into())));
+    }
+
+    #[test]
+    fn framer_splits_utf8_across_chunks() {
+        let mut framer = LineFramer::new(1024);
+        let line = "PING é✓\n".as_bytes();
+        let (a, b) = line.split_at(6); // mid-é
+        framer.feed(a);
+        assert_eq!(framer.next_line(), None);
+        framer.feed(b);
+        assert_eq!(framer.next_line(), Some(FramedLine::Line("PING é✓".into())));
+    }
+
+    #[test]
+    fn framer_rejects_oversized_then_recovers() {
+        let mut framer = LineFramer::new(8);
+        framer.feed(b"0123456789abcdef"); // oversized, no terminator yet
+        assert_eq!(framer.next_line(), Some(FramedLine::TooLong));
+        assert_eq!(framer.next_line(), None);
+        framer.feed(b"junk junk\nPING\n");
+        assert_eq!(framer.next_line(), Some(FramedLine::Line("PING".into())));
+    }
+
+    #[test]
+    fn framer_rejects_oversized_complete_line_once() {
+        let mut framer = LineFramer::new(4);
+        framer.feed(b"toolongline\nok\n");
+        assert_eq!(framer.next_line(), Some(FramedLine::TooLong));
+        assert_eq!(framer.next_line(), Some(FramedLine::Line("ok".into())));
+    }
+
+    #[test]
+    fn framer_classifies_non_utf8() {
+        let mut framer = LineFramer::new(64);
+        framer.feed(&[0xFF, 0xFE, b'\n', b'o', b'k', b'\n']);
+        assert_eq!(framer.next_line(), Some(FramedLine::NotUtf8));
+        assert_eq!(framer.next_line(), Some(FramedLine::Line("ok".into())));
     }
 
     #[test]

@@ -1,12 +1,16 @@
 //! Protocol fuzz hardening (no new deps: proptest is already vendored).
 //!
-//! Two layers: pure parser fuzz — [`parse_request`] / [`parse_server_line`]
+//! Three layers: pure parser fuzz — [`parse_request`] / [`parse_server_line`]
 //! must never panic on arbitrary byte soup, semi-structured near-miss
 //! lines, or truncations of valid lines, and everything they do accept
-//! must reparse to the same value from its own encoding — and a live
-//! session fuzz: a raw socket feeding junk (including split multi-byte
-//! UTF-8 and an absurd `k=`) gets a clean `ERR` per line and the session
-//! keeps serving.
+//! must reparse to the same value from its own encoding — reactor framing
+//! fuzz (PR 10): `LineFramer` reassembly is chunking-invariant (one-byte
+//! reads, cuts inside multi-byte UTF-8 sequences, lines split across
+//! wakeups) and `SessionOut` partial-write resumption reproduces the
+//! queued byte stream exactly at arbitrary write granularities — and a
+//! live session fuzz: a raw socket feeding junk (including split
+//! multi-byte UTF-8 and an absurd `k=`) gets a clean `ERR` per line and
+//! the session keeps serving.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -15,7 +19,8 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use topk_monitor::service::{
-    apply_push, parse_request, parse_server_line, Push, Service, ServiceConfig,
+    apply_push, parse_request, parse_server_line, FramedLine, LineFramer, Push, Service,
+    ServiceConfig, SessionOut, MAX_REQUEST_LINE,
 };
 use topk_monitor::{Scored, ServerConfig};
 
@@ -208,6 +213,195 @@ proptest! {
             assert_server_line_fixed_point(&truncated);
         }
     }
+}
+
+/// Builds one framer-test line from fuzz integers: protocol-ish content
+/// via [`near_token`], sometimes empty, sometimes with a multi-byte UTF-8
+/// tail so chunk cuts can land mid-sequence.
+fn framer_line(kind: u8, a: u32, b: u32) -> String {
+    let mut line = if a.is_multiple_of(11) {
+        String::new()
+    } else {
+        near_token(kind, a, b)
+    };
+    line.push_str(["", "é", "λ🦀", "→"][b as usize % 4]);
+    line
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Reactor framing (PR 10): a line stream cut at arbitrary byte
+    /// positions — including mid-UTF-8-sequence — reassembles to exactly
+    /// the original lines, in order, with nothing left buffered; and any
+    /// reassembled line the parser accepts is a fixed point of its own
+    /// encoding.
+    #[test]
+    fn framer_reassembles_lines_under_arbitrary_chunking(
+        specs in prop::collection::vec((any::<u8>(), 0u32..2000, 0u32..2000), 1..10),
+        cuts in prop::collection::vec(any::<u16>(), 0..24),
+    ) {
+        let lines: Vec<String> =
+            specs.iter().map(|(k, a, b)| framer_line(*k, *a, *b)).collect();
+        let mut stream = Vec::new();
+        for l in &lines {
+            stream.extend_from_slice(l.as_bytes());
+            stream.push(b'\n');
+        }
+        let mut splits: Vec<usize> =
+            cuts.iter().map(|c| *c as usize % (stream.len() + 1)).collect();
+        splits.sort_unstable();
+        splits.push(stream.len());
+
+        let mut framer = LineFramer::new(MAX_REQUEST_LINE);
+        let mut got = Vec::new();
+        let mut prev = 0;
+        for cut in splits {
+            framer.feed(&stream[prev..cut]);
+            prev = cut;
+            while let Some(framed) = framer.next_line() {
+                match framed {
+                    FramedLine::Line(l) => got.push(l),
+                    other => prop_assert!(false, "unexpected {other:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(framer.pending_len(), 0, "bytes left buffered");
+        prop_assert_eq!(&got, &lines);
+        for l in &got {
+            assert_request_fixed_point(l);
+            assert_server_line_fixed_point(l);
+        }
+    }
+
+    /// Arbitrary byte chunks — invalid UTF-8, no terminators, whatever —
+    /// never panic the framer, and a small cap is honoured: no yielded
+    /// line exceeds it.
+    #[test]
+    fn framer_survives_arbitrary_byte_chunks(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 0..12),
+    ) {
+        let cap = 32;
+        let mut framer = LineFramer::new(cap);
+        for chunk in &chunks {
+            framer.feed(chunk);
+            while let Some(framed) = framer.next_line() {
+                if let FramedLine::Line(l) = framed {
+                    prop_assert!(l.len() <= cap, "line over cap: {l:?}");
+                }
+            }
+        }
+    }
+
+    /// A writer that resumes partial writes at arbitrary step sizes —
+    /// alternating between the single-entry (`next_chunk`) and coalesced
+    /// (`peek_coalesced`) paths — reproduces the queued byte stream
+    /// exactly, regardless of how lines were enqueued.
+    #[test]
+    fn session_out_partial_writes_reproduce_the_exact_stream(
+        specs in prop::collection::vec(
+            (any::<u8>(), 0u32..2000, 0u32..2000, any::<u8>()), 1..10),
+        steps in prop::collection::vec((any::<u8>(), 1u16..96), 1..32),
+    ) {
+        let out = SessionOut::new();
+        let mut expected = Vec::new();
+        for (kind, a, b, mode) in &specs {
+            let line = near_token(*kind, *a, *b);
+            expected.extend_from_slice(line.as_bytes());
+            expected.push(b'\n');
+            match mode % 3 {
+                0 => out.send_reply(line),
+                1 => prop_assert!(out.try_push(line, 1 << 20), "uncapped push dropped"),
+                _ => out.force_push(line),
+            }
+        }
+        let mut collected = Vec::new();
+        let mut scratch = Vec::new();
+        let mut i = 0usize;
+        while !out.is_drained() {
+            let (path, step) = steps[i % steps.len()];
+            i += 1;
+            let step = step as usize;
+            if path % 2 == 0 {
+                // The per-entry path a blocked socket resumes on.
+                let (bytes, cursor) = out.next_chunk().expect("non-drained queue");
+                let n = step.min(bytes.len() - cursor);
+                collected.extend_from_slice(&bytes[cursor..cursor + n]);
+                out.advance(n);
+            } else {
+                // The burst-coalescing path, spanning entries.
+                let n = out.peek_coalesced(&mut scratch, step);
+                prop_assert!(n >= 1, "coalesced peek of a non-drained queue");
+                collected.extend_from_slice(&scratch[..n]);
+                out.advance(n);
+            }
+        }
+        prop_assert_eq!(&collected, &expected);
+        prop_assert_eq!(out.queued_pushes(), 0);
+    }
+}
+
+/// Byte-at-a-time reads (the worst wakeup pattern the reactor can see)
+/// reassemble real protocol lines exactly, and each reassembled line is a
+/// fixed point of its own encoding.
+#[test]
+fn framer_handles_one_byte_reads() {
+    let lines = [
+        "REGISTER k=4 weights=1,0.5 window=count:32",
+        "SUBSCRIBE q0",
+        "TICKAT @7 0.25 0.75",
+        "",
+        "DELTA q0 @7 +t1:0.75 -t0:0.25",
+        "PING",
+    ];
+    let mut framer = LineFramer::new(MAX_REQUEST_LINE);
+    let mut got = Vec::new();
+    for line in &lines {
+        for b in line.as_bytes() {
+            framer.feed(std::slice::from_ref(b));
+            assert_eq!(framer.next_line(), None, "yielded before the terminator");
+        }
+        framer.feed(b"\n");
+        match framer.next_line() {
+            Some(FramedLine::Line(l)) => got.push(l),
+            other => panic!("expected a line, got {other:?}"),
+        }
+    }
+    assert_eq!(got, lines);
+    for l in &got {
+        assert_request_fixed_point(l);
+        assert_server_line_fixed_point(l);
+    }
+}
+
+/// The documented overflow contract: when the push cap trips, the queued
+/// backlog is dropped but a partially-written front line is finished (the
+/// stream stays line-aligned), and the forced `RESYNC` still goes out.
+#[test]
+fn session_out_overflow_keeps_the_stream_line_aligned() {
+    let out = SessionOut::new();
+    assert!(out.try_push("DELTA q0 @1 +t1:0.5".into(), 2));
+    assert!(out.try_push("DELTA q0 @2 +t2:0.5".into(), 2));
+    // Four bytes of the front line are already on the wire.
+    let mut scratch = Vec::new();
+    let n = out.peek_coalesced(&mut scratch, 4);
+    assert_eq!(n, 4);
+    let mut collected = scratch[..n].to_vec();
+    out.advance(n);
+    // The cap trips: the backlog is dropped, the in-flight front stays.
+    assert!(!out.try_push("DELTA q0 @3 +t3:0.5".into(), 2));
+    assert_eq!(out.queued_pushes(), 1, "only the in-flight front survives");
+    out.force_push("RESYNC 1".into());
+    while let Some((bytes, cursor)) = out.next_chunk() {
+        collected.extend_from_slice(&bytes[cursor..]);
+        out.advance(bytes.len() - cursor);
+    }
+    assert_eq!(collected, b"DELTA q0 @1 +t1:0.5\nRESYNC 1\n");
+    // A closed queue swallows pushes without demanding a resync.
+    out.close();
+    assert!(out.is_closed());
+    assert!(out.try_push("DELTA q0 @4 +t4:0.5".into(), 2));
+    assert!(out.is_drained());
 }
 
 /// Live-session fuzz: seeded junk lines over a raw socket each earn a
