@@ -40,8 +40,12 @@
 //!   delta to the entire fleet. Reports fan-out pushes/s and the push
 //!   completion latency distribution per tier, and asserts the
 //!   encode-once invariant server-side (`STATS encodes= == deltas=`).
-//!   `--check-baseline BENCH_fanout.json` gates the largest tier's rate
-//!   and p99 against the committed baseline.
+//!   `--check-baseline BENCH_fanout.json` compares the largest tier's
+//!   rate and p99 against the committed baseline — a hard failure on the
+//!   full sweep (dedicated hardware), warn-only under `--smoke` (shared
+//!   CI runners have too much CPU variance for a wall-clock gate); the
+//!   functional assertions (missed delivery, encode-once) fail hard in
+//!   both modes.
 //!
 //! * **`--sites N`**: multi-site mode — N site services each run a local
 //!   engine on their shard of the stream and ship only candidate deltas
@@ -912,32 +916,43 @@ fn json_tier_num(text: &str, subs: usize, key: &str) -> Option<f64> {
 /// [`FANOUT_RATE_REGRESSION`] below the committed value, and the push
 /// completion p99 must stay within [`FANOUT_P99_REGRESSION`] of it
 /// (above the absolute jitter floor).
-fn check_fanout_baseline(path: &str, subs: usize, per_s: f64, p99_us: f64) -> Result<(), String> {
+///
+/// `Err` is structural (unreadable baseline, missing tier) and always
+/// fails the run; the returned list holds wall-clock *perf* findings,
+/// whose severity the caller decides (hard on the full sweep, warn-only
+/// in `--smoke` where shared-runner CPU variance would make them flaky).
+fn check_fanout_baseline(
+    path: &str,
+    subs: usize,
+    per_s: f64,
+    p99_us: f64,
+) -> Result<Vec<String>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("check-baseline: cannot read {path}: {e}"))?;
     let base_rate = json_tier_num(&text, subs, "pushes_per_s")
         .ok_or_else(|| format!("check-baseline: {path} has no {subs}-subscriber tier"))?;
     let base_p99 = json_tier_num(&text, subs, "push_p99_us")
         .ok_or_else(|| format!("check-baseline: {path} tier {subs} has no push_p99_us"))?;
+    let mut findings = Vec::new();
     if per_s < FANOUT_RATE_FLOOR {
-        return Err(format!(
+        findings.push(format!(
             "check-baseline: fan-out rate {per_s:.0}/s is below the \
              {FANOUT_RATE_FLOOR:.0}/s floor"
         ));
     }
     if per_s * FANOUT_RATE_REGRESSION < base_rate {
-        return Err(format!(
+        findings.push(format!(
             "check-baseline: fan-out rate regressed >{FANOUT_RATE_REGRESSION}x: \
              {per_s:.0}/s now vs {base_rate:.0}/s in {path}"
         ));
     }
     if p99_us > base_p99 * FANOUT_P99_REGRESSION && p99_us > FANOUT_P99_FLOOR_US {
-        return Err(format!(
+        findings.push(format!(
             "check-baseline: push p99 regressed >{FANOUT_P99_REGRESSION}x: \
              {p99_us:.0}µs now vs {base_p99:.0}µs in {path}"
         ));
     }
-    Ok(())
+    Ok(findings)
 }
 
 /// The `--fanout` parent: per tier, binds a fresh server and re-executes
@@ -1052,10 +1067,26 @@ fn fanout(args: &Args) {
 
     if let Some(path) = &args.baseline {
         match check_fanout_baseline(path, max_subs, per_s, p99) {
-            Ok(()) => println!(
+            Ok(findings) if findings.is_empty() => println!(
                 "baseline check ok ({per_s:.0} pushes/s ≥ {FANOUT_RATE_FLOOR:.0}/s, within \
                  {FANOUT_RATE_REGRESSION}x of {path} at {max_subs} subs)"
             ),
+            Ok(findings) => {
+                // Wall-clock drift: flaky on shared CI runners, so the
+                // smoke tier only warns; the full sweep (dedicated
+                // hardware) still gates hard. The functional verdicts
+                // (missed delivery, encode-once) stay hard either way.
+                for msg in &findings {
+                    if args.smoke {
+                        eprintln!("warning ({msg}) — perf comparison is warn-only in --smoke");
+                    } else {
+                        eprintln!("{msg}");
+                    }
+                }
+                if !args.smoke {
+                    all_ok = false;
+                }
+            }
             Err(msg) => {
                 eprintln!("{msg}");
                 all_ok = false;

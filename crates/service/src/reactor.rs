@@ -30,7 +30,10 @@
 //!   without ever reaching the engine. While a request is parked on a
 //!   full inbox the session's read interest is dropped, which is exactly
 //!   the TCP backpressure the blocking reader used to apply by not
-//!   reading.
+//!   reading. Accepts obey the same rule: a `Connect` handoff that finds
+//!   the inbox full parks the new socket and drops the *listener's* read
+//!   interest until the retry lands, so overload defers new connections
+//!   instead of freezing the loop.
 //!
 //! The syscall surface is four functions (`epoll_create1`, `epoll_ctl`,
 //! `epoll_wait`, `close`) declared in the scoped `sys` module — the
@@ -250,8 +253,6 @@ pub(crate) struct Waker {
     dirty: Mutex<Vec<SessionId>>,
     /// A wakeup byte is already in flight; coalesces pokes.
     signaled: AtomicBool,
-    /// Generic attention (shutdown) independent of any session.
-    control: AtomicBool,
     tx: std::os::unix::net::UnixStream,
 }
 
@@ -276,9 +277,9 @@ impl Waker {
         self.signal();
     }
 
-    /// Wakes the loop with no session attached (shutdown notice).
+    /// Wakes the loop with no session attached (shutdown notice; the
+    /// loop re-checks its stop flag on every wakeup).
     pub(crate) fn notify(&self) {
-        self.control.store(true, Ordering::SeqCst);
         self.signal();
     }
 
@@ -316,6 +317,17 @@ struct PendingSend {
     event: Option<Event>,
     verb: &'static str,
     since: Instant,
+}
+
+/// An accepted connection whose `Connect` handoff found the engine inbox
+/// full: adoption is deferred — and the listener's read interest dropped,
+/// the same backpressure parked requests apply — until the event loop's
+/// timer pass can place the event without blocking.
+struct ParkedAccept {
+    stream: TcpStream,
+    sid: SessionId,
+    out: Arc<SessionOut>,
+    inflight: Arc<AtomicUsize>,
 }
 
 /// What to do with a connection after handling it.
@@ -402,6 +414,9 @@ pub(crate) struct Reactor {
     /// Sessions with a timed deadline (stall, parked send, write block) —
     /// scanned each loop so the common case stays O(ready), not O(conns).
     attention: BTreeSet<u64>,
+    /// An accept awaiting engine-inbox room (listener interest is off
+    /// while one is parked).
+    parked_accept: Option<ParkedAccept>,
     next_sid: u64,
     scratch: Vec<u8>,
 }
@@ -422,7 +437,6 @@ impl Reactor {
         let waker = Arc::new(Waker {
             dirty: Mutex::new(Vec::new()),
             signaled: AtomicBool::new(false),
-            control: AtomicBool::new(false),
             tx: waker_tx,
         });
         let poller = Poller::new()?;
@@ -446,6 +460,7 @@ impl Reactor {
                 cfg,
                 conns: HashMap::new(),
                 attention: BTreeSet::new(),
+                parked_accept: None,
                 next_sid: 0,
                 scratch: Vec::with_capacity(WRITE_CHUNK),
             },
@@ -482,6 +497,9 @@ impl Reactor {
                 }
             }
             self.service_deadlines();
+            if self.retry_parked_accept() == After::Drop {
+                return;
+            }
             if let Some(idle) = self.cfg.idle {
                 let slice = (idle / 4).clamp(Duration::from_millis(10), Duration::from_millis(250));
                 if last_sweep.elapsed() >= slice {
@@ -492,11 +510,12 @@ impl Reactor {
         }
     }
 
-    /// Picks the `epoll_wait` timeout: short while timed deadlines are
-    /// outstanding, an idle-slice when reaping is configured, long
-    /// otherwise (wakeups then come from readiness and the waker pipe).
+    /// Picks the `epoll_wait` timeout: short while timed deadlines or a
+    /// parked accept are outstanding, an idle-slice when reaping is
+    /// configured, long otherwise (wakeups then come from readiness and
+    /// the waker pipe).
     fn poll_timeout(&self) -> Duration {
-        if !self.attention.is_empty() {
+        if !self.attention.is_empty() || self.parked_accept.is_some() {
             return Duration::from_millis(1);
         }
         match self.cfg.idle {
@@ -507,7 +526,16 @@ impl Reactor {
 
     /// Accepts every pending connection. `After::Drop` means the engine
     /// owner is gone and the loop should exit.
+    ///
+    /// The `Connect` handoff to the engine is strictly nonblocking: a
+    /// full inbox — the overload case — parks the accepted socket and
+    /// turns the listener's read interest off instead of stalling the
+    /// event loop (which would freeze every existing connection's reads,
+    /// writes, and deadlines until the engine drained a slot).
     fn accept_ready(&mut self) -> After {
+        if self.parked_accept.is_some() {
+            return After::Keep;
+        }
         loop {
             let (stream, _) = match self.listener.accept() {
                 Ok(pair) => pair,
@@ -526,64 +554,128 @@ impl Reactor {
             let out = Arc::new(SessionOut::new());
             out.attach_waker(Arc::clone(&self.waker), sid);
             let inflight = Arc::new(AtomicUsize::new(0));
-            if self
-                .ctx
-                .inbox
-                .send(Event::Connect(sid, Arc::clone(&out), Arc::clone(&inflight)))
-                .is_err()
-            {
-                return After::Drop;
+            match self.ctx.inbox.try_send(Event::Connect(
+                sid,
+                Arc::clone(&out),
+                Arc::clone(&inflight),
+            )) {
+                Ok(()) => {}
+                Err(TrySendError::Disconnected(_)) => return After::Drop,
+                Err(TrySendError::Full(_)) => {
+                    // Level-triggered epoll would spin on the un-drained
+                    // backlog, so stop listening until the retry lands.
+                    let _ =
+                        self.poller
+                            .modify(self.listener.as_raw_fd(), LISTENER_TOKEN, false, false);
+                    self.parked_accept = Some(ParkedAccept {
+                        stream,
+                        sid,
+                        out,
+                        inflight,
+                    });
+                    return After::Keep;
+                }
             }
-            if self.stopping.load(Ordering::Relaxed) {
-                // Shutdown raced this accept: the engine may never process
-                // the Connect, so close the queue ourselves (idempotent).
-                out.close();
+            self.adopt(stream, sid, out, inflight);
+        }
+    }
+
+    /// Retries the `Connect` handoff of a parked accept; once the inbox
+    /// has room, adopts the connection, restores the listener's read
+    /// interest, and drains whatever backlog piled up while parked.
+    fn retry_parked_accept(&mut self) -> After {
+        let Some(parked) = self.parked_accept.take() else {
+            return After::Keep;
+        };
+        let ParkedAccept {
+            stream,
+            sid,
+            out,
+            inflight,
+        } = parked;
+        match self
+            .ctx
+            .inbox
+            .try_send(Event::Connect(sid, Arc::clone(&out), Arc::clone(&inflight)))
+        {
+            Ok(()) => {
+                let _ = self
+                    .poller
+                    .modify(self.listener.as_raw_fd(), LISTENER_TOKEN, true, false);
+                self.adopt(stream, sid, out, inflight);
+                self.accept_ready()
             }
-            let decider = self
-                .cfg
-                .faults
-                .as_ref()
-                .and_then(|f| {
-                    f.plan_for(sid.0)
-                        .filter(|p| !p.is_empty())
-                        .map(|plan| (plan.clone(), f.seed))
-                })
-                .map(|(plan, seed)| {
-                    FaultDecider::new(
-                        plan,
-                        seed.wrapping_add(sid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                        Some(Arc::clone(&self.ctx.metrics.faults)),
-                    )
-                });
-            if self
-                .poller
-                .add(stream.as_raw_fd(), sid.0, true, false)
-                .is_err()
-            {
-                let _ = self.ctx.inbox.send(Event::Gone(sid));
-                continue;
-            }
-            self.conns.insert(
-                sid.0,
-                Conn {
-                    sid,
+            Err(TrySendError::Disconnected(_)) => After::Drop,
+            Err(TrySendError::Full(_)) => {
+                self.parked_accept = Some(ParkedAccept {
                     stream,
+                    sid,
                     out,
                     inflight,
-                    framer: LineFramer::new(MAX_REQUEST_LINE),
-                    liveness: Liveness::new(),
-                    decider,
-                    pending: None,
-                    read_stall: None,
-                    skip_read_decide: false,
-                    write_stall: None,
-                    skip_write_decide: false,
-                    blocked_since: None,
-                    reg_read: true,
-                    reg_write: false,
-                },
-            );
+                });
+                After::Keep
+            }
         }
+    }
+
+    /// Finishes adoption of an accepted connection whose `Connect` event
+    /// the engine inbox took: fault plan, poller registration, state.
+    fn adopt(
+        &mut self,
+        stream: TcpStream,
+        sid: SessionId,
+        out: Arc<SessionOut>,
+        inflight: Arc<AtomicUsize>,
+    ) {
+        if self.stopping.load(Ordering::Relaxed) {
+            // Shutdown raced this accept: the engine may never process
+            // the Connect, so close the queue ourselves (idempotent).
+            out.close();
+        }
+        let decider = self
+            .cfg
+            .faults
+            .as_ref()
+            .and_then(|f| {
+                f.plan_for(sid.0)
+                    .filter(|p| !p.is_empty())
+                    .map(|plan| (plan.clone(), f.seed))
+            })
+            .map(|(plan, seed)| {
+                FaultDecider::new(
+                    plan,
+                    seed.wrapping_add(sid.0.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    Some(Arc::clone(&self.ctx.metrics.faults)),
+                )
+            });
+        if self
+            .poller
+            .add(stream.as_raw_fd(), sid.0, true, false)
+            .is_err()
+        {
+            let _ = self.ctx.inbox.send(Event::Gone(sid));
+            return;
+        }
+        self.conns.insert(
+            sid.0,
+            Conn {
+                sid,
+                stream,
+                out,
+                inflight,
+                framer: LineFramer::new(MAX_REQUEST_LINE),
+                liveness: Liveness::new(),
+                decider,
+                pending: None,
+                read_stall: None,
+                skip_read_decide: false,
+                write_stall: None,
+                skip_write_decide: false,
+                blocked_since: None,
+                reg_read: true,
+                reg_write: false,
+            },
+        );
     }
 
     /// Drains the wakeup pipe and flushes every session producers marked
@@ -1111,7 +1203,6 @@ mod tests {
         let waker = Waker {
             dirty: Mutex::new(Vec::new()),
             signaled: AtomicBool::new(false),
-            control: AtomicBool::new(false),
             tx,
         };
         waker.wake(SessionId(3));

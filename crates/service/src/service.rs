@@ -427,6 +427,15 @@ impl FanoutPool {
                             subs.remove(&q);
                         }
                         ShardMsg::Fanout { lines, cap } => {
+                            // The overflow *latch* inside try_push_shared
+                            // makes the skip cross-shard safe: once any
+                            // shard overflows a session, every later push
+                            // to it — from this shard or a concurrent one
+                            // — is refused until the engine owner clears
+                            // the latch right before the RESYNC baseline,
+                            // so no delta lands between the drop and the
+                            // resync. The local list only dedups this
+                            // shard's report.
                             let mut resynced: Vec<SessionId> = Vec::new();
                             for (q, bytes) in &lines {
                                 let Some(list) = subs.get(q) else { continue };
@@ -1055,6 +1064,9 @@ impl EngineOwner {
         let resynced = self.pool.fan_out(lines, self.cfg.push_queue);
         // Slow consumers lost their queued pushes: re-baseline every one
         // of their subscriptions from the (post-cycle) current results.
+        // The fan-out barrier above guarantees no shard worker is still
+        // pushing, so clearing the overflow latch here cannot race a
+        // delta in ahead of the RESYNC.
         for sid in resynced {
             self.stats.resyncs += 1;
             let Some(handle) = self.sessions.get(&sid) else {
@@ -1062,6 +1074,7 @@ impl EngineOwner {
             };
             let out = Arc::clone(&handle.out);
             let subs = self.router.subscriptions_of(&sid);
+            out.clear_overflow();
             out.force_push(Push::Resync { count: subs.len() }.to_string());
             for q in subs {
                 let entries = self.result_of(q).unwrap_or_default();

@@ -27,10 +27,18 @@
 //! capped. When a producer pushes to a session whose cap is reached — a
 //! consumer reading slower than its subscriptions produce — every queued
 //! push is discarded and the engine re-baselines the session with a
-//! `RESYNC` marker followed by a fresh `SNAPSHOT` per subscription. One
-//! subtlety is new with the reactor: a push that is already *partially on
-//! the wire* (cursor > 0) is never discarded, otherwise the stream would
-//! resume mid-line and garble the next payload.
+//! `RESYNC` marker followed by a fresh `SNAPSHOT` per subscription. Two
+//! subtleties are new with the reactor. First, a push the reactor has
+//! *staged for a socket write* — copied out by
+//! [`SessionOut::peek_coalesced`] / [`SessionOut::next_chunk`], with the
+//! write itself happening lock-free and [`SessionOut::advance`]
+//! accounting for it afterwards — is never discarded: dropping it would
+//! desynchronize that accounting (popping lines that were never written)
+//! or resume the stream mid-line and garble the next payload. Second, an
+//! overflow *latches*: until the engine owner re-arms the queue with
+//! [`SessionOut::clear_overflow`] right before the `RESYNC` baseline,
+//! every capped push is refused outright, so a producer on another
+//! fan-out shard cannot slip a delta in ahead of the pending resync.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -67,6 +75,20 @@ struct OutState {
     cursor: usize,
     /// Number of `push` entries currently queued.
     pushes: usize,
+    /// Front entries currently *staged* by the reactor for a socket
+    /// write: [`SessionOut::peek_coalesced`] / [`SessionOut::next_chunk`]
+    /// copy their bytes out under the lock, the socket write happens with
+    /// the lock released, and [`SessionOut::advance`] accounts for it
+    /// afterwards by popping exactly these entries. The overflow drop
+    /// must never discard a staged entry: `advance` would then pop lines
+    /// enqueued *after* the drop (losing replies/`RESYNC`s) or leave the
+    /// cursor mid-entry (garbling the stream).
+    staged: usize,
+    /// The push backlog was dropped on overflow and the engine owner has
+    /// not yet re-baselined this session: further capped pushes are
+    /// refused (not enqueued) so no producer can slip a delta in ahead of
+    /// the pending `RESYNC`.
+    overflowed: bool,
     /// No further lines will be accepted; the reactor drains what is
     /// queued and then shuts the socket down.
     closed: bool,
@@ -156,11 +178,17 @@ impl SessionOut {
     /// Tries to enqueue an already-encoded push payload (terminator
     /// included) under a cap of `cap` pending pushes.
     ///
-    /// On overflow every queued push is discarded — except a front entry
-    /// already partially written to the socket, which must finish so the
-    /// byte stream stays line-aligned — replies are retained in order,
-    /// and `false` is returned: the caller must re-baseline the session
-    /// with `RESYNC` + `SNAPSHOT` pushes via [`SessionOut::force_push`].
+    /// On overflow every queued push is discarded — except entries the
+    /// reactor has staged for (or partially completed) a socket write,
+    /// which must stay so the write's accounting pops the right lines and
+    /// the byte stream stays line-aligned — replies are retained in
+    /// order, and `false` is returned: the caller must re-baseline the
+    /// session with `RESYNC` + `SNAPSHOT` pushes via
+    /// [`SessionOut::force_push`]. Until [`SessionOut::clear_overflow`]
+    /// marks that re-baseline as underway, every further capped push is
+    /// refused (returning `false` again) without touching the queue, so
+    /// no producer — in particular no other fan-out shard — can slip a
+    /// delta in ahead of the pending `RESYNC`.
     pub fn try_push_shared(&self, bytes: Arc<[u8]>, cap: usize) -> bool {
         let was_idle = {
             let mut st = self.lock_state();
@@ -168,15 +196,19 @@ impl SessionOut {
                 // A vanishing session needs no resync.
                 return true;
             }
+            if st.overflowed {
+                return false;
+            }
             if st.pushes >= cap {
-                let in_flight = st.cursor > 0;
-                let mut first = true;
+                let protect = st.staged.max(usize::from(st.cursor > 0));
+                let mut idx = 0usize;
                 st.queue.retain(|l| {
-                    let keep = !l.push || (first && in_flight);
-                    first = false;
+                    let keep = !l.push || idx < protect;
+                    idx += 1;
                     keep
                 });
-                st.pushes = usize::from(in_flight && st.queue.front().is_some_and(|l| l.push));
+                st.pushes = st.queue.iter().filter(|l| l.push).count();
+                st.overflowed = true;
                 return false;
             }
             let was_idle = st.queue.is_empty();
@@ -188,6 +220,14 @@ impl SessionOut {
             self.wake();
         }
         true
+    }
+
+    /// Re-arms capped pushes after an overflow drop. Called by the engine
+    /// owner immediately before it enqueues the `RESYNC` + `SNAPSHOT`
+    /// baseline (the fan-out barrier guarantees no shard worker is
+    /// pushing concurrently at that point).
+    pub fn clear_overflow(&self) {
+        self.lock_state().overflowed = false;
     }
 
     /// Enqueues a push line bypassing the cap — used only for the `RESYNC`
@@ -220,20 +260,25 @@ impl SessionOut {
 
     /// The front payload and how many of its bytes were already written.
     /// Single-consumer: only the draining thread may pair this with
-    /// [`SessionOut::advance`].
+    /// [`SessionOut::advance`]. The front entry is recorded as staged —
+    /// protected from the overflow drop — until that `advance`.
     pub fn next_chunk(&self) -> Option<(Arc<[u8]>, usize)> {
-        let st = self.lock_state();
+        let mut st = self.lock_state();
+        st.staged = usize::from(!st.queue.is_empty());
         st.queue.front().map(|e| (Arc::clone(&e.bytes), st.cursor))
     }
 
     /// Copies up to `max` pending bytes (starting at the partial-write
     /// cursor, spanning entries) into `scratch`, returning how many were
     /// staged — the coalescing path that turns a burst of small push
-    /// lines into one socket write.
+    /// lines into one socket write. Every entry copied from is recorded
+    /// as staged — protected from the overflow drop — until the
+    /// [`SessionOut::advance`] that accounts for the write.
     pub fn peek_coalesced(&self, scratch: &mut Vec<u8>, max: usize) -> usize {
         scratch.clear();
-        let st = self.lock_state();
+        let mut st = self.lock_state();
         let mut skip = st.cursor;
+        let mut staged = 0usize;
         for entry in &st.queue {
             if scratch.len() >= max {
                 break;
@@ -242,12 +287,16 @@ impl SessionOut {
             skip = 0;
             let room = max - scratch.len();
             scratch.extend_from_slice(&body[..body.len().min(room)]);
+            staged += 1;
         }
+        st.staged = staged;
         scratch.len()
     }
 
     /// Records `n` bytes as written, popping every entry the cursor moves
-    /// past (partial progress stays in the cursor).
+    /// past (partial progress stays in the cursor) and releasing the
+    /// staged-entry protection (the write is fully accounted; anything
+    /// left re-stages at the next peek).
     pub fn advance(&self, n: usize) {
         let mut st = self.lock_state();
         st.cursor += n;
@@ -263,6 +312,7 @@ impl SessionOut {
             }
             st.queue.pop_front();
         }
+        st.staged = 0;
         // An over-advance past the queue tail cannot represent bytes on
         // the wire; clamp so a buggy caller cannot wedge the cursor.
         if st.queue.is_empty() {
@@ -343,8 +393,6 @@ pub struct LineFramer {
     buf: Vec<u8>,
     /// An oversized line was reported; bytes are dropped until `\n`.
     discarding: bool,
-    /// A `TooLong` classification not yet yielded by `next_line`.
-    pending_too_long: bool,
     max: usize,
 }
 
@@ -355,7 +403,6 @@ impl LineFramer {
         LineFramer {
             buf: Vec::new(),
             discarding: false,
-            pending_too_long: false,
             max: max.max(1),
         }
     }
@@ -383,10 +430,6 @@ impl LineFramer {
     /// Yields the next complete line (or cap/encoding rejection), `None`
     /// when more bytes are needed.
     pub fn next_line(&mut self) -> Option<FramedLine> {
-        if self.pending_too_long {
-            self.pending_too_long = false;
-            return Some(FramedLine::TooLong);
-        }
         match self.buf.iter().position(|b| *b == b'\n') {
             Some(pos) => {
                 let rest = self.buf.split_off(pos + 1);
@@ -459,6 +502,43 @@ mod tests {
         // The in-flight line survives (resuming at its cursor), the rest
         // of the backlog is gone, the resync follows.
         assert_eq!(drain_all(&out), b"TA first\nRESYNC 1\n");
+    }
+
+    #[test]
+    fn overflow_never_drops_staged_entries() {
+        let out = SessionOut::new();
+        assert!(out.try_push("DELTA a".into(), 2));
+        assert!(out.try_push("DELTA b".into(), 2));
+        // The reactor stages both lines for one coalesced write and is
+        // now writing with the queue lock released...
+        let mut scratch = Vec::new();
+        let staged = out.peek_coalesced(&mut scratch, 64);
+        assert_eq!(scratch, b"DELTA a\nDELTA b\n");
+        // ...when a shard worker overflows the cap mid-write: the staged
+        // entries must survive the drop so the pending advance() pops
+        // exactly the lines that went on the wire.
+        assert!(!out.try_push("DELTA c".into(), 2), "cap overflow");
+        out.clear_overflow();
+        out.force_push("RESYNC 1".into());
+        out.advance(staged);
+        out.close();
+        assert_eq!(drain_all(&out), b"RESYNC 1\n");
+    }
+
+    #[test]
+    fn overflow_latches_pushes_until_cleared() {
+        let out = SessionOut::new();
+        assert!(out.try_push("DELTA a".into(), 1));
+        assert!(!out.try_push("DELTA b".into(), 1), "cap overflow");
+        // Until the owner re-baselines, every capped push — e.g. a delta
+        // from another fan-out shard — is refused without being queued.
+        assert!(!out.try_push("DELTA c".into(), 8), "latched");
+        assert_eq!(out.queued_pushes(), 0);
+        out.clear_overflow();
+        out.force_push("RESYNC 1".into());
+        assert!(out.try_push("DELTA d".into(), 8), "re-armed");
+        out.close();
+        assert_eq!(drain_all(&out), b"RESYNC 1\nDELTA d\n");
     }
 
     #[test]
